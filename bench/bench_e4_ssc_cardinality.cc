@@ -1,0 +1,146 @@
+// E4 — SSC twinned predicates for cardinality estimation (§5, §5.1). The
+// paper's project example: `start_date <= d AND end_date >= d` suffers
+// under attribute independence because the columns are tightly correlated;
+// the SSC `end_date <= start_date + 30 (conf ~90%)` lets the optimizer twin
+// the end_date predicate onto start_date, collapsing the conjunction onto
+// one column where the histogram is accurate, with a confidence-factor
+// adjustment. Metric: q-error = max(est/actual, actual/est).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "common/date.h"
+#include "common/str_util.h"
+
+namespace softdb::bench {
+namespace {
+
+double QError(double estimate, double actual) {
+  const double e = std::max(estimate, 0.5);
+  const double a = std::max(actual, 0.5);
+  return std::max(e / a, a / e);
+}
+
+void PrintExperimentTable() {
+  Banner(
+      "E4: SSC twinning for cardinality -- 'projects active on day d' "
+      "(start_date <= d AND end_date >= d), SSC: duration in [0,30] d "
+      "(~90%)");
+
+  auto db = MakeWorkloadDb();
+  if (!RegisterProjectWindowSc(db.get()).ok()) std::abort();
+
+  TablePrinter table({"day d", "actual", "est indep.", "est twinned",
+                      "q-err indep.", "q-err twinned"});
+  double sum_q_base = 0, sum_q_twin = 0, max_q_base = 0, max_q_twin = 0;
+  int n = 0;
+  for (const char* day :
+       {"1999-03-01", "1999-06-15", "1999-10-01", "2000-02-01",
+        "2000-06-15", "2000-10-01"}) {
+    const std::string query = StrFormat(
+        "SELECT * FROM project WHERE start_date <= DATE '%s' "
+        "AND end_date >= DATE '%s'",
+        day, day);
+
+    db->options().use_twins_in_estimation = true;
+    db->plan_cache().Clear();
+    auto twinned = MustExecute(db.get(), query);
+    db->options().use_twins_in_estimation = false;
+    db->plan_cache().Clear();
+    auto baseline = MustExecute(db.get(), query);
+
+    const double actual = static_cast<double>(twinned.rows.NumRows());
+    const double q_base = QError(baseline.estimated_rows, actual);
+    const double q_twin = QError(twinned.estimated_rows, actual);
+    sum_q_base += q_base;
+    sum_q_twin += q_twin;
+    max_q_base = std::max(max_q_base, q_base);
+    max_q_twin = std::max(max_q_twin, q_twin);
+    ++n;
+    table.PrintRow({day, Fmt("%.0f", actual),
+                    Fmt("%.1f", baseline.estimated_rows),
+                    Fmt("%.1f", twinned.estimated_rows),
+                    Fmt("%.1f", q_base), Fmt("%.1f", q_twin)});
+  }
+  table.PrintRule();
+  table.PrintRow({"mean / max", "",
+                  Fmt("mean %.1f", sum_q_base / n),
+                  Fmt("mean %.1f", sum_q_twin / n),
+                  Fmt("max %.1f", max_q_base), Fmt("max %.1f", max_q_twin)});
+  table.PrintRule();
+
+  // Second shape: the twin must never hurt a query it cannot help.
+  Banner("E4b: twinning is bounded -- equality on ship_date (purchase)");
+  if (!RegisterShipWindowSc(db.get()).ok()) std::abort();
+  TablePrinter t2({"query", "actual", "est indep.", "est twinned"});
+  const std::string eq_query =
+      "SELECT * FROM purchase WHERE ship_date = DATE '1999-12-15'";
+  db->options().use_twins_in_estimation = true;
+  db->plan_cache().Clear();
+  auto tw = MustExecute(db.get(), eq_query);
+  db->options().use_twins_in_estimation = false;
+  db->plan_cache().Clear();
+  auto bs = MustExecute(db.get(), eq_query);
+  t2.PrintRow({"ship_date = d", FmtU(tw.rows.NumRows()),
+               Fmt("%.1f", bs.estimated_rows), Fmt("%.1f", tw.estimated_rows)});
+  t2.PrintRule();
+
+  // Third shape: §5's second example — "projects completed in 5 days" —
+  // estimated from the virtual-column statistics the offset SC keeps.
+  Banner(
+      "E4c: duration predicates via virtual-column stats "
+      "(end_date - start_date <= N)");
+  db->options().use_twins_in_estimation = true;
+  TablePrinter t3({"N (days)", "actual", "est default", "est virt-col",
+                   "q-err default", "q-err virt-col"});
+  for (int n : {3, 5, 10, 30, 60}) {
+    const std::string dur_query = StrFormat(
+        "SELECT * FROM project WHERE end_date - start_date <= %d", n);
+    db->plan_cache().Clear();
+    auto smart = MustExecute(db.get(), dur_query);
+    db->options().use_twins_in_estimation = false;
+    db->plan_cache().Clear();
+    auto plain = MustExecute(db.get(), dur_query);
+    db->options().use_twins_in_estimation = true;
+    const double actual = static_cast<double>(smart.rows.NumRows());
+    t3.PrintRow({FmtU(n), Fmt("%.0f", actual),
+                 Fmt("%.1f", plain.estimated_rows),
+                 Fmt("%.1f", smart.estimated_rows),
+                 Fmt("%.1f", QError(plain.estimated_rows, actual)),
+                 Fmt("%.1f", QError(smart.estimated_rows, actual))});
+  }
+  t3.PrintRule();
+  std::puts(
+      "shape check: independence overestimates the correlated-range query "
+      "by an order of magnitude; the twinned estimate lands within a small "
+      "factor of actual, never degrades the single-column case, and the "
+      "virtual-column histogram tracks duration predicates across N.");
+}
+
+void BM_E4_EstimateWithTwins(::benchmark::State& state) {
+  static auto db = [] {
+    auto d = MakeWorkloadDb();
+    if (!RegisterProjectWindowSc(d.get()).ok()) std::abort();
+    return d;
+  }();
+  db->options().use_twins_in_estimation = true;
+  for (auto _ : state) {
+    auto r = db->Explain(
+        "SELECT * FROM project WHERE start_date <= DATE '1999-10-01' "
+        "AND end_date >= DATE '1999-10-01'");
+    ::benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_E4_EstimateWithTwins);
+
+}  // namespace
+}  // namespace softdb::bench
+
+int main(int argc, char** argv) {
+  softdb::bench::PrintExperimentTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

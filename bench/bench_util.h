@@ -1,0 +1,99 @@
+#ifndef SOFTDB_BENCH_BENCH_UTIL_H_
+#define SOFTDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/softdb.h"
+#include "workload/generator.h"
+#include "workload/sc_kit.h"
+
+namespace softdb::bench {
+
+/// Standard experiment scale (large enough for stable page counts, small
+/// enough that every bench binary runs in seconds).
+inline WorkloadOptions StandardScale() {
+  WorkloadOptions options;
+  options.customers = 1000;
+  options.orders = 10000;
+  options.purchases = 20000;
+  options.parts = 2000;
+  options.projects = 5000;
+  options.sales_per_month = 500;
+  return options;
+}
+
+inline std::unique_ptr<SoftDb> MakeWorkloadDb(
+    const WorkloadOptions& options = StandardScale()) {
+  auto db = std::make_unique<SoftDb>();
+  Status st = GenerateWorkload(db.get(), options);
+  if (!st.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+  return db;
+}
+
+/// Executes and aborts on error (benches should fail loudly).
+inline QueryResult MustExecute(SoftDb* db, const std::string& sql) {
+  auto result = db->Execute(sql);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n  %s\n",
+                 result.status().ToString().c_str(), sql.c_str());
+    std::abort();
+  }
+  return *std::move(result);
+}
+
+/// Fixed-width table printer for the paper-style result tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::size_t col_width = 14)
+      : num_cols_(headers.size()), col_width_(col_width) {
+    PrintRule();
+    PrintRow(headers);
+    PrintRule();
+  }
+
+  void PrintRow(const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < num_cols_; ++i) {
+      std::string cell = i < cells.size() ? cells[i] : "";
+      if (cell.size() > col_width_) cell.resize(col_width_);
+      line += " " + cell + std::string(col_width_ - cell.size(), ' ') + " |";
+    }
+    std::puts(line.c_str());
+  }
+
+  void PrintRule() {
+    std::string line = "+";
+    for (std::size_t i = 0; i < num_cols_; ++i) {
+      line += std::string(col_width_ + 2, '-') + "+";
+    }
+    std::puts(line.c_str());
+  }
+
+ private:
+  std::size_t num_cols_;
+  std::size_t col_width_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+inline std::string FmtU(std::uint64_t v) { return std::to_string(v); }
+
+inline void Banner(const std::string& title) {
+  std::puts("");
+  std::puts(("=== " + title + " ===").c_str());
+}
+
+}  // namespace softdb::bench
+
+#endif  // SOFTDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,147 @@
+// Mining advisor: runs every discovery algorithm over the workload, scores
+// the candidates against a query profile, and registers the winners — the
+// full discovery → selection pipeline of §3.2 presented as the kind of
+// "advisor" tool the paper envisions sitting beside the optimizer.
+
+#include <cstdio>
+
+#include "constraints/column_offset_sc.h"
+#include "constraints/fd_sc.h"
+#include "constraints/join_hole_sc.h"
+#include "constraints/linear_correlation_sc.h"
+#include "engine/softdb.h"
+#include "mining/correlation_miner.h"
+#include "mining/fd_miner.h"
+#include "mining/hole_miner.h"
+#include "mining/offset_miner.h"
+#include "mining/selection.h"
+#include "workload/generator.h"
+#include "workload/sc_kit.h"
+
+using namespace softdb;
+
+int main() {
+  SoftDb db;
+  if (!GenerateWorkload(&db).ok()) return 1;
+
+  // The workload the advisor optimizes for.
+  WorkloadProfile profile;
+  profile.RecordPredicate("part", WorkloadColumns::kPartPrice, 120);
+  profile.RecordPredicate("purchase", WorkloadColumns::kPurchaseShipDate, 80);
+  profile.RecordPredicate("customer", WorkloadColumns::kCustomerRegion, 40);
+
+  std::printf("== discovery ==\n");
+
+  Table* part = *db.catalog().GetTable("part");
+  auto correlations = MineLinearCorrelations(*part);
+  std::printf("part: %zu linear correlation(s)\n", correlations.size());
+
+  Table* purchase = *db.catalog().GetTable("purchase");
+  auto offsets = MineColumnOffsets(*purchase);
+  std::printf("purchase: %zu offset bound(s)\n", offsets.size());
+
+  Table* customer = *db.catalog().GetTable("customer");
+  auto fds = MineFunctionalDependencies(*customer);
+  std::printf("customer: %zu functional dependenc(ies)\n", fds.size());
+
+  Table* orders = *db.catalog().GetTable("orders");
+  auto holes = MineJoinHoles(*orders, WorkloadColumns::kOrderCustomer,
+                             WorkloadColumns::kOrderPrice, *customer,
+                             WorkloadColumns::kCustomerKey,
+                             WorkloadColumns::kCustomerBalance);
+  if (!holes.ok()) return 1;
+  std::printf("orders x customer: %zu join hole(s) over %llu join pairs\n\n",
+              holes->holes.size(),
+              static_cast<unsigned long long>(holes->join_pairs));
+
+  std::printf("== selection ==\n");
+  int registered = 0;
+
+  auto corr_scored =
+      ScoreCorrelationCandidates(correlations, "part", profile, db.catalog());
+  for (const auto& pick : SelectTop(corr_scored, 1)) {
+    const auto& c = correlations[pick.index];
+    auto sc = std::make_unique<LinearCorrelationSc>(
+        "adv_corr", "part", c.col_a, c.col_b, c.k, c.c, c.epsilon_full);
+    if (db.scs().Add(std::move(sc), db.catalog()).ok()) {
+      std::printf("kept linear corr (utility %.1f): %s\n", pick.utility,
+                  db.scs().Find("adv_corr")->Describe().c_str());
+      ++registered;
+    }
+  }
+
+  auto offset_scored =
+      ScoreOffsetCandidates(offsets, "purchase", profile, db.catalog());
+  for (const auto& pick : SelectTop(offset_scored, 1)) {
+    const auto& c = offsets[pick.index];
+    auto sc = std::make_unique<ColumnOffsetSc>(
+        "adv_offset", "purchase", c.col_x, c.col_y, c.min_partial,
+        c.max_partial);
+    if (db.scs().Add(std::move(sc), db.catalog()).ok()) {
+      std::printf("kept offset bound (utility %.1f): %s\n", pick.utility,
+                  db.scs().Find("adv_offset")->Describe().c_str());
+      ++registered;
+    }
+  }
+
+  auto fd_scored = ScoreFdCandidates(fds, "customer", profile);
+  for (const auto& pick : SelectTop(fd_scored, 1)) {
+    const auto& c = fds[pick.index];
+    auto sc = std::make_unique<FunctionalDependencySc>(
+        "adv_fd", "customer", c.determinants,
+        std::vector<ColumnIdx>{c.dependent});
+    if (db.scs().Add(std::move(sc), db.catalog()).ok()) {
+      std::printf("kept FD (utility %.1f): %s\n", pick.utility,
+                  db.scs().Find("adv_fd")->Describe().c_str());
+      ++registered;
+    }
+  }
+
+  if (!holes->holes.empty()) {
+    auto sc = std::make_unique<JoinHoleSc>(
+        "adv_holes", "orders", WorkloadColumns::kOrderCustomer,
+        WorkloadColumns::kOrderPrice, "customer",
+        WorkloadColumns::kCustomerKey, WorkloadColumns::kCustomerBalance,
+        holes->holes);
+    if (db.scs().Add(std::move(sc), db.catalog()).ok()) {
+      std::printf("kept join holes: %s\n",
+                  db.scs().Find("adv_holes")->Describe().c_str());
+      ++registered;
+    }
+  }
+  std::printf("registered %d soft constraints\n\n", registered);
+
+  std::printf("== effect on the workload ==\n");
+  const char* queries[] = {
+      "SELECT * FROM part WHERE p_retailprice BETWEEN 900 AND 905",
+      "SELECT * FROM purchase WHERE ship_date = DATE '1999-08-01'",
+      "SELECT c_nationkey, c_regionkey, COUNT(*) AS n FROM customer "
+      "GROUP BY c_nationkey, c_regionkey",
+      // Well inside the planted hole (mined holes snap to grid cells, so
+      // stay clear of the exact edges).
+      "SELECT o_orderkey FROM orders JOIN customer ON o_custkey = c_custkey "
+      "WHERE o_totalprice BETWEEN 8500 AND 9500 AND c_acctbal "
+      "BETWEEN 500 AND 1500",
+  };
+  for (const char* sql : queries) {
+    auto r = db.Execute(sql);
+    if (!r.ok()) {
+      std::printf("query failed: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%zu rows, %llu pages", r->rows.NumRows(),
+                static_cast<unsigned long long>(r->exec_stats.pages_read));
+    for (const auto& rule : r->applied_rules) {
+      std::printf("  [%s]", rule.c_str());
+    }
+    std::printf("\n  %s\n", sql);
+  }
+
+  // Probation sweep (§3.2): SCs that never helped get dropped.
+  auto to_drop = ProbationSweep(db.scs(), /*min_uses_observed=*/1,
+                                /*min_total_benefit=*/0.5);
+  std::printf("\nprobation sweep would drop %zu unused SC(s)\n",
+              to_drop.size());
+  for (const auto& name : to_drop) std::printf("  - %s\n", name.c_str());
+  return 0;
+}

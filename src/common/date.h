@@ -1,0 +1,41 @@
+#ifndef SOFTDB_COMMON_DATE_H_
+#define SOFTDB_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace softdb {
+
+/// Calendar date utilities. Dates are represented engine-wide as int64 days
+/// since the Unix epoch (1970-01-01), so predicates like
+/// `ship_date <= order_date + 21` are plain integer comparisons — exactly
+/// the arithmetic the paper's shipment and project-duration examples rely
+/// on.
+class Date {
+ public:
+  /// Converts a proleptic Gregorian calendar date to days since epoch.
+  /// Valid for years 1600..9999.
+  static std::int64_t FromYmd(int year, int month, int day);
+
+  /// Parses "YYYY-MM-DD". Returns InvalidArgument on malformed input or
+  /// out-of-range fields.
+  static Result<std::int64_t> Parse(const std::string& text);
+
+  /// Formats days-since-epoch as "YYYY-MM-DD".
+  static std::string ToString(std::int64_t days);
+
+  /// Decomposes days-since-epoch into calendar fields.
+  static void ToYmd(std::int64_t days, int* year, int* month, int* day);
+
+  /// True when `year` is a Gregorian leap year.
+  static bool IsLeapYear(int year);
+
+  /// Number of days in `month` of `year` (month is 1-based).
+  static int DaysInMonth(int year, int month);
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_COMMON_DATE_H_

@@ -1,0 +1,77 @@
+#ifndef SOFTDB_COMMON_RESULT_H_
+#define SOFTDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace softdb {
+
+/// Either a value of type T or a non-OK Status, in the spirit of
+/// arrow::Result / absl::StatusOr. A Result is never constructed from an OK
+/// status without a value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` and `return status;` both work.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result must not be built from an OK status without a value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns OK when a value is held, otherwise the held error.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Value accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace softdb
+
+/// Evaluates `expr` (a Result<T>), propagating errors; on success assigns
+/// the value into `lhs`, which may be a declaration.
+#define SOFTDB_ASSIGN_OR_RETURN(lhs, expr)                    \
+  SOFTDB_ASSIGN_OR_RETURN_IMPL(                               \
+      SOFTDB_CONCAT_NAME(_softdb_result_, __LINE__), lhs, expr)
+
+#define SOFTDB_CONCAT_NAME_INNER(x, y) x##y
+#define SOFTDB_CONCAT_NAME(x, y) SOFTDB_CONCAT_NAME_INNER(x, y)
+
+#define SOFTDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#endif  // SOFTDB_COMMON_RESULT_H_

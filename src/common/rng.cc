@@ -1,0 +1,16 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace softdb {
+
+double Rng::NextGaussian(double mean, double stddev) {
+  // Box–Muller transform; u1 is kept away from zero to avoid log(0).
+  double u1 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace softdb

@@ -1,0 +1,61 @@
+#ifndef SOFTDB_COMMON_RNG_H_
+#define SOFTDB_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace softdb {
+
+/// Deterministic 64-bit RNG (xorshift128+). All workload generators and
+/// miners take an explicit Rng so every experiment, test and bench is
+/// reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5DEECE66DULL) {
+    s0_ = seed ? seed : 0x9E3779B97F4A7C15ULL;
+    s1_ = SplitMix(&s0_);
+    s0_ = SplitMix(&s1_);
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t Uniform(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Gaussian via Box–Muller (one value per call; simple and sufficient for
+  /// data generation).
+  double NextGaussian(double mean, double stddev);
+
+  /// Bernoulli(p).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static std::uint64_t SplitMix(std::uint64_t* state) {
+    std::uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_COMMON_RNG_H_

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace softdb {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kConstraintViolation:
+      return "constraint violation";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kBindError:
+      return "bind error";
+    case StatusCode::kTypeMismatch:
+      return "type mismatch";
+    case StatusCode::kNotImplemented:
+      return "not implemented";
+    case StatusCode::kInternal:
+      return "internal error";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace softdb

@@ -1,0 +1,98 @@
+#ifndef SOFTDB_COMMON_STATUS_H_
+#define SOFTDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace softdb {
+
+/// Error categories used across the engine. `kOk` signals success; every
+/// other code carries a human-readable message describing the failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kConstraintViolation,
+  kParseError,
+  kBindError,
+  kTypeMismatch,
+  kNotImplemented,
+  kInternal,
+  kOutOfRange,
+};
+
+/// Returns a stable, lowercase name for `code` (e.g. "constraint violation").
+const char* StatusCodeName(StatusCode code);
+
+/// Value-type error carrier, modeled on the Status idiom used by Arrow and
+/// RocksDB. Functions that can fail return `Status` (or `Result<T>`); the
+/// engine does not throw exceptions on its control paths.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace softdb
+
+/// Propagates a non-OK Status to the caller. Usable in any function that
+/// returns Status.
+#define SOFTDB_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::softdb::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#endif  // SOFTDB_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef SOFTDB_COMMON_STR_UTIL_H_
+#define SOFTDB_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace softdb {
+
+/// ASCII lowercase copy (SQL identifiers and keywords are case-insensitive).
+std::string ToLower(const std::string& s);
+
+/// ASCII uppercase copy.
+std::string ToUpper(const std::string& s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace softdb
+
+#endif  // SOFTDB_COMMON_STR_UTIL_H_

@@ -1,0 +1,21 @@
+#include "common/types.h"
+
+namespace softdb {
+
+const char* TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kInt64:
+      return "BIGINT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kString:
+      return "VARCHAR";
+    case TypeId::kDate:
+      return "DATE";
+    case TypeId::kBool:
+      return "BOOLEAN";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace softdb

@@ -1,0 +1,43 @@
+#ifndef SOFTDB_COMMON_TYPES_H_
+#define SOFTDB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace softdb {
+
+/// Row identifier within a table. Row ids are stable across updates but are
+/// recycled only by explicit compaction (which the engine never does behind
+/// the caller's back).
+using RowId = std::uint64_t;
+
+constexpr RowId kInvalidRowId = ~RowId{0};
+
+/// Column position within a schema.
+using ColumnIdx = std::uint32_t;
+
+/// Scalar types supported by the engine. Dates are stored as days since
+/// 1970-01-01 (see common/date.h) so range arithmetic on them is integer
+/// arithmetic, matching how the paper's date examples are evaluated.
+enum class TypeId : std::uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  kDate = 3,
+  kBool = 4,
+};
+
+/// Returns the SQL-ish name of a type ("BIGINT", "DOUBLE", ...).
+const char* TypeName(TypeId type);
+
+/// True for types with a total numeric order usable in histograms and range
+/// predicates (everything except kString, which orders lexicographically and
+/// is handled separately).
+inline bool IsNumericType(TypeId type) {
+  return type == TypeId::kInt64 || type == TypeId::kDouble ||
+         type == TypeId::kDate || type == TypeId::kBool;
+}
+
+}  // namespace softdb
+
+#endif  // SOFTDB_COMMON_TYPES_H_

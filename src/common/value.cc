@@ -1,0 +1,151 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "common/date.h"
+
+namespace softdb {
+
+namespace {
+
+bool IsIntLike(TypeId t) {
+  return t == TypeId::kInt64 || t == TypeId::kDate || t == TypeId::kBool;
+}
+
+bool SameFamily(TypeId a, TypeId b) {
+  if (a == b) return true;
+  const bool a_num = IsNumericType(a);
+  const bool b_num = IsNumericType(b);
+  return a_num && b_num;
+}
+
+}  // namespace
+
+double Value::NumericValue() const {
+  if (is_null_) return 0.0;
+  switch (type_) {
+    case TypeId::kDouble:
+      return std::get<double>(data_);
+    case TypeId::kString:
+      return 0.0;
+    default:
+      return static_cast<double>(std::get<std::int64_t>(data_));
+  }
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_null_ || other.is_null_) {
+    if (is_null_ && other.is_null_) return 0;
+    return is_null_ ? -1 : 1;
+  }
+  if (!SameFamily(type_, other.type_)) {
+    return Status::TypeMismatch(std::string("cannot compare ") +
+                                TypeName(type_) + " with " +
+                                TypeName(other.type_));
+  }
+  if (type_ == TypeId::kString) {
+    const auto& a = std::get<std::string>(data_);
+    const auto& b = std::get<std::string>(other.data_);
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (IsIntLike(type_) && IsIntLike(other.type_)) {
+    const std::int64_t a = std::get<std::int64_t>(data_);
+    const std::int64_t b = std::get<std::int64_t>(other.data_);
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  const double a = NumericValue();
+  const double b = other.NumericValue();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+bool Value::GroupEquals(const Value& other) const {
+  if (is_null_ || other.is_null_) return is_null_ && other.is_null_;
+  if (!SameFamily(type_, other.type_)) return false;
+  auto cmp = Compare(other);
+  return cmp.ok() && *cmp == 0;
+}
+
+std::size_t Value::Hash() const {
+  if (is_null_) return 0x9e3779b97f4a7c15ULL;
+  switch (type_) {
+    case TypeId::kString:
+      return std::hash<std::string>()(std::get<std::string>(data_));
+    case TypeId::kDouble: {
+      const double d = std::get<double>(data_);
+      // Hash integral doubles like their int64 counterparts so that mixed
+      // int/double group keys collide as GroupEquals says they should.
+      if (d == std::floor(d) && std::abs(d) < 9.0e18) {
+        return std::hash<std::int64_t>()(static_cast<std::int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    default:
+      return std::hash<std::int64_t>()(std::get<std::int64_t>(data_));
+  }
+}
+
+Result<Value> Value::CastTo(TypeId target) const {
+  if (is_null_) return Value::Null(target);
+  if (type_ == target) return *this;
+  if (type_ == TypeId::kString || target == TypeId::kString) {
+    return Status::TypeMismatch(std::string("cannot cast ") + TypeName(type_) +
+                                " to " + TypeName(target));
+  }
+  switch (target) {
+    case TypeId::kDouble:
+      return Value::Double(NumericValue());
+    case TypeId::kInt64:
+      if (type_ == TypeId::kDouble) {
+        return Value::Int64(static_cast<std::int64_t>(
+            std::llround(std::get<double>(data_))));
+      }
+      return Value::Int64(std::get<std::int64_t>(data_));
+    case TypeId::kDate:
+      if (type_ == TypeId::kDouble) {
+        return Value::Date(static_cast<std::int64_t>(
+            std::llround(std::get<double>(data_))));
+      }
+      return Value::Date(std::get<std::int64_t>(data_));
+    case TypeId::kBool:
+      return Value::Bool(NumericValue() != 0.0);
+    case TypeId::kString:
+      break;
+  }
+  return Status::TypeMismatch("unsupported cast");
+}
+
+std::string Value::ToString() const {
+  if (is_null_) return "NULL";
+  switch (type_) {
+    case TypeId::kInt64:
+      return std::to_string(std::get<std::int64_t>(data_));
+    case TypeId::kBool:
+      return std::get<std::int64_t>(data_) ? "TRUE" : "FALSE";
+    case TypeId::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(data_));
+      return buf;
+    }
+    case TypeId::kString:
+      return "'" + std::get<std::string>(data_) + "'";
+    case TypeId::kDate:
+      return "DATE '" + Date::ToString(std::get<std::int64_t>(data_)) + "'";
+  }
+  return "?";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return false;
+  auto cmp = a.Compare(b);
+  return cmp.ok() && *cmp == 0;
+}
+
+}  // namespace softdb

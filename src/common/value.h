@@ -1,0 +1,91 @@
+#ifndef SOFTDB_COMMON_VALUE_H_
+#define SOFTDB_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace softdb {
+
+/// A typed SQL scalar, including NULL. Values are small and freely
+/// copyable; strings are the only heap-owning variant.
+///
+/// Ordering follows SQL semantics for non-null values of the same type
+/// family; `Compare` reports an error on cross-family comparisons (e.g.
+/// string vs int) so that type errors surface during binding rather than
+/// silently at runtime.
+class Value {
+ public:
+  /// Constructs SQL NULL (with unknown type affinity).
+  Value() : type_(TypeId::kInt64), is_null_(true) {}
+
+  static Value Null(TypeId type = TypeId::kInt64) {
+    Value v;
+    v.type_ = type;
+    v.is_null_ = true;
+    return v;
+  }
+  static Value Int64(std::int64_t v) { return Value(TypeId::kInt64, v); }
+  static Value Double(double v) { return Value(TypeId::kDouble, v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+  static Value Date(std::int64_t days) { return Value(TypeId::kDate, days); }
+  static Value Bool(bool v) {
+    return Value(TypeId::kBool, static_cast<std::int64_t>(v));
+  }
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return is_null_; }
+
+  /// Typed accessors; callers must check type()/is_null() first.
+  std::int64_t AsInt64() const { return std::get<std::int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  bool AsBool() const { return std::get<std::int64_t>(data_) != 0; }
+
+  /// Numeric view of any non-string value (int64, date and bool widen to
+  /// double). Used by the estimator and histogram code.
+  double NumericValue() const;
+
+  /// Three-way comparison. Returns <0, 0, >0. NULLs compare before
+  /// everything (consistent ordering for sorting; predicate evaluation
+  /// treats NULL comparisons as unknown separately). Errors on incompatible
+  /// type families.
+  Result<int> Compare(const Value& other) const;
+
+  /// Equality as used by hash joins and grouping: NULL equals NULL here
+  /// (group-by semantics). Cross-family comparisons are simply unequal.
+  bool GroupEquals(const Value& other) const;
+
+  /// Hash compatible with GroupEquals.
+  std::size_t Hash() const;
+
+  /// Coerces this value to `target` (int<->double<->date widening, string
+  /// passthrough). Errors if the conversion is lossy in kind (e.g. string to
+  /// int).
+  Result<Value> CastTo(TypeId target) const;
+
+  /// SQL-literal-ish rendering ("NULL", "42", "3.14", "'abc'",
+  /// "DATE '1999-12-15'").
+  std::string ToString() const;
+
+ private:
+  Value(TypeId type, std::int64_t v) : type_(type), is_null_(false), data_(v) {}
+  Value(TypeId type, double v) : type_(type), is_null_(false), data_(v) {}
+  explicit Value(std::string v)
+      : type_(TypeId::kString), is_null_(false), data_(std::move(v)) {}
+
+  TypeId type_;
+  bool is_null_;
+  std::variant<std::int64_t, double, std::string> data_;
+};
+
+/// True when both values are non-null, same family, and equal.
+bool operator==(const Value& a, const Value& b);
+inline bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+}  // namespace softdb
+
+#endif  // SOFTDB_COMMON_VALUE_H_

@@ -1,0 +1,178 @@
+#include "constraints/column_offset_sc.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+namespace {
+
+Value ShiftValue(const Value& v, std::int64_t delta) {
+  if (v.type() == TypeId::kDouble) {
+    return Value::Double(v.AsDouble() + static_cast<double>(delta));
+  }
+  if (v.type() == TypeId::kDate) return Value::Date(v.AsInt64() + delta);
+  return Value::Int64(v.AsInt64() + delta);
+}
+
+}  // namespace
+
+std::vector<SimplePredicate> ColumnOffsetSc::DerivePredicates(
+    const SimplePredicate& pred) const {
+  std::vector<SimplePredicate> out;
+  if (pred.constant.is_null()) return out;
+  // Invariant: x + min <= y <= x + max for compliant rows.
+  if (pred.column == col_y_) {
+    switch (pred.op) {
+      case CompareOp::kEq:
+        // y = c  =>  c - max <= x <= c - min.
+        out.push_back({col_x_, CompareOp::kGe,
+                       ShiftValue(pred.constant, -max_offset_)});
+        out.push_back({col_x_, CompareOp::kLe,
+                       ShiftValue(pred.constant, -min_offset_)});
+        break;
+      case CompareOp::kGe:
+      case CompareOp::kGt:
+        // y >= c  =>  x >= c - max.
+        out.push_back({col_x_, pred.op,
+                       ShiftValue(pred.constant, -max_offset_)});
+        break;
+      case CompareOp::kLe:
+      case CompareOp::kLt:
+        // y <= c  =>  x <= c - min.
+        out.push_back({col_x_, pred.op,
+                       ShiftValue(pred.constant, -min_offset_)});
+        break;
+      case CompareOp::kNe:
+        break;
+    }
+    return out;
+  }
+  if (pred.column == col_x_) {
+    switch (pred.op) {
+      case CompareOp::kEq:
+        // x = c  =>  c + min <= y <= c + max.
+        out.push_back({col_y_, CompareOp::kGe,
+                       ShiftValue(pred.constant, min_offset_)});
+        out.push_back({col_y_, CompareOp::kLe,
+                       ShiftValue(pred.constant, max_offset_)});
+        break;
+      case CompareOp::kGe:
+      case CompareOp::kGt:
+        // x >= c  =>  y >= c + min.
+        out.push_back({col_y_, pred.op,
+                       ShiftValue(pred.constant, min_offset_)});
+        break;
+      case CompareOp::kLe:
+      case CompareOp::kLt:
+        // x <= c  =>  y <= c + max.
+        out.push_back({col_y_, pred.op,
+                       ShiftValue(pred.constant, max_offset_)});
+        break;
+      case CompareOp::kNe:
+        break;
+    }
+  }
+  return out;
+}
+
+Result<bool> ColumnOffsetSc::CheckRow(const Catalog&,
+                                      const std::vector<Value>& row) const {
+  const Value& x = row[col_x_];
+  const Value& y = row[col_y_];
+  if (x.is_null() || y.is_null()) return true;
+  const double diff = y.NumericValue() - x.NumericValue();
+  return diff >= static_cast<double>(min_offset_) &&
+         diff <= static_cast<double>(max_offset_);
+}
+
+Status ColumnOffsetSc::RepairForRow(const std::vector<Value>& row) {
+  const Value& x = row[col_x_];
+  const Value& y = row[col_y_];
+  if (x.is_null() || y.is_null()) return Status::OK();
+  const std::int64_t diff = static_cast<std::int64_t>(
+      y.NumericValue() - x.NumericValue());
+  min_offset_ = std::min(min_offset_, diff);
+  max_offset_ = std::max(max_offset_, diff);
+  return Status::OK();
+}
+
+Status ColumnOffsetSc::RepairFull(const Catalog& catalog) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog.GetTable(table_));
+  const ColumnVector& xs = table->ColumnData(col_x_);
+  const ColumnVector& ys = table->ColumnData(col_y_);
+  bool any = false;
+  std::int64_t lo = 0, hi = 0;
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r) || xs.IsNull(r) || ys.IsNull(r)) continue;
+    const std::int64_t diff =
+        static_cast<std::int64_t>(ys.GetNumeric(r) - xs.GetNumeric(r));
+    if (!any) {
+      lo = hi = diff;
+      any = true;
+    } else {
+      lo = std::min(lo, diff);
+      hi = std::max(hi, diff);
+    }
+  }
+  if (any) {
+    min_offset_ = lo;
+    max_offset_ = hi;
+  }
+  return Verify(catalog).status();
+}
+
+Result<ScVerifyOutcome> ColumnOffsetSc::CountViolations(
+    const Catalog& catalog) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog.GetTable(table_));
+  const ColumnVector& xs = table->ColumnData(col_x_);
+  const ColumnVector& ys = table->ColumnData(col_y_);
+  ScVerifyOutcome out;
+  std::vector<double> diffs;
+  diffs.reserve(table->NumRows());
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r)) continue;
+    ++out.rows;
+    if (xs.IsNull(r) || ys.IsNull(r)) continue;
+    const double diff = ys.GetNumeric(r) - xs.GetNumeric(r);
+    diffs.push_back(diff);
+    if (diff < static_cast<double>(min_offset_) ||
+        diff > static_cast<double>(max_offset_)) {
+      ++out.violations;
+    }
+  }
+  // Verification doubles as runstats on the virtual difference column.
+  duration_histogram_ = EquiDepthHistogram::Build(std::move(diffs), 32);
+  return out;
+}
+
+std::optional<double> ColumnOffsetSc::DurationSelectivity(CompareOp op,
+                                                          double c) const {
+  if (duration_histogram_.empty()) return std::nullopt;
+  switch (op) {
+    case CompareOp::kLe:
+      return duration_histogram_.SelectivityLessEq(c);
+    case CompareOp::kLt:
+      return duration_histogram_.SelectivityLess(c);
+    case CompareOp::kGe:
+      return 1.0 - duration_histogram_.SelectivityLess(c);
+    case CompareOp::kGt:
+      return 1.0 - duration_histogram_.SelectivityLessEq(c);
+    case CompareOp::kEq:
+      return duration_histogram_.SelectivityEq(c);
+    case CompareOp::kNe:
+      return 1.0 - duration_histogram_.SelectivityEq(c);
+  }
+  return std::nullopt;
+}
+
+std::string ColumnOffsetSc::Describe() const {
+  return StrFormat(
+      "SC %s ON %s: col%u - col%u BETWEEN %lld AND %lld (conf %.4f, %s)",
+      name_.c_str(), table_.c_str(), col_y_, col_x_,
+      static_cast<long long>(min_offset_), static_cast<long long>(max_offset_),
+      confidence_, ScStateName(state_));
+}
+
+}  // namespace softdb

@@ -1,0 +1,83 @@
+#ifndef SOFTDB_CONSTRAINTS_COLUMN_OFFSET_SC_H_
+#define SOFTDB_CONSTRAINTS_COLUMN_OFFSET_SC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constraints/soft_constraint.h"
+#include "plan/predicate.h"
+#include "stats/histogram.h"
+
+namespace softdb {
+
+/// Inter-column offset bound `col_y - col_x BETWEEN min_offset AND
+/// max_offset` on one table. This is the shape behind both worked examples
+/// of the paper:
+///
+/// * `ship_date BETWEEN order_date AND order_date + 21` (§4.4's
+///   late_shipments business rule, offsets [0, 21] days), and
+/// * `end_date <= start_date + 30` (§5's project query, offsets [0, 30]).
+///
+/// It powers §5.1's *twinning*: a query predicate on `y` implies a
+/// predicate on `x` (and vice versa), which the optimizer attaches as an
+/// estimation-only twin with this SC's confidence — or, when the SC is
+/// absolute, as a real introduced predicate enabling an index on the other
+/// column.
+class ColumnOffsetSc final : public SoftConstraint {
+ public:
+  ColumnOffsetSc(std::string name, std::string table, ColumnIdx col_x,
+                 ColumnIdx col_y, std::int64_t min_offset,
+                 std::int64_t max_offset)
+      : SoftConstraint(std::move(name), ScKind::kColumnOffset,
+                       std::move(table)),
+        col_x_(col_x), col_y_(col_y), min_offset_(min_offset),
+        max_offset_(max_offset) {}
+
+  ColumnIdx col_x() const { return col_x_; }
+  ColumnIdx col_y() const { return col_y_; }
+  std::int64_t min_offset() const { return min_offset_; }
+  std::int64_t max_offset() const { return max_offset_; }
+
+  /// Derives the implied predicate(s) on the *other* column from a simple
+  /// predicate on `pred.column` (which must be col_x or col_y, as indexes
+  /// of this SC's table schema). Empty when the operator gives no
+  /// implication (e.g. <>).
+  std::vector<SimplePredicate> DerivePredicates(
+      const SimplePredicate& pred) const;
+
+  /// Distribution statistics on the *virtual column* `col_y - col_x`,
+  /// refreshed by Verify. This is §5.1's second mechanism ("combine
+  /// multiple SSCs in virtual columns where the distribution statistics on
+  /// the virtual column can be broken down"): the estimator uses it
+  /// directly for predicates over the difference, such as §5's "projects
+  /// completed in 5 days" (`end_date - start_date <= 5`).
+  const EquiDepthHistogram& duration_histogram() const {
+    return duration_histogram_;
+  }
+
+  /// Selectivity of `(col_y - col_x) <op> c` from the duration histogram.
+  /// Returns nullopt before the first Verify.
+  std::optional<double> DurationSelectivity(CompareOp op, double c) const;
+
+  Result<bool> CheckRow(const Catalog& catalog,
+                        const std::vector<Value>& row) const override;
+  Status RepairForRow(const std::vector<Value>& row) override;
+  Status RepairFull(const Catalog& catalog) override;
+  std::string Describe() const override;
+
+ protected:
+  Result<ScVerifyOutcome> CountViolations(
+      const Catalog& catalog) override;
+
+ private:
+  ColumnIdx col_x_;
+  ColumnIdx col_y_;
+  std::int64_t min_offset_;
+  std::int64_t max_offset_;
+  EquiDepthHistogram duration_histogram_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_CONSTRAINTS_COLUMN_OFFSET_SC_H_

@@ -1,0 +1,104 @@
+#include "constraints/domain_sc.h"
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+DomainSc::Implication DomainSc::Classify(const SimplePredicate& pred) const {
+  if (pred.column != column_ || pred.constant.is_null()) {
+    return Implication::kNone;
+  }
+  const double c = pred.constant.NumericValue();
+  const double lo = min_.NumericValue();
+  const double hi = max_.NumericValue();
+  switch (pred.op) {
+    case CompareOp::kLe:
+      if (c >= hi) return Implication::kTautology;
+      if (c < lo) return Implication::kContradiction;
+      return Implication::kNone;
+    case CompareOp::kLt:
+      if (c > hi) return Implication::kTautology;
+      if (c <= lo) return Implication::kContradiction;
+      return Implication::kNone;
+    case CompareOp::kGe:
+      if (c <= lo) return Implication::kTautology;
+      if (c > hi) return Implication::kContradiction;
+      return Implication::kNone;
+    case CompareOp::kGt:
+      if (c < lo) return Implication::kTautology;
+      if (c >= hi) return Implication::kContradiction;
+      return Implication::kNone;
+    case CompareOp::kEq:
+      if (c < lo || c > hi) return Implication::kContradiction;
+      return Implication::kNone;
+    case CompareOp::kNe:
+      if (c < lo || c > hi) return Implication::kTautology;
+      return Implication::kNone;
+  }
+  return Implication::kNone;
+}
+
+Result<bool> DomainSc::CheckRow(const Catalog&,
+                                const std::vector<Value>& row) const {
+  const Value& v = row[column_];
+  if (v.is_null()) return true;
+  const double x = v.NumericValue();
+  return x >= min_.NumericValue() && x <= max_.NumericValue();
+}
+
+Status DomainSc::RepairForRow(const std::vector<Value>& row) {
+  const Value& v = row[column_];
+  if (v.is_null()) return Status::OK();
+  auto lt = v.Compare(min_);
+  if (lt.ok() && *lt < 0) min_ = v;
+  auto gt = v.Compare(max_);
+  if (gt.ok() && *gt > 0) max_ = v;
+  return Status::OK();
+}
+
+Status DomainSc::RepairFull(const Catalog& catalog) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog.GetTable(table_));
+  const ColumnVector& col = table->ColumnData(column_);
+  bool any = false;
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r) || col.IsNull(r)) continue;
+    Value v = col.Get(r);
+    if (!any) {
+      min_ = v;
+      max_ = v;
+      any = true;
+      continue;
+    }
+    auto lt = v.Compare(min_);
+    if (lt.ok() && *lt < 0) min_ = v;
+    auto gt = v.Compare(max_);
+    if (gt.ok() && *gt > 0) max_ = v;
+  }
+  return Verify(catalog).status();
+}
+
+Result<ScVerifyOutcome> DomainSc::CountViolations(
+    const Catalog& catalog) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog.GetTable(table_));
+  const ColumnVector& col = table->ColumnData(column_);
+  ScVerifyOutcome out;
+  const double lo = min_.NumericValue();
+  const double hi = max_.NumericValue();
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r)) continue;
+    ++out.rows;
+    if (col.IsNull(r)) continue;
+    const double x = col.GetNumeric(r);
+    if (x < lo || x > hi) ++out.violations;
+  }
+  return out;
+}
+
+std::string DomainSc::Describe() const {
+  return StrFormat("SC %s ON %s: col%u BETWEEN %s AND %s (conf %.4f, %s)",
+                   name_.c_str(), table_.c_str(), column_,
+                   min_.ToString().c_str(), max_.ToString().c_str(),
+                   confidence_, ScStateName(state_));
+}
+
+}  // namespace softdb

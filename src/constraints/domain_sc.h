@@ -1,0 +1,53 @@
+#ifndef SOFTDB_CONSTRAINTS_DOMAIN_SC_H_
+#define SOFTDB_CONSTRAINTS_DOMAIN_SC_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/soft_constraint.h"
+#include "plan/predicate.h"
+
+namespace softdb {
+
+/// Min/max domain bound on one column — the Sybase-style "SC" §2 cites:
+/// maintained max and min information usable to abbreviate range conditions
+/// (a predicate weaker than the domain is a tautology; one outside it is a
+/// contradiction).
+class DomainSc final : public SoftConstraint {
+ public:
+  DomainSc(std::string name, std::string table, ColumnIdx column, Value min,
+           Value max)
+      : SoftConstraint(std::move(name), ScKind::kDomain, std::move(table)),
+        column_(column), min_(std::move(min)), max_(std::move(max)) {}
+
+  ColumnIdx column() const { return column_; }
+  const Value& min_value() const { return min_; }
+  const Value& max_value() const { return max_; }
+
+  /// Classification of a simple predicate against the domain.
+  enum class Implication {
+    kNone,        // Domain says nothing decisive.
+    kTautology,   // Every in-domain value satisfies it: predicate droppable.
+    kContradiction,  // No in-domain value satisfies it: result empty.
+  };
+  Implication Classify(const SimplePredicate& pred) const;
+
+  Result<bool> CheckRow(const Catalog& catalog,
+                        const std::vector<Value>& row) const override;
+  Status RepairForRow(const std::vector<Value>& row) override;
+  Status RepairFull(const Catalog& catalog) override;
+  std::string Describe() const override;
+
+ protected:
+  Result<ScVerifyOutcome> CountViolations(
+      const Catalog& catalog) override;
+
+ private:
+  ColumnIdx column_;
+  Value min_;
+  Value max_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_CONSTRAINTS_DOMAIN_SC_H_

@@ -1,0 +1,84 @@
+#include "constraints/fd_sc.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+bool FunctionalDependencySc::Determines(
+    const std::vector<ColumnIdx>& available, ColumnIdx column) const {
+  if (std::find(dependents_.begin(), dependents_.end(), column) ==
+      dependents_.end()) {
+    return false;
+  }
+  return std::all_of(determinants_.begin(), determinants_.end(),
+                     [&](ColumnIdx d) {
+                       return std::find(available.begin(), available.end(),
+                                        d) != available.end();
+                     });
+}
+
+std::string FunctionalDependencySc::DetImage(
+    const std::vector<Value>& row) const {
+  std::string image;
+  for (ColumnIdx c : determinants_) {
+    image += row[c].ToString();
+    image += '\x1f';
+  }
+  return image;
+}
+
+std::string FunctionalDependencySc::DepImage(
+    const std::vector<Value>& row) const {
+  std::string image;
+  for (ColumnIdx c : dependents_) {
+    image += row[c].ToString();
+    image += '\x1f';
+  }
+  return image;
+}
+
+Result<bool> FunctionalDependencySc::CheckRow(
+    const Catalog& catalog, const std::vector<Value>& row) const {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog.GetTable(table_));
+  if (mapping_version_ != table->version()) {
+    // (Re)build the determinant -> dependent map from current data.
+    mapping_.clear();
+    for (RowId r = 0; r < table->NumSlots(); ++r) {
+      if (!table->IsLive(r)) continue;
+      std::vector<Value> existing = table->GetRow(r);
+      mapping_.emplace(DetImage(existing), DepImage(existing));
+    }
+    mapping_version_ = table->version();
+  }
+  auto it = mapping_.find(DetImage(row));
+  if (it == mapping_.end()) return true;
+  return it->second == DepImage(row);
+}
+
+Result<ScVerifyOutcome> FunctionalDependencySc::CountViolations(
+    const Catalog& catalog) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog.GetTable(table_));
+  std::unordered_map<std::string, std::string> seen;
+  ScVerifyOutcome out;
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r)) continue;
+    ++out.rows;
+    std::vector<Value> row = table->GetRow(r);
+    auto [it, inserted] = seen.emplace(DetImage(row), DepImage(row));
+    if (!inserted && it->second != DepImage(row)) ++out.violations;
+  }
+  return out;
+}
+
+std::string FunctionalDependencySc::Describe() const {
+  std::vector<std::string> det, dep;
+  for (ColumnIdx c : determinants_) det.push_back(StrFormat("col%u", c));
+  for (ColumnIdx c : dependents_) dep.push_back(StrFormat("col%u", c));
+  return StrFormat("SC %s ON %s: {%s} -> {%s} (conf %.4f, %s)", name_.c_str(),
+                   table_.c_str(), Join(det, ",").c_str(),
+                   Join(dep, ",").c_str(), confidence_, ScStateName(state_));
+}
+
+}  // namespace softdb

@@ -1,0 +1,56 @@
+#ifndef SOFTDB_CONSTRAINTS_FD_SC_H_
+#define SOFTDB_CONSTRAINTS_FD_SC_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "constraints/soft_constraint.h"
+
+namespace softdb {
+
+/// Functional dependency `determinants -> dependents` held as a soft
+/// constraint ([29], §2): beyond declared keys, FDs in denormalized tables
+/// let the optimizer prune functionally determined columns from GROUP BY
+/// and ORDER BY clauses, shrinking or eliminating sorts. Only absolute FD
+/// SCs are used for rewrite (the pruning must be semantics-preserving).
+class FunctionalDependencySc final : public SoftConstraint {
+ public:
+  FunctionalDependencySc(std::string name, std::string table,
+                         std::vector<ColumnIdx> determinants,
+                         std::vector<ColumnIdx> dependents)
+      : SoftConstraint(std::move(name), ScKind::kFunctionalDependency,
+                       std::move(table)),
+        determinants_(std::move(determinants)),
+        dependents_(std::move(dependents)) {}
+
+  const std::vector<ColumnIdx>& determinants() const { return determinants_; }
+  const std::vector<ColumnIdx>& dependents() const { return dependents_; }
+
+  /// True when `column` is functionally determined by `available`:
+  /// determinants ⊆ available and column ∈ dependents.
+  bool Determines(const std::vector<ColumnIdx>& available,
+                  ColumnIdx column) const;
+
+  Result<bool> CheckRow(const Catalog& catalog,
+                        const std::vector<Value>& row) const override;
+  std::string Describe() const override;
+
+ protected:
+  Result<ScVerifyOutcome> CountViolations(
+      const Catalog& catalog) override;
+
+ private:
+  std::string DetImage(const std::vector<Value>& row) const;
+  std::string DepImage(const std::vector<Value>& row) const;
+
+  std::vector<ColumnIdx> determinants_;
+  std::vector<ColumnIdx> dependents_;
+  // Row-check cache built lazily at first CheckRow after a Verify.
+  mutable std::unordered_map<std::string, std::string> mapping_;
+  mutable std::uint64_t mapping_version_ = ~std::uint64_t{0};
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_CONSTRAINTS_FD_SC_H_

@@ -1,0 +1,74 @@
+#include "constraints/inclusion_sc.h"
+
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+namespace {
+
+std::string KeyImage(const std::vector<Value>& row,
+                     const std::vector<ColumnIdx>& cols) {
+  std::string image;
+  for (ColumnIdx c : cols) {
+    image += row[c].ToString();
+    image += '\x1f';
+  }
+  return image;
+}
+
+std::unordered_set<std::string> ParentKeys(
+    const Table& parent, const std::vector<ColumnIdx>& cols) {
+  std::unordered_set<std::string> keys;
+  for (RowId r = 0; r < parent.NumSlots(); ++r) {
+    if (!parent.IsLive(r)) continue;
+    keys.insert(KeyImage(parent.GetRow(r), cols));
+  }
+  return keys;
+}
+
+}  // namespace
+
+Result<bool> InclusionSc::CheckRow(const Catalog& catalog,
+                                   const std::vector<Value>& row) const {
+  for (ColumnIdx c : child_columns_) {
+    if (row[c].is_null()) return true;
+  }
+  SOFTDB_ASSIGN_OR_RETURN(Table * parent, catalog.GetTable(parent_table_));
+  const std::string key = KeyImage(row, child_columns_);
+  // Linear parent probe; the registry caches nothing here because inclusion
+  // SCs are typically maintained asynchronously (the cheap path).
+  for (RowId r = 0; r < parent->NumSlots(); ++r) {
+    if (!parent->IsLive(r)) continue;
+    if (KeyImage(parent->GetRow(r), parent_columns_) == key) return true;
+  }
+  return false;
+}
+
+Result<ScVerifyOutcome> InclusionSc::CountViolations(
+    const Catalog& catalog) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * child, catalog.GetTable(table_));
+  SOFTDB_ASSIGN_OR_RETURN(Table * parent, catalog.GetTable(parent_table_));
+  const std::unordered_set<std::string> keys =
+      ParentKeys(*parent, parent_columns_);
+  ScVerifyOutcome out;
+  for (RowId r = 0; r < child->NumSlots(); ++r) {
+    if (!child->IsLive(r)) continue;
+    ++out.rows;
+    std::vector<Value> row = child->GetRow(r);
+    bool has_null = false;
+    for (ColumnIdx c : child_columns_) has_null = has_null || row[c].is_null();
+    if (has_null) continue;
+    if (!keys.count(KeyImage(row, child_columns_))) ++out.violations;
+  }
+  return out;
+}
+
+std::string InclusionSc::Describe() const {
+  return StrFormat("SC %s: %s ⊆ %s (conf %.4f, %s)", name_.c_str(),
+                   table_.c_str(), parent_table_.c_str(), confidence_,
+                   ScStateName(state_));
+}
+
+}  // namespace softdb

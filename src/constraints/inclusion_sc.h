@@ -1,0 +1,54 @@
+#ifndef SOFTDB_CONSTRAINTS_INCLUSION_SC_H_
+#define SOFTDB_CONSTRAINTS_INCLUSION_SC_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/soft_constraint.h"
+
+namespace softdb {
+
+/// Inclusion dependency `child(cols) ⊆ parent(cols)` held softly: the
+/// referential-integrity shape that join elimination [6] needs, for
+/// databases where the FK was never declared as an IC (§2: "in
+/// environments where such ICs do characterize the data but are not
+/// defined as ICs, these techniques cannot work ... any facility to
+/// discover referential integrity and maintain it as SCs would enable
+/// these optimization techniques").
+class InclusionSc final : public SoftConstraint {
+ public:
+  InclusionSc(std::string name, std::string child_table,
+              std::vector<ColumnIdx> child_columns, std::string parent_table,
+              std::vector<ColumnIdx> parent_columns)
+      : SoftConstraint(std::move(name), ScKind::kInclusion,
+                       std::move(child_table)),
+        child_columns_(std::move(child_columns)),
+        parent_table_(std::move(parent_table)),
+        parent_columns_(std::move(parent_columns)) {}
+
+  const std::string& child_table() const { return table_; }
+  const std::vector<ColumnIdx>& child_columns() const {
+    return child_columns_;
+  }
+  const std::string& parent_table() const { return parent_table_; }
+  const std::vector<ColumnIdx>& parent_columns() const {
+    return parent_columns_;
+  }
+
+  Result<bool> CheckRow(const Catalog& catalog,
+                        const std::vector<Value>& row) const override;
+  std::string Describe() const override;
+
+ protected:
+  Result<ScVerifyOutcome> CountViolations(
+      const Catalog& catalog) override;
+
+ private:
+  std::vector<ColumnIdx> child_columns_;
+  std::string parent_table_;
+  std::vector<ColumnIdx> parent_columns_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_CONSTRAINTS_INCLUSION_SC_H_

@@ -1,0 +1,220 @@
+#include "constraints/integrity.h"
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+// ------------------------------------------------------------------- Unique
+
+UniqueConstraint::UniqueConstraint(std::string name, std::string table,
+                                   std::vector<ColumnIdx> columns,
+                                   bool is_primary, ConstraintMode mode)
+    : IntegrityConstraint(std::move(name), std::move(table), IcKind::kUnique,
+                          mode),
+      columns_(std::move(columns)), is_primary_(is_primary) {}
+
+std::string UniqueConstraint::KeyImage(const std::vector<Value>& row) const {
+  std::string image;
+  for (ColumnIdx c : columns_) {
+    image += row[c].ToString();
+    image += '\x1f';
+  }
+  return image;
+}
+
+std::string UniqueConstraint::KeyImageOf(
+    const std::vector<Value>& key_values) {
+  std::string image;
+  for (const Value& v : key_values) {
+    image += v.ToString();
+    image += '\x1f';
+  }
+  return image;
+}
+
+Status UniqueConstraint::Rebuild(const Catalog& catalog) {
+  keys_.clear();
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog.GetTable(table_));
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r)) continue;
+    keys_.insert(KeyImage(table->GetRow(r)));
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+Status UniqueConstraint::CheckRow(const Catalog& catalog,
+                                  const std::vector<Value>& row) {
+  if (!built_) SOFTDB_RETURN_IF_ERROR(Rebuild(catalog));
+  // NULL key components never conflict (SQL UNIQUE semantics), but primary
+  // keys reject NULLs outright.
+  for (ColumnIdx c : columns_) {
+    if (row[c].is_null()) {
+      if (is_primary_) {
+        return Status::ConstraintViolation("NULL in primary key column of " +
+                                           table_);
+      }
+      return Status::OK();
+    }
+  }
+  if (keys_.count(KeyImage(row))) {
+    return Status::ConstraintViolation(
+        StrFormat("duplicate key for constraint %s on %s", name_.c_str(),
+                  table_.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<std::uint64_t> UniqueConstraint::Validate(const Catalog& catalog) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog.GetTable(table_));
+  std::unordered_set<std::string> seen;
+  std::uint64_t violations = 0;
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r)) continue;
+    std::vector<Value> row = table->GetRow(r);
+    bool has_null = false;
+    for (ColumnIdx c : columns_) has_null = has_null || row[c].is_null();
+    if (has_null) {
+      if (is_primary_) ++violations;
+      continue;
+    }
+    if (!seen.insert(KeyImage(row)).second) ++violations;
+  }
+  return violations;
+}
+
+void UniqueConstraint::AfterInsert(const std::vector<Value>& row) {
+  if (!built_) return;
+  for (ColumnIdx c : columns_) {
+    if (row[c].is_null()) return;
+  }
+  keys_.insert(KeyImage(row));
+}
+
+void UniqueConstraint::AfterDelete(const std::vector<Value>& row) {
+  if (!built_) return;
+  keys_.erase(KeyImage(row));
+}
+
+std::string UniqueConstraint::ToString() const {
+  return StrFormat("%s %s ON %s (%zu cols)%s", is_primary_ ? "PRIMARY KEY"
+                                                           : "UNIQUE",
+                   name_.c_str(), table_.c_str(), columns_.size(),
+                   informational() ? " [informational]" : "");
+}
+
+// -------------------------------------------------------------------- Check
+
+CheckConstraint::CheckConstraint(std::string name, std::string table,
+                                 ExprPtr expr, ConstraintMode mode)
+    : IntegrityConstraint(std::move(name), std::move(table), IcKind::kCheck,
+                          mode),
+      expr_(std::move(expr)) {}
+
+Status CheckConstraint::CheckRow(const Catalog&,
+                                 const std::vector<Value>& row) {
+  SOFTDB_ASSIGN_OR_RETURN(Value v, expr_->Eval(row));
+  // SQL CHECK admits NULL (unknown) results.
+  if (!v.is_null() && !v.AsBool()) {
+    return Status::ConstraintViolation("CHECK " + name_ + " violated: " +
+                                       expr_->ToString());
+  }
+  return Status::OK();
+}
+
+Result<std::uint64_t> CheckConstraint::Validate(const Catalog& catalog) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog.GetTable(table_));
+  std::uint64_t violations = 0;
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r)) continue;
+    SOFTDB_ASSIGN_OR_RETURN(Value v, expr_->Eval(table->GetRow(r)));
+    if (!v.is_null() && !v.AsBool()) ++violations;
+  }
+  return violations;
+}
+
+std::string CheckConstraint::ToString() const {
+  return StrFormat("CHECK %s ON %s (%s)%s", name_.c_str(), table_.c_str(),
+                   expr_->ToString().c_str(),
+                   informational() ? " [informational]" : "");
+}
+
+// --------------------------------------------------------------- ForeignKey
+
+ForeignKeyConstraint::ForeignKeyConstraint(std::string name, std::string table,
+                                           std::vector<ColumnIdx> columns,
+                                           std::string parent,
+                                           std::vector<ColumnIdx> parent_columns,
+                                           ConstraintMode mode)
+    : IntegrityConstraint(std::move(name), std::move(table),
+                          IcKind::kForeignKey, mode),
+      columns_(std::move(columns)), parent_(std::move(parent)),
+      parent_columns_(std::move(parent_columns)) {}
+
+bool ForeignKeyConstraint::ParentHas(
+    const Catalog& catalog, const std::vector<Value>& key_values) const {
+  if (parent_key_ != nullptr) {
+    return parent_key_->ContainsKey(UniqueConstraint::KeyImageOf(key_values));
+  }
+  auto parent = catalog.GetTable(parent_);
+  if (!parent.ok()) return false;
+  const Table* table = *parent;
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r)) continue;
+    bool match = true;
+    for (std::size_t i = 0; i < parent_columns_.size(); ++i) {
+      Value v = table->Get(r, parent_columns_[i]);
+      if (!v.GroupEquals(key_values[i])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+Status ForeignKeyConstraint::CheckRow(const Catalog& catalog,
+                                      const std::vector<Value>& row) {
+  std::vector<Value> key;
+  key.reserve(columns_.size());
+  for (ColumnIdx c : columns_) {
+    if (row[c].is_null()) return Status::OK();  // SQL: NULL FK matches.
+    key.push_back(row[c]);
+  }
+  if (!ParentHas(catalog, key)) {
+    return Status::ConstraintViolation(
+        StrFormat("FK %s: no parent row in %s", name_.c_str(),
+                  parent_.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<std::uint64_t> ForeignKeyConstraint::Validate(const Catalog& catalog) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog.GetTable(table_));
+  std::uint64_t violations = 0;
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r)) continue;
+    std::vector<Value> row = table->GetRow(r);
+    std::vector<Value> key;
+    bool has_null = false;
+    for (ColumnIdx c : columns_) {
+      if (row[c].is_null()) {
+        has_null = true;
+        break;
+      }
+      key.push_back(row[c]);
+    }
+    if (has_null) continue;
+    if (!ParentHas(catalog, key)) ++violations;
+  }
+  return violations;
+}
+
+std::string ForeignKeyConstraint::ToString() const {
+  return StrFormat("FOREIGN KEY %s ON %s -> %s%s", name_.c_str(),
+                   table_.c_str(), parent_.c_str(),
+                   informational() ? " [informational]" : "");
+}
+
+}  // namespace softdb

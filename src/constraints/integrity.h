@@ -1,0 +1,163 @@
+#ifndef SOFTDB_CONSTRAINTS_INTEGRITY_H_
+#define SOFTDB_CONSTRAINTS_INTEGRITY_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/expr.h"
+#include "storage/catalog.h"
+
+namespace softdb {
+
+/// How a declared constraint participates in enforcement.
+///
+/// * kEnforced — checked on every insert/update/delete, like an ordinary
+///   integrity constraint.
+/// * kInformational — the paper's informational constraint: an external
+///   promise that it holds; the system never checks it, but the optimizer
+///   uses it exactly like an enforced one (ORACLE's RELY, DB2's NOT
+///   ENFORCED).
+enum class ConstraintMode : std::uint8_t { kEnforced, kInformational };
+
+enum class IcKind : std::uint8_t {
+  kUnique,      // Also covers primary keys.
+  kCheck,
+  kForeignKey,
+};
+
+/// A declared integrity constraint. Subclasses implement per-row checking
+/// and full-table validation; enforcement is driven by the registry so that
+/// informational constraints can skip it wholesale.
+class IntegrityConstraint {
+ public:
+  IntegrityConstraint(std::string name, std::string table, IcKind kind,
+                      ConstraintMode mode)
+      : name_(std::move(name)), table_(std::move(table)), kind_(kind),
+        mode_(mode) {}
+  virtual ~IntegrityConstraint() = default;
+
+  const std::string& name() const { return name_; }
+  const std::string& table() const { return table_; }
+  IcKind kind() const { return kind_; }
+  ConstraintMode mode() const { return mode_; }
+  bool informational() const { return mode_ == ConstraintMode::kInformational; }
+
+  /// Checks a candidate row (pre-insert). OK when admissible.
+  virtual Status CheckRow(const Catalog& catalog,
+                          const std::vector<Value>& row) = 0;
+
+  /// Validates the whole table; returns the number of violating rows.
+  virtual Result<std::uint64_t> Validate(const Catalog& catalog) = 0;
+
+  /// Incremental bookkeeping after a successful mutation.
+  virtual void AfterInsert(const std::vector<Value>& row) { (void)row; }
+  virtual void AfterDelete(const std::vector<Value>& row) { (void)row; }
+
+  virtual std::string ToString() const = 0;
+
+ protected:
+  std::string name_;
+  std::string table_;
+  IcKind kind_;
+  ConstraintMode mode_;
+};
+
+using IcPtr = std::unique_ptr<IntegrityConstraint>;
+
+/// UNIQUE / PRIMARY KEY over one or more columns. Maintains a hash set of
+/// key images for O(1) insert checking (the realistic cost shape: enforced
+/// uniqueness costs a probe + insert per row; informational costs nothing).
+class UniqueConstraint final : public IntegrityConstraint {
+ public:
+  UniqueConstraint(std::string name, std::string table,
+                   std::vector<ColumnIdx> columns, bool is_primary,
+                   ConstraintMode mode);
+
+  const std::vector<ColumnIdx>& columns() const { return columns_; }
+  bool is_primary() const { return is_primary_; }
+
+  Status CheckRow(const Catalog& catalog,
+                  const std::vector<Value>& row) override;
+  Result<std::uint64_t> Validate(const Catalog& catalog) override;
+  void AfterInsert(const std::vector<Value>& row) override;
+  void AfterDelete(const std::vector<Value>& row) override;
+  std::string ToString() const override;
+
+  /// True when `key` currently exists (FK lookups piggyback on this).
+  bool ContainsKey(const std::string& key_image) const {
+    return keys_.count(key_image) > 0;
+  }
+  /// Builds the key image for a row of this constraint's table.
+  std::string KeyImage(const std::vector<Value>& row) const;
+  /// Builds a key image from raw key values (parent lookups).
+  static std::string KeyImageOf(const std::vector<Value>& key_values);
+
+  /// (Re)builds the key set from table contents.
+  Status Rebuild(const Catalog& catalog);
+
+ private:
+  std::vector<ColumnIdx> columns_;
+  bool is_primary_;
+  std::unordered_set<std::string> keys_;
+  bool built_ = false;
+};
+
+/// CHECK (expr) — a row predicate bound against the table schema.
+class CheckConstraint final : public IntegrityConstraint {
+ public:
+  CheckConstraint(std::string name, std::string table, ExprPtr expr,
+                  ConstraintMode mode);
+
+  const Expr& expr() const { return *expr_; }
+
+  Status CheckRow(const Catalog& catalog,
+                  const std::vector<Value>& row) override;
+  Result<std::uint64_t> Validate(const Catalog& catalog) override;
+  std::string ToString() const override;
+
+ private:
+  ExprPtr expr_;
+};
+
+/// FOREIGN KEY (cols) REFERENCES parent (cols). Insert checking uses the
+/// parent's unique constraint key set when one exists, falling back to a
+/// parent scan.
+class ForeignKeyConstraint final : public IntegrityConstraint {
+ public:
+  ForeignKeyConstraint(std::string name, std::string table,
+                       std::vector<ColumnIdx> columns, std::string parent,
+                       std::vector<ColumnIdx> parent_columns,
+                       ConstraintMode mode);
+
+  const std::vector<ColumnIdx>& columns() const { return columns_; }
+  const std::string& parent_table() const { return parent_; }
+  const std::vector<ColumnIdx>& parent_columns() const {
+    return parent_columns_;
+  }
+
+  /// Wires the parent's unique constraint for fast existence checks.
+  void SetParentKey(const UniqueConstraint* parent_key) {
+    parent_key_ = parent_key;
+  }
+
+  Status CheckRow(const Catalog& catalog,
+                  const std::vector<Value>& row) override;
+  Result<std::uint64_t> Validate(const Catalog& catalog) override;
+  std::string ToString() const override;
+
+ private:
+  bool ParentHas(const Catalog& catalog,
+                 const std::vector<Value>& key_values) const;
+
+  std::vector<ColumnIdx> columns_;
+  std::string parent_;
+  std::vector<ColumnIdx> parent_columns_;
+  const UniqueConstraint* parent_key_ = nullptr;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_CONSTRAINTS_INTEGRITY_H_

@@ -1,0 +1,168 @@
+#include "constraints/join_hole_sc.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+bool JoinHoleSc::CoversQuery(double a_lo, double a_hi, double b_lo,
+                             double b_hi) const {
+  for (const HoleRect& h : holes_) {
+    if (a_lo >= h.a_lo && a_hi <= h.a_hi && b_lo >= h.b_lo && b_hi <= h.b_hi) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool JoinHoleSc::TrimARange(double* a_lo, double* a_hi, double b_lo,
+                            double b_hi) const {
+  bool trimmed = false;
+  bool changed = true;
+  // Iterate: trimming by one hole can expose another at the new edge.
+  while (changed) {
+    changed = false;
+    for (const HoleRect& h : holes_) {
+      if (b_lo < h.b_lo || b_hi > h.b_hi) continue;  // Must span B range.
+      // Hole covers a prefix of the A range.
+      if (h.a_lo <= *a_lo && h.a_hi >= *a_lo && h.a_hi < *a_hi &&
+          h.a_hi > *a_lo) {
+        *a_lo = h.a_hi;  // Open edge; harmless under continuous trimming.
+        trimmed = changed = true;
+      }
+      // Hole covers a suffix of the A range.
+      if (h.a_hi >= *a_hi && h.a_lo <= *a_hi && h.a_lo > *a_lo &&
+          h.a_lo < *a_hi) {
+        *a_hi = h.a_lo;
+        trimmed = changed = true;
+      }
+    }
+  }
+  return trimmed;
+}
+
+bool JoinHoleSc::TrimBRange(double* b_lo, double* b_hi, double a_lo,
+                            double a_hi) const {
+  bool trimmed = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const HoleRect& h : holes_) {
+      if (a_lo < h.a_lo || a_hi > h.a_hi) continue;
+      if (h.b_lo <= *b_lo && h.b_hi >= *b_lo && h.b_hi < *b_hi &&
+          h.b_hi > *b_lo) {
+        *b_lo = h.b_hi;
+        trimmed = changed = true;
+      }
+      if (h.b_hi >= *b_hi && h.b_lo <= *b_hi && h.b_lo > *b_lo &&
+          h.b_lo < *b_hi) {
+        *b_hi = h.b_lo;
+        trimmed = changed = true;
+      }
+    }
+  }
+  return trimmed;
+}
+
+std::size_t JoinHoleSc::InvalidateHolesForLeftInsert(
+    const std::vector<Value>& row) {
+  const Value& a = row[attr_a_];
+  if (a.is_null()) return 0;
+  const double av = a.NumericValue();
+  const std::size_t before = holes_.size();
+  holes_.erase(std::remove_if(holes_.begin(), holes_.end(),
+                              [av](const HoleRect& h) {
+                                return h.ContainsA(av);
+                              }),
+               holes_.end());
+  return before - holes_.size();
+}
+
+std::size_t JoinHoleSc::InvalidateHolesForRightInsert(
+    const std::vector<Value>& row) {
+  const Value& b = row[attr_b_];
+  if (b.is_null()) return 0;
+  const double bv = b.NumericValue();
+  const std::size_t before = holes_.size();
+  holes_.erase(std::remove_if(holes_.begin(), holes_.end(),
+                              [bv](const HoleRect& h) {
+                                return h.ContainsB(bv);
+                              }),
+               holes_.end());
+  return before - holes_.size();
+}
+
+Result<bool> JoinHoleSc::CheckRow(const Catalog& catalog,
+                                  const std::vector<Value>& row) const {
+  // Exact row check: join the new left row against the right table and see
+  // whether any joined pair lands in a hole. (Exact but requires a join —
+  // the expense §4.3 discusses.)
+  const Value& key = row[left_join_col_];
+  const Value& a = row[attr_a_];
+  if (key.is_null() || a.is_null()) return true;
+  const double av = a.NumericValue();
+  bool in_any_a = false;
+  for (const HoleRect& h : holes_) in_any_a = in_any_a || h.ContainsA(av);
+  if (!in_any_a) return true;
+
+  SOFTDB_ASSIGN_OR_RETURN(Table * right, catalog.GetTable(right_table_));
+  const ColumnVector& jr = right->ColumnData(right_join_col_);
+  const ColumnVector& bs = right->ColumnData(attr_b_);
+  for (RowId r = 0; r < right->NumSlots(); ++r) {
+    if (!right->IsLive(r) || jr.IsNull(r) || bs.IsNull(r)) continue;
+    if (!jr.Get(r).GroupEquals(key)) continue;
+    const double bv = bs.GetNumeric(r);
+    for (const HoleRect& h : holes_) {
+      if (h.ContainsA(av) && h.ContainsB(bv)) return false;
+    }
+  }
+  return true;
+}
+
+Result<ScVerifyOutcome> JoinHoleSc::CountViolations(
+    const Catalog& catalog) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * left, catalog.GetTable(table_));
+  SOFTDB_ASSIGN_OR_RETURN(Table * right, catalog.GetTable(right_table_));
+
+  // Hash join, linear in |left| + |right| + |join| as in [8].
+  std::unordered_multimap<std::string, double> right_index;
+  const ColumnVector& jr = right->ColumnData(right_join_col_);
+  const ColumnVector& bs = right->ColumnData(attr_b_);
+  for (RowId r = 0; r < right->NumSlots(); ++r) {
+    if (!right->IsLive(r) || jr.IsNull(r) || bs.IsNull(r)) continue;
+    right_index.emplace(jr.Get(r).ToString(), bs.GetNumeric(r));
+  }
+
+  const ColumnVector& jl = left->ColumnData(left_join_col_);
+  const ColumnVector& as = left->ColumnData(attr_a_);
+  ScVerifyOutcome out;
+  for (RowId r = 0; r < left->NumSlots(); ++r) {
+    if (!left->IsLive(r) || jl.IsNull(r) || as.IsNull(r)) continue;
+    const double av = as.GetNumeric(r);
+    auto [lo, hi] = right_index.equal_range(jl.Get(r).ToString());
+    for (auto it = lo; it != hi; ++it) {
+      ++out.rows;
+      const double bv = it->second;
+      for (const HoleRect& h : holes_) {
+        if (h.ContainsA(av) && h.ContainsB(bv)) {
+          ++out.violations;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string JoinHoleSc::Describe() const {
+  return StrFormat(
+      "SC %s: %zu holes over %s(col%u) JOIN %s(col%u) on (col%u, col%u) "
+      "(conf %.4f, %s)",
+      name_.c_str(), holes_.size(), table_.c_str(), left_join_col_,
+      right_table_.c_str(), right_join_col_, attr_a_, attr_b_, confidence_,
+      ScStateName(state_));
+}
+
+}  // namespace softdb

@@ -1,0 +1,88 @@
+#ifndef SOFTDB_CONSTRAINTS_JOIN_HOLE_SC_H_
+#define SOFTDB_CONSTRAINTS_JOIN_HOLE_SC_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/soft_constraint.h"
+
+namespace softdb {
+
+/// An axis-aligned empty rectangle over a join path: for the join
+/// `left ⋈ right ON left.jl = right.jr`, no joined tuple has
+/// (left.attr_a, right.attr_b) inside the rectangle.
+struct HoleRect {
+  double a_lo = 0.0;
+  double a_hi = 0.0;  // Inclusive bounds on attr_a.
+  double b_lo = 0.0;
+  double b_hi = 0.0;  // Inclusive bounds on attr_b.
+
+  bool ContainsA(double a) const { return a >= a_lo && a <= a_hi; }
+  bool ContainsB(double b) const { return b >= b_lo && b <= b_hi; }
+};
+
+/// Two-dimensional join holes [8]: maximal empty rectangles in the joint
+/// (attr_a, attr_b) distribution of a join result. Knowing the holes lets
+/// the optimizer trim range conditions on attr_a / attr_b in queries over
+/// this join path, or prune the join entirely when the query rectangle
+/// falls inside a hole (§2, §4.3).
+class JoinHoleSc final : public SoftConstraint {
+ public:
+  JoinHoleSc(std::string name, std::string left_table, ColumnIdx left_join_col,
+             ColumnIdx attr_a, std::string right_table,
+             ColumnIdx right_join_col, ColumnIdx attr_b,
+             std::vector<HoleRect> holes)
+      : SoftConstraint(std::move(name), ScKind::kJoinHole,
+                       std::move(left_table)),
+        left_join_col_(left_join_col), attr_a_(attr_a),
+        right_table_(std::move(right_table)), right_join_col_(right_join_col),
+        attr_b_(attr_b), holes_(std::move(holes)) {}
+
+  const std::string& left_table() const { return table_; }
+  const std::string& right_table() const { return right_table_; }
+  ColumnIdx left_join_col() const { return left_join_col_; }
+  ColumnIdx right_join_col() const { return right_join_col_; }
+  ColumnIdx attr_a() const { return attr_a_; }
+  ColumnIdx attr_b() const { return attr_b_; }
+  const std::vector<HoleRect>& holes() const { return holes_; }
+
+  /// True when the query rectangle [a_lo,a_hi]x[b_lo,b_hi] lies entirely
+  /// inside some hole — the join result is provably empty.
+  bool CoversQuery(double a_lo, double a_hi, double b_lo, double b_hi) const;
+
+  /// Trims [a_lo, a_hi] using holes that span the full queried B-range:
+  /// the part of the A-range inside such a hole cannot contribute. Returns
+  /// true if the range shrank. (Symmetrically for TrimBRange.)
+  bool TrimARange(double* a_lo, double* a_hi, double b_lo, double b_hi) const;
+  bool TrimBRange(double* b_lo, double* b_hi, double a_lo, double a_hi) const;
+
+  /// Conservative synchronous maintenance (§4.3): an insert whose attr
+  /// value intersects a hole's A (or B) projection *might* fill it; without
+  /// the join we assume it does and drop that hole. Returns the number of
+  /// holes dropped.
+  std::size_t InvalidateHolesForLeftInsert(const std::vector<Value>& row);
+  std::size_t InvalidateHolesForRightInsert(const std::vector<Value>& row);
+
+  bool RequiresJoinCheck() const override { return true; }
+  Result<bool> CheckRow(const Catalog& catalog,
+                        const std::vector<Value>& row) const override;
+  std::string Describe() const override;
+
+ protected:
+  /// Violations = joined tuples inside any hole (requires computing the
+  /// join; linear in the join size as in [8]).
+  Result<ScVerifyOutcome> CountViolations(
+      const Catalog& catalog) override;
+
+ private:
+  ColumnIdx left_join_col_;
+  ColumnIdx attr_a_;
+  std::string right_table_;
+  ColumnIdx right_join_col_;
+  ColumnIdx attr_b_;
+  std::vector<HoleRect> holes_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_CONSTRAINTS_JOIN_HOLE_SC_H_

@@ -1,0 +1,99 @@
+#include "constraints/linear_correlation_sc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+std::pair<double, double> LinearCorrelationSc::ARangeForB(double b_lo,
+                                                          double b_hi) const {
+  double lo = k_ * b_lo + c_;
+  double hi = k_ * b_hi + c_;
+  if (lo > hi) std::swap(lo, hi);
+  return {lo - epsilon_, hi + epsilon_};
+}
+
+Result<bool> LinearCorrelationSc::CheckRow(
+    const Catalog&, const std::vector<Value>& row) const {
+  const Value& a = row[col_a_];
+  const Value& b = row[col_b_];
+  if (a.is_null() || b.is_null()) return true;  // NULLs vacuously comply.
+  const double expected = k_ * b.NumericValue() + c_;
+  return std::abs(a.NumericValue() - expected) <= epsilon_;
+}
+
+Status LinearCorrelationSc::RepairForRow(const std::vector<Value>& row) {
+  // Sync (suboptimal) repair: widen the envelope to absorb the row. This
+  // keeps the SC absolute at the cost of selectivity; an async RepairFull
+  // later refits k, c, and epsilon exactly (§4.3's hybrid strategy).
+  const Value& a = row[col_a_];
+  const Value& b = row[col_b_];
+  if (a.is_null() || b.is_null()) return Status::OK();
+  const double deviation =
+      std::abs(a.NumericValue() - (k_ * b.NumericValue() + c_));
+  if (deviation > epsilon_) epsilon_ = deviation;
+  return Status::OK();
+}
+
+Status LinearCorrelationSc::RepairFull(const Catalog& catalog) {
+  // Exact repair: least-squares refit plus a max-deviation envelope.
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog.GetTable(table_));
+  const ColumnVector& as = table->ColumnData(col_a_);
+  const ColumnVector& bs = table->ColumnData(col_b_);
+  double sum_b = 0, sum_a = 0, sum_bb = 0, sum_ab = 0;
+  std::uint64_t n = 0;
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r) || as.IsNull(r) || bs.IsNull(r)) continue;
+    const double a = as.GetNumeric(r);
+    const double b = bs.GetNumeric(r);
+    sum_b += b;
+    sum_a += a;
+    sum_bb += b * b;
+    sum_ab += a * b;
+    ++n;
+  }
+  if (n >= 2) {
+    const double denom = static_cast<double>(n) * sum_bb - sum_b * sum_b;
+    if (std::abs(denom) > 1e-12) {
+      k_ = (static_cast<double>(n) * sum_ab - sum_b * sum_a) / denom;
+      c_ = (sum_a - k_ * sum_b) / static_cast<double>(n);
+    }
+  }
+  double max_dev = 0.0;
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r) || as.IsNull(r) || bs.IsNull(r)) continue;
+    max_dev = std::max(max_dev, std::abs(as.GetNumeric(r) -
+                                         (k_ * bs.GetNumeric(r) + c_)));
+  }
+  epsilon_ = max_dev;
+  return Verify(catalog).status();
+}
+
+Result<ScVerifyOutcome> LinearCorrelationSc::CountViolations(
+    const Catalog& catalog) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog.GetTable(table_));
+  const ColumnVector& as = table->ColumnData(col_a_);
+  const ColumnVector& bs = table->ColumnData(col_b_);
+  ScVerifyOutcome out;
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r)) continue;
+    ++out.rows;
+    if (as.IsNull(r) || bs.IsNull(r)) continue;
+    const double dev =
+        std::abs(as.GetNumeric(r) - (k_ * bs.GetNumeric(r) + c_));
+    if (dev > epsilon_) ++out.violations;
+  }
+  return out;
+}
+
+std::string LinearCorrelationSc::Describe() const {
+  return StrFormat(
+      "SC %s ON %s: col%u BETWEEN %.6g*col%u %+.6g - %.6g AND %.6g*col%u "
+      "%+.6g + %.6g (conf %.4f, %s)",
+      name_.c_str(), table_.c_str(), col_a_, k_, col_b_, c_, epsilon_, k_,
+      col_b_, c_, epsilon_, confidence_, ScStateName(state_));
+}
+
+}  // namespace softdb

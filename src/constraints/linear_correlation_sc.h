@@ -1,0 +1,55 @@
+#ifndef SOFTDB_CONSTRAINTS_LINEAR_CORRELATION_SC_H_
+#define SOFTDB_CONSTRAINTS_LINEAR_CORRELATION_SC_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "constraints/soft_constraint.h"
+
+namespace softdb {
+
+/// Linear correlation `a BETWEEN k*b + c - eps AND k*b + c + eps` between
+/// two numeric columns of one table — the class mined in [10] and the
+/// paper's flagship predicate-introduction enabler: a selective envelope
+/// lets the rewriter add a range predicate on `a` (which has an index) to a
+/// query that only constrains `b`.
+class LinearCorrelationSc final : public SoftConstraint {
+ public:
+  LinearCorrelationSc(std::string name, std::string table, ColumnIdx col_a,
+                      ColumnIdx col_b, double k, double c, double epsilon)
+      : SoftConstraint(std::move(name), ScKind::kLinearCorrelation,
+                       std::move(table)),
+        col_a_(col_a), col_b_(col_b), k_(k), c_(c), epsilon_(epsilon) {}
+
+  ColumnIdx col_a() const { return col_a_; }
+  ColumnIdx col_b() const { return col_b_; }
+  double k() const { return k_; }
+  double c() const { return c_; }
+  double epsilon() const { return epsilon_; }
+
+  /// Image of a B-range through the envelope: the A-range that contains
+  /// every compliant row whose B lies in [b_lo, b_hi]. Handles negative k.
+  std::pair<double, double> ARangeForB(double b_lo, double b_hi) const;
+
+  Result<bool> CheckRow(const Catalog& catalog,
+                        const std::vector<Value>& row) const override;
+  Status RepairForRow(const std::vector<Value>& row) override;
+  Status RepairFull(const Catalog& catalog) override;
+  std::string Describe() const override;
+
+ protected:
+  Result<ScVerifyOutcome> CountViolations(
+      const Catalog& catalog) override;
+
+ private:
+  ColumnIdx col_a_;
+  ColumnIdx col_b_;
+  double k_;
+  double c_;
+  double epsilon_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_CONSTRAINTS_LINEAR_CORRELATION_SC_H_

@@ -1,0 +1,33 @@
+#include "constraints/predicate_sc.h"
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+Result<bool> PredicateSc::CheckRow(const Catalog&,
+                                   const std::vector<Value>& row) const {
+  SOFTDB_ASSIGN_OR_RETURN(Value v, expr_->Eval(row));
+  // NULL (unknown) counts as compliant, matching SQL CHECK semantics.
+  return v.is_null() || v.AsBool();
+}
+
+Result<ScVerifyOutcome> PredicateSc::CountViolations(
+    const Catalog& catalog) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog.GetTable(table_));
+  ScVerifyOutcome out;
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r)) continue;
+    ++out.rows;
+    SOFTDB_ASSIGN_OR_RETURN(Value v, expr_->Eval(table->GetRow(r)));
+    if (!v.is_null() && !v.AsBool()) ++out.violations;
+  }
+  return out;
+}
+
+std::string PredicateSc::Describe() const {
+  return StrFormat("SC %s ON %s: CHECK (%s) (conf %.4f, %s)", name_.c_str(),
+                   table_.c_str(), expr_->ToString().c_str(), confidence_,
+                   ScStateName(state_));
+}
+
+}  // namespace softdb

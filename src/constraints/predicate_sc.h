@@ -1,0 +1,41 @@
+#ifndef SOFTDB_CONSTRAINTS_PREDICATE_SC_H_
+#define SOFTDB_CONSTRAINTS_PREDICATE_SC_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/soft_constraint.h"
+#include "plan/expr.h"
+
+namespace softdb {
+
+/// A generic row check constraint held softly: an arbitrary predicate over
+/// one table's row ("ship_date <= order_date + 21"), bound to the table
+/// schema. This is the §5.1 mechanism of "the same infrastructure as a
+/// regular [check] constraint along with an additional number that
+/// specifies the percentage of rows satisfying it"; exception-table ASTs
+/// (§4.4) are defined over the negation of a PredicateSc.
+class PredicateSc final : public SoftConstraint {
+ public:
+  /// `expr` must be bound against the table's schema already.
+  PredicateSc(std::string name, std::string table, ExprPtr expr)
+      : SoftConstraint(std::move(name), ScKind::kPredicate, std::move(table)),
+        expr_(std::move(expr)) {}
+
+  const Expr& expr() const { return *expr_; }
+
+  Result<bool> CheckRow(const Catalog& catalog,
+                        const std::vector<Value>& row) const override;
+  std::string Describe() const override;
+
+ protected:
+  Result<ScVerifyOutcome> CountViolations(
+      const Catalog& catalog) override;
+
+ private:
+  ExprPtr expr_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_CONSTRAINTS_PREDICATE_SC_H_

@@ -1,0 +1,189 @@
+#include "constraints/sc_registry.h"
+
+#include <algorithm>
+
+namespace softdb {
+
+Status ScRegistry::Add(ScPtr sc, const Catalog& catalog, bool verify_now) {
+  if (Find(sc->name()) != nullptr) {
+    return Status::AlreadyExists("soft constraint exists: " + sc->name());
+  }
+  if (verify_now) {
+    SOFTDB_RETURN_IF_ERROR(sc->Verify(catalog).status());
+  }
+  constraints_.push_back(std::move(sc));
+  return Status::OK();
+}
+
+SoftConstraint* ScRegistry::Find(const std::string& name) const {
+  for (const ScPtr& sc : constraints_) {
+    if (sc->name() == name) return sc.get();
+  }
+  return nullptr;
+}
+
+Status ScRegistry::Drop(const std::string& name) {
+  for (auto it = constraints_.begin(); it != constraints_.end(); ++it) {
+    if ((*it)->name() == name) {
+      (*it)->set_state(ScState::kDropped);
+      FireViolation(**it);
+      constraints_.erase(it);
+      ++stats_.drops;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no such soft constraint: " + name);
+}
+
+std::vector<SoftConstraint*> ScRegistry::On(const std::string& table) const {
+  std::vector<SoftConstraint*> out;
+  for (const ScPtr& sc : constraints_) {
+    if (sc->table() == table) {
+      out.push_back(sc.get());
+      continue;
+    }
+    if (auto* hole = dynamic_cast<JoinHoleSc*>(sc.get())) {
+      if (hole->right_table() == table) out.push_back(sc.get());
+    }
+  }
+  return out;
+}
+
+std::vector<SoftConstraint*> ScRegistry::ByKind(ScKind kind) const {
+  std::vector<SoftConstraint*> out;
+  for (const ScPtr& sc : constraints_) {
+    if (sc->kind() == kind) out.push_back(sc.get());
+  }
+  return out;
+}
+
+std::vector<SoftConstraint*> ScRegistry::All() const {
+  std::vector<SoftConstraint*> out;
+  out.reserve(constraints_.size());
+  for (const ScPtr& sc : constraints_) out.push_back(sc.get());
+  return out;
+}
+
+Status ScRegistry::OnInsert(const Catalog& catalog, const std::string& table,
+                            const std::vector<Value>& row) {
+  for (const ScPtr& sc_ptr : constraints_) {
+    SoftConstraint* sc = sc_ptr.get();
+    if (!sc->active()) continue;
+
+    auto* hole = dynamic_cast<JoinHoleSc*>(sc);
+    const bool is_left = sc->table() == table;
+    const bool is_right = hole != nullptr && hole->right_table() == table;
+    if (!is_left && !is_right) continue;
+
+    // Statistical SCs need no synchronous work: currency tracking already
+    // bounds their decay (§3: "SSCs do not have to be checked at update").
+    if (!sc->IsAbsolute()) continue;
+
+    bool complies = true;
+    if (hole != nullptr) {
+      // Join holes: conservative policies avoid the join; kDropOnViolation
+      // and kTolerate do the exact probe.
+      if (sc->policy() == ScMaintenancePolicy::kSyncRepair) {
+        // Conservative repair: drop any hole the new value projects into
+        // (§4.3's "assume the new value does violate the holes").
+        const std::size_t dropped =
+            is_left ? hole->InvalidateHolesForLeftInsert(row)
+                    : hole->InvalidateHolesForRightInsert(row);
+        stats_.holes_invalidated += dropped;
+        if (dropped > 0) ++stats_.sync_repairs;
+        continue;
+      }
+      if (is_right) {
+        // Exact check from the right side: symmetric probe is expensive;
+        // treat as a left check would by re-verifying lazily via queue.
+        if (sc->policy() == ScMaintenancePolicy::kAsyncRepair) {
+          const std::size_t dropped = hole->InvalidateHolesForRightInsert(row);
+          stats_.holes_invalidated += dropped;
+          continue;
+        }
+      }
+      if (is_left) {
+        ++stats_.row_checks;
+        SOFTDB_ASSIGN_OR_RETURN(complies, sc->CheckRow(catalog, row));
+      }
+    } else {
+      ++stats_.row_checks;
+      SOFTDB_ASSIGN_OR_RETURN(complies, sc->CheckRow(catalog, row));
+    }
+    if (complies) continue;
+
+    ++stats_.violations;
+    switch (sc->policy()) {
+      case ScMaintenancePolicy::kDropOnViolation:
+        sc->set_state(ScState::kViolated);
+        ++stats_.drops;
+        FireViolation(*sc);
+        break;
+      case ScMaintenancePolicy::kSyncRepair: {
+        Status st = sc->RepairForRow(row);
+        if (st.ok()) {
+          ++stats_.sync_repairs;
+        } else {
+          // No sync repair available: fall back to drop.
+          sc->set_state(ScState::kViolated);
+          ++stats_.drops;
+          FireViolation(*sc);
+        }
+        break;
+      }
+      case ScMaintenancePolicy::kAsyncRepair:
+        sc->set_state(ScState::kRepairQueued);
+        repair_queue_.push_back(sc->name());
+        ++stats_.async_enqueued;
+        FireViolation(*sc);  // Plans lose the SC until repair completes.
+        break;
+      case ScMaintenancePolicy::kTolerate: {
+        // Demote to statistical: account one more violating row.
+        const double rows =
+            static_cast<double>(std::max<std::uint64_t>(1, sc->verified_rows()));
+        sc->set_confidence(std::max(0.0, sc->confidence() - 1.0 / rows));
+        FireViolation(*sc);  // Rewrites relying on absoluteness are invalid.
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ScRegistry::RunRepairQueue(const Catalog& catalog) {
+  while (!repair_queue_.empty()) {
+    const std::string name = repair_queue_.front();
+    repair_queue_.pop_front();
+    SoftConstraint* sc = Find(name);
+    if (sc == nullptr || sc->state() != ScState::kRepairQueued) continue;
+    SOFTDB_RETURN_IF_ERROR(sc->RepairFull(catalog));
+    sc->set_state(ScState::kActive);
+    ++stats_.async_repairs;
+  }
+  return Status::OK();
+}
+
+Status ScRegistry::VerifyAll(const Catalog& catalog) {
+  for (const ScPtr& sc : constraints_) {
+    if (sc->state() == ScState::kDropped) continue;
+    SOFTDB_RETURN_IF_ERROR(sc->Verify(catalog).status());
+  }
+  return Status::OK();
+}
+
+void ScRegistry::RecordUse(const std::string& name, double benefit) {
+  ++use_counts_[name];
+  benefits_[name] += benefit;
+}
+
+std::uint64_t ScRegistry::UseCount(const std::string& name) const {
+  auto it = use_counts_.find(name);
+  return it == use_counts_.end() ? 0 : it->second;
+}
+
+double ScRegistry::TotalBenefit(const std::string& name) const {
+  auto it = benefits_.find(name);
+  return it == benefits_.end() ? 0.0 : it->second;
+}
+
+}  // namespace softdb

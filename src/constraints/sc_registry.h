@@ -1,0 +1,100 @@
+#ifndef SOFTDB_CONSTRAINTS_SC_REGISTRY_H_
+#define SOFTDB_CONSTRAINTS_SC_REGISTRY_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "constraints/join_hole_sc.h"
+#include "constraints/soft_constraint.h"
+
+namespace softdb {
+
+/// Counters for the maintenance experiments (E7).
+struct ScMaintenanceStats {
+  std::uint64_t row_checks = 0;       // Synchronous row compliance checks.
+  std::uint64_t violations = 0;       // Violating inserts observed.
+  std::uint64_t sync_repairs = 0;     // In-line repairs performed.
+  std::uint64_t async_enqueued = 0;   // SCs queued for exact repair.
+  std::uint64_t async_repairs = 0;    // Exact repairs completed.
+  std::uint64_t drops = 0;            // SCs overturned.
+  std::uint64_t holes_invalidated = 0;  // Join holes conservatively dropped.
+};
+
+/// Registry and maintenance engine for soft constraints — the "SC facility"
+/// of §3.2 (discovery results are Add()ed, selection consults the use/
+/// benefit accounting, maintenance runs through OnInsert + the repair
+/// queue).
+class ScRegistry {
+ public:
+  /// Fired when an SC leaves the active state (violation or drop); the plan
+  /// cache subscribes to invalidate dependent plans (§4.1).
+  using ViolationListener = std::function<void(const SoftConstraint&)>;
+
+  ScRegistry() = default;
+  ScRegistry(const ScRegistry&) = delete;
+  ScRegistry& operator=(const ScRegistry&) = delete;
+
+  /// Registers an SC. When `verify_now`, runs a full verification so the
+  /// confidence and currency baseline reflect the current state.
+  Status Add(ScPtr sc, const Catalog& catalog, bool verify_now = true);
+
+  SoftConstraint* Find(const std::string& name) const;
+  Status Drop(const std::string& name);
+
+  /// Active SCs whose (primary) table is `table`; join-hole SCs also match
+  /// on their right table.
+  std::vector<SoftConstraint*> On(const std::string& table) const;
+  std::vector<SoftConstraint*> ByKind(ScKind kind) const;
+  std::vector<SoftConstraint*> All() const;
+
+  void SetViolationListener(ViolationListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Synchronous maintenance hook, called with each row about to be
+  /// inserted into `table` (after IC checks pass). Applies each affected
+  /// SC's maintenance policy. Never rejects the insert — SCs do not
+  /// constrain (§2: "soft constraints do not constrain anything!").
+  Status OnInsert(const Catalog& catalog, const std::string& table,
+                  const std::vector<Value>& row);
+
+  /// Drains the async repair queue (exact re-mining / re-verification) —
+  /// the off-line step §4.3 schedules for light-load periods.
+  Status RunRepairQueue(const Catalog& catalog);
+  std::size_t repair_queue_size() const { return repair_queue_.size(); }
+
+  /// Re-verifies every SC (periodic runstats-style refresh, §3).
+  Status VerifyAll(const Catalog& catalog);
+
+  /// Selection-stage accounting (§3.2): the optimizer records each use and
+  /// the estimated benefit; the selection pass drops SCs that never pay for
+  /// their maintenance.
+  void RecordUse(const std::string& name, double benefit);
+  std::uint64_t UseCount(const std::string& name) const;
+  double TotalBenefit(const std::string& name) const;
+
+  const ScMaintenanceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ScMaintenanceStats{}; }
+
+  std::size_t size() const { return constraints_.size(); }
+
+ private:
+  void FireViolation(const SoftConstraint& sc) {
+    if (listener_) listener_(sc);
+  }
+
+  std::vector<ScPtr> constraints_;
+  std::deque<std::string> repair_queue_;
+  std::map<std::string, std::uint64_t> use_counts_;
+  std::map<std::string, double> benefits_;
+  ViolationListener listener_;
+  ScMaintenanceStats stats_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_CONSTRAINTS_SC_REGISTRY_H_

@@ -1,0 +1,64 @@
+#include "constraints/soft_constraint.h"
+
+namespace softdb {
+
+const char* ScKindName(ScKind kind) {
+  switch (kind) {
+    case ScKind::kLinearCorrelation:
+      return "linear-correlation";
+    case ScKind::kColumnOffset:
+      return "column-offset";
+    case ScKind::kJoinHole:
+      return "join-hole";
+    case ScKind::kFunctionalDependency:
+      return "functional-dependency";
+    case ScKind::kInclusion:
+      return "inclusion";
+    case ScKind::kDomain:
+      return "domain";
+    case ScKind::kPredicate:
+      return "predicate";
+  }
+  return "?";
+}
+
+const char* ScStateName(ScState state) {
+  switch (state) {
+    case ScState::kActive:
+      return "active";
+    case ScState::kViolated:
+      return "violated";
+    case ScState::kRepairQueued:
+      return "repair-queued";
+    case ScState::kDropped:
+      return "dropped";
+  }
+  return "?";
+}
+
+Result<ScVerifyOutcome> SoftConstraint::Verify(const Catalog& catalog) {
+  SOFTDB_ASSIGN_OR_RETURN(ScVerifyOutcome outcome, CountViolations(catalog));
+  outcome.confidence =
+      outcome.rows == 0
+          ? 1.0
+          : static_cast<double>(outcome.rows - outcome.violations) /
+                static_cast<double>(outcome.rows);
+  confidence_ = outcome.confidence;
+  auto table = catalog.GetTable(table_);
+  if (table.ok()) {
+    verified_version_ = (*table)->version();
+    verified_rows_ = (*table)->NumRows();
+  }
+  if (state_ == ScState::kViolated || state_ == ScState::kRepairQueued) {
+    // A verification pass re-baselines the SC; it becomes usable again
+    // (possibly with confidence < 1, i.e. as an SSC only).
+    state_ = ScState::kActive;
+  }
+  return outcome;
+}
+
+Status SoftConstraint::RepairFull(const Catalog& catalog) {
+  return Verify(catalog).status();
+}
+
+}  // namespace softdb

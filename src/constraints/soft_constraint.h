@@ -1,0 +1,162 @@
+#ifndef SOFTDB_CONSTRAINTS_SOFT_CONSTRAINT_H_
+#define SOFTDB_CONSTRAINTS_SOFT_CONSTRAINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "storage/catalog.h"
+
+namespace softdb {
+
+/// Classes of soft constraint implemented, mirroring the discovery work the
+/// paper builds on (§2): linear correlations [10], join holes [8],
+/// functional dependencies [29], inclusion/referential characterizations
+/// [6], Sybase-style min/max domains, and generic row predicates.
+enum class ScKind : std::uint8_t {
+  kLinearCorrelation,
+  kColumnOffset,
+  kJoinHole,
+  kFunctionalDependency,
+  kInclusion,
+  kDomain,
+  kPredicate,
+};
+
+const char* ScKindName(ScKind kind);
+
+/// Lifecycle of a soft constraint.
+///
+/// kActive    — usable by the optimizer.
+/// kViolated  — overturned by an update and not yet repaired; unusable for
+///              rewrite, and plans built on it are invalidated (§4.1).
+/// kRepairQueued — violated, async repair pending (§4.3).
+/// kDropped   — removed (the maintenance policy of last resort).
+enum class ScState : std::uint8_t {
+  kActive,
+  kViolated,
+  kRepairQueued,
+  kDropped,
+};
+
+const char* ScStateName(ScState state);
+
+/// What to do when an update violates an absolute soft constraint (§4.3).
+enum class ScMaintenancePolicy : std::uint8_t {
+  kDropOnViolation,  // Last resort: overturn the SC.
+  kSyncRepair,       // Repair inline (possibly suboptimally, e.g. widen).
+  kAsyncRepair,      // Mark violated, queue exact repair for later.
+  kTolerate,         // Demote to statistical: decay confidence, stay active.
+};
+
+/// Outcome of a full verification pass.
+struct ScVerifyOutcome {
+  std::uint64_t rows = 0;
+  std::uint64_t violations = 0;
+  double confidence = 1.0;  // (rows - violations) / rows.
+};
+
+/// A soft constraint: an IC-shaped statement about the data that is not
+/// enforced. `confidence` is the SSC confidence factor (§3); an SC with
+/// confidence 1.0 verified against the current state is an *absolute* soft
+/// constraint (ASC) and is eligible for semantics-preserving rewrite.
+/// Currency (§3.3) is tracked as mutations to the base table since the last
+/// verification, giving a bound on how far confidence may have decayed.
+class SoftConstraint {
+ public:
+  SoftConstraint(std::string name, ScKind kind, std::string table)
+      : name_(std::move(name)), kind_(kind), table_(std::move(table)) {}
+  virtual ~SoftConstraint() = default;
+
+  const std::string& name() const { return name_; }
+  ScKind kind() const { return kind_; }
+  /// Primary table (join holes also have a second; see subclass).
+  const std::string& table() const { return table_; }
+
+  ScState state() const { return state_; }
+  void set_state(ScState s) { state_ = s; }
+  bool active() const { return state_ == ScState::kActive; }
+
+  /// Confidence as of the last verification.
+  double confidence() const { return confidence_; }
+  void set_confidence(double c) { confidence_ = c; }
+
+  ScMaintenancePolicy policy() const { return policy_; }
+  void set_policy(ScMaintenancePolicy p) { policy_ = p; }
+
+  /// Absolute (usable in rewrite): active and violation-free as verified.
+  bool IsAbsolute() const {
+    return state_ == ScState::kActive && confidence_ >= 1.0;
+  }
+
+  /// §3.3 currency: upper bound on confidence decay given `mutations`
+  /// table changes since verification over `rows` rows. E.g. 1M rows and
+  /// 30k updates bound the error at 3%.
+  double CurrencyMargin(const Table& table) const {
+    const std::uint64_t mutations = table.MutationsSince(verified_version_);
+    const std::uint64_t rows = table.NumRows();
+    if (rows == 0) return 1.0;
+    const double margin =
+        static_cast<double>(mutations) / static_cast<double>(rows);
+    return margin > 1.0 ? 1.0 : margin;
+  }
+
+  /// Confidence lower bound after accounting for staleness.
+  double CurrencyAdjustedConfidence(const Table& table) const {
+    const double adjusted = confidence_ - CurrencyMargin(table);
+    return adjusted < 0.0 ? 0.0 : adjusted;
+  }
+
+  std::uint64_t verified_version() const { return verified_version_; }
+  std::uint64_t verified_rows() const { return verified_rows_; }
+
+  /// Full verification against the current database: recounts violations,
+  /// updates confidence and the currency baseline.
+  Result<ScVerifyOutcome> Verify(const Catalog& catalog);
+
+  /// Row-level compliance check used by synchronous maintenance. True when
+  /// the row abides the constraint. Constraints that cannot be checked one
+  /// row at a time (join holes) override RequiresJoinCheck().
+  virtual Result<bool> CheckRow(const Catalog& catalog,
+                                const std::vector<Value>& row) const = 0;
+
+  /// Whether row checks need data from another table (join holes).
+  virtual bool RequiresJoinCheck() const { return false; }
+
+  /// Synchronous, possibly suboptimal repair absorbing `row` (e.g. widen an
+  /// envelope). Default: unsupported.
+  virtual Status RepairForRow(const std::vector<Value>& row) {
+    (void)row;
+    return Status::NotImplemented("no sync repair for " + name_);
+  }
+
+  /// Exact (async) repair: recompute parameters from data. Default: full
+  /// Verify (subclasses with parameters override).
+  virtual Status RepairFull(const Catalog& catalog);
+
+  /// Human-readable statement, e.g. the IC-equivalent SQL.
+  virtual std::string Describe() const = 0;
+
+ protected:
+  /// Subclass hook for Verify: count rows and violations.
+  virtual Result<ScVerifyOutcome> CountViolations(
+      const Catalog& catalog) = 0;
+
+  std::string name_;
+  ScKind kind_;
+  std::string table_;
+  ScState state_ = ScState::kActive;
+  double confidence_ = 1.0;
+  ScMaintenancePolicy policy_ = ScMaintenancePolicy::kDropOnViolation;
+  std::uint64_t verified_version_ = 0;
+  std::uint64_t verified_rows_ = 0;
+};
+
+using ScPtr = std::unique_ptr<SoftConstraint>;
+
+}  // namespace softdb
+
+#endif  // SOFTDB_CONSTRAINTS_SOFT_CONSTRAINT_H_

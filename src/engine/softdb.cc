@@ -1,0 +1,460 @@
+#include "engine/softdb.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "constraints/column_offset_sc.h"
+#include "constraints/predicate_sc.h"
+#include "optimizer/planner.h"
+#include "optimizer/rewriter.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace softdb {
+
+SoftDb::SoftDb(EngineOptions options) : options_(options) {
+  // §4.1: overturned SCs invalidate dependent packages, which revert to
+  // their ASC-free backup plans.
+  scs_.SetViolationListener([this](const SoftConstraint& sc) {
+    plan_cache_.OnScViolated(sc.name());
+  });
+}
+
+OptimizerContext SoftDb::MakeContext() {
+  OptimizerContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.stats = &stats_;
+  ctx.ics = &ics_;
+  ctx.scs = &scs_;
+  ctx.mvs = &mvs_;
+  ctx.exception_asts = exception_asts_;
+  ctx.enable_predicate_introduction = options_.enable_predicate_introduction;
+  ctx.enable_twinning = options_.enable_twinning;
+  ctx.enable_join_elimination = options_.enable_join_elimination;
+  ctx.enable_fd_pruning = options_.enable_fd_pruning;
+  ctx.enable_hole_trimming = options_.enable_hole_trimming;
+  ctx.enable_domain_rules = options_.enable_domain_rules;
+  ctx.enable_unionall_pruning = options_.enable_unionall_pruning;
+  ctx.enable_exception_asts = options_.enable_exception_asts;
+  ctx.use_twins_in_estimation = options_.use_twins_in_estimation;
+  ctx.prefer_sort_merge_join = options_.prefer_sort_merge_join;
+  ctx.enable_runtime_parameterization =
+      options_.enable_runtime_parameterization;
+  return ctx;
+}
+
+CardinalityEstimator SoftDb::MakeEstimator() const {
+  EstimatorOptions opts;
+  opts.use_twinned_predicates = options_.use_twins_in_estimation;
+  return CardinalityEstimator(&catalog_, &stats_, opts,
+                              options_.use_twins_in_estimation ? &scs_
+                                                               : nullptr);
+}
+
+Status SoftDb::InsertRow(const std::string& table_name,
+                         const std::vector<Value>& values) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(table_name));
+  // Coerce values to the column types (int literals into DATE columns,
+  // ints into DOUBLE, ...).
+  std::vector<Value> row = values;
+  const Schema& schema = table->schema();
+  if (row.size() != schema.NumColumns()) {
+    return Status::InvalidArgument(
+        StrFormat("insert into %s: expected %zu values, got %zu",
+                  table_name.c_str(), schema.NumColumns(), row.size()));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null() || row[i].type() == schema.Column(i).type) continue;
+    if (row[i].type() != TypeId::kString &&
+        schema.Column(i).type != TypeId::kString) {
+      SOFTDB_ASSIGN_OR_RETURN(row[i], row[i].CastTo(schema.Column(i).type));
+    }
+  }
+
+  // Integrity enforcement: a violating insert aborts (hard constraints).
+  SOFTDB_RETURN_IF_ERROR(ics_.CheckInsert(catalog_, table->name(), row));
+
+  SOFTDB_ASSIGN_OR_RETURN(RowId rid, table->Append(row));
+  catalog_.NotifyInsert(table, rid);
+  ics_.AfterInsert(table->name(), row);
+
+  // Soft-constraint maintenance never aborts the transaction — the SC is
+  // the thing at risk, not the data (§2).
+  SOFTDB_RETURN_IF_ERROR(scs_.OnInsert(catalog_, table->name(), row));
+  SOFTDB_RETURN_IF_ERROR(mvs_.OnBaseInsert(table->name(), row));
+  return Status::OK();
+}
+
+Result<MaterializedView*> SoftDb::CreateExceptionAst(
+    const std::string& sc_name) {
+  SoftConstraint* sc = scs_.Find(sc_name);
+  if (sc == nullptr) return Status::NotFound("no such SC: " + sc_name);
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(sc->table()));
+  const Schema& schema = table->schema();
+
+  ExprPtr violation;
+  if (auto* offset = dynamic_cast<ColumnOffsetSc*>(sc)) {
+    auto col = [&](ColumnIdx i) {
+      return std::make_unique<ColumnRefExpr>(
+          schema.Column(i).QualifiedName(), i, schema.Column(i).type);
+    };
+    auto diff_lo = std::make_unique<ArithmeticExpr>(
+        ArithOp::kSub, col(offset->col_y()), col(offset->col_x()));
+    SOFTDB_RETURN_IF_ERROR(diff_lo->Bind(schema));
+    auto diff_hi = diff_lo->Clone();
+    std::vector<ExprPtr> branches;
+    branches.push_back(MakeCompare(CompareOp::kLt, std::move(diff_lo),
+                                   MakeLiteral(Value::Int64(
+                                       offset->min_offset()))));
+    branches.push_back(MakeCompare(CompareOp::kGt, std::move(diff_hi),
+                                   MakeLiteral(Value::Int64(
+                                       offset->max_offset()))));
+    violation = MakeOr(std::move(branches));
+    SOFTDB_RETURN_IF_ERROR(violation->Bind(schema));
+  } else if (auto* pred = dynamic_cast<PredicateSc*>(sc)) {
+    violation = std::make_unique<NotExpr>(pred->expr().Clone());
+  } else {
+    return Status::InvalidArgument(
+        "exception ASTs support offset and predicate SCs only");
+  }
+
+  const std::string view_name = "exc_" + sc_name;
+  SOFTDB_ASSIGN_OR_RETURN(
+      MaterializedView * view,
+      mvs_.Define(view_name, sc->table(), std::move(violation), catalog_));
+  exception_asts_[sc_name] = view_name;
+  return view;
+}
+
+Status SoftDb::Analyze(const std::string& table) {
+  if (!table.empty()) {
+    SOFTDB_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+    stats_.Analyze(*t);
+    return Status::OK();
+  }
+  for (const std::string& name : catalog_.TableNames()) {
+    SOFTDB_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(name));
+    stats_.Analyze(*t);
+  }
+  return Status::OK();
+}
+
+Status SoftDb::RunMaintenance() {
+  SOFTDB_RETURN_IF_ERROR(scs_.RunRepairQueue(catalog_));
+  std::vector<std::string> active;
+  for (const SoftConstraint* sc : scs_.All()) {
+    if (sc->active()) active.push_back(sc->name());
+  }
+  plan_cache_.Rearm(active);
+  return Status::OK();
+}
+
+Result<QueryResult> SoftDb::RunPlan(const PlanNode& plan, QueryResult result) {
+  OptimizerContext ctx = MakeContext();
+  CardinalityEstimator estimator = MakeEstimator();
+  PhysicalPlanner planner(&ctx, &estimator);
+  result.estimated_rows = estimator.EstimateRows(plan);
+  result.estimated_cost = planner.EstimateCost(plan);
+  result.plan_text = plan.ToString();
+  SOFTDB_ASSIGN_OR_RETURN(OperatorPtr root, planner.Plan(plan));
+  ExecContext exec_ctx;
+  SOFTDB_ASSIGN_OR_RETURN(result.rows, ExecuteToCompletion(root.get(),
+                                                           &exec_ctx));
+  result.exec_stats = exec_ctx.stats;
+  return result;
+}
+
+Result<QueryResult> SoftDb::ExecuteSelect(const std::string& sql,
+                                          const SelectStmt& stmt,
+                                          bool explain_only) {
+  if (options_.use_plan_cache && !explain_only) {
+    if (CachedPlan* cached = plan_cache_.Get(sql)) {
+      ++cached->executions;
+      QueryResult result;
+      result.from_plan_cache = true;
+      result.used_backup_plan = cached->using_backup;
+      result.used_scs = cached->used_scs;
+      return RunPlan(cached->ActivePlan(), std::move(result));
+    }
+  }
+
+  Binder binder(&catalog_);
+  SOFTDB_ASSIGN_OR_RETURN(PlanPtr bound, binder.BindSelect(stmt));
+
+  // Backup plan: rewritten without any soft constraints (IC-driven rules
+  // such as FK join elimination still apply — those cannot be overturned).
+  OptimizerContext backup_ctx = MakeContext();
+  backup_ctx.scs = nullptr;
+  backup_ctx.enable_exception_asts = false;
+  Rewriter backup_rewriter(&backup_ctx);
+  SOFTDB_ASSIGN_OR_RETURN(PlanPtr backup,
+                          backup_rewriter.Rewrite(bound->Clone()));
+
+  OptimizerContext ctx = MakeContext();
+  Rewriter rewriter(&ctx);
+  SOFTDB_ASSIGN_OR_RETURN(PlanPtr primary, rewriter.Rewrite(std::move(bound)));
+
+  QueryResult result;
+  result.applied_rules = ctx.applied_rules;
+  std::vector<std::string> used = ctx.used_scs;
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  result.used_scs = used;
+
+  if (explain_only) {
+    CardinalityEstimator estimator = MakeEstimator();
+    PhysicalPlanner planner(&ctx, &estimator);
+    result.estimated_rows = estimator.EstimateRows(*primary);
+    result.estimated_cost = planner.EstimateCost(*primary);
+    result.plan_text = primary->ToString();
+    return result;
+  }
+
+  if (options_.use_plan_cache) {
+    plan_cache_.Put(sql, primary->Clone(), std::move(backup), used);
+  }
+  return RunPlan(*primary, std::move(result));
+}
+
+Status SoftDb::ExecuteInsert(const InsertStmt& stmt) {
+  for (const std::vector<ExprPtr>& row_exprs : stmt.rows) {
+    std::vector<Value> row;
+    row.reserve(row_exprs.size());
+    for (const ExprPtr& e : row_exprs) {
+      SOFTDB_ASSIGN_OR_RETURN(Value v, e->Eval({}));
+      row.push_back(std::move(v));
+    }
+    SOFTDB_RETURN_IF_ERROR(InsertRow(stmt.table, row));
+  }
+  return Status::OK();
+}
+
+Result<std::uint64_t> SoftDb::ExecuteUpdate(const UpdateStmt& stmt) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  const Schema& schema = table->schema();
+
+  ExprPtr where;
+  if (stmt.where) {
+    where = stmt.where->Clone();
+    SOFTDB_RETURN_IF_ERROR(where->Bind(schema));
+  }
+  std::vector<std::pair<ColumnIdx, ExprPtr>> assignments;
+  for (const auto& [col_name, expr] : stmt.assignments) {
+    SOFTDB_ASSIGN_OR_RETURN(ColumnIdx col, schema.Resolve(col_name));
+    ExprPtr bound = expr->Clone();
+    SOFTDB_RETURN_IF_ERROR(bound->Bind(schema));
+    assignments.emplace_back(col, std::move(bound));
+  }
+
+  std::vector<RowId> matches;
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r)) continue;
+    if (where) {
+      SOFTDB_ASSIGN_OR_RETURN(Value v, where->Eval(table->GetRow(r)));
+      if (v.is_null() || !v.AsBool()) continue;
+    }
+    matches.push_back(r);
+  }
+
+  for (RowId r : matches) {
+    std::vector<Value> old_row = table->GetRow(r);
+    std::vector<Value> new_row = old_row;
+    for (const auto& [col, expr] : assignments) {
+      SOFTDB_ASSIGN_OR_RETURN(Value v, expr->Eval(old_row));
+      if (!v.is_null() && v.type() != schema.Column(col).type &&
+          v.type() != TypeId::kString &&
+          schema.Column(col).type != TypeId::kString) {
+        SOFTDB_ASSIGN_OR_RETURN(v, v.CastTo(schema.Column(col).type));
+      }
+      new_row[col] = std::move(v);
+    }
+    // Re-check ICs as delete + insert so unique keys do not self-conflict.
+    ics_.AfterDelete(table->name(), old_row);
+    Status check = ics_.CheckInsert(catalog_, table->name(), new_row);
+    if (!check.ok()) {
+      ics_.AfterInsert(table->name(), old_row);
+      return check;
+    }
+    for (const auto& [col, expr] : assignments) {
+      (void)expr;
+      catalog_.NotifyUpdate(table, r, col, old_row[col], new_row[col]);
+      SOFTDB_RETURN_IF_ERROR(table->Set(r, col, new_row[col]));
+    }
+    ics_.AfterInsert(table->name(), new_row);
+    SOFTDB_RETURN_IF_ERROR(scs_.OnInsert(catalog_, table->name(), new_row));
+    SOFTDB_RETURN_IF_ERROR(mvs_.OnBaseDelete(table->name(), old_row));
+    SOFTDB_RETURN_IF_ERROR(mvs_.OnBaseInsert(table->name(), new_row));
+  }
+  return static_cast<std::uint64_t>(matches.size());
+}
+
+Result<std::uint64_t> SoftDb::ExecuteDelete(const DeleteStmt& stmt) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  ExprPtr where;
+  if (stmt.where) {
+    where = stmt.where->Clone();
+    SOFTDB_RETURN_IF_ERROR(where->Bind(table->schema()));
+  }
+  std::vector<RowId> matches;
+  for (RowId r = 0; r < table->NumSlots(); ++r) {
+    if (!table->IsLive(r)) continue;
+    if (where) {
+      SOFTDB_ASSIGN_OR_RETURN(Value v, where->Eval(table->GetRow(r)));
+      if (v.is_null() || !v.AsBool()) continue;
+    }
+    matches.push_back(r);
+  }
+  for (RowId r : matches) {
+    std::vector<Value> old_row = table->GetRow(r);
+    SOFTDB_RETURN_IF_ERROR(table->Delete(r));
+    catalog_.NotifyDelete(table, r, old_row);
+    ics_.AfterDelete(table->name(), old_row);
+    SOFTDB_RETURN_IF_ERROR(mvs_.OnBaseDelete(table->name(), old_row));
+  }
+  return static_cast<std::uint64_t>(matches.size());
+}
+
+Status SoftDb::ExecuteCreateTable(const CreateTableStmt& stmt) {
+  Schema schema;
+  for (const ColumnSpec& col : stmt.columns) {
+    ColumnDef def;
+    def.name = col.name;
+    def.type = col.type;
+    def.nullable = !col.not_null;
+    schema.AddColumn(std::move(def));
+  }
+  // PK columns become non-nullable.
+  for (const ConstraintSpec& spec : stmt.constraints) {
+    if (spec.kind != ConstraintSpec::Kind::kPrimaryKey) continue;
+    std::vector<ColumnDef> cols = schema.columns();
+    for (ColumnDef& def : cols) {
+      for (const std::string& pk_col : spec.columns) {
+        if (ToLower(def.name) == ToLower(pk_col)) def.nullable = false;
+      }
+    }
+    schema = Schema(std::move(cols));
+  }
+  SOFTDB_ASSIGN_OR_RETURN(Table * table,
+                          catalog_.CreateTable(stmt.table, std::move(schema)));
+
+  for (const ConstraintSpec& spec : stmt.constraints) {
+    std::string name = spec.name.empty()
+                           ? StrFormat("ic_%s_%llu", table->name().c_str(),
+                                       static_cast<unsigned long long>(
+                                           ++ic_name_counter_))
+                           : spec.name;
+    auto resolve_cols =
+        [&](const std::vector<std::string>& names,
+            const Schema& s) -> Result<std::vector<ColumnIdx>> {
+      std::vector<ColumnIdx> out;
+      for (const std::string& n : names) {
+        SOFTDB_ASSIGN_OR_RETURN(ColumnIdx idx, s.Resolve(n));
+        out.push_back(idx);
+      }
+      return out;
+    };
+    const ConstraintMode mode = spec.informational
+                                    ? ConstraintMode::kInformational
+                                    : ConstraintMode::kEnforced;
+    switch (spec.kind) {
+      case ConstraintSpec::Kind::kPrimaryKey:
+      case ConstraintSpec::Kind::kUnique: {
+        SOFTDB_ASSIGN_OR_RETURN(std::vector<ColumnIdx> cols,
+                                resolve_cols(spec.columns, table->schema()));
+        SOFTDB_RETURN_IF_ERROR(ics_.Add(
+            std::make_unique<UniqueConstraint>(
+                name, table->name(), std::move(cols),
+                spec.kind == ConstraintSpec::Kind::kPrimaryKey, mode),
+            catalog_));
+        break;
+      }
+      case ConstraintSpec::Kind::kCheck: {
+        ExprPtr expr = spec.check->Clone();
+        SOFTDB_RETURN_IF_ERROR(expr->Bind(table->schema()));
+        SOFTDB_RETURN_IF_ERROR(
+            ics_.Add(std::make_unique<CheckConstraint>(
+                         name, table->name(), std::move(expr), mode),
+                     catalog_));
+        break;
+      }
+      case ConstraintSpec::Kind::kForeignKey: {
+        SOFTDB_ASSIGN_OR_RETURN(std::vector<ColumnIdx> cols,
+                                resolve_cols(spec.columns, table->schema()));
+        SOFTDB_ASSIGN_OR_RETURN(Table * parent,
+                                catalog_.GetTable(spec.ref_table));
+        SOFTDB_ASSIGN_OR_RETURN(
+            std::vector<ColumnIdx> parent_cols,
+            resolve_cols(spec.ref_columns, parent->schema()));
+        SOFTDB_RETURN_IF_ERROR(ics_.Add(
+            std::make_unique<ForeignKeyConstraint>(
+                name, table->name(), std::move(cols), parent->name(),
+                std::move(parent_cols), mode),
+            catalog_));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> SoftDb::Execute(const std::string& sql) {
+  SOFTDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  QueryResult result;
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      return ExecuteSelect(sql, *stmt.select, /*explain_only=*/false);
+    case Statement::Kind::kExplain:
+      return ExecuteSelect(sql, *stmt.select, /*explain_only=*/true);
+    case Statement::Kind::kInsert:
+      SOFTDB_RETURN_IF_ERROR(ExecuteInsert(*stmt.insert));
+      return result;
+    case Statement::Kind::kUpdate: {
+      SOFTDB_ASSIGN_OR_RETURN(std::uint64_t n, ExecuteUpdate(*stmt.update));
+      result.estimated_rows = static_cast<double>(n);
+      return result;
+    }
+    case Statement::Kind::kDelete: {
+      SOFTDB_ASSIGN_OR_RETURN(std::uint64_t n, ExecuteDelete(*stmt.del));
+      result.estimated_rows = static_cast<double>(n);
+      return result;
+    }
+    case Statement::Kind::kCreateTable:
+      SOFTDB_RETURN_IF_ERROR(ExecuteCreateTable(*stmt.create_table));
+      return result;
+    case Statement::Kind::kCreateIndex:
+      SOFTDB_RETURN_IF_ERROR(catalog_
+                                 .CreateIndex(stmt.create_index->index,
+                                              stmt.create_index->table,
+                                              stmt.create_index->column)
+                                 .status());
+      return result;
+    case Statement::Kind::kAnalyze:
+      SOFTDB_RETURN_IF_ERROR(Analyze(stmt.analyze->table));
+      return result;
+    case Statement::Kind::kDropTable:
+      SOFTDB_RETURN_IF_ERROR(catalog_.DropTable(stmt.drop_table->table));
+      plan_cache_.Clear();
+      return result;
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<std::string> SoftDb::Explain(const std::string& sql) {
+  SOFTDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != Statement::Kind::kSelect &&
+      stmt.kind != Statement::Kind::kExplain) {
+    return Status::InvalidArgument("EXPLAIN supports SELECT only");
+  }
+  SOFTDB_ASSIGN_OR_RETURN(QueryResult result,
+                          ExecuteSelect(sql, *stmt.select,
+                                        /*explain_only=*/true));
+  std::string out = result.plan_text;
+  out += StrFormat("estimated rows: %.1f, estimated cost: %.1f pages\n",
+                   result.estimated_rows, result.estimated_cost);
+  for (const std::string& rule : result.applied_rules) {
+    out += "rule: " + rule + "\n";
+  }
+  return out;
+}
+
+}  // namespace softdb

@@ -1,0 +1,120 @@
+#ifndef SOFTDB_ENGINE_SOFTDB_H_
+#define SOFTDB_ENGINE_SOFTDB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "constraints/ic_registry.h"
+#include "constraints/sc_registry.h"
+#include "exec/operator.h"
+#include "mv/materialized_view.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/optimizer_context.h"
+#include "optimizer/plan_cache.h"
+#include "sql/statement.h"
+#include "stats/analyzer.h"
+#include "storage/catalog.h"
+
+namespace softdb {
+
+/// Engine-level configuration: optimizer rule switches (defaults match the
+/// full soft-constraint pipeline) and execution knobs.
+struct EngineOptions {
+  bool use_plan_cache = true;
+  bool enable_predicate_introduction = true;
+  bool enable_twinning = true;
+  bool enable_join_elimination = true;
+  bool enable_fd_pruning = true;
+  bool enable_hole_trimming = true;
+  bool enable_domain_rules = true;
+  bool enable_unionall_pruning = true;
+  bool enable_exception_asts = true;
+  bool use_twins_in_estimation = true;
+  bool prefer_sort_merge_join = false;
+  bool enable_runtime_parameterization = true;
+};
+
+/// Result of one executed statement.
+struct QueryResult {
+  RowSet rows;
+  ExecStats exec_stats;
+  std::vector<std::string> applied_rules;
+  std::vector<std::string> used_scs;
+  double estimated_rows = 0.0;   // Optimizer's estimate for the root.
+  double estimated_cost = 0.0;   // Plan cost in simulated pages.
+  std::string plan_text;
+  bool from_plan_cache = false;
+  bool used_backup_plan = false;
+};
+
+/// The top-level engine: catalog + statistics + integrity and soft
+/// constraint registries + AST facility + optimizer + executor, wired the
+/// way the paper's DB2 prototype wires them (SCs feed rewrite and
+/// estimation; violations invalidate cached packages which flip to their
+/// ASC-free backup plans).
+class SoftDb {
+ public:
+  explicit SoftDb(EngineOptions options = {});
+
+  // Component access (tests, benches and examples drive these directly).
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  StatsCatalog& stats() { return stats_; }
+  IcRegistry& ics() { return ics_; }
+  ScRegistry& scs() { return scs_; }
+  MvRegistry& mvs() { return mvs_; }
+  PlanCache& plan_cache() { return plan_cache_; }
+  EngineOptions& options() { return options_; }
+
+  /// Parses and executes one SQL statement.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// EXPLAIN: optimizes without executing; returns the annotated plan.
+  Result<std::string> Explain(const std::string& sql);
+
+  /// Inserts one row through the full pipeline: IC checks, append, index
+  /// maintenance, SC maintenance (§3.2/§4.3), AST maintenance.
+  Status InsertRow(const std::string& table, const std::vector<Value>& values);
+
+  /// Registers an exception AST for a soft constraint (§4.4): creates a
+  /// materialized view over the rows *violating* `sc_name` (which must be a
+  /// PredicateSc or ColumnOffsetSc) and wires it into the optimizer.
+  Result<MaterializedView*> CreateExceptionAst(const std::string& sc_name);
+
+  /// Runs ANALYZE over one table or all tables.
+  Status Analyze(const std::string& table = "");
+
+  /// Drains the SC async repair queue and re-arms cached plans whose SCs
+  /// are active again.
+  Status RunMaintenance();
+
+  /// Builds the OptimizerContext for the current options (benches use this
+  /// to drive the planner directly).
+  OptimizerContext MakeContext();
+  /// Estimator matching the current options.
+  CardinalityEstimator MakeEstimator() const;
+
+ private:
+  Result<QueryResult> ExecuteSelect(const std::string& sql,
+                                    const SelectStmt& stmt, bool explain_only);
+  Result<QueryResult> RunPlan(const PlanNode& plan, QueryResult result);
+  Status ExecuteInsert(const InsertStmt& stmt);
+  Result<std::uint64_t> ExecuteUpdate(const UpdateStmt& stmt);
+  Result<std::uint64_t> ExecuteDelete(const DeleteStmt& stmt);
+  Status ExecuteCreateTable(const CreateTableStmt& stmt);
+
+  EngineOptions options_;
+  Catalog catalog_;
+  StatsCatalog stats_;
+  IcRegistry ics_;
+  ScRegistry scs_;
+  MvRegistry mvs_;
+  PlanCache plan_cache_;
+  std::uint64_t ic_name_counter_ = 0;
+  std::map<std::string, std::string> exception_asts_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_ENGINE_SOFTDB_H_

@@ -1,0 +1,43 @@
+#include "exec/operator.h"
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+std::string RowSet::ToString(std::size_t max_rows) const {
+  std::string out;
+  std::vector<std::string> headers;
+  headers.reserve(schema.NumColumns());
+  for (const ColumnDef& c : schema.columns()) headers.push_back(c.name);
+  out += Join(headers, " | ") + "\n";
+  out += std::string(out.size() > 1 ? out.size() - 1 : 0, '-') + "\n";
+  std::size_t shown = 0;
+  for (const std::vector<Value>& row : rows) {
+    if (shown++ >= max_rows) {
+      out += StrFormat("... (%zu rows total)\n", rows.size());
+      break;
+    }
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Value& v : row) cells.push_back(v.ToString());
+    out += Join(cells, " | ") + "\n";
+  }
+  return out;
+}
+
+Result<RowSet> ExecuteToCompletion(Operator* root, ExecContext* ctx) {
+  RowSet result;
+  result.schema = root->schema();
+  SOFTDB_RETURN_IF_ERROR(root->Open(ctx));
+  std::vector<Value> row;
+  while (true) {
+    SOFTDB_ASSIGN_OR_RETURN(bool has, root->Next(ctx, &row));
+    if (!has) break;
+    ++ctx->stats.rows_output;
+    result.rows.push_back(std::move(row));
+    row = {};
+  }
+  return result;
+}
+
+}  // namespace softdb

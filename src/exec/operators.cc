@@ -1,0 +1,729 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <set>
+
+namespace softdb {
+
+Result<bool> EvalPredicates(const std::vector<Predicate>& predicates,
+                            const std::vector<Value>& row) {
+  for (const Predicate& p : predicates) {
+    if (p.estimation_only) continue;
+    SOFTDB_ASSIGN_OR_RETURN(Value v, p.expr->Eval(row));
+    if (v.is_null() || !v.AsBool()) return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------ SeqScan
+
+SeqScanOp::SeqScanOp(const Table* table, Schema schema,
+                     std::vector<Predicate> preds)
+    : Operator(std::move(schema)), table_(table), predicates_(std::move(preds)) {}
+
+void SeqScanOp::AddRuntimeParameter(std::size_t predicate_index,
+                                    const Index* index,
+                                    SimplePredicate simple) {
+  runtime_params_.push_back(
+      RuntimeParameter{predicate_index, index, std::move(simple)});
+}
+
+namespace {
+
+// Classification of a simple predicate against the current [min, max]
+// domain an index maintains — the §4.2 runtime check. 0 = undecided,
+// 1 = tautology (skip the predicate), -1 = contradiction (empty scan).
+int ClassifyAgainstDomain(const SimplePredicate& sp, const Value& min_key,
+                          const Value& max_key) {
+  if (sp.constant.is_null()) return -1;
+  if (sp.constant.type() == TypeId::kString) return 0;
+  const double c = sp.constant.NumericValue();
+  const double lo = min_key.NumericValue();
+  const double hi = max_key.NumericValue();
+  switch (sp.op) {
+    case CompareOp::kLe:
+      return c >= hi ? 1 : (c < lo ? -1 : 0);
+    case CompareOp::kLt:
+      return c > hi ? 1 : (c <= lo ? -1 : 0);
+    case CompareOp::kGe:
+      return c <= lo ? 1 : (c > hi ? -1 : 0);
+    case CompareOp::kGt:
+      return c < lo ? 1 : (c >= hi ? -1 : 0);
+    case CompareOp::kEq:
+      return (c < lo || c > hi) ? -1 : 0;
+    case CompareOp::kNe:
+      return (c < lo || c > hi) ? 1 : 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Status SeqScanOp::Open(ExecContext* ctx) {
+  next_ = 0;
+  provably_empty_ = false;
+  effective_.clear();
+
+  // §4.2: resolve runtime parameters against the indexes' current min/max.
+  std::vector<bool> skip(predicates_.size(), false);
+  for (const RuntimeParameter& param : runtime_params_) {
+    // Runtime checks on nullable columns can only prove emptiness when the
+    // predicate itself rejects NULLs — which simple comparisons do — so
+    // both outcomes are sound: tautology-skip only skips row evaluation
+    // for rows that would pass, and contradiction means no row passes.
+    auto min_key = param.index->MinKey();
+    auto max_key = param.index->MaxKey();
+    if (!min_key.has_value() || !max_key.has_value()) continue;
+    const int cls = ClassifyAgainstDomain(param.simple, *min_key, *max_key);
+    if (cls > 0 &&
+        !schema_.Column(param.simple.column).nullable) {
+      skip[param.predicate_index] = true;
+      ++ctx->stats.runtime_param_skips;
+    } else if (cls < 0) {
+      provably_empty_ = true;
+      return Status::OK();  // No pages touched at all.
+    }
+  }
+  for (std::size_t i = 0; i < predicates_.size(); ++i) {
+    if (!skip[i]) effective_.push_back(&predicates_[i]);
+  }
+  ctx->stats.pages_read += table_->NumPages();
+  return Status::OK();
+}
+
+Result<bool> SeqScanOp::Next(ExecContext* ctx, std::vector<Value>* row) {
+  if (provably_empty_) return false;
+  while (next_ < table_->NumSlots()) {
+    const RowId id = next_++;
+    if (!table_->IsLive(id)) continue;
+    ++ctx->stats.rows_scanned;
+    std::vector<Value> candidate = table_->GetRow(id);
+    bool pass = true;
+    for (const Predicate* p : effective_) {
+      if (p->estimation_only) continue;
+      SOFTDB_ASSIGN_OR_RETURN(Value v, p->expr->Eval(candidate));
+      if (v.is_null() || !v.AsBool()) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    ++ctx->stats.rows_emitted;
+    *row = std::move(candidate);
+    return true;
+  }
+  return false;
+}
+
+// ----------------------------------------------------------- IndexRangeScan
+
+IndexRangeScanOp::IndexRangeScanOp(const Table* table, const Index* index,
+                                   Schema schema, std::optional<Value> lo,
+                                   bool lo_inclusive, std::optional<Value> hi,
+                                   bool hi_inclusive,
+                                   std::vector<Predicate> residual)
+    : Operator(std::move(schema)), table_(table), index_(index),
+      lo_(std::move(lo)), hi_(std::move(hi)), lo_inclusive_(lo_inclusive),
+      hi_inclusive_(hi_inclusive), residual_(std::move(residual)) {}
+
+Status IndexRangeScanOp::Open(ExecContext* ctx) {
+  next_ = 0;
+  rows_ = index_->RangeScan(lo_, lo_inclusive_, hi_, hi_inclusive_);
+  ++ctx->stats.index_lookups;
+  // Leaf pages of the index range plus the distinct data pages fetched.
+  ctx->stats.pages_read += (rows_.size() + kRowsPerPage - 1) / kRowsPerPage;
+  std::set<std::uint64_t> data_pages;
+  for (RowId r : rows_) data_pages.insert(r / kRowsPerPage);
+  ctx->stats.pages_read += data_pages.size();
+  return Status::OK();
+}
+
+Result<bool> IndexRangeScanOp::Next(ExecContext* ctx, std::vector<Value>* row) {
+  while (next_ < rows_.size()) {
+    const RowId id = rows_[next_++];
+    ++ctx->stats.rows_scanned;
+    std::vector<Value> candidate = table_->GetRow(id);
+    SOFTDB_ASSIGN_OR_RETURN(bool pass, EvalPredicates(residual_, candidate));
+    if (!pass) continue;
+    ++ctx->stats.rows_emitted;
+    *row = std::move(candidate);
+    return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------------- Filter
+
+FilterOp::FilterOp(OperatorPtr child, std::vector<Predicate> preds)
+    : Operator(child->schema()), child_(std::move(child)),
+      predicates_(std::move(preds)) {}
+
+Status FilterOp::Open(ExecContext* ctx) { return child_->Open(ctx); }
+
+Result<bool> FilterOp::Next(ExecContext* ctx, std::vector<Value>* row) {
+  while (true) {
+    SOFTDB_ASSIGN_OR_RETURN(bool has, child_->Next(ctx, row));
+    if (!has) return false;
+    SOFTDB_ASSIGN_OR_RETURN(bool pass, EvalPredicates(predicates_, *row));
+    if (pass) return true;
+  }
+}
+
+// ------------------------------------------------------------------ Project
+
+ProjectOp::ProjectOp(OperatorPtr child, Schema schema,
+                     std::vector<ExprPtr> exprs)
+    : Operator(std::move(schema)), child_(std::move(child)),
+      exprs_(std::move(exprs)) {}
+
+Status ProjectOp::Open(ExecContext* ctx) { return child_->Open(ctx); }
+
+Result<bool> ProjectOp::Next(ExecContext* ctx, std::vector<Value>* row) {
+  std::vector<Value> input;
+  SOFTDB_ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &input));
+  if (!has) return false;
+  row->clear();
+  row->reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) {
+    SOFTDB_ASSIGN_OR_RETURN(Value v, e->Eval(input));
+    row->push_back(std::move(v));
+  }
+  return true;
+}
+
+// ----------------------------------------------------------------- HashJoin
+
+std::size_t HashJoinOp::KeyHash::operator()(
+    const std::vector<Value>& key) const {
+  std::size_t h = 1469598103934665603ULL;
+  for (const Value& v : key) {
+    h ^= v.Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool HashJoinOp::KeyEq::operator()(const std::vector<Value>& a,
+                                   const std::vector<Value>& b) const {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].GroupEquals(b[i])) return false;
+  }
+  return true;
+}
+
+HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
+                       std::vector<JoinNode::EquiKey> keys,
+                       std::vector<Predicate> residual)
+    : Operator(Schema::Concat(left->schema(), right->schema())),
+      left_(std::move(left)), right_(std::move(right)), keys_(std::move(keys)),
+      residual_(std::move(residual)) {}
+
+Status HashJoinOp::Open(ExecContext* ctx) {
+  build_.clear();
+  matches_ = nullptr;
+  match_idx_ = 0;
+  probe_open_ = true;
+  SOFTDB_RETURN_IF_ERROR(right_->Open(ctx));
+  std::vector<Value> row;
+  while (true) {
+    auto has = right_->Next(ctx, &row);
+    if (!has.ok()) return has.status();
+    if (!*has) break;
+    std::vector<Value> key;
+    key.reserve(keys_.size());
+    bool null_key = false;
+    for (const JoinNode::EquiKey& k : keys_) {
+      if (row[k.right].is_null()) {
+        null_key = true;
+        break;
+      }
+      key.push_back(row[k.right]);
+    }
+    if (null_key) continue;
+    build_[std::move(key)].push_back(std::move(row));
+    row = {};
+  }
+  return left_->Open(ctx);
+}
+
+Result<bool> HashJoinOp::AdvanceProbe(ExecContext* ctx) {
+  while (true) {
+    SOFTDB_ASSIGN_OR_RETURN(bool has, left_->Next(ctx, &probe_row_));
+    if (!has) return false;
+    std::vector<Value> key;
+    key.reserve(keys_.size());
+    bool null_key = false;
+    for (const JoinNode::EquiKey& k : keys_) {
+      if (probe_row_[k.left].is_null()) {
+        null_key = true;
+        break;
+      }
+      key.push_back(probe_row_[k.left]);
+    }
+    if (null_key) continue;
+    auto it = build_.find(key);
+    if (it == build_.end()) continue;
+    matches_ = &it->second;
+    match_idx_ = 0;
+    return true;
+  }
+}
+
+Result<bool> HashJoinOp::Next(ExecContext* ctx, std::vector<Value>* row) {
+  while (true) {
+    if (matches_ == nullptr || match_idx_ >= matches_->size()) {
+      SOFTDB_ASSIGN_OR_RETURN(bool has, AdvanceProbe(ctx));
+      if (!has) return false;
+    }
+    const std::vector<Value>& right_row = (*matches_)[match_idx_++];
+    ++ctx->stats.rows_joined;
+    std::vector<Value> combined = probe_row_;
+    combined.insert(combined.end(), right_row.begin(), right_row.end());
+    SOFTDB_ASSIGN_OR_RETURN(bool pass, EvalPredicates(residual_, combined));
+    if (!pass) continue;
+    *row = std::move(combined);
+    return true;
+  }
+}
+
+// ------------------------------------------------------------ SortMergeJoin
+
+namespace {
+
+// Sorts rows by the given key columns (NULLs first, then value order).
+void SortByColumns(std::vector<std::vector<Value>>* rows,
+                   const std::vector<ColumnIdx>& cols) {
+  std::stable_sort(rows->begin(), rows->end(),
+                   [&](const std::vector<Value>& a,
+                       const std::vector<Value>& b) {
+                     for (ColumnIdx c : cols) {
+                       auto cmp = a[c].Compare(b[c]);
+                       const int v = cmp.ok() ? *cmp : 0;
+                       if (v != 0) return v < 0;
+                     }
+                     return false;
+                   });
+}
+
+Result<std::vector<std::vector<Value>>> Materialize(Operator* op,
+                                                    ExecContext* ctx) {
+  std::vector<std::vector<Value>> rows;
+  SOFTDB_RETURN_IF_ERROR(op->Open(ctx));
+  std::vector<Value> row;
+  while (true) {
+    SOFTDB_ASSIGN_OR_RETURN(bool has, op->Next(ctx, &row));
+    if (!has) break;
+    rows.push_back(std::move(row));
+    row = {};
+  }
+  return rows;
+}
+
+}  // namespace
+
+SortMergeJoinOp::SortMergeJoinOp(OperatorPtr left, OperatorPtr right,
+                                 std::vector<JoinNode::EquiKey> keys,
+                                 std::vector<Predicate> residual)
+    : Operator(Schema::Concat(left->schema(), right->schema())),
+      left_(std::move(left)), right_(std::move(right)),
+      keys_(std::move(keys)), residual_(std::move(residual)) {}
+
+Status SortMergeJoinOp::Open(ExecContext* ctx) {
+  results_.clear();
+  next_ = 0;
+  SOFTDB_ASSIGN_OR_RETURN(std::vector<std::vector<Value>> left_rows,
+                          Materialize(left_.get(), ctx));
+  SOFTDB_ASSIGN_OR_RETURN(std::vector<std::vector<Value>> right_rows,
+                          Materialize(right_.get(), ctx));
+  std::vector<ColumnIdx> left_cols, right_cols;
+  for (const JoinNode::EquiKey& k : keys_) {
+    left_cols.push_back(k.left);
+    right_cols.push_back(k.right);
+  }
+  SortByColumns(&left_rows, left_cols);
+  SortByColumns(&right_rows, right_cols);
+  ctx->stats.rows_sorted += left_rows.size() + right_rows.size();
+
+  auto key_cmp = [&](const std::vector<Value>& l,
+                     const std::vector<Value>& r) -> int {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      auto cmp = l[keys_[i].left].Compare(r[keys_[i].right]);
+      const int v = cmp.ok() ? *cmp : 0;
+      if (v != 0) return v;
+    }
+    return 0;
+  };
+  auto has_null_key = [&](const std::vector<Value>& row,
+                          const std::vector<ColumnIdx>& cols) {
+    for (ColumnIdx c : cols) {
+      if (row[c].is_null()) return true;
+    }
+    return false;
+  };
+
+  std::size_t li = 0, ri = 0;
+  while (li < left_rows.size() && ri < right_rows.size()) {
+    if (has_null_key(left_rows[li], left_cols)) {
+      ++li;
+      continue;
+    }
+    if (has_null_key(right_rows[ri], right_cols)) {
+      ++ri;
+      continue;
+    }
+    const int cmp = key_cmp(left_rows[li], right_rows[ri]);
+    if (cmp < 0) {
+      ++li;
+      continue;
+    }
+    if (cmp > 0) {
+      ++ri;
+      continue;
+    }
+    // Equal-key groups: [li, le) x [ri, re).
+    std::size_t le = li;
+    while (le < left_rows.size() &&
+           key_cmp(left_rows[le], right_rows[ri]) == 0) {
+      ++le;
+    }
+    std::size_t re = ri;
+    while (re < right_rows.size() &&
+           key_cmp(left_rows[li], right_rows[re]) == 0) {
+      ++re;
+    }
+    for (std::size_t l = li; l < le; ++l) {
+      for (std::size_t r = ri; r < re; ++r) {
+        ++ctx->stats.rows_joined;
+        std::vector<Value> combined = left_rows[l];
+        combined.insert(combined.end(), right_rows[r].begin(),
+                        right_rows[r].end());
+        SOFTDB_ASSIGN_OR_RETURN(bool pass,
+                                EvalPredicates(residual_, combined));
+        if (pass) results_.push_back(std::move(combined));
+      }
+    }
+    li = le;
+    ri = re;
+  }
+  return Status::OK();
+}
+
+Result<bool> SortMergeJoinOp::Next(ExecContext*, std::vector<Value>* row) {
+  if (next_ >= results_.size()) return false;
+  *row = results_[next_++];
+  return true;
+}
+
+// ----------------------------------------------------------- NestedLoopJoin
+
+NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
+                                   std::vector<Predicate> conditions)
+    : Operator(Schema::Concat(left->schema(), right->schema())),
+      left_(std::move(left)), right_(std::move(right)),
+      conditions_(std::move(conditions)) {}
+
+Status NestedLoopJoinOp::Open(ExecContext* ctx) {
+  right_rows_.clear();
+  right_idx_ = 0;
+  left_valid_ = false;
+  SOFTDB_RETURN_IF_ERROR(right_->Open(ctx));
+  std::vector<Value> row;
+  while (true) {
+    auto has = right_->Next(ctx, &row);
+    if (!has.ok()) return has.status();
+    if (!*has) break;
+    right_rows_.push_back(std::move(row));
+    row = {};
+  }
+  return left_->Open(ctx);
+}
+
+Result<bool> NestedLoopJoinOp::Next(ExecContext* ctx, std::vector<Value>* row) {
+  while (true) {
+    if (!left_valid_) {
+      SOFTDB_ASSIGN_OR_RETURN(bool has, left_->Next(ctx, &left_row_));
+      if (!has) return false;
+      left_valid_ = true;
+      right_idx_ = 0;
+    }
+    while (right_idx_ < right_rows_.size()) {
+      const std::vector<Value>& right_row = right_rows_[right_idx_++];
+      ++ctx->stats.rows_joined;
+      std::vector<Value> combined = left_row_;
+      combined.insert(combined.end(), right_row.begin(), right_row.end());
+      SOFTDB_ASSIGN_OR_RETURN(bool pass, EvalPredicates(conditions_, combined));
+      if (pass) {
+        *row = std::move(combined);
+        return true;
+      }
+    }
+    left_valid_ = false;
+  }
+}
+
+// -------------------------------------------------------------- HashAggregate
+
+namespace {
+
+struct GroupKeyHash {
+  std::size_t operator()(const std::vector<Value>& key) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (const Value& v : key) {
+      h ^= v.Hash();
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+struct GroupKeyEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].GroupEquals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+struct AggState {
+  std::int64_t count = 0;
+  double sum = 0.0;
+  std::optional<Value> min;
+  std::optional<Value> max;
+  bool any = false;
+  TypeId sum_type = TypeId::kInt64;
+};
+
+}  // namespace
+
+HashAggregateOp::HashAggregateOp(OperatorPtr child, Schema schema,
+                                 std::vector<ExprPtr> group_by,
+                                 std::vector<AggregateItem> aggregates,
+                                 std::vector<bool> key_flags)
+    : Operator(std::move(schema)), child_(std::move(child)),
+      group_by_(std::move(group_by)), aggregates_(std::move(aggregates)),
+      key_flags_(std::move(key_flags)) {
+  if (key_flags_.size() != group_by_.size()) {
+    key_flags_.assign(group_by_.size(), true);
+  }
+}
+
+Status HashAggregateOp::Open(ExecContext* ctx) {
+  results_.clear();
+  next_ = 0;
+  SOFTDB_RETURN_IF_ERROR(child_->Open(ctx));
+
+  struct GroupData {
+    std::vector<Value> output_values;  // All group exprs, first row seen.
+    std::vector<AggState> states;
+  };
+  std::unordered_map<std::vector<Value>, GroupData, GroupKeyHash, GroupKeyEq>
+      groups;
+  std::vector<std::vector<Value>> group_order;  // Keys in first-seen order.
+
+  std::vector<Value> row;
+  while (true) {
+    auto has = child_->Next(ctx, &row);
+    if (!has.ok()) return has.status();
+    if (!*has) break;
+
+    std::vector<Value> all_values;
+    all_values.reserve(group_by_.size());
+    for (const ExprPtr& g : group_by_) {
+      auto v = g->Eval(row);
+      if (!v.ok()) return v.status();
+      all_values.push_back(*std::move(v));
+    }
+    // Grouping key: only flagged exprs (FD-pruned columns are carried but
+    // not compared).
+    std::vector<Value> key;
+    key.reserve(group_by_.size());
+    for (std::size_t i = 0; i < group_by_.size(); ++i) {
+      if (key_flags_[i]) key.push_back(all_values[i]);
+    }
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      GroupData data;
+      data.output_values = std::move(all_values);
+      data.states.resize(aggregates_.size());
+      it = groups.emplace(key, std::move(data)).first;
+      group_order.push_back(key);
+    }
+    std::vector<AggState>& states = it->second.states;
+    for (std::size_t i = 0; i < aggregates_.size(); ++i) {
+      const AggregateItem& agg = aggregates_[i];
+      AggState& st = states[i];
+      if (agg.fn == AggFn::kCountStar) {
+        ++st.count;
+        continue;
+      }
+      auto v = agg.arg->Eval(row);
+      if (!v.ok()) return v.status();
+      if (v->is_null()) continue;
+      ++st.count;
+      st.any = true;
+      st.sum += v->NumericValue();
+      st.sum_type = v->type();
+      if (!st.min.has_value()) {
+        st.min = *v;
+        st.max = *v;
+      } else {
+        auto lt = v->Compare(*st.min);
+        if (lt.ok() && *lt < 0) st.min = *v;
+        auto gt = v->Compare(*st.max);
+        if (gt.ok() && *gt > 0) st.max = *v;
+      }
+    }
+  }
+
+  // Grouped query with no groups at all: global aggregates still emit one
+  // row (SQL semantics for aggregate queries without GROUP BY).
+  if (group_order.empty() && group_by_.empty()) {
+    GroupData data;
+    data.states.resize(aggregates_.size());
+    groups.emplace(std::vector<Value>{}, std::move(data));
+    group_order.push_back({});
+  }
+
+  for (const std::vector<Value>& key : group_order) {
+    const GroupData& group = groups[key];
+    const std::vector<AggState>& states = group.states;
+    std::vector<Value> out = group.output_values;
+    for (std::size_t i = 0; i < aggregates_.size(); ++i) {
+      const AggregateItem& agg = aggregates_[i];
+      const AggState& st = states[i];
+      switch (agg.fn) {
+        case AggFn::kCountStar:
+        case AggFn::kCount:
+          out.push_back(Value::Int64(st.count));
+          break;
+        case AggFn::kSum:
+          if (!st.any) {
+            out.push_back(Value::Null(TypeId::kDouble));
+          } else if (st.sum_type == TypeId::kDouble) {
+            out.push_back(Value::Double(st.sum));
+          } else {
+            out.push_back(Value::Int64(static_cast<std::int64_t>(st.sum)));
+          }
+          break;
+        case AggFn::kAvg:
+          out.push_back(st.any ? Value::Double(st.sum /
+                                               static_cast<double>(st.count))
+                               : Value::Null(TypeId::kDouble));
+          break;
+        case AggFn::kMin:
+          out.push_back(st.min.value_or(Value::Null()));
+          break;
+        case AggFn::kMax:
+          out.push_back(st.max.value_or(Value::Null()));
+          break;
+      }
+    }
+    results_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<bool> HashAggregateOp::Next(ExecContext*, std::vector<Value>* row) {
+  if (next_ >= results_.size()) return false;
+  *row = results_[next_++];
+  return true;
+}
+
+// --------------------------------------------------------------------- Sort
+
+SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys, bool presorted)
+    : Operator(child->schema()), child_(std::move(child)),
+      keys_(std::move(keys)), presorted_(presorted) {}
+
+Status SortOp::Open(ExecContext* ctx) {
+  rows_.clear();
+  next_ = 0;
+  SOFTDB_RETURN_IF_ERROR(child_->Open(ctx));
+  std::vector<Value> row;
+  while (true) {
+    auto has = child_->Next(ctx, &row);
+    if (!has.ok()) return has.status();
+    if (!*has) break;
+    rows_.push_back(std::move(row));
+    row = {};
+  }
+  if (presorted_) return Status::OK();
+
+  ctx->stats.rows_sorted += rows_.size();
+  // Precompute key values per row to keep the comparator cheap.
+  std::vector<std::vector<Value>> key_values(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    key_values[i].reserve(keys_.size());
+    for (const SortKey& k : keys_) {
+      auto v = k.expr->Eval(rows_[i]);
+      if (!v.ok()) return v.status();
+      key_values[i].push_back(*std::move(v));
+    }
+  }
+  std::vector<std::size_t> order(rows_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     for (std::size_t k = 0; k < keys_.size(); ++k) {
+                       auto cmp = key_values[a][k].Compare(key_values[b][k]);
+                       const int c = cmp.ok() ? *cmp : 0;
+                       if (c != 0) return keys_[k].ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  std::vector<std::vector<Value>> sorted;
+  sorted.reserve(rows_.size());
+  for (std::size_t i : order) sorted.push_back(std::move(rows_[i]));
+  rows_ = std::move(sorted);
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(ExecContext*, std::vector<Value>* row) {
+  if (next_ >= rows_.size()) return false;
+  *row = rows_[next_++];
+  return true;
+}
+
+// ----------------------------------------------------------------- UnionAll
+
+UnionAllOp::UnionAllOp(Schema schema, std::vector<OperatorPtr> children)
+    : Operator(std::move(schema)), children_(std::move(children)) {}
+
+Status UnionAllOp::Open(ExecContext* ctx) {
+  current_ = 0;
+  for (OperatorPtr& c : children_) SOFTDB_RETURN_IF_ERROR(c->Open(ctx));
+  return Status::OK();
+}
+
+Result<bool> UnionAllOp::Next(ExecContext* ctx, std::vector<Value>* row) {
+  while (current_ < children_.size()) {
+    SOFTDB_ASSIGN_OR_RETURN(bool has, children_[current_]->Next(ctx, row));
+    if (has) return true;
+    ++current_;
+  }
+  return false;
+}
+
+// -------------------------------------------------------------------- Limit
+
+LimitOp::LimitOp(OperatorPtr child, std::size_t limit)
+    : Operator(child->schema()), child_(std::move(child)), limit_(limit) {}
+
+Status LimitOp::Open(ExecContext* ctx) {
+  produced_ = 0;
+  return child_->Open(ctx);
+}
+
+Result<bool> LimitOp::Next(ExecContext* ctx, std::vector<Value>* row) {
+  if (produced_ >= limit_) return false;
+  SOFTDB_ASSIGN_OR_RETURN(bool has, child_->Next(ctx, row));
+  if (!has) return false;
+  ++produced_;
+  return true;
+}
+
+}  // namespace softdb

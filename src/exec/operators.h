@@ -1,0 +1,265 @@
+#ifndef SOFTDB_EXEC_OPERATORS_H_
+#define SOFTDB_EXEC_OPERATORS_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+#include "plan/predicate.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace softdb {
+
+/// Full-table scan applying non-estimation-only predicates. Charges the
+/// whole table's pages at Open (a sequential scan touches every page).
+///
+/// Supports §4.2 runtime plan parameterization: a predicate may be tagged
+/// with an index whose maintained min/max (the Sybase-style "SC") is
+/// consulted at Open — if the current domain makes the predicate a
+/// tautology it is skipped for this execution; if a contradiction, the
+/// scan produces nothing without touching a page. The plan itself never
+/// changes, so it stays valid across updates ("the actual values in the
+/// ASC are not important ... the availability of this information at
+/// runtime is").
+class SeqScanOp final : public Operator {
+ public:
+  SeqScanOp(const Table* table, Schema schema, std::vector<Predicate> preds);
+
+  /// Tags predicates_[predicate_index] (which folds to `simple`) for
+  /// runtime evaluation against `index`'s current min/max.
+  void AddRuntimeParameter(std::size_t predicate_index, const Index* index,
+                           SimplePredicate simple);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
+
+ private:
+  struct RuntimeParameter {
+    std::size_t predicate_index;
+    const Index* index;
+    SimplePredicate simple;
+  };
+
+  const Table* table_;
+  std::vector<Predicate> predicates_;
+  std::vector<RuntimeParameter> runtime_params_;
+  std::vector<const Predicate*> effective_;  // Predicates applied this run.
+  bool provably_empty_ = false;
+  RowId next_ = 0;
+};
+
+/// Index range scan: touches only the leaf range plus the data pages of
+/// qualifying rows; applies residual predicates afterwards. Output order is
+/// the index key order (the planner uses this to elide sorts).
+class IndexRangeScanOp final : public Operator {
+ public:
+  IndexRangeScanOp(const Table* table, const Index* index, Schema schema,
+                   std::optional<Value> lo, bool lo_inclusive,
+                   std::optional<Value> hi, bool hi_inclusive,
+                   std::vector<Predicate> residual);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
+
+ private:
+  const Table* table_;
+  const Index* index_;
+  std::optional<Value> lo_, hi_;
+  bool lo_inclusive_, hi_inclusive_;
+  std::vector<Predicate> residual_;
+  std::vector<RowId> rows_;
+  std::size_t next_ = 0;
+};
+
+/// Residual filter.
+class FilterOp final : public Operator {
+ public:
+  FilterOp(OperatorPtr child, std::vector<Predicate> preds);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<Predicate> predicates_;
+};
+
+/// Expression projection.
+class ProjectOp final : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, Schema schema, std::vector<ExprPtr> exprs);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+};
+
+/// Hash join on equi keys with residual conditions; builds on the right
+/// input, probes with the left. NULL keys never match.
+class HashJoinOp final : public Operator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right,
+             std::vector<JoinNode::EquiKey> keys,
+             std::vector<Predicate> residual);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::vector<Value>& key) const;
+  };
+  struct KeyEq {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const;
+  };
+
+  Result<bool> AdvanceProbe(ExecContext* ctx);
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<JoinNode::EquiKey> keys_;
+  std::vector<Predicate> residual_;
+  std::unordered_map<std::vector<Value>, std::vector<std::vector<Value>>,
+                     KeyHash, KeyEq>
+      build_;
+  std::vector<Value> probe_row_;
+  const std::vector<std::vector<Value>>* matches_ = nullptr;
+  std::size_t match_idx_ = 0;
+  bool probe_open_ = false;
+};
+
+/// Sort-merge join on equi keys: materializes and sorts both inputs by the
+/// key columns, then merges duplicate groups. Output is ordered by the
+/// left key columns, which lets the planner elide a downstream sort on
+/// them (the classic interesting-order optimization). NULL keys never
+/// match.
+class SortMergeJoinOp final : public Operator {
+ public:
+  SortMergeJoinOp(OperatorPtr left, OperatorPtr right,
+                  std::vector<JoinNode::EquiKey> keys,
+                  std::vector<Predicate> residual);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<JoinNode::EquiKey> keys_;
+  std::vector<Predicate> residual_;
+  std::vector<std::vector<Value>> results_;
+  std::size_t next_ = 0;
+};
+
+/// Nested-loop join for non-equi conditions; materializes the right input.
+class NestedLoopJoinOp final : public Operator {
+ public:
+  NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
+                   std::vector<Predicate> conditions);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<Predicate> conditions_;
+  std::vector<std::vector<Value>> right_rows_;
+  std::vector<Value> left_row_;
+  std::size_t right_idx_ = 0;
+  bool left_valid_ = false;
+};
+
+/// Hash aggregation; materializes groups at Open. `key_flags` mirrors
+/// AggregateNode::key_flags(): exprs with a cleared flag are carried in the
+/// output but excluded from the grouping key (FD-pruned columns).
+class HashAggregateOp final : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr child, Schema schema,
+                  std::vector<ExprPtr> group_by,
+                  std::vector<AggregateItem> aggregates,
+                  std::vector<bool> key_flags = {});
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggregateItem> aggregates_;
+  std::vector<bool> key_flags_;
+  std::vector<std::vector<Value>> results_;
+  std::size_t next_ = 0;
+};
+
+/// Full in-memory sort. `presorted` (set by the planner when the input
+/// already carries the needed order) turns it into a pass-through while
+/// still letting EXPLAIN show where a sort *would* be.
+class SortOp final : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<SortKey> keys, bool presorted);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  bool presorted_;
+  std::vector<std::vector<Value>> rows_;
+  std::size_t next_ = 0;
+};
+
+/// Concatenation of children.
+class UnionAllOp final : public Operator {
+ public:
+  UnionAllOp(Schema schema, std::vector<OperatorPtr> children);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
+
+ private:
+  std::vector<OperatorPtr> children_;
+  std::size_t current_ = 0;
+};
+
+/// LIMIT n.
+class LimitOp final : public Operator {
+ public:
+  LimitOp(OperatorPtr child, std::size_t limit);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
+
+ private:
+  OperatorPtr child_;
+  std::size_t limit_;
+  std::size_t produced_ = 0;
+};
+
+/// An operator producing zero rows (used when a branch is pruned away by a
+/// contradiction, §5's union-all knock-off).
+class EmptyOp final : public Operator {
+ public:
+  explicit EmptyOp(Schema schema) : Operator(std::move(schema)) {}
+  Status Open(ExecContext*) override { return Status::OK(); }
+  Result<bool> Next(ExecContext*, std::vector<Value>*) override {
+    return false;
+  }
+};
+
+/// Evaluates `predicates` (skipping estimation-only ones) against a row;
+/// true only when every predicate evaluates to TRUE.
+Result<bool> EvalPredicates(const std::vector<Predicate>& predicates,
+                            const std::vector<Value>& row);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_EXEC_OPERATORS_H_

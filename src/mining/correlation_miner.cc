@@ -1,0 +1,100 @@
+#include "mining/correlation_miner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace softdb {
+
+Result<CorrelationCandidate> FitCorrelation(
+    const Table& table, ColumnIdx col_a, ColumnIdx col_b,
+    const CorrelationMinerOptions& options) {
+  const ColumnVector& as = table.ColumnData(col_a);
+  const ColumnVector& bs = table.ColumnData(col_b);
+  if (!IsNumericType(as.type()) || !IsNumericType(bs.type())) {
+    return Status::InvalidArgument("correlation mining needs numeric columns");
+  }
+
+  double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;
+  std::uint64_t n = 0;
+  double a_min = 0, a_max = 0;
+  for (RowId r = 0; r < table.NumSlots(); ++r) {
+    if (!table.IsLive(r) || as.IsNull(r) || bs.IsNull(r)) continue;
+    const double a = as.GetNumeric(r);
+    const double b = bs.GetNumeric(r);
+    if (n == 0) {
+      a_min = a_max = a;
+    } else {
+      a_min = std::min(a_min, a);
+      a_max = std::max(a_max, a);
+    }
+    sum_a += a;
+    sum_b += b;
+    sum_aa += a * a;
+    sum_bb += b * b;
+    sum_ab += a * b;
+    ++n;
+  }
+  if (n < options.min_rows) {
+    return Status::InvalidArgument("too few rows for correlation fit");
+  }
+
+  const double nf = static_cast<double>(n);
+  const double cov = sum_ab - sum_a * sum_b / nf;
+  const double var_b = sum_bb - sum_b * sum_b / nf;
+  const double var_a = sum_aa - sum_a * sum_a / nf;
+  if (var_b < 1e-12 || var_a < 1e-12) {
+    return Status::InvalidArgument("degenerate column (constant)");
+  }
+
+  CorrelationCandidate cand;
+  cand.col_a = col_a;
+  cand.col_b = col_b;
+  cand.k = cov / var_b;
+  cand.c = (sum_a - cand.k * sum_b) / nf;
+  cand.r2 = (cov * cov) / (var_a * var_b);
+
+  // Deviation envelope: full max and the partial quantile.
+  std::vector<double> deviations;
+  deviations.reserve(n);
+  for (RowId r = 0; r < table.NumSlots(); ++r) {
+    if (!table.IsLive(r) || as.IsNull(r) || bs.IsNull(r)) continue;
+    deviations.push_back(std::abs(as.GetNumeric(r) -
+                                  (cand.k * bs.GetNumeric(r) + cand.c)));
+  }
+  std::sort(deviations.begin(), deviations.end());
+  cand.epsilon_full = deviations.back();
+  const std::size_t q_idx = std::min(
+      deviations.size() - 1,
+      static_cast<std::size_t>(options.partial_quantile *
+                               static_cast<double>(deviations.size())));
+  cand.epsilon_partial = deviations[q_idx];
+  cand.confidence = options.partial_quantile;
+  const double a_range = a_max - a_min;
+  cand.selectivity =
+      a_range > 0 ? (2.0 * cand.epsilon_partial) / a_range : 1.0;
+  return cand;
+}
+
+std::vector<CorrelationCandidate> MineLinearCorrelations(
+    const Table& table, const CorrelationMinerOptions& options) {
+  std::vector<CorrelationCandidate> out;
+  const Schema& schema = table.schema();
+  for (ColumnIdx a = 0; a < schema.NumColumns(); ++a) {
+    if (!IsNumericType(schema.Column(a).type)) continue;
+    for (ColumnIdx b = 0; b < schema.NumColumns(); ++b) {
+      if (a == b || !IsNumericType(schema.Column(b).type)) continue;
+      auto cand = FitCorrelation(table, a, b, options);
+      if (!cand.ok()) continue;
+      if (cand->r2 < options.min_r2) continue;
+      if (cand->selectivity > options.max_selectivity) continue;
+      out.push_back(*std::move(cand));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CorrelationCandidate& x, const CorrelationCandidate& y) {
+              return x.selectivity < y.selectivity;
+            });
+  return out;
+}
+
+}  // namespace softdb

@@ -1,0 +1,57 @@
+#ifndef SOFTDB_MINING_CORRELATION_MINER_H_
+#define SOFTDB_MINING_CORRELATION_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace softdb {
+
+/// A mined linear correlation candidate `A ≈ k·B + c ± ε`, per [10].
+struct CorrelationCandidate {
+  ColumnIdx col_a = 0;
+  ColumnIdx col_b = 0;
+  double k = 0.0;
+  double c = 0.0;
+  /// Envelope containing *all* rows (the ASC version; usable in rewrite).
+  double epsilon_full = 0.0;
+  /// Envelope containing `confidence` of rows (the SSC version).
+  double epsilon_partial = 0.0;
+  double confidence = 0.99;
+  /// ε as a fraction of A's value range: the selectivity criterion of [10]
+  /// ("this formula should be fairly selective, that is, ε is small").
+  double selectivity = 1.0;
+  /// Pearson correlation coefficient of the fit.
+  double r2 = 0.0;
+};
+
+struct CorrelationMinerOptions {
+  /// Keep candidates whose partial envelope spans at most this fraction of
+  /// A's range (the [10] threshold bound on acceptable ε).
+  double max_selectivity = 0.2;
+  /// Quantile for the partial envelope (0.99 → 99% of rows inside).
+  double partial_quantile = 0.99;
+  /// Minimum |r| of the least-squares fit to even consider the pair.
+  double min_r2 = 0.5;
+  /// Minimum non-null row pairs required.
+  std::uint64_t min_rows = 32;
+};
+
+/// Searches all ordered pairs of numeric columns of `table` for linear
+/// correlations, least-squares fitting each pair and measuring the deviation
+/// envelope. Returns candidates ordered by ascending selectivity (most
+/// useful first). Runtime O(columns² · rows).
+std::vector<CorrelationCandidate> MineLinearCorrelations(
+    const Table& table, const CorrelationMinerOptions& options = {});
+
+/// Fits a single ordered pair (useful when the workload already names the
+/// interesting pair, as §3.2 suggests steering discovery by workload).
+Result<CorrelationCandidate> FitCorrelation(
+    const Table& table, ColumnIdx col_a, ColumnIdx col_b,
+    const CorrelationMinerOptions& options = {});
+
+}  // namespace softdb
+
+#endif  // SOFTDB_MINING_CORRELATION_MINER_H_

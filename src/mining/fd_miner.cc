@@ -1,0 +1,123 @@
+#include "mining/fd_miner.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace softdb {
+
+namespace {
+
+std::string Image(const Table& table, RowId row,
+                  const std::vector<ColumnIdx>& cols) {
+  std::string image;
+  for (ColumnIdx c : cols) {
+    image += table.Get(row, c).ToString();
+    image += '\x1f';
+  }
+  return image;
+}
+
+/// Evaluates all dependents for one determinant set in a single pass:
+/// groups rows by X; within each group, counts the most common value of
+/// each other column. Violations(y) = rows - sum(max count per group).
+void EvaluateDeterminant(const Table& table,
+                         const std::vector<ColumnIdx>& determinant,
+                         const FdMinerOptions& options,
+                         std::vector<FdCandidate>* out) {
+  const std::size_t num_cols = table.schema().NumColumns();
+  // group id per row.
+  std::unordered_map<std::string, std::uint32_t> group_of;
+  std::vector<std::uint32_t> row_group;
+  row_group.reserve(table.NumRows());
+  std::vector<RowId> live_rows;
+  live_rows.reserve(table.NumRows());
+  for (RowId r = 0; r < table.NumSlots(); ++r) {
+    if (!table.IsLive(r)) continue;
+    const std::string img = Image(table, r, determinant);
+    auto [it, _] = group_of.emplace(
+        img, static_cast<std::uint32_t>(group_of.size()));
+    row_group.push_back(it->second);
+    live_rows.push_back(r);
+  }
+  const std::uint64_t rows = live_rows.size();
+  if (rows == 0) return;
+  const std::uint64_t groups = group_of.size();
+  if (static_cast<double>(groups) >
+      options.max_group_fraction * static_cast<double>(rows)) {
+    return;  // X is (nearly) a key; FDs from it are uninformative.
+  }
+
+  for (ColumnIdx y = 0; y < num_cols; ++y) {
+    if (std::find(determinant.begin(), determinant.end(), y) !=
+        determinant.end()) {
+      continue;
+    }
+    // Per (group, y-value) counts; track per-group max.
+    std::unordered_map<std::string, std::uint64_t> counts;
+    std::vector<std::uint64_t> group_max(groups, 0);
+    for (std::size_t i = 0; i < live_rows.size(); ++i) {
+      std::string key = std::to_string(row_group[i]);
+      key += '\x1e';
+      key += table.Get(live_rows[i], y).ToString();
+      const std::uint64_t c = ++counts[key];
+      if (c > group_max[row_group[i]]) group_max[row_group[i]] = c;
+    }
+    std::uint64_t kept = 0;
+    for (std::uint64_t m : group_max) kept += m;
+    const double confidence =
+        static_cast<double>(kept) / static_cast<double>(rows);
+    if (confidence < options.min_confidence) continue;
+    FdCandidate cand;
+    cand.determinants = determinant;
+    cand.dependent = y;
+    cand.confidence = confidence;
+    cand.determinant_groups = groups;
+    out->push_back(std::move(cand));
+  }
+}
+
+}  // namespace
+
+std::vector<FdCandidate> MineFunctionalDependencies(
+    const Table& table, const FdMinerOptions& options) {
+  std::vector<FdCandidate> out;
+  const std::size_t num_cols = table.schema().NumColumns();
+
+  // Level 1: single-column determinants.
+  for (ColumnIdx x = 0; x < num_cols; ++x) {
+    EvaluateDeterminant(table, {x}, options, &out);
+  }
+  if (options.max_determinant_size >= 2) {
+    // Level 2: pairs — but prune pairs where a single column already
+    // determines the dependent exactly (minimality, as in TANE).
+    auto exact_single = [&](ColumnIdx x, ColumnIdx y) {
+      for (const FdCandidate& c : out) {
+        if (c.determinants.size() == 1 && c.determinants[0] == x &&
+            c.dependent == y && c.confidence >= 1.0) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (ColumnIdx x1 = 0; x1 < num_cols; ++x1) {
+      for (ColumnIdx x2 = x1 + 1; x2 < num_cols; ++x2) {
+        std::vector<FdCandidate> pair_fds;
+        EvaluateDeterminant(table, {x1, x2}, options, &pair_fds);
+        for (FdCandidate& c : pair_fds) {
+          if (exact_single(x1, c.dependent) || exact_single(x2, c.dependent)) {
+            continue;  // Not minimal.
+          }
+          out.push_back(std::move(c));
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FdCandidate& a, const FdCandidate& b) {
+              return a.confidence > b.confidence;
+            });
+  return out;
+}
+
+}  // namespace softdb

@@ -1,0 +1,41 @@
+#ifndef SOFTDB_MINING_FD_MINER_H_
+#define SOFTDB_MINING_FD_MINER_H_
+
+#include <vector>
+
+#include "storage/table.h"
+
+namespace softdb {
+
+/// A mined (possibly approximate) functional dependency candidate.
+struct FdCandidate {
+  std::vector<ColumnIdx> determinants;
+  ColumnIdx dependent = 0;
+  /// g3-style confidence: 1 - (minimum rows to delete for the FD to hold) /
+  /// rows. 1.0 means the FD holds exactly (an ASC candidate).
+  double confidence = 0.0;
+  std::uint64_t determinant_groups = 0;
+};
+
+struct FdMinerOptions {
+  /// Report only candidates at or above this confidence.
+  double min_confidence = 0.95;
+  /// Level-wise search depth: 1 = single-column determinants, 2 adds pairs
+  /// (TANE-style lattice, truncated — enough for the optimizer's GROUP
+  /// BY/ORDER BY pruning which keys on small determinant sets).
+  std::size_t max_determinant_size = 2;
+  /// Skip trivially-key-like determinants: if a determinant's group count
+  /// exceeds this fraction of rows it determines everything vacuously.
+  double max_group_fraction = 0.9;
+};
+
+/// Mines functional dependencies with partition refinement: for each
+/// candidate determinant set X (levels 1..max size), partitions rows by X
+/// and measures, per non-member column y, how consistently X fixes y.
+/// Exact FDs (confidence 1.0) are ASC material; approximate ones are SSCs.
+std::vector<FdCandidate> MineFunctionalDependencies(
+    const Table& table, const FdMinerOptions& options = {});
+
+}  // namespace softdb
+
+#endif  // SOFTDB_MINING_FD_MINER_H_

@@ -1,0 +1,147 @@
+#include "mining/hole_miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace softdb {
+
+bool LargestEmptyRectangle(const std::vector<std::vector<std::uint8_t>>& grid,
+                           std::size_t* r0, std::size_t* c0, std::size_t* r1,
+                           std::size_t* c1) {
+  // Classic max-rectangle-in-binary-matrix via histogram of empty-run
+  // heights per row + a monotonic stack, O(rows * cols).
+  const std::size_t rows = grid.size();
+  if (rows == 0) return false;
+  const std::size_t cols = grid[0].size();
+  std::vector<std::size_t> heights(cols, 0);
+  std::size_t best_area = 0;
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      heights[c] = grid[r][c] ? 0 : heights[c] + 1;
+    }
+    // Max rectangle in histogram.
+    std::vector<std::size_t> stack;  // Indices with increasing heights.
+    for (std::size_t c = 0; c <= cols; ++c) {
+      const std::size_t h = c < cols ? heights[c] : 0;
+      std::size_t start = c;
+      while (!stack.empty() && heights[stack.back()] >= h) {
+        const std::size_t idx = stack.back();
+        stack.pop_back();
+        const std::size_t width =
+            stack.empty() ? c : c - stack.back() - 1;
+        const std::size_t area = heights[idx] * width;
+        if (area > best_area) {
+          best_area = area;
+          const std::size_t left = stack.empty() ? 0 : stack.back() + 1;
+          *r0 = r + 1 - heights[idx];
+          *r1 = r;
+          *c0 = left;
+          *c1 = c - 1;
+        }
+        start = idx;
+      }
+      (void)start;
+      if (c < cols) stack.push_back(c);
+    }
+  }
+  return best_area > 0;
+}
+
+Result<HoleMinerResult> MineJoinHoles(const Table& left, ColumnIdx left_join,
+                                      ColumnIdx attr_a, const Table& right,
+                                      ColumnIdx right_join, ColumnIdx attr_b,
+                                      const HoleMinerOptions& options) {
+  const ColumnVector& la = left.ColumnData(attr_a);
+  const ColumnVector& lj = left.ColumnData(left_join);
+  const ColumnVector& rb = right.ColumnData(attr_b);
+  const ColumnVector& rj = right.ColumnData(right_join);
+  if (!IsNumericType(la.type()) || !IsNumericType(rb.type())) {
+    return Status::InvalidArgument("hole mining needs numeric attributes");
+  }
+
+  // Attribute ranges (over base tables; holes snap within these).
+  double a_min = 0, a_max = 0, b_min = 0, b_max = 0;
+  bool a_any = false, b_any = false;
+  for (RowId r = 0; r < left.NumSlots(); ++r) {
+    if (!left.IsLive(r) || la.IsNull(r)) continue;
+    const double v = la.GetNumeric(r);
+    if (!a_any) {
+      a_min = a_max = v;
+      a_any = true;
+    } else {
+      a_min = std::min(a_min, v);
+      a_max = std::max(a_max, v);
+    }
+  }
+  for (RowId r = 0; r < right.NumSlots(); ++r) {
+    if (!right.IsLive(r) || rb.IsNull(r)) continue;
+    const double v = rb.GetNumeric(r);
+    if (!b_any) {
+      b_min = b_max = v;
+      b_any = true;
+    } else {
+      b_min = std::min(b_min, v);
+      b_max = std::max(b_max, v);
+    }
+  }
+  if (!a_any || !b_any || a_max <= a_min || b_max <= b_min) {
+    return Status::InvalidArgument("degenerate attribute ranges");
+  }
+
+  const std::size_t res = options.grid_resolution;
+  const double a_step = (a_max - a_min) / static_cast<double>(res);
+  const double b_step = (b_max - b_min) / static_cast<double>(res);
+  // grid[a_cell][b_cell] = occupied.
+  std::vector<std::vector<std::uint8_t>> grid(
+      res, std::vector<std::uint8_t>(res, 0));
+
+  // Hash join: build on right, probe left; mark occupied cells.
+  std::unordered_multimap<std::string, double> build;
+  for (RowId r = 0; r < right.NumSlots(); ++r) {
+    if (!right.IsLive(r) || rj.IsNull(r) || rb.IsNull(r)) continue;
+    build.emplace(rj.Get(r).ToString(), rb.GetNumeric(r));
+  }
+  HoleMinerResult result;
+  auto cell_of = [res](double v, double lo, double step) {
+    std::size_t c = static_cast<std::size_t>((v - lo) / step);
+    return c >= res ? res - 1 : c;
+  };
+  for (RowId r = 0; r < left.NumSlots(); ++r) {
+    if (!left.IsLive(r) || lj.IsNull(r) || la.IsNull(r)) continue;
+    const double a = la.GetNumeric(r);
+    auto [lo, hi] = build.equal_range(lj.Get(r).ToString());
+    for (auto it = lo; it != hi; ++it) {
+      ++result.join_pairs;
+      grid[cell_of(a, a_min, a_step)][cell_of(it->second, b_min, b_step)] = 1;
+    }
+  }
+
+  // Greedy extraction of the largest empty rectangles.
+  const double min_area =
+      options.min_area_fraction * static_cast<double>(res) *
+      static_cast<double>(res);
+  double covered_cells = 0;
+  while (result.holes.size() < options.max_holes) {
+    std::size_t r0, c0, r1, c1;
+    if (!LargestEmptyRectangle(grid, &r0, &c0, &r1, &c1)) break;
+    const double area = static_cast<double>((r1 - r0 + 1) * (c1 - c0 + 1));
+    if (area < min_area) break;
+    HoleRect hole;
+    hole.a_lo = a_min + static_cast<double>(r0) * a_step;
+    hole.a_hi = a_min + static_cast<double>(r1 + 1) * a_step;
+    hole.b_lo = b_min + static_cast<double>(c0) * b_step;
+    hole.b_hi = b_min + static_cast<double>(c1 + 1) * b_step;
+    result.holes.push_back(hole);
+    covered_cells += area;
+    // Mark extracted cells occupied so subsequent holes do not overlap.
+    for (std::size_t r = r0; r <= r1; ++r) {
+      for (std::size_t c = c0; c <= c1; ++c) grid[r][c] = 1;
+    }
+  }
+  result.covered_fraction =
+      covered_cells / (static_cast<double>(res) * static_cast<double>(res));
+  return result;
+}
+
+}  // namespace softdb

@@ -1,0 +1,51 @@
+#ifndef SOFTDB_MINING_HOLE_MINER_H_
+#define SOFTDB_MINING_HOLE_MINER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/join_hole_sc.h"
+#include "storage/table.h"
+
+namespace softdb {
+
+struct HoleMinerOptions {
+  /// Grid resolution per axis; the joint (A, B) distribution of the join
+  /// result is discretized into res × res cells.
+  std::size_t grid_resolution = 64;
+  /// Stop once the best remaining empty rectangle covers less than this
+  /// fraction of the grid area.
+  double min_area_fraction = 0.01;
+  /// Maximum number of holes to extract.
+  std::size_t max_holes = 16;
+};
+
+/// Statistics reported by the miner (E9: discovery is linear in the size of
+/// the resulting join table, as [8] claims).
+struct HoleMinerResult {
+  std::vector<HoleRect> holes;
+  std::uint64_t join_pairs = 0;   // |left ⋈ right| examined.
+  double covered_fraction = 0.0;  // Grid-area fraction covered by holes.
+};
+
+/// Discovers empty rectangles over the join
+/// `left ⋈ right ON left.jl = right.jr` with respect to (left.attr_a,
+/// right.attr_b): computes the join with a hash join (linear in input +
+/// output), discretizes the joint distribution onto a grid, then repeatedly
+/// extracts the largest maximal empty rectangle. Hole bounds snap to cell
+/// boundaries, so reported holes are genuinely empty (conservative).
+Result<HoleMinerResult> MineJoinHoles(const Table& left, ColumnIdx left_join,
+                                      ColumnIdx attr_a, const Table& right,
+                                      ColumnIdx right_join, ColumnIdx attr_b,
+                                      const HoleMinerOptions& options = {});
+
+/// Largest empty (all-zero) rectangle in a binary occupancy grid; exposed
+/// for testing. Returns row/col index bounds [r0,r1]x[c0,c1] inclusive, and
+/// false when the grid is fully occupied.
+bool LargestEmptyRectangle(const std::vector<std::vector<std::uint8_t>>& grid,
+                           std::size_t* r0, std::size_t* c0, std::size_t* r1,
+                           std::size_t* c1);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_MINING_HOLE_MINER_H_

@@ -1,0 +1,89 @@
+#include "mining/offset_miner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace softdb {
+
+namespace {
+
+bool SamePairFamily(TypeId a, TypeId b) {
+  if (a == TypeId::kDate || b == TypeId::kDate) return a == b;
+  return IsNumericType(a) && IsNumericType(b);
+}
+
+}  // namespace
+
+std::vector<OffsetCandidate> MineColumnOffsets(
+    const Table& table, const OffsetMinerOptions& options) {
+  std::vector<OffsetCandidate> out;
+  const Schema& schema = table.schema();
+  for (ColumnIdx x = 0; x < schema.NumColumns(); ++x) {
+    if (!IsNumericType(schema.Column(x).type)) continue;
+    for (ColumnIdx y = 0; y < schema.NumColumns(); ++y) {
+      if (x == y) continue;
+      if (!SamePairFamily(schema.Column(x).type, schema.Column(y).type)) {
+        continue;
+      }
+      const ColumnVector& xs = table.ColumnData(x);
+      const ColumnVector& ys = table.ColumnData(y);
+      std::vector<double> diffs;
+      double y_min = 0, y_max = 0;
+      bool any = false;
+      for (RowId r = 0; r < table.NumSlots(); ++r) {
+        if (!table.IsLive(r) || xs.IsNull(r) || ys.IsNull(r)) continue;
+        const double yv = ys.GetNumeric(r);
+        diffs.push_back(yv - xs.GetNumeric(r));
+        if (!any) {
+          y_min = y_max = yv;
+          any = true;
+        } else {
+          y_min = std::min(y_min, yv);
+          y_max = std::max(y_max, yv);
+        }
+      }
+      if (diffs.size() < options.min_rows) continue;
+      std::sort(diffs.begin(), diffs.end());
+      OffsetCandidate cand;
+      cand.col_x = x;
+      cand.col_y = y;
+      cand.min_full = static_cast<std::int64_t>(std::floor(diffs.front()));
+      cand.max_full = static_cast<std::int64_t>(std::ceil(diffs.back()));
+      // Minimal-width window covering `quantile` of the mass: handles
+      // one-sided violation tails (e.g. late shipments are only ever late,
+      // never early) that a symmetric quantile cut would straddle.
+      const std::size_t window = std::max<std::size_t>(
+          1, static_cast<std::size_t>(options.quantile *
+                                      static_cast<double>(diffs.size())));
+      std::size_t best_lo = 0;
+      double best_width = diffs[window - 1] - diffs[0];
+      for (std::size_t lo = 1; lo + window <= diffs.size(); ++lo) {
+        const double width = diffs[lo + window - 1] - diffs[lo];
+        if (width < best_width) {
+          best_width = width;
+          best_lo = lo;
+        }
+      }
+      cand.min_partial =
+          static_cast<std::int64_t>(std::floor(diffs[best_lo]));
+      cand.max_partial =
+          static_cast<std::int64_t>(std::ceil(diffs[best_lo + window - 1]));
+      cand.confidence = options.quantile;
+      const double y_range = y_max - y_min;
+      cand.selectivity =
+          y_range > 0
+              ? static_cast<double>(cand.max_partial - cand.min_partial) /
+                    y_range
+              : 1.0;
+      if (cand.selectivity > options.max_selectivity) continue;
+      out.push_back(cand);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OffsetCandidate& a, const OffsetCandidate& b) {
+              return a.selectivity < b.selectivity;
+            });
+  return out;
+}
+
+}  // namespace softdb

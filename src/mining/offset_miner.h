@@ -1,0 +1,40 @@
+#ifndef SOFTDB_MINING_OFFSET_MINER_H_
+#define SOFTDB_MINING_OFFSET_MINER_H_
+
+#include <vector>
+
+#include "storage/table.h"
+
+namespace softdb {
+
+/// A mined column-offset bound `col_y - col_x ∈ [min, max]`.
+struct OffsetCandidate {
+  ColumnIdx col_x = 0;
+  ColumnIdx col_y = 0;
+  /// Absolute bounds covering every row (ASC version).
+  std::int64_t min_full = 0;
+  std::int64_t max_full = 0;
+  /// Tighter bounds covering `confidence` of rows (SSC version) — the
+  /// "99% of shipments within three weeks" shape of §4.4.
+  std::int64_t min_partial = 0;
+  std::int64_t max_partial = 0;
+  double confidence = 0.99;
+  /// Partial width / column range: small is selective/useful.
+  double selectivity = 1.0;
+};
+
+struct OffsetMinerOptions {
+  double quantile = 0.99;        // Central mass for the partial bounds.
+  double max_selectivity = 0.5;  // Discard diffuse pairs.
+  std::uint64_t min_rows = 32;
+};
+
+/// Mines offset bounds for all ordered pairs of same-family numeric columns
+/// (dates pair with dates, ints with ints — the shapes where `y - x` is
+/// meaningful). Sorted by ascending selectivity.
+std::vector<OffsetCandidate> MineColumnOffsets(
+    const Table& table, const OffsetMinerOptions& options = {});
+
+}  // namespace softdb
+
+#endif  // SOFTDB_MINING_OFFSET_MINER_H_

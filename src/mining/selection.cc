@@ -1,0 +1,129 @@
+#include "mining/selection.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+namespace {
+
+bool HasIndexOn(const Catalog& catalog, const std::string& table,
+                ColumnIdx column) {
+  for (const Index* idx : catalog.IndexesOn(table)) {
+    if (idx->column() == column) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ScoredCandidate> ScoreCorrelationCandidates(
+    const std::vector<CorrelationCandidate>& candidates,
+    const std::string& table, const WorkloadProfile& profile,
+    const Catalog& catalog) {
+  std::vector<ScoredCandidate> out;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const CorrelationCandidate& c = candidates[i];
+    ScoredCandidate scored;
+    scored.index = i;
+    const bool indexed = HasIndexOn(catalog, table, c.col_a);
+    const std::uint64_t hits = profile.PredicateCount(table, c.col_b);
+    if (!indexed || hits == 0) {
+      scored.utility = 0.0;
+      scored.rationale = indexed ? "no workload predicates on B"
+                                 : "no index on A: rewrite cannot pay off";
+    } else {
+      // Benefit model: each hit saves ~ (1 - selectivity) of a full scan.
+      scored.utility =
+          static_cast<double>(hits) * (1.0 - c.selectivity) * c.r2;
+      scored.rationale = StrFormat(
+          "%llu workload hits, selectivity %.3f, r2 %.3f",
+          static_cast<unsigned long long>(hits), c.selectivity, c.r2);
+    }
+    out.push_back(std::move(scored));
+  }
+  return out;
+}
+
+std::vector<ScoredCandidate> ScoreOffsetCandidates(
+    const std::vector<OffsetCandidate>& candidates, const std::string& table,
+    const WorkloadProfile& profile, const Catalog& catalog) {
+  std::vector<ScoredCandidate> out;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const OffsetCandidate& c = candidates[i];
+    ScoredCandidate scored;
+    scored.index = i;
+    const std::uint64_t hits_x = profile.PredicateCount(table, c.col_x);
+    const std::uint64_t hits_y = profile.PredicateCount(table, c.col_y);
+    double utility = static_cast<double>(hits_x + hits_y) *
+                     (1.0 - c.selectivity);
+    // Rewrite bonus when the derived side has an index.
+    if (HasIndexOn(catalog, table, c.col_x) ||
+        HasIndexOn(catalog, table, c.col_y)) {
+      utility *= 2.0;
+    }
+    scored.utility = utility;
+    scored.rationale = StrFormat(
+        "hits x=%llu y=%llu, selectivity %.3f",
+        static_cast<unsigned long long>(hits_x),
+        static_cast<unsigned long long>(hits_y), c.selectivity);
+    out.push_back(std::move(scored));
+  }
+  return out;
+}
+
+std::vector<ScoredCandidate> ScoreFdCandidates(
+    const std::vector<FdCandidate>& candidates, const std::string& table,
+    const WorkloadProfile& profile) {
+  std::vector<ScoredCandidate> out;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const FdCandidate& c = candidates[i];
+    ScoredCandidate scored;
+    scored.index = i;
+    std::uint64_t hits = profile.PredicateCount(table, c.dependent);
+    for (ColumnIdx d : c.determinants) {
+      hits += profile.PredicateCount(table, d);
+    }
+    const double exactness_bonus = c.confidence >= 1.0 ? 2.0 : 1.0;
+    scored.utility = static_cast<double>(1 + hits) * c.confidence *
+                     exactness_bonus /
+                     static_cast<double>(c.determinants.size());
+    scored.rationale = StrFormat("conf %.4f, %zu determinants, %llu hits",
+                                 c.confidence, c.determinants.size(),
+                                 static_cast<unsigned long long>(hits));
+    out.push_back(std::move(scored));
+  }
+  return out;
+}
+
+std::vector<ScoredCandidate> SelectTop(std::vector<ScoredCandidate> scored,
+                                       std::size_t budget) {
+  scored.erase(std::remove_if(scored.begin(), scored.end(),
+                              [](const ScoredCandidate& s) {
+                                return s.utility <= 0.0;
+                              }),
+               scored.end());
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              return a.utility > b.utility;
+            });
+  if (scored.size() > budget) scored.resize(budget);
+  return scored;
+}
+
+std::vector<std::string> ProbationSweep(const ScRegistry& registry,
+                                        std::uint64_t min_uses_observed,
+                                        double min_total_benefit) {
+  std::vector<std::string> to_drop;
+  for (const SoftConstraint* sc : registry.All()) {
+    const std::uint64_t uses = registry.UseCount(sc->name());
+    const double benefit = registry.TotalBenefit(sc->name());
+    if (uses < min_uses_observed || benefit < min_total_benefit) {
+      to_drop.push_back(sc->name());
+    }
+  }
+  return to_drop;
+}
+
+}  // namespace softdb

@@ -1,0 +1,87 @@
+#ifndef SOFTDB_MINING_SELECTION_H_
+#define SOFTDB_MINING_SELECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraints/sc_registry.h"
+#include "mining/correlation_miner.h"
+#include "mining/fd_miner.h"
+#include "mining/offset_miner.h"
+#include "storage/catalog.h"
+
+namespace softdb {
+
+/// Workload profile: how often each column appears in query predicates.
+/// §3.2: "input from the optimizer, the database's statistics, and the
+/// workload can be used to direct the search toward the characterizations
+/// that would be most beneficial."
+class WorkloadProfile {
+ public:
+  void RecordPredicate(const std::string& table, ColumnIdx column,
+                       std::uint64_t times = 1) {
+    counts_[{table, column}] += times;
+  }
+
+  std::uint64_t PredicateCount(const std::string& table,
+                               ColumnIdx column) const {
+    auto it = counts_.find({table, column});
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& [_, c] : counts_) t += c;
+    return t;
+  }
+
+ private:
+  std::map<std::pair<std::string, ColumnIdx>, std::uint64_t> counts_;
+};
+
+/// A discovery candidate scored for the selection stage.
+struct ScoredCandidate {
+  double utility = 0.0;
+  std::string rationale;
+  std::size_t index = 0;  // Position in the source candidate vector.
+};
+
+/// Scores correlation candidates for a table: utility grows with workload
+/// hits on the *cheap* column (B, the one queries constrain) and with the
+/// envelope's selectivity; it requires an index on A for the rewrite to pay
+/// off, and is zero when no index exists.
+std::vector<ScoredCandidate> ScoreCorrelationCandidates(
+    const std::vector<CorrelationCandidate>& candidates,
+    const std::string& table, const WorkloadProfile& profile,
+    const Catalog& catalog);
+
+/// Scores offset candidates: twinning pays whenever either column appears
+/// in predicates; absolute rewrite additionally wants an index on the
+/// derived column.
+std::vector<ScoredCandidate> ScoreOffsetCandidates(
+    const std::vector<OffsetCandidate>& candidates, const std::string& table,
+    const WorkloadProfile& profile, const Catalog& catalog);
+
+/// Scores FD candidates: utility is confidence-weighted and prefers small
+/// determinant sets (more queries match) and exact FDs (rewrite-eligible).
+std::vector<ScoredCandidate> ScoreFdCandidates(
+    const std::vector<FdCandidate>& candidates, const std::string& table,
+    const WorkloadProfile& profile);
+
+/// Keeps the top `budget` candidates by utility (dropping zero-utility
+/// ones), mirroring the paper's "only some will in fact be useful".
+std::vector<ScoredCandidate> SelectTop(std::vector<ScoredCandidate> scored,
+                                       std::size_t budget);
+
+/// Probation sweep (§3.2's dynamic selection): names of registered SCs
+/// whose observed optimizer benefit per use stayed below the threshold
+/// after at least `min_uses_observed` queries of exposure.
+std::vector<std::string> ProbationSweep(const ScRegistry& registry,
+                                        std::uint64_t min_uses_observed,
+                                        double min_total_benefit);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_MINING_SELECTION_H_

@@ -1,0 +1,168 @@
+#include "mv/materialized_view.h"
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+MaterializedView::MaterializedView(std::string name, std::string base_table,
+                                   ExprPtr predicate, Schema schema,
+                                   bool information_only)
+    : name_(std::move(name)), base_table_(std::move(base_table)),
+      predicate_(std::move(predicate)), information_only_(information_only) {
+  if (!information_only_) {
+    table_ = std::make_unique<Table>(name_, std::move(schema));
+  }
+}
+
+Status MaterializedView::Refresh(const Catalog& catalog) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * base, catalog.GetTable(base_table_));
+  if (!information_only_) {
+    // Rebuild contents from scratch.
+    table_ = std::make_unique<Table>(name_, base->schema());
+  }
+  stat_rows_ = 0;
+  for (RowId r = 0; r < base->NumSlots(); ++r) {
+    if (!base->IsLive(r)) continue;
+    std::vector<Value> row = base->GetRow(r);
+    SOFTDB_ASSIGN_OR_RETURN(Value v, predicate_->Eval(row));
+    if (v.is_null() || !v.AsBool()) continue;
+    ++stat_rows_;
+    if (!information_only_) {
+      SOFTDB_RETURN_IF_ERROR(table_->Append(row).status());
+    }
+  }
+  if (!information_only_) {
+    stats_ = AnalyzeTable(*table_);
+  } else {
+    // Information AST: runstats only. Compute them from the qualifying
+    // subset without materializing it by building a scratch table.
+    Table scratch(name_, base->schema());
+    for (RowId r = 0; r < base->NumSlots(); ++r) {
+      if (!base->IsLive(r)) continue;
+      std::vector<Value> row = base->GetRow(r);
+      SOFTDB_ASSIGN_OR_RETURN(Value v, predicate_->Eval(row));
+      if (v.is_null() || !v.AsBool()) continue;
+      SOFTDB_RETURN_IF_ERROR(scratch.Append(row).status());
+    }
+    stats_ = AnalyzeTable(scratch);
+  }
+  return Status::OK();
+}
+
+Status MaterializedView::OnBaseInsert(const std::vector<Value>& row) {
+  SOFTDB_ASSIGN_OR_RETURN(Value v, predicate_->Eval(row));
+  if (v.is_null() || !v.AsBool()) return Status::OK();
+  ++stat_rows_;
+  if (!information_only_) {
+    SOFTDB_RETURN_IF_ERROR(table_->Append(row).status());
+  }
+  return Status::OK();
+}
+
+Status MaterializedView::OnBaseDelete(const std::vector<Value>& row) {
+  SOFTDB_ASSIGN_OR_RETURN(Value v, predicate_->Eval(row));
+  if (v.is_null() || !v.AsBool()) return Status::OK();
+  if (stat_rows_ > 0) --stat_rows_;
+  if (information_only_ || table_ == nullptr) return Status::OK();
+  for (RowId r = 0; r < table_->NumSlots(); ++r) {
+    if (!table_->IsLive(r)) continue;
+    std::vector<Value> candidate = table_->GetRow(r);
+    bool equal = candidate.size() == row.size();
+    for (std::size_t i = 0; equal && i < row.size(); ++i) {
+      equal = candidate[i].GroupEquals(row[i]) ||
+              (candidate[i].is_null() && row[i].is_null());
+    }
+    if (equal) {
+      return table_->Delete(r);
+    }
+  }
+  return Status::OK();
+}
+
+std::string MaterializedView::Describe() const {
+  return StrFormat("AST %s = SELECT * FROM %s WHERE %s (%llu rows)%s",
+                   name_.c_str(), base_table_.c_str(),
+                   predicate_->ToString().c_str(),
+                   static_cast<unsigned long long>(NumRows()),
+                   information_only_ ? " [information only]" : "");
+}
+
+Result<MaterializedView*> MvRegistry::Define(const std::string& name,
+                                             const std::string& base_table,
+                                             ExprPtr bound_predicate,
+                                             const Catalog& catalog,
+                                             bool information_only) {
+  if (Find(name) != nullptr) {
+    return Status::AlreadyExists("AST exists: " + name);
+  }
+  SOFTDB_ASSIGN_OR_RETURN(Table * base, catalog.GetTable(base_table));
+  auto view = std::make_unique<MaterializedView>(
+      name, base->name(), std::move(bound_predicate), base->schema(),
+      information_only);
+  SOFTDB_RETURN_IF_ERROR(view->Refresh(catalog));
+  MaterializedView* ptr = view.get();
+  views_.push_back(std::move(view));
+  return ptr;
+}
+
+MaterializedView* MvRegistry::Find(const std::string& name) const {
+  for (const MvPtr& v : views_) {
+    if (v->name() == name) return v.get();
+  }
+  return nullptr;
+}
+
+std::vector<MaterializedView*> MvRegistry::OnBase(
+    const std::string& base_table) const {
+  std::vector<MaterializedView*> out;
+  for (const MvPtr& v : views_) {
+    if (v->base_table() == base_table) out.push_back(v.get());
+  }
+  return out;
+}
+
+std::vector<MaterializedView*> MvRegistry::All() const {
+  std::vector<MaterializedView*> out;
+  out.reserve(views_.size());
+  for (const MvPtr& v : views_) out.push_back(v.get());
+  return out;
+}
+
+Status MvRegistry::DropView(const std::string& name) {
+  for (auto it = views_.begin(); it != views_.end(); ++it) {
+    if ((*it)->name() == name) {
+      views_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no such AST: " + name);
+}
+
+Status MvRegistry::OnBaseInsert(const std::string& base_table,
+                                const std::vector<Value>& row) {
+  for (const MvPtr& v : views_) {
+    if (v->base_table() == base_table) {
+      SOFTDB_RETURN_IF_ERROR(v->OnBaseInsert(row));
+    }
+  }
+  return Status::OK();
+}
+
+Status MvRegistry::OnBaseDelete(const std::string& base_table,
+                                const std::vector<Value>& row) {
+  for (const MvPtr& v : views_) {
+    if (v->base_table() == base_table) {
+      SOFTDB_RETURN_IF_ERROR(v->OnBaseDelete(row));
+    }
+  }
+  return Status::OK();
+}
+
+Status MvRegistry::RefreshAll(const Catalog& catalog) {
+  for (const MvPtr& v : views_) {
+    SOFTDB_RETURN_IF_ERROR(v->Refresh(catalog));
+  }
+  return Status::OK();
+}
+
+}  // namespace softdb

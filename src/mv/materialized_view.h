@@ -1,0 +1,107 @@
+#ifndef SOFTDB_MV_MATERIALIZED_VIEW_H_
+#define SOFTDB_MV_MATERIALIZED_VIEW_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/expr.h"
+#include "stats/analyzer.h"
+#include "storage/catalog.h"
+
+namespace softdb {
+
+/// An automated summary table (AST) in the DB2 v7 sense §4.4 describes: a
+/// materialized view defined by a single-table SELECT without aggregation
+/// (`SELECT * FROM base WHERE predicate`). Two flavors:
+///
+/// * materialized (routable): contents kept in sync; the optimizer may
+///   route a query through the AST instead of the base table, and the
+///   exception-table ASC pattern reads it in a UNION ALL branch;
+/// * information AST: *not* materialized or routable, but runstats are kept
+///   for it, purely to improve filter-factor estimation.
+class MaterializedView {
+ public:
+  /// `predicate` must be bound against the base table's schema.
+  MaterializedView(std::string name, std::string base_table, ExprPtr predicate,
+                   Schema schema, bool information_only);
+
+  const std::string& name() const { return name_; }
+  const std::string& base_table() const { return base_table_; }
+  const Expr& predicate() const { return *predicate_; }
+  bool information_only() const { return information_only_; }
+
+  /// Materialized contents; null for information ASTs.
+  const Table* table() const { return table_.get(); }
+  std::size_t NumRows() const { return table_ ? table_->NumRows() : stat_rows_; }
+
+  /// Full rebuild from the base table (and runstats refresh).
+  Status Refresh(const Catalog& catalog);
+
+  /// Incremental maintenance: appends `row` when it satisfies the defining
+  /// predicate (called by the engine after a base-table insert commits).
+  Status OnBaseInsert(const std::vector<Value>& row);
+
+  /// Incremental maintenance for deletes: removes one matching row from the
+  /// view so exception-table rewrites never resurrect deleted rows.
+  Status OnBaseDelete(const std::vector<Value>& row);
+
+  /// Runstats over the view contents (information ASTs keep only these).
+  const TableStats& stats() const { return stats_; }
+
+  std::string Describe() const;
+
+ private:
+  std::string name_;
+  std::string base_table_;
+  ExprPtr predicate_;
+  bool information_only_;
+  std::unique_ptr<Table> table_;  // Null for information ASTs.
+  TableStats stats_;
+  std::uint64_t stat_rows_ = 0;  // Row count for information ASTs.
+};
+
+using MvPtr = std::unique_ptr<MaterializedView>;
+
+/// Registry of ASTs, keyed by name, with per-base-table lookup for routing
+/// and maintenance fan-out.
+class MvRegistry {
+ public:
+  MvRegistry() = default;
+  MvRegistry(const MvRegistry&) = delete;
+  MvRegistry& operator=(const MvRegistry&) = delete;
+
+  /// Defines and populates an AST over `base_table` with `predicate_sql`
+  /// semantics (predicate already bound by the caller).
+  Result<MaterializedView*> Define(const std::string& name,
+                                   const std::string& base_table,
+                                   ExprPtr bound_predicate,
+                                   const Catalog& catalog,
+                                   bool information_only = false);
+
+  MaterializedView* Find(const std::string& name) const;
+  std::vector<MaterializedView*> OnBase(const std::string& base_table) const;
+  std::vector<MaterializedView*> All() const;
+  Status DropView(const std::string& name);
+
+  /// Maintenance fan-out for a committed base insert.
+  Status OnBaseInsert(const std::string& base_table,
+                      const std::vector<Value>& row);
+
+  /// Maintenance fan-out for a committed base delete.
+  Status OnBaseDelete(const std::string& base_table,
+                      const std::vector<Value>& row);
+
+  /// Refreshes every AST (batch window maintenance).
+  Status RefreshAll(const Catalog& catalog);
+
+  std::size_t size() const { return views_.size(); }
+
+ private:
+  std::vector<MvPtr> views_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_MV_MATERIALIZED_VIEW_H_

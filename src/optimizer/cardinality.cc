@@ -1,0 +1,313 @@
+#include "optimizer/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "constraints/column_offset_sc.h"
+
+namespace softdb {
+
+double CardinalityEstimator::OpaquePredicateSelectivity(
+    const std::string& table, const Expr& expr) const {
+  ColumnDiffPredicate diff;
+  if (scs_ != nullptr && MatchColumnDiffPredicate(expr, &diff)) {
+    for (SoftConstraint* sc : scs_->On(table)) {
+      auto* offset = dynamic_cast<ColumnOffsetSc*>(sc);
+      if (offset == nullptr || !sc->active()) continue;
+      double c = diff.constant.NumericValue();
+      CompareOp op = diff.op;
+      if (offset->col_y() == diff.minuend &&
+          offset->col_x() == diff.subtrahend) {
+        // (y - x) op c: histogram is over y - x directly.
+      } else if (offset->col_y() == diff.subtrahend &&
+                 offset->col_x() == diff.minuend) {
+        // (x - y) op c  <=>  (y - x) flipped-op -c.
+        op = FlipCompare(op);
+        c = -c;
+      } else {
+        continue;
+      }
+      auto selectivity = offset->DurationSelectivity(op, c);
+      if (selectivity.has_value()) return *selectivity;
+    }
+  }
+  return options_.default_range_selectivity;
+}
+
+bool CardinalityEstimator::ResolveBaseColumn(const PlanNode& node,
+                                             ColumnIdx col, std::string* table,
+                                             ColumnIdx* base_col) const {
+  switch (node.kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const ScanNode&>(node);
+      *table = scan.table_name();
+      *base_col = col;  // Scan schema mirrors the base schema order.
+      return true;
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+      return ResolveBaseColumn(*node.children()[0], col, table, base_col);
+    case PlanKind::kJoin: {
+      const ColumnIdx left_arity = static_cast<ColumnIdx>(
+          node.children()[0]->output_schema().NumColumns());
+      if (col < left_arity) {
+        return ResolveBaseColumn(*node.children()[0], col, table, base_col);
+      }
+      return ResolveBaseColumn(*node.children()[1], col - left_arity, table,
+                               base_col);
+    }
+    case PlanKind::kProject: {
+      const auto& proj = static_cast<const ProjectNode&>(node);
+      if (col >= proj.exprs().size()) return false;
+      const Expr& e = *proj.exprs()[col];
+      if (e.kind() != ExprKind::kColumnRef) return false;
+      const auto& ref = static_cast<const ColumnRefExpr&>(e);
+      if (!ref.bound()) return false;
+      return ResolveBaseColumn(*node.children()[0], ref.index(), table,
+                               base_col);
+    }
+    case PlanKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateNode&>(node);
+      if (col >= agg.group_by().size()) return false;
+      const Expr& e = *agg.group_by()[col];
+      if (e.kind() != ExprKind::kColumnRef) return false;
+      const auto& ref = static_cast<const ColumnRefExpr&>(e);
+      if (!ref.bound()) return false;
+      return ResolveBaseColumn(*node.children()[0], ref.index(), table,
+                               base_col);
+    }
+    case PlanKind::kUnionAll:
+      return false;
+  }
+  return false;
+}
+
+double CardinalityEstimator::RangeSelectivity(const std::string& table,
+                                              ColumnIdx column,
+                                              const ColumnRange& range) const {
+  if (range.empty) return 0.0;
+  const TableStats* stats = stats_->Get(table);
+  const ColumnStats* col_stats =
+      stats != nullptr && stats->HasColumn(column) ? &stats->columns[column]
+                                                   : nullptr;
+
+  if (range.equal.has_value()) {
+    if (col_stats != nullptr) {
+      // Most-common-value hit gives an exact frequency.
+      for (const FrequentValue& mcv : col_stats->mcvs) {
+        if (mcv.value.GroupEquals(*range.equal)) {
+          return col_stats->row_count == 0
+                     ? 0.0
+                     : static_cast<double>(mcv.count) /
+                           static_cast<double>(col_stats->row_count);
+        }
+      }
+      if (!col_stats->histogram.empty() &&
+          range.equal->type() != TypeId::kString) {
+        return col_stats->histogram.SelectivityEq(
+                   range.equal->NumericValue()) *
+               col_stats->NonNullFraction();
+      }
+      if (col_stats->distinct_count > 0) {
+        return col_stats->NonNullFraction() /
+               static_cast<double>(col_stats->distinct_count);
+      }
+    }
+    return options_.default_eq_selectivity;
+  }
+
+  if (!range.Bounded()) return 1.0;
+  if (col_stats != nullptr && !col_stats->histogram.empty()) {
+    const double lo = range.lo;
+    const double hi = range.hi;
+    return col_stats->histogram.SelectivityRange(
+               std::isinf(lo) ? NAN : lo, range.lo_inclusive,
+               std::isinf(hi) ? NAN : hi, range.hi_inclusive) *
+           col_stats->NonNullFraction();
+  }
+  return options_.default_range_selectivity;
+}
+
+double CardinalityEstimator::SelectivityOfRangeMap(const std::string& table,
+                                                   const RangeMap& map) const {
+  if (map.unsatisfiable) return 0.0;
+  double selectivity = 1.0;
+  for (const auto& [col, range] : map.ranges) {
+    selectivity *= RangeSelectivity(table, col, range);
+  }
+  return selectivity;
+}
+
+double CardinalityEstimator::ScanSelectivity(const ScanNode& scan) const {
+  const RangeMap real =
+      BuildRangeMap(scan.predicates(), /*include_estimation_only=*/false);
+  const double sel_real = SelectivityOfRangeMap(scan.table_name(), real);
+
+  // Opaque (non-range-foldable) real predicates: duration predicates are
+  // estimated from offset-SC virtual-column statistics, the rest with the
+  // default factor.
+  double opaque_factor = 1.0;
+  for (const Predicate& p : scan.predicates()) {
+    if (p.estimation_only) continue;
+    std::vector<SimplePredicate> simples;
+    if (p.expr->kind() != ExprKind::kLiteral &&
+        !ExpandSimplePredicates(*p.expr, &simples)) {
+      opaque_factor *= OpaquePredicateSelectivity(scan.table_name(), *p.expr);
+    }
+  }
+
+  if (!options_.use_twinned_predicates) return sel_real * opaque_factor;
+
+  if (options_.naive_twin_conjunction) {
+    // Ablation path: fold twins into the conjunction like ordinary
+    // predicates (independence across all columns), confidence-mixed.
+    const RangeMap with_twins =
+        BuildRangeMap(scan.predicates(), /*include_estimation_only=*/true);
+    const double sel_twinned =
+        SelectivityOfRangeMap(scan.table_name(), with_twins);
+    double conf = 1.0;
+    bool has_twins = false;
+    for (const Predicate& p : scan.predicates()) {
+      if (p.estimation_only) {
+        conf *= p.confidence;
+        has_twins = true;
+      }
+    }
+    if (!has_twins) return sel_real * opaque_factor;
+    return (conf * sel_twinned + (1.0 - conf) * sel_real) * opaque_factor;
+  }
+
+  // §5.1 twinning: each twin offers an *alternative* estimate in which the
+  // source column's predicate is replaced by its image on the twin's
+  // column — reducing a cross-column conjunction (where independence lies)
+  // to a single-column range (where the histogram is exact). The twin only
+  // holds for `confidence` of rows, so the alternative is mixed with the
+  // baseline; and since both are upper-bound-style estimates, we keep the
+  // smaller ("apply upper and lower bounds on our estimates").
+  double best = sel_real;
+  for (const Predicate& p : scan.predicates()) {
+    if (!p.estimation_only) continue;
+    std::vector<SimplePredicate> twin_simples;
+    if (!ExpandSimplePredicates(*p.expr, &twin_simples)) continue;
+    RangeMap candidate = real;
+    if (p.source_column.has_value()) {
+      candidate.ranges.erase(*p.source_column);
+    }
+    for (const SimplePredicate& sp : twin_simples) {
+      candidate.ranges[sp.column].Apply(sp);
+      if (candidate.ranges[sp.column].empty) candidate.unsatisfiable = true;
+    }
+    const double sel_twinned =
+        SelectivityOfRangeMap(scan.table_name(), candidate);
+    const double mixed =
+        p.confidence * sel_twinned + (1.0 - p.confidence) * sel_real;
+    best = std::min(best, mixed);
+  }
+  return best * opaque_factor;
+}
+
+double CardinalityEstimator::ColumnNdv(const std::string& table,
+                                       ColumnIdx column) const {
+  const TableStats* stats = stats_->Get(table);
+  if (stats != nullptr && stats->HasColumn(column) &&
+      stats->columns[column].distinct_count > 0) {
+    return static_cast<double>(stats->columns[column].distinct_count);
+  }
+  auto t = catalog_->GetTable(table);
+  if (t.ok()) {
+    return std::max(1.0, static_cast<double>((*t)->NumRows()) / 10.0);
+  }
+  return 100.0;
+}
+
+double CardinalityEstimator::EstimateJoin(const JoinNode& join) const {
+  const double left = EstimateRows(*join.children()[0]);
+  const double right = EstimateRows(*join.children()[1]);
+  double rows = left * right;
+  for (const JoinNode::EquiKey& key : join.equi_keys()) {
+    std::string lt, rt;
+    ColumnIdx lc = 0, rc = 0;
+    double ndv = 10.0;
+    const bool l_ok =
+        ResolveBaseColumn(*join.children()[0], key.left, &lt, &lc);
+    const bool r_ok =
+        ResolveBaseColumn(*join.children()[1], key.right, &rt, &rc);
+    if (l_ok && r_ok) {
+      ndv = std::max(ColumnNdv(lt, lc), ColumnNdv(rt, rc));
+    } else if (l_ok) {
+      ndv = ColumnNdv(lt, lc);
+    } else if (r_ok) {
+      ndv = ColumnNdv(rt, rc);
+    }
+    rows /= std::max(1.0, ndv);
+  }
+  // Non-equi residual conditions.
+  const std::size_t residual =
+      join.conditions().size() >= join.equi_keys().size()
+          ? join.conditions().size() - join.equi_keys().size()
+          : 0;
+  for (std::size_t i = 0; i < residual; ++i) {
+    rows *= options_.default_range_selectivity;
+  }
+  return rows;
+}
+
+double CardinalityEstimator::EstimateRows(const PlanNode& node) const {
+  switch (node.kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const ScanNode&>(node);
+      auto table = catalog_->GetTable(scan.table_name());
+      const double base =
+          table.ok() ? static_cast<double>((*table)->NumRows()) : 0.0;
+      return base * ScanSelectivity(scan);
+    }
+    case PlanKind::kFilter: {
+      const auto& filter = static_cast<const FilterNode&>(node);
+      double rows = EstimateRows(*node.children()[0]);
+      for (const Predicate& p : filter.predicates()) {
+        if (p.estimation_only) continue;
+        SimplePredicate sp;
+        rows *= MatchSimplePredicate(*p.expr, &sp) &&
+                        sp.op == CompareOp::kEq
+                    ? options_.default_eq_selectivity
+                    : options_.default_range_selectivity;
+      }
+      return rows;
+    }
+    case PlanKind::kJoin:
+      return EstimateJoin(static_cast<const JoinNode&>(node));
+    case PlanKind::kProject:
+    case PlanKind::kSort:
+      return EstimateRows(*node.children()[0]);
+    case PlanKind::kLimit: {
+      const auto& limit = static_cast<const LimitNode&>(node);
+      return std::min(static_cast<double>(limit.limit()),
+                      EstimateRows(*node.children()[0]));
+    }
+    case PlanKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateNode&>(node);
+      const double input = EstimateRows(*node.children()[0]);
+      if (agg.group_by().empty()) return 1.0;
+      double groups = 1.0;
+      for (ColumnIdx g = 0; g < agg.group_by().size(); ++g) {
+        std::string table;
+        ColumnIdx base_col = 0;
+        if (ResolveBaseColumn(node, g, &table, &base_col)) {
+          groups *= ColumnNdv(table, base_col);
+        } else {
+          groups *= 10.0;
+        }
+      }
+      return std::min(input, groups);
+    }
+    case PlanKind::kUnionAll: {
+      double rows = 0.0;
+      for (const PlanPtr& c : node.children()) rows += EstimateRows(*c);
+      return rows;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace softdb

@@ -1,0 +1,87 @@
+#ifndef SOFTDB_OPTIMIZER_CARDINALITY_H_
+#define SOFTDB_OPTIMIZER_CARDINALITY_H_
+
+#include <string>
+
+#include "constraints/sc_registry.h"
+#include "optimizer/range_analysis.h"
+#include "plan/logical_plan.h"
+#include "stats/analyzer.h"
+#include "storage/catalog.h"
+
+namespace softdb {
+
+/// Cardinality estimation over logical plans, with the §5.1 switch: when
+/// `use_twinned_predicates` is on, estimation-only predicates derived from
+/// SSCs participate in selectivity, weighted by their confidence factor.
+/// When off, the estimator is the classic baseline — catalog statistics
+/// plus attribute-independence.
+struct EstimatorOptions {
+  bool use_twinned_predicates = true;
+  /// Ablation switch: treat twins as ordinary conjuncts (multiply their
+  /// selectivity under independence) instead of the paper's
+  /// substitute-and-bound scheme. Kept for the E4 ablation bench — naive
+  /// conjunction double-counts the correlation and can underestimate
+  /// catastrophically.
+  bool naive_twin_conjunction = false;
+  /// Default equality selectivity when no stats exist.
+  double default_eq_selectivity = 0.01;
+  /// Default range selectivity when no stats exist (System R's 1/3).
+  double default_range_selectivity = 1.0 / 3.0;
+};
+
+class CardinalityEstimator {
+ public:
+  /// `scs` is optional; when provided, duration predicates
+  /// (`colY - colX <op> c`) are estimated from the virtual-column
+  /// statistics kept by column-offset SCs (§5.1's virtual-column
+  /// mechanism) instead of the default opaque factor.
+  CardinalityEstimator(const Catalog* catalog, const StatsCatalog* stats,
+                       EstimatorOptions options = {},
+                       const ScRegistry* scs = nullptr)
+      : catalog_(catalog), stats_(stats), scs_(scs), options_(options) {}
+
+  const EstimatorOptions& options() const { return options_; }
+  void set_options(EstimatorOptions o) { options_ = o; }
+
+  /// Estimated output rows of a plan subtree.
+  double EstimateRows(const PlanNode& node) const;
+
+  /// Estimated selectivity of a scan's predicate set. The twin-aware
+  /// estimate is a confidence-weighted mix:
+  ///   conf * sel(real ∧ twins) + (1 - conf) * sel(real)
+  /// which collapses to sel(real) when no twins are attached.
+  double ScanSelectivity(const ScanNode& scan) const;
+
+  /// Selectivity of one column range against one base-table column, from
+  /// the histogram when available.
+  double RangeSelectivity(const std::string& table, ColumnIdx column,
+                          const ColumnRange& range) const;
+
+  /// NDV of a base-table column (for join and group estimates); falls back
+  /// to a tenth of the row count.
+  double ColumnNdv(const std::string& table, ColumnIdx column) const;
+
+ private:
+  double SelectivityOfRangeMap(const std::string& table,
+                               const RangeMap& map) const;
+  double EstimateJoin(const JoinNode& join) const;
+  /// Resolves a bound column of `node`'s output schema to its base table
+  /// and column for stats lookup. Returns false for computed columns.
+  bool ResolveBaseColumn(const PlanNode& node, ColumnIdx col,
+                         std::string* table, ColumnIdx* base_col) const;
+
+  /// Selectivity of one opaque predicate: duration predicates resolve via
+  /// offset-SC virtual-column stats; everything else gets the default.
+  double OpaquePredicateSelectivity(const std::string& table,
+                                    const Expr& expr) const;
+
+  const Catalog* catalog_;
+  const StatsCatalog* stats_;
+  const ScRegistry* scs_;
+  EstimatorOptions options_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_OPTIMIZER_CARDINALITY_H_

@@ -1,0 +1,68 @@
+#ifndef SOFTDB_OPTIMIZER_OPTIMIZER_CONTEXT_H_
+#define SOFTDB_OPTIMIZER_OPTIMIZER_CONTEXT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraints/ic_registry.h"
+#include "constraints/sc_registry.h"
+#include "mv/materialized_view.h"
+#include "stats/analyzer.h"
+#include "storage/catalog.h"
+
+namespace softdb {
+
+/// Everything the rewrite engine and the physical planner consult, plus
+/// per-rule switches (the experiments toggle individual rules) and the
+/// provenance outputs the plan cache needs for §4.1 invalidation.
+struct OptimizerContext {
+  const Catalog* catalog = nullptr;
+  const StatsCatalog* stats = nullptr;
+  const IcRegistry* ics = nullptr;
+  ScRegistry* scs = nullptr;  // Non-const: selection-stage use accounting.
+  const MvRegistry* mvs = nullptr;
+
+  /// sc name -> exception AST name (the late_shipments wiring of §4.4).
+  std::map<std::string, std::string> exception_asts;
+
+  // Rule switches.
+  bool enable_predicate_introduction = true;  // E1 (linear / offset ASCs).
+  bool enable_twinning = true;                // E4 (SSC estimation twins).
+  bool enable_join_elimination = true;        // E3.
+  bool enable_fd_pruning = true;              // E6.
+  bool enable_hole_trimming = true;           // E2.
+  bool enable_domain_rules = true;            // Sybase-style min/max.
+  bool enable_unionall_pruning = true;        // E10 branch knock-off.
+  bool enable_exception_asts = true;          // E5 (ASC-as-AST).
+  bool use_twins_in_estimation = true;        // Estimator switch for E4.
+  /// Plan equi joins as sort-merge instead of hash join. Independently of
+  /// this flag, the planner uses sort-merge when a downstream ORDER BY
+  /// matches the join keys (interesting orders), eliding the sort.
+  bool prefer_sort_merge_join = false;
+  /// §4.2 runtime plan parameterization: sequential scans re-check simple
+  /// predicates over indexed columns against the index's current min/max
+  /// at Open (tautologies skipped, contradictions short-circuit) without
+  /// invalidating the plan.
+  bool enable_runtime_parameterization = true;
+
+  // Outputs of a rewrite pass.
+  std::vector<std::string> used_scs;       // SCs baked into the plan.
+  std::vector<std::string> applied_rules;  // EXPLAIN annotations.
+
+  void RecordScUse(const std::string& name, double benefit) {
+    used_scs.push_back(name);
+    if (scs != nullptr) scs->RecordUse(name, benefit);
+  }
+  void RecordRule(std::string description) {
+    applied_rules.push_back(std::move(description));
+  }
+  void ResetOutputs() {
+    used_scs.clear();
+    applied_rules.clear();
+  }
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_OPTIMIZER_OPTIMIZER_CONTEXT_H_

@@ -1,0 +1,62 @@
+#include "optimizer/plan_cache.h"
+
+#include <algorithm>
+
+namespace softdb {
+
+CachedPlan* PlanCache::Put(const std::string& sql, PlanPtr primary,
+                           PlanPtr backup,
+                           std::vector<std::string> used_scs) {
+  auto entry = std::make_unique<CachedPlan>();
+  entry->sql = sql;
+  entry->primary = std::move(primary);
+  entry->backup = std::move(backup);
+  entry->used_scs = std::move(used_scs);
+  CachedPlan* ptr = entry.get();
+  entries_[sql] = std::move(entry);
+  return ptr;
+}
+
+CachedPlan* PlanCache::Get(const std::string& sql) {
+  auto it = entries_.find(sql);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second.get();
+}
+
+std::size_t PlanCache::OnScViolated(const std::string& sc_name) {
+  std::size_t flipped = 0;
+  for (auto& [_, entry] : entries_) {
+    if (entry->using_backup) continue;
+    if (std::find(entry->used_scs.begin(), entry->used_scs.end(), sc_name) !=
+        entry->used_scs.end()) {
+      entry->using_backup = true;
+      ++flipped;
+      ++invalidations_;
+    }
+  }
+  return flipped;
+}
+
+std::size_t PlanCache::Rearm(const std::vector<std::string>& active_scs) {
+  std::size_t rearmed = 0;
+  for (auto& [_, entry] : entries_) {
+    if (!entry->using_backup) continue;
+    const bool all_active = std::all_of(
+        entry->used_scs.begin(), entry->used_scs.end(),
+        [&](const std::string& name) {
+          return std::find(active_scs.begin(), active_scs.end(), name) !=
+                 active_scs.end();
+        });
+    if (all_active) {
+      entry->using_backup = false;
+      ++rearmed;
+    }
+  }
+  return rearmed;
+}
+
+}  // namespace softdb

@@ -1,0 +1,72 @@
+#ifndef SOFTDB_OPTIMIZER_PLAN_CACHE_H_
+#define SOFTDB_OPTIMIZER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/logical_plan.h"
+
+namespace softdb {
+
+/// A pre-compiled ("packaged") query plan. §4.1: a plan built on an ASC is
+/// in jeopardy when the ASC is overturned; the mitigation implemented here
+/// is the paper's backup-plan tactic — "a package incorporates a 'backup'
+/// plan which is ASC-free; if an ASC is overturned, a flag is raised and
+/// packages revert to the alternative plans."
+struct CachedPlan {
+  std::string sql;
+  PlanPtr primary;                    // Rewritten with SCs.
+  PlanPtr backup;                     // SC-free.
+  std::vector<std::string> used_scs;  // SC names baked into primary.
+  bool using_backup = false;
+  std::uint64_t executions = 0;
+
+  const PlanNode& ActivePlan() const {
+    return using_backup ? *backup : *primary;
+  }
+};
+
+/// Keyed by SQL text. Subscribe `OnScViolated` to the ScRegistry's
+/// violation listener so overturned SCs flip dependent packages to their
+/// backup plan instead of producing wrong answers.
+class PlanCache {
+ public:
+  PlanCache() = default;
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  CachedPlan* Put(const std::string& sql, PlanPtr primary, PlanPtr backup,
+                  std::vector<std::string> used_scs);
+
+  /// Returns the entry or null; counts hit/miss.
+  CachedPlan* Get(const std::string& sql);
+
+  /// Flips every package depending on `sc_name` to its backup plan.
+  /// Returns the number of packages invalidated.
+  std::size_t OnScViolated(const std::string& sc_name);
+
+  /// Re-arms packages after an SC returns to active (e.g. async repair
+  /// completed): entries whose every used SC is in `active_scs` go back to
+  /// the primary plan.
+  std::size_t Rearm(const std::vector<std::string>& active_scs);
+
+  void Clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  std::map<std::string, std::unique_ptr<CachedPlan>> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_OPTIMIZER_PLAN_CACHE_H_

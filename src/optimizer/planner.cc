@@ -1,0 +1,319 @@
+#include "optimizer/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "optimizer/range_analysis.h"
+
+namespace softdb {
+
+namespace {
+
+std::vector<Predicate> ClonePredicates(const std::vector<Predicate>& preds) {
+  std::vector<Predicate> out;
+  out.reserve(preds.size());
+  for (const Predicate& p : preds) out.push_back(p.Clone());
+  return out;
+}
+
+/// Converts a numeric range bound to a Value of the column's type for index
+/// probing. Integer-family columns round conservatively (floor for lower
+/// bounds is wrong — we must not miss rows — so lower bounds use ceil when
+/// exclusive handling would drop them; here bounds are already inclusive
+/// ranges from ColumnRange, so floor/ceil keep soundness).
+Value BoundValue(double v, TypeId type, bool is_lower) {
+  switch (type) {
+    case TypeId::kDouble:
+      return Value::Double(v);
+    case TypeId::kDate:
+      return Value::Date(static_cast<std::int64_t>(
+          is_lower ? std::ceil(v - 1e-9) : std::floor(v + 1e-9)));
+    default:
+      return Value::Int64(static_cast<std::int64_t>(
+          is_lower ? std::ceil(v - 1e-9) : std::floor(v + 1e-9)));
+  }
+}
+
+}  // namespace
+
+Result<AccessPathChoice> PhysicalPlanner::ChooseAccessPath(
+    const ScanNode& scan) const {
+  AccessPathChoice choice;
+  const Table* table = scan.external_table();
+  if (table == nullptr) {
+    SOFTDB_ASSIGN_OR_RETURN(Table * t, ctx_->catalog->GetTable(scan.table_name()));
+    table = t;
+  }
+  choice.seq_cost_pages = static_cast<double>(table->NumPages());
+  choice.cost_pages = choice.seq_cost_pages;
+  if (scan.external_table() != nullptr) return choice;  // No indexes on ASTs.
+
+  const RangeMap ranges =
+      BuildRangeMap(scan.predicates(), /*include_estimation_only=*/false);
+  if (ranges.unsatisfiable) {
+    choice.cost_pages = 0.0;
+    return choice;
+  }
+
+  const double rows = static_cast<double>(table->NumRows());
+  for (const Index* index : ctx_->catalog->IndexesOn(scan.table_name())) {
+    const ColumnRange* range = ranges.Find(index->column());
+    if (range == nullptr || (!range->Bounded() && !range->equal.has_value())) {
+      continue;
+    }
+    const double selectivity = estimator_->RangeSelectivity(
+        scan.table_name(), index->column(), *range);
+    const double matching = selectivity * rows;
+    // Leaf pages of the range + data pages scaled by the index's measured
+    // clustering (page-switch density), capped at the table's page count.
+    const double data_pages =
+        std::min(static_cast<double>(table->NumPages()),
+                 matching * index->PageSwitchDensity());
+    const double cost =
+        matching / static_cast<double>(kRowsPerPage) + data_pages + 1.0;
+    if (cost < choice.cost_pages) {
+      choice.cost_pages = cost;
+      choice.index = index;
+      const TypeId col_type =
+          table->schema().Column(index->column()).type;
+      if (range->equal.has_value()) {
+        choice.lo = *range->equal;
+        choice.hi = *range->equal;
+        choice.lo_inclusive = choice.hi_inclusive = true;
+      } else {
+        if (std::isfinite(range->lo)) {
+          choice.lo = BoundValue(range->lo, col_type, /*is_lower=*/false);
+          choice.lo_inclusive = true;  // Conservative: never miss rows.
+        } else {
+          choice.lo.reset();
+        }
+        if (std::isfinite(range->hi)) {
+          choice.hi = BoundValue(range->hi, col_type, /*is_lower=*/true);
+          choice.hi_inclusive = true;
+        } else {
+          choice.hi.reset();
+        }
+      }
+    }
+  }
+  return choice;
+}
+
+Result<OperatorPtr> PhysicalPlanner::PlanScan(const ScanNode& scan) const {
+  const Table* table = scan.external_table();
+  if (table == nullptr) {
+    SOFTDB_ASSIGN_OR_RETURN(Table * t,
+                            ctx_->catalog->GetTable(scan.table_name()));
+    table = t;
+  }
+  const RangeMap ranges =
+      BuildRangeMap(scan.predicates(), /*include_estimation_only=*/false);
+  if (ranges.unsatisfiable) {
+    return OperatorPtr(std::make_unique<EmptyOp>(scan.output_schema()));
+  }
+  SOFTDB_ASSIGN_OR_RETURN(AccessPathChoice choice, ChooseAccessPath(scan));
+  if (choice.index != nullptr) {
+    return OperatorPtr(std::make_unique<IndexRangeScanOp>(
+        table, choice.index, scan.output_schema(), choice.lo,
+        choice.lo_inclusive, choice.hi, choice.hi_inclusive,
+        ClonePredicates(scan.predicates())));
+  }
+  auto seq = std::make_unique<SeqScanOp>(table, scan.output_schema(),
+                                         ClonePredicates(scan.predicates()));
+  // §4.2 runtime parameterization: simple predicates over indexed columns
+  // are re-checked against the index's *current* min/max at every Open, so
+  // the compiled plan adapts to updates without invalidation.
+  if (ctx_->enable_runtime_parameterization &&
+      scan.external_table() == nullptr) {
+    for (std::size_t i = 0; i < scan.predicates().size(); ++i) {
+      const Predicate& p = scan.predicates()[i];
+      if (p.estimation_only) continue;
+      SimplePredicate sp;
+      if (!MatchSimplePredicate(*p.expr, &sp)) continue;
+      for (const Index* index : ctx_->catalog->IndexesOn(scan.table_name())) {
+        if (index->column() == sp.column) {
+          seq->AddRuntimeParameter(i, index, sp);
+          break;
+        }
+      }
+    }
+  }
+  return OperatorPtr(std::move(seq));
+}
+
+Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node) const {
+  switch (node.kind()) {
+    case PlanKind::kScan:
+      return PlanScan(static_cast<const ScanNode&>(node));
+    case PlanKind::kFilter: {
+      const auto& filter = static_cast<const FilterNode&>(node);
+      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr child, Plan(*node.children()[0]));
+      return OperatorPtr(std::make_unique<FilterOp>(
+          std::move(child), ClonePredicates(filter.predicates())));
+    }
+    case PlanKind::kProject: {
+      const auto& proj = static_cast<const ProjectNode&>(node);
+      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr child, Plan(*node.children()[0]));
+      std::vector<ExprPtr> exprs;
+      exprs.reserve(proj.exprs().size());
+      for (const ExprPtr& e : proj.exprs()) exprs.push_back(e->Clone());
+      return OperatorPtr(std::make_unique<ProjectOp>(
+          std::move(child), proj.output_schema(), std::move(exprs)));
+    }
+    case PlanKind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(node);
+      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr left, Plan(*node.children()[0]));
+      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr right, Plan(*node.children()[1]));
+      if (!join.equi_keys().empty()) {
+        if (ctx_->prefer_sort_merge_join) {
+          return OperatorPtr(std::make_unique<SortMergeJoinOp>(
+              std::move(left), std::move(right), join.equi_keys(),
+              ClonePredicates(join.conditions())));
+        }
+        return OperatorPtr(std::make_unique<HashJoinOp>(
+            std::move(left), std::move(right), join.equi_keys(),
+            ClonePredicates(join.conditions())));
+      }
+      return OperatorPtr(std::make_unique<NestedLoopJoinOp>(
+          std::move(left), std::move(right),
+          ClonePredicates(join.conditions())));
+    }
+    case PlanKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateNode&>(node);
+      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr child, Plan(*node.children()[0]));
+      std::vector<ExprPtr> groups;
+      groups.reserve(agg.group_by().size());
+      for (const ExprPtr& g : agg.group_by()) groups.push_back(g->Clone());
+      std::vector<AggregateItem> aggs;
+      aggs.reserve(agg.aggregates().size());
+      for (const AggregateItem& a : agg.aggregates()) aggs.push_back(a.Clone());
+      return OperatorPtr(std::make_unique<HashAggregateOp>(
+          std::move(child), agg.output_schema(), std::move(groups),
+          std::move(aggs), agg.key_flags()));
+    }
+    case PlanKind::kSort: {
+      const auto& sort = static_cast<const SortNode&>(node);
+      bool presorted = false;
+      OperatorPtr child;
+
+      // Interesting orders: ORDER BY on a prefix of an equi join's left
+      // key columns (all ascending) — plan the join as sort-merge, whose
+      // output already carries that order, and elide the sort.
+      if (node.children()[0]->kind() == PlanKind::kJoin) {
+        const auto& join =
+            static_cast<const JoinNode&>(*node.children()[0]);
+        bool matches = !join.equi_keys().empty() &&
+                       sort.keys().size() <= join.equi_keys().size();
+        for (std::size_t i = 0; matches && i < sort.keys().size(); ++i) {
+          const SortKey& k = sort.keys()[i];
+          matches = k.ascending &&
+                    k.expr->kind() == ExprKind::kColumnRef &&
+                    static_cast<const ColumnRefExpr&>(*k.expr).bound() &&
+                    static_cast<const ColumnRefExpr&>(*k.expr).index() ==
+                        join.equi_keys()[i].left;
+        }
+        if (matches) {
+          SOFTDB_ASSIGN_OR_RETURN(OperatorPtr left,
+                                  Plan(*join.children()[0]));
+          SOFTDB_ASSIGN_OR_RETURN(OperatorPtr right,
+                                  Plan(*join.children()[1]));
+          child = std::make_unique<SortMergeJoinOp>(
+              std::move(left), std::move(right), join.equi_keys(),
+              ClonePredicates(join.conditions()));
+          presorted = true;
+        }
+      }
+      if (!child) {
+        SOFTDB_ASSIGN_OR_RETURN(child, Plan(*node.children()[0]));
+      }
+      // Sort elision: a single ascending key over the column an index scan
+      // already delivers in order.
+      if (!presorted && sort.keys().size() == 1 &&
+          sort.keys()[0].ascending &&
+          node.children()[0]->kind() == PlanKind::kScan &&
+          sort.keys()[0].expr->kind() == ExprKind::kColumnRef) {
+        const auto& scan = static_cast<const ScanNode&>(*node.children()[0]);
+        const auto& ref =
+            static_cast<const ColumnRefExpr&>(*sort.keys()[0].expr);
+        auto choice = ChooseAccessPath(scan);
+        if (choice.ok() && choice->index != nullptr && ref.bound() &&
+            choice->index->column() == ref.index()) {
+          presorted = true;
+        }
+      }
+      std::vector<SortKey> keys;
+      keys.reserve(sort.keys().size());
+      for (const SortKey& k : sort.keys()) keys.push_back(k.Clone());
+      return OperatorPtr(std::make_unique<SortOp>(std::move(child),
+                                                  std::move(keys), presorted));
+    }
+    case PlanKind::kUnionAll: {
+      std::vector<OperatorPtr> children;
+      children.reserve(node.children().size());
+      for (const PlanPtr& c : node.children()) {
+        SOFTDB_ASSIGN_OR_RETURN(OperatorPtr op, Plan(*c));
+        children.push_back(std::move(op));
+      }
+      return OperatorPtr(std::make_unique<UnionAllOp>(node.output_schema(),
+                                                      std::move(children)));
+    }
+    case PlanKind::kLimit: {
+      const auto& limit = static_cast<const LimitNode&>(node);
+      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr child, Plan(*node.children()[0]));
+      return OperatorPtr(
+          std::make_unique<LimitOp>(std::move(child), limit.limit()));
+    }
+  }
+  return Status::Internal("unknown plan node");
+}
+
+double PhysicalPlanner::EstimateCost(const PlanNode& node) const {
+  constexpr double kCpuPerRow = 0.001;  // Pages are the unit; cpu is cheap.
+  switch (node.kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const ScanNode&>(node);
+      auto choice = ChooseAccessPath(scan);
+      if (!choice.ok()) return 1.0;
+      return choice->cost_pages +
+             kCpuPerRow * estimator_->EstimateRows(node);
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+    case PlanKind::kLimit:
+      return EstimateCost(*node.children()[0]) +
+             kCpuPerRow * estimator_->EstimateRows(node);
+    case PlanKind::kJoin: {
+      const double build = estimator_->EstimateRows(*node.children()[1]);
+      const double probe = estimator_->EstimateRows(*node.children()[0]);
+      const auto& join = static_cast<const JoinNode&>(node);
+      double cpu;
+      if (!join.equi_keys().empty()) {
+        cpu = kCpuPerRow * (build * 2.0 + probe);
+      } else {
+        cpu = kCpuPerRow * build * probe;  // Nested loop.
+      }
+      return EstimateCost(*node.children()[0]) +
+             EstimateCost(*node.children()[1]) + cpu;
+    }
+    case PlanKind::kAggregate:
+      return EstimateCost(*node.children()[0]) +
+             kCpuPerRow * estimator_->EstimateRows(*node.children()[0]);
+    case PlanKind::kSort: {
+      const double rows =
+          std::max(1.0, estimator_->EstimateRows(*node.children()[0]));
+      const auto& sort = static_cast<const SortNode&>(node);
+      // n log n comparisons, scaled by key count.
+      const double cpu = kCpuPerRow * rows * std::log2(rows + 1.0) *
+                         static_cast<double>(sort.keys().size());
+      return EstimateCost(*node.children()[0]) + cpu;
+    }
+    case PlanKind::kUnionAll: {
+      double total = 0.0;
+      for (const PlanPtr& c : node.children()) total += EstimateCost(*c);
+      return total;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace softdb

@@ -1,0 +1,50 @@
+#ifndef SOFTDB_OPTIMIZER_PLANNER_H_
+#define SOFTDB_OPTIMIZER_PLANNER_H_
+
+#include <optional>
+
+#include "exec/operators.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/optimizer_context.h"
+#include "plan/logical_plan.h"
+
+namespace softdb {
+
+/// The chosen access path for one scan.
+struct AccessPathChoice {
+  const Index* index = nullptr;  // Null: sequential scan.
+  std::optional<Value> lo, hi;
+  bool lo_inclusive = true, hi_inclusive = true;
+  double cost_pages = 0.0;  // Estimated page fetches of the choice.
+  double seq_cost_pages = 0.0;  // What a sequential scan would have cost.
+};
+
+/// Lowers a (rewritten) logical plan to executor operators, choosing access
+/// paths by estimated page cost. Predicate introduction pays off here: an
+/// introduced range on an indexed column turns a sequential scan into an
+/// index range scan.
+class PhysicalPlanner {
+ public:
+  PhysicalPlanner(const OptimizerContext* ctx,
+                  const CardinalityEstimator* estimator)
+      : ctx_(ctx), estimator_(estimator) {}
+
+  Result<OperatorPtr> Plan(const PlanNode& node) const;
+
+  /// Access-path selection for one scan (exposed for EXPLAIN and tests).
+  Result<AccessPathChoice> ChooseAccessPath(const ScanNode& scan) const;
+
+  /// Recursive plan cost in simulated pages + cpu, used by benches to show
+  /// plan-cost shape without executing.
+  double EstimateCost(const PlanNode& node) const;
+
+ private:
+  Result<OperatorPtr> PlanScan(const ScanNode& scan) const;
+
+  const OptimizerContext* ctx_;
+  const CardinalityEstimator* estimator_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_OPTIMIZER_PLANNER_H_

@@ -1,0 +1,129 @@
+#include "optimizer/range_analysis.h"
+
+#include <cmath>
+
+namespace softdb {
+
+void ColumnRange::Apply(const SimplePredicate& pred) {
+  if (pred.constant.is_null()) {
+    // Comparison with NULL never holds.
+    empty = true;
+    return;
+  }
+  if (pred.constant.type() == TypeId::kString) {
+    if (pred.op == CompareOp::kEq) {
+      if (equal.has_value() && !equal->GroupEquals(pred.constant)) {
+        empty = true;
+      }
+      equal = pred.constant;
+    }
+    return;  // Lexicographic ranges are not folded numerically.
+  }
+  const double c = pred.constant.NumericValue();
+  switch (pred.op) {
+    case CompareOp::kEq:
+      if (equal.has_value() && !equal->GroupEquals(pred.constant)) {
+        empty = true;
+      }
+      equal = pred.constant;
+      if (c > lo || (c == lo && !lo_inclusive)) {
+        lo = c;
+        lo_inclusive = true;
+      }
+      if (c < hi || (c == hi && !hi_inclusive)) {
+        hi = c;
+        hi_inclusive = true;
+      }
+      break;
+    case CompareOp::kGe:
+      if (c > lo) {
+        lo = c;
+        lo_inclusive = true;
+      }
+      break;
+    case CompareOp::kGt:
+      if (c > lo || (c == lo && lo_inclusive)) {
+        lo = c;
+        lo_inclusive = false;
+      }
+      break;
+    case CompareOp::kLe:
+      if (c < hi) {
+        hi = c;
+        hi_inclusive = true;
+      }
+      break;
+    case CompareOp::kLt:
+      if (c < hi || (c == hi && hi_inclusive)) {
+        hi = c;
+        hi_inclusive = false;
+      }
+      break;
+    case CompareOp::kNe:
+      if (equal.has_value() && equal->GroupEquals(pred.constant)) empty = true;
+      break;
+  }
+  if (lo > hi) empty = true;
+  if (lo == hi && (!lo_inclusive || !hi_inclusive)) empty = true;
+}
+
+bool ColumnRange::ImpliedBy(const ColumnRange& outer) const {
+  // this is implied by outer iff outer's interval ⊆ this interval.
+  if (outer.empty) return true;  // Vacuous.
+  if (lo > outer.lo) return false;
+  if (lo == outer.lo && !lo_inclusive && outer.lo_inclusive) return false;
+  if (hi < outer.hi) return false;
+  if (hi == outer.hi && !hi_inclusive && outer.hi_inclusive) return false;
+  if (equal.has_value()) {
+    if (!outer.equal.has_value() || !outer.equal->GroupEquals(*equal)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RangeMap BuildRangeMap(const std::vector<Predicate>& predicates,
+                       bool include_estimation_only) {
+  RangeMap map;
+  for (const Predicate& p : predicates) {
+    if (p.estimation_only && !include_estimation_only) continue;
+    // Literal FALSE conjunct (hole-pruned scans).
+    if (p.expr->kind() == ExprKind::kLiteral) {
+      const Value& v = static_cast<const LiteralExpr&>(*p.expr).value();
+      if (!v.is_null() && v.type() == TypeId::kBool && !v.AsBool()) {
+        map.unsatisfiable = true;
+      }
+      continue;
+    }
+    std::vector<SimplePredicate> simples;
+    if (!ExpandSimplePredicates(*p.expr, &simples)) continue;
+    for (const SimplePredicate& sp : simples) {
+      map.ranges[sp.column].Apply(sp);
+      if (map.ranges[sp.column].empty) map.unsatisfiable = true;
+    }
+  }
+  return map;
+}
+
+bool IsUnsatisfiable(const std::vector<Predicate>& predicates) {
+  return BuildRangeMap(predicates, /*include_estimation_only=*/false)
+      .unsatisfiable;
+}
+
+bool Implies(const RangeMap& outer, const RangeMap& inner) {
+  if (outer.unsatisfiable) return true;
+  for (const auto& [col, inner_range] : inner.ranges) {
+    const ColumnRange* outer_range = outer.Find(col);
+    if (outer_range == nullptr) {
+      // Outer does not constrain this column at all: implication requires
+      // inner to be unbounded too.
+      ColumnRange unconstrained;
+      if (!inner_range.ImpliedBy(unconstrained)) return false;
+      continue;
+    }
+    if (!inner_range.ImpliedBy(*outer_range)) return false;
+  }
+  return true;
+}
+
+}  // namespace softdb

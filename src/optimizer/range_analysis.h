@@ -1,0 +1,69 @@
+#ifndef SOFTDB_OPTIMIZER_RANGE_ANALYSIS_H_
+#define SOFTDB_OPTIMIZER_RANGE_ANALYSIS_H_
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "plan/predicate.h"
+
+namespace softdb {
+
+/// Interval on one column accumulated from simple predicates. Bounds are
+/// numeric (all non-string types reduce to doubles; strings are handled by
+/// equality only).
+struct ColumnRange {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_inclusive = true;
+  bool hi_inclusive = true;
+  /// Set when an equality pinned the column.
+  std::optional<Value> equal;
+  /// A contradiction was detected (e.g. x > 5 AND x < 3).
+  bool empty = false;
+
+  bool Bounded() const {
+    return lo != -std::numeric_limits<double>::infinity() ||
+           hi != std::numeric_limits<double>::infinity();
+  }
+
+  /// Narrows this range with one more predicate on the same column.
+  void Apply(const SimplePredicate& pred);
+
+  /// True when every value in this range also lies in `other` (this ⇒
+  /// other). Used for union-all branch analysis and AST matching.
+  bool ImpliedBy(const ColumnRange& outer) const;
+};
+
+/// Per-column conjunction of simple predicates over one relation.
+struct RangeMap {
+  std::map<ColumnIdx, ColumnRange> ranges;
+  /// True when some conjunct is the literal FALSE or a range is empty.
+  bool unsatisfiable = false;
+
+  const ColumnRange* Find(ColumnIdx col) const {
+    auto it = ranges.find(col);
+    return it == ranges.end() ? nullptr : &it->second;
+  }
+};
+
+/// Folds the *simple* conjuncts of `predicates` into per-column ranges.
+/// Opaque (non-simple) predicates are skipped — the result is a sound
+/// over-approximation of the predicate set. When `include_estimation_only`
+/// is false, twinned predicates are ignored (the baseline estimator path).
+RangeMap BuildRangeMap(const std::vector<Predicate>& predicates,
+                       bool include_estimation_only);
+
+/// True when the predicate set is provably unsatisfiable (a literal FALSE
+/// conjunct or an empty column range) — the §5 branch knock-off test.
+bool IsUnsatisfiable(const std::vector<Predicate>& predicates);
+
+/// True when `inner` (e.g. an AST's defining ranges) is implied by `outer`
+/// (a query's ranges): every column constrained by inner is at least as
+/// constrained in outer.
+bool Implies(const RangeMap& outer, const RangeMap& inner);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_OPTIMIZER_RANGE_ANALYSIS_H_

@@ -1,0 +1,938 @@
+#include "optimizer/rewriter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/str_util.h"
+#include "constraints/column_offset_sc.h"
+#include "constraints/domain_sc.h"
+#include "constraints/fd_sc.h"
+#include "constraints/inclusion_sc.h"
+#include "constraints/join_hole_sc.h"
+#include "constraints/linear_correlation_sc.h"
+#include "constraints/predicate_sc.h"
+#include "optimizer/range_analysis.h"
+
+namespace softdb {
+
+namespace {
+
+/// Builds a bound `col <op> const` expression against `schema`, coercing
+/// the constant to the column's type family.
+ExprPtr MakeSimpleExpr(const Schema& schema, const SimplePredicate& sp) {
+  const ColumnDef& def = schema.Column(sp.column);
+  Value constant = sp.constant;
+  if (IsNumericType(def.type) && !constant.is_null() &&
+      constant.type() != def.type && constant.type() != TypeId::kString) {
+    auto cast = constant.CastTo(def.type);
+    if (cast.ok()) constant = *std::move(cast);
+  }
+  return MakeCompare(sp.op,
+                     std::make_unique<ColumnRefExpr>(def.QualifiedName(),
+                                                     sp.column, def.type),
+                     MakeLiteral(std::move(constant)));
+}
+
+/// Combines several derived simple predicates into one Predicate entry so a
+/// single SC contributes a single confidence factor.
+Predicate MakeDerivedPredicate(const Schema& schema,
+                               const std::vector<SimplePredicate>& simples,
+                               bool estimation_only, double confidence,
+                               const std::string& origin) {
+  std::vector<ExprPtr> exprs;
+  exprs.reserve(simples.size());
+  for (const SimplePredicate& sp : simples) {
+    exprs.push_back(MakeSimpleExpr(schema, sp));
+  }
+  return Predicate(MakeAnd(std::move(exprs)), estimation_only, confidence,
+                   origin);
+}
+
+bool HasPredicateFromOrigin(const ScanNode& scan, const std::string& origin) {
+  return std::any_of(scan.predicates().begin(), scan.predicates().end(),
+                     [&](const Predicate& p) { return p.origin == origin; });
+}
+
+/// Resolves a column of `node`'s output schema to its originating base
+/// table and column index. Mirrors the estimator's resolution but local to
+/// the rewriter (keeps the modules decoupled).
+bool ResolveToBase(const PlanNode& node, ColumnIdx col, std::string* table,
+                   ColumnIdx* base_col) {
+  switch (node.kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const ScanNode&>(node);
+      *table = scan.table_name();
+      *base_col = col;
+      return true;
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+      return ResolveToBase(*node.children()[0], col, table, base_col);
+    case PlanKind::kJoin: {
+      const ColumnIdx la = static_cast<ColumnIdx>(
+          node.children()[0]->output_schema().NumColumns());
+      if (col < la) return ResolveToBase(*node.children()[0], col, table,
+                                         base_col);
+      return ResolveToBase(*node.children()[1], col - la, table, base_col);
+    }
+    default:
+      return false;
+  }
+}
+
+void CollectExprColumns(const Expr& expr, std::vector<ColumnIdx>* out) {
+  expr.CollectColumns(out);
+}
+
+std::vector<ColumnIdx> Dedupe(std::vector<ColumnIdx> cols) {
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+/// The simple predicates on a scan (real only), with attr ranges folded.
+RangeMap ScanRanges(const ScanNode& scan) {
+  return BuildRangeMap(scan.predicates(), /*include_estimation_only=*/false);
+}
+
+/// Numeric query range for one column: from the scan's predicates when
+/// constrained, else from catalog stats min/max, else fails.
+bool QueryRangeFor(const ScanNode& scan, ColumnIdx col,
+                   const StatsCatalog* stats, double* lo, double* hi) {
+  const RangeMap map = ScanRanges(scan);
+  const ColumnRange* range = map.Find(col);
+  double min_v = -std::numeric_limits<double>::infinity();
+  double max_v = std::numeric_limits<double>::infinity();
+  if (stats != nullptr) {
+    const TableStats* ts = stats->Get(scan.table_name());
+    if (ts != nullptr && ts->HasColumn(col)) {
+      const ColumnStats& cs = ts->columns[col];
+      if (cs.min.has_value()) min_v = cs.min->NumericValue();
+      if (cs.max.has_value()) max_v = cs.max->NumericValue();
+    }
+  }
+  *lo = range != nullptr && range->Bounded() ? std::max(range->lo, min_v)
+                                             : min_v;
+  *hi = range != nullptr && range->Bounded() ? std::min(range->hi, max_v)
+                                             : max_v;
+  return std::isfinite(*lo) && std::isfinite(*hi);
+}
+
+}  // namespace
+
+bool IsProvablyEmpty(const PlanNode& node) {
+  switch (node.kind()) {
+    case PlanKind::kScan:
+      return BuildRangeMap(static_cast<const ScanNode&>(node).predicates(),
+                           /*include_estimation_only=*/false)
+          .unsatisfiable;
+    case PlanKind::kFilter: {
+      const auto& filter = static_cast<const FilterNode&>(node);
+      if (IsUnsatisfiable(filter.predicates())) return true;
+      return IsProvablyEmpty(*node.children()[0]);
+    }
+    case PlanKind::kProject:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+      return IsProvablyEmpty(*node.children()[0]);
+    case PlanKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateNode&>(node);
+      if (agg.group_by().empty()) return false;  // Global agg emits a row.
+      return IsProvablyEmpty(*node.children()[0]);
+    }
+    case PlanKind::kJoin:
+      return IsProvablyEmpty(*node.children()[0]) ||
+             IsProvablyEmpty(*node.children()[1]);
+    case PlanKind::kUnionAll: {
+      for (const PlanPtr& c : node.children()) {
+        if (!IsProvablyEmpty(*c)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+Status Rewriter::RewriteScan(ScanNode* scan) {
+  if (scan->external_table() != nullptr) return Status::OK();
+  auto table_result = ctx_->catalog->GetTable(scan->table_name());
+  if (!table_result.ok()) return Status::OK();
+  const Table* table = *table_result;
+  const Schema& schema = scan->output_schema();
+
+  // ---- Domain rules: drop tautologies, detect contradictions. ----
+  if (ctx_->enable_domain_rules && ctx_->scs != nullptr) {
+    for (SoftConstraint* sc : ctx_->scs->On(scan->table_name())) {
+      auto* domain = dynamic_cast<DomainSc*>(sc);
+      if (domain == nullptr || !domain->IsAbsolute()) continue;
+      auto& preds = scan->predicates();
+      for (auto it = preds.begin(); it != preds.end();) {
+        SimplePredicate sp;
+        if (it->estimation_only || !MatchSimplePredicate(*it->expr, &sp)) {
+          ++it;
+          continue;
+        }
+        const DomainSc::Implication impl = domain->Classify(sp);
+        // Dropping a tautological predicate is only sound on non-nullable
+        // columns (a NULL fails the predicate but is inside the domain
+        // vacuously).
+        if (impl == DomainSc::Implication::kTautology &&
+            !schema.Column(sp.column).nullable) {
+          ctx_->RecordRule(StrFormat("domain-drop: %s [%s]",
+                                     it->expr->ToString().c_str(),
+                                     sc->name().c_str()));
+          ctx_->RecordScUse(sc->name(), 1.0);
+          it = preds.erase(it);
+          continue;
+        }
+        if (impl == DomainSc::Implication::kContradiction) {
+          ctx_->RecordRule(StrFormat("domain-contradiction: %s [%s]",
+                                     it->expr->ToString().c_str(),
+                                     sc->name().c_str()));
+          ctx_->RecordScUse(sc->name(), 10.0);
+          preds.push_back(Predicate(MakeLiteral(Value::Bool(false)), false,
+                                    1.0, "sc:" + sc->name()));
+          return Status::OK();
+        }
+        ++it;
+      }
+    }
+  }
+
+  // ---- Collect the real simple predicates once. ----
+  std::vector<SimplePredicate> simples;
+  for (const Predicate& p : scan->predicates()) {
+    if (p.estimation_only) continue;
+    std::vector<SimplePredicate> expanded;
+    if (ExpandSimplePredicates(*p.expr, &expanded)) {
+      for (SimplePredicate& sp : expanded) simples.push_back(std::move(sp));
+    }
+  }
+
+  if (ctx_->scs != nullptr) {
+    for (SoftConstraint* sc : ctx_->scs->On(scan->table_name())) {
+      if (!sc->active()) continue;
+      const std::string origin = "sc:" + sc->name();
+      if (HasPredicateFromOrigin(*scan, origin)) continue;
+
+      // ---- Column-offset SCs: introduction (ASC) or twinning (SSC). ----
+      if (auto* offset = dynamic_cast<ColumnOffsetSc*>(sc)) {
+        std::vector<SimplePredicate> derived;
+        for (const SimplePredicate& sp : simples) {
+          for (SimplePredicate& d : offset->DerivePredicates(sp)) {
+            derived.push_back(std::move(d));
+          }
+        }
+        if (derived.empty()) continue;
+        // Introduction is only sound onto non-nullable columns: a row with
+        // a NULL target satisfies the SC vacuously but fails the
+        // introduced predicate ([6]'s safe-introduction restriction).
+        const bool targets_non_null = std::all_of(
+            derived.begin(), derived.end(), [&](const SimplePredicate& d) {
+              return !schema.Column(d.column).nullable;
+            });
+        if (offset->IsAbsolute() && ctx_->enable_predicate_introduction &&
+            targets_non_null) {
+          scan->predicates().push_back(MakeDerivedPredicate(
+              schema, derived, /*estimation_only=*/false, 1.0, origin));
+          ctx_->RecordRule("predicate-introduction: " + origin);
+          ctx_->RecordScUse(sc->name(), 1.0);
+        } else if (!offset->IsAbsolute() && ctx_->enable_twinning) {
+          const double conf = offset->CurrencyAdjustedConfidence(*table);
+          if (conf > 0.0) {
+            // One twin per source predicate, each remembering the column it
+            // substitutes for during estimation (§5.1).
+            bool any = false;
+            for (const SimplePredicate& sp : simples) {
+              std::vector<SimplePredicate> per_source =
+                  offset->DerivePredicates(sp);
+              if (per_source.empty()) continue;
+              Predicate twin = MakeDerivedPredicate(
+                  schema, per_source, /*estimation_only=*/true, conf, origin);
+              twin.source_column = sp.column;
+              scan->predicates().push_back(std::move(twin));
+              any = true;
+            }
+            if (any) {
+              ctx_->RecordRule(StrFormat("twinning: %s (conf %.3f)",
+                                         origin.c_str(), conf));
+              ctx_->RecordScUse(sc->name(), 1.0);
+            }
+          }
+        }
+        continue;
+      }
+
+      // ---- Linear-correlation SCs: A-range from the B-range. ----
+      if (auto* linear = dynamic_cast<LinearCorrelationSc*>(sc)) {
+        // Fold the B constraints into one range.
+        ColumnRange b_range;
+        bool b_constrained = false;
+        for (const SimplePredicate& sp : simples) {
+          if (sp.column != linear->col_b() || sp.op == CompareOp::kNe) {
+            continue;
+          }
+          b_range.Apply(sp);
+          b_constrained = true;
+        }
+        if (!b_constrained || b_range.empty || !b_range.Bounded()) continue;
+        if (!std::isfinite(b_range.lo) || !std::isfinite(b_range.hi)) {
+          continue;  // Half-open B ranges give unbounded A ranges.
+        }
+        auto [a_lo, a_hi] = linear->ARangeForB(b_range.lo, b_range.hi);
+        const ColumnDef& a_def = schema.Column(linear->col_a());
+        std::vector<SimplePredicate> derived;
+        // Integer-family columns get floor/ceil so the envelope stays sound.
+        Value lo_v = a_def.type == TypeId::kDouble
+                         ? Value::Double(a_lo)
+                         : Value::Int64(static_cast<std::int64_t>(
+                               std::floor(a_lo)));
+        Value hi_v = a_def.type == TypeId::kDouble
+                         ? Value::Double(a_hi)
+                         : Value::Int64(static_cast<std::int64_t>(
+                               std::ceil(a_hi)));
+        derived.push_back({linear->col_a(), CompareOp::kGe, std::move(lo_v)});
+        derived.push_back({linear->col_a(), CompareOp::kLe, std::move(hi_v)});
+        const bool a_non_null = !schema.Column(linear->col_a()).nullable;
+        if (linear->IsAbsolute() && ctx_->enable_predicate_introduction &&
+            a_non_null) {
+          scan->predicates().push_back(MakeDerivedPredicate(
+              schema, derived, /*estimation_only=*/false, 1.0, origin));
+          ctx_->RecordRule("predicate-introduction: " + origin);
+          ctx_->RecordScUse(sc->name(), 1.0);
+        } else if (!linear->IsAbsolute() && ctx_->enable_twinning) {
+          const double conf = linear->CurrencyAdjustedConfidence(*table);
+          if (conf > 0.0) {
+            Predicate twin = MakeDerivedPredicate(
+                schema, derived, /*estimation_only=*/true, conf, origin);
+            twin.source_column = linear->col_b();
+            scan->predicates().push_back(std::move(twin));
+            ctx_->RecordRule(StrFormat("twinning: %s (conf %.3f)",
+                                       origin.c_str(), conf));
+            ctx_->RecordScUse(sc->name(), 1.0);
+          }
+        }
+        continue;
+      }
+    }
+
+    // ---- Contradiction against absolute check characterizations (the
+    // union-all branch knock-off test of §5). ----
+    if (ctx_->enable_unionall_pruning &&
+        !IsUnsatisfiable(scan->predicates())) {
+      std::vector<const Expr*> check_exprs;
+      if (ctx_->ics != nullptr) {
+        for (CheckConstraint* check : ctx_->ics->ChecksOn(scan->table_name())) {
+          check_exprs.push_back(&check->expr());
+        }
+      }
+      for (SoftConstraint* sc : ctx_->scs->On(scan->table_name())) {
+        auto* pred_sc = dynamic_cast<PredicateSc*>(sc);
+        if (pred_sc != nullptr && pred_sc->IsAbsolute()) {
+          check_exprs.push_back(&pred_sc->expr());
+        }
+      }
+      for (const Expr* check : check_exprs) {
+        std::vector<SimplePredicate> check_simples;
+        if (!ExpandSimplePredicates(*check, &check_simples)) continue;
+        RangeMap merged = ScanRanges(*scan);
+        for (const SimplePredicate& sp : check_simples) {
+          merged.ranges[sp.column].Apply(sp);
+          if (merged.ranges[sp.column].empty) merged.unsatisfiable = true;
+        }
+        if (merged.unsatisfiable) {
+          ctx_->RecordRule("constraint-contradiction: scan " +
+                           scan->table_name());
+          scan->predicates().push_back(Predicate(
+              MakeLiteral(Value::Bool(false)), false, 1.0, "contradiction"));
+          break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<PlanPtr> Rewriter::MaybeExceptionAstRewrite(PlanPtr node) {
+  if (!ctx_->enable_exception_asts || ctx_->scs == nullptr ||
+      ctx_->mvs == nullptr || node->kind() != PlanKind::kScan) {
+    return node;
+  }
+  auto* scan = static_cast<ScanNode*>(node.get());
+  if (scan->external_table() != nullptr) return node;
+
+  std::vector<SimplePredicate> simples;
+  for (const Predicate& p : scan->predicates()) {
+    if (p.estimation_only || p.origin != "user") continue;
+    std::vector<SimplePredicate> expanded;
+    if (ExpandSimplePredicates(*p.expr, &expanded)) {
+      for (SimplePredicate& sp : expanded) simples.push_back(std::move(sp));
+    }
+  }
+  if (simples.empty()) return node;
+
+  for (SoftConstraint* sc : ctx_->scs->On(scan->table_name())) {
+    auto* offset = dynamic_cast<ColumnOffsetSc*>(sc);
+    if (offset == nullptr || !sc->active() || sc->IsAbsolute()) continue;
+    auto it = ctx_->exception_asts.find(sc->name());
+    if (it == ctx_->exception_asts.end()) continue;
+    MaterializedView* view = ctx_->mvs->Find(it->second);
+    if (view == nullptr || view->table() == nullptr) continue;
+    // Rows with a NULL in either column satisfy the SC vacuously and are
+    // not in the exception table, so the UNION would lose them unless both
+    // columns are non-nullable.
+    if (scan->output_schema().Column(offset->col_x()).nullable ||
+        scan->output_schema().Column(offset->col_y()).nullable) {
+      continue;
+    }
+
+    std::vector<SimplePredicate> derived;
+    for (const SimplePredicate& sp : simples) {
+      for (SimplePredicate& d : offset->DerivePredicates(sp)) {
+        derived.push_back(std::move(d));
+      }
+    }
+    if (derived.empty()) continue;
+    // Worth doing only when the derived column opens an index path.
+    bool derived_indexed = false;
+    for (const SimplePredicate& d : derived) {
+      const std::string col_name =
+          scan->output_schema().Column(d.column).name;
+      if (ctx_->catalog->FindIndex(scan->table_name(), col_name) != nullptr) {
+        derived_indexed = true;
+      }
+    }
+    if (!derived_indexed) continue;
+
+    const std::string origin = "ast:" + sc->name();
+    // Branch 1: base scan plus the introduced (SC-implied) predicate —
+    // captures all compliant rows.
+    PlanPtr branch1 = scan->Clone();
+    static_cast<ScanNode*>(branch1.get())
+        ->predicates()
+        .push_back(MakeDerivedPredicate(scan->output_schema(), derived,
+                                        /*estimation_only=*/false, 1.0,
+                                        origin));
+    // Branch 2: the exception AST under the original predicates — captures
+    // exactly the violating rows. UNION ALL is safe: the two branches are
+    // disjoint by construction (§4.4).
+    auto branch2 = std::make_unique<ScanNode>(view->name(),
+                                              scan->output_schema());
+    branch2->set_external_table(view->table());
+    for (const Predicate& p : scan->predicates()) {
+      if (p.estimation_only) continue;
+      branch2->predicates().push_back(p.Clone());
+    }
+    ctx_->RecordRule("exception-ast: " + origin + " via " + view->name());
+    ctx_->RecordScUse(sc->name(), 1.0);
+
+    std::vector<PlanPtr> branches;
+    branches.push_back(std::move(branch1));
+    branches.push_back(std::move(branch2));
+    return PlanPtr(std::make_unique<UnionAllNode>(
+        std::move(branches), std::vector<std::optional<Predicate>>()));
+  }
+  return node;
+}
+
+Status Rewriter::ApplyJoinHoles(JoinNode* join) {
+  if (!ctx_->enable_hole_trimming || ctx_->scs == nullptr) return Status::OK();
+  if (join->children()[0]->kind() != PlanKind::kScan ||
+      join->children()[1]->kind() != PlanKind::kScan) {
+    return Status::OK();
+  }
+  auto* left = static_cast<ScanNode*>(join->mutable_children()[0].get());
+  auto* right = static_cast<ScanNode*>(join->mutable_children()[1].get());
+
+  for (SoftConstraint* sc : ctx_->scs->ByKind(ScKind::kJoinHole)) {
+    auto* hole = static_cast<JoinHoleSc*>(sc);
+    if (!hole->IsAbsolute() || hole->holes().empty()) continue;
+
+    // Orient: hole left/right tables onto the join children.
+    ScanNode* a_scan = nullptr;
+    ScanNode* b_scan = nullptr;
+    if (hole->left_table() == left->table_name() &&
+        hole->right_table() == right->table_name()) {
+      a_scan = left;
+      b_scan = right;
+    } else if (hole->left_table() == right->table_name() &&
+               hole->right_table() == left->table_name()) {
+      a_scan = right;
+      b_scan = left;
+    } else {
+      continue;
+    }
+    // The join must be on the hole's join columns.
+    bool key_match = false;
+    for (const JoinNode::EquiKey& key : join->equi_keys()) {
+      const ColumnIdx l = key.left;
+      const ColumnIdx r = key.right;
+      if (a_scan == left) {
+        key_match = key_match || (l == hole->left_join_col() &&
+                                  r == hole->right_join_col());
+      } else {
+        key_match = key_match || (l == hole->right_join_col() &&
+                                  r == hole->left_join_col());
+      }
+    }
+    if (!key_match) continue;
+
+    // Hole reasoning ranges over the attr values; NULL attrs still join, so
+    // adding attr predicates is only sound on non-nullable columns.
+    if (a_scan->output_schema().Column(hole->attr_a()).nullable ||
+        b_scan->output_schema().Column(hole->attr_b()).nullable) {
+      continue;
+    }
+    double a_lo, a_hi, b_lo, b_hi;
+    if (!QueryRangeFor(*a_scan, hole->attr_a(), ctx_->stats, &a_lo, &a_hi) ||
+        !QueryRangeFor(*b_scan, hole->attr_b(), ctx_->stats, &b_lo, &b_hi)) {
+      continue;
+    }
+
+    if (hole->CoversQuery(a_lo, a_hi, b_lo, b_hi)) {
+      ctx_->RecordRule("join-hole-prune: sc:" + sc->name());
+      ctx_->RecordScUse(sc->name(), 10.0);
+      a_scan->predicates().push_back(Predicate(
+          MakeLiteral(Value::Bool(false)), false, 1.0, "sc:" + sc->name()));
+      continue;
+    }
+
+    double new_a_lo = a_lo, new_a_hi = a_hi;
+    if (hole->TrimARange(&new_a_lo, &new_a_hi, b_lo, b_hi) &&
+        !HasPredicateFromOrigin(*a_scan, "sc:" + sc->name())) {
+      std::vector<SimplePredicate> trimmed;
+      const TypeId a_type =
+          a_scan->output_schema().Column(hole->attr_a()).type;
+      auto as_value = [a_type](double v) {
+        return a_type == TypeId::kDouble
+                   ? Value::Double(v)
+                   : Value::Int64(static_cast<std::int64_t>(v));
+      };
+      if (new_a_lo > a_lo) {
+        trimmed.push_back({hole->attr_a(), CompareOp::kGe, as_value(new_a_lo)});
+      }
+      if (new_a_hi < a_hi) {
+        trimmed.push_back({hole->attr_a(), CompareOp::kLe, as_value(new_a_hi)});
+      }
+      if (!trimmed.empty()) {
+        a_scan->predicates().push_back(
+            MakeDerivedPredicate(a_scan->output_schema(), trimmed, false, 1.0,
+                                 "sc:" + sc->name()));
+        ctx_->RecordRule("join-hole-trim-a: sc:" + sc->name());
+        ctx_->RecordScUse(sc->name(), 2.0);
+      }
+    }
+    double new_b_lo = b_lo, new_b_hi = b_hi;
+    if (hole->TrimBRange(&new_b_lo, &new_b_hi, a_lo, a_hi) &&
+        !HasPredicateFromOrigin(*b_scan, "sc:" + sc->name())) {
+      std::vector<SimplePredicate> trimmed;
+      const TypeId b_type =
+          b_scan->output_schema().Column(hole->attr_b()).type;
+      auto as_value = [b_type](double v) {
+        return b_type == TypeId::kDouble
+                   ? Value::Double(v)
+                   : Value::Int64(static_cast<std::int64_t>(v));
+      };
+      if (new_b_lo > b_lo) {
+        trimmed.push_back({hole->attr_b(), CompareOp::kGe, as_value(new_b_lo)});
+      }
+      if (new_b_hi < b_hi) {
+        trimmed.push_back({hole->attr_b(), CompareOp::kLe, as_value(new_b_hi)});
+      }
+      if (!trimmed.empty()) {
+        b_scan->predicates().push_back(
+            MakeDerivedPredicate(b_scan->output_schema(), trimmed, false, 1.0,
+                                 "sc:" + sc->name()));
+        ctx_->RecordRule("join-hole-trim-b: sc:" + sc->name());
+        ctx_->RecordScUse(sc->name(), 2.0);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<PlanPtr> Rewriter::EliminateJoins(
+    PlanPtr node, const std::vector<ColumnIdx>& required_above) {
+  switch (node->kind()) {
+    case PlanKind::kScan:
+      return node;
+    case PlanKind::kProject: {
+      auto* proj = static_cast<ProjectNode*>(node.get());
+      std::vector<ColumnIdx> required;
+      for (const ExprPtr& e : proj->exprs()) CollectExprColumns(*e, &required);
+      SOFTDB_ASSIGN_OR_RETURN(
+          node->mutable_children()[0],
+          EliminateJoins(std::move(node->mutable_children()[0]),
+                         Dedupe(std::move(required))));
+      return node;
+    }
+    case PlanKind::kFilter: {
+      auto* filter = static_cast<FilterNode*>(node.get());
+      std::vector<ColumnIdx> required = required_above;
+      for (const Predicate& p : filter->predicates()) {
+        CollectExprColumns(*p.expr, &required);
+      }
+      SOFTDB_ASSIGN_OR_RETURN(
+          node->mutable_children()[0],
+          EliminateJoins(std::move(node->mutable_children()[0]),
+                         Dedupe(std::move(required))));
+      return node;
+    }
+    case PlanKind::kSort: {
+      auto* sort = static_cast<SortNode*>(node.get());
+      std::vector<ColumnIdx> required = required_above;
+      for (const SortKey& k : sort->keys()) {
+        CollectExprColumns(*k.expr, &required);
+      }
+      SOFTDB_ASSIGN_OR_RETURN(
+          node->mutable_children()[0],
+          EliminateJoins(std::move(node->mutable_children()[0]),
+                         Dedupe(std::move(required))));
+      return node;
+    }
+    case PlanKind::kLimit: {
+      SOFTDB_ASSIGN_OR_RETURN(
+          node->mutable_children()[0],
+          EliminateJoins(std::move(node->mutable_children()[0]),
+                         required_above));
+      return node;
+    }
+    case PlanKind::kAggregate: {
+      auto* agg = static_cast<AggregateNode*>(node.get());
+      std::vector<ColumnIdx> required;
+      for (const ExprPtr& g : agg->group_by()) CollectExprColumns(*g, &required);
+      for (const AggregateItem& a : agg->aggregates()) {
+        if (a.arg) CollectExprColumns(*a.arg, &required);
+      }
+      SOFTDB_ASSIGN_OR_RETURN(
+          node->mutable_children()[0],
+          EliminateJoins(std::move(node->mutable_children()[0]),
+                         Dedupe(std::move(required))));
+      return node;
+    }
+    case PlanKind::kUnionAll: {
+      // Positional correspondence across branches: conservatively require
+      // every column within each branch.
+      for (PlanPtr& child : node->mutable_children()) {
+        std::vector<ColumnIdx> all;
+        for (ColumnIdx i = 0; i < child->output_schema().NumColumns(); ++i) {
+          all.push_back(i);
+        }
+        SOFTDB_ASSIGN_OR_RETURN(child,
+                                EliminateJoins(std::move(child), all));
+      }
+      return node;
+    }
+    case PlanKind::kJoin:
+      break;
+  }
+
+  auto* join = static_cast<JoinNode*>(node.get());
+  const ColumnIdx left_arity = static_cast<ColumnIdx>(
+      join->children()[0]->output_schema().NumColumns());
+
+  bool right_used_above = std::any_of(
+      required_above.begin(), required_above.end(),
+      [&](ColumnIdx c) { return c >= left_arity; });
+
+  bool eliminated = false;
+  if (ctx_->enable_join_elimination && !right_used_above &&
+      join->children()[1]->kind() == PlanKind::kScan &&
+      !join->equi_keys().empty() &&
+      join->conditions().size() == join->equi_keys().size()) {
+    const auto* parent_scan =
+        static_cast<const ScanNode*>(join->children()[1].get());
+    const bool parent_filtered = std::any_of(
+        parent_scan->predicates().begin(), parent_scan->predicates().end(),
+        [](const Predicate& p) { return !p.estimation_only; });
+    // All join conditions must be plain column-pair equalities (else the
+    // join filters beyond the keys).
+    bool all_equi = true;
+    for (const Predicate& c : join->conditions()) {
+      ColumnPairPredicate pair;
+      if (!MatchColumnPair(*c.expr, &pair) || pair.op != CompareOp::kEq) {
+        all_equi = false;
+      }
+    }
+    if (!parent_filtered && all_equi && parent_scan->external_table() == nullptr) {
+      // Resolve the child-side key columns to one base table; they must be
+      // non-nullable for elimination to preserve the row count.
+      std::string child_table;
+      std::vector<ColumnIdx> child_cols;
+      std::vector<ColumnIdx> parent_cols;
+      bool resolvable = true;
+      for (const JoinNode::EquiKey& key : join->equi_keys()) {
+        std::string t;
+        ColumnIdx base = 0;
+        if (!ResolveToBase(*join->children()[0], key.left, &t, &base)) {
+          resolvable = false;
+          break;
+        }
+        if (child_table.empty()) {
+          child_table = t;
+        } else if (child_table != t) {
+          resolvable = false;
+          break;
+        }
+        child_cols.push_back(base);
+        parent_cols.push_back(key.right);
+      }
+      if (resolvable) {
+        auto child_base = ctx_->catalog->GetTable(child_table);
+        bool not_null = child_base.ok();
+        if (not_null) {
+          for (ColumnIdx c : child_cols) {
+            not_null = not_null && !(*child_base)->schema().Column(c).nullable;
+          }
+        }
+        // Parent key must be unique over the joined columns.
+        const bool parent_unique =
+            ctx_->ics != nullptr &&
+            ctx_->ics->IsUniqueOver(parent_scan->table_name(), parent_cols);
+
+        // Inclusion guarantee: enforced/informational FK, or an absolute
+        // inclusion SC.
+        bool inclusion_ok = false;
+        std::string inclusion_source;
+        if (ctx_->ics != nullptr) {
+          for (ForeignKeyConstraint* fk :
+               ctx_->ics->ForeignKeysFrom(child_table)) {
+            if (fk->parent_table() == parent_scan->table_name() &&
+                fk->columns() == child_cols &&
+                fk->parent_columns() == parent_cols) {
+              inclusion_ok = true;
+              inclusion_source = "fk:" + fk->name();
+            }
+          }
+        }
+        if (!inclusion_ok && ctx_->scs != nullptr) {
+          for (SoftConstraint* sc : ctx_->scs->ByKind(ScKind::kInclusion)) {
+            auto* inc = static_cast<InclusionSc*>(sc);
+            if (inc->IsAbsolute() && inc->child_table() == child_table &&
+                inc->parent_table() == parent_scan->table_name() &&
+                inc->child_columns() == child_cols &&
+                inc->parent_columns() == parent_cols) {
+              inclusion_ok = true;
+              inclusion_source = "sc:" + inc->name();
+              ctx_->RecordScUse(inc->name(), 5.0);
+            }
+          }
+        }
+
+        if (not_null && parent_unique && inclusion_ok) {
+          ctx_->RecordRule("join-elimination: " + parent_scan->table_name() +
+                           " via " + inclusion_source);
+          PlanPtr left = std::move(node->mutable_children()[0]);
+          eliminated = true;
+          return EliminateJoins(std::move(left), required_above);
+        }
+      }
+    }
+  }
+  (void)eliminated;
+
+  // Recurse into both sides with split requirement sets.
+  std::vector<ColumnIdx> left_req, right_req;
+  for (ColumnIdx c : required_above) {
+    if (c < left_arity) {
+      left_req.push_back(c);
+    } else {
+      right_req.push_back(c - left_arity);
+    }
+  }
+  for (const Predicate& c : join->conditions()) {
+    std::vector<ColumnIdx> refs;
+    CollectExprColumns(*c.expr, &refs);
+    for (ColumnIdx r : refs) {
+      if (r < left_arity) {
+        left_req.push_back(r);
+      } else {
+        right_req.push_back(r - left_arity);
+      }
+    }
+  }
+  SOFTDB_ASSIGN_OR_RETURN(node->mutable_children()[0],
+                          EliminateJoins(std::move(node->mutable_children()[0]),
+                                         Dedupe(std::move(left_req))));
+  SOFTDB_ASSIGN_OR_RETURN(node->mutable_children()[1],
+                          EliminateJoins(std::move(node->mutable_children()[1]),
+                                         Dedupe(std::move(right_req))));
+  return node;
+}
+
+Status Rewriter::PruneAggregate(AggregateNode* agg) {
+  if (!ctx_->enable_fd_pruning || ctx_->scs == nullptr) return Status::OK();
+  const PlanNode& child = *agg->children()[0];
+
+  // Resolve each group column to (base table, base column).
+  struct GroupCol {
+    bool resolvable = false;
+    std::string table;
+    ColumnIdx base_col = 0;
+  };
+  std::vector<GroupCol> info(agg->group_by().size());
+  for (std::size_t i = 0; i < agg->group_by().size(); ++i) {
+    const Expr& g = *agg->group_by()[i];
+    if (g.kind() != ExprKind::kColumnRef) continue;
+    const auto& ref = static_cast<const ColumnRefExpr&>(g);
+    if (!ref.bound()) continue;
+    info[i].resolvable =
+        ResolveToBase(child, ref.index(), &info[i].table, &info[i].base_col);
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < agg->group_by().size(); ++i) {
+      if (!agg->key_flags()[i] || !info[i].resolvable) continue;
+      // Determinant pool: other still-keyed group columns on the same table.
+      std::vector<ColumnIdx> available;
+      for (std::size_t j = 0; j < agg->group_by().size(); ++j) {
+        if (j == i || !agg->key_flags()[j] || !info[j].resolvable) continue;
+        if (info[j].table != info[i].table) continue;
+        available.push_back(info[j].base_col);
+      }
+      if (available.empty()) continue;
+      for (SoftConstraint* sc :
+           ctx_->scs->ByKind(ScKind::kFunctionalDependency)) {
+        auto* fd = static_cast<FunctionalDependencySc*>(sc);
+        if (!fd->IsAbsolute() || fd->table() != info[i].table) continue;
+        if (fd->Determines(available, info[i].base_col)) {
+          agg->ClearKeyFlag(i);
+          ctx_->RecordRule(StrFormat("fd-groupby-prune: col %s [sc:%s]",
+                                     agg->group_by()[i]->ToString().c_str(),
+                                     sc->name().c_str()));
+          ctx_->RecordScUse(sc->name(), 1.0);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Rewriter::PruneSort(SortNode* sort) {
+  if (!ctx_->enable_fd_pruning || ctx_->scs == nullptr) return Status::OK();
+  const PlanNode& child = *sort->children()[0];
+
+  std::vector<SortKey>& keys = sort->mutable_keys();
+  // Walk keys left to right; a key functionally determined by the prefix
+  // (on the same base table) cannot influence the order.
+  std::vector<std::pair<std::string, ColumnIdx>> prefix;
+  for (std::size_t i = 0; i < keys.size();) {
+    const Expr& e = *keys[i].expr;
+    std::string table;
+    ColumnIdx base_col = 0;
+    bool resolvable = false;
+    if (e.kind() == ExprKind::kColumnRef) {
+      const auto& ref = static_cast<const ColumnRefExpr&>(e);
+      resolvable = ref.bound() &&
+                   ResolveToBase(child, ref.index(), &table, &base_col);
+    }
+    bool pruned = false;
+    if (resolvable && !prefix.empty()) {
+      std::vector<ColumnIdx> available;
+      for (const auto& [t, c] : prefix) {
+        if (t == table) available.push_back(c);
+      }
+      if (!available.empty()) {
+        for (SoftConstraint* sc :
+             ctx_->scs->ByKind(ScKind::kFunctionalDependency)) {
+          auto* fd = static_cast<FunctionalDependencySc*>(sc);
+          if (!fd->IsAbsolute() || fd->table() != table) continue;
+          if (fd->Determines(available, base_col)) {
+            ctx_->RecordRule(StrFormat("fd-orderby-prune: key %s [sc:%s]",
+                                       e.ToString().c_str(),
+                                       sc->name().c_str()));
+            ctx_->RecordScUse(sc->name(), 1.0);
+            keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(i));
+            pruned = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!pruned) {
+      if (resolvable) prefix.emplace_back(table, base_col);
+      ++i;
+    }
+  }
+  return Status::OK();
+}
+
+Result<PlanPtr> Rewriter::PruneUnionBranches(PlanPtr node) {
+  auto* u = static_cast<UnionAllNode*>(node.get());
+  std::vector<PlanPtr>& children = u->mutable_children();
+  std::vector<PlanPtr> kept;
+  std::size_t pruned = 0;
+  for (PlanPtr& c : children) {
+    if (IsProvablyEmpty(*c)) {
+      ++pruned;
+      continue;
+    }
+    kept.push_back(std::move(c));
+  }
+  if (pruned > 0) {
+    ctx_->RecordRule(StrFormat("unionall-knockoff: %zu branches removed",
+                               pruned));
+  }
+  if (kept.empty()) {
+    // Keep one (empty) branch so the schema survives.
+    kept.push_back(std::move(children[0]));
+  }
+  if (kept.size() == 1) return std::move(kept[0]);
+  return PlanPtr(std::make_unique<UnionAllNode>(
+      std::move(kept), std::vector<std::optional<Predicate>>()));
+}
+
+Result<PlanPtr> Rewriter::RewriteNode(PlanPtr node) {
+  // Children first (bottom-up).
+  for (PlanPtr& child : node->mutable_children()) {
+    SOFTDB_ASSIGN_OR_RETURN(child, RewriteNode(std::move(child)));
+  }
+  switch (node->kind()) {
+    case PlanKind::kScan: {
+      SOFTDB_RETURN_IF_ERROR(RewriteScan(static_cast<ScanNode*>(node.get())));
+      return MaybeExceptionAstRewrite(std::move(node));
+    }
+    case PlanKind::kJoin:
+      SOFTDB_RETURN_IF_ERROR(ApplyJoinHoles(static_cast<JoinNode*>(node.get())));
+      return node;
+    case PlanKind::kAggregate:
+      SOFTDB_RETURN_IF_ERROR(
+          PruneAggregate(static_cast<AggregateNode*>(node.get())));
+      return node;
+    case PlanKind::kSort: {
+      SOFTDB_RETURN_IF_ERROR(PruneSort(static_cast<SortNode*>(node.get())));
+      auto* sort = static_cast<SortNode*>(node.get());
+      if (sort->keys().empty()) {
+        // All keys pruned: the sort is a no-op.
+        ctx_->RecordRule("sort-eliminated");
+        return std::move(node->mutable_children()[0]);
+      }
+      return node;
+    }
+    case PlanKind::kUnionAll:
+      if (ctx_->enable_unionall_pruning) {
+        return PruneUnionBranches(std::move(node));
+      }
+      return node;
+    default:
+      return node;
+  }
+}
+
+Result<PlanPtr> Rewriter::Rewrite(PlanPtr plan) {
+  SOFTDB_ASSIGN_OR_RETURN(plan, RewriteNode(std::move(plan)));
+  // Join elimination runs root-down with full requirement tracking.
+  std::vector<ColumnIdx> all;
+  for (ColumnIdx i = 0; i < plan->output_schema().NumColumns(); ++i) {
+    all.push_back(i);
+  }
+  return EliminateJoins(std::move(plan), all);
+}
+
+}  // namespace softdb

@@ -1,0 +1,62 @@
+#ifndef SOFTDB_OPTIMIZER_REWRITER_H_
+#define SOFTDB_OPTIMIZER_REWRITER_H_
+
+#include "common/result.h"
+#include "optimizer/optimizer_context.h"
+#include "plan/logical_plan.h"
+
+namespace softdb {
+
+/// The semantic rewrite engine: applies the paper's constraint-driven
+/// transformations to a bound logical plan. Rules (each individually
+/// switchable via OptimizerContext):
+///
+///  1. Predicate introduction (E1) — absolute linear-correlation / offset
+///     SCs add implied range predicates that unlock index access paths.
+///  2. Twinning (E4, §5.1) — statistical SCs add estimation-only twin
+///     predicates carrying their confidence factor.
+///  3. Exception-AST rewrite (E5, §4.4) — a non-absolute offset SC with an
+///     exception table rewrites a scan into
+///     (base scan + introduced predicate) UNION ALL (exception scan),
+///     which is exact because the AST holds precisely the violating rows.
+///  4. Domain rules — Sybase-style min/max SCs drop tautological range
+///     predicates and detect contradictions.
+///  5. Constraint contradiction / union-all branch knock-off (E10, §5) —
+///     scans whose predicates contradict an absolute check characterization
+///     are provably empty; empty union branches are removed.
+///  6. Join-hole trimming (E2, [8]) — absolute join-hole SCs prune or trim
+///     range conditions over a join path.
+///  7. Join elimination (E3, [6]) — FK/inclusion + parent-key uniqueness
+///     remove joins whose parent side is never referenced.
+///  8. FD pruning (E6, [29]) — absolute FD SCs remove functionally
+///     determined GROUP BY key columns and ORDER BY keys.
+class Rewriter {
+ public:
+  explicit Rewriter(OptimizerContext* ctx) : ctx_(ctx) {}
+
+  /// Rewrites `plan` in place (consumes and returns it).
+  Result<PlanPtr> Rewrite(PlanPtr plan);
+
+ private:
+  // Per-node-kind passes; see .cc for rule details.
+  Result<PlanPtr> RewriteNode(PlanPtr node);
+  Status RewriteScan(ScanNode* scan);
+  Result<PlanPtr> MaybeExceptionAstRewrite(PlanPtr scan_owner);
+  Status ApplyJoinHoles(JoinNode* join);
+  Result<PlanPtr> EliminateJoins(PlanPtr node,
+                                 const std::vector<ColumnIdx>& required_above);
+  Status PruneAggregate(AggregateNode* agg);
+  Status PruneSort(SortNode* sort);
+  Result<PlanPtr> PruneUnionBranches(PlanPtr node);
+
+  OptimizerContext* ctx_;
+};
+
+/// True when the subtree provably produces no rows (unsatisfiable scan
+/// predicates, empty joins, all-empty unions). Global aggregates are never
+/// provably empty (they emit one row on empty input).
+bool IsProvablyEmpty(const PlanNode& node);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_OPTIMIZER_REWRITER_H_

@@ -1,0 +1,361 @@
+#include "plan/expr.h"
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+CompareOp FlipCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;
+  }
+}
+
+CompareOp NegateCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+  }
+  return op;
+}
+
+// ---------------------------------------------------------------- ColumnRef
+
+Status ColumnRefExpr::Bind(const Schema& schema) {
+  SOFTDB_ASSIGN_OR_RETURN(ColumnIdx idx, schema.Resolve(name_));
+  index_ = idx;
+  result_type_ = schema.Column(idx).type;
+  bound_ = true;
+  return Status::OK();
+}
+
+Result<Value> ColumnRefExpr::Eval(const std::vector<Value>& row) const {
+  if (!bound_) return Status::Internal("unbound column ref: " + name_);
+  if (index_ >= row.size()) return Status::Internal("row too narrow");
+  return row[index_];
+}
+
+ExprPtr ColumnRefExpr::Clone() const {
+  if (bound_) {
+    return std::make_unique<ColumnRefExpr>(name_, index_, result_type_);
+  }
+  return std::make_unique<ColumnRefExpr>(name_);
+}
+
+// --------------------------------------------------------------- Comparison
+
+Status ComparisonExpr::Bind(const Schema& schema) {
+  SOFTDB_RETURN_IF_ERROR(left_->Bind(schema));
+  return right_->Bind(schema);
+}
+
+Result<Value> ComparisonExpr::Eval(const std::vector<Value>& row) const {
+  SOFTDB_ASSIGN_OR_RETURN(Value l, left_->Eval(row));
+  SOFTDB_ASSIGN_OR_RETURN(Value r, right_->Eval(row));
+  if (l.is_null() || r.is_null()) return Value::Null(TypeId::kBool);
+  SOFTDB_ASSIGN_OR_RETURN(int cmp, l.Compare(r));
+  switch (op_) {
+    case CompareOp::kEq:
+      return Value::Bool(cmp == 0);
+    case CompareOp::kNe:
+      return Value::Bool(cmp != 0);
+    case CompareOp::kLt:
+      return Value::Bool(cmp < 0);
+    case CompareOp::kLe:
+      return Value::Bool(cmp <= 0);
+    case CompareOp::kGt:
+      return Value::Bool(cmp > 0);
+    case CompareOp::kGe:
+      return Value::Bool(cmp >= 0);
+  }
+  return Status::Internal("bad compare op");
+}
+
+ExprPtr ComparisonExpr::Clone() const {
+  return std::make_unique<ComparisonExpr>(op_, left_->Clone(), right_->Clone());
+}
+
+std::string ComparisonExpr::ToString() const {
+  return left_->ToString() + " " + CompareOpName(op_) + " " +
+         right_->ToString();
+}
+
+// ------------------------------------------------------------------ Logical
+
+Status LogicalExpr::Bind(const Schema& schema) {
+  for (ExprPtr& c : children_) SOFTDB_RETURN_IF_ERROR(c->Bind(schema));
+  return Status::OK();
+}
+
+Result<Value> LogicalExpr::Eval(const std::vector<Value>& row) const {
+  // Kleene three-valued AND/OR.
+  const bool is_and = kind_ == ExprKind::kAnd;
+  bool saw_null = false;
+  for (const ExprPtr& c : children_) {
+    SOFTDB_ASSIGN_OR_RETURN(Value v, c->Eval(row));
+    if (v.is_null()) {
+      saw_null = true;
+      continue;
+    }
+    const bool b = v.AsBool();
+    if (is_and && !b) return Value::Bool(false);
+    if (!is_and && b) return Value::Bool(true);
+  }
+  if (saw_null) return Value::Null(TypeId::kBool);
+  return Value::Bool(is_and);
+}
+
+ExprPtr LogicalExpr::Clone() const {
+  std::vector<ExprPtr> kids;
+  kids.reserve(children_.size());
+  for (const ExprPtr& c : children_) kids.push_back(c->Clone());
+  return std::make_unique<LogicalExpr>(kind_, std::move(kids));
+}
+
+std::string LogicalExpr::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(children_.size());
+  for (const ExprPtr& c : children_) parts.push_back("(" + c->ToString() + ")");
+  return Join(parts, kind_ == ExprKind::kAnd ? " AND " : " OR ");
+}
+
+// ---------------------------------------------------------------------- Not
+
+Result<Value> NotExpr::Eval(const std::vector<Value>& row) const {
+  SOFTDB_ASSIGN_OR_RETURN(Value v, child_->Eval(row));
+  if (v.is_null()) return Value::Null(TypeId::kBool);
+  return Value::Bool(!v.AsBool());
+}
+
+// --------------------------------------------------------------- Arithmetic
+
+Status ArithmeticExpr::Bind(const Schema& schema) {
+  SOFTDB_RETURN_IF_ERROR(left_->Bind(schema));
+  SOFTDB_RETURN_IF_ERROR(right_->Bind(schema));
+  const TypeId lt = left_->result_type();
+  const TypeId rt = right_->result_type();
+  if (lt == TypeId::kString || rt == TypeId::kString) {
+    return Status::TypeMismatch("arithmetic on VARCHAR");
+  }
+  if (lt == TypeId::kDouble || rt == TypeId::kDouble ||
+      op_ == ArithOp::kDiv) {
+    result_type_ = TypeId::kDouble;
+  } else if (lt == TypeId::kDate && rt == TypeId::kDate) {
+    // date - date = day count; other date/date ops are nonsensical but
+    // reduce to int anyway.
+    result_type_ = TypeId::kInt64;
+  } else if (lt == TypeId::kDate || rt == TypeId::kDate) {
+    result_type_ = TypeId::kDate;  // date +/- days.
+  } else {
+    result_type_ = TypeId::kInt64;
+  }
+  return Status::OK();
+}
+
+Result<Value> ArithmeticExpr::Eval(const std::vector<Value>& row) const {
+  SOFTDB_ASSIGN_OR_RETURN(Value l, left_->Eval(row));
+  SOFTDB_ASSIGN_OR_RETURN(Value r, right_->Eval(row));
+  if (l.is_null() || r.is_null()) return Value::Null(result_type_);
+  if (result_type_ == TypeId::kDouble) {
+    const double a = l.NumericValue();
+    const double b = r.NumericValue();
+    switch (op_) {
+      case ArithOp::kAdd:
+        return Value::Double(a + b);
+      case ArithOp::kSub:
+        return Value::Double(a - b);
+      case ArithOp::kMul:
+        return Value::Double(a * b);
+      case ArithOp::kDiv:
+        if (b == 0.0) return Value::Null(TypeId::kDouble);
+        return Value::Double(a / b);
+    }
+  }
+  const std::int64_t a = static_cast<std::int64_t>(l.NumericValue());
+  const std::int64_t b = static_cast<std::int64_t>(r.NumericValue());
+  std::int64_t out = 0;
+  switch (op_) {
+    case ArithOp::kAdd:
+      out = a + b;
+      break;
+    case ArithOp::kSub:
+      out = a - b;
+      break;
+    case ArithOp::kMul:
+      out = a * b;
+      break;
+    case ArithOp::kDiv:
+      if (b == 0) return Value::Null(result_type_);
+      out = a / b;
+      break;
+  }
+  if (result_type_ == TypeId::kDate) return Value::Date(out);
+  return Value::Int64(out);
+}
+
+ExprPtr ArithmeticExpr::Clone() const {
+  auto e = std::make_unique<ArithmeticExpr>(op_, left_->Clone(),
+                                            right_->Clone());
+  e->result_type_ = result_type_;
+  return e;
+}
+
+std::string ArithmeticExpr::ToString() const {
+  return "(" + left_->ToString() + " " + ArithOpName(op_) + " " +
+         right_->ToString() + ")";
+}
+
+// ------------------------------------------------------------------ Between
+
+Status BetweenExpr::Bind(const Schema& schema) {
+  SOFTDB_RETURN_IF_ERROR(input_->Bind(schema));
+  SOFTDB_RETURN_IF_ERROR(lo_->Bind(schema));
+  return hi_->Bind(schema);
+}
+
+Result<Value> BetweenExpr::Eval(const std::vector<Value>& row) const {
+  SOFTDB_ASSIGN_OR_RETURN(Value v, input_->Eval(row));
+  SOFTDB_ASSIGN_OR_RETURN(Value lo, lo_->Eval(row));
+  SOFTDB_ASSIGN_OR_RETURN(Value hi, hi_->Eval(row));
+  if (v.is_null() || lo.is_null() || hi.is_null()) {
+    return Value::Null(TypeId::kBool);
+  }
+  SOFTDB_ASSIGN_OR_RETURN(int cl, v.Compare(lo));
+  SOFTDB_ASSIGN_OR_RETURN(int ch, v.Compare(hi));
+  return Value::Bool(cl >= 0 && ch <= 0);
+}
+
+ExprPtr BetweenExpr::Clone() const {
+  return std::make_unique<BetweenExpr>(input_->Clone(), lo_->Clone(),
+                                       hi_->Clone());
+}
+
+std::string BetweenExpr::ToString() const {
+  return input_->ToString() + " BETWEEN " + lo_->ToString() + " AND " +
+         hi_->ToString();
+}
+
+// ------------------------------------------------------------------- InList
+
+Status InListExpr::Bind(const Schema& schema) {
+  SOFTDB_RETURN_IF_ERROR(input_->Bind(schema));
+  for (ExprPtr& e : list_) SOFTDB_RETURN_IF_ERROR(e->Bind(schema));
+  return Status::OK();
+}
+
+Result<Value> InListExpr::Eval(const std::vector<Value>& row) const {
+  SOFTDB_ASSIGN_OR_RETURN(Value v, input_->Eval(row));
+  if (v.is_null()) return Value::Null(TypeId::kBool);
+  bool saw_null = false;
+  for (const ExprPtr& e : list_) {
+    SOFTDB_ASSIGN_OR_RETURN(Value item, e->Eval(row));
+    if (item.is_null()) {
+      saw_null = true;
+      continue;
+    }
+    SOFTDB_ASSIGN_OR_RETURN(int cmp, v.Compare(item));
+    if (cmp == 0) return Value::Bool(true);
+  }
+  if (saw_null) return Value::Null(TypeId::kBool);
+  return Value::Bool(false);
+}
+
+ExprPtr InListExpr::Clone() const {
+  std::vector<ExprPtr> list;
+  list.reserve(list_.size());
+  for (const ExprPtr& e : list_) list.push_back(e->Clone());
+  return std::make_unique<InListExpr>(input_->Clone(), std::move(list));
+}
+
+std::string InListExpr::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(list_.size());
+  for (const ExprPtr& e : list_) parts.push_back(e->ToString());
+  return input_->ToString() + " IN (" + Join(parts, ", ") + ")";
+}
+
+// ------------------------------------------------------------------- IsNull
+
+Result<Value> IsNullExpr::Eval(const std::vector<Value>& row) const {
+  SOFTDB_ASSIGN_OR_RETURN(Value v, input_->Eval(row));
+  return Value::Bool(negated_ ? !v.is_null() : v.is_null());
+}
+
+// ----------------------------------------------------------------- Builders
+
+ExprPtr MakeLiteral(Value v) { return std::make_unique<LiteralExpr>(std::move(v)); }
+
+ExprPtr MakeColumnRef(std::string name) {
+  return std::make_unique<ColumnRefExpr>(std::move(name));
+}
+
+ExprPtr MakeCompare(CompareOp op, ExprPtr left, ExprPtr right) {
+  return std::make_unique<ComparisonExpr>(op, std::move(left), std::move(right));
+}
+
+ExprPtr MakeAnd(std::vector<ExprPtr> children) {
+  if (children.size() == 1) return std::move(children[0]);
+  return std::make_unique<LogicalExpr>(ExprKind::kAnd, std::move(children));
+}
+
+ExprPtr MakeOr(std::vector<ExprPtr> children) {
+  if (children.size() == 1) return std::move(children[0]);
+  return std::make_unique<LogicalExpr>(ExprKind::kOr, std::move(children));
+}
+
+ExprPtr MakeBetween(ExprPtr input, ExprPtr lo, ExprPtr hi) {
+  return std::make_unique<BetweenExpr>(std::move(input), std::move(lo),
+                                       std::move(hi));
+}
+
+}  // namespace softdb

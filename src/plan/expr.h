@@ -1,0 +1,322 @@
+#ifndef SOFTDB_PLAN_EXPR_H_
+#define SOFTDB_PLAN_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "storage/schema.h"
+
+namespace softdb {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Node kinds in the bound expression tree.
+enum class ExprKind : std::uint8_t {
+  kLiteral,
+  kColumnRef,
+  kComparison,
+  kAnd,
+  kOr,
+  kNot,
+  kArithmetic,
+  kBetween,
+  kInList,
+  kIsNull,
+};
+
+/// Comparison operators.
+enum class CompareOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Arithmetic operators.
+enum class ArithOp : std::uint8_t { kAdd, kSub, kMul, kDiv };
+
+const char* CompareOpName(CompareOp op);
+const char* ArithOpName(ArithOp op);
+/// kLt -> kGt etc., for normalizing `const op col` to `col op const`.
+CompareOp FlipCompare(CompareOp op);
+/// kLt -> kGe etc. (logical negation).
+CompareOp NegateCompare(CompareOp op);
+
+/// A scalar SQL expression. Expressions are built unbound (column refs hold
+/// names) and become evaluable after Bind() resolves names against a schema
+/// and infers result types. Evaluation uses SQL three-valued logic: any
+/// Value of type kBool may also be NULL ("unknown").
+class Expr {
+ public:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+  /// Result type; meaningful after Bind().
+  TypeId result_type() const { return result_type_; }
+
+  /// Resolves column references and infers types. Idempotent.
+  virtual Status Bind(const Schema& schema) = 0;
+
+  /// Evaluates against one row laid out per the bound schema.
+  virtual Result<Value> Eval(const std::vector<Value>& row) const = 0;
+
+  /// Deep copy (preserves binding state).
+  virtual ExprPtr Clone() const = 0;
+
+  virtual std::string ToString() const = 0;
+
+  /// Appends the column indexes this expression reads (bound exprs only).
+  virtual void CollectColumns(std::vector<ColumnIdx>* out) const = 0;
+
+ protected:
+  ExprKind kind_;
+  TypeId result_type_ = TypeId::kInt64;
+};
+
+/// A constant.
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value value)
+      : Expr(ExprKind::kLiteral), value_(std::move(value)) {
+    result_type_ = value_.type();
+  }
+  const Value& value() const { return value_; }
+
+  Status Bind(const Schema&) override { return Status::OK(); }
+  Result<Value> Eval(const std::vector<Value>&) const override { return value_; }
+  ExprPtr Clone() const override { return std::make_unique<LiteralExpr>(value_); }
+  std::string ToString() const override { return value_.ToString(); }
+  void CollectColumns(std::vector<ColumnIdx>*) const override {}
+
+ private:
+  Value value_;
+};
+
+/// A (possibly qualified) column reference.
+class ColumnRefExpr final : public Expr {
+ public:
+  explicit ColumnRefExpr(std::string name)
+      : Expr(ExprKind::kColumnRef), name_(std::move(name)) {}
+  /// Pre-bound reference (used by code that builds plans directly).
+  ColumnRefExpr(std::string name, ColumnIdx index, TypeId type)
+      : Expr(ExprKind::kColumnRef), name_(std::move(name)), index_(index),
+        bound_(true) {
+    result_type_ = type;
+  }
+
+  const std::string& name() const { return name_; }
+  ColumnIdx index() const { return index_; }
+  bool bound() const { return bound_; }
+
+  Status Bind(const Schema& schema) override;
+  Result<Value> Eval(const std::vector<Value>& row) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override { return name_; }
+  void CollectColumns(std::vector<ColumnIdx>* out) const override {
+    if (bound_) out->push_back(index_);
+  }
+
+ private:
+  std::string name_;
+  ColumnIdx index_ = 0;
+  bool bound_ = false;
+};
+
+/// left <op> right.
+class ComparisonExpr final : public Expr {
+ public:
+  ComparisonExpr(CompareOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kComparison), op_(op), left_(std::move(left)),
+        right_(std::move(right)) {
+    result_type_ = TypeId::kBool;
+  }
+
+  CompareOp op() const { return op_; }
+  const Expr* left() const { return left_.get(); }
+  const Expr* right() const { return right_.get(); }
+
+  Status Bind(const Schema& schema) override;
+  Result<Value> Eval(const std::vector<Value>& row) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  void CollectColumns(std::vector<ColumnIdx>* out) const override {
+    left_->CollectColumns(out);
+    right_->CollectColumns(out);
+  }
+
+ private:
+  CompareOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// N-ary conjunction / disjunction with Kleene logic.
+class LogicalExpr final : public Expr {
+ public:
+  LogicalExpr(ExprKind kind, std::vector<ExprPtr> children)
+      : Expr(kind), children_(std::move(children)) {
+    result_type_ = TypeId::kBool;
+  }
+
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  Status Bind(const Schema& schema) override;
+  Result<Value> Eval(const std::vector<Value>& row) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  void CollectColumns(std::vector<ColumnIdx>* out) const override {
+    for (const ExprPtr& c : children_) c->CollectColumns(out);
+  }
+
+ private:
+  std::vector<ExprPtr> children_;
+};
+
+/// NOT child.
+class NotExpr final : public Expr {
+ public:
+  explicit NotExpr(ExprPtr child)
+      : Expr(ExprKind::kNot), child_(std::move(child)) {
+    result_type_ = TypeId::kBool;
+  }
+
+  const Expr* child() const { return child_.get(); }
+
+  Status Bind(const Schema& schema) override { return child_->Bind(schema); }
+  Result<Value> Eval(const std::vector<Value>& row) const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<NotExpr>(child_->Clone());
+  }
+  std::string ToString() const override {
+    return "NOT (" + child_->ToString() + ")";
+  }
+  void CollectColumns(std::vector<ColumnIdx>* out) const override {
+    child_->CollectColumns(out);
+  }
+
+ private:
+  ExprPtr child_;
+};
+
+/// left <op> right over numerics; dates support +/- integer days, and
+/// date - date yields an integer day count (the paper's
+/// `end_date - start_date <= 5` predicate).
+class ArithmeticExpr final : public Expr {
+ public:
+  ArithmeticExpr(ArithOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kArithmetic), op_(op), left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  ArithOp op() const { return op_; }
+  const Expr* left() const { return left_.get(); }
+  const Expr* right() const { return right_.get(); }
+
+  Status Bind(const Schema& schema) override;
+  Result<Value> Eval(const std::vector<Value>& row) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  void CollectColumns(std::vector<ColumnIdx>* out) const override {
+    left_->CollectColumns(out);
+    right_->CollectColumns(out);
+  }
+
+ private:
+  ArithOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// input BETWEEN lo AND hi (inclusive both ends, as in SQL).
+class BetweenExpr final : public Expr {
+ public:
+  BetweenExpr(ExprPtr input, ExprPtr lo, ExprPtr hi)
+      : Expr(ExprKind::kBetween), input_(std::move(input)), lo_(std::move(lo)),
+        hi_(std::move(hi)) {
+    result_type_ = TypeId::kBool;
+  }
+
+  const Expr* input() const { return input_.get(); }
+  const Expr* lo() const { return lo_.get(); }
+  const Expr* hi() const { return hi_.get(); }
+
+  Status Bind(const Schema& schema) override;
+  Result<Value> Eval(const std::vector<Value>& row) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  void CollectColumns(std::vector<ColumnIdx>* out) const override {
+    input_->CollectColumns(out);
+    lo_->CollectColumns(out);
+    hi_->CollectColumns(out);
+  }
+
+ private:
+  ExprPtr input_;
+  ExprPtr lo_;
+  ExprPtr hi_;
+};
+
+/// input IN (v1, v2, ...).
+class InListExpr final : public Expr {
+ public:
+  InListExpr(ExprPtr input, std::vector<ExprPtr> list)
+      : Expr(ExprKind::kInList), input_(std::move(input)),
+        list_(std::move(list)) {
+    result_type_ = TypeId::kBool;
+  }
+
+  const Expr* input() const { return input_.get(); }
+  const std::vector<ExprPtr>& list() const { return list_; }
+
+  Status Bind(const Schema& schema) override;
+  Result<Value> Eval(const std::vector<Value>& row) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  void CollectColumns(std::vector<ColumnIdx>* out) const override {
+    input_->CollectColumns(out);
+    for (const ExprPtr& e : list_) e->CollectColumns(out);
+  }
+
+ private:
+  ExprPtr input_;
+  std::vector<ExprPtr> list_;
+};
+
+/// input IS [NOT] NULL.
+class IsNullExpr final : public Expr {
+ public:
+  IsNullExpr(ExprPtr input, bool negated)
+      : Expr(ExprKind::kIsNull), input_(std::move(input)), negated_(negated) {
+    result_type_ = TypeId::kBool;
+  }
+
+  const Expr* input() const { return input_.get(); }
+  bool negated() const { return negated_; }
+
+  Status Bind(const Schema& schema) override { return input_->Bind(schema); }
+  Result<Value> Eval(const std::vector<Value>& row) const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<IsNullExpr>(input_->Clone(), negated_);
+  }
+  std::string ToString() const override {
+    return input_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
+  }
+  void CollectColumns(std::vector<ColumnIdx>* out) const override {
+    input_->CollectColumns(out);
+  }
+
+ private:
+  ExprPtr input_;
+  bool negated_;
+};
+
+/// Convenience builders used across the optimizer and tests.
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string name);
+ExprPtr MakeCompare(CompareOp op, ExprPtr left, ExprPtr right);
+ExprPtr MakeAnd(std::vector<ExprPtr> children);
+ExprPtr MakeOr(std::vector<ExprPtr> children);
+ExprPtr MakeBetween(ExprPtr input, ExprPtr lo, ExprPtr hi);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_PLAN_EXPR_H_

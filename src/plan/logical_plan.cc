@@ -1,0 +1,282 @@
+#include "plan/logical_plan.h"
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan:
+      return "Scan";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kJoin:
+      return "Join";
+    case PlanKind::kAggregate:
+      return "Aggregate";
+    case PlanKind::kSort:
+      return "Sort";
+    case PlanKind::kUnionAll:
+      return "UnionAll";
+    case PlanKind::kLimit:
+      return "Limit";
+  }
+  return "?";
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCountStar:
+      return "COUNT(*)";
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kAvg:
+      return "AVG";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string out(static_cast<std::size_t>(indent) * 2, ' ');
+  out += Describe();
+  out += "\n";
+  for (const PlanPtr& c : children_) out += c->ToString(indent + 1);
+  return out;
+}
+
+namespace {
+
+std::string DescribePredicates(const std::vector<Predicate>& preds) {
+  std::vector<std::string> parts;
+  parts.reserve(preds.size());
+  for (const Predicate& p : preds) parts.push_back(p.ToString());
+  return Join(parts, " AND ");
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------- Scan
+
+PlanPtr ScanNode::Clone() const {
+  auto node = std::make_unique<ScanNode>(table_name_, output_schema_);
+  for (const Predicate& p : predicates_) node->predicates_.push_back(p.Clone());
+  node->external_table_ = external_table_;
+  return node;
+}
+
+std::string ScanNode::Describe() const {
+  std::string out = "Scan " + table_name_;
+  if (!predicates_.empty()) out += " [" + DescribePredicates(predicates_) + "]";
+  return out;
+}
+
+// ------------------------------------------------------------------- Filter
+
+PlanPtr FilterNode::Clone() const {
+  std::vector<Predicate> preds;
+  preds.reserve(predicates_.size());
+  for (const Predicate& p : predicates_) preds.push_back(p.Clone());
+  return std::make_unique<FilterNode>(children_[0]->Clone(), std::move(preds));
+}
+
+std::string FilterNode::Describe() const {
+  return "Filter [" + DescribePredicates(predicates_) + "]";
+}
+
+// --------------------------------------------------------------------- Join
+
+PlanPtr JoinNode::Clone() const {
+  std::vector<Predicate> conds;
+  conds.reserve(conditions_.size());
+  for (const Predicate& p : conditions_) conds.push_back(p.Clone());
+  return std::make_unique<JoinNode>(children_[0]->Clone(),
+                                    children_[1]->Clone(), std::move(conds),
+                                    equi_keys_);
+}
+
+std::string JoinNode::Describe() const {
+  std::string out = "Join";
+  if (!equi_keys_.empty()) {
+    out += StrFormat(" (%zu equi keys)", equi_keys_.size());
+  }
+  if (!conditions_.empty()) out += " [" + DescribePredicates(conditions_) + "]";
+  return out;
+}
+
+// ------------------------------------------------------------------ Project
+
+ProjectNode::ProjectNode(PlanPtr child, std::vector<ExprPtr> exprs,
+                         std::vector<std::string> names)
+    : PlanNode(PlanKind::kProject, Schema()), exprs_(std::move(exprs)),
+      names_(std::move(names)) {
+  Schema schema;
+  for (std::size_t i = 0; i < exprs_.size(); ++i) {
+    ColumnDef def;
+    def.name = i < names_.size() && !names_[i].empty()
+                   ? names_[i]
+                   : exprs_[i]->ToString();
+    def.type = exprs_[i]->result_type();
+    def.nullable = true;
+    schema.AddColumn(std::move(def));
+  }
+  output_schema_ = std::move(schema);
+  children_.push_back(std::move(child));
+}
+
+PlanPtr ProjectNode::Clone() const {
+  std::vector<ExprPtr> exprs;
+  exprs.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) exprs.push_back(e->Clone());
+  return std::make_unique<ProjectNode>(children_[0]->Clone(), std::move(exprs),
+                                       names_);
+}
+
+std::string ProjectNode::Describe() const {
+  std::vector<std::string> parts;
+  parts.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) parts.push_back(e->ToString());
+  return "Project [" + Join(parts, ", ") + "]";
+}
+
+// ---------------------------------------------------------------- Aggregate
+
+AggregateNode::AggregateNode(PlanPtr child, std::vector<ExprPtr> group_by,
+                             std::vector<AggregateItem> aggregates)
+    : PlanNode(PlanKind::kAggregate, Schema()), group_by_(std::move(group_by)),
+      aggregates_(std::move(aggregates)) {
+  Schema schema;
+  const Schema& input = child->output_schema();
+  for (const ExprPtr& g : group_by_) {
+    ColumnDef def;
+    // Bound column refs keep their source name and qualifier so select-list
+    // references resolve against the aggregate output naturally.
+    if (g->kind() == ExprKind::kColumnRef) {
+      const auto& ref = static_cast<const ColumnRefExpr&>(*g);
+      if (ref.bound() && ref.index() < input.NumColumns()) {
+        def = input.Column(ref.index());
+        schema.AddColumn(std::move(def));
+        continue;
+      }
+    }
+    def.name = g->ToString();
+    def.type = g->result_type();
+    schema.AddColumn(std::move(def));
+  }
+  for (const AggregateItem& a : aggregates_) {
+    ColumnDef def;
+    def.name = a.name.empty()
+                   ? std::string(AggFnName(a.fn)) +
+                         (a.arg ? "(" + a.arg->ToString() + ")" : "")
+                   : a.name;
+    switch (a.fn) {
+      case AggFn::kCountStar:
+      case AggFn::kCount:
+        def.type = TypeId::kInt64;
+        break;
+      case AggFn::kAvg:
+        def.type = TypeId::kDouble;
+        break;
+      default:
+        def.type = a.arg ? a.arg->result_type() : TypeId::kInt64;
+    }
+    schema.AddColumn(std::move(def));
+  }
+  output_schema_ = std::move(schema);
+  key_flags_.assign(group_by_.size(), true);
+  children_.push_back(std::move(child));
+}
+
+PlanPtr AggregateNode::Clone() const {
+  std::vector<ExprPtr> groups;
+  groups.reserve(group_by_.size());
+  for (const ExprPtr& g : group_by_) groups.push_back(g->Clone());
+  std::vector<AggregateItem> aggs;
+  aggs.reserve(aggregates_.size());
+  for (const AggregateItem& a : aggregates_) aggs.push_back(a.Clone());
+  auto node = std::make_unique<AggregateNode>(
+      children_[0]->Clone(), std::move(groups), std::move(aggs));
+  node->key_flags_ = key_flags_;
+  return node;
+}
+
+std::string AggregateNode::Describe() const {
+  std::vector<std::string> groups;
+  groups.reserve(group_by_.size());
+  for (const ExprPtr& g : group_by_) groups.push_back(g->ToString());
+  std::vector<std::string> aggs;
+  aggs.reserve(aggregates_.size());
+  for (const AggregateItem& a : aggregates_) {
+    aggs.push_back(std::string(AggFnName(a.fn)) +
+                   (a.arg ? "(" + a.arg->ToString() + ")" : ""));
+  }
+  return "Aggregate group=[" + Join(groups, ", ") + "] aggs=[" +
+         Join(aggs, ", ") + "]";
+}
+
+// --------------------------------------------------------------------- Sort
+
+PlanPtr SortNode::Clone() const {
+  std::vector<SortKey> keys;
+  keys.reserve(keys_.size());
+  for (const SortKey& k : keys_) keys.push_back(k.Clone());
+  return std::make_unique<SortNode>(children_[0]->Clone(), std::move(keys));
+}
+
+std::string SortNode::Describe() const {
+  std::vector<std::string> parts;
+  parts.reserve(keys_.size());
+  for (const SortKey& k : keys_) {
+    parts.push_back(k.expr->ToString() + (k.ascending ? " ASC" : " DESC"));
+  }
+  return "Sort [" + Join(parts, ", ") + "]";
+}
+
+// ----------------------------------------------------------------- UnionAll
+
+UnionAllNode::UnionAllNode(
+    std::vector<PlanPtr> children,
+    std::vector<std::optional<Predicate>> branch_constraints)
+    : PlanNode(PlanKind::kUnionAll,
+               children.empty() ? Schema() : children[0]->output_schema()),
+      branch_constraints_(std::move(branch_constraints)) {
+  children_ = std::move(children);
+  branch_constraints_.resize(children_.size());
+}
+
+PlanPtr UnionAllNode::Clone() const {
+  std::vector<PlanPtr> kids;
+  kids.reserve(children_.size());
+  for (const PlanPtr& c : children_) kids.push_back(c->Clone());
+  std::vector<std::optional<Predicate>> constraints;
+  constraints.reserve(branch_constraints_.size());
+  for (const auto& bc : branch_constraints_) {
+    constraints.push_back(bc.has_value() ? std::optional<Predicate>(bc->Clone())
+                                         : std::nullopt);
+  }
+  return std::make_unique<UnionAllNode>(std::move(kids),
+                                        std::move(constraints));
+}
+
+std::string UnionAllNode::Describe() const {
+  return StrFormat("UnionAll (%zu branches)", children_.size());
+}
+
+// -------------------------------------------------------------------- Limit
+
+PlanPtr LimitNode::Clone() const {
+  return std::make_unique<LimitNode>(children_[0]->Clone(), limit_);
+}
+
+std::string LimitNode::Describe() const {
+  return StrFormat("Limit %zu", limit_);
+}
+
+}  // namespace softdb

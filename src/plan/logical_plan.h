@@ -1,0 +1,277 @@
+#ifndef SOFTDB_PLAN_LOGICAL_PLAN_H_
+#define SOFTDB_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "plan/predicate.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace softdb {
+
+class PlanNode;
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+enum class PlanKind : std::uint8_t {
+  kScan,
+  kFilter,
+  kProject,
+  kJoin,
+  kAggregate,
+  kSort,
+  kUnionAll,
+  kLimit,
+};
+
+const char* PlanKindName(PlanKind kind);
+
+/// A node of the logical query plan. The rewrite engine transforms these
+/// trees; the physical planner lowers them to executor operators. Output
+/// schemas are computed at construction so every expression above a node
+/// binds against `output_schema()`.
+class PlanNode {
+ public:
+  PlanNode(PlanKind kind, Schema output_schema)
+      : kind_(kind), output_schema_(std::move(output_schema)) {}
+  virtual ~PlanNode() = default;
+
+  PlanKind kind() const { return kind_; }
+  const Schema& output_schema() const { return output_schema_; }
+
+  const std::vector<PlanPtr>& children() const { return children_; }
+  std::vector<PlanPtr>& mutable_children() { return children_; }
+
+  /// Deep copy of the subtree.
+  virtual PlanPtr Clone() const = 0;
+
+  /// One-line description of this node (no children).
+  virtual std::string Describe() const = 0;
+
+  /// Multi-line indented tree rendering (EXPLAIN).
+  std::string ToString(int indent = 0) const;
+
+ protected:
+  void CloneChildrenInto(PlanNode* dst) const {
+    for (const PlanPtr& c : children_) dst->children_.push_back(c->Clone());
+  }
+
+  PlanKind kind_;
+  Schema output_schema_;
+  std::vector<PlanPtr> children_;
+};
+
+/// Base-table scan with pushed-down predicates. `predicates` may include
+/// estimation-only twins; the physical planner decides between sequential
+/// and index-range access using the applicable (non-estimation-only)
+/// simple predicates.
+class ScanNode final : public PlanNode {
+ public:
+  ScanNode(std::string table_name, Schema schema)
+      : PlanNode(PlanKind::kScan, std::move(schema)),
+        table_name_(std::move(table_name)) {}
+
+  const std::string& table_name() const { return table_name_; }
+  std::vector<Predicate>& predicates() { return predicates_; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  /// When set, the scan reads this table object directly instead of
+  /// resolving `table_name` through the catalog — used for exception-table
+  /// AST branches (§4.4), whose contents live in the MV registry.
+  const Table* external_table() const { return external_table_; }
+  void set_external_table(const Table* t) { external_table_ = t; }
+
+  PlanPtr Clone() const override;
+  std::string Describe() const override;
+
+ private:
+  std::string table_name_;
+  std::vector<Predicate> predicates_;
+  const Table* external_table_ = nullptr;
+};
+
+/// Residual filter above any child.
+class FilterNode final : public PlanNode {
+ public:
+  FilterNode(PlanPtr child, std::vector<Predicate> predicates)
+      : PlanNode(PlanKind::kFilter, child->output_schema()),
+        predicates_(std::move(predicates)) {
+    children_.push_back(std::move(child));
+  }
+
+  std::vector<Predicate>& predicates() { return predicates_; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  PlanPtr Clone() const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<Predicate> predicates_;
+};
+
+/// Inner join. `condition` binds over Concat(left schema, right schema);
+/// `equi_keys` are the extracted equality pairs (left column index in left
+/// schema, right column index in right schema) enabling hash join.
+class JoinNode final : public PlanNode {
+ public:
+  struct EquiKey {
+    ColumnIdx left;
+    ColumnIdx right;
+  };
+
+  JoinNode(PlanPtr left, PlanPtr right, std::vector<Predicate> conditions,
+           std::vector<EquiKey> equi_keys)
+      : PlanNode(PlanKind::kJoin, Schema::Concat(left->output_schema(),
+                                                 right->output_schema())),
+        conditions_(std::move(conditions)), equi_keys_(std::move(equi_keys)) {
+    children_.push_back(std::move(left));
+    children_.push_back(std::move(right));
+  }
+
+  std::vector<Predicate>& conditions() { return conditions_; }
+  const std::vector<Predicate>& conditions() const { return conditions_; }
+  const std::vector<EquiKey>& equi_keys() const { return equi_keys_; }
+
+  PlanPtr Clone() const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<Predicate> conditions_;
+  std::vector<EquiKey> equi_keys_;
+};
+
+/// Projection: computes `exprs`, naming outputs `names`.
+class ProjectNode final : public PlanNode {
+ public:
+  ProjectNode(PlanPtr child, std::vector<ExprPtr> exprs,
+              std::vector<std::string> names);
+
+  const std::vector<ExprPtr>& exprs() const { return exprs_; }
+
+  PlanPtr Clone() const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<ExprPtr> exprs_;
+  std::vector<std::string> names_;
+};
+
+/// Aggregate functions.
+enum class AggFn : std::uint8_t { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFnName(AggFn fn);
+
+struct AggregateItem {
+  AggFn fn = AggFn::kCountStar;
+  ExprPtr arg;  // Null for COUNT(*).
+  std::string name;
+
+  AggregateItem Clone() const {
+    AggregateItem out;
+    out.fn = fn;
+    out.arg = arg ? arg->Clone() : nullptr;
+    out.name = name;
+    return out;
+  }
+};
+
+/// Hash aggregation with optional grouping. Output schema: group columns
+/// then aggregates. `group_by` may shrink under the FD rewrite (§2 / [29]):
+/// removed columns are still *carried* in the output (functionally
+/// determined ⇒ any row of the group supplies the value).
+class AggregateNode final : public PlanNode {
+ public:
+  AggregateNode(PlanPtr child, std::vector<ExprPtr> group_by,
+                std::vector<AggregateItem> aggregates);
+
+  const std::vector<ExprPtr>& group_by() const { return group_by_; }
+  std::vector<ExprPtr>& mutable_group_by() { return group_by_; }
+  const std::vector<AggregateItem>& aggregates() const { return aggregates_; }
+
+  /// key_flags()[i] tells whether group_by()[i] participates in the
+  /// grouping *key*. The FD rewrite clears the flag of functionally
+  /// determined columns: they are still computed and carried in the output
+  /// (any row of the group supplies the value), but no longer hashed or
+  /// compared — the §2/[29] "superfluous group by attribute" optimization
+  /// without disturbing the output schema.
+  const std::vector<bool>& key_flags() const { return key_flags_; }
+  void ClearKeyFlag(std::size_t i) { key_flags_[i] = false; }
+
+  PlanPtr Clone() const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggregateItem> aggregates_;
+  std::vector<bool> key_flags_;
+};
+
+/// Sort keys. The FD rewrite may drop keys; the physical planner elides the
+/// sort entirely when the input is already ordered by a prefix.
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+
+  SortKey Clone() const { return SortKey{expr->Clone(), ascending}; }
+};
+
+class SortNode final : public PlanNode {
+ public:
+  SortNode(PlanPtr child, std::vector<SortKey> keys)
+      : PlanNode(PlanKind::kSort, child->output_schema()),
+        keys_(std::move(keys)) {
+    children_.push_back(std::move(child));
+  }
+
+  const std::vector<SortKey>& keys() const { return keys_; }
+  std::vector<SortKey>& mutable_keys() { return keys_; }
+
+  PlanPtr Clone() const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<SortKey> keys_;
+};
+
+/// UNION ALL over children with identical arity. Each branch may carry a
+/// branch constraint (the range predicate that defines the branch in a
+/// partitioned union-all view); the optimizer knocks off branches whose
+/// constraint contradicts the query predicate (§5).
+class UnionAllNode final : public PlanNode {
+ public:
+  UnionAllNode(std::vector<PlanPtr> children,
+               std::vector<std::optional<Predicate>> branch_constraints);
+
+  const std::vector<std::optional<Predicate>>& branch_constraints() const {
+    return branch_constraints_;
+  }
+
+  PlanPtr Clone() const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<std::optional<Predicate>> branch_constraints_;
+};
+
+/// LIMIT n.
+class LimitNode final : public PlanNode {
+ public:
+  LimitNode(PlanPtr child, std::size_t limit)
+      : PlanNode(PlanKind::kLimit, child->output_schema()), limit_(limit) {
+    children_.push_back(std::move(child));
+  }
+
+  std::size_t limit() const { return limit_; }
+
+  PlanPtr Clone() const override;
+  std::string Describe() const override;
+
+ private:
+  std::size_t limit_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,172 @@
+#include "plan/predicate.h"
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+std::string Predicate::ToString() const {
+  std::string s = expr->ToString();
+  if (estimation_only) {
+    s += StrFormat(" [estimate-only, conf=%.2f, from %s]", confidence,
+                   origin.c_str());
+  } else if (origin != "user") {
+    s += " [from " + origin + "]";
+  }
+  return s;
+}
+
+std::vector<ExprPtr> FlattenConjuncts(ExprPtr expr) {
+  std::vector<ExprPtr> out;
+  if (expr->kind() == ExprKind::kAnd) {
+    auto* logical = static_cast<LogicalExpr*>(expr.get());
+    // Clone children out (LogicalExpr owns them; we rebuild).
+    for (const ExprPtr& c : logical->children()) {
+      for (ExprPtr& sub : FlattenConjuncts(c->Clone())) {
+        out.push_back(std::move(sub));
+      }
+    }
+  } else {
+    out.push_back(std::move(expr));
+  }
+  return out;
+}
+
+bool TryConstantFold(const Expr& expr, Value* out) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      *out = static_cast<const LiteralExpr&>(expr).value();
+      return true;
+    case ExprKind::kArithmetic: {
+      const auto& arith = static_cast<const ArithmeticExpr&>(expr);
+      Value l, r;
+      if (!TryConstantFold(*arith.left(), &l) ||
+          !TryConstantFold(*arith.right(), &r)) {
+        return false;
+      }
+      // Evaluate with an empty row; literals need no columns.
+      auto v = expr.Eval({});
+      if (!v.ok()) return false;
+      *out = *std::move(v);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// Returns the bound column ref if expr is exactly a column reference.
+const ColumnRefExpr* AsColumnRef(const Expr& expr) {
+  if (expr.kind() != ExprKind::kColumnRef) return nullptr;
+  const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+  return ref.bound() ? &ref : nullptr;
+}
+
+}  // namespace
+
+bool MatchSimplePredicate(const Expr& expr, SimplePredicate* out) {
+  if (expr.kind() != ExprKind::kComparison) return false;
+  const auto& cmp = static_cast<const ComparisonExpr&>(expr);
+  Value constant;
+  if (const ColumnRefExpr* ref = AsColumnRef(*cmp.left());
+      ref && TryConstantFold(*cmp.right(), &constant)) {
+    out->column = ref->index();
+    out->op = cmp.op();
+    out->constant = std::move(constant);
+    return true;
+  }
+  if (const ColumnRefExpr* ref = AsColumnRef(*cmp.right());
+      ref && TryConstantFold(*cmp.left(), &constant)) {
+    out->column = ref->index();
+    out->op = FlipCompare(cmp.op());
+    out->constant = std::move(constant);
+    return true;
+  }
+  return false;
+}
+
+bool ExpandSimplePredicates(const Expr& expr,
+                            std::vector<SimplePredicate>* out) {
+  SimplePredicate simple;
+  if (MatchSimplePredicate(expr, &simple)) {
+    out->push_back(std::move(simple));
+    return true;
+  }
+  if (expr.kind() == ExprKind::kBetween) {
+    const auto& between = static_cast<const BetweenExpr&>(expr);
+    const ColumnRefExpr* ref = AsColumnRef(*between.input());
+    Value lo, hi;
+    if (ref && TryConstantFold(*between.lo(), &lo) &&
+        TryConstantFold(*between.hi(), &hi)) {
+      out->push_back(SimplePredicate{ref->index(), CompareOp::kGe, lo});
+      out->push_back(SimplePredicate{ref->index(), CompareOp::kLe, hi});
+      return true;
+    }
+    return false;
+  }
+  if (expr.kind() == ExprKind::kAnd) {
+    const auto& logical = static_cast<const LogicalExpr&>(expr);
+    for (const ExprPtr& c : logical.children()) {
+      if (!ExpandSimplePredicates(*c, out)) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Matches a bound `colA - colB` arithmetic node.
+bool AsColumnDiff(const Expr& expr, ColumnIdx* minuend,
+                  ColumnIdx* subtrahend) {
+  if (expr.kind() != ExprKind::kArithmetic) return false;
+  const auto& arith = static_cast<const ArithmeticExpr&>(expr);
+  if (arith.op() != ArithOp::kSub) return false;
+  const ColumnRefExpr* l = AsColumnRef(*arith.left());
+  const ColumnRefExpr* r = AsColumnRef(*arith.right());
+  if (l == nullptr || r == nullptr) return false;
+  *minuend = l->index();
+  *subtrahend = r->index();
+  return true;
+}
+
+}  // namespace
+
+bool MatchColumnDiffPredicate(const Expr& expr, ColumnDiffPredicate* out) {
+  if (expr.kind() != ExprKind::kComparison) return false;
+  const auto& cmp = static_cast<const ComparisonExpr&>(expr);
+  Value constant;
+  ColumnIdx minuend, subtrahend;
+  if (AsColumnDiff(*cmp.left(), &minuend, &subtrahend) &&
+      TryConstantFold(*cmp.right(), &constant)) {
+    out->minuend = minuend;
+    out->subtrahend = subtrahend;
+    out->op = cmp.op();
+    out->constant = std::move(constant);
+    return true;
+  }
+  if (AsColumnDiff(*cmp.right(), &minuend, &subtrahend) &&
+      TryConstantFold(*cmp.left(), &constant)) {
+    out->minuend = minuend;
+    out->subtrahend = subtrahend;
+    out->op = FlipCompare(cmp.op());
+    out->constant = std::move(constant);
+    return true;
+  }
+  return false;
+}
+
+bool MatchColumnPair(const Expr& expr, ColumnPairPredicate* out) {
+  if (expr.kind() != ExprKind::kComparison) return false;
+  const auto& cmp = static_cast<const ComparisonExpr&>(expr);
+  const ColumnRefExpr* l = AsColumnRef(*cmp.left());
+  const ColumnRefExpr* r = AsColumnRef(*cmp.right());
+  if (!l || !r) return false;
+  out->left = l->index();
+  out->op = cmp.op();
+  out->right = r->index();
+  return true;
+}
+
+}  // namespace softdb

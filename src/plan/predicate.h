@@ -1,0 +1,103 @@
+#ifndef SOFTDB_PLAN_PREDICATE_H_
+#define SOFTDB_PLAN_PREDICATE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "plan/expr.h"
+
+namespace softdb {
+
+/// A predicate attached to a plan node, with the soft-constraint metadata
+/// §5.1 introduces:
+///
+/// * `estimation_only` — a *twinned* predicate: the optimizer uses it for
+///   cardinality estimation but the executor never applies it (it may admit
+///   false positives, being derived from a statistical soft constraint).
+/// * `confidence` — the SSC confidence factor backing the twin (1.0 for
+///   ordinary predicates and ASC-derived rewrites).
+/// * `origin` — provenance for EXPLAIN ("user", "sc:<name>", "ast:<name>"),
+///   and the hook plan invalidation uses when an ASC is overturned.
+struct Predicate {
+  ExprPtr expr;
+  bool estimation_only = false;
+  double confidence = 1.0;
+  std::string origin = "user";
+  /// For twins: the column of the original predicate this twin was derived
+  /// from. §5.1's estimation substitutes the twin for the original — "two
+  /// predicates on the start_date column ... essentially reducing the range
+  /// predicates on two columns to a pair of range predicates on a single
+  /// column" — so the estimator drops the source column's range when it
+  /// evaluates the twinned alternative.
+  std::optional<ColumnIdx> source_column;
+
+  Predicate() = default;
+  explicit Predicate(ExprPtr e) : expr(std::move(e)) {}
+  Predicate(ExprPtr e, bool est_only, double conf, std::string org)
+      : expr(std::move(e)), estimation_only(est_only), confidence(conf),
+        origin(std::move(org)) {}
+
+  Predicate Clone() const {
+    Predicate p(expr->Clone(), estimation_only, confidence, origin);
+    p.source_column = source_column;
+    return p;
+  }
+
+  std::string ToString() const;
+};
+
+/// A normalized single-column range/equality predicate `col <op> const`,
+/// the shape the estimator, index matcher and union-all pruner consume.
+struct SimplePredicate {
+  ColumnIdx column = 0;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+};
+
+/// `left_col <op> right_col` (join conditions, intra-table column
+/// comparisons such as `ship_date > order_date`).
+struct ColumnPairPredicate {
+  ColumnIdx left = 0;
+  CompareOp op = CompareOp::kEq;
+  ColumnIdx right = 0;
+};
+
+/// Splits a (bound or unbound) expression into its top-level conjuncts,
+/// transferring ownership.
+std::vector<ExprPtr> FlattenConjuncts(ExprPtr expr);
+
+/// Attempts to fold `expr` to a constant (literals and arithmetic over
+/// literals). Returns true and sets *out on success.
+bool TryConstantFold(const Expr& expr, Value* out);
+
+/// Matches `col op const` / `const op col` (op flipped) / `col BETWEEN a
+/// AND b` is NOT matched here (it expands to two SimplePredicates via
+/// ExpandSimplePredicates). Requires a bound expression.
+bool MatchSimplePredicate(const Expr& expr, SimplePredicate* out);
+
+/// Expands `expr` into zero or more SimplePredicates: comparisons and
+/// BETWEEN both qualify. Returns false when the expression has any
+/// non-simple structure (then callers must treat it opaquely).
+bool ExpandSimplePredicates(const Expr& expr, std::vector<SimplePredicate>* out);
+
+/// Matches `colA op colB` between two bound column refs.
+bool MatchColumnPair(const Expr& expr, ColumnPairPredicate* out);
+
+/// A predicate over a column difference: `(minuend - subtrahend) <op> c`,
+/// the shape of duration queries like `end_date - start_date <= 5` (§5's
+/// second example). The estimator resolves these against the virtual-column
+/// statistics kept by column-offset SCs.
+struct ColumnDiffPredicate {
+  ColumnIdx minuend = 0;
+  ColumnIdx subtrahend = 0;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+};
+
+/// Matches `(col - col) op const` and `const op (col - col)` (op flipped).
+bool MatchColumnDiffPredicate(const Expr& expr, ColumnDiffPredicate* out);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_PLAN_PREDICATE_H_

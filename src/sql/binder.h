@@ -1,0 +1,41 @@
+#ifndef SOFTDB_SQL_BINDER_H_
+#define SOFTDB_SQL_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/logical_plan.h"
+#include "sql/statement.h"
+#include "storage/catalog.h"
+
+namespace softdb {
+
+/// Resolves names in a parsed SELECT against the catalog and produces a
+/// bound logical plan:
+///
+/// * one ScanNode per FROM/JOIN table (alias-qualified),
+/// * single-table conjuncts pushed into their scan,
+/// * multi-table conjuncts attached at the lowest covering join, with
+///   equality pairs extracted as hash-join keys,
+/// * Aggregate / Project / Sort / Limit on top,
+/// * UNION ALL chains become a UnionAllNode.
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  Result<PlanPtr> BindSelect(const SelectStmt& stmt);
+
+ private:
+  Result<PlanPtr> BindSingleSelect(const SelectStmt& stmt);
+
+  const Catalog* catalog_;
+};
+
+/// Collects the textual column references in an unbound expression.
+void CollectColumnNames(const Expr& expr, std::vector<std::string>* out);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_SQL_BINDER_H_

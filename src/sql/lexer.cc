@@ -1,0 +1,127 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",   "WHERE",  "AND",    "OR",     "NOT",    "GROUP",
+      "BY",     "ORDER",  "ASC",    "DESC",   "LIMIT",  "AS",     "JOIN",
+      "INNER",  "ON",     "UNION",  "ALL",    "INSERT", "INTO",   "VALUES",
+      "UPDATE", "SET",    "DELETE", "CREATE", "TABLE",  "INDEX",  "BETWEEN",
+      "IN",     "IS",     "NULL",   "TRUE",   "FALSE",  "DATE",   "COUNT",
+      "SUM",    "AVG",    "MIN",    "MAX",    "BIGINT", "INTEGER","INT",
+      "DOUBLE", "FLOAT",  "VARCHAR","BOOLEAN","PRIMARY","KEY",    "FOREIGN",
+      "REFERENCES", "CHECK", "UNIQUE", "CONSTRAINT", "DISTINCT", "HAVING",
+      "ANALYZE", "EXPLAIN", "DROP", "ENFORCED",
+  };
+  return *kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper)) {
+        out.push_back(Token{TokenType::kKeyword, upper, start});
+      } else {
+        out.push_back(Token{TokenType::kIdentifier, std::move(word), start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        std::size_t j = i + 1;
+        if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+          is_float = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        }
+      }
+      out.push_back(Token{is_float ? TokenType::kFloatLiteral
+                                   : TokenType::kIntLiteral,
+                          sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      out.push_back(Token{TokenType::kStringLiteral, std::move(text), start});
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = sql.substr(i, 2);
+    if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+      out.push_back(
+          Token{TokenType::kOperator, two == "!=" ? "<>" : two, start});
+      i += 2;
+      continue;
+    }
+    static const std::string kSingles = "=<>+-*/(),.;";
+    if (kSingles.find(c) != std::string::npos) {
+      out.push_back(Token{TokenType::kOperator, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(StrFormat("unexpected character '%c' at offset %zu",
+                                        c, start));
+  }
+  out.push_back(Token{TokenType::kEnd, "", n});
+  return out;
+}
+
+}  // namespace softdb

@@ -1,0 +1,41 @@
+#ifndef SOFTDB_SQL_LEXER_H_
+#define SOFTDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace softdb {
+
+enum class TokenType : std::uint8_t {
+  kIdentifier,   // foo, foo.bar (dots handled by parser)
+  kKeyword,      // normalized uppercase SQL keyword
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,  // contents without quotes
+  kOperator,       // = <> != < <= > >= + - * / ( ) , . ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // Keyword/operator text (keywords uppercase).
+  std::size_t offset = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsOp(const char* op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+/// Tokenizes a SQL string. Keywords are case-insensitive and normalized to
+/// uppercase; identifiers keep their original spelling. String literals use
+/// single quotes with '' as the escape.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_SQL_LEXER_H_

@@ -1,0 +1,626 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "common/date.h"
+#include "common/str_util.h"
+#include "plan/logical_plan.h"
+#include "sql/lexer.h"
+
+namespace softdb {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement();
+  Result<ExprPtr> ParseExprOnly();
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool MatchKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool MatchOp(const char* op) {
+    if (Peek().IsOp(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::ParseError(StrFormat("expected %s near offset %zu", kw,
+                                          Peek().offset));
+    }
+    return Status::OK();
+  }
+  Status ExpectOp(const char* op) {
+    if (!MatchOp(op)) {
+      return Status::ParseError(StrFormat("expected '%s' near offset %zu", op,
+                                          Peek().offset));
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError(StrFormat("expected identifier near offset %zu",
+                                          Peek().offset));
+    }
+    return Advance().text;
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect();
+  Result<SelectItem> ParseSelectItem();
+  Result<TableRef> ParseTableRef();
+  Result<Statement> ParseCreate();
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseUpdate();
+  Result<Statement> ParseDelete();
+  Result<ConstraintSpec> ParseConstraintSpec(std::string name);
+  Result<TypeId> ParseType();
+
+  // Expression grammar, lowest to highest precedence.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParsePredicate();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+Result<ExprPtr> Parser::ParseOr() {
+  SOFTDB_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  std::vector<ExprPtr> terms;
+  terms.push_back(std::move(left));
+  while (MatchKeyword("OR")) {
+    SOFTDB_ASSIGN_OR_RETURN(ExprPtr next, ParseAnd());
+    terms.push_back(std::move(next));
+  }
+  return MakeOr(std::move(terms));
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  SOFTDB_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  std::vector<ExprPtr> terms;
+  terms.push_back(std::move(left));
+  while (MatchKeyword("AND")) {
+    SOFTDB_ASSIGN_OR_RETURN(ExprPtr next, ParseNot());
+    terms.push_back(std::move(next));
+  }
+  return MakeAnd(std::move(terms));
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    SOFTDB_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+    return ExprPtr(std::make_unique<NotExpr>(std::move(child)));
+  }
+  return ParsePredicate();
+}
+
+Result<ExprPtr> Parser::ParsePredicate() {
+  SOFTDB_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+
+  if (MatchKeyword("BETWEEN")) {
+    SOFTDB_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    SOFTDB_RETURN_IF_ERROR(ExpectKeyword("AND"));
+    SOFTDB_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    return MakeBetween(std::move(left), std::move(lo), std::move(hi));
+  }
+
+  bool negated_in = false;
+  if (Peek().IsKeyword("NOT") && Peek(1).IsKeyword("IN")) {
+    Advance();
+    negated_in = true;
+  }
+  if (MatchKeyword("IN")) {
+    SOFTDB_RETURN_IF_ERROR(ExpectOp("("));
+    std::vector<ExprPtr> list;
+    if (!Peek().IsOp(")")) {
+      do {
+        SOFTDB_ASSIGN_OR_RETURN(ExprPtr item, ParseAdditive());
+        list.push_back(std::move(item));
+      } while (MatchOp(","));
+    }
+    SOFTDB_RETURN_IF_ERROR(ExpectOp(")"));
+    ExprPtr in =
+        std::make_unique<InListExpr>(std::move(left), std::move(list));
+    if (negated_in) return ExprPtr(std::make_unique<NotExpr>(std::move(in)));
+    return in;
+  }
+
+  if (MatchKeyword("IS")) {
+    const bool negated = MatchKeyword("NOT");
+    SOFTDB_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+    return ExprPtr(std::make_unique<IsNullExpr>(std::move(left), negated));
+  }
+
+  static const std::pair<const char*, CompareOp> kOps[] = {
+      {"<=", CompareOp::kLe}, {">=", CompareOp::kGe}, {"<>", CompareOp::kNe},
+      {"=", CompareOp::kEq},  {"<", CompareOp::kLt},  {">", CompareOp::kGt},
+  };
+  for (const auto& [text, op] : kOps) {
+    if (MatchOp(text)) {
+      SOFTDB_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return MakeCompare(op, std::move(left), std::move(right));
+    }
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  SOFTDB_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (true) {
+    ArithOp op;
+    if (MatchOp("+")) {
+      op = ArithOp::kAdd;
+    } else if (MatchOp("-")) {
+      op = ArithOp::kSub;
+    } else {
+      break;
+    }
+    SOFTDB_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    left = std::make_unique<ArithmeticExpr>(op, std::move(left),
+                                            std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  SOFTDB_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+  while (true) {
+    ArithOp op;
+    if (MatchOp("*")) {
+      op = ArithOp::kMul;
+    } else if (MatchOp("/")) {
+      op = ArithOp::kDiv;
+    } else {
+      break;
+    }
+    SOFTDB_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+    left = std::make_unique<ArithmeticExpr>(op, std::move(left),
+                                            std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+  switch (tok.type) {
+    case TokenType::kIntLiteral:
+      Advance();
+      return MakeLiteral(Value::Int64(std::stoll(tok.text)));
+    case TokenType::kFloatLiteral:
+      Advance();
+      return MakeLiteral(Value::Double(std::stod(tok.text)));
+    case TokenType::kStringLiteral:
+      Advance();
+      return MakeLiteral(Value::String(tok.text));
+    case TokenType::kIdentifier: {
+      Advance();
+      std::string name = tok.text;
+      if (MatchOp(".")) {
+        SOFTDB_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        name += "." + col;
+      }
+      return MakeColumnRef(std::move(name));
+    }
+    case TokenType::kKeyword: {
+      if (MatchKeyword("NULL")) return MakeLiteral(Value::Null());
+      if (MatchKeyword("TRUE")) return MakeLiteral(Value::Bool(true));
+      if (MatchKeyword("FALSE")) return MakeLiteral(Value::Bool(false));
+      if (MatchKeyword("DATE")) {
+        if (Peek().type != TokenType::kStringLiteral) {
+          return Status::ParseError("DATE must be followed by a 'YYYY-MM-DD'");
+        }
+        SOFTDB_ASSIGN_OR_RETURN(std::int64_t days, Date::Parse(Advance().text));
+        return MakeLiteral(Value::Date(days));
+      }
+      if (MatchOp("-")) {
+        // fallthrough below; handled as unary in operator branch.
+      }
+      break;
+    }
+    case TokenType::kOperator:
+      if (MatchOp("(")) {
+        SOFTDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        SOFTDB_RETURN_IF_ERROR(ExpectOp(")"));
+        return inner;
+      }
+      if (MatchOp("-")) {
+        SOFTDB_ASSIGN_OR_RETURN(ExprPtr operand, ParsePrimary());
+        return ExprPtr(std::make_unique<ArithmeticExpr>(
+            ArithOp::kSub, MakeLiteral(Value::Int64(0)), std::move(operand)));
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::ParseError(StrFormat("unexpected token '%s' at offset %zu",
+                                      tok.text.c_str(), tok.offset));
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  if (MatchOp("*")) {
+    item.star = true;
+    return item;
+  }
+  static const std::pair<const char*, AggFn> kAggs[] = {
+      {"COUNT", AggFn::kCount}, {"SUM", AggFn::kSum}, {"AVG", AggFn::kAvg},
+      {"MIN", AggFn::kMin},     {"MAX", AggFn::kMax},
+  };
+  for (const auto& [kw, fn] : kAggs) {
+    if (Peek().IsKeyword(kw) && Peek(1).IsOp("(")) {
+      Advance();
+      Advance();
+      if (fn == AggFn::kCount && MatchOp("*")) {
+        item.agg_fn = static_cast<int>(AggFn::kCountStar);
+      } else {
+        SOFTDB_ASSIGN_OR_RETURN(item.agg_arg, ParseExpr());
+        item.agg_fn = static_cast<int>(fn);
+      }
+      SOFTDB_RETURN_IF_ERROR(ExpectOp(")"));
+      if (MatchKeyword("AS")) {
+        SOFTDB_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+      }
+      return item;
+    }
+  }
+  SOFTDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+  if (MatchKeyword("AS")) {
+    SOFTDB_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+  } else if (Peek().type == TokenType::kIdentifier) {
+    item.alias = Advance().text;
+  }
+  return item;
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  TableRef ref;
+  SOFTDB_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier());
+  if (MatchKeyword("AS")) {
+    SOFTDB_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+  } else if (Peek().type == TokenType::kIdentifier) {
+    ref.alias = Advance().text;
+  }
+  return ref;
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::ParseSelect() {
+  SOFTDB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  auto stmt = std::make_unique<SelectStmt>();
+  do {
+    SOFTDB_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+    stmt->items.push_back(std::move(item));
+  } while (MatchOp(","));
+
+  SOFTDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  do {
+    SOFTDB_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+    stmt->from.push_back(std::move(ref));
+  } while (MatchOp(","));
+
+  while (Peek().IsKeyword("JOIN") || Peek().IsKeyword("INNER")) {
+    MatchKeyword("INNER");
+    SOFTDB_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+    JoinClause join;
+    SOFTDB_ASSIGN_OR_RETURN(join.table, ParseTableRef());
+    SOFTDB_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    SOFTDB_ASSIGN_OR_RETURN(join.on, ParseExpr());
+    stmt->joins.push_back(std::move(join));
+  }
+
+  if (MatchKeyword("WHERE")) {
+    SOFTDB_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  if (MatchKeyword("GROUP")) {
+    SOFTDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      SOFTDB_ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+      stmt->group_by.push_back(std::move(g));
+    } while (MatchOp(","));
+  }
+  if (MatchKeyword("ORDER")) {
+    SOFTDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      OrderItem item;
+      SOFTDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.ascending = false;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt->order_by.push_back(std::move(item));
+    } while (MatchOp(","));
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kIntLiteral) {
+      return Status::ParseError("LIMIT requires an integer");
+    }
+    stmt->limit = static_cast<std::size_t>(std::stoull(Advance().text));
+  }
+  if (MatchKeyword("UNION")) {
+    SOFTDB_RETURN_IF_ERROR(ExpectKeyword("ALL"));
+    SOFTDB_ASSIGN_OR_RETURN(stmt->union_next, ParseSelect());
+  }
+  return stmt;
+}
+
+Result<TypeId> Parser::ParseType() {
+  const Token& tok = Peek();
+  if (tok.type != TokenType::kKeyword) {
+    return Status::ParseError("expected a type name at offset " +
+                              std::to_string(tok.offset));
+  }
+  Advance();
+  if (tok.text == "BIGINT" || tok.text == "INTEGER" || tok.text == "INT") {
+    return TypeId::kInt64;
+  }
+  if (tok.text == "DOUBLE" || tok.text == "FLOAT") return TypeId::kDouble;
+  if (tok.text == "VARCHAR") {
+    // Optional length, ignored: VARCHAR(32).
+    if (MatchOp("(")) {
+      if (Peek().type == TokenType::kIntLiteral) Advance();
+      SOFTDB_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    return TypeId::kString;
+  }
+  if (tok.text == "DATE") return TypeId::kDate;
+  if (tok.text == "BOOLEAN") return TypeId::kBool;
+  return Status::ParseError("unknown type: " + tok.text);
+}
+
+Result<ConstraintSpec> Parser::ParseConstraintSpec(std::string name) {
+  ConstraintSpec spec;
+  spec.name = std::move(name);
+  // Trailing NOT ENFORCED is consumed by the caller.
+  auto parse_column_list = [&]() -> Result<std::vector<std::string>> {
+    SOFTDB_RETURN_IF_ERROR(ExpectOp("("));
+    std::vector<std::string> cols;
+    do {
+      SOFTDB_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      cols.push_back(std::move(col));
+    } while (MatchOp(","));
+    SOFTDB_RETURN_IF_ERROR(ExpectOp(")"));
+    return cols;
+  };
+
+  if (MatchKeyword("PRIMARY")) {
+    SOFTDB_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+    spec.kind = ConstraintSpec::Kind::kPrimaryKey;
+    SOFTDB_ASSIGN_OR_RETURN(spec.columns, parse_column_list());
+    return spec;
+  }
+  if (MatchKeyword("UNIQUE")) {
+    spec.kind = ConstraintSpec::Kind::kUnique;
+    SOFTDB_ASSIGN_OR_RETURN(spec.columns, parse_column_list());
+    return spec;
+  }
+  if (MatchKeyword("FOREIGN")) {
+    SOFTDB_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+    spec.kind = ConstraintSpec::Kind::kForeignKey;
+    SOFTDB_ASSIGN_OR_RETURN(spec.columns, parse_column_list());
+    SOFTDB_RETURN_IF_ERROR(ExpectKeyword("REFERENCES"));
+    SOFTDB_ASSIGN_OR_RETURN(spec.ref_table, ExpectIdentifier());
+    SOFTDB_ASSIGN_OR_RETURN(spec.ref_columns, parse_column_list());
+    return spec;
+  }
+  if (MatchKeyword("CHECK")) {
+    spec.kind = ConstraintSpec::Kind::kCheck;
+    SOFTDB_RETURN_IF_ERROR(ExpectOp("("));
+    SOFTDB_ASSIGN_OR_RETURN(spec.check, ParseExpr());
+    SOFTDB_RETURN_IF_ERROR(ExpectOp(")"));
+    return spec;
+  }
+  return Status::ParseError("expected a constraint clause");
+}
+
+Result<Statement> Parser::ParseCreate() {
+  SOFTDB_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+  if (MatchKeyword("TABLE")) {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCreateTable;
+    stmt.create_table = std::make_unique<CreateTableStmt>();
+    SOFTDB_ASSIGN_OR_RETURN(stmt.create_table->table, ExpectIdentifier());
+    SOFTDB_RETURN_IF_ERROR(ExpectOp("("));
+    do {
+      if (Peek().IsKeyword("PRIMARY") || Peek().IsKeyword("UNIQUE") ||
+          Peek().IsKeyword("FOREIGN") || Peek().IsKeyword("CHECK") ||
+          Peek().IsKeyword("CONSTRAINT")) {
+        std::string name;
+        if (MatchKeyword("CONSTRAINT")) {
+          SOFTDB_ASSIGN_OR_RETURN(name, ExpectIdentifier());
+        }
+        SOFTDB_ASSIGN_OR_RETURN(ConstraintSpec spec,
+                                ParseConstraintSpec(std::move(name)));
+        if (Peek().IsKeyword("NOT") && Peek(1).IsKeyword("ENFORCED")) {
+          Advance();
+          Advance();
+          spec.informational = true;
+        } else {
+          MatchKeyword("ENFORCED");
+        }
+        stmt.create_table->constraints.push_back(std::move(spec));
+        continue;
+      }
+      ColumnSpec col;
+      SOFTDB_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+      SOFTDB_ASSIGN_OR_RETURN(col.type, ParseType());
+      while (true) {
+        if (Peek().IsKeyword("NOT") && Peek(1).IsKeyword("NULL")) {
+          Advance();
+          Advance();
+          col.not_null = true;
+          continue;
+        }
+        if (Peek().IsKeyword("PRIMARY") && Peek(1).IsKeyword("KEY")) {
+          Advance();
+          Advance();
+          ConstraintSpec pk;
+          pk.kind = ConstraintSpec::Kind::kPrimaryKey;
+          pk.columns.push_back(col.name);
+          stmt.create_table->constraints.push_back(std::move(pk));
+          col.not_null = true;
+          continue;
+        }
+        break;
+      }
+      stmt.create_table->columns.push_back(std::move(col));
+    } while (MatchOp(","));
+    SOFTDB_RETURN_IF_ERROR(ExpectOp(")"));
+    return stmt;
+  }
+  if (MatchKeyword("INDEX")) {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCreateIndex;
+    stmt.create_index = std::make_unique<CreateIndexStmt>();
+    SOFTDB_ASSIGN_OR_RETURN(stmt.create_index->index, ExpectIdentifier());
+    SOFTDB_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    SOFTDB_ASSIGN_OR_RETURN(stmt.create_index->table, ExpectIdentifier());
+    SOFTDB_RETURN_IF_ERROR(ExpectOp("("));
+    SOFTDB_ASSIGN_OR_RETURN(stmt.create_index->column, ExpectIdentifier());
+    SOFTDB_RETURN_IF_ERROR(ExpectOp(")"));
+    return stmt;
+  }
+  return Status::ParseError("expected TABLE or INDEX after CREATE");
+}
+
+Result<Statement> Parser::ParseInsert() {
+  SOFTDB_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+  SOFTDB_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kInsert;
+  stmt.insert = std::make_unique<InsertStmt>();
+  SOFTDB_ASSIGN_OR_RETURN(stmt.insert->table, ExpectIdentifier());
+  SOFTDB_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+  do {
+    SOFTDB_RETURN_IF_ERROR(ExpectOp("("));
+    std::vector<ExprPtr> row;
+    do {
+      SOFTDB_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+      row.push_back(std::move(v));
+    } while (MatchOp(","));
+    SOFTDB_RETURN_IF_ERROR(ExpectOp(")"));
+    stmt.insert->rows.push_back(std::move(row));
+  } while (MatchOp(","));
+  return stmt;
+}
+
+Result<Statement> Parser::ParseUpdate() {
+  SOFTDB_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kUpdate;
+  stmt.update = std::make_unique<UpdateStmt>();
+  SOFTDB_ASSIGN_OR_RETURN(stmt.update->table, ExpectIdentifier());
+  SOFTDB_RETURN_IF_ERROR(ExpectKeyword("SET"));
+  do {
+    SOFTDB_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+    SOFTDB_RETURN_IF_ERROR(ExpectOp("="));
+    SOFTDB_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+    stmt.update->assignments.emplace_back(std::move(col), std::move(value));
+  } while (MatchOp(","));
+  if (MatchKeyword("WHERE")) {
+    SOFTDB_ASSIGN_OR_RETURN(stmt.update->where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<Statement> Parser::ParseDelete() {
+  SOFTDB_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+  SOFTDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kDelete;
+  stmt.del = std::make_unique<DeleteStmt>();
+  SOFTDB_ASSIGN_OR_RETURN(stmt.del->table, ExpectIdentifier());
+  if (MatchKeyword("WHERE")) {
+    SOFTDB_ASSIGN_OR_RETURN(stmt.del->where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<Statement> Parser::ParseStatement() {
+  Statement stmt;
+  const Token& tok = Peek();
+  Status status = Status::OK();
+  if (tok.IsKeyword("SELECT")) {
+    stmt.kind = Statement::Kind::kSelect;
+    SOFTDB_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+  } else if (tok.IsKeyword("EXPLAIN")) {
+    Advance();
+    stmt.kind = Statement::Kind::kExplain;
+    SOFTDB_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+  } else if (tok.IsKeyword("CREATE")) {
+    SOFTDB_ASSIGN_OR_RETURN(stmt, ParseCreate());
+  } else if (tok.IsKeyword("INSERT")) {
+    SOFTDB_ASSIGN_OR_RETURN(stmt, ParseInsert());
+  } else if (tok.IsKeyword("UPDATE")) {
+    SOFTDB_ASSIGN_OR_RETURN(stmt, ParseUpdate());
+  } else if (tok.IsKeyword("DELETE")) {
+    SOFTDB_ASSIGN_OR_RETURN(stmt, ParseDelete());
+  } else if (tok.IsKeyword("ANALYZE")) {
+    Advance();
+    stmt.kind = Statement::Kind::kAnalyze;
+    stmt.analyze = std::make_unique<AnalyzeStmt>();
+    if (Peek().type == TokenType::kIdentifier) {
+      stmt.analyze->table = Advance().text;
+    }
+  } else if (tok.IsKeyword("DROP")) {
+    Advance();
+    SOFTDB_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    stmt.kind = Statement::Kind::kDropTable;
+    stmt.drop_table = std::make_unique<DropTableStmt>();
+    SOFTDB_ASSIGN_OR_RETURN(stmt.drop_table->table, ExpectIdentifier());
+  } else {
+    return Status::ParseError("unrecognized statement start: '" + tok.text +
+                              "'");
+  }
+  (void)status;
+  MatchOp(";");
+  if (Peek().type != TokenType::kEnd) {
+    return Status::ParseError(StrFormat("trailing input at offset %zu: '%s'",
+                                        Peek().offset, Peek().text.c_str()));
+  }
+  return stmt;
+}
+
+Result<ExprPtr> Parser::ParseExprOnly() {
+  SOFTDB_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+  if (Peek().type != TokenType::kEnd) {
+    return Status::ParseError("trailing input after expression");
+  }
+  return expr;
+}
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  SOFTDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  SOFTDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseExprOnly();
+}
+
+}  // namespace softdb

@@ -1,0 +1,24 @@
+#ifndef SOFTDB_SQL_PARSER_H_
+#define SOFTDB_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sql/statement.h"
+
+namespace softdb {
+
+/// Parses one SQL statement (a trailing ';' is allowed). The grammar covers
+/// the subset the experiments require: SELECT with joins / GROUP BY /
+/// ORDER BY / LIMIT / UNION ALL, DML, CREATE TABLE with PK/FK/CHECK/UNIQUE
+/// clauses, CREATE INDEX, ANALYZE, EXPLAIN and DROP TABLE.
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Parses a scalar expression on its own (used by the soft-constraint API,
+/// where constraint bodies are written as SQL predicates).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_SQL_PARSER_H_

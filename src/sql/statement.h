@@ -1,0 +1,142 @@
+#ifndef SOFTDB_SQL_STATEMENT_H_
+#define SOFTDB_SQL_STATEMENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "plan/expr.h"
+#include "storage/schema.h"
+
+namespace softdb {
+
+/// One item of a SELECT list: either `*`, a plain expression, or an
+/// aggregate call.
+struct SelectItem {
+  bool star = false;
+  ExprPtr expr;                 // Unbound; null when star or aggregate.
+  std::optional<int> agg_fn;    // Index into AggFn enum when an aggregate.
+  ExprPtr agg_arg;              // Null for COUNT(*).
+  std::string alias;
+};
+
+/// A table in the FROM clause with its optional alias.
+struct TableRef {
+  std::string table;
+  std::string alias;  // Empty: use table name.
+
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// An explicit JOIN clause (`JOIN t ON cond`); comma-joins desugar to
+/// conditions in WHERE.
+struct JoinClause {
+  TableRef table;
+  ExprPtr on;  // Unbound.
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// Parsed SELECT. UNION ALL chains through `union_next`.
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;  // May be null.
+  std::vector<ExprPtr> group_by;
+  std::vector<OrderItem> order_by;
+  std::optional<std::size_t> limit;
+  std::unique_ptr<SelectStmt> union_next;
+};
+
+/// Column clause of CREATE TABLE.
+struct ColumnSpec {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+  bool not_null = false;
+};
+
+/// Table-level constraint clause of CREATE TABLE. The parser records the
+/// shape; the engine materializes it via the constraint registry.
+struct ConstraintSpec {
+  enum class Kind { kPrimaryKey, kUnique, kForeignKey, kCheck };
+  Kind kind = Kind::kCheck;
+  std::string name;                       // Optional.
+  std::vector<std::string> columns;       // PK/unique/FK local columns.
+  std::string ref_table;                  // FK target.
+  std::vector<std::string> ref_columns;   // FK target columns.
+  ExprPtr check;                          // CHECK expression (unbound).
+  /// `NOT ENFORCED` clause: an informational constraint (§1) — never
+  /// checked, still visible to the optimizer.
+  bool informational = false;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<ColumnSpec> columns;
+  std::vector<ConstraintSpec> constraints;
+};
+
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::string column;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<ExprPtr>> rows;  // Constant expressions.
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // May be null.
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  // May be null.
+};
+
+struct AnalyzeStmt {
+  std::string table;  // Empty: all tables.
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+/// Any parsed statement. Exactly one member is set, per `kind`.
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kExplain,  // EXPLAIN <select>: plan only, no execution.
+    kCreateTable,
+    kCreateIndex,
+    kInsert,
+    kUpdate,
+    kDelete,
+    kAnalyze,
+    kDropTable,
+  };
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<SelectStmt> select;  // kSelect / kExplain.
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<AnalyzeStmt> analyze;
+  std::unique_ptr<DropTableStmt> drop_table;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_SQL_STATEMENT_H_

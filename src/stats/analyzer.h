@@ -1,0 +1,46 @@
+#ifndef SOFTDB_STATS_ANALYZER_H_
+#define SOFTDB_STATS_ANALYZER_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "stats/column_stats.h"
+#include "storage/table.h"
+
+namespace softdb {
+
+/// ANALYZE options.
+struct AnalyzeOptions {
+  std::size_t histogram_buckets = 32;
+  std::size_t num_mcvs = 8;
+};
+
+/// Computes full TableStats for `table` (exact NDV and frequencies; the
+/// engine is in-memory so sampling is unnecessary, though the histogram
+/// code accepts any subset).
+TableStats AnalyzeTable(const Table& table, const AnalyzeOptions& options = {});
+
+/// Statistics catalog: runstats storage keyed by table name.
+class StatsCatalog {
+ public:
+  /// Runs ANALYZE and stores the result.
+  const TableStats& Analyze(const Table& table,
+                            const AnalyzeOptions& options = {});
+
+  /// Returns stats if the table was analyzed, else nullptr.
+  const TableStats* Get(const std::string& table_name) const;
+
+  /// Mutations applied to `table` since it was last analyzed, or the full
+  /// version counter if never analyzed.
+  std::uint64_t StalenessOf(const Table& table) const;
+
+  void Clear() { stats_.clear(); }
+
+ private:
+  std::map<std::string, TableStats> stats_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_STATS_ANALYZER_H_

@@ -1,0 +1,53 @@
+#ifndef SOFTDB_STATS_COLUMN_STATS_H_
+#define SOFTDB_STATS_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "stats/histogram.h"
+
+namespace softdb {
+
+/// One frequent value and its count (DB2's "frequency statistics").
+struct FrequentValue {
+  Value value;
+  std::uint64_t count = 0;
+};
+
+/// Catalog statistics for one column: the statistic classes §5 enumerates —
+/// number of distinct values, high and low values, frequency and histogram
+/// statistics.
+struct ColumnStats {
+  std::uint64_t row_count = 0;
+  std::uint64_t null_count = 0;
+  std::uint64_t distinct_count = 0;
+  std::optional<Value> min;
+  std::optional<Value> max;
+  EquiDepthHistogram histogram;       // Numeric columns only.
+  std::vector<FrequentValue> mcvs;    // Most-common values, descending count.
+
+  /// Fraction of non-null rows (1.0 for an empty column to avoid 0/0).
+  double NonNullFraction() const {
+    if (row_count == 0) return 1.0;
+    return static_cast<double>(row_count - null_count) /
+           static_cast<double>(row_count);
+  }
+};
+
+/// Statistics for one table plus the version they were computed at (used to
+/// quantify staleness — the paper's "currency" measure for SSCs applies the
+/// same way to runstats).
+struct TableStats {
+  std::uint64_t row_count = 0;
+  std::uint64_t analyzed_version = 0;
+  std::vector<ColumnStats> columns;
+
+  bool HasColumn(std::size_t idx) const { return idx < columns.size(); }
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_STATS_COLUMN_STATS_H_

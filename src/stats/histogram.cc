@@ -1,0 +1,97 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<double> values,
+                                             std::size_t num_buckets) {
+  EquiDepthHistogram h;
+  if (values.empty() || num_buckets == 0) return h;
+  std::sort(values.begin(), values.end());
+  h.total_ = values.size();
+
+  const std::size_t target = (values.size() + num_buckets - 1) / num_buckets;
+  std::size_t i = 0;
+  while (i < values.size()) {
+    Bucket b;
+    b.lo = values[i];
+    std::size_t end = std::min(values.size(), i + target);
+    // Extend so a value never straddles buckets (keeps Eq estimates sane).
+    while (end < values.size() && values[end] == values[end - 1]) ++end;
+    b.hi = values[end - 1];
+    b.count = end - i;
+    b.distinct = 1;
+    for (std::size_t j = i + 1; j < end; ++j) {
+      if (values[j] != values[j - 1]) ++b.distinct;
+    }
+    h.buckets_.push_back(b);
+    i = end;
+  }
+  return h;
+}
+
+double EquiDepthHistogram::SelectivityLessEq(double x) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (const Bucket& b : buckets_) {
+    if (x >= b.hi) {
+      below += b.count;
+    } else if (x < b.lo) {
+      break;
+    } else {
+      const double width = b.hi - b.lo;
+      const double frac = width > 0 ? (x - b.lo) / width : 1.0;
+      below += static_cast<std::uint64_t>(
+          std::llround(frac * static_cast<double>(b.count)));
+      break;
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double EquiDepthHistogram::SelectivityLess(double x) const {
+  return std::max(0.0, SelectivityLessEq(x) - SelectivityEq(x));
+}
+
+double EquiDepthHistogram::SelectivityEq(double x) const {
+  if (total_ == 0) return 0.0;
+  for (const Bucket& b : buckets_) {
+    if (x >= b.lo && x <= b.hi) {
+      const double per_value = static_cast<double>(b.count) /
+                               static_cast<double>(std::max<std::uint64_t>(
+                                   1, b.distinct));
+      return per_value / static_cast<double>(total_);
+    }
+  }
+  return 0.0;
+}
+
+double EquiDepthHistogram::SelectivityRange(double lo, bool lo_inclusive,
+                                            double hi,
+                                            bool hi_inclusive) const {
+  if (total_ == 0) return 0.0;
+  const bool lo_unbounded = std::isnan(lo);
+  const bool hi_unbounded = std::isnan(hi);
+  double upper = hi_unbounded
+                     ? 1.0
+                     : (hi_inclusive ? SelectivityLessEq(hi)
+                                     : SelectivityLess(hi));
+  double lower = lo_unbounded
+                     ? 0.0
+                     : (lo_inclusive ? SelectivityLess(lo)
+                                     : SelectivityLessEq(lo));
+  return std::max(0.0, upper - lower);
+}
+
+std::string EquiDepthHistogram::ToString() const {
+  std::string out = StrFormat("hist(total=%llu, buckets=%zu)",
+                              static_cast<unsigned long long>(total_),
+                              buckets_.size());
+  return out;
+}
+
+}  // namespace softdb

@@ -1,0 +1,59 @@
+#ifndef SOFTDB_STATS_HISTOGRAM_H_
+#define SOFTDB_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace softdb {
+
+/// Equi-depth histogram over a numeric column (BIGINT, DOUBLE, DATE and
+/// BOOLEAN all reduce to doubles). This is the "histogram statistics" class
+/// §5 says DB2 keeps for filter-factor estimation. Buckets hold roughly
+/// equal row counts; each bucket also records its distinct-value count so
+/// equality selectivity can use per-bucket density rather than global NDV.
+class EquiDepthHistogram {
+ public:
+  struct Bucket {
+    double lo = 0.0;       // Inclusive lower bound.
+    double hi = 0.0;       // Inclusive upper bound.
+    std::uint64_t count = 0;
+    std::uint64_t distinct = 0;
+  };
+
+  EquiDepthHistogram() = default;
+
+  /// Builds from a sample of non-null numeric values. `num_buckets` is a
+  /// target; fewer buckets result when the data has few distinct values.
+  static EquiDepthHistogram Build(std::vector<double> values,
+                                  std::size_t num_buckets);
+
+  bool empty() const { return total_ == 0; }
+  std::uint64_t total_count() const { return total_; }
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+  /// Fraction of values <= x (0 when empty). Interpolates linearly within
+  /// a bucket (continuous-values assumption).
+  double SelectivityLessEq(double x) const;
+
+  /// Fraction of values < x.
+  double SelectivityLess(double x) const;
+
+  /// Fraction of values = x, using the containing bucket's density.
+  double SelectivityEq(double x) const;
+
+  /// Fraction in [lo, hi] with the given bound inclusivities. Bounds with
+  /// NaN are treated as unbounded.
+  double SelectivityRange(double lo, bool lo_inclusive, double hi,
+                          bool hi_inclusive) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Bucket> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_STATS_HISTOGRAM_H_

@@ -1,0 +1,113 @@
+#include "storage/catalog.h"
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  const std::string key = ToLower(name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  // Stamp every column with its table qualifier for name resolution.
+  std::vector<ColumnDef> cols = schema.columns();
+  for (ColumnDef& c : cols) c.table = key;
+  auto table = std::make_unique<Table>(key, Schema(std::move(cols)));
+  Table* ptr = table.get();
+  tables_[key] = std::move(table);
+  return ptr;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table: " + name);
+  }
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  const std::string key = ToLower(name);
+  if (!tables_.count(key)) return Status::NotFound("unknown table: " + name);
+  indexes_.erase(key);
+  tables_.erase(key);
+  return Status::OK();
+}
+
+Result<Index*> Catalog::CreateIndex(const std::string& index_name,
+                                    const std::string& table_name,
+                                    const std::string& column_name) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  SOFTDB_ASSIGN_OR_RETURN(ColumnIdx col, table->schema().Resolve(column_name));
+  for (const auto& idx : indexes_[ToLower(table_name)]) {
+    if (ToLower(idx->name()) == ToLower(index_name)) {
+      return Status::AlreadyExists("index already exists: " + index_name);
+    }
+  }
+  auto index = std::make_unique<Index>(ToLower(index_name), table, col);
+  Index* ptr = index.get();
+  indexes_[ToLower(table_name)].push_back(std::move(index));
+  return ptr;
+}
+
+std::vector<Index*> Catalog::IndexesOn(const std::string& table_name) const {
+  std::vector<Index*> out;
+  auto it = indexes_.find(ToLower(table_name));
+  if (it == indexes_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& idx : it->second) out.push_back(idx.get());
+  return out;
+}
+
+Index* Catalog::FindIndex(const std::string& table_name,
+                          const std::string& column_name) const {
+  auto table = GetTable(table_name);
+  if (!table.ok()) return nullptr;
+  auto col = (*table)->schema().Resolve(column_name);
+  if (!col.ok()) return nullptr;
+  for (Index* idx : IndexesOn(table_name)) {
+    if (idx->column() == *col) return idx;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+void Catalog::NotifyInsert(const Table* table, RowId row) {
+  auto it = indexes_.find(table->name());
+  if (it == indexes_.end()) return;
+  for (const auto& idx : it->second) {
+    (void)idx->Insert(table->Get(row, idx->column()), row);
+  }
+}
+
+void Catalog::NotifyDelete(const Table* table, RowId row,
+                           const std::vector<Value>& old_values) {
+  auto it = indexes_.find(table->name());
+  if (it == indexes_.end()) return;
+  for (const auto& idx : it->second) {
+    (void)idx->Remove(old_values[idx->column()], row);
+  }
+}
+
+void Catalog::NotifyUpdate(const Table* table, RowId row, ColumnIdx col,
+                           const Value& old_value, const Value& new_value) {
+  auto it = indexes_.find(table->name());
+  if (it == indexes_.end()) return;
+  for (const auto& idx : it->second) {
+    if (idx->column() != col) continue;
+    (void)idx->Remove(old_value, row);
+    (void)idx->Insert(new_value, row);
+  }
+}
+
+}  // namespace softdb

@@ -1,0 +1,67 @@
+#ifndef SOFTDB_STORAGE_CATALOG_H_
+#define SOFTDB_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace softdb {
+
+/// System catalog: owns tables and their indexes. Table names are
+/// case-insensitive. Constraint and soft-constraint metadata live in their
+/// own registries (src/constraints) that reference catalog objects, the way
+/// DB2's SYSCAT splits packed-data from metadata.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table. Errors if the name exists.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Looks up a table by (case-insensitive) name.
+  Result<Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Drops a table and all its indexes.
+  Status DropTable(const std::string& name);
+
+  /// Creates and builds an index over `table.column_name`.
+  Result<Index*> CreateIndex(const std::string& index_name,
+                             const std::string& table_name,
+                             const std::string& column_name);
+
+  /// All indexes on `table_name` (empty if none).
+  std::vector<Index*> IndexesOn(const std::string& table_name) const;
+
+  /// The index on exactly `table_name.column_name` if one exists.
+  Index* FindIndex(const std::string& table_name,
+                   const std::string& column_name) const;
+
+  /// Names of all tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Propagates a row insert to all indexes of the table.
+  void NotifyInsert(const Table* table, RowId row);
+  /// Propagates a row delete to all indexes of the table.
+  void NotifyDelete(const Table* table, RowId row,
+                    const std::vector<Value>& old_values);
+  /// Propagates a cell update to the affected index (if any).
+  void NotifyUpdate(const Table* table, RowId row, ColumnIdx col,
+                    const Value& old_value, const Value& new_value);
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::vector<std::unique_ptr<Index>>> indexes_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_STORAGE_CATALOG_H_

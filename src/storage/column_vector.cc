@@ -1,0 +1,119 @@
+#include "storage/column_vector.h"
+
+#include <cmath>
+
+namespace softdb {
+
+namespace {
+
+bool IntBacked(TypeId t) {
+  return t == TypeId::kInt64 || t == TypeId::kDate || t == TypeId::kBool;
+}
+
+}  // namespace
+
+Status ColumnVector::Append(const Value& v) {
+  nulls_.push_back(v.is_null() ? 1 : 0);
+  if (IntBacked(type_)) {
+    if (v.is_null()) {
+      ints_.push_back(0);
+    } else if (IntBacked(v.type())) {
+      ints_.push_back(v.AsInt64());
+    } else if (v.type() == TypeId::kDouble) {
+      ints_.push_back(static_cast<std::int64_t>(std::llround(v.AsDouble())));
+    } else {
+      nulls_.pop_back();
+      return Status::TypeMismatch(std::string("cannot store ") +
+                                  TypeName(v.type()) + " in " +
+                                  TypeName(type_) + " column");
+    }
+    return Status::OK();
+  }
+  if (type_ == TypeId::kDouble) {
+    if (v.is_null()) {
+      doubles_.push_back(0.0);
+    } else if (v.type() == TypeId::kString) {
+      nulls_.pop_back();
+      return Status::TypeMismatch("cannot store VARCHAR in DOUBLE column");
+    } else {
+      doubles_.push_back(v.NumericValue());
+    }
+    return Status::OK();
+  }
+  // VARCHAR
+  if (v.is_null()) {
+    strings_.emplace_back();
+  } else if (v.type() == TypeId::kString) {
+    strings_.push_back(v.AsString());
+  } else {
+    nulls_.pop_back();
+    return Status::TypeMismatch(std::string("cannot store ") +
+                                TypeName(v.type()) + " in VARCHAR column");
+  }
+  return Status::OK();
+}
+
+Status ColumnVector::Set(std::size_t row, const Value& v) {
+  if (row >= nulls_.size()) {
+    return Status::OutOfRange("row index out of range");
+  }
+  nulls_[row] = v.is_null() ? 1 : 0;
+  if (v.is_null()) return Status::OK();
+  if (IntBacked(type_)) {
+    if (IntBacked(v.type())) {
+      ints_[row] = v.AsInt64();
+    } else if (v.type() == TypeId::kDouble) {
+      ints_[row] = static_cast<std::int64_t>(std::llround(v.AsDouble()));
+    } else {
+      return Status::TypeMismatch("type mismatch in Set");
+    }
+  } else if (type_ == TypeId::kDouble) {
+    if (v.type() == TypeId::kString) {
+      return Status::TypeMismatch("type mismatch in Set");
+    }
+    doubles_[row] = v.NumericValue();
+  } else {
+    if (v.type() != TypeId::kString) {
+      return Status::TypeMismatch("type mismatch in Set");
+    }
+    strings_[row] = v.AsString();
+  }
+  return Status::OK();
+}
+
+Value ColumnVector::Get(std::size_t row) const {
+  if (nulls_[row]) return Value::Null(type_);
+  switch (type_) {
+    case TypeId::kInt64:
+      return Value::Int64(ints_[row]);
+    case TypeId::kDate:
+      return Value::Date(ints_[row]);
+    case TypeId::kBool:
+      return Value::Bool(ints_[row] != 0);
+    case TypeId::kDouble:
+      return Value::Double(doubles_[row]);
+    case TypeId::kString:
+      return Value::String(strings_[row]);
+  }
+  return Value::Null(type_);
+}
+
+double ColumnVector::GetNumeric(std::size_t row) const {
+  if (nulls_[row]) return 0.0;
+  if (IntBacked(type_)) return static_cast<double>(ints_[row]);
+  if (type_ == TypeId::kDouble) return doubles_[row];
+  return 0.0;
+}
+
+void ColumnVector::Reserve(std::size_t n) {
+  nulls_.reserve(n);
+  if (IntBacked(type_)) {
+    ints_.reserve(n);
+  } else if (type_ == TypeId::kDouble) {
+    doubles_.reserve(n);
+  } else {
+    strings_.reserve(n);
+  }
+}
+
+}  // namespace softdb

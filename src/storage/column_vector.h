@@ -1,0 +1,57 @@
+#ifndef SOFTDB_STORAGE_COLUMN_VECTOR_H_
+#define SOFTDB_STORAGE_COLUMN_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace softdb {
+
+/// Typed columnar storage for one column. Int-like types (BIGINT, DATE,
+/// BOOLEAN) share an int64 buffer, DOUBLE has its own, VARCHAR owns strings.
+/// NULLs are a parallel byte-bitmap. This is the storage layout the page
+/// cost model is defined over: a "page" is a fixed run of consecutive rows.
+class ColumnVector {
+ public:
+  explicit ColumnVector(TypeId type) : type_(type) {}
+
+  TypeId type() const { return type_; }
+  std::size_t size() const { return nulls_.size(); }
+
+  /// Appends a value; the value's family must match the column type
+  /// (int-like widens into the int64 buffer, numeric literals coerce).
+  Status Append(const Value& v);
+
+  /// Replaces the value at `row`.
+  Status Set(std::size_t row, const Value& v);
+
+  /// Materializes the value at `row` as a Value of the column's type.
+  Value Get(std::size_t row) const;
+
+  bool IsNull(std::size_t row) const { return nulls_[row] != 0; }
+
+  /// Direct typed access for hot loops (no Value boxing). Only valid for
+  /// the matching physical buffer and non-null rows.
+  std::int64_t GetInt64(std::size_t row) const { return ints_[row]; }
+  double GetDouble(std::size_t row) const { return doubles_[row]; }
+  const std::string& GetString(std::size_t row) const { return strings_[row]; }
+
+  /// Numeric view used by miners and the estimator (0.0 for strings/null).
+  double GetNumeric(std::size_t row) const;
+
+  void Reserve(std::size_t n);
+
+ private:
+  TypeId type_;
+  std::vector<std::int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<std::uint8_t> nulls_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_STORAGE_COLUMN_VECTOR_H_

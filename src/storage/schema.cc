@@ -1,0 +1,61 @@
+#include "storage/schema.h"
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+Result<ColumnIdx> Schema::Resolve(const std::string& name) const {
+  std::string qualifier;
+  std::string column = name;
+  const std::size_t dot = name.find('.');
+  if (dot != std::string::npos) {
+    qualifier = ToLower(name.substr(0, dot));
+    column = name.substr(dot + 1);
+  }
+  const std::string column_lower = ToLower(column);
+
+  std::optional<ColumnIdx> found;
+  for (ColumnIdx i = 0; i < columns_.size(); ++i) {
+    const ColumnDef& def = columns_[i];
+    if (ToLower(def.name) != column_lower) continue;
+    if (!qualifier.empty() && ToLower(def.table) != qualifier) continue;
+    if (found.has_value()) {
+      return Status::BindError("ambiguous column reference: " + name);
+    }
+    found = i;
+  }
+  if (!found.has_value()) {
+    return Status::BindError("unknown column: " + name + " in schema " +
+                             ToString());
+  }
+  return *found;
+}
+
+std::optional<ColumnIdx> Schema::Find(const std::string& table,
+                                      const std::string& name) const {
+  const std::string t = ToLower(table);
+  const std::string n = ToLower(name);
+  for (ColumnIdx i = 0; i < columns_.size(); ++i) {
+    if (ToLower(columns_[i].table) == t && ToLower(columns_[i].name) == n) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<ColumnDef> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const ColumnDef& c : columns_) {
+    parts.push_back(c.QualifiedName() + " " + TypeName(c.type));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace softdb

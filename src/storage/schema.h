@@ -1,0 +1,63 @@
+#ifndef SOFTDB_STORAGE_SCHEMA_H_
+#define SOFTDB_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace softdb {
+
+/// One column of a table or of an intermediate result. `table` is the
+/// qualifier used for name resolution ("purchase.ship_date"); intermediate
+/// results keep the qualifier of the column's origin so multi-table
+/// expressions bind unambiguously.
+struct ColumnDef {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+  bool nullable = true;
+  std::string table;  // Qualifier; may be empty for computed columns.
+
+  /// "table.name" when qualified, else "name".
+  std::string QualifiedName() const {
+    return table.empty() ? name : table + "." + name;
+  }
+};
+
+/// Ordered list of columns with name lookup. Schemas are value types: plan
+/// nodes copy and extend them freely.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  std::size_t NumColumns() const { return columns_.size(); }
+  const ColumnDef& Column(ColumnIdx i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  void AddColumn(ColumnDef def) { columns_.push_back(std::move(def)); }
+
+  /// Resolves `name`, optionally qualified as "table.column". Errors when
+  /// the name is unknown or ambiguous across qualifiers.
+  Result<ColumnIdx> Resolve(const std::string& name) const;
+
+  /// Index of the exact (table, name) pair, if present.
+  std::optional<ColumnIdx> Find(const std::string& table,
+                                const std::string& name) const;
+
+  /// Concatenation used by joins: left columns then right columns.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// "(<table.col TYPE>, ...)" for EXPLAIN output and errors.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_STORAGE_SCHEMA_H_

@@ -1,0 +1,79 @@
+#include "storage/table.h"
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.NumColumns());
+  for (const ColumnDef& def : schema_.columns()) {
+    columns_.emplace_back(def.type);
+  }
+}
+
+Result<RowId> Table::Append(const std::vector<Value>& values) {
+  if (values.size() != schema_.NumColumns()) {
+    return Status::InvalidArgument(StrFormat(
+        "table %s expects %zu values, got %zu", name_.c_str(),
+        schema_.NumColumns(), values.size()));
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i].is_null() && !schema_.Column(i).nullable) {
+      return Status::ConstraintViolation(
+          "NULL in non-nullable column " + schema_.Column(i).name);
+    }
+  }
+  // Validate all cells before mutating any column so a type error cannot
+  // leave columns with unequal lengths.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ColumnVector probe(columns_[i].type());
+    SOFTDB_RETURN_IF_ERROR(probe.Append(values[i]));
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    Status st = columns_[i].Append(values[i]);
+    (void)st;  // Cannot fail: validated above.
+  }
+  live_.push_back(1);
+  ++live_count_;
+  ++version_;
+  return static_cast<RowId>(live_.size() - 1);
+}
+
+std::vector<Value> Table::GetRow(RowId row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const ColumnVector& col : columns_) {
+    out.push_back(col.Get(row));
+  }
+  return out;
+}
+
+Status Table::Set(RowId row, ColumnIdx col, const Value& v) {
+  if (!IsLive(row)) return Status::NotFound("row not live");
+  if (col >= columns_.size()) return Status::OutOfRange("bad column index");
+  if (v.is_null() && !schema_.Column(col).nullable) {
+    return Status::ConstraintViolation("NULL in non-nullable column " +
+                                       schema_.Column(col).name);
+  }
+  SOFTDB_RETURN_IF_ERROR(columns_[col].Set(row, v));
+  ++version_;
+  return Status::OK();
+}
+
+Status Table::Delete(RowId row) {
+  if (row >= live_.size()) return Status::OutOfRange("bad row id");
+  if (live_[row]) {
+    live_[row] = 0;
+    --live_count_;
+    ++version_;
+  }
+  return Status::OK();
+}
+
+void Table::Reserve(std::size_t rows) {
+  live_.reserve(rows);
+  for (ColumnVector& col : columns_) col.Reserve(rows);
+}
+
+}  // namespace softdb

@@ -1,0 +1,82 @@
+#ifndef SOFTDB_STORAGE_TABLE_H_
+#define SOFTDB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "storage/column_vector.h"
+#include "storage/schema.h"
+
+namespace softdb {
+
+/// Rows per simulated disk page. The cost model and the "pages scanned"
+/// experiment metrics are defined in these units; the value approximates a
+/// 8KB page of ~64 hundred-byte tuples.
+constexpr std::size_t kRowsPerPage = 64;
+
+/// An in-memory, column-oriented table. Deletes are tombstones; updates are
+/// in place. Row ids are append positions and are never reused, so they can
+/// be stored in indexes and exception tables safely.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Total row slots including tombstones (== next RowId).
+  std::size_t NumSlots() const { return live_.size(); }
+  /// Live (visible) rows.
+  std::size_t NumRows() const { return live_count_; }
+  /// Pages occupied by the table under the simulated page model.
+  std::size_t NumPages() const {
+    return (NumSlots() + kRowsPerPage - 1) / kRowsPerPage;
+  }
+
+  bool IsLive(RowId row) const { return row < live_.size() && live_[row]; }
+
+  /// Appends a full row; `values` must match the schema arity and types.
+  Result<RowId> Append(const std::vector<Value>& values);
+
+  /// Reads one cell. `row` must be a valid slot (live or not).
+  Value Get(RowId row, ColumnIdx col) const { return columns_[col].Get(row); }
+
+  /// Materializes a full row.
+  std::vector<Value> GetRow(RowId row) const;
+
+  /// Overwrites one cell of a live row.
+  Status Set(RowId row, ColumnIdx col, const Value& v);
+
+  /// Tombstones a row. Idempotent on already-deleted rows.
+  Status Delete(RowId row);
+
+  /// Raw column access for miners, ANALYZE, and vectorized scans.
+  const ColumnVector& ColumnData(ColumnIdx col) const { return columns_[col]; }
+
+  void Reserve(std::size_t rows);
+
+  /// Monotone version bumped on every mutation; statistics and soft
+  /// constraints record the version they were computed at so staleness
+  /// (the paper's "currency") is measurable.
+  std::uint64_t version() const { return version_; }
+  /// Mutations since a recorded version — the currency input of §3.3.
+  std::uint64_t MutationsSince(std::uint64_t v) const { return version_ - v; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<ColumnVector> columns_;
+  std::vector<std::uint8_t> live_;
+  std::size_t live_count_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_STORAGE_TABLE_H_

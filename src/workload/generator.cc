@@ -1,0 +1,364 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/date.h"
+#include "common/str_util.h"
+
+namespace softdb {
+
+namespace {
+
+constexpr const char* kSegments[] = {"BUILDING", "AUTOMOBILE", "MACHINERY",
+                                     "HOUSEHOLD", "FURNITURE"};
+constexpr const char* kStatuses[] = {"OPEN", "SHIPPED", "DELIVERED",
+                                     "RETURNED"};
+
+std::int64_t BaseDate() { return Date::FromYmd(1999, 1, 1); }
+
+Schema MakeSchema(std::initializer_list<ColumnDef> cols) {
+  Schema s;
+  for (const ColumnDef& c : cols) s.AddColumn(c);
+  return s;
+}
+
+ColumnDef Col(const char* name, TypeId type, bool nullable = true) {
+  ColumnDef def;
+  def.name = name;
+  def.type = type;
+  def.nullable = nullable;
+  return def;
+}
+
+Status AddPk(SoftDb* db, const std::string& table, ColumnIdx col) {
+  return db->ics().Add(
+      std::make_unique<UniqueConstraint>("pk_" + table, table,
+                                         std::vector<ColumnIdx>{col},
+                                         /*is_primary=*/true,
+                                         ConstraintMode::kEnforced),
+      db->catalog());
+}
+
+Status AddFk(SoftDb* db, const std::string& child, ColumnIdx child_col,
+             const std::string& parent, ColumnIdx parent_col,
+             const std::string& name) {
+  return db->ics().Add(
+      std::make_unique<ForeignKeyConstraint>(
+          name, child, std::vector<ColumnIdx>{child_col}, parent,
+          std::vector<ColumnIdx>{parent_col}, ConstraintMode::kEnforced),
+      db->catalog());
+}
+
+}  // namespace
+
+Status GeneratePartTable(SoftDb* db, const WorkloadOptions& options) {
+  Rng rng(options.seed ^ 0x9A97ULL);
+  SOFTDB_ASSIGN_OR_RETURN(
+      Table * part,
+      db->catalog().CreateTable(
+          "part", MakeSchema({Col("p_partkey", TypeId::kInt64, false),
+                              Col("p_retailprice", TypeId::kDouble, false),
+                              Col("p_weight", TypeId::kDouble, false),
+                              Col("p_category", TypeId::kInt64, false)})));
+  part->Reserve(options.parts);
+  for (std::size_t i = 0; i < options.parts; ++i) {
+    const double price = 100.0 + rng.NextDouble() * 1900.0;
+    // Linear correlation with a bounded-noise envelope ([10]): weight =
+    // 0.05 * price + 2 ± 3.
+    const double noise = std::clamp(rng.NextGaussian(0.0, 1.0), -3.0, 3.0);
+    const double weight = 0.05 * price + 2.0 + noise;
+    SOFTDB_RETURN_IF_ERROR(
+        part->Append({Value::Int64(static_cast<std::int64_t>(i)),
+                      Value::Double(price), Value::Double(weight),
+                      Value::Int64(rng.Uniform(0, 9))})
+            .status());
+  }
+  if (options.with_constraints) SOFTDB_RETURN_IF_ERROR(AddPk(db, "part", 0));
+  if (options.with_indexes) {
+    SOFTDB_RETURN_IF_ERROR(
+        db->catalog().CreateIndex("idx_part_weight", "part", "p_weight")
+            .status());
+  }
+  return Status::OK();
+}
+
+Status GeneratePurchaseTable(SoftDb* db, const WorkloadOptions& options) {
+  Rng rng(options.seed ^ 0xB00CULL);
+  SOFTDB_ASSIGN_OR_RETURN(
+      Table * purchase,
+      db->catalog().CreateTable(
+          "purchase",
+          MakeSchema({Col("pu_key", TypeId::kInt64, false),
+                      Col("pu_orderkey", TypeId::kInt64, false),
+                      Col("pu_partkey", TypeId::kInt64, false),
+                      Col("order_date", TypeId::kDate, false),
+                      Col("ship_date", TypeId::kDate, false),
+                      Col("receipt_date", TypeId::kDate, false),
+                      Col("quantity", TypeId::kInt64, false),
+                      Col("price", TypeId::kDouble, false),
+                      Col("discount", TypeId::kDouble, false)})));
+  purchase->Reserve(options.purchases);
+  const std::int64_t base = BaseDate();
+  for (std::size_t i = 0; i < options.purchases; ++i) {
+    // Orders arrive in time order, so the table is physically clustered by
+    // order_date (as real order tables are) — this is what makes an
+    // order_date index range scan touch few data pages.
+    const std::int64_t order_date =
+        base + static_cast<std::int64_t>(i * 730 / options.purchases) +
+        rng.Uniform(0, 1);
+    std::int64_t lag;
+    if (rng.NextDouble() < options.ship_conf) {
+      lag = rng.Uniform(0, options.ship_window);
+    } else {
+      // The §4.4 late shipments: beyond the three-week business rule.
+      lag = rng.Uniform(options.ship_window + 1, options.late_max);
+    }
+    const std::int64_t ship_date = order_date + lag;
+    const std::int64_t receipt_date = ship_date + rng.Uniform(0, 7);
+    SOFTDB_RETURN_IF_ERROR(
+        purchase
+            ->Append({Value::Int64(static_cast<std::int64_t>(i)),
+                      Value::Int64(rng.Uniform(
+                          0, static_cast<std::int64_t>(options.orders) - 1)),
+                      Value::Int64(rng.Uniform(
+                          0, static_cast<std::int64_t>(options.parts) - 1)),
+                      Value::Date(order_date), Value::Date(ship_date),
+                      Value::Date(receipt_date), Value::Int64(rng.Uniform(1, 50)),
+                      Value::Double(1.0 + rng.NextDouble() * 999.0),
+                      Value::Double(rng.NextDouble() * 0.1)})
+            .status());
+  }
+  if (options.with_constraints) {
+    SOFTDB_RETURN_IF_ERROR(AddPk(db, "purchase", 0));
+  }
+  if (options.with_indexes) {
+    // Index on order_date but NOT on ship_date: the exact asymmetry the
+    // paper's predicate-introduction examples exploit.
+    SOFTDB_RETURN_IF_ERROR(db->catalog()
+                               .CreateIndex("idx_purchase_order_date",
+                                            "purchase", "order_date")
+                               .status());
+  }
+  return Status::OK();
+}
+
+Status GenerateProjectTable(SoftDb* db, const WorkloadOptions& options) {
+  Rng rng(options.seed ^ 0x9403ULL);
+  SOFTDB_ASSIGN_OR_RETURN(
+      Table * project,
+      db->catalog().CreateTable(
+          "project", MakeSchema({Col("proj_id", TypeId::kInt64, false),
+                                 Col("start_date", TypeId::kDate, false),
+                                 Col("end_date", TypeId::kDate, false),
+                                 Col("budget", TypeId::kDouble, false),
+                                 Col("dept", TypeId::kInt64, false)})));
+  project->Reserve(options.projects);
+  const std::int64_t base = BaseDate();
+  for (std::size_t i = 0; i < options.projects; ++i) {
+    // Projects are recorded as they start: clustered by start_date.
+    const std::int64_t start =
+        base + static_cast<std::int64_t>(i * 730 / options.projects) +
+        rng.Uniform(0, 1);
+    std::int64_t duration;
+    if (rng.NextDouble() < options.project_conf) {
+      duration = rng.Uniform(0, options.project_window);
+    } else {
+      duration = rng.Uniform(options.project_window + 1, options.project_max);
+    }
+    SOFTDB_RETURN_IF_ERROR(
+        project
+            ->Append({Value::Int64(static_cast<std::int64_t>(i)),
+                      Value::Date(start), Value::Date(start + duration),
+                      Value::Double(1000.0 + rng.NextDouble() * 99000.0),
+                      Value::Int64(rng.Uniform(0, 19))})
+            .status());
+  }
+  if (options.with_constraints) {
+    SOFTDB_RETURN_IF_ERROR(AddPk(db, "project", 0));
+  }
+  if (options.with_indexes) {
+    SOFTDB_RETURN_IF_ERROR(
+        db->catalog()
+            .CreateIndex("idx_project_start", "project", "start_date")
+            .status());
+  }
+  return Status::OK();
+}
+
+Status GenerateCustomerOrders(SoftDb* db, const WorkloadOptions& options) {
+  Rng rng(options.seed ^ 0xC057ULL);
+
+  SOFTDB_ASSIGN_OR_RETURN(
+      Table * region,
+      db->catalog().CreateTable(
+          "region", MakeSchema({Col("r_regionkey", TypeId::kInt64, false),
+                                Col("r_name", TypeId::kString, false)})));
+  static constexpr const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA",
+                                             "EUROPE", "MIDDLE EAST"};
+  for (std::int64_t r = 0; r < 5; ++r) {
+    SOFTDB_RETURN_IF_ERROR(
+        region->Append({Value::Int64(r), Value::String(kRegions[r])})
+            .status());
+  }
+
+  SOFTDB_ASSIGN_OR_RETURN(
+      Table * nation,
+      db->catalog().CreateTable(
+          "nation", MakeSchema({Col("n_nationkey", TypeId::kInt64, false),
+                                Col("n_name", TypeId::kString, false),
+                                Col("n_regionkey", TypeId::kInt64, false)})));
+  for (std::int64_t n = 0; n < 25; ++n) {
+    SOFTDB_RETURN_IF_ERROR(
+        nation
+            ->Append({Value::Int64(n), Value::String(StrFormat("NATION_%02lld",
+                                                               static_cast<long long>(n))),
+                      Value::Int64(n / 5)})
+            .status());
+  }
+
+  SOFTDB_ASSIGN_OR_RETURN(
+      Table * customer,
+      db->catalog().CreateTable(
+          "customer",
+          MakeSchema({Col("c_custkey", TypeId::kInt64, false),
+                      Col("c_nationkey", TypeId::kInt64, false),
+                      // Denormalized: c_nationkey -> c_regionkey exactly
+                      // (the mined FD of E6).
+                      Col("c_regionkey", TypeId::kInt64, false),
+                      Col("c_acctbal", TypeId::kDouble, false),
+                      Col("c_mktsegment", TypeId::kString, false)})));
+  customer->Reserve(options.customers);
+  std::vector<double> balances(options.customers);
+  for (std::size_t i = 0; i < options.customers; ++i) {
+    const std::int64_t nationkey = rng.Uniform(0, 24);
+    const double balance = rng.NextDouble() * 10000.0;
+    balances[i] = balance;
+    SOFTDB_RETURN_IF_ERROR(
+        customer
+            ->Append({Value::Int64(static_cast<std::int64_t>(i)),
+                      Value::Int64(nationkey), Value::Int64(nationkey / 5),
+                      Value::Double(balance),
+                      Value::String(kSegments[rng.Uniform(0, 4)])})
+            .status());
+  }
+
+  SOFTDB_ASSIGN_OR_RETURN(
+      Table * orders,
+      db->catalog().CreateTable(
+          "orders", MakeSchema({Col("o_orderkey", TypeId::kInt64, false),
+                                Col("o_custkey", TypeId::kInt64, false),
+                                Col("o_orderdate", TypeId::kDate, false),
+                                Col("o_totalprice", TypeId::kDouble, false),
+                                Col("o_status", TypeId::kString, false)})));
+  orders->Reserve(options.orders);
+  const std::int64_t base = BaseDate();
+  const bool hole_in_balance_range = true;
+  for (std::size_t i = 0; i < options.orders; ++i) {
+    const std::int64_t custkey =
+        rng.Uniform(0, static_cast<std::int64_t>(options.customers) - 1);
+    double totalprice = 100.0 + rng.NextDouble() * 19900.0;
+    // Plant the two-dimensional join hole ([8]): low-balance customers
+    // never place orders in the hole's price band.
+    if (hole_in_balance_range &&
+        balances[static_cast<std::size_t>(custkey)] >= options.hole_bal_lo &&
+        balances[static_cast<std::size_t>(custkey)] <= options.hole_bal_hi) {
+      while (totalprice >= options.hole_price_lo &&
+             totalprice <= options.hole_price_hi) {
+        totalprice = 100.0 + rng.NextDouble() * 19900.0;
+      }
+    }
+    SOFTDB_RETURN_IF_ERROR(
+        orders
+            ->Append({Value::Int64(static_cast<std::int64_t>(i)),
+                      Value::Int64(custkey), Value::Date(base + rng.Uniform(0, 730)),
+                      Value::Double(totalprice),
+                      Value::String(kStatuses[rng.Uniform(0, 3)])})
+            .status());
+  }
+
+  if (options.with_constraints) {
+    SOFTDB_RETURN_IF_ERROR(AddPk(db, "region", 0));
+    SOFTDB_RETURN_IF_ERROR(AddPk(db, "nation", 0));
+    SOFTDB_RETURN_IF_ERROR(AddPk(db, "customer", 0));
+    SOFTDB_RETURN_IF_ERROR(AddPk(db, "orders", 0));
+    SOFTDB_RETURN_IF_ERROR(
+        AddFk(db, "nation", 2, "region", 0, "fk_nation_region"));
+    SOFTDB_RETURN_IF_ERROR(
+        AddFk(db, "customer", 1, "nation", 0, "fk_customer_nation"));
+    SOFTDB_RETURN_IF_ERROR(
+        AddFk(db, "orders", 1, "customer", 0, "fk_orders_customer"));
+  }
+  if (options.with_indexes) {
+    SOFTDB_RETURN_IF_ERROR(
+        db->catalog()
+            .CreateIndex("idx_orders_totalprice", "orders", "o_totalprice")
+            .status());
+    SOFTDB_RETURN_IF_ERROR(
+        db->catalog()
+            .CreateIndex("idx_customer_acctbal", "customer", "c_acctbal")
+            .status());
+  }
+  return Status::OK();
+}
+
+Status GenerateSalesPartitions(SoftDb* db, const WorkloadOptions& options) {
+  Rng rng(options.seed ^ 0x5A1EULL);
+  for (int month = 1; month <= 12; ++month) {
+    const std::string name = StrFormat("sales_m%d", month);
+    SOFTDB_ASSIGN_OR_RETURN(
+        Table * sales,
+        db->catalog().CreateTable(
+            name, MakeSchema({Col("sale_id", TypeId::kInt64, false),
+                              Col("sale_date", TypeId::kDate, false),
+                              Col("amount", TypeId::kDouble, false)})));
+    const std::int64_t lo = Date::FromYmd(1999, month, 1);
+    const std::int64_t hi =
+        Date::FromYmd(1999, month, Date::DaysInMonth(1999, month));
+    sales->Reserve(options.sales_per_month);
+    for (std::size_t i = 0; i < options.sales_per_month; ++i) {
+      SOFTDB_RETURN_IF_ERROR(
+          sales
+              ->Append({Value::Int64(static_cast<std::int64_t>(
+                            month * 1000000 + static_cast<std::int64_t>(i))),
+                        Value::Date(rng.Uniform(lo, hi)),
+                        Value::Double(rng.NextDouble() * 1000.0)})
+              .status());
+    }
+    if (options.with_constraints) {
+      // The branch constraint: data loading is done by loader applications
+      // that already guarantee the range, so the check is *informational*
+      // (§1's data-warehouse scenario) — never checked, yet the optimizer
+      // can knock off branches with it (§5).
+      ExprPtr check = MakeAnd([&] {
+        std::vector<ExprPtr> parts;
+        parts.push_back(MakeCompare(
+            CompareOp::kGe, MakeColumnRef("sale_date"),
+            MakeLiteral(Value::Date(lo))));
+        parts.push_back(MakeCompare(
+            CompareOp::kLe, MakeColumnRef("sale_date"),
+            MakeLiteral(Value::Date(hi))));
+        return parts;
+      }());
+      SOFTDB_RETURN_IF_ERROR(check->Bind(sales->schema()));
+      SOFTDB_RETURN_IF_ERROR(db->ics().Add(
+          std::make_unique<CheckConstraint>("chk_" + name, name,
+                                            std::move(check),
+                                            ConstraintMode::kInformational),
+          db->catalog()));
+    }
+  }
+  return Status::OK();
+}
+
+Status GenerateWorkload(SoftDb* db, const WorkloadOptions& options) {
+  SOFTDB_RETURN_IF_ERROR(GenerateCustomerOrders(db, options));
+  SOFTDB_RETURN_IF_ERROR(GeneratePartTable(db, options));
+  SOFTDB_RETURN_IF_ERROR(GeneratePurchaseTable(db, options));
+  SOFTDB_RETURN_IF_ERROR(GenerateProjectTable(db, options));
+  SOFTDB_RETURN_IF_ERROR(GenerateSalesPartitions(db, options));
+  if (options.analyze) SOFTDB_RETURN_IF_ERROR(db->Analyze());
+  return Status::OK();
+}
+
+}  // namespace softdb

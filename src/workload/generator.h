@@ -1,0 +1,72 @@
+#ifndef SOFTDB_WORKLOAD_GENERATOR_H_
+#define SOFTDB_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "engine/softdb.h"
+
+namespace softdb {
+
+/// Deterministic TPC-H-inspired data generator with the paper's data
+/// characteristics *planted* at configurable rates, so every experiment can
+/// verify what the miners and the optimizer should find:
+///
+/// * `purchase(order_date, ship_date, receipt_date, ...)` — ship_date lands
+///   within `ship_window` days of order_date for `ship_conf` of rows (the
+///   §4.4 late_shipments rule); the rest are late by up to `late_max` days.
+/// * `project(start_date, end_date, ...)` — duration ≤ `project_window`
+///   days for `project_conf` of rows (the §5 example).
+/// * `part(p_retailprice, p_weight, ...)` — weight is linear in price with
+///   bounded noise (the [10] linear correlation).
+/// * `orders ⋈ customer` — a planted two-dimensional join hole: no order
+///   with o_totalprice in [hole_price_lo, hole_price_hi] belongs to a
+///   customer with c_acctbal in [hole_bal_lo, hole_bal_hi] (the [8] holes).
+/// * `customer(c_nationkey, c_regionkey)` — denormalized: c_nationkey →
+///   c_regionkey is an exact FD (the [29] case).
+/// * `sales_m1..sales_m12` — a month-partitioned family for the §5
+///   union-all branch knock-off.
+struct WorkloadOptions {
+  std::uint64_t seed = 42;
+  std::size_t customers = 1000;
+  std::size_t orders = 10000;
+  std::size_t purchases = 20000;
+  std::size_t parts = 2000;
+  std::size_t projects = 5000;
+  std::size_t sales_per_month = 500;
+
+  double ship_conf = 0.99;       // Fraction shipping within the window.
+  int ship_window = 21;          // Days (three weeks, §4.4).
+  int late_max = 60;             // Worst lateness for violating rows.
+  double project_conf = 0.90;    // Fraction of projects within the window.
+  int project_window = 30;       // Days (§5's "a month or less").
+  int project_max = 120;         // Worst project duration.
+
+  double hole_price_lo = 8000.0;  // Planted join hole on orders.o_totalprice
+  double hole_price_hi = 10000.0;
+  double hole_bal_lo = 0.0;       // ... versus customer.c_acctbal.
+  double hole_bal_hi = 2000.0;
+
+  bool with_indexes = true;   // Secondary indexes used by the experiments.
+  bool with_constraints = true;  // PKs + FKs (enforced).
+  bool analyze = true;        // Run ANALYZE after load.
+};
+
+/// Populates `db` with the full workload schema and data. Tables created:
+/// region, nation, customer, part, orders, purchase, project,
+/// sales_m1..sales_m12.
+Status GenerateWorkload(SoftDb* db, const WorkloadOptions& options = {});
+
+/// Smaller helpers for focused tests: each creates (and fills) just one of
+/// the schema's tables plus its dependencies.
+Status GeneratePurchaseTable(SoftDb* db, const WorkloadOptions& options);
+Status GenerateProjectTable(SoftDb* db, const WorkloadOptions& options);
+Status GeneratePartTable(SoftDb* db, const WorkloadOptions& options);
+Status GenerateCustomerOrders(SoftDb* db, const WorkloadOptions& options);
+Status GenerateSalesPartitions(SoftDb* db, const WorkloadOptions& options);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_WORKLOAD_GENERATOR_H_

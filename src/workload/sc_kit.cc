@@ -1,0 +1,108 @@
+#include "workload/sc_kit.h"
+
+#include "constraints/column_offset_sc.h"
+#include "constraints/domain_sc.h"
+#include "constraints/fd_sc.h"
+#include "constraints/inclusion_sc.h"
+#include "constraints/join_hole_sc.h"
+#include "constraints/linear_correlation_sc.h"
+
+namespace softdb {
+
+Result<std::string> RegisterShipWindowSc(SoftDb* db, int window) {
+  const std::string name = "sc_ship_window";
+  SOFTDB_RETURN_IF_ERROR(db->scs().Add(
+      std::make_unique<ColumnOffsetSc>(
+          name, "purchase", WorkloadColumns::kPurchaseOrderDate,
+          WorkloadColumns::kPurchaseShipDate, 0, window),
+      db->catalog()));
+  return name;
+}
+
+Result<std::string> RegisterProjectWindowSc(SoftDb* db, int window) {
+  const std::string name = "sc_project_window";
+  SOFTDB_RETURN_IF_ERROR(db->scs().Add(
+      std::make_unique<ColumnOffsetSc>(
+          name, "project", WorkloadColumns::kProjectStart,
+          WorkloadColumns::kProjectEnd, 0, window),
+      db->catalog()));
+  return name;
+}
+
+Result<std::string> RegisterPartCorrelationSc(SoftDb* db, double epsilon) {
+  const std::string name = "sc_part_weight";
+  SOFTDB_RETURN_IF_ERROR(db->scs().Add(
+      std::make_unique<LinearCorrelationSc>(
+          name, "part", WorkloadColumns::kPartWeight,
+          WorkloadColumns::kPartPrice, 0.05, 2.0, epsilon),
+      db->catalog()));
+  return name;
+}
+
+Result<std::string> RegisterCustomerRegionFd(SoftDb* db) {
+  const std::string name = "sc_customer_region_fd";
+  SOFTDB_RETURN_IF_ERROR(db->scs().Add(
+      std::make_unique<FunctionalDependencySc>(
+          name, "customer",
+          std::vector<ColumnIdx>{WorkloadColumns::kCustomerNation},
+          std::vector<ColumnIdx>{WorkloadColumns::kCustomerRegion}),
+      db->catalog()));
+  return name;
+}
+
+Result<std::string> RegisterOrdersHoleSc(SoftDb* db, double price_lo,
+                                         double price_hi, double bal_lo,
+                                         double bal_hi) {
+  const std::string name = "sc_orders_hole";
+  HoleRect hole;
+  hole.a_lo = price_lo;
+  hole.a_hi = price_hi;
+  hole.b_lo = bal_lo;
+  hole.b_hi = bal_hi;
+  SOFTDB_RETURN_IF_ERROR(db->scs().Add(
+      std::make_unique<JoinHoleSc>(
+          name, "orders", WorkloadColumns::kOrderCustomer,
+          WorkloadColumns::kOrderPrice, "customer",
+          WorkloadColumns::kCustomerKey, WorkloadColumns::kCustomerBalance,
+          std::vector<HoleRect>{hole}),
+      db->catalog()));
+  return name;
+}
+
+Result<std::string> RegisterOrdersInclusionSc(SoftDb* db) {
+  const std::string name = "sc_orders_customer_inclusion";
+  SOFTDB_RETURN_IF_ERROR(db->scs().Add(
+      std::make_unique<InclusionSc>(
+          name, "orders",
+          std::vector<ColumnIdx>{WorkloadColumns::kOrderCustomer}, "customer",
+          std::vector<ColumnIdx>{WorkloadColumns::kCustomerKey}),
+      db->catalog()));
+  return name;
+}
+
+Result<std::string> RegisterOrderPriceDomainSc(SoftDb* db) {
+  const std::string name = "sc_order_price_domain";
+  SOFTDB_ASSIGN_OR_RETURN(Table * orders, db->catalog().GetTable("orders"));
+  const ColumnVector& prices =
+      orders->ColumnData(WorkloadColumns::kOrderPrice);
+  double lo = 0.0, hi = 0.0;
+  bool any = false;
+  for (RowId r = 0; r < orders->NumSlots(); ++r) {
+    if (!orders->IsLive(r) || prices.IsNull(r)) continue;
+    const double v = prices.GetNumeric(r);
+    if (!any) {
+      lo = hi = v;
+      any = true;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  SOFTDB_RETURN_IF_ERROR(db->scs().Add(
+      std::make_unique<DomainSc>(name, "orders", WorkloadColumns::kOrderPrice,
+                                 Value::Double(lo), Value::Double(hi)),
+      db->catalog()));
+  return name;
+}
+
+}  // namespace softdb

@@ -1,0 +1,70 @@
+#ifndef SOFTDB_WORKLOAD_SC_KIT_H_
+#define SOFTDB_WORKLOAD_SC_KIT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "engine/softdb.h"
+
+namespace softdb {
+
+/// Column indexes of the generated workload tables (see generator.cc).
+struct WorkloadColumns {
+  // purchase
+  static constexpr ColumnIdx kPurchaseOrderDate = 3;
+  static constexpr ColumnIdx kPurchaseShipDate = 4;
+  // project
+  static constexpr ColumnIdx kProjectStart = 1;
+  static constexpr ColumnIdx kProjectEnd = 2;
+  // part
+  static constexpr ColumnIdx kPartPrice = 1;
+  static constexpr ColumnIdx kPartWeight = 2;
+  // customer
+  static constexpr ColumnIdx kCustomerKey = 0;
+  static constexpr ColumnIdx kCustomerNation = 1;
+  static constexpr ColumnIdx kCustomerRegion = 2;
+  static constexpr ColumnIdx kCustomerBalance = 3;
+  // orders
+  static constexpr ColumnIdx kOrderKey = 0;
+  static constexpr ColumnIdx kOrderCustomer = 1;
+  static constexpr ColumnIdx kOrderPrice = 3;
+};
+
+/// Registers the paper's canonical soft constraints over the generated
+/// workload (each returns the SC name). These are the hand-declared
+/// versions; the miners in src/mining discover the same ones from data —
+/// tests cross-check that.
+
+/// purchase: ship_date - order_date ∈ [0, window]. With the default
+/// generator (ship_conf < 1) this verifies as an SSC; with ship_conf = 1.0
+/// it is an ASC usable in rewrite.
+Result<std::string> RegisterShipWindowSc(SoftDb* db, int window = 21);
+
+/// project: end_date - start_date ∈ [0, window] (the §5 SSC, ~90%).
+Result<std::string> RegisterProjectWindowSc(SoftDb* db, int window = 30);
+
+/// part: p_weight ≈ 0.05 * p_retailprice + 2 ± epsilon (ASC when epsilon
+/// covers the generator's clipped noise).
+Result<std::string> RegisterPartCorrelationSc(SoftDb* db,
+                                              double epsilon = 3.01);
+
+/// customer: c_nationkey -> c_regionkey (exact FD).
+Result<std::string> RegisterCustomerRegionFd(SoftDb* db);
+
+/// orders ⋈ customer: the planted (o_totalprice × c_acctbal) hole.
+Result<std::string> RegisterOrdersHoleSc(SoftDb* db,
+                                         double price_lo = 8000.0,
+                                         double price_hi = 10000.0,
+                                         double bal_lo = 0.0,
+                                         double bal_hi = 2000.0);
+
+/// orders.o_custkey ⊆ customer.c_custkey as a *soft* inclusion (the E3
+/// variant where the FK was never declared).
+Result<std::string> RegisterOrdersInclusionSc(SoftDb* db);
+
+/// orders.o_totalprice min/max domain from current data (Sybase-style).
+Result<std::string> RegisterOrderPriceDomainSc(SoftDb* db);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_WORKLOAD_SC_KIT_H_

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/value.h"
+
+namespace softdb {
+namespace {
+
+// ----------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "not found: missing thing");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::ConstraintViolation("x").code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::BindError("x").code(), StatusCode::kBindError);
+  EXPECT_EQ(Status::TypeMismatch("x").code(), StatusCode::kTypeMismatch);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterViaMacro(int x) {
+  SOFTDB_ASSIGN_OR_RETURN(int half, Half(x));
+  SOFTDB_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = Half(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  Result<int> err = Half(3);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*QuarterViaMacro(8), 2);
+  EXPECT_FALSE(QuarterViaMacro(6).ok());  // 6/2=3 is odd.
+  EXPECT_FALSE(QuarterViaMacro(7).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(42));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 42);
+}
+
+// ------------------------------------------------------------------- Date
+
+TEST(DateTest, EpochIsZero) { EXPECT_EQ(Date::FromYmd(1970, 1, 1), 0); }
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(Date::FromYmd(1970, 1, 2), 1);
+  EXPECT_EQ(Date::FromYmd(1969, 12, 31), -1);
+  EXPECT_EQ(Date::FromYmd(2000, 1, 1), 10957);
+}
+
+TEST(DateTest, ParseAndFormatRoundTrip) {
+  auto d = Date::Parse("1999-12-15");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(Date::ToString(*d), "1999-12-15");
+}
+
+TEST(DateTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Date::Parse("not-a-date").ok());
+  EXPECT_FALSE(Date::Parse("1999-13-01").ok());
+  EXPECT_FALSE(Date::Parse("1999-02-30").ok());
+  EXPECT_FALSE(Date::Parse("1999-12-15x").ok());
+  EXPECT_FALSE(Date::Parse("99-12-15").ok());
+}
+
+TEST(DateTest, LeapYears) {
+  EXPECT_TRUE(Date::IsLeapYear(2000));
+  EXPECT_TRUE(Date::IsLeapYear(1996));
+  EXPECT_FALSE(Date::IsLeapYear(1900));
+  EXPECT_FALSE(Date::IsLeapYear(1999));
+  EXPECT_EQ(Date::DaysInMonth(2000, 2), 29);
+  EXPECT_EQ(Date::DaysInMonth(1999, 2), 28);
+  EXPECT_EQ(Date::DaysInMonth(1999, 4), 30);
+  EXPECT_EQ(Date::DaysInMonth(1999, 12), 31);
+}
+
+TEST(DateTest, DateArithmeticMatchesCalendar) {
+  const std::int64_t dec15 = *Date::Parse("1999-12-15");
+  EXPECT_EQ(Date::ToString(dec15 - 21), "1999-11-24");  // The §4.4 example.
+  EXPECT_EQ(Date::ToString(dec15 + 17), "2000-01-01");
+}
+
+// Property sweep: every day of several years round-trips.
+class DateRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateRoundTrip, AllDaysOfYear) {
+  const int year = GetParam();
+  for (int month = 1; month <= 12; ++month) {
+    for (int day = 1; day <= Date::DaysInMonth(year, month); ++day) {
+      const std::int64_t days = Date::FromYmd(year, month, day);
+      int y, m, d;
+      Date::ToYmd(days, &y, &m, &d);
+      EXPECT_EQ(y, year);
+      EXPECT_EQ(m, month);
+      EXPECT_EQ(d, day);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Years, DateRoundTrip,
+                         ::testing::Values(1970, 1999, 2000, 2024, 2100));
+
+// ------------------------------------------------------------------ Value
+
+TEST(ValueTest, NullBehavior) {
+  Value null = Value::Null();
+  EXPECT_TRUE(null.is_null());
+  EXPECT_EQ(null.ToString(), "NULL");
+  EXPECT_FALSE(null == Value::Int64(0));
+  EXPECT_TRUE(null.GroupEquals(Value::Null()));
+}
+
+TEST(ValueTest, CompareSameTypes) {
+  EXPECT_LT(*Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_EQ(*Value::Int64(5).Compare(Value::Int64(5)), 0);
+  EXPECT_GT(*Value::Double(2.5).Compare(Value::Double(1.5)), 0);
+  EXPECT_LT(*Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_LT(*Value::Date(10).Compare(Value::Date(11)), 0);
+}
+
+TEST(ValueTest, CompareAcrossNumericFamilies) {
+  EXPECT_EQ(*Value::Int64(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(*Value::Int64(2).Compare(Value::Double(2.5)), 0);
+}
+
+TEST(ValueTest, CompareStringWithNumberErrors) {
+  EXPECT_FALSE(Value::String("x").Compare(Value::Int64(1)).ok());
+}
+
+TEST(ValueTest, HashConsistentWithGroupEquals) {
+  EXPECT_EQ(Value::Int64(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_TRUE(Value::Int64(7).GroupEquals(Value::Double(7.0)));
+  EXPECT_EQ(Value::Null().Hash(), Value::Null(TypeId::kString).Hash());
+}
+
+TEST(ValueTest, Casts) {
+  EXPECT_EQ(Value::Int64(3).CastTo(TypeId::kDouble)->AsDouble(), 3.0);
+  EXPECT_EQ(Value::Double(3.7).CastTo(TypeId::kInt64)->AsInt64(), 4);
+  EXPECT_EQ(Value::Int64(10).CastTo(TypeId::kDate)->type(), TypeId::kDate);
+  EXPECT_FALSE(Value::String("3").CastTo(TypeId::kInt64).ok());
+  EXPECT_TRUE(Value::Null().CastTo(TypeId::kDouble)->is_null());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int64(42).ToString(), "42");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Date(*Date::Parse("1999-12-15")).ToString(),
+            "DATE '1999-12-15'");
+}
+
+// -------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) differ = differ || (a.Next() != b.Next());
+  EXPECT_TRUE(differ);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianRoughlyCentered) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+// ---------------------------------------------------------------- StrUtil
+
+TEST(StrUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("aBc"), "ABC");
+}
+
+TEST(StrUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StrUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+}  // namespace
+}  // namespace softdb

@@ -1,0 +1,629 @@
+#include <gtest/gtest.h>
+
+#include "constraints/column_offset_sc.h"
+#include "constraints/domain_sc.h"
+#include "constraints/fd_sc.h"
+#include "constraints/ic_registry.h"
+#include "constraints/inclusion_sc.h"
+#include "constraints/join_hole_sc.h"
+#include "constraints/linear_correlation_sc.h"
+#include "constraints/predicate_sc.h"
+#include "constraints/sc_registry.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+
+namespace softdb {
+namespace {
+
+Schema PairSchema() {
+  Schema s;
+  s.AddColumn({"x", TypeId::kInt64, false, "t"});
+  s.AddColumn({"y", TypeId::kInt64, false, "t"});
+  return s;
+}
+
+class IcTest : public ::testing::Test {
+ protected:
+  IcTest() {
+    table_ = *catalog_.CreateTable("t", PairSchema());
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(table_->Append({Value::Int64(i), Value::Int64(i * 2)}).ok());
+    }
+  }
+  Catalog catalog_;
+  Table* table_;
+};
+
+// --------------------------------------------------------------- Unique IC
+
+TEST_F(IcTest, UniqueRejectsDuplicates) {
+  IcRegistry ics;
+  ASSERT_TRUE(ics.Add(std::make_unique<UniqueConstraint>(
+                          "pk", "t", std::vector<ColumnIdx>{0}, true,
+                          ConstraintMode::kEnforced),
+                      catalog_)
+                  .ok());
+  EXPECT_FALSE(
+      ics.CheckInsert(catalog_, "t", {Value::Int64(5), Value::Int64(0)})
+          .ok());
+  EXPECT_TRUE(
+      ics.CheckInsert(catalog_, "t", {Value::Int64(100), Value::Int64(0)})
+          .ok());
+}
+
+TEST_F(IcTest, AddingViolatedEnforcedConstraintFails) {
+  ASSERT_TRUE(table_->Append({Value::Int64(0), Value::Int64(0)}).ok());
+  IcRegistry ics;
+  EXPECT_FALSE(ics.Add(std::make_unique<UniqueConstraint>(
+                           "pk", "t", std::vector<ColumnIdx>{0}, true,
+                           ConstraintMode::kEnforced),
+                       catalog_)
+                   .ok());
+}
+
+TEST_F(IcTest, InformationalSkipsValidationAndChecking) {
+  ASSERT_TRUE(table_->Append({Value::Int64(0), Value::Int64(0)}).ok());
+  IcRegistry ics;
+  // Violated, but informational: trusted anyway (the paper's contract —
+  // the loader made the promise).
+  ASSERT_TRUE(ics.Add(std::make_unique<UniqueConstraint>(
+                          "pk", "t", std::vector<ColumnIdx>{0}, true,
+                          ConstraintMode::kInformational),
+                      catalog_)
+                  .ok());
+  const std::uint64_t before = ics.checks_performed();
+  EXPECT_TRUE(
+      ics.CheckInsert(catalog_, "t", {Value::Int64(0), Value::Int64(0)})
+          .ok());
+  EXPECT_EQ(ics.checks_performed(), before);  // Never checked.
+}
+
+TEST_F(IcTest, KeySetMaintainedAcrossMutations) {
+  IcRegistry ics;
+  ASSERT_TRUE(ics.Add(std::make_unique<UniqueConstraint>(
+                          "pk", "t", std::vector<ColumnIdx>{0}, true,
+                          ConstraintMode::kEnforced),
+                      catalog_)
+                  .ok());
+  std::vector<Value> row{Value::Int64(5), Value::Int64(10)};
+  ics.AfterDelete("t", row);
+  EXPECT_TRUE(ics.CheckInsert(catalog_, "t", row).ok());
+  ics.AfterInsert("t", row);
+  EXPECT_FALSE(ics.CheckInsert(catalog_, "t", row).ok());
+}
+
+// ------------------------------------------------------------------ FK IC
+
+TEST_F(IcTest, ForeignKeyChecksParent) {
+  Table* child = *catalog_.CreateTable("child", PairSchema());
+  (void)child;
+  IcRegistry ics;
+  ASSERT_TRUE(ics.Add(std::make_unique<UniqueConstraint>(
+                          "pk", "t", std::vector<ColumnIdx>{0}, true,
+                          ConstraintMode::kEnforced),
+                      catalog_)
+                  .ok());
+  ASSERT_TRUE(ics.Add(std::make_unique<ForeignKeyConstraint>(
+                          "fk", "child", std::vector<ColumnIdx>{0}, "t",
+                          std::vector<ColumnIdx>{0},
+                          ConstraintMode::kEnforced),
+                      catalog_)
+                  .ok());
+  EXPECT_TRUE(
+      ics.CheckInsert(catalog_, "child", {Value::Int64(3), Value::Int64(0)})
+          .ok());
+  EXPECT_FALSE(
+      ics.CheckInsert(catalog_, "child", {Value::Int64(77), Value::Int64(0)})
+          .ok());
+  // NULL FK matches per SQL.
+  EXPECT_TRUE(
+      ics.CheckInsert(catalog_, "child", {Value::Null(), Value::Int64(0)})
+          .ok());
+}
+
+TEST_F(IcTest, RegistryLookups) {
+  IcRegistry ics;
+  ASSERT_TRUE(ics.Add(std::make_unique<UniqueConstraint>(
+                          "pk", "t", std::vector<ColumnIdx>{0}, true,
+                          ConstraintMode::kEnforced),
+                      catalog_)
+                  .ok());
+  auto check = ParseExpression("x >= 0");
+  ASSERT_TRUE(check.ok());
+  ASSERT_TRUE((*check)->Bind(table_->schema()).ok());
+  ASSERT_TRUE(ics.Add(std::make_unique<CheckConstraint>(
+                          "chk", "t", std::move(*check),
+                          ConstraintMode::kEnforced),
+                      catalog_)
+                  .ok());
+  EXPECT_EQ(ics.On("t").size(), 2u);
+  EXPECT_NE(ics.KeyOf("t"), nullptr);
+  EXPECT_TRUE(ics.IsUniqueOver("t", {0}));
+  EXPECT_TRUE(ics.IsUniqueOver("t", {0, 1}));
+  EXPECT_FALSE(ics.IsUniqueOver("t", {1}));
+  EXPECT_EQ(ics.ChecksOn("t").size(), 1u);
+  EXPECT_NE(ics.Find("chk"), nullptr);
+  ASSERT_TRUE(ics.Drop("chk").ok());
+  EXPECT_EQ(ics.Find("chk"), nullptr);
+  EXPECT_FALSE(ics.Drop("chk").ok());
+}
+
+// ------------------------------------------------------ SoftConstraint base
+
+class ScFixture : public ::testing::Test {
+ protected:
+  ScFixture() {
+    table_ = *catalog_.CreateTable("t", PairSchema());
+    // y = x + 5 exactly for 95 rows; 5 rows violate with y = x + 50.
+    for (int i = 0; i < 100; ++i) {
+      const std::int64_t offset = i < 95 ? 5 : 50;
+      EXPECT_TRUE(
+          table_->Append({Value::Int64(i), Value::Int64(i + offset)}).ok());
+    }
+  }
+  Catalog catalog_;
+  Table* table_;
+};
+
+TEST_F(ScFixture, VerifyComputesConfidence) {
+  ColumnOffsetSc sc("sc", "t", 0, 1, 0, 10);
+  auto outcome = sc.Verify(catalog_);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->rows, 100u);
+  EXPECT_EQ(outcome->violations, 5u);
+  EXPECT_NEAR(sc.confidence(), 0.95, 1e-9);
+  EXPECT_FALSE(sc.IsAbsolute());
+}
+
+TEST_F(ScFixture, AbsoluteWhenNoViolations) {
+  ColumnOffsetSc sc("sc", "t", 0, 1, 0, 50);
+  ASSERT_TRUE(sc.Verify(catalog_).ok());
+  EXPECT_TRUE(sc.IsAbsolute());
+}
+
+TEST_F(ScFixture, CurrencyMarginGrowsWithMutations) {
+  ColumnOffsetSc sc("sc", "t", 0, 1, 0, 50);
+  ASSERT_TRUE(sc.Verify(catalog_).ok());
+  EXPECT_EQ(sc.CurrencyMargin(*table_), 0.0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        table_->Append({Value::Int64(1000 + i), Value::Int64(1000 + i)}).ok());
+  }
+  // 10 mutations on ~110 rows: margin ~9%.
+  EXPECT_NEAR(sc.CurrencyMargin(*table_), 10.0 / 110.0, 1e-9);
+  EXPECT_LT(sc.CurrencyAdjustedConfidence(*table_), 1.0);
+}
+
+// ---------------------------------------------------------- ColumnOffsetSc
+
+TEST_F(ScFixture, OffsetDerivePredicates) {
+  ColumnOffsetSc sc("sc", "t", 0, 1, 0, 21);
+  // y >= c  =>  x >= c - 21.
+  auto derived = sc.DerivePredicates({1, CompareOp::kGe, Value::Int64(100)});
+  ASSERT_EQ(derived.size(), 1u);
+  EXPECT_EQ(derived[0].column, 0u);
+  EXPECT_EQ(derived[0].op, CompareOp::kGe);
+  EXPECT_EQ(derived[0].constant.AsInt64(), 79);
+  // y = c  =>  c - 21 <= x <= c.
+  derived = sc.DerivePredicates({1, CompareOp::kEq, Value::Int64(100)});
+  ASSERT_EQ(derived.size(), 2u);
+  EXPECT_EQ(derived[0].constant.AsInt64(), 79);
+  EXPECT_EQ(derived[1].constant.AsInt64(), 100);
+  // x <= c  =>  y <= c + 21.
+  derived = sc.DerivePredicates({0, CompareOp::kLe, Value::Int64(10)});
+  ASSERT_EQ(derived.size(), 1u);
+  EXPECT_EQ(derived[0].column, 1u);
+  EXPECT_EQ(derived[0].constant.AsInt64(), 31);
+  // <> gives nothing; other columns give nothing.
+  EXPECT_TRUE(sc.DerivePredicates({1, CompareOp::kNe, Value::Int64(1)})
+                  .empty());
+  EXPECT_TRUE(sc.DerivePredicates({5, CompareOp::kEq, Value::Int64(1)})
+                  .empty());
+}
+
+TEST_F(ScFixture, OffsetSyncRepairWidens) {
+  ColumnOffsetSc sc("sc", "t", 0, 1, 0, 10);
+  ASSERT_TRUE(
+      sc.RepairForRow({Value::Int64(0), Value::Int64(40)}).ok());
+  EXPECT_EQ(sc.max_offset(), 40);
+  EXPECT_EQ(sc.min_offset(), 0);
+}
+
+TEST_F(ScFixture, OffsetFullRepairRefitsExactly) {
+  ColumnOffsetSc sc("sc", "t", 0, 1, 0, 3);  // Wrong bounds.
+  ASSERT_TRUE(sc.RepairFull(catalog_).ok());
+  EXPECT_EQ(sc.min_offset(), 5);
+  EXPECT_EQ(sc.max_offset(), 50);
+  EXPECT_TRUE(sc.IsAbsolute());
+}
+
+// ----------------------------------------------------- LinearCorrelationSc
+
+TEST(LinearScTest, CheckAndRange) {
+  Catalog catalog;
+  Schema s;
+  s.AddColumn({"a", TypeId::kDouble, false, "t"});
+  s.AddColumn({"b", TypeId::kDouble, false, "t"});
+  Table* t = *catalog.CreateTable("t", s);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(t->Append({Value::Double(2.0 * i + 1.0 + (i % 3 == 0 ? 0.5 : -0.5)),
+                           Value::Double(i)})
+                    .ok());
+  }
+  LinearCorrelationSc sc("sc", "t", 0, 1, 2.0, 1.0, 0.5);
+  auto outcome = sc.Verify(catalog);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->violations, 0u);
+  EXPECT_TRUE(sc.IsAbsolute());
+
+  auto [lo, hi] = sc.ARangeForB(10.0, 20.0);
+  EXPECT_DOUBLE_EQ(lo, 2.0 * 10 + 1 - 0.5);
+  EXPECT_DOUBLE_EQ(hi, 2.0 * 20 + 1 + 0.5);
+
+  // Negative slope flips the range.
+  LinearCorrelationSc neg("n", "t", 0, 1, -2.0, 0.0, 1.0);
+  auto [nlo, nhi] = neg.ARangeForB(10.0, 20.0);
+  EXPECT_DOUBLE_EQ(nlo, -41.0);
+  EXPECT_DOUBLE_EQ(nhi, -19.0);
+}
+
+TEST(LinearScTest, FullRepairRefits) {
+  Catalog catalog;
+  Schema s;
+  s.AddColumn({"a", TypeId::kDouble, false, "t"});
+  s.AddColumn({"b", TypeId::kDouble, false, "t"});
+  Table* t = *catalog.CreateTable("t", s);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        t->Append({Value::Double(3.0 * i + 7.0), Value::Double(i)}).ok());
+  }
+  LinearCorrelationSc sc("sc", "t", 0, 1, 1.0, 0.0, 0.1);  // Wrong fit.
+  ASSERT_TRUE(sc.RepairFull(catalog).ok());
+  EXPECT_NEAR(sc.k(), 3.0, 1e-6);
+  EXPECT_NEAR(sc.c(), 7.0, 1e-6);
+  EXPECT_NEAR(sc.epsilon(), 0.0, 1e-6);
+  EXPECT_TRUE(sc.IsAbsolute());
+}
+
+// -------------------------------------------------------------- JoinHoleSc
+
+class HoleFixture : public ::testing::Test {
+ protected:
+  HoleFixture() {
+    Schema ls;
+    ls.AddColumn({"jk", TypeId::kInt64, false, "l"});
+    ls.AddColumn({"a", TypeId::kDouble, false, "l"});
+    left_ = *catalog_.CreateTable("l", ls);
+    Schema rs;
+    rs.AddColumn({"jk", TypeId::kInt64, false, "r"});
+    rs.AddColumn({"b", TypeId::kDouble, false, "r"});
+    right_ = *catalog_.CreateTable("r", rs);
+    // Join key k pairs a=k with b=k: the diagonal. Hole: a in [10,20] x
+    // b in [30,40] is empty (diagonal never hits it).
+    for (int k = 0; k < 50; ++k) {
+      EXPECT_TRUE(left_->Append({Value::Int64(k), Value::Double(k)}).ok());
+      EXPECT_TRUE(right_->Append({Value::Int64(k), Value::Double(k)}).ok());
+    }
+  }
+  Catalog catalog_;
+  Table* left_;
+  Table* right_;
+};
+
+TEST_F(HoleFixture, VerifyCountsInHoleJoinPairs) {
+  JoinHoleSc sc("h", "l", 0, 1, "r", 0, 1,
+                {HoleRect{10, 20, 30, 40}});
+  auto outcome = sc.Verify(catalog_);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->rows, 50u);        // 50 joined pairs.
+  EXPECT_EQ(outcome->violations, 0u);   // Hole is genuinely empty.
+  EXPECT_TRUE(sc.IsAbsolute());
+
+  // A hole crossing the diagonal is not empty.
+  JoinHoleSc bad("b", "l", 0, 1, "r", 0, 1,
+                 {HoleRect{10, 20, 10, 20}});
+  auto bad_outcome = bad.Verify(catalog_);
+  ASSERT_TRUE(bad_outcome.ok());
+  EXPECT_GT(bad_outcome->violations, 0u);
+}
+
+TEST_F(HoleFixture, CoversAndTrims) {
+  JoinHoleSc sc("h", "l", 0, 1, "r", 0, 1,
+                {HoleRect{10, 20, 30, 40}});
+  EXPECT_TRUE(sc.CoversQuery(12, 18, 32, 38));
+  EXPECT_FALSE(sc.CoversQuery(5, 18, 32, 38));
+
+  // A-range [5,15] with B fully inside [30,40]: hole spans B, trims A's
+  // upper part [10,15] -> a_hi becomes 10.
+  double a_lo = 5, a_hi = 15;
+  EXPECT_TRUE(sc.TrimARange(&a_lo, &a_hi, 31, 39));
+  EXPECT_DOUBLE_EQ(a_hi, 10.0);
+  EXPECT_DOUBLE_EQ(a_lo, 5.0);
+
+  // B not inside the hole's B-range: no trim.
+  a_lo = 5;
+  a_hi = 15;
+  EXPECT_FALSE(sc.TrimARange(&a_lo, &a_hi, 0, 50));
+}
+
+TEST_F(HoleFixture, ConservativeInvalidation) {
+  JoinHoleSc sc("h", "l", 0, 1, "r", 0, 1,
+                {HoleRect{10, 20, 30, 40}, HoleRect{100, 110, 0, 5}});
+  // Insert a left row with a=15: projects into hole 1 only.
+  EXPECT_EQ(sc.InvalidateHolesForLeftInsert(
+                {Value::Int64(1), Value::Double(15)}),
+            1u);
+  EXPECT_EQ(sc.holes().size(), 1u);
+  // Right insert with b=3 hits the remaining hole's B projection.
+  EXPECT_EQ(sc.InvalidateHolesForRightInsert(
+                {Value::Int64(1), Value::Double(3)}),
+            1u);
+  EXPECT_TRUE(sc.holes().empty());
+}
+
+TEST_F(HoleFixture, ExactRowCheckJoins) {
+  JoinHoleSc sc("h", "l", 0, 1, "r", 0, 1,
+                {HoleRect{10, 20, 30, 40}});
+  // New left row (jk=35, a=15): joins to right b=35 which is inside the
+  // hole's B-range, and a=15 is inside A-range: violation.
+  auto violates =
+      sc.CheckRow(catalog_, {Value::Int64(35), Value::Double(15)});
+  ASSERT_TRUE(violates.ok());
+  EXPECT_FALSE(*violates);
+  // New left row with a outside any hole: fine.
+  auto ok = sc.CheckRow(catalog_, {Value::Int64(35), Value::Double(55)});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+// -------------------------------------------------------------------- FD SC
+
+TEST(FdScTest, VerifyAndDetermines) {
+  Catalog catalog;
+  Schema s;
+  s.AddColumn({"nation", TypeId::kInt64, false, "t"});
+  s.AddColumn({"region", TypeId::kInt64, false, "t"});
+  s.AddColumn({"other", TypeId::kInt64, false, "t"});
+  Table* t = *catalog.CreateTable("t", s);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t->Append({Value::Int64(i % 10), Value::Int64((i % 10) / 2),
+                           Value::Int64(i)})
+                    .ok());
+  }
+  FunctionalDependencySc fd("fd", "t", {0}, {1});
+  auto outcome = fd.Verify(catalog);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->violations, 0u);
+  EXPECT_TRUE(fd.IsAbsolute());
+  EXPECT_TRUE(fd.Determines({0, 2}, 1));
+  EXPECT_FALSE(fd.Determines({2}, 1));
+  EXPECT_FALSE(fd.Determines({0}, 2));
+
+  // Row check against existing mapping.
+  auto complies = fd.CheckRow(catalog, {Value::Int64(4), Value::Int64(2),
+                                        Value::Int64(0)});
+  EXPECT_TRUE(*complies);
+  auto violates = fd.CheckRow(catalog, {Value::Int64(4), Value::Int64(9),
+                                        Value::Int64(0)});
+  EXPECT_FALSE(*violates);
+  // Unseen determinant value: vacuously fine.
+  auto fresh = fd.CheckRow(catalog, {Value::Int64(77), Value::Int64(9),
+                                     Value::Int64(0)});
+  EXPECT_TRUE(*fresh);
+}
+
+// --------------------------------------------------------------- Inclusion
+
+TEST(InclusionScTest, CountsOrphans) {
+  Catalog catalog;
+  Schema s;
+  s.AddColumn({"k", TypeId::kInt64, false, "x"});
+  s.AddColumn({"v", TypeId::kInt64, true, "x"});
+  Table* parent = *catalog.CreateTable("parent", s);
+  Table* child = *catalog.CreateTable("child", s);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(parent->Append({Value::Int64(i), Value::Int64(0)}).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    // Two orphans: 100 and 101.
+    const std::int64_t k = i < 18 ? i % 10 : 100 + (i - 18);
+    ASSERT_TRUE(child->Append({Value::Int64(k), Value::Int64(0)}).ok());
+  }
+  InclusionSc sc("inc", "child", {0}, "parent", {0});
+  auto outcome = sc.Verify(catalog);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->violations, 2u);
+  EXPECT_NEAR(sc.confidence(), 0.9, 1e-9);
+
+  auto ok = sc.CheckRow(catalog, {Value::Int64(5), Value::Int64(0)});
+  EXPECT_TRUE(*ok);
+  auto orphan = sc.CheckRow(catalog, {Value::Int64(500), Value::Int64(0)});
+  EXPECT_FALSE(*orphan);
+}
+
+// ------------------------------------------------------------------ Domain
+
+TEST(DomainScTest, ClassifyAndRepair) {
+  Catalog catalog;
+  Table* t = *catalog.CreateTable("t", PairSchema());
+  for (int i = 10; i <= 20; ++i) {
+    ASSERT_TRUE(t->Append({Value::Int64(i), Value::Int64(0)}).ok());
+  }
+  DomainSc sc("dom", "t", 0, Value::Int64(10), Value::Int64(20));
+  ASSERT_TRUE(sc.Verify(catalog).ok());
+  EXPECT_TRUE(sc.IsAbsolute());
+
+  using I = DomainSc::Implication;
+  EXPECT_EQ(sc.Classify({0, CompareOp::kLe, Value::Int64(25)}), I::kTautology);
+  EXPECT_EQ(sc.Classify({0, CompareOp::kLe, Value::Int64(5)}),
+            I::kContradiction);
+  EXPECT_EQ(sc.Classify({0, CompareOp::kLe, Value::Int64(15)}), I::kNone);
+  EXPECT_EQ(sc.Classify({0, CompareOp::kGt, Value::Int64(20)}),
+            I::kContradiction);
+  EXPECT_EQ(sc.Classify({0, CompareOp::kGe, Value::Int64(10)}),
+            I::kTautology);
+  EXPECT_EQ(sc.Classify({0, CompareOp::kEq, Value::Int64(30)}),
+            I::kContradiction);
+  EXPECT_EQ(sc.Classify({0, CompareOp::kEq, Value::Int64(15)}), I::kNone);
+  EXPECT_EQ(sc.Classify({1, CompareOp::kEq, Value::Int64(15)}), I::kNone);
+
+  ASSERT_TRUE(sc.RepairForRow({Value::Int64(30), Value::Int64(0)}).ok());
+  EXPECT_EQ(sc.max_value().AsInt64(), 30);
+}
+
+// --------------------------------------------------------------- Predicate
+
+TEST(PredicateScTest, ChecksRows) {
+  Catalog catalog;
+  Table* t = *catalog.CreateTable("t", PairSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t->Append({Value::Int64(i), Value::Int64(i)}).ok());
+  }
+  auto expr = ParseExpression("y <= x + 5");
+  ASSERT_TRUE(expr.ok());
+  ASSERT_TRUE((*expr)->Bind(t->schema()).ok());
+  PredicateSc sc("p", "t", std::move(*expr));
+  ASSERT_TRUE(sc.Verify(catalog).ok());
+  EXPECT_TRUE(sc.IsAbsolute());
+  auto bad = sc.CheckRow(catalog, {Value::Int64(0), Value::Int64(100)});
+  EXPECT_FALSE(*bad);
+}
+
+// ------------------------------------------------------------- ScRegistry
+
+class RegistryFixture : public ::testing::Test {
+ protected:
+  RegistryFixture() {
+    table_ = *catalog_.CreateTable("t", PairSchema());
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(
+          table_->Append({Value::Int64(i), Value::Int64(i + 5)}).ok());
+    }
+  }
+
+  ScPtr MakeOffsetSc(ScMaintenancePolicy policy) {
+    auto sc = std::make_unique<ColumnOffsetSc>("sc", "t", 0, 1, 0, 10);
+    sc->set_policy(policy);
+    return sc;
+  }
+
+  Catalog catalog_;
+  Table* table_;
+};
+
+TEST_F(RegistryFixture, AddVerifiesAndDuplicatesRejected) {
+  ScRegistry scs;
+  ASSERT_TRUE(
+      scs.Add(MakeOffsetSc(ScMaintenancePolicy::kDropOnViolation), catalog_)
+          .ok());
+  EXPECT_FALSE(
+      scs.Add(MakeOffsetSc(ScMaintenancePolicy::kDropOnViolation), catalog_)
+          .ok());
+  EXPECT_TRUE(scs.Find("sc")->IsAbsolute());
+  EXPECT_EQ(scs.On("t").size(), 1u);
+  EXPECT_EQ(scs.ByKind(ScKind::kColumnOffset).size(), 1u);
+}
+
+TEST_F(RegistryFixture, DropPolicyOverturnsAndNotifies) {
+  ScRegistry scs;
+  ASSERT_TRUE(
+      scs.Add(MakeOffsetSc(ScMaintenancePolicy::kDropOnViolation), catalog_)
+          .ok());
+  std::vector<std::string> violated;
+  scs.SetViolationListener([&](const SoftConstraint& sc) {
+    violated.push_back(sc.name());
+  });
+  // Violating insert: y - x = 100 > 10.
+  ASSERT_TRUE(scs.OnInsert(catalog_, "t",
+                           {Value::Int64(0), Value::Int64(100)})
+                  .ok());
+  EXPECT_EQ(scs.Find("sc")->state(), ScState::kViolated);
+  ASSERT_EQ(violated.size(), 1u);
+  EXPECT_EQ(violated[0], "sc");
+  EXPECT_EQ(scs.stats().violations, 1u);
+  EXPECT_EQ(scs.stats().drops, 1u);
+}
+
+TEST_F(RegistryFixture, SyncRepairAbsorbsRow) {
+  ScRegistry scs;
+  ASSERT_TRUE(scs.Add(MakeOffsetSc(ScMaintenancePolicy::kSyncRepair),
+                      catalog_)
+                  .ok());
+  ASSERT_TRUE(scs.OnInsert(catalog_, "t",
+                           {Value::Int64(0), Value::Int64(100)})
+                  .ok());
+  auto* sc = static_cast<ColumnOffsetSc*>(scs.Find("sc"));
+  EXPECT_TRUE(sc->IsAbsolute());  // Still absolute, just wider.
+  EXPECT_EQ(sc->max_offset(), 100);
+  EXPECT_EQ(scs.stats().sync_repairs, 1u);
+}
+
+TEST_F(RegistryFixture, AsyncRepairQueuesAndDrains) {
+  ScRegistry scs;
+  ASSERT_TRUE(scs.Add(MakeOffsetSc(ScMaintenancePolicy::kAsyncRepair),
+                      catalog_)
+                  .ok());
+  // Commit the violating row to the table, then notify.
+  ASSERT_TRUE(table_->Append({Value::Int64(0), Value::Int64(100)}).ok());
+  ASSERT_TRUE(scs.OnInsert(catalog_, "t",
+                           {Value::Int64(0), Value::Int64(100)})
+                  .ok());
+  EXPECT_EQ(scs.Find("sc")->state(), ScState::kRepairQueued);
+  EXPECT_EQ(scs.repair_queue_size(), 1u);
+  ASSERT_TRUE(scs.RunRepairQueue(catalog_).ok());
+  EXPECT_EQ(scs.Find("sc")->state(), ScState::kActive);
+  auto* sc = static_cast<ColumnOffsetSc*>(scs.Find("sc"));
+  EXPECT_EQ(sc->max_offset(), 100);  // Exact refit.
+  EXPECT_EQ(scs.stats().async_repairs, 1u);
+}
+
+TEST_F(RegistryFixture, ToleratePolicyDemotesToStatistical) {
+  ScRegistry scs;
+  ASSERT_TRUE(scs.Add(MakeOffsetSc(ScMaintenancePolicy::kTolerate),
+                      catalog_)
+                  .ok());
+  ASSERT_TRUE(scs.OnInsert(catalog_, "t",
+                           {Value::Int64(0), Value::Int64(100)})
+                  .ok());
+  SoftConstraint* sc = scs.Find("sc");
+  EXPECT_EQ(sc->state(), ScState::kActive);
+  EXPECT_LT(sc->confidence(), 1.0);
+  EXPECT_FALSE(sc->IsAbsolute());
+}
+
+TEST_F(RegistryFixture, StatisticalScsSkipSynchronousChecks) {
+  auto sc = std::make_unique<ColumnOffsetSc>("ssc", "t", 0, 1, 0, 4);
+  ScRegistry scs;
+  ASSERT_TRUE(scs.Add(std::move(sc), catalog_).ok());  // Verifies < 1.0.
+  ASSERT_LT(scs.Find("ssc")->confidence(), 1.0);
+  const std::uint64_t checks = scs.stats().row_checks;
+  ASSERT_TRUE(scs.OnInsert(catalog_, "t",
+                           {Value::Int64(0), Value::Int64(100)})
+                  .ok());
+  EXPECT_EQ(scs.stats().row_checks, checks);  // SSC: no sync work (§3).
+}
+
+TEST_F(RegistryFixture, UseAccounting) {
+  ScRegistry scs;
+  ASSERT_TRUE(
+      scs.Add(MakeOffsetSc(ScMaintenancePolicy::kDropOnViolation), catalog_)
+          .ok());
+  scs.RecordUse("sc", 2.5);
+  scs.RecordUse("sc", 1.5);
+  EXPECT_EQ(scs.UseCount("sc"), 2u);
+  EXPECT_DOUBLE_EQ(scs.TotalBenefit("sc"), 4.0);
+  EXPECT_EQ(scs.UseCount("nope"), 0u);
+}
+
+TEST_F(RegistryFixture, VerifyAllRefreshesConfidence) {
+  ScRegistry scs;
+  ASSERT_TRUE(
+      scs.Add(MakeOffsetSc(ScMaintenancePolicy::kDropOnViolation), catalog_)
+          .ok());
+  ASSERT_TRUE(table_->Append({Value::Int64(0), Value::Int64(100)}).ok());
+  ASSERT_TRUE(scs.VerifyAll(catalog_).ok());
+  EXPECT_LT(scs.Find("sc")->confidence(), 1.0);
+}
+
+}  // namespace
+}  // namespace softdb

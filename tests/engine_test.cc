@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "constraints/column_offset_sc.h"
+#include "engine/softdb.h"
+
+namespace softdb {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  QueryResult Run(const std::string& sql) {
+    auto result = db_.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? *std::move(result) : QueryResult{};
+  }
+  SoftDb db_;
+};
+
+TEST_F(EngineTest, CreateInsertSelectRoundTrip) {
+  Run("CREATE TABLE t (a BIGINT NOT NULL, b VARCHAR, c DATE)");
+  Run("INSERT INTO t VALUES (1, 'x', DATE '1999-01-01')");
+  Run("INSERT INTO t VALUES (2, NULL, NULL)");
+  auto r = Run("SELECT * FROM t ORDER BY a");
+  ASSERT_EQ(r.rows.NumRows(), 2u);
+  EXPECT_EQ(r.rows.rows[0][1].AsString(), "x");
+  EXPECT_TRUE(r.rows.rows[1][1].is_null());
+}
+
+TEST_F(EngineTest, InsertCoercesNumericTypes) {
+  Run("CREATE TABLE t (d DOUBLE, i BIGINT)");
+  Run("INSERT INTO t VALUES (3, 4.6)");  // Int into double, double into int.
+  auto r = Run("SELECT * FROM t");
+  EXPECT_EQ(r.rows.rows[0][0].type(), TypeId::kDouble);
+  EXPECT_EQ(r.rows.rows[0][0].AsDouble(), 3.0);
+  EXPECT_EQ(r.rows.rows[0][1].AsInt64(), 5);
+}
+
+TEST_F(EngineTest, InsertArityMismatchRejected) {
+  Run("CREATE TABLE t (a BIGINT, b BIGINT)");
+  EXPECT_FALSE(db_.Execute("INSERT INTO t VALUES (1)").ok());
+  EXPECT_FALSE(db_.Execute("INSERT INTO t VALUES (1, 2, 3)").ok());
+}
+
+TEST_F(EngineTest, DdlErrors) {
+  Run("CREATE TABLE t (a BIGINT)");
+  EXPECT_FALSE(db_.Execute("CREATE TABLE t (a BIGINT)").ok());
+  EXPECT_FALSE(db_.Execute("DROP TABLE nosuch").ok());
+  EXPECT_TRUE(db_.Execute("DROP TABLE t").ok());
+  EXPECT_FALSE(db_.Execute("SELECT * FROM t").ok());
+}
+
+TEST_F(EngineTest, CreateIndexViaSql) {
+  Run("CREATE TABLE t (a BIGINT)");
+  Run("INSERT INTO t VALUES (3), (1), (2)");
+  Run("CREATE INDEX ia ON t (a)");
+  EXPECT_NE(db_.catalog().FindIndex("t", "a"), nullptr);
+  EXPECT_FALSE(db_.Execute("CREATE INDEX ia ON t (a)").ok());
+}
+
+TEST_F(EngineTest, AnalyzeViaSql) {
+  Run("CREATE TABLE t (a BIGINT)");
+  Run("INSERT INTO t VALUES (1), (2), (3)");
+  Run("ANALYZE t");
+  const TableStats* stats = db_.stats().Get("t");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->row_count, 3u);
+  Run("ANALYZE");  // All tables.
+}
+
+TEST_F(EngineTest, PlanCacheLifecycle) {
+  Run("CREATE TABLE t (a BIGINT)");
+  Run("INSERT INTO t VALUES (1), (2)");
+  auto first = Run("SELECT * FROM t");
+  EXPECT_FALSE(first.from_plan_cache);
+  auto second = Run("SELECT * FROM t");
+  EXPECT_TRUE(second.from_plan_cache);
+  EXPECT_EQ(second.rows.NumRows(), 2u);
+  EXPECT_EQ(db_.plan_cache().hits(), 1u);
+
+  // Disable cache: re-planned every time.
+  db_.options().use_plan_cache = false;
+  auto third = Run("SELECT * FROM t");
+  EXPECT_FALSE(third.from_plan_cache);
+}
+
+TEST_F(EngineTest, CachedPlanSeesNewData) {
+  Run("CREATE TABLE t (a BIGINT)");
+  Run("INSERT INTO t VALUES (1)");
+  Run("SELECT * FROM t");
+  Run("INSERT INTO t VALUES (2)");
+  auto r = Run("SELECT * FROM t");
+  EXPECT_TRUE(r.from_plan_cache);
+  EXPECT_EQ(r.rows.NumRows(), 2u);  // Plans are compiled, data is live.
+}
+
+TEST_F(EngineTest, RunMaintenanceDrainsRepairsAndRearms) {
+  Run("CREATE TABLE t (x BIGINT NOT NULL, y BIGINT NOT NULL)");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        db_.InsertRow("t", {Value::Int64(i), Value::Int64(i + 2)}).ok());
+  }
+  auto sc = std::make_unique<ColumnOffsetSc>("win", "t", 0, 1, 0, 5);
+  sc->set_policy(ScMaintenancePolicy::kAsyncRepair);
+  ASSERT_TRUE(db_.scs().Add(std::move(sc), db_.catalog()).ok());
+
+  const std::string query = "SELECT * FROM t WHERE y = 30";
+  auto first = Run(query);
+  ASSERT_EQ(first.used_scs.size(), 1u);
+
+  // Violating insert queues a repair and flips the package.
+  ASSERT_TRUE(db_.InsertRow("t", {Value::Int64(100), Value::Int64(500)}).ok());
+  EXPECT_EQ(db_.scs().Find("win")->state(), ScState::kRepairQueued);
+  auto flipped = Run(query);
+  EXPECT_TRUE(flipped.used_backup_plan);
+
+  // Maintenance repairs the SC and re-arms the package.
+  ASSERT_TRUE(db_.RunMaintenance().ok());
+  EXPECT_EQ(db_.scs().Find("win")->state(), ScState::kActive);
+  auto rearmed = Run(query);
+  EXPECT_FALSE(rearmed.used_backup_plan);
+}
+
+TEST_F(EngineTest, ExceptionAstRewriteReturnsExactAnswers) {
+  Run("CREATE TABLE t (x BIGINT NOT NULL, y BIGINT NOT NULL)");
+  // y = x + 3 for most rows; every 20th row y = x + 50 (violator).
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t y = (i % 20 == 0) ? i + 50 : i + 3;
+    ASSERT_TRUE(db_.InsertRow("t", {Value::Int64(i), Value::Int64(y)}).ok());
+  }
+  Run("CREATE INDEX ix ON t (x)");
+  Run("ANALYZE t");
+  auto sc = std::make_unique<ColumnOffsetSc>("win", "t", 0, 1, 0, 5);
+  ASSERT_TRUE(db_.scs().Add(std::move(sc), db_.catalog()).ok());
+  ASSERT_TRUE(db_.CreateExceptionAst("win").ok());
+
+  // Rows with y in [100, 120]: compliant ones have x in [95, 120]; one
+  // violator (i=60 -> y=110) has x=60, outside the introduced range. The
+  // union with the exception AST must still find it.
+  auto with = Run("SELECT * FROM t WHERE y BETWEEN 100 AND 120");
+  db_.options().enable_exception_asts = false;
+  db_.plan_cache().Clear();
+  auto without = Run("SELECT * FROM t WHERE y BETWEEN 100 AND 120");
+  EXPECT_EQ(with.rows.NumRows(), without.rows.NumRows());
+  EXPECT_GT(with.rows.NumRows(), 0u);
+}
+
+TEST_F(EngineTest, UpdateMaintainsUniqueKeys) {
+  Run("CREATE TABLE t (a BIGINT NOT NULL PRIMARY KEY, b BIGINT)");
+  Run("INSERT INTO t VALUES (1, 0), (2, 0)");
+  // Moving a=2 onto a=1 must fail...
+  EXPECT_FALSE(db_.Execute("UPDATE t SET a = 1 WHERE a = 2").ok());
+  // ...but updating a row to its own key value is fine.
+  EXPECT_TRUE(db_.Execute("UPDATE t SET a = 2 WHERE a = 2").ok());
+  // And moving to a fresh key is fine, freeing the old one.
+  EXPECT_TRUE(db_.Execute("UPDATE t SET a = 5 WHERE a = 2").ok());
+  EXPECT_TRUE(db_.Execute("INSERT INTO t VALUES (2, 0)").ok());
+}
+
+TEST_F(EngineTest, DeleteFreesUniqueKeys) {
+  Run("CREATE TABLE t (a BIGINT NOT NULL PRIMARY KEY)");
+  Run("INSERT INTO t VALUES (1)");
+  Run("DELETE FROM t WHERE a = 1");
+  EXPECT_TRUE(db_.Execute("INSERT INTO t VALUES (1)").ok());
+}
+
+TEST_F(EngineTest, UpdateKeepsIndexInSync) {
+  Run("CREATE TABLE t (a BIGINT)");
+  Run("INSERT INTO t VALUES (1), (2), (3)");
+  Run("CREATE INDEX ia ON t (a)");
+  Run("UPDATE t SET a = 10 WHERE a = 2");
+  auto r = Run("SELECT * FROM t WHERE a >= 3 ORDER BY a");
+  ASSERT_EQ(r.rows.NumRows(), 2u);
+  EXPECT_EQ(r.rows.rows[1][0].AsInt64(), 10);
+}
+
+TEST_F(EngineTest, ExplainDoesNotExecute) {
+  Run("CREATE TABLE t (a BIGINT)");
+  Run("INSERT INTO t VALUES (1)");
+  auto r = Run("EXPLAIN SELECT * FROM t");
+  EXPECT_EQ(r.rows.NumRows(), 0u);
+  EXPECT_NE(r.plan_text.find("Scan t"), std::string::npos);
+  EXPECT_FALSE(db_.Explain("INSERT INTO t VALUES (2)").ok());
+}
+
+TEST_F(EngineTest, SoftConstraintNeverBlocksInserts) {
+  Run("CREATE TABLE t (x BIGINT NOT NULL, y BIGINT NOT NULL)");
+  ASSERT_TRUE(db_.InsertRow("t", {Value::Int64(0), Value::Int64(1)}).ok());
+  auto sc = std::make_unique<ColumnOffsetSc>("win", "t", 0, 1, 0, 5);
+  sc->set_policy(ScMaintenancePolicy::kDropOnViolation);
+  ASSERT_TRUE(db_.scs().Add(std::move(sc), db_.catalog()).ok());
+  // Violating insert SUCCEEDS — the SC is overturned instead (§2).
+  EXPECT_TRUE(db_.InsertRow("t", {Value::Int64(0), Value::Int64(999)}).ok());
+  EXPECT_EQ(db_.scs().Find("win")->state(), ScState::kViolated);
+  EXPECT_EQ(Run("SELECT COUNT(*) AS n FROM t").rows.rows[0][0].AsInt64(), 2);
+}
+
+}  // namespace
+}  // namespace softdb

@@ -1,0 +1,118 @@
+// Plan rendering and EXPLAIN surface: downstream users read these strings,
+// so their shape is part of the public contract.
+
+#include <gtest/gtest.h>
+
+#include "engine/softdb.h"
+#include "workload/generator.h"
+#include "workload/sc_kit.h"
+
+namespace softdb {
+namespace {
+
+class ExplainFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorkloadOptions options;
+    options.customers = 100;
+    options.orders = 500;
+    options.purchases = 500;
+    options.parts = 100;
+    options.projects = 100;
+    options.sales_per_month = 10;
+    ASSERT_TRUE(GenerateWorkload(&db_, options).ok());
+  }
+  SoftDb db_;
+};
+
+TEST_F(ExplainFixture, ScanWithPredicates) {
+  auto text = db_.Explain(
+      "SELECT * FROM orders WHERE o_totalprice > 5000");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("Scan orders"), std::string::npos);
+  EXPECT_NE(text->find("o_totalprice > 5000"), std::string::npos);
+  EXPECT_NE(text->find("estimated rows"), std::string::npos);
+  EXPECT_NE(text->find("estimated cost"), std::string::npos);
+}
+
+TEST_F(ExplainFixture, JoinTreeStructure) {
+  db_.options().enable_join_elimination = false;
+  auto text = db_.Explain(
+      "SELECT o_orderkey, c_acctbal FROM orders "
+      "JOIN customer ON o_custkey = c_custkey");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("Join"), std::string::npos);
+  EXPECT_NE(text->find("equi keys"), std::string::npos);
+  EXPECT_NE(text->find("Scan orders"), std::string::npos);
+  EXPECT_NE(text->find("Scan customer"), std::string::npos);
+  // Indentation: scans are children of the join.
+  EXPECT_LT(text->find("Join"), text->find("Scan orders"));
+}
+
+TEST_F(ExplainFixture, AggregateAndSortNodes) {
+  auto text = db_.Explain(
+      "SELECT o_status, COUNT(*) AS n FROM orders GROUP BY o_status "
+      "ORDER BY o_status LIMIT 3");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("Aggregate"), std::string::npos);
+  EXPECT_NE(text->find("COUNT(*)"), std::string::npos);
+  EXPECT_NE(text->find("Sort"), std::string::npos);
+  EXPECT_NE(text->find("Limit 3"), std::string::npos);
+  EXPECT_NE(text->find("Project"), std::string::npos);
+}
+
+TEST_F(ExplainFixture, TwinnedPredicateAnnotated) {
+  ASSERT_TRUE(RegisterShipWindowSc(&db_).ok());
+  auto text = db_.Explain(
+      "SELECT * FROM purchase WHERE ship_date = DATE '1999-06-01'");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("estimate-only"), std::string::npos);
+  EXPECT_NE(text->find("conf="), std::string::npos);
+  EXPECT_NE(text->find("sc:sc_ship_window"), std::string::npos);
+}
+
+TEST_F(ExplainFixture, UnionAllBranches) {
+  auto text = db_.Explain(
+      "SELECT sale_id FROM sales_m1 UNION ALL SELECT sale_id FROM sales_m2");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("UnionAll (2 branches)"), std::string::npos);
+}
+
+TEST_F(ExplainFixture, RowSetRendering) {
+  auto r = db_.Execute("SELECT o_orderkey, o_status FROM orders LIMIT 3");
+  ASSERT_TRUE(r.ok());
+  const std::string table = r->rows.ToString();
+  EXPECT_NE(table.find("o_orderkey"), std::string::npos);
+  EXPECT_NE(table.find("o_status"), std::string::npos);
+  // Truncation marker appears when max_rows is exceeded.
+  auto big = db_.Execute("SELECT o_orderkey FROM orders");
+  ASSERT_TRUE(big.ok());
+  EXPECT_NE(big->rows.ToString(5).find("rows total"), std::string::npos);
+}
+
+TEST_F(ExplainFixture, DescribeStringsForAllScKinds) {
+  ASSERT_TRUE(RegisterShipWindowSc(&db_).ok());
+  ASSERT_TRUE(RegisterPartCorrelationSc(&db_).ok());
+  ASSERT_TRUE(RegisterCustomerRegionFd(&db_).ok());
+  ASSERT_TRUE(RegisterOrdersHoleSc(&db_).ok());
+  ASSERT_TRUE(RegisterOrdersInclusionSc(&db_).ok());
+  ASSERT_TRUE(RegisterOrderPriceDomainSc(&db_).ok());
+  for (const SoftConstraint* sc : db_.scs().All()) {
+    const std::string desc = sc->Describe();
+    EXPECT_NE(desc.find("SC "), std::string::npos) << desc;
+    EXPECT_NE(desc.find("conf"), std::string::npos) << desc;
+    EXPECT_NE(desc.find("active"), std::string::npos) << desc;
+    EXPECT_NE(std::string(ScKindName(sc->kind())), "?");
+  }
+}
+
+TEST_F(ExplainFixture, UnionArityMismatchRejected) {
+  auto r = db_.Execute(
+      "SELECT sale_id FROM sales_m1 UNION ALL "
+      "SELECT sale_id, amount FROM sales_m2");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+}  // namespace
+}  // namespace softdb

@@ -1,0 +1,302 @@
+// Tests for the paper's secondary mechanisms: informational-constraint DDL
+// (`NOT ENFORCED`, §1) and virtual-column statistics on offset SCs (§5.1's
+// second suggested mechanism), used for duration predicates such as §5's
+// "projects completed in 5 days".
+
+#include <gtest/gtest.h>
+
+#include "constraints/column_offset_sc.h"
+#include "engine/softdb.h"
+#include "sql/parser.h"
+#include "workload/generator.h"
+#include "workload/sc_kit.h"
+
+namespace softdb {
+namespace {
+
+// ------------------------------------------------------------ NOT ENFORCED
+
+TEST(NotEnforcedTest, ParserMarksInformational) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE t (a BIGINT NOT NULL, "
+      "CONSTRAINT u UNIQUE (a) NOT ENFORCED, "
+      "CHECK (a > 0))");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->create_table->constraints.size(), 2u);
+  EXPECT_TRUE(stmt->create_table->constraints[0].informational);
+  EXPECT_FALSE(stmt->create_table->constraints[1].informational);
+}
+
+TEST(NotEnforcedTest, EngineSkipsChecking) {
+  SoftDb db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a BIGINT NOT NULL, "
+                         "UNIQUE (a) NOT ENFORCED)")
+                  .ok());
+  // Duplicates are accepted: the constraint is a promise, not a check.
+  EXPECT_TRUE(db.Execute("INSERT INTO t VALUES (1)").ok());
+  EXPECT_TRUE(db.Execute("INSERT INTO t VALUES (1)").ok());
+  EXPECT_EQ(db.ics().checks_performed(), 0u);
+}
+
+TEST(NotEnforcedTest, InformationalCheckStillDrivesKnockoff) {
+  SoftDb db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE part1 (v BIGINT NOT NULL, "
+                         "CHECK (v < 100) NOT ENFORCED)")
+                  .ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE part2 (v BIGINT NOT NULL, "
+                         "CHECK (v >= 100) NOT ENFORCED)")
+                  .ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.InsertRow("part1", {Value::Int64(i)}).ok());
+    ASSERT_TRUE(db.InsertRow("part2", {Value::Int64(100 + i)}).ok());
+  }
+  auto r = db.Execute(
+      "SELECT v FROM part1 WHERE v < 50 "
+      "UNION ALL SELECT v FROM part2 WHERE v < 50");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.NumRows(), 50u);
+  bool knocked = false;
+  for (const auto& rule : r->applied_rules) {
+    knocked = knocked || rule.find("unionall-knockoff") != std::string::npos;
+  }
+  EXPECT_TRUE(knocked);
+}
+
+TEST(NotEnforcedTest, InformationalFkDrivesJoinElimination) {
+  SoftDb db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE p (k BIGINT NOT NULL PRIMARY KEY)")
+                  .ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE c (k BIGINT NOT NULL, v BIGINT, "
+                         "FOREIGN KEY (k) REFERENCES p (k) NOT ENFORCED)")
+                  .ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db.InsertRow("p", {Value::Int64(i)}).ok());
+    ASSERT_TRUE(
+        db.InsertRow("c", {Value::Int64(i), Value::Int64(i * 2)}).ok());
+  }
+  auto r = db.Execute("SELECT v FROM c JOIN p ON c.k = p.k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.NumRows(), 20u);
+  bool eliminated = false;
+  for (const auto& rule : r->applied_rules) {
+    eliminated = eliminated || rule.find("join-elimination") != std::string::npos;
+  }
+  EXPECT_TRUE(eliminated);
+}
+
+// ------------------------------------------------- Column-diff predicates
+
+TEST(ColumnDiffTest, MatcherRecognizesShapes) {
+  Schema s;
+  s.AddColumn({"x", TypeId::kInt64, false, "t"});
+  s.AddColumn({"y", TypeId::kInt64, false, "t"});
+  auto expr = ParseExpression("y - x <= 5");
+  ASSERT_TRUE(expr.ok());
+  ASSERT_TRUE((*expr)->Bind(s).ok());
+  ColumnDiffPredicate diff;
+  ASSERT_TRUE(MatchColumnDiffPredicate(**expr, &diff));
+  EXPECT_EQ(diff.minuend, 1u);
+  EXPECT_EQ(diff.subtrahend, 0u);
+  EXPECT_EQ(diff.op, CompareOp::kLe);
+  EXPECT_EQ(diff.constant.AsInt64(), 5);
+
+  // Flipped: const op (diff).
+  auto flipped = ParseExpression("5 >= y - x");
+  ASSERT_TRUE(flipped.ok());
+  ASSERT_TRUE((*flipped)->Bind(s).ok());
+  ASSERT_TRUE(MatchColumnDiffPredicate(**flipped, &diff));
+  EXPECT_EQ(diff.op, CompareOp::kLe);
+
+  // Non-matching shapes.
+  auto plain = ParseExpression("y <= 5");
+  ASSERT_TRUE((*plain)->Bind(s).ok());
+  EXPECT_FALSE(MatchColumnDiffPredicate(**plain, &diff));
+  auto sum = ParseExpression("y + x <= 5");
+  ASSERT_TRUE((*sum)->Bind(s).ok());
+  EXPECT_FALSE(MatchColumnDiffPredicate(**sum, &diff));
+}
+
+// ------------------------------- §4.2 runtime plan parameterization
+
+class RuntimeParamFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE t (v BIGINT NOT NULL, p BIGINT)")
+                    .ok());
+    // v is physically unclustered (a permutation) so the index on it never
+    // beats a sequential scan for wide ranges — the case §4.2's runtime
+    // parameterization serves.
+    for (int i = 0; i < 2000; ++i) {
+      const std::int64_t v = (i * 7919) % 2000;
+      ASSERT_TRUE(
+          db_.InsertRow("t", {Value::Int64(v), Value::Int64(i)}).ok());
+    }
+    ASSERT_TRUE(db_.Execute("CREATE INDEX iv ON t (v)").ok());
+    ASSERT_TRUE(db_.Execute("ANALYZE t").ok());
+  }
+  SoftDb db_;
+};
+
+TEST_F(RuntimeParamFixture, TautologySkippedAtRuntime) {
+  // v <= 10000 holds for the whole current domain [0, 199]: the predicate
+  // is skipped at Open (no per-row evaluation), answers unchanged.
+  auto r = db_.Execute("SELECT COUNT(*) AS n FROM t WHERE v <= 10000 "
+                       "AND p >= 0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.rows[0][0].AsInt64(), 2000);
+  EXPECT_GE(r->exec_stats.runtime_param_skips, 1u);
+}
+
+TEST_F(RuntimeParamFixture, ContradictionShortCircuits) {
+  auto r = db_.Execute("SELECT * FROM t WHERE v > 10000 AND p >= 0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.NumRows(), 0u);
+  EXPECT_EQ(r->exec_stats.pages_read, 0u);  // No page touched at all.
+}
+
+TEST_F(RuntimeParamFixture, SamePlanAdaptsAcrossUpdates) {
+  // Unselective predicate: planner picks the sequential path and tags the
+  // v-predicate for runtime domain checks. At compile time v <= 1500 is
+  // undecided (domain [0,1999]) so it is evaluated per row.
+  const std::string query =
+      "SELECT COUNT(*) AS n FROM t WHERE v <= 1500 AND p >= 0";
+  auto before = db_.Execute(query);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->rows.rows[0][0].AsInt64(), 1501);
+  EXPECT_EQ(before->exec_stats.runtime_param_skips, 0u);
+
+  // Shrink the domain: the CACHED plan (no re-optimization, no
+  // invalidation) now sees v <= 1500 as a tautology and skips it — §4.2's
+  // point: the parameter is fetched at runtime, so the plan stays valid
+  // and even improves as the data changes.
+  ASSERT_TRUE(db_.Execute("DELETE FROM t WHERE v > 1000").ok());
+  auto after = db_.Execute(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->from_plan_cache);
+  EXPECT_FALSE(after->used_backup_plan);  // Nothing was invalidated.
+  EXPECT_EQ(after->rows.rows[0][0].AsInt64(), 1001);
+  EXPECT_GE(after->exec_stats.runtime_param_skips, 1u);
+
+  // And growing the domain again re-engages the predicate, same plan.
+  ASSERT_TRUE(db_.InsertRow("t", {Value::Int64(1800), Value::Int64(0)}).ok());
+  auto regrown = db_.Execute(query);
+  ASSERT_TRUE(regrown.ok());
+  EXPECT_TRUE(regrown->from_plan_cache);
+  EXPECT_EQ(regrown->rows.rows[0][0].AsInt64(), 1001);
+  EXPECT_EQ(regrown->exec_stats.runtime_param_skips, 0u);
+}
+
+TEST_F(RuntimeParamFixture, DisabledFlagFallsBack) {
+  db_.options().enable_runtime_parameterization = false;
+  // Force the sequential path by also filtering the unindexed column with
+  // a selective predicate the optimizer cannot fold.
+  auto r = db_.Execute("SELECT * FROM t WHERE v > 10000 AND p + 0 >= 0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.NumRows(), 0u);
+  EXPECT_EQ(r->exec_stats.runtime_param_skips, 0u);
+  // Either access path may be picked, but without runtime parameters the
+  // operator must actually run (scan rows or probe the index).
+  EXPECT_GT(r->exec_stats.rows_scanned + r->exec_stats.index_lookups, 0u);
+}
+
+// ------------------------------------- NULL-safety of rewrite rules
+
+TEST(NullSafetyTest, IntroductionSuppressedOnNullableTarget) {
+  SoftDb db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x BIGINT NOT NULL, y BIGINT)")
+                  .ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.InsertRow(
+                      "t", {Value::Int64(i),
+                            i % 10 == 0 ? Value::Null()
+                                        : Value::Int64(i + 3)})
+                    .ok());
+  }
+  // Absolute over non-null rows (NULLs comply vacuously).
+  auto sc = std::make_unique<ColumnOffsetSc>("win", "t", 0, 1, 0, 5);
+  ASSERT_TRUE(db.scs().Add(std::move(sc), db.catalog()).ok());
+  ASSERT_TRUE(db.scs().Find("win")->IsAbsolute());
+
+  // Query on x would derive a predicate on the NULLABLE y — which would
+  // wrongly drop the y-IS-NULL rows. The rule must not fire.
+  auto r = db.Execute("SELECT * FROM t WHERE x BETWEEN 10 AND 20");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.NumRows(), 11u);  // Including x=10 and x=20 (y NULL).
+  for (const auto& rule : r->applied_rules) {
+    EXPECT_EQ(rule.find("predicate-introduction"), std::string::npos) << rule;
+  }
+
+  // The reverse direction (predicate on y deriving onto NOT NULL x) is
+  // sound and fires.
+  auto r2 = db.Execute("SELECT * FROM t WHERE y BETWEEN 10 AND 20");
+  ASSERT_TRUE(r2.ok());
+  bool fired = false;
+  for (const auto& rule : r2->applied_rules) {
+    fired = fired || rule.find("predicate-introduction") != std::string::npos;
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(r2->rows.NumRows(), 10u);
+}
+
+// -------------------------------------------- Virtual-column statistics
+
+class DurationStatsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorkloadOptions options;
+    options.customers = 100;
+    options.orders = 500;
+    options.purchases = 500;
+    options.parts = 100;
+    options.projects = 4000;
+    options.sales_per_month = 10;
+    ASSERT_TRUE(GenerateWorkload(&db_, options).ok());
+    ASSERT_TRUE(RegisterProjectWindowSc(&db_).ok());
+  }
+  SoftDb db_;
+};
+
+TEST_F(DurationStatsFixture, VerifyBuildsHistogram) {
+  auto* sc = static_cast<ColumnOffsetSc*>(db_.scs().Find("sc_project_window"));
+  ASSERT_NE(sc, nullptr);
+  EXPECT_FALSE(sc->duration_histogram().empty());
+  // ~90% of durations are <= 30.
+  auto sel = sc->DurationSelectivity(CompareOp::kLe, 30.0);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_NEAR(*sel, 0.9, 0.05);
+  // All durations are >= 0.
+  EXPECT_NEAR(*sc->DurationSelectivity(CompareOp::kGe, 0.0), 1.0, 0.01);
+}
+
+TEST_F(DurationStatsFixture, DurationQueryEstimatesFromHistogram) {
+  const std::string query =
+      "SELECT * FROM project WHERE end_date - start_date <= 5";
+  auto with = db_.Execute(query);
+  ASSERT_TRUE(with.ok());
+  const double actual = static_cast<double>(with->rows.NumRows());
+  // With virtual-column stats the estimate tracks the distribution; the
+  // default opaque factor (1/3 of 4000 = 1333) is far off.
+  EXPECT_LT(std::abs(with->estimated_rows - actual) / actual, 0.3);
+
+  db_.options().use_twins_in_estimation = false;  // Disables SC stats too.
+  db_.plan_cache().Clear();
+  auto without = db_.Execute(query);
+  ASSERT_TRUE(without.ok());
+  const double err_with = std::abs(with->estimated_rows - actual);
+  const double err_without = std::abs(without->estimated_rows - actual);
+  EXPECT_LT(err_with, err_without);
+}
+
+TEST_F(DurationStatsFixture, ReversedDifferenceAlsoEstimated) {
+  // (start - end) >= -5  <=>  (end - start) <= 5.
+  const std::string query =
+      "SELECT * FROM project WHERE start_date - end_date >= 0 - 5";
+  auto r = db_.Execute(query);
+  ASSERT_TRUE(r.ok());
+  const double actual = static_cast<double>(r->rows.NumRows());
+  EXPECT_GT(actual, 0);
+  EXPECT_LT(std::abs(r->estimated_rows - actual) / actual, 0.3);
+}
+
+}  // namespace
+}  // namespace softdb

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "constraints/column_offset_sc.h"
+#include "mining/correlation_miner.h"
+#include "mining/fd_miner.h"
+#include "mining/hole_miner.h"
+#include "mining/offset_miner.h"
+#include "mining/selection.h"
+#include "storage/catalog.h"
+
+namespace softdb {
+namespace {
+
+// ------------------------------------------------------- Correlation miner
+
+class CorrelationFixture : public ::testing::Test {
+ protected:
+  CorrelationFixture() : table_("t", MakeSchema()), rng_(7) {
+    for (int i = 0; i < 1000; ++i) {
+      const double b = rng_.NextDouble() * 100.0;
+      const double a = 3.0 * b + 10.0 + (rng_.NextDouble() - 0.5);  // ±0.5.
+      const double noise = rng_.NextDouble() * 1000.0;  // Uncorrelated.
+      EXPECT_TRUE(table_
+                      .Append({Value::Double(a), Value::Double(b),
+                               Value::Double(noise)})
+                      .ok());
+    }
+  }
+
+  static Schema MakeSchema() {
+    Schema s;
+    s.AddColumn({"a", TypeId::kDouble, false, "t"});
+    s.AddColumn({"b", TypeId::kDouble, false, "t"});
+    s.AddColumn({"noise", TypeId::kDouble, false, "t"});
+    return s;
+  }
+
+  Table table_;
+  Rng rng_;
+};
+
+TEST_F(CorrelationFixture, FitRecoversPlantedLine) {
+  auto cand = FitCorrelation(table_, 0, 1);
+  ASSERT_TRUE(cand.ok());
+  EXPECT_NEAR(cand->k, 3.0, 0.05);
+  EXPECT_NEAR(cand->c, 10.0, 1.0);
+  EXPECT_LE(cand->epsilon_full, 0.55);  // Planted ±0.5 plus fit slack.
+  EXPECT_GT(cand->r2, 0.99);
+  EXPECT_LT(cand->selectivity, 0.05);
+}
+
+TEST_F(CorrelationFixture, MinerFindsOnlyTheRealPair) {
+  auto candidates = MineLinearCorrelations(table_);
+  // a<->b both directions qualify; pairs with noise do not.
+  ASSERT_GE(candidates.size(), 1u);
+  for (const auto& c : candidates) {
+    EXPECT_TRUE((c.col_a == 0 && c.col_b == 1) ||
+                (c.col_a == 1 && c.col_b == 0));
+  }
+}
+
+TEST_F(CorrelationFixture, PartialEnvelopeTighterThanFull) {
+  auto cand = FitCorrelation(table_, 0, 1);
+  ASSERT_TRUE(cand.ok());
+  EXPECT_LE(cand->epsilon_partial, cand->epsilon_full);
+}
+
+TEST(CorrelationMinerTest, RejectsDegenerateInputs) {
+  Schema s;
+  s.AddColumn({"a", TypeId::kDouble, false, "t"});
+  s.AddColumn({"b", TypeId::kDouble, false, "t"});
+  Table t("t", s);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.Append({Value::Double(5.0), Value::Double(i)}).ok());
+  }
+  EXPECT_FALSE(FitCorrelation(t, 0, 1).ok());  // Constant column a.
+  Table tiny("tiny", s);
+  ASSERT_TRUE(tiny.Append({Value::Double(1), Value::Double(1)}).ok());
+  EXPECT_FALSE(FitCorrelation(tiny, 0, 1).ok());  // Too few rows.
+}
+
+// -------------------------------------------------------------- Hole miner
+
+TEST(LargestEmptyRectangleTest, BasicShapes) {
+  // 4x4 grid with occupied diagonal.
+  std::vector<std::vector<std::uint8_t>> grid(4,
+                                              std::vector<std::uint8_t>(4, 0));
+  for (int i = 0; i < 4; ++i) grid[i][i] = 1;
+  std::size_t r0, c0, r1, c1;
+  ASSERT_TRUE(LargestEmptyRectangle(grid, &r0, &c0, &r1, &c1));
+  const std::size_t area = (r1 - r0 + 1) * (c1 - c0 + 1);
+  EXPECT_GE(area, 3u);  // Best empty rectangle off the diagonal.
+  // Verify claimed rectangle is actually empty.
+  for (std::size_t r = r0; r <= r1; ++r) {
+    for (std::size_t c = c0; c <= c1; ++c) EXPECT_EQ(grid[r][c], 0);
+  }
+}
+
+TEST(LargestEmptyRectangleTest, FullGridHasNone) {
+  std::vector<std::vector<std::uint8_t>> grid(2,
+                                              std::vector<std::uint8_t>(2, 1));
+  std::size_t r0, c0, r1, c1;
+  EXPECT_FALSE(LargestEmptyRectangle(grid, &r0, &c0, &r1, &c1));
+}
+
+TEST(LargestEmptyRectangleTest, EmptyGridIsOneBigHole) {
+  std::vector<std::vector<std::uint8_t>> grid(3,
+                                              std::vector<std::uint8_t>(5, 0));
+  std::size_t r0, c0, r1, c1;
+  ASSERT_TRUE(LargestEmptyRectangle(grid, &r0, &c0, &r1, &c1));
+  EXPECT_EQ((r1 - r0 + 1) * (c1 - c0 + 1), 15u);
+}
+
+class HoleMinerFixture : public ::testing::Test {
+ protected:
+  HoleMinerFixture() {
+    Schema ls;
+    ls.AddColumn({"jk", TypeId::kInt64, false, "l"});
+    ls.AddColumn({"a", TypeId::kDouble, false, "l"});
+    left_ = *catalog_.CreateTable("l", ls);
+    Schema rs;
+    rs.AddColumn({"jk", TypeId::kInt64, false, "r"});
+    rs.AddColumn({"b", TypeId::kDouble, false, "r"});
+    right_ = *catalog_.CreateTable("r", rs);
+    Rng rng(11);
+    // Joined pairs (a, b) avoid the rectangle a in [40,60] x b in [40,60].
+    for (int k = 0; k < 2000; ++k) {
+      double a = rng.NextDouble() * 100.0;
+      double b = rng.NextDouble() * 100.0;
+      while (a >= 40 && a <= 60 && b >= 40 && b <= 60) {
+        a = rng.NextDouble() * 100.0;
+        b = rng.NextDouble() * 100.0;
+      }
+      EXPECT_TRUE(left_->Append({Value::Int64(k), Value::Double(a)}).ok());
+      EXPECT_TRUE(right_->Append({Value::Int64(k), Value::Double(b)}).ok());
+    }
+  }
+  Catalog catalog_;
+  Table* left_;
+  Table* right_;
+};
+
+TEST_F(HoleMinerFixture, RecoversPlantedHole) {
+  auto result = MineJoinHoles(*left_, 0, 1, *right_, 0, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->join_pairs, 2000u);
+  ASSERT_FALSE(result->holes.empty());
+  // Some mined hole must cover the center of the planted one.
+  bool covers_center = false;
+  for (const HoleRect& h : result->holes) {
+    covers_center = covers_center || (h.ContainsA(50.0) && h.ContainsB(50.0));
+  }
+  EXPECT_TRUE(covers_center);
+  // And every mined hole must be genuinely empty in the join result.
+  JoinHoleSc check("chk", "l", 0, 1, "r", 0, 1, result->holes);
+  auto outcome = check.Verify(catalog_);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->violations, 0u);
+}
+
+TEST_F(HoleMinerFixture, RespectsMaxHolesBudget) {
+  HoleMinerOptions options;
+  options.max_holes = 2;
+  auto result = MineJoinHoles(*left_, 0, 1, *right_, 0, 1, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->holes.size(), 2u);
+}
+
+// ---------------------------------------------------------------- FD miner
+
+TEST(FdMinerTest, FindsExactAndApproximateFds) {
+  Schema s;
+  s.AddColumn({"nation", TypeId::kInt64, false, "t"});
+  s.AddColumn({"region", TypeId::kInt64, false, "t"});
+  s.AddColumn({"rand", TypeId::kInt64, false, "t"});
+  Table t("t", s);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t nation = rng.Uniform(0, 24);
+    // region exact FD of nation, except ~2% dirty rows.
+    const std::int64_t region =
+        rng.NextDouble() < 0.98 ? nation / 5 : rng.Uniform(0, 4);
+    ASSERT_TRUE(t.Append({Value::Int64(nation), Value::Int64(region),
+                          Value::Int64(rng.Uniform(0, 1000000))})
+                    .ok());
+  }
+  FdMinerOptions options;
+  options.min_confidence = 0.9;
+  auto fds = MineFunctionalDependencies(t, options);
+  bool found = false;
+  for (const FdCandidate& fd : fds) {
+    if (fd.determinants == std::vector<ColumnIdx>{0} && fd.dependent == 1) {
+      found = true;
+      EXPECT_GT(fd.confidence, 0.95);
+      EXPECT_LT(fd.confidence, 1.0);
+    }
+    // `rand` is key-like: FDs from it are pruned as uninformative.
+    EXPECT_NE(fd.determinants, std::vector<ColumnIdx>{2});
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FdMinerTest, ExactFdHasConfidenceOne) {
+  Schema s;
+  s.AddColumn({"a", TypeId::kInt64, false, "t"});
+  s.AddColumn({"b", TypeId::kInt64, false, "t"});
+  Table t("t", s);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        t.Append({Value::Int64(i % 10), Value::Int64((i % 10) * 7)}).ok());
+  }
+  auto fds = MineFunctionalDependencies(t);
+  bool found = false;
+  for (const FdCandidate& fd : fds) {
+    if (fd.determinants == std::vector<ColumnIdx>{0} && fd.dependent == 1) {
+      found = true;
+      EXPECT_DOUBLE_EQ(fd.confidence, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FdMinerTest, PairDeterminantsAreMinimal) {
+  Schema s;
+  s.AddColumn({"a", TypeId::kInt64, false, "t"});
+  s.AddColumn({"b", TypeId::kInt64, false, "t"});
+  s.AddColumn({"c", TypeId::kInt64, false, "t"});
+  Table t("t", s);
+  for (int i = 0; i < 200; ++i) {
+    // a -> c exactly; b is noise.
+    ASSERT_TRUE(t.Append({Value::Int64(i % 8), Value::Int64(i % 13),
+                          Value::Int64((i % 8) * 3)})
+                    .ok());
+  }
+  auto fds = MineFunctionalDependencies(t);
+  for (const FdCandidate& fd : fds) {
+    if (fd.dependent == 2 && fd.confidence >= 1.0) {
+      // {a,b} -> c must have been pruned since a -> c already holds.
+      EXPECT_EQ(fd.determinants.size(), 1u);
+    }
+  }
+}
+
+// ------------------------------------------------------------ Offset miner
+
+TEST(OffsetMinerTest, RecoversPlantedWindow) {
+  Schema s;
+  s.AddColumn({"order_d", TypeId::kDate, false, "t"});
+  s.AddColumn({"ship_d", TypeId::kDate, false, "t"});
+  Table t("t", s);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t order = 10000 + rng.Uniform(0, 700);
+    const std::int64_t lag =
+        rng.NextDouble() < 0.99 ? rng.Uniform(0, 21) : rng.Uniform(22, 60);
+    ASSERT_TRUE(
+        t.Append({Value::Date(order), Value::Date(order + lag)}).ok());
+  }
+  auto candidates = MineColumnOffsets(t);
+  bool found = false;
+  for (const OffsetCandidate& c : candidates) {
+    if (c.col_x == 0 && c.col_y == 1) {
+      found = true;
+      EXPECT_EQ(c.min_full, 0);
+      EXPECT_GE(c.max_full, 22);
+      EXPECT_LE(c.max_partial, 25);  // 99% quantile near the window edge.
+      EXPECT_GE(c.min_partial, 0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --------------------------------------------------------------- Selection
+
+TEST(SelectionTest, CorrelationScoringRequiresIndexAndWorkload) {
+  Catalog catalog;
+  Schema s;
+  s.AddColumn({"a", TypeId::kDouble, false, "t"});
+  s.AddColumn({"b", TypeId::kDouble, false, "t"});
+  Table* t = *catalog.CreateTable("t", s);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        t->Append({Value::Double(i * 2.0), Value::Double(i)}).ok());
+  }
+  CorrelationCandidate cand;
+  cand.col_a = 0;
+  cand.col_b = 1;
+  cand.selectivity = 0.1;
+  cand.r2 = 0.99;
+
+  WorkloadProfile profile;
+  // No index, no workload: utility zero.
+  auto scored = ScoreCorrelationCandidates({cand}, "t", profile, catalog);
+  EXPECT_EQ(scored[0].utility, 0.0);
+
+  ASSERT_TRUE(catalog.CreateIndex("ia", "t", "a").ok());
+  scored = ScoreCorrelationCandidates({cand}, "t", profile, catalog);
+  EXPECT_EQ(scored[0].utility, 0.0);  // Still no workload hits on b.
+
+  profile.RecordPredicate("t", 1, 50);
+  scored = ScoreCorrelationCandidates({cand}, "t", profile, catalog);
+  EXPECT_GT(scored[0].utility, 0.0);
+}
+
+TEST(SelectionTest, SelectTopFiltersAndSorts) {
+  std::vector<ScoredCandidate> scored;
+  for (int i = 0; i < 10; ++i) {
+    scored.push_back({static_cast<double>(i % 4), "", static_cast<size_t>(i)});
+  }
+  auto top = SelectTop(std::move(scored), 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].utility, 3.0);
+  EXPECT_GE(top[0].utility, top[1].utility);
+  EXPECT_GE(top[1].utility, top[2].utility);
+}
+
+TEST(SelectionTest, ProbationSweepFlagsUnusedScs) {
+  Catalog catalog;
+  Schema s;
+  s.AddColumn({"x", TypeId::kInt64, false, "t"});
+  s.AddColumn({"y", TypeId::kInt64, false, "t"});
+  Table* t = *catalog.CreateTable("t", s);
+  ASSERT_TRUE(t->Append({Value::Int64(1), Value::Int64(2)}).ok());
+  ScRegistry scs;
+  auto used = std::make_unique<ColumnOffsetSc>("used", "t", 0, 1, 0, 100);
+  auto unused = std::make_unique<ColumnOffsetSc>("unused", "t", 0, 1, 0, 100);
+  ASSERT_TRUE(scs.Add(std::move(used), catalog).ok());
+  ASSERT_TRUE(scs.Add(std::move(unused), catalog).ok());
+  for (int i = 0; i < 10; ++i) scs.RecordUse("used", 5.0);
+  auto to_drop = ProbationSweep(scs, 5, 1.0);
+  ASSERT_EQ(to_drop.size(), 1u);
+  EXPECT_EQ(to_drop[0], "unused");
+}
+
+}  // namespace
+}  // namespace softdb

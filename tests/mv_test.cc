@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "constraints/column_offset_sc.h"
+#include "constraints/fd_sc.h"
+#include "engine/softdb.h"
+#include "mv/materialized_view.h"
+#include "sql/parser.h"
+
+namespace softdb {
+namespace {
+
+class MvFixture : public ::testing::Test {
+ protected:
+  MvFixture() {
+    Schema s;
+    s.AddColumn({"id", TypeId::kInt64, false, "t"});
+    s.AddColumn({"v", TypeId::kInt64, false, "t"});
+    table_ = *catalog_.CreateTable("t", s);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(table_->Append({Value::Int64(i), Value::Int64(i % 10)}).ok());
+    }
+  }
+
+  ExprPtr BoundPredicate(const std::string& text) {
+    auto expr = ParseExpression(text);
+    EXPECT_TRUE(expr.ok());
+    EXPECT_TRUE((*expr)->Bind(table_->schema()).ok());
+    return std::move(*expr);
+  }
+
+  Catalog catalog_;
+  Table* table_;
+};
+
+TEST_F(MvFixture, DefinePopulates) {
+  MvRegistry mvs;
+  auto view = mvs.Define("big_v", "t", BoundPredicate("v >= 8"), catalog_);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->NumRows(), 20u);  // v in {8, 9}: 20 rows.
+  EXPECT_NE((*view)->table(), nullptr);
+  EXPECT_FALSE(mvs.Define("big_v", "t", BoundPredicate("v >= 8"), catalog_)
+                   .ok());  // Duplicate.
+}
+
+TEST_F(MvFixture, InformationAstKeepsStatsOnly) {
+  MvRegistry mvs;
+  auto view = mvs.Define("info_v", "t", BoundPredicate("v >= 8"), catalog_,
+                         /*information_only=*/true);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->table(), nullptr);  // Not materialized, not routable.
+  EXPECT_EQ((*view)->NumRows(), 20u);    // But runstats know the count.
+  EXPECT_EQ((*view)->stats().row_count, 20u);
+  EXPECT_EQ((*view)->stats().columns[1].min->AsInt64(), 8);
+}
+
+TEST_F(MvFixture, IncrementalInsertMaintenance) {
+  MvRegistry mvs;
+  auto view = mvs.Define("big_v", "t", BoundPredicate("v >= 8"), catalog_);
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE(
+      mvs.OnBaseInsert("t", {Value::Int64(500), Value::Int64(9)}).ok());
+  EXPECT_EQ((*view)->NumRows(), 21u);
+  // Non-qualifying rows are ignored.
+  ASSERT_TRUE(
+      mvs.OnBaseInsert("t", {Value::Int64(501), Value::Int64(1)}).ok());
+  EXPECT_EQ((*view)->NumRows(), 21u);
+}
+
+TEST_F(MvFixture, IncrementalDeleteMaintenance) {
+  MvRegistry mvs;
+  auto view = mvs.Define("big_v", "t", BoundPredicate("v >= 8"), catalog_);
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE(
+      mvs.OnBaseDelete("t", {Value::Int64(8), Value::Int64(8)}).ok());
+  EXPECT_EQ((*view)->NumRows(), 19u);
+  // Deleting a non-qualifying row changes nothing.
+  ASSERT_TRUE(
+      mvs.OnBaseDelete("t", {Value::Int64(1), Value::Int64(1)}).ok());
+  EXPECT_EQ((*view)->NumRows(), 19u);
+}
+
+TEST_F(MvFixture, RefreshRebuildsFromBase) {
+  MvRegistry mvs;
+  auto view = mvs.Define("big_v", "t", BoundPredicate("v >= 8"), catalog_);
+  ASSERT_TRUE(view.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        table_->Append({Value::Int64(1000 + i), Value::Int64(9)}).ok());
+  }
+  ASSERT_TRUE(mvs.RefreshAll(catalog_).ok());
+  EXPECT_EQ((*view)->NumRows(), 25u);
+}
+
+TEST_F(MvFixture, LookupAndDrop) {
+  MvRegistry mvs;
+  ASSERT_TRUE(mvs.Define("a", "t", BoundPredicate("v = 1"), catalog_).ok());
+  ASSERT_TRUE(mvs.Define("b", "t", BoundPredicate("v = 2"), catalog_).ok());
+  EXPECT_NE(mvs.Find("a"), nullptr);
+  EXPECT_EQ(mvs.OnBase("t").size(), 2u);
+  EXPECT_EQ(mvs.All().size(), 2u);
+  ASSERT_TRUE(mvs.DropView("a").ok());
+  EXPECT_EQ(mvs.Find("a"), nullptr);
+  EXPECT_FALSE(mvs.DropView("a").ok());
+}
+
+// ----------------------------------------------- Engine exception AST path
+
+TEST(ExceptionAstTest, EngineWiresScToView) {
+  SoftDb db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x BIGINT NOT NULL, "
+                         "y BIGINT NOT NULL)")
+                  .ok());
+  for (int i = 0; i < 50; ++i) {
+    // 10% of rows violate y <= x + 5.
+    const int y = i % 10 == 0 ? i + 50 : i + 3;
+    ASSERT_TRUE(db.InsertRow("t", {Value::Int64(i), Value::Int64(y)}).ok());
+  }
+  auto sc = std::make_unique<ColumnOffsetSc>("win", "t", 0, 1, 0, 5);
+  ASSERT_TRUE(db.scs().Add(std::move(sc), db.catalog()).ok());
+  EXPECT_NEAR(db.scs().Find("win")->confidence(), 0.9, 1e-9);
+
+  auto view = db.CreateExceptionAst("win");
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ((*view)->NumRows(), 5u);  // Exactly the violators.
+
+  // Exception AST stays in sync with subsequent inserts.
+  ASSERT_TRUE(db.InsertRow("t", {Value::Int64(100), Value::Int64(400)}).ok());
+  EXPECT_EQ((*view)->NumRows(), 6u);
+  ASSERT_TRUE(db.InsertRow("t", {Value::Int64(101), Value::Int64(102)}).ok());
+  EXPECT_EQ((*view)->NumRows(), 6u);
+}
+
+TEST(ExceptionAstTest, RejectsUnsupportedScKinds) {
+  SoftDb db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x BIGINT, y BIGINT)").ok());
+  ASSERT_TRUE(db.InsertRow("t", {Value::Int64(1), Value::Int64(1)}).ok());
+  auto fd = std::make_unique<FunctionalDependencySc>(
+      "fd", "t", std::vector<ColumnIdx>{0}, std::vector<ColumnIdx>{1});
+  ASSERT_TRUE(db.scs().Add(std::move(fd), db.catalog()).ok());
+  EXPECT_FALSE(db.CreateExceptionAst("fd").ok());
+  EXPECT_FALSE(db.CreateExceptionAst("nonexistent").ok());
+}
+
+}  // namespace
+}  // namespace softdb

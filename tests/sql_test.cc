@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace softdb {
+namespace {
+
+// ------------------------------------------------------------------ Lexer
+
+TEST(LexerTest, KeywordsNormalizedIdentifiersKept) {
+  auto tokens = Tokenize("select Foo FROM bar");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[1].text, "Foo");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[2].text, "FROM");
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = Tokenize("42 3.14 1e5 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kFloatLiteral);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kFloatLiteral);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kStringLiteral);
+  EXPECT_EQ((*tokens)[3].text, "it's");
+}
+
+TEST(LexerTest, OperatorsIncludingTwoChar) {
+  auto tokens = Tokenize("<= >= <> != = < >");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "<=");
+  EXPECT_EQ((*tokens)[1].text, ">=");
+  EXPECT_EQ((*tokens)[2].text, "<>");
+  EXPECT_EQ((*tokens)[3].text, "<>");  // != normalizes.
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("SELECT -- comment here\n 1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("select @foo").ok());
+}
+
+// ------------------------------------------------------------ Expressions
+
+TEST(ParserExprTest, Precedence) {
+  auto e = ParseExpression("a + b * 2 = 10");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "(a + (b * 2)) = 10");
+}
+
+TEST(ParserExprTest, AndOrNesting) {
+  auto e = ParseExpression("a = 1 AND b = 2 OR c = 3");
+  ASSERT_TRUE(e.ok());
+  // AND binds tighter than OR.
+  EXPECT_EQ((*e)->kind(), ExprKind::kOr);
+}
+
+TEST(ParserExprTest, BetweenInIsNull) {
+  EXPECT_TRUE(ParseExpression("x BETWEEN 1 AND 10").ok());
+  EXPECT_TRUE(ParseExpression("x IN (1, 2, 3)").ok());
+  EXPECT_TRUE(ParseExpression("x NOT IN (1)").ok());
+  EXPECT_TRUE(ParseExpression("x IS NULL").ok());
+  EXPECT_TRUE(ParseExpression("x IS NOT NULL").ok());
+}
+
+TEST(ParserExprTest, DateLiteral) {
+  auto e = ParseExpression("d >= DATE '1999-12-15'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "d >= DATE '1999-12-15'");
+  EXPECT_FALSE(ParseExpression("DATE 42").ok());
+  EXPECT_FALSE(ParseExpression("DATE 'bogus'").ok());
+}
+
+TEST(ParserExprTest, UnaryMinusAndParens) {
+  auto e = ParseExpression("-(3 + 4)");
+  ASSERT_TRUE(e.ok());
+  auto v = (*e)->Eval({});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt64(), -7);
+}
+
+TEST(ParserExprTest, QualifiedColumn) {
+  auto e = ParseExpression("t.col = 1");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "t.col = 1");
+}
+
+TEST(ParserExprTest, TrailingInputRejected) {
+  EXPECT_FALSE(ParseExpression("a = 1 garbage junk").ok());
+}
+
+// -------------------------------------------------------------- Statements
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseStatement("SELECT a, b FROM t WHERE a > 5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, Statement::Kind::kSelect);
+  EXPECT_EQ(stmt->select->items.size(), 2u);
+  EXPECT_EQ(stmt->select->from.size(), 1u);
+  EXPECT_NE(stmt->select->where, nullptr);
+}
+
+TEST(ParserTest, SelectStarWithAlias) {
+  auto stmt = ParseStatement("SELECT * FROM orders o");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->select->items[0].star);
+  EXPECT_EQ(stmt->select->from[0].alias, "o");
+  EXPECT_EQ(stmt->select->from[0].EffectiveName(), "o");
+}
+
+TEST(ParserTest, Joins) {
+  auto stmt = ParseStatement(
+      "SELECT o.id FROM orders o JOIN customer c ON o.cid = c.id "
+      "INNER JOIN nation n ON c.nid = n.id");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->joins.size(), 2u);
+  EXPECT_EQ(stmt->select->joins[0].table.alias, "c");
+}
+
+TEST(ParserTest, CommaJoin) {
+  auto stmt = ParseStatement("SELECT * FROM a, b WHERE a.x = b.y");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->from.size(), 2u);
+}
+
+TEST(ParserTest, GroupByOrderByLimit) {
+  auto stmt = ParseStatement(
+      "SELECT dept, COUNT(*) AS n, SUM(budget) FROM project "
+      "GROUP BY dept ORDER BY dept DESC, n LIMIT 10");
+  ASSERT_TRUE(stmt.ok());
+  const SelectStmt& s = *stmt->select;
+  EXPECT_EQ(s.group_by.size(), 1u);
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_FALSE(s.order_by[0].ascending);
+  EXPECT_TRUE(s.order_by[1].ascending);
+  EXPECT_EQ(*s.limit, 10u);
+  EXPECT_TRUE(s.items[1].agg_fn.has_value());
+  EXPECT_EQ(s.items[1].alias, "n");
+}
+
+TEST(ParserTest, Aggregates) {
+  auto stmt = ParseStatement(
+      "SELECT COUNT(*), COUNT(x), SUM(x), AVG(x), MIN(x), MAX(x) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->items.size(), 6u);
+  for (const auto& item : stmt->select->items) {
+    EXPECT_TRUE(item.agg_fn.has_value());
+  }
+  EXPECT_EQ(stmt->select->items[0].agg_arg, nullptr);  // COUNT(*).
+  EXPECT_NE(stmt->select->items[1].agg_arg, nullptr);  // COUNT(x).
+}
+
+TEST(ParserTest, UnionAllChains) {
+  auto stmt = ParseStatement(
+      "SELECT a FROM t1 UNION ALL SELECT a FROM t2 UNION ALL SELECT a FROM "
+      "t3");
+  ASSERT_TRUE(stmt.ok());
+  int branches = 1;
+  const SelectStmt* s = stmt->select.get();
+  while (s->union_next) {
+    ++branches;
+    s = s->union_next.get();
+  }
+  EXPECT_EQ(branches, 3);
+}
+
+TEST(ParserTest, Insert) {
+  auto stmt = ParseStatement(
+      "INSERT INTO t VALUES (1, 'a', DATE '1999-01-01'), (2, 'b', NULL)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, Statement::Kind::kInsert);
+  EXPECT_EQ(stmt->insert->rows.size(), 2u);
+  EXPECT_EQ(stmt->insert->rows[0].size(), 3u);
+}
+
+TEST(ParserTest, UpdateDelete) {
+  auto up = ParseStatement("UPDATE t SET a = 1, b = b + 1 WHERE c = 2");
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->update->assignments.size(), 2u);
+  auto del = ParseStatement("DELETE FROM t WHERE a < 0");
+  ASSERT_TRUE(del.ok());
+  EXPECT_NE(del->del->where, nullptr);
+  auto del_all = ParseStatement("DELETE FROM t");
+  ASSERT_TRUE(del_all.ok());
+  EXPECT_EQ(del_all->del->where, nullptr);
+}
+
+TEST(ParserTest, CreateTableWithConstraints) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE orders ("
+      "  o_id BIGINT NOT NULL PRIMARY KEY,"
+      "  o_cust BIGINT NOT NULL,"
+      "  o_price DOUBLE,"
+      "  o_date DATE,"
+      "  o_tag VARCHAR(32),"
+      "  CONSTRAINT fk_cust FOREIGN KEY (o_cust) REFERENCES customer "
+      "(c_id),"
+      "  CHECK (o_price > 0),"
+      "  UNIQUE (o_date, o_cust)"
+      ")");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const CreateTableStmt& ct = *stmt->create_table;
+  EXPECT_EQ(ct.columns.size(), 5u);
+  EXPECT_TRUE(ct.columns[0].not_null);
+  EXPECT_EQ(ct.columns[2].type, TypeId::kDouble);
+  EXPECT_EQ(ct.columns[3].type, TypeId::kDate);
+  EXPECT_EQ(ct.columns[4].type, TypeId::kString);
+  ASSERT_EQ(ct.constraints.size(), 4u);  // Inline PK + FK + CHECK + UNIQUE.
+  EXPECT_EQ(ct.constraints[0].kind, ConstraintSpec::Kind::kPrimaryKey);
+  EXPECT_EQ(ct.constraints[1].name, "fk_cust");
+  EXPECT_EQ(ct.constraints[1].ref_table, "customer");
+}
+
+TEST(ParserTest, CreateIndex) {
+  auto stmt = ParseStatement("CREATE INDEX idx ON t (col)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->create_index->index, "idx");
+  EXPECT_EQ(stmt->create_index->table, "t");
+  EXPECT_EQ(stmt->create_index->column, "col");
+}
+
+TEST(ParserTest, AnalyzeExplainDrop) {
+  EXPECT_EQ(ParseStatement("ANALYZE")->kind, Statement::Kind::kAnalyze);
+  EXPECT_EQ(ParseStatement("ANALYZE t")->analyze->table, "t");
+  EXPECT_EQ(ParseStatement("EXPLAIN SELECT a FROM t")->kind,
+            Statement::Kind::kExplain);
+  EXPECT_EQ(ParseStatement("DROP TABLE t")->kind,
+            Statement::Kind::kDropTable);
+}
+
+TEST(ParserTest, ErrorsAreReported) {
+  EXPECT_FALSE(ParseStatement("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a").ok());                 // No FROM.
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseStatement("BOGUS STATEMENT").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t extra garbage ,").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO t VALUES 1").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t (a NOTATYPE)").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t LIMIT abc").ok());
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_TRUE(ParseStatement("SELECT a FROM t;").ok());
+}
+
+}  // namespace
+}  // namespace softdb

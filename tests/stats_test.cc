@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/analyzer.h"
+#include "stats/histogram.h"
+#include "storage/table.h"
+
+namespace softdb {
+namespace {
+
+// -------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, EmptyIsSafe) {
+  EquiDepthHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.SelectivityLessEq(5.0), 0.0);
+  EXPECT_EQ(h.SelectivityEq(5.0), 0.0);
+}
+
+TEST(HistogramTest, UniformSelectivity) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(static_cast<double>(i));
+  auto h = EquiDepthHistogram::Build(std::move(values), 32);
+  EXPECT_NEAR(h.SelectivityLessEq(499.0), 0.5, 0.05);
+  EXPECT_NEAR(h.SelectivityLessEq(99.0), 0.1, 0.05);
+}
+
+TEST(HistogramTest, RangeSelectivity) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(static_cast<double>(i));
+  auto h = EquiDepthHistogram::Build(std::move(values), 32);
+  EXPECT_NEAR(h.SelectivityRange(100.0, true, 199.0, true), 0.1, 0.05);
+  EXPECT_NEAR(h.SelectivityRange(NAN, true, 499.0, true), 0.5, 0.05);
+  EXPECT_NEAR(h.SelectivityRange(500.0, true, NAN, true), 0.5, 0.05);
+  EXPECT_EQ(h.SelectivityRange(2000.0, true, 3000.0, true), 0.0);
+}
+
+TEST(HistogramTest, EqUsesPerBucketDensity) {
+  // 900 copies of 1 and 100 distinct values: eq(1) should be ~0.9, not the
+  // global 1/101.
+  std::vector<double> values(900, 1.0);
+  for (int i = 0; i < 100; ++i) values.push_back(1000.0 + i);
+  auto h = EquiDepthHistogram::Build(std::move(values), 16);
+  EXPECT_GT(h.SelectivityEq(1.0), 0.5);
+  EXPECT_LT(h.SelectivityEq(1050.0), 0.05);
+  EXPECT_EQ(h.SelectivityEq(5000.0), 0.0);
+}
+
+TEST(HistogramTest, SkewedDataStillEquiDepth) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i < 990 ? 1.0 : 100.0);
+  auto h = EquiDepthHistogram::Build(std::move(values), 8);
+  // Buckets never split one value.
+  EXPECT_NEAR(h.SelectivityLessEq(1.0), 0.99, 0.01);
+  EXPECT_NEAR(h.SelectivityLessEq(100.0), 1.0, 1e-9);
+}
+
+// Parameterized sweep: CDF is monotone for any bucket count.
+class HistogramMonotone : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HistogramMonotone, CdfIsMonotone) {
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(static_cast<double>((i * 37) % 100));
+  }
+  auto h = EquiDepthHistogram::Build(std::move(values), GetParam());
+  double prev = 0.0;
+  for (double x = -5.0; x <= 105.0; x += 1.0) {
+    const double s = h.SelectivityLessEq(x);
+    EXPECT_GE(s, prev - 1e-12);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    prev = s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketCounts, HistogramMonotone,
+                         ::testing::Values(1, 2, 8, 32, 128));
+
+// --------------------------------------------------------------- Analyzer
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  AnalyzerTest() : table_("t", MakeSchema()) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(table_
+                      .Append({Value::Int64(i % 50),
+                               i % 10 == 0 ? Value::Null()
+                                           : Value::Double(i * 1.5),
+                               Value::String(i % 2 ? "odd" : "even")})
+                      .ok());
+    }
+  }
+
+  static Schema MakeSchema() {
+    Schema s;
+    s.AddColumn({"k", TypeId::kInt64, false, "t"});
+    s.AddColumn({"v", TypeId::kDouble, true, "t"});
+    s.AddColumn({"tag", TypeId::kString, false, "t"});
+    return s;
+  }
+
+  Table table_;
+};
+
+TEST_F(AnalyzerTest, RowAndDistinctCounts) {
+  TableStats stats = AnalyzeTable(table_);
+  EXPECT_EQ(stats.row_count, 200u);
+  EXPECT_EQ(stats.columns[0].distinct_count, 50u);
+  EXPECT_EQ(stats.columns[2].distinct_count, 2u);
+}
+
+TEST_F(AnalyzerTest, NullCounts) {
+  TableStats stats = AnalyzeTable(table_);
+  EXPECT_EQ(stats.columns[1].null_count, 20u);
+  EXPECT_NEAR(stats.columns[1].NonNullFraction(), 0.9, 1e-9);
+}
+
+TEST_F(AnalyzerTest, MinMax) {
+  TableStats stats = AnalyzeTable(table_);
+  EXPECT_EQ(stats.columns[0].min->AsInt64(), 0);
+  EXPECT_EQ(stats.columns[0].max->AsInt64(), 49);
+  EXPECT_EQ(stats.columns[2].min->AsString(), "even");
+  EXPECT_EQ(stats.columns[2].max->AsString(), "odd");
+}
+
+TEST_F(AnalyzerTest, McvsOrderedByFrequency) {
+  TableStats stats = AnalyzeTable(table_);
+  const auto& mcvs = stats.columns[2].mcvs;
+  ASSERT_EQ(mcvs.size(), 2u);
+  EXPECT_GE(mcvs[0].count, mcvs[1].count);
+  EXPECT_EQ(mcvs[0].count + mcvs[1].count, 200u);
+}
+
+TEST_F(AnalyzerTest, StringColumnsGetNoHistogram) {
+  TableStats stats = AnalyzeTable(table_);
+  EXPECT_TRUE(stats.columns[2].histogram.empty());
+  EXPECT_FALSE(stats.columns[0].histogram.empty());
+}
+
+TEST_F(AnalyzerTest, DeletedRowsExcluded) {
+  ASSERT_TRUE(table_.Delete(0).ok());
+  TableStats stats = AnalyzeTable(table_);
+  EXPECT_EQ(stats.row_count, 199u);
+}
+
+TEST_F(AnalyzerTest, StatsCatalogStaleness) {
+  StatsCatalog catalog;
+  catalog.Analyze(table_);
+  EXPECT_EQ(catalog.StalenessOf(table_), 0u);
+  ASSERT_TRUE(table_.Append({Value::Int64(1), Value::Null(),
+                             Value::String("x")})
+                  .ok());
+  EXPECT_EQ(catalog.StalenessOf(table_), 1u);
+  EXPECT_NE(catalog.Get("t"), nullptr);
+  EXPECT_EQ(catalog.Get("unknown"), nullptr);
+}
+
+}  // namespace
+}  // namespace softdb

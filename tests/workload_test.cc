@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "mining/correlation_miner.h"
+#include "mining/fd_miner.h"
+#include "mining/hole_miner.h"
+#include "mining/offset_miner.h"
+#include "workload/generator.h"
+#include "workload/sc_kit.h"
+
+namespace softdb {
+namespace {
+
+class WorkloadFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new SoftDb();
+    WorkloadOptions options;
+    options.customers = 500;
+    options.orders = 5000;
+    options.purchases = 8000;
+    options.parts = 1000;
+    options.projects = 2000;
+    options.sales_per_month = 200;
+    ASSERT_TRUE(GenerateWorkload(db_, options).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static SoftDb* db_;
+};
+
+SoftDb* WorkloadFixture::db_ = nullptr;
+
+TEST_F(WorkloadFixture, AllTablesPresent) {
+  for (const char* name :
+       {"region", "nation", "customer", "part", "orders", "purchase",
+        "project", "sales_m1", "sales_m12"}) {
+    EXPECT_TRUE(db_->catalog().HasTable(name)) << name;
+  }
+  EXPECT_EQ((*db_->catalog().GetTable("purchase"))->NumRows(), 8000u);
+}
+
+TEST_F(WorkloadFixture, ShipWindowConfidenceAsPlanted) {
+  auto name = RegisterShipWindowSc(db_);
+  ASSERT_TRUE(name.ok());
+  const double conf = db_->scs().Find(*name)->confidence();
+  EXPECT_GT(conf, 0.975);
+  EXPECT_LT(conf, 1.0);
+  ASSERT_TRUE(db_->scs().Drop(*name).ok());
+}
+
+TEST_F(WorkloadFixture, ProjectWindowConfidenceAsPlanted) {
+  auto name = RegisterProjectWindowSc(db_);
+  ASSERT_TRUE(name.ok());
+  const double conf = db_->scs().Find(*name)->confidence();
+  EXPECT_GT(conf, 0.85);
+  EXPECT_LT(conf, 0.95);
+  ASSERT_TRUE(db_->scs().Drop(*name).ok());
+}
+
+TEST_F(WorkloadFixture, PartCorrelationIsAbsolute) {
+  auto name = RegisterPartCorrelationSc(db_);
+  ASSERT_TRUE(name.ok());
+  EXPECT_TRUE(db_->scs().Find(*name)->IsAbsolute());
+  ASSERT_TRUE(db_->scs().Drop(*name).ok());
+}
+
+TEST_F(WorkloadFixture, CustomerRegionFdIsExact) {
+  auto name = RegisterCustomerRegionFd(db_);
+  ASSERT_TRUE(name.ok());
+  EXPECT_TRUE(db_->scs().Find(*name)->IsAbsolute());
+  ASSERT_TRUE(db_->scs().Drop(*name).ok());
+}
+
+TEST_F(WorkloadFixture, PlantedJoinHoleIsEmpty) {
+  auto name = RegisterOrdersHoleSc(db_);
+  ASSERT_TRUE(name.ok());
+  EXPECT_TRUE(db_->scs().Find(*name)->IsAbsolute());
+  ASSERT_TRUE(db_->scs().Drop(*name).ok());
+}
+
+TEST_F(WorkloadFixture, InclusionHolds) {
+  auto name = RegisterOrdersInclusionSc(db_);
+  ASSERT_TRUE(name.ok());
+  EXPECT_TRUE(db_->scs().Find(*name)->IsAbsolute());
+  ASSERT_TRUE(db_->scs().Drop(*name).ok());
+}
+
+TEST_F(WorkloadFixture, SalesPartitionsRespectMonths) {
+  auto r = db_->Execute(
+      "SELECT COUNT(*) AS n FROM sales_m3 WHERE "
+      "sale_date < DATE '1999-03-01'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.rows[0][0].AsInt64(), 0);
+  auto r2 = db_->Execute(
+      "SELECT COUNT(*) AS n FROM sales_m3 WHERE "
+      "sale_date > DATE '1999-03-31'");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->rows.rows[0][0].AsInt64(), 0);
+}
+
+TEST_F(WorkloadFixture, PurchaseClusteredByOrderDate) {
+  Index* idx = db_->catalog().FindIndex("purchase", "order_date");
+  ASSERT_NE(idx, nullptr);
+  EXPECT_LT(idx->PageSwitchDensity(), 0.1);
+}
+
+TEST_F(WorkloadFixture, StatsAnalyzedAfterLoad) {
+  const TableStats* stats = db_->stats().Get("orders");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->row_count, 5000u);
+  EXPECT_FALSE(
+      stats->columns[WorkloadColumns::kOrderPrice].histogram.empty());
+}
+
+TEST_F(WorkloadFixture, DeterministicAcrossRuns) {
+  SoftDb db2;
+  WorkloadOptions options;
+  options.customers = 50;
+  options.orders = 100;
+  options.purchases = 100;
+  options.parts = 50;
+  options.projects = 50;
+  options.sales_per_month = 10;
+  ASSERT_TRUE(GenerateWorkload(&db2, options).ok());
+  SoftDb db3;
+  ASSERT_TRUE(GenerateWorkload(&db3, options).ok());
+  auto a = db2.Execute("SELECT SUM(o_totalprice) AS s FROM orders");
+  auto b = db3.Execute("SELECT SUM(o_totalprice) AS s FROM orders");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rows.rows[0][0].AsDouble(), b->rows.rows[0][0].AsDouble());
+}
+
+// ----------------------------- Miners recover what the generator planted
+
+TEST_F(WorkloadFixture, MinersRecoverPlantedShipWindow) {
+  Table* purchase = *db_->catalog().GetTable("purchase");
+  auto candidates = MineColumnOffsets(*purchase);
+  bool found = false;
+  for (const OffsetCandidate& c : candidates) {
+    if (c.col_x == WorkloadColumns::kPurchaseOrderDate &&
+        c.col_y == WorkloadColumns::kPurchaseShipDate) {
+      found = true;
+      EXPECT_GE(c.min_partial, 0);
+      EXPECT_LE(c.max_partial, 23);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(WorkloadFixture, MinersRecoverPlantedCorrelation) {
+  Table* part = *db_->catalog().GetTable("part");
+  auto cand = FitCorrelation(*part, WorkloadColumns::kPartWeight,
+                             WorkloadColumns::kPartPrice);
+  ASSERT_TRUE(cand.ok());
+  EXPECT_NEAR(cand->k, 0.05, 0.005);
+  EXPECT_NEAR(cand->c, 2.0, 0.5);
+  EXPECT_LE(cand->epsilon_full, 3.05);
+}
+
+TEST_F(WorkloadFixture, MinersRecoverPlantedFd) {
+  Table* customer = *db_->catalog().GetTable("customer");
+  auto fds = MineFunctionalDependencies(*customer);
+  bool found = false;
+  for (const FdCandidate& fd : fds) {
+    if (fd.determinants ==
+            std::vector<ColumnIdx>{WorkloadColumns::kCustomerNation} &&
+        fd.dependent == WorkloadColumns::kCustomerRegion) {
+      found = true;
+      EXPECT_DOUBLE_EQ(fd.confidence, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(WorkloadFixture, MinersRecoverPlantedHole) {
+  Table* orders = *db_->catalog().GetTable("orders");
+  Table* customer = *db_->catalog().GetTable("customer");
+  auto result = MineJoinHoles(*orders, WorkloadColumns::kOrderCustomer,
+                              WorkloadColumns::kOrderPrice, *customer,
+                              WorkloadColumns::kCustomerKey,
+                              WorkloadColumns::kCustomerBalance);
+  ASSERT_TRUE(result.ok());
+  bool covers_center = false;
+  for (const HoleRect& h : result->holes) {
+    covers_center =
+        covers_center || (h.ContainsA(9000.0) && h.ContainsB(1000.0));
+  }
+  EXPECT_TRUE(covers_center);
+}
+
+}  // namespace
+}  // namespace softdb
