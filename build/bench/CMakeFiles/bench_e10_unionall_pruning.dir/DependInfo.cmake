@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e10_unionall_pruning.cc" "bench/CMakeFiles/bench_e10_unionall_pruning.dir/bench_e10_unionall_pruning.cc.o" "gcc" "bench/CMakeFiles/bench_e10_unionall_pruning.dir/bench_e10_unionall_pruning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/softdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/softdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/softdb_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/softdb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/softdb_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/softdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/softdb_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/mv/CMakeFiles/softdb_mv.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/softdb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/softdb_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/softdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/softdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_unionall_pruning.dir/bench_e10_unionall_pruning.cc.o"
+  "CMakeFiles/bench_e10_unionall_pruning.dir/bench_e10_unionall_pruning.cc.o.d"
+  "bench_e10_unionall_pruning"
+  "bench_e10_unionall_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_unionall_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

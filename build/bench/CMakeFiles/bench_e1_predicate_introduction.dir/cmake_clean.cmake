@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_predicate_introduction.dir/bench_e1_predicate_introduction.cc.o"
+  "CMakeFiles/bench_e1_predicate_introduction.dir/bench_e1_predicate_introduction.cc.o.d"
+  "bench_e1_predicate_introduction"
+  "bench_e1_predicate_introduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_predicate_introduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

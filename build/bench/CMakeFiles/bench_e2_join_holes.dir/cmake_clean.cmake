@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_join_holes.dir/bench_e2_join_holes.cc.o"
+  "CMakeFiles/bench_e2_join_holes.dir/bench_e2_join_holes.cc.o.d"
+  "bench_e2_join_holes"
+  "bench_e2_join_holes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_join_holes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

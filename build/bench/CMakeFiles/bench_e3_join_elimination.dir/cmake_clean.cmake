@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_join_elimination.dir/bench_e3_join_elimination.cc.o"
+  "CMakeFiles/bench_e3_join_elimination.dir/bench_e3_join_elimination.cc.o.d"
+  "bench_e3_join_elimination"
+  "bench_e3_join_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_join_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

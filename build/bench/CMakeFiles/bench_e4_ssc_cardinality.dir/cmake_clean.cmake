@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_ssc_cardinality.dir/bench_e4_ssc_cardinality.cc.o"
+  "CMakeFiles/bench_e4_ssc_cardinality.dir/bench_e4_ssc_cardinality.cc.o.d"
+  "bench_e4_ssc_cardinality"
+  "bench_e4_ssc_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_ssc_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_asc_as_ast.dir/bench_e5_asc_as_ast.cc.o"
+  "CMakeFiles/bench_e5_asc_as_ast.dir/bench_e5_asc_as_ast.cc.o.d"
+  "bench_e5_asc_as_ast"
+  "bench_e5_asc_as_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_asc_as_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_fd_sort.dir/bench_e6_fd_sort.cc.o"
+  "CMakeFiles/bench_e6_fd_sort.dir/bench_e6_fd_sort.cc.o.d"
+  "bench_e6_fd_sort"
+  "bench_e6_fd_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_fd_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_currency.dir/bench_e8_currency.cc.o"
+  "CMakeFiles/bench_e8_currency.dir/bench_e8_currency.cc.o.d"
+  "bench_e8_currency"
+  "bench_e8_currency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_currency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

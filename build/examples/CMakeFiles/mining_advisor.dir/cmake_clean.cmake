@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_advisor.dir/mining_advisor.cpp.o"
+  "CMakeFiles/mining_advisor.dir/mining_advisor.cpp.o.d"
+  "mining_advisor"
+  "mining_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

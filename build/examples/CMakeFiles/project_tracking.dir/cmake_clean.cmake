@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/project_tracking.dir/project_tracking.cpp.o"
+  "CMakeFiles/project_tracking.dir/project_tracking.cpp.o.d"
+  "project_tracking"
+  "project_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

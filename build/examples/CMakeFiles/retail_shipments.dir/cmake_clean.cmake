@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_shipments.dir/retail_shipments.cpp.o"
+  "CMakeFiles/retail_shipments.dir/retail_shipments.cpp.o.d"
+  "retail_shipments"
+  "retail_shipments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_shipments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

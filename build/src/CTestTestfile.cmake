@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("stats")
+subdirs("sql")
+subdirs("plan")
+subdirs("exec")
+subdirs("constraints")
+subdirs("mining")
+subdirs("mv")
+subdirs("optimizer")
+subdirs("workload")
+subdirs("engine")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softdb_common.dir/date.cc.o"
+  "CMakeFiles/softdb_common.dir/date.cc.o.d"
+  "CMakeFiles/softdb_common.dir/rng.cc.o"
+  "CMakeFiles/softdb_common.dir/rng.cc.o.d"
+  "CMakeFiles/softdb_common.dir/status.cc.o"
+  "CMakeFiles/softdb_common.dir/status.cc.o.d"
+  "CMakeFiles/softdb_common.dir/str_util.cc.o"
+  "CMakeFiles/softdb_common.dir/str_util.cc.o.d"
+  "CMakeFiles/softdb_common.dir/types.cc.o"
+  "CMakeFiles/softdb_common.dir/types.cc.o.d"
+  "CMakeFiles/softdb_common.dir/value.cc.o"
+  "CMakeFiles/softdb_common.dir/value.cc.o.d"
+  "libsoftdb_common.a"
+  "libsoftdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

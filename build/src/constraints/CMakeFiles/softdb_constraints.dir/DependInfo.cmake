@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/column_offset_sc.cc" "src/constraints/CMakeFiles/softdb_constraints.dir/column_offset_sc.cc.o" "gcc" "src/constraints/CMakeFiles/softdb_constraints.dir/column_offset_sc.cc.o.d"
+  "/root/repo/src/constraints/domain_sc.cc" "src/constraints/CMakeFiles/softdb_constraints.dir/domain_sc.cc.o" "gcc" "src/constraints/CMakeFiles/softdb_constraints.dir/domain_sc.cc.o.d"
+  "/root/repo/src/constraints/fd_sc.cc" "src/constraints/CMakeFiles/softdb_constraints.dir/fd_sc.cc.o" "gcc" "src/constraints/CMakeFiles/softdb_constraints.dir/fd_sc.cc.o.d"
+  "/root/repo/src/constraints/ic_registry.cc" "src/constraints/CMakeFiles/softdb_constraints.dir/ic_registry.cc.o" "gcc" "src/constraints/CMakeFiles/softdb_constraints.dir/ic_registry.cc.o.d"
+  "/root/repo/src/constraints/inclusion_sc.cc" "src/constraints/CMakeFiles/softdb_constraints.dir/inclusion_sc.cc.o" "gcc" "src/constraints/CMakeFiles/softdb_constraints.dir/inclusion_sc.cc.o.d"
+  "/root/repo/src/constraints/integrity.cc" "src/constraints/CMakeFiles/softdb_constraints.dir/integrity.cc.o" "gcc" "src/constraints/CMakeFiles/softdb_constraints.dir/integrity.cc.o.d"
+  "/root/repo/src/constraints/join_hole_sc.cc" "src/constraints/CMakeFiles/softdb_constraints.dir/join_hole_sc.cc.o" "gcc" "src/constraints/CMakeFiles/softdb_constraints.dir/join_hole_sc.cc.o.d"
+  "/root/repo/src/constraints/linear_correlation_sc.cc" "src/constraints/CMakeFiles/softdb_constraints.dir/linear_correlation_sc.cc.o" "gcc" "src/constraints/CMakeFiles/softdb_constraints.dir/linear_correlation_sc.cc.o.d"
+  "/root/repo/src/constraints/predicate_sc.cc" "src/constraints/CMakeFiles/softdb_constraints.dir/predicate_sc.cc.o" "gcc" "src/constraints/CMakeFiles/softdb_constraints.dir/predicate_sc.cc.o.d"
+  "/root/repo/src/constraints/sc_registry.cc" "src/constraints/CMakeFiles/softdb_constraints.dir/sc_registry.cc.o" "gcc" "src/constraints/CMakeFiles/softdb_constraints.dir/sc_registry.cc.o.d"
+  "/root/repo/src/constraints/soft_constraint.cc" "src/constraints/CMakeFiles/softdb_constraints.dir/soft_constraint.cc.o" "gcc" "src/constraints/CMakeFiles/softdb_constraints.dir/soft_constraint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/softdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/softdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/softdb_plan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

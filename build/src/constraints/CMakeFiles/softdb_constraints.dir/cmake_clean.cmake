@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softdb_constraints.dir/column_offset_sc.cc.o"
+  "CMakeFiles/softdb_constraints.dir/column_offset_sc.cc.o.d"
+  "CMakeFiles/softdb_constraints.dir/domain_sc.cc.o"
+  "CMakeFiles/softdb_constraints.dir/domain_sc.cc.o.d"
+  "CMakeFiles/softdb_constraints.dir/fd_sc.cc.o"
+  "CMakeFiles/softdb_constraints.dir/fd_sc.cc.o.d"
+  "CMakeFiles/softdb_constraints.dir/ic_registry.cc.o"
+  "CMakeFiles/softdb_constraints.dir/ic_registry.cc.o.d"
+  "CMakeFiles/softdb_constraints.dir/inclusion_sc.cc.o"
+  "CMakeFiles/softdb_constraints.dir/inclusion_sc.cc.o.d"
+  "CMakeFiles/softdb_constraints.dir/integrity.cc.o"
+  "CMakeFiles/softdb_constraints.dir/integrity.cc.o.d"
+  "CMakeFiles/softdb_constraints.dir/join_hole_sc.cc.o"
+  "CMakeFiles/softdb_constraints.dir/join_hole_sc.cc.o.d"
+  "CMakeFiles/softdb_constraints.dir/linear_correlation_sc.cc.o"
+  "CMakeFiles/softdb_constraints.dir/linear_correlation_sc.cc.o.d"
+  "CMakeFiles/softdb_constraints.dir/predicate_sc.cc.o"
+  "CMakeFiles/softdb_constraints.dir/predicate_sc.cc.o.d"
+  "CMakeFiles/softdb_constraints.dir/sc_registry.cc.o"
+  "CMakeFiles/softdb_constraints.dir/sc_registry.cc.o.d"
+  "CMakeFiles/softdb_constraints.dir/soft_constraint.cc.o"
+  "CMakeFiles/softdb_constraints.dir/soft_constraint.cc.o.d"
+  "libsoftdb_constraints.a"
+  "libsoftdb_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softdb_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softdb_engine.dir/softdb.cc.o"
+  "CMakeFiles/softdb_engine.dir/softdb.cc.o.d"
+  "libsoftdb_engine.a"
+  "libsoftdb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softdb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

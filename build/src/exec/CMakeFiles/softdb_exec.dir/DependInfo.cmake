@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/operator.cc" "src/exec/CMakeFiles/softdb_exec.dir/operator.cc.o" "gcc" "src/exec/CMakeFiles/softdb_exec.dir/operator.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/exec/CMakeFiles/softdb_exec.dir/operators.cc.o" "gcc" "src/exec/CMakeFiles/softdb_exec.dir/operators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/softdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/softdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/softdb_plan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

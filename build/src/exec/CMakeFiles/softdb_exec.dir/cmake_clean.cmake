@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softdb_exec.dir/operator.cc.o"
+  "CMakeFiles/softdb_exec.dir/operator.cc.o.d"
+  "CMakeFiles/softdb_exec.dir/operators.cc.o"
+  "CMakeFiles/softdb_exec.dir/operators.cc.o.d"
+  "libsoftdb_exec.a"
+  "libsoftdb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softdb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/correlation_miner.cc" "src/mining/CMakeFiles/softdb_mining.dir/correlation_miner.cc.o" "gcc" "src/mining/CMakeFiles/softdb_mining.dir/correlation_miner.cc.o.d"
+  "/root/repo/src/mining/fd_miner.cc" "src/mining/CMakeFiles/softdb_mining.dir/fd_miner.cc.o" "gcc" "src/mining/CMakeFiles/softdb_mining.dir/fd_miner.cc.o.d"
+  "/root/repo/src/mining/hole_miner.cc" "src/mining/CMakeFiles/softdb_mining.dir/hole_miner.cc.o" "gcc" "src/mining/CMakeFiles/softdb_mining.dir/hole_miner.cc.o.d"
+  "/root/repo/src/mining/offset_miner.cc" "src/mining/CMakeFiles/softdb_mining.dir/offset_miner.cc.o" "gcc" "src/mining/CMakeFiles/softdb_mining.dir/offset_miner.cc.o.d"
+  "/root/repo/src/mining/selection.cc" "src/mining/CMakeFiles/softdb_mining.dir/selection.cc.o" "gcc" "src/mining/CMakeFiles/softdb_mining.dir/selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/softdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/softdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/softdb_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/softdb_plan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

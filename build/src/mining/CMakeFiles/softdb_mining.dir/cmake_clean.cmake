@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softdb_mining.dir/correlation_miner.cc.o"
+  "CMakeFiles/softdb_mining.dir/correlation_miner.cc.o.d"
+  "CMakeFiles/softdb_mining.dir/fd_miner.cc.o"
+  "CMakeFiles/softdb_mining.dir/fd_miner.cc.o.d"
+  "CMakeFiles/softdb_mining.dir/hole_miner.cc.o"
+  "CMakeFiles/softdb_mining.dir/hole_miner.cc.o.d"
+  "CMakeFiles/softdb_mining.dir/offset_miner.cc.o"
+  "CMakeFiles/softdb_mining.dir/offset_miner.cc.o.d"
+  "CMakeFiles/softdb_mining.dir/selection.cc.o"
+  "CMakeFiles/softdb_mining.dir/selection.cc.o.d"
+  "libsoftdb_mining.a"
+  "libsoftdb_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softdb_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softdb_mv.dir/materialized_view.cc.o"
+  "CMakeFiles/softdb_mv.dir/materialized_view.cc.o.d"
+  "libsoftdb_mv.a"
+  "libsoftdb_mv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softdb_mv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/cardinality.cc" "src/optimizer/CMakeFiles/softdb_optimizer.dir/cardinality.cc.o" "gcc" "src/optimizer/CMakeFiles/softdb_optimizer.dir/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/plan_cache.cc" "src/optimizer/CMakeFiles/softdb_optimizer.dir/plan_cache.cc.o" "gcc" "src/optimizer/CMakeFiles/softdb_optimizer.dir/plan_cache.cc.o.d"
+  "/root/repo/src/optimizer/planner.cc" "src/optimizer/CMakeFiles/softdb_optimizer.dir/planner.cc.o" "gcc" "src/optimizer/CMakeFiles/softdb_optimizer.dir/planner.cc.o.d"
+  "/root/repo/src/optimizer/range_analysis.cc" "src/optimizer/CMakeFiles/softdb_optimizer.dir/range_analysis.cc.o" "gcc" "src/optimizer/CMakeFiles/softdb_optimizer.dir/range_analysis.cc.o.d"
+  "/root/repo/src/optimizer/rewriter.cc" "src/optimizer/CMakeFiles/softdb_optimizer.dir/rewriter.cc.o" "gcc" "src/optimizer/CMakeFiles/softdb_optimizer.dir/rewriter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/softdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/softdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/softdb_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/softdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/softdb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/softdb_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/mv/CMakeFiles/softdb_mv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

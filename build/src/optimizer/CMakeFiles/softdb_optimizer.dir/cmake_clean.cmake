@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softdb_optimizer.dir/cardinality.cc.o"
+  "CMakeFiles/softdb_optimizer.dir/cardinality.cc.o.d"
+  "CMakeFiles/softdb_optimizer.dir/plan_cache.cc.o"
+  "CMakeFiles/softdb_optimizer.dir/plan_cache.cc.o.d"
+  "CMakeFiles/softdb_optimizer.dir/planner.cc.o"
+  "CMakeFiles/softdb_optimizer.dir/planner.cc.o.d"
+  "CMakeFiles/softdb_optimizer.dir/range_analysis.cc.o"
+  "CMakeFiles/softdb_optimizer.dir/range_analysis.cc.o.d"
+  "CMakeFiles/softdb_optimizer.dir/rewriter.cc.o"
+  "CMakeFiles/softdb_optimizer.dir/rewriter.cc.o.d"
+  "libsoftdb_optimizer.a"
+  "libsoftdb_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softdb_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/expr.cc" "src/plan/CMakeFiles/softdb_plan.dir/expr.cc.o" "gcc" "src/plan/CMakeFiles/softdb_plan.dir/expr.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/plan/CMakeFiles/softdb_plan.dir/logical_plan.cc.o" "gcc" "src/plan/CMakeFiles/softdb_plan.dir/logical_plan.cc.o.d"
+  "/root/repo/src/plan/predicate.cc" "src/plan/CMakeFiles/softdb_plan.dir/predicate.cc.o" "gcc" "src/plan/CMakeFiles/softdb_plan.dir/predicate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/softdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/softdb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

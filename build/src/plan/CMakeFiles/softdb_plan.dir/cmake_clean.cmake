@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softdb_plan.dir/expr.cc.o"
+  "CMakeFiles/softdb_plan.dir/expr.cc.o.d"
+  "CMakeFiles/softdb_plan.dir/logical_plan.cc.o"
+  "CMakeFiles/softdb_plan.dir/logical_plan.cc.o.d"
+  "CMakeFiles/softdb_plan.dir/predicate.cc.o"
+  "CMakeFiles/softdb_plan.dir/predicate.cc.o.d"
+  "libsoftdb_plan.a"
+  "libsoftdb_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softdb_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softdb_sql.dir/binder.cc.o"
+  "CMakeFiles/softdb_sql.dir/binder.cc.o.d"
+  "CMakeFiles/softdb_sql.dir/lexer.cc.o"
+  "CMakeFiles/softdb_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/softdb_sql.dir/parser.cc.o"
+  "CMakeFiles/softdb_sql.dir/parser.cc.o.d"
+  "libsoftdb_sql.a"
+  "libsoftdb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softdb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softdb_stats.dir/analyzer.cc.o"
+  "CMakeFiles/softdb_stats.dir/analyzer.cc.o.d"
+  "CMakeFiles/softdb_stats.dir/histogram.cc.o"
+  "CMakeFiles/softdb_stats.dir/histogram.cc.o.d"
+  "libsoftdb_stats.a"
+  "libsoftdb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softdb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softdb_storage.dir/catalog.cc.o"
+  "CMakeFiles/softdb_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/softdb_storage.dir/column_vector.cc.o"
+  "CMakeFiles/softdb_storage.dir/column_vector.cc.o.d"
+  "CMakeFiles/softdb_storage.dir/index.cc.o"
+  "CMakeFiles/softdb_storage.dir/index.cc.o.d"
+  "CMakeFiles/softdb_storage.dir/schema.cc.o"
+  "CMakeFiles/softdb_storage.dir/schema.cc.o.d"
+  "CMakeFiles/softdb_storage.dir/table.cc.o"
+  "CMakeFiles/softdb_storage.dir/table.cc.o.d"
+  "libsoftdb_storage.a"
+  "libsoftdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softdb_workload.dir/generator.cc.o"
+  "CMakeFiles/softdb_workload.dir/generator.cc.o.d"
+  "CMakeFiles/softdb_workload.dir/sc_kit.cc.o"
+  "CMakeFiles/softdb_workload.dir/sc_kit.cc.o.d"
+  "libsoftdb_workload.a"
+  "libsoftdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

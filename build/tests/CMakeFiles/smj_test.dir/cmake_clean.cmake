@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smj_test.dir/smj_test.cc.o"
+  "CMakeFiles/smj_test.dir/smj_test.cc.o.d"
+  "smj_test"
+  "smj_test.pdb"
+  "smj_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
