@@ -77,6 +77,36 @@ void PrintExperimentTable() {
       "sketches and we note as future work.");
 }
 
+// --json: machine-readable report. The A/B covers the two shapes this
+// experiment exercises — a plain scan+filter over orders, and the
+// orders ⋈ customer hash join the holes trim — each measured on the row
+// and the vectorized engine.
+void EmitJson() {
+  auto db = MakeWorkloadDb();
+  const std::string kScanFilter =
+      "SELECT o_orderkey, o_totalprice FROM orders "
+      "WHERE o_custkey - 200 >= 0 AND o_totalprice * 2 < 16000 "
+      "AND o_status = 'F'";
+  auto scan_ab = MeasureEngineAb(db.get(), kScanFilter);
+  const std::string kJoin =
+      "SELECT o_orderkey FROM orders JOIN customer ON o_custkey = c_custkey "
+      "WHERE o_totalprice < 5000 AND c_acctbal < 2000";
+  auto join_ab = MeasureEngineAb(db.get(), kJoin);
+
+  JsonWriter j;
+  j.Add("bench", "E2");
+  j.Add("scan_filter_query", kScanFilter);
+  j.Add("row_engine_sec_per_query", scan_ab.row_sec);
+  j.Add("batch_engine_sec_per_query", scan_ab.batch_sec);
+  j.Add("vectorized_speedup", scan_ab.speedup);
+  j.Add("join_query", kJoin);
+  j.Add("join_row_engine_sec_per_query", join_ab.row_sec);
+  j.Add("join_batch_engine_sec_per_query", join_ab.batch_sec);
+  j.Add("join_vectorized_speedup", join_ab.speedup);
+  j.Add("ab_iterations", scan_ab.iterations);
+  j.WriteFile("BENCH_E2.json");
+}
+
 void BM_E2_InHoleWithSc(::benchmark::State& state) {
   static auto db = [] {
     auto d = MakeWorkloadDb();
@@ -105,7 +135,9 @@ BENCHMARK(BM_E2_InHoleBaseline);
 }  // namespace softdb::bench
 
 int main(int argc, char** argv) {
+  const bool emit_json = softdb::bench::StripJsonFlag(&argc, argv);
   softdb::bench::PrintExperimentTable();
+  if (emit_json) softdb::bench::EmitJson();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,6 +1,7 @@
 #ifndef SOFTDB_BENCH_BENCH_UTIL_H_
 #define SOFTDB_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -92,6 +93,114 @@ inline std::string FmtU(std::uint64_t v) { return std::to_string(v); }
 inline void Banner(const std::string& title) {
   std::puts("");
   std::puts(("=== " + title + " ===").c_str());
+}
+
+/// Removes a leading `--json` from argv (so benchmark::Initialize never
+/// sees it) and reports whether it was present. Benches passed --json
+/// additionally write a machine-readable BENCH_<tag>.json.
+inline bool StripJsonFlag(int* argc, char** argv) {
+  bool found = false;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::string(argv[r]) == "--json") {
+      found = true;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  return found;
+}
+
+/// Tiny flat-object JSON emitter (keys added in order; no nesting — bench
+/// reports are one level deep by design).
+class JsonWriter {
+ public:
+  void Add(const std::string& key, const std::string& value) {
+    entries_.push_back("\"" + key + "\": \"" + Escape(value) + "\"");
+  }
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string(value));
+  }
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    entries_.push_back("\"" + key + "\": " + buf);
+  }
+  void Add(const std::string& key, std::uint64_t value) {
+    entries_.push_back("\"" + key + "\": " + std::to_string(value));
+  }
+  void Add(const std::string& key, int value) {
+    entries_.push_back("\"" + key + "\": " + std::to_string(value));
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs("{\n", f);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fputs(("  " + entries_[i] +
+                  (i + 1 < entries_.size() ? ",\n" : "\n"))
+                     .c_str(),
+                 f);
+    }
+    std::fputs("}\n", f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<std::string> entries_;
+};
+
+/// Row-engine vs batch-engine A/B on one query: clears the plan cache per
+/// engine (so each engine plans once), warms, then times `iterations`
+/// executions. Aborts if the two engines disagree on the answer.
+struct EngineAb {
+  double row_sec = 0;    // Seconds per execution, row engine.
+  double batch_sec = 0;  // Seconds per execution, vectorized engine.
+  double speedup = 0;    // row_sec / batch_sec.
+  int iterations = 0;
+};
+
+inline EngineAb MeasureEngineAb(SoftDb* db, const std::string& sql,
+                                int iterations = 40) {
+  const bool saved = db->options().use_vectorized;
+  std::uint64_t row_answer = 0, batch_answer = 0;
+  auto time_engine = [&](bool vectorized, std::uint64_t* answer) {
+    db->options().use_vectorized = vectorized;
+    db->plan_cache().Clear();
+    *answer = MustExecute(db, sql).rows.NumRows();  // Warm: plan + caches.
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iterations; ++i) {
+      volatile std::uint64_t sink = MustExecute(db, sql).rows.NumRows();
+      (void)sink;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count() / iterations;
+  };
+  EngineAb out;
+  out.iterations = iterations;
+  out.row_sec = time_engine(false, &row_answer);
+  out.batch_sec = time_engine(true, &batch_answer);
+  out.speedup = out.batch_sec > 0 ? out.row_sec / out.batch_sec : 0;
+  db->options().use_vectorized = saved;
+  db->plan_cache().Clear();
+  if (row_answer != batch_answer) {
+    std::fprintf(stderr, "engine A/B answer mismatch on %s\n", sql.c_str());
+    std::abort();
+  }
+  return out;
 }
 
 }  // namespace softdb::bench

@@ -1,0 +1,53 @@
+#ifndef SOFTDB_COMMON_HASH_H_
+#define SOFTDB_COMMON_HASH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/value.h"
+
+namespace softdb {
+
+/// Boost-style hash combiner (64-bit golden-ratio mix). Used wherever
+/// composite keys are hashed — miner group keys, join keys, group-by keys —
+/// instead of concatenating per-cell ToString() images.
+inline std::size_t HashCombine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash/equality functors over Value compatible with Value::GroupEquals
+/// (NULL == NULL, int/double family members that compare equal hash equal).
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.GroupEquals(b);
+  }
+};
+
+/// Composite-key variants for std::vector<Value> keys (join keys, FD
+/// determinant images, group-by keys).
+struct ValueVecHash {
+  std::size_t operator()(const std::vector<Value>& key) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (const Value& v : key) h = HashCombine(h, v.Hash());
+    return h;
+  }
+};
+
+struct ValueVecEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].GroupEquals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_COMMON_HASH_H_

@@ -40,6 +40,7 @@ OptimizerContext SoftDb::MakeContext() {
   ctx.prefer_sort_merge_join = options_.prefer_sort_merge_join;
   ctx.enable_runtime_parameterization =
       options_.enable_runtime_parameterization;
+  ctx.use_vectorized = options_.use_vectorized;
   return ctx;
 }
 
@@ -451,6 +452,10 @@ Result<std::string> SoftDb::Explain(const std::string& sql) {
   std::string out = result.plan_text;
   out += StrFormat("estimated rows: %.1f, estimated cost: %.1f pages\n",
                    result.estimated_rows, result.estimated_cost);
+  if (options_.use_vectorized) {
+    out += "execution: vectorized (batch engine where supported, row "
+           "fallback otherwise)\n";
+  }
   for (const std::string& rule : result.applied_rules) {
     out += "rule: " + rule + "\n";
   }

@@ -33,6 +33,10 @@ struct EngineOptions {
   bool use_twins_in_estimation = true;
   bool prefer_sort_merge_join = false;
   bool enable_runtime_parameterization = true;
+  /// Execute scans/filters/projections/equi hash joins on the vectorized
+  /// batch engine. Row-engine fallback is per subtree; results and
+  /// ExecStats are identical either way.
+  bool use_vectorized = true;
 };
 
 /// Result of one executed statement.

@@ -1,0 +1,301 @@
+#include "exec/batch_operators.h"
+
+#include <algorithm>
+#include <set>
+
+namespace softdb {
+
+namespace {
+
+std::vector<const Predicate*> PredicatePointers(
+    const std::vector<Predicate>& preds) {
+  std::vector<const Predicate*> out;
+  out.reserve(preds.size());
+  for (const Predicate& p : preds) out.push_back(&p);
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- BatchSeqScan
+
+BatchSeqScanOp::BatchSeqScanOp(const Table* table, Schema schema,
+                               std::vector<Predicate> preds)
+    : BatchOperator(std::move(schema)), table_(table),
+      predicates_(std::move(preds)) {}
+
+void BatchSeqScanOp::AddRuntimeParameter(std::size_t predicate_index,
+                                         const Index* index,
+                                         SimplePredicate simple) {
+  runtime_params_.push_back(
+      ScanRuntimeParameter{predicate_index, index, std::move(simple)});
+}
+
+Status BatchSeqScanOp::Open(ExecContext* ctx) {
+  next_ = 0;
+  provably_empty_ = false;
+  effective_.clear();
+
+  std::vector<bool> skip(predicates_.size(), false);
+  ResolveScanRuntimeParams(runtime_params_, schema_, ctx, &skip,
+                           &provably_empty_);
+  if (provably_empty_) return Status::OK();  // No pages touched at all.
+  for (std::size_t i = 0; i < predicates_.size(); ++i) {
+    if (!skip[i]) effective_.push_back(&predicates_[i]);
+  }
+  ctx->stats.pages_read += table_->NumPages();
+  return Status::OK();
+}
+
+Result<bool> BatchSeqScanOp::NextBatch(ExecContext* ctx, ColumnBatch* batch) {
+  if (provably_empty_) return false;
+  const std::uint8_t* live = table_->LiveBitmap();
+  while (next_ < table_->NumSlots()) {
+    const std::size_t base = next_;
+    const std::size_t n =
+        std::min(kBatchCapacity, table_->NumSlots() - base);
+    next_ += n;
+    batch->BindTableView(*table_, base, n);
+    SelIdx* sel = batch->mutable_sel();
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (live[base + i]) sel[count++] = static_cast<SelIdx>(i);
+    }
+    ctx->stats.rows_scanned += count;
+    SOFTDB_ASSIGN_OR_RETURN(std::size_t kept,
+                            FilterSelection(effective_, *batch, sel, count));
+    batch->set_sel_size(kept);
+    ctx->stats.rows_emitted += kept;
+    if (kept > 0) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------ BatchIndexRangeScan
+
+BatchIndexRangeScanOp::BatchIndexRangeScanOp(
+    const Table* table, const Index* index, Schema schema,
+    std::optional<Value> lo, bool lo_inclusive, std::optional<Value> hi,
+    bool hi_inclusive, std::vector<Predicate> residual)
+    : BatchOperator(std::move(schema)), table_(table), index_(index),
+      lo_(std::move(lo)), hi_(std::move(hi)), lo_inclusive_(lo_inclusive),
+      hi_inclusive_(hi_inclusive), residual_(std::move(residual)) {
+  effective_ = PredicatePointers(residual_);
+}
+
+Status BatchIndexRangeScanOp::Open(ExecContext* ctx) {
+  next_ = 0;
+  rows_ = index_->RangeScan(lo_, lo_inclusive_, hi_, hi_inclusive_);
+  ++ctx->stats.index_lookups;
+  // Leaf pages of the index range plus the distinct data pages fetched
+  // (same model as IndexRangeScanOp).
+  ctx->stats.pages_read += (rows_.size() + kRowsPerPage - 1) / kRowsPerPage;
+  std::set<std::uint64_t> data_pages;
+  for (RowId r : rows_) data_pages.insert(r / kRowsPerPage);
+  ctx->stats.pages_read += data_pages.size();
+  return Status::OK();
+}
+
+Result<bool> BatchIndexRangeScanOp::NextBatch(ExecContext* ctx,
+                                              ColumnBatch* batch) {
+  while (next_ < rows_.size()) {
+    const std::size_t n = std::min(kBatchCapacity, rows_.size() - next_);
+    batch->Reset(schema_);
+    for (std::size_t c = 0; c < batch->NumColumns(); ++c) {
+      batch->column(c).GatherFrom(
+          table_->ColumnData(static_cast<ColumnIdx>(c)), rows_.data() + next_,
+          n);
+    }
+    batch->SelectAll(n);
+    next_ += n;
+    ctx->stats.rows_scanned += n;
+    SOFTDB_ASSIGN_OR_RETURN(
+        std::size_t kept,
+        FilterSelection(effective_, *batch, batch->mutable_sel(), n));
+    batch->set_sel_size(kept);
+    ctx->stats.rows_emitted += kept;
+    if (kept > 0) return true;
+  }
+  return false;
+}
+
+// -------------------------------------------------------------- BatchFilter
+
+BatchFilterOp::BatchFilterOp(BatchOperatorPtr child,
+                             std::vector<Predicate> preds)
+    : BatchOperator(child->schema()), child_(std::move(child)),
+      predicates_(std::move(preds)) {
+  effective_ = PredicatePointers(predicates_);
+}
+
+Status BatchFilterOp::Open(ExecContext* ctx) { return child_->Open(ctx); }
+
+Result<bool> BatchFilterOp::NextBatch(ExecContext* ctx, ColumnBatch* batch) {
+  while (true) {
+    SOFTDB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, batch));
+    if (!has) return false;
+    SOFTDB_ASSIGN_OR_RETURN(
+        std::size_t kept,
+        FilterSelection(effective_, *batch, batch->mutable_sel(),
+                        batch->sel_size()));
+    batch->set_sel_size(kept);
+    if (kept > 0) return true;
+  }
+}
+
+// ------------------------------------------------------------- BatchProject
+
+BatchProjectOp::BatchProjectOp(BatchOperatorPtr child, Schema schema,
+                               std::vector<ExprPtr> exprs)
+    : BatchOperator(std::move(schema)), child_(std::move(child)),
+      exprs_(std::move(exprs)) {}
+
+Status BatchProjectOp::Open(ExecContext* ctx) { return child_->Open(ctx); }
+
+Result<bool> BatchProjectOp::NextBatch(ExecContext* ctx, ColumnBatch* batch) {
+  while (true) {
+    SOFTDB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, &input_));
+    if (!has) return false;
+    const std::size_t n = input_.sel_size();
+    if (n == 0) continue;
+    batch->Reset(schema_);
+    BatchVec vec;
+    for (std::size_t j = 0; j < exprs_.size(); ++j) {
+      SOFTDB_RETURN_IF_ERROR(
+          EvalExprBatch(*exprs_[j], input_, input_.sel(), n, &vec));
+      BatchColumn& col = batch->column(j);
+      // Output columns take the expressions' static result types — the same
+      // types the row engine's output Values carry — not the plan schema's,
+      // so NULLs round-trip with identical type affinity.
+      col.ResetOwned(vec.type);
+      if (vec.type == TypeId::kDouble) {
+        for (std::size_t i = 0; i < n; ++i) {
+          col.AppendRawDouble(vec.f64[i], vec.null[i] != 0);
+        }
+      } else if (vec.type == TypeId::kString) {
+        for (std::size_t i = 0; i < n; ++i) {
+          col.AppendRawString(vec.str[i], vec.null[i] != 0);
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          col.AppendRawInt64(vec.i64[i], vec.null[i] != 0);
+        }
+      }
+    }
+    batch->SelectAll(n);
+    return true;
+  }
+}
+
+// ------------------------------------------------------------ BatchHashJoin
+
+BatchHashJoinOp::BatchHashJoinOp(BatchOperatorPtr left, BatchOperatorPtr right,
+                                 std::vector<JoinNode::EquiKey> keys,
+                                 std::vector<Predicate> residual)
+    : BatchOperator(Schema::Concat(left->schema(), right->schema())),
+      left_(std::move(left)), right_(std::move(right)), keys_(std::move(keys)),
+      residual_(std::move(residual)) {}
+
+Status BatchHashJoinOp::Open(ExecContext* ctx) {
+  build_.clear();
+  probe_valid_ = false;
+  probe_idx_ = 0;
+  matches_ = nullptr;
+  match_idx_ = 0;
+  SOFTDB_RETURN_IF_ERROR(right_->Open(ctx));
+  ColumnBatch rb;
+  while (true) {
+    auto has = right_->NextBatch(ctx, &rb);
+    if (!has.ok()) return has.status();
+    if (!*has) break;
+    for (std::size_t i = 0; i < rb.sel_size(); ++i) {
+      const std::size_t pos = rb.sel()[i];
+      std::vector<Value> key;
+      key.reserve(keys_.size());
+      bool null_key = false;
+      for (const JoinNode::EquiKey& k : keys_) {
+        if (rb.column(k.right).IsNull(pos)) {
+          null_key = true;
+          break;
+        }
+        key.push_back(rb.column(k.right).GetValue(pos));
+      }
+      if (null_key) continue;
+      build_[std::move(key)].push_back(rb.MaterializeRow(pos));
+    }
+  }
+  return left_->Open(ctx);
+}
+
+Result<bool> BatchHashJoinOp::NextBatch(ExecContext* ctx, ColumnBatch* batch) {
+  batch->Reset(schema_);
+  std::size_t emitted = 0;
+  while (emitted < kBatchCapacity) {
+    if (matches_ != nullptr && match_idx_ < matches_->size()) {
+      const std::vector<Value>& right_row = (*matches_)[match_idx_++];
+      ++ctx->stats.rows_joined;
+      std::vector<Value> combined = probe_row_;
+      combined.insert(combined.end(), right_row.begin(), right_row.end());
+      SOFTDB_ASSIGN_OR_RETURN(bool pass, EvalPredicates(residual_, combined));
+      if (pass) {
+        for (std::size_t c = 0; c < combined.size(); ++c) {
+          batch->column(c).AppendValue(combined[c]);
+        }
+        ++emitted;
+      }
+      continue;
+    }
+    matches_ = nullptr;
+    if (!probe_valid_ || probe_idx_ >= probe_batch_.sel_size()) {
+      auto has = left_->NextBatch(ctx, &probe_batch_);
+      if (!has.ok()) return has.status();
+      if (!*has) break;
+      probe_valid_ = true;
+      probe_idx_ = 0;
+      continue;
+    }
+    const std::size_t pos = probe_batch_.sel()[probe_idx_++];
+    std::vector<Value> key;
+    key.reserve(keys_.size());
+    bool null_key = false;
+    for (const JoinNode::EquiKey& k : keys_) {
+      if (probe_batch_.column(k.left).IsNull(pos)) {
+        null_key = true;
+        break;
+      }
+      key.push_back(probe_batch_.column(k.left).GetValue(pos));
+    }
+    if (null_key) continue;
+    auto it = build_.find(key);
+    if (it == build_.end()) continue;
+    matches_ = &it->second;
+    match_idx_ = 0;
+    probe_row_ = probe_batch_.MaterializeRow(pos);
+  }
+  batch->SelectAll(emitted);
+  return emitted > 0;
+}
+
+// ------------------------------------------------------------- BatchAdapter
+
+Status BatchAdapterOp::Open(ExecContext* ctx) {
+  batch_valid_ = false;
+  idx_ = 0;
+  return child_->Open(ctx);
+}
+
+Result<bool> BatchAdapterOp::Next(ExecContext* ctx, std::vector<Value>* row) {
+  while (true) {
+    if (!batch_valid_ || idx_ >= batch_.sel_size()) {
+      SOFTDB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, &batch_));
+      if (!has) return false;
+      batch_valid_ = true;
+      idx_ = 0;
+      continue;
+    }
+    *row = batch_.MaterializeRow(batch_.sel()[idx_++]);
+    return true;
+  }
+}
+
+}  // namespace softdb

@@ -1,0 +1,175 @@
+#ifndef SOFTDB_EXEC_BATCH_OPERATORS_H_
+#define SOFTDB_EXEC_BATCH_OPERATORS_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "exec/column_batch.h"
+#include "exec/expr_eval.h"
+#include "exec/operator.h"
+#include "exec/operators.h"
+#include "plan/logical_plan.h"
+#include "plan/predicate.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace softdb {
+
+/// A pull-based vectorized operator producing ColumnBatches instead of
+/// rows. Every batch operator maintains ExecStats exactly as its row twin
+/// does, so a fully-drained query reports identical counters on either
+/// engine (the invariant the differential fuzzer checks).
+class BatchOperator {
+ public:
+  explicit BatchOperator(Schema schema) : schema_(std::move(schema)) {}
+  virtual ~BatchOperator() = default;
+
+  const Schema& schema() const { return schema_; }
+
+  virtual Status Open(ExecContext* ctx) = 0;
+
+  /// Produces the next non-empty batch into *batch (columns, size, and
+  /// selection vector all set). Returns false at end of stream.
+  virtual Result<bool> NextBatch(ExecContext* ctx, ColumnBatch* batch) = 0;
+
+ protected:
+  Schema schema_;
+};
+
+using BatchOperatorPtr = std::unique_ptr<BatchOperator>;
+
+/// Vectorized full-table scan: binds zero-copy column views over each run
+/// of kBatchCapacity slots, builds the selection vector from the live
+/// bitmap, and narrows it predicate-at-a-time. Page accounting and the
+/// §4.2 runtime-parameter checks are identical to SeqScanOp.
+class BatchSeqScanOp final : public BatchOperator {
+ public:
+  BatchSeqScanOp(const Table* table, Schema schema,
+                 std::vector<Predicate> preds);
+
+  /// Same contract as SeqScanOp::AddRuntimeParameter.
+  void AddRuntimeParameter(std::size_t predicate_index, const Index* index,
+                           SimplePredicate simple);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> NextBatch(ExecContext* ctx, ColumnBatch* batch) override;
+
+ private:
+  const Table* table_;
+  std::vector<Predicate> predicates_;
+  std::vector<ScanRuntimeParameter> runtime_params_;
+  std::vector<const Predicate*> effective_;  // Predicates applied this run.
+  bool provably_empty_ = false;
+  RowId next_ = 0;
+};
+
+/// Vectorized index range scan: gathers qualifying rows (which are not
+/// contiguous) into owned batch columns, then filters residuals. Open-time
+/// accounting matches IndexRangeScanOp.
+class BatchIndexRangeScanOp final : public BatchOperator {
+ public:
+  BatchIndexRangeScanOp(const Table* table, const Index* index, Schema schema,
+                        std::optional<Value> lo, bool lo_inclusive,
+                        std::optional<Value> hi, bool hi_inclusive,
+                        std::vector<Predicate> residual);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> NextBatch(ExecContext* ctx, ColumnBatch* batch) override;
+
+ private:
+  const Table* table_;
+  const Index* index_;
+  std::optional<Value> lo_, hi_;
+  bool lo_inclusive_, hi_inclusive_;
+  std::vector<Predicate> residual_;
+  std::vector<const Predicate*> effective_;
+  std::vector<RowId> rows_;
+  std::size_t next_ = 0;
+};
+
+/// Vectorized residual filter: narrows the child's selection in place —
+/// no data movement at all.
+class BatchFilterOp final : public BatchOperator {
+ public:
+  BatchFilterOp(BatchOperatorPtr child, std::vector<Predicate> preds);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> NextBatch(ExecContext* ctx, ColumnBatch* batch) override;
+
+ private:
+  BatchOperatorPtr child_;
+  std::vector<Predicate> predicates_;
+  std::vector<const Predicate*> effective_;
+};
+
+/// Vectorized projection: evaluates each output expression over the
+/// selected rows and emits a dense owned batch. Output column types follow
+/// the expressions' static result types (as the row engine's Values do).
+class BatchProjectOp final : public BatchOperator {
+ public:
+  BatchProjectOp(BatchOperatorPtr child, Schema schema,
+                 std::vector<ExprPtr> exprs);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> NextBatch(ExecContext* ctx, ColumnBatch* batch) override;
+
+ private:
+  BatchOperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  ColumnBatch input_;
+};
+
+/// Vectorized hash join on equi keys; builds on the right input, probes
+/// with the left, NULL keys never match. Matches may overflow a batch, so
+/// probe progress (batch, position, match index) carries across NextBatch
+/// calls. rows_joined counts enumerated pairs before residual filtering,
+/// exactly as HashJoinOp does.
+class BatchHashJoinOp final : public BatchOperator {
+ public:
+  BatchHashJoinOp(BatchOperatorPtr left, BatchOperatorPtr right,
+                  std::vector<JoinNode::EquiKey> keys,
+                  std::vector<Predicate> residual);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> NextBatch(ExecContext* ctx, ColumnBatch* batch) override;
+
+ private:
+  BatchOperatorPtr left_;
+  BatchOperatorPtr right_;
+  std::vector<JoinNode::EquiKey> keys_;
+  std::vector<Predicate> residual_;
+  std::unordered_map<std::vector<Value>, std::vector<std::vector<Value>>,
+                     ValueVecHash, ValueVecEq>
+      build_;
+  // Probe carry state.
+  ColumnBatch probe_batch_;
+  bool probe_valid_ = false;
+  std::size_t probe_idx_ = 0;
+  std::vector<Value> probe_row_;
+  const std::vector<std::vector<Value>>* matches_ = nullptr;
+  std::size_t match_idx_ = 0;
+};
+
+/// Bridges a vectorized subtree into the row engine: materializes each
+/// selected batch position as a row, on demand. Adds no stats of its own.
+class BatchAdapterOp final : public Operator {
+ public:
+  explicit BatchAdapterOp(BatchOperatorPtr child)
+      : Operator(child->schema()), child_(std::move(child)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
+
+ private:
+  BatchOperatorPtr child_;
+  ColumnBatch batch_;
+  bool batch_valid_ = false;
+  std::size_t idx_ = 0;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_EXEC_BATCH_OPERATORS_H_

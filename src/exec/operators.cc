@@ -25,7 +25,7 @@ void SeqScanOp::AddRuntimeParameter(std::size_t predicate_index,
                                     const Index* index,
                                     SimplePredicate simple) {
   runtime_params_.push_back(
-      RuntimeParameter{predicate_index, index, std::move(simple)});
+      ScanRuntimeParameter{predicate_index, index, std::move(simple)});
 }
 
 namespace {
@@ -59,14 +59,10 @@ int ClassifyAgainstDomain(const SimplePredicate& sp, const Value& min_key,
 
 }  // namespace
 
-Status SeqScanOp::Open(ExecContext* ctx) {
-  next_ = 0;
-  provably_empty_ = false;
-  effective_.clear();
-
-  // §4.2: resolve runtime parameters against the indexes' current min/max.
-  std::vector<bool> skip(predicates_.size(), false);
-  for (const RuntimeParameter& param : runtime_params_) {
+void ResolveScanRuntimeParams(const std::vector<ScanRuntimeParameter>& params,
+                              const Schema& schema, ExecContext* ctx,
+                              std::vector<bool>* skip, bool* provably_empty) {
+  for (const ScanRuntimeParameter& param : params) {
     // Runtime checks on nullable columns can only prove emptiness when the
     // predicate itself rejects NULLs — which simple comparisons do — so
     // both outcomes are sound: tautology-skip only skips row evaluation
@@ -75,15 +71,26 @@ Status SeqScanOp::Open(ExecContext* ctx) {
     auto max_key = param.index->MaxKey();
     if (!min_key.has_value() || !max_key.has_value()) continue;
     const int cls = ClassifyAgainstDomain(param.simple, *min_key, *max_key);
-    if (cls > 0 &&
-        !schema_.Column(param.simple.column).nullable) {
-      skip[param.predicate_index] = true;
+    if (cls > 0 && !schema.Column(param.simple.column).nullable) {
+      (*skip)[param.predicate_index] = true;
       ++ctx->stats.runtime_param_skips;
     } else if (cls < 0) {
-      provably_empty_ = true;
-      return Status::OK();  // No pages touched at all.
+      *provably_empty = true;
+      return;
     }
   }
+}
+
+Status SeqScanOp::Open(ExecContext* ctx) {
+  next_ = 0;
+  provably_empty_ = false;
+  effective_.clear();
+
+  // §4.2: resolve runtime parameters against the indexes' current min/max.
+  std::vector<bool> skip(predicates_.size(), false);
+  ResolveScanRuntimeParams(runtime_params_, schema_, ctx, &skip,
+                           &provably_empty_);
+  if (provably_empty_) return Status::OK();  // No pages touched at all.
   for (std::size_t i = 0; i < predicates_.size(); ++i) {
     if (!skip[i]) effective_.push_back(&predicates_[i]);
   }

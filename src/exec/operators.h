@@ -13,6 +13,25 @@
 
 namespace softdb {
 
+/// A §4.2 runtime plan parameter: predicates_[predicate_index] folds to
+/// `simple`, which is re-checked against `index`'s maintained min/max at
+/// every Open. Shared by the row and vectorized sequential scans.
+struct ScanRuntimeParameter {
+  std::size_t predicate_index;
+  const Index* index;
+  SimplePredicate simple;
+};
+
+/// Resolves `params` against the indexes' current domains at Open time.
+/// Tautologies on non-nullable columns set the predicate's `skip` flag and
+/// count a runtime_param_skip; the first contradiction sets
+/// *provably_empty and returns immediately (no further params are
+/// examined, and the caller must not charge any pages). `skip` must be
+/// pre-sized to the predicate count.
+void ResolveScanRuntimeParams(const std::vector<ScanRuntimeParameter>& params,
+                              const Schema& schema, ExecContext* ctx,
+                              std::vector<bool>* skip, bool* provably_empty);
+
 /// Full-table scan applying non-estimation-only predicates. Charges the
 /// whole table's pages at Open (a sequential scan touches every page).
 ///
@@ -37,15 +56,9 @@ class SeqScanOp final : public Operator {
   Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
 
  private:
-  struct RuntimeParameter {
-    std::size_t predicate_index;
-    const Index* index;
-    SimplePredicate simple;
-  };
-
   const Table* table_;
   std::vector<Predicate> predicates_;
-  std::vector<RuntimeParameter> runtime_params_;
+  std::vector<ScanRuntimeParameter> runtime_params_;
   std::vector<const Predicate*> effective_;  // Predicates applied this run.
   bool provably_empty_ = false;
   RowId next_ = 0;

@@ -1,20 +1,41 @@
 #include "mining/fd_miner.h"
 
 #include <algorithm>
-#include <string>
 #include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
 
 namespace softdb {
 
 namespace {
 
-std::string Image(const Table& table, RowId row,
-                  const std::vector<ColumnIdx>& cols) {
-  std::string image;
-  for (ColumnIdx c : cols) {
-    image += table.Get(row, c).ToString();
-    image += '\x1f';
+/// Composite key for the per-(group, dependent-value) counting pass. Values
+/// within one column share a type, so GroupEquals-based equality partitions
+/// rows exactly as the old per-cell ToString() images did — without
+/// rendering a string per cell.
+struct GroupValueKey {
+  std::uint32_t group;
+  Value value;
+};
+
+struct GroupValueKeyHash {
+  std::size_t operator()(const GroupValueKey& k) const {
+    return HashCombine(k.group, k.value.Hash());
   }
+};
+
+struct GroupValueKeyEq {
+  bool operator()(const GroupValueKey& a, const GroupValueKey& b) const {
+    return a.group == b.group && a.value.GroupEquals(b.value);
+  }
+};
+
+std::vector<Value> Image(const Table& table, RowId row,
+                         const std::vector<ColumnIdx>& cols) {
+  std::vector<Value> image;
+  image.reserve(cols.size());
+  for (ColumnIdx c : cols) image.push_back(table.Get(row, c));
   return image;
 }
 
@@ -27,16 +48,18 @@ void EvaluateDeterminant(const Table& table,
                          std::vector<FdCandidate>* out) {
   const std::size_t num_cols = table.schema().NumColumns();
   // group id per row.
-  std::unordered_map<std::string, std::uint32_t> group_of;
+  std::unordered_map<std::vector<Value>, std::uint32_t, ValueVecHash,
+                     ValueVecEq>
+      group_of;
   std::vector<std::uint32_t> row_group;
   row_group.reserve(table.NumRows());
   std::vector<RowId> live_rows;
   live_rows.reserve(table.NumRows());
   for (RowId r = 0; r < table.NumSlots(); ++r) {
     if (!table.IsLive(r)) continue;
-    const std::string img = Image(table, r, determinant);
     auto [it, _] = group_of.emplace(
-        img, static_cast<std::uint32_t>(group_of.size()));
+        Image(table, r, determinant),
+        static_cast<std::uint32_t>(group_of.size()));
     row_group.push_back(it->second);
     live_rows.push_back(r);
   }
@@ -54,13 +77,13 @@ void EvaluateDeterminant(const Table& table,
       continue;
     }
     // Per (group, y-value) counts; track per-group max.
-    std::unordered_map<std::string, std::uint64_t> counts;
+    std::unordered_map<GroupValueKey, std::uint64_t, GroupValueKeyHash,
+                       GroupValueKeyEq>
+        counts;
     std::vector<std::uint64_t> group_max(groups, 0);
     for (std::size_t i = 0; i < live_rows.size(); ++i) {
-      std::string key = std::to_string(row_group[i]);
-      key += '\x1e';
-      key += table.Get(live_rows[i], y).ToString();
-      const std::uint64_t c = ++counts[key];
+      const std::uint64_t c =
+          ++counts[GroupValueKey{row_group[i], table.Get(live_rows[i], y)}];
       if (c > group_max[row_group[i]]) group_max[row_group[i]] = c;
     }
     std::uint64_t kept = 0;

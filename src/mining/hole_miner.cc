@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/hash.h"
+
 namespace softdb {
 
 bool LargestEmptyRectangle(const std::vector<std::vector<std::uint8_t>>& grid,
@@ -96,11 +98,12 @@ Result<HoleMinerResult> MineJoinHoles(const Table& left, ColumnIdx left_join,
   std::vector<std::vector<std::uint8_t>> grid(
       res, std::vector<std::uint8_t>(res, 0));
 
-  // Hash join: build on right, probe left; mark occupied cells.
-  std::unordered_multimap<std::string, double> build;
+  // Hash join: build on right, probe left; mark occupied cells. Keys hash
+  // by value (GroupEquals semantics), not by rendered ToString() images.
+  std::unordered_multimap<Value, double, ValueHash, ValueEq> build;
   for (RowId r = 0; r < right.NumSlots(); ++r) {
     if (!right.IsLive(r) || rj.IsNull(r) || rb.IsNull(r)) continue;
-    build.emplace(rj.Get(r).ToString(), rb.GetNumeric(r));
+    build.emplace(rj.Get(r), rb.GetNumeric(r));
   }
   HoleMinerResult result;
   auto cell_of = [res](double v, double lo, double step) {
@@ -110,7 +113,7 @@ Result<HoleMinerResult> MineJoinHoles(const Table& left, ColumnIdx left_join,
   for (RowId r = 0; r < left.NumSlots(); ++r) {
     if (!left.IsLive(r) || lj.IsNull(r) || la.IsNull(r)) continue;
     const double a = la.GetNumeric(r);
-    auto [lo, hi] = build.equal_range(lj.Get(r).ToString());
+    auto [lo, hi] = build.equal_range(lj.Get(r));
     for (auto it = lo; it != hi; ++it) {
       ++result.join_pairs;
       grid[cell_of(a, a_min, a_step)][cell_of(it->second, b_min, b_step)] = 1;

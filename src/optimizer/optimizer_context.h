@@ -45,6 +45,12 @@ struct OptimizerContext {
   /// at Open (tautologies skipped, contradictions short-circuit) without
   /// invalidating the plan.
   bool enable_runtime_parameterization = true;
+  /// Lower scans, filters, projections and equi hash joins to the
+  /// vectorized batch engine (selection vectors over ColumnBatches) where
+  /// possible; unsupported operators fall back to the row engine per
+  /// subtree. Results and ExecStats are identical either way — LIMIT
+  /// subtrees stay on the row engine so early-exit accounting matches.
+  bool use_vectorized = true;
 
   // Outputs of a rewrite pass.
   std::vector<std::string> used_scs;       // SCs baked into the plan.

@@ -34,6 +34,31 @@ Value BoundValue(double v, TypeId type, bool is_lower) {
   }
 }
 
+/// §4.2 runtime parameterization: simple predicates over indexed columns
+/// are re-checked against the index's *current* min/max at every Open, so
+/// the compiled plan adapts to updates without invalidation. Shared by the
+/// row and batch sequential scans.
+template <typename ScanOpT>
+void WireRuntimeParams(const OptimizerContext* ctx, const ScanNode& scan,
+                       ScanOpT* op) {
+  if (!ctx->enable_runtime_parameterization ||
+      scan.external_table() != nullptr) {
+    return;
+  }
+  for (std::size_t i = 0; i < scan.predicates().size(); ++i) {
+    const Predicate& p = scan.predicates()[i];
+    if (p.estimation_only) continue;
+    SimplePredicate sp;
+    if (!MatchSimplePredicate(*p.expr, &sp)) continue;
+    for (const Index* index : ctx->catalog->IndexesOn(scan.table_name())) {
+      if (index->column() == sp.column) {
+        op->AddRuntimeParameter(i, index, sp);
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Result<AccessPathChoice> PhysicalPlanner::ChooseAccessPath(
@@ -120,40 +145,110 @@ Result<OperatorPtr> PhysicalPlanner::PlanScan(const ScanNode& scan) const {
   }
   auto seq = std::make_unique<SeqScanOp>(table, scan.output_schema(),
                                          ClonePredicates(scan.predicates()));
-  // §4.2 runtime parameterization: simple predicates over indexed columns
-  // are re-checked against the index's *current* min/max at every Open, so
-  // the compiled plan adapts to updates without invalidation.
-  if (ctx_->enable_runtime_parameterization &&
-      scan.external_table() == nullptr) {
-    for (std::size_t i = 0; i < scan.predicates().size(); ++i) {
-      const Predicate& p = scan.predicates()[i];
-      if (p.estimation_only) continue;
-      SimplePredicate sp;
-      if (!MatchSimplePredicate(*p.expr, &sp)) continue;
-      for (const Index* index : ctx_->catalog->IndexesOn(scan.table_name())) {
-        if (index->column() == sp.column) {
-          seq->AddRuntimeParameter(i, index, sp);
-          break;
-        }
-      }
-    }
-  }
+  WireRuntimeParams(ctx_, scan, seq.get());
   return OperatorPtr(std::move(seq));
 }
 
+Result<BatchOperatorPtr> PhysicalPlanner::TryPlanBatch(
+    const PlanNode& node) const {
+  switch (node.kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const ScanNode&>(node);
+      const Table* table = scan.external_table();
+      if (table == nullptr) {
+        SOFTDB_ASSIGN_OR_RETURN(Table * t,
+                                ctx_->catalog->GetTable(scan.table_name()));
+        table = t;
+      }
+      const RangeMap ranges =
+          BuildRangeMap(scan.predicates(), /*include_estimation_only=*/false);
+      // Unsatisfiable scans become the row engine's EmptyOp.
+      if (ranges.unsatisfiable) return BatchOperatorPtr(nullptr);
+      SOFTDB_ASSIGN_OR_RETURN(AccessPathChoice choice, ChooseAccessPath(scan));
+      if (choice.index != nullptr) {
+        return BatchOperatorPtr(std::make_unique<BatchIndexRangeScanOp>(
+            table, choice.index, scan.output_schema(), choice.lo,
+            choice.lo_inclusive, choice.hi, choice.hi_inclusive,
+            ClonePredicates(scan.predicates())));
+      }
+      auto seq = std::make_unique<BatchSeqScanOp>(
+          table, scan.output_schema(), ClonePredicates(scan.predicates()));
+      WireRuntimeParams(ctx_, scan, seq.get());
+      return BatchOperatorPtr(std::move(seq));
+    }
+    case PlanKind::kFilter: {
+      const auto& filter = static_cast<const FilterNode&>(node);
+      SOFTDB_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                              TryPlanBatch(*node.children()[0]));
+      if (!child) return BatchOperatorPtr(nullptr);
+      return BatchOperatorPtr(std::make_unique<BatchFilterOp>(
+          std::move(child), ClonePredicates(filter.predicates())));
+    }
+    case PlanKind::kProject: {
+      const auto& proj = static_cast<const ProjectNode&>(node);
+      SOFTDB_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                              TryPlanBatch(*node.children()[0]));
+      if (!child) return BatchOperatorPtr(nullptr);
+      std::vector<ExprPtr> exprs;
+      exprs.reserve(proj.exprs().size());
+      for (const ExprPtr& e : proj.exprs()) exprs.push_back(e->Clone());
+      return BatchOperatorPtr(std::make_unique<BatchProjectOp>(
+          std::move(child), proj.output_schema(), std::move(exprs)));
+    }
+    case PlanKind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(node);
+      if (join.equi_keys().empty() || ctx_->prefer_sort_merge_join) {
+        return BatchOperatorPtr(nullptr);
+      }
+      // The batch join rebuilds output cells through schema-typed columns;
+      // scan/filter/join inputs carry table-typed values so the rebuild is
+      // lossless. Projection inputs may carry expression-typed NULLs, so
+      // those joins stay on the row engine.
+      for (const PlanPtr& c : node.children()) {
+        if (c->kind() != PlanKind::kScan && c->kind() != PlanKind::kFilter &&
+            c->kind() != PlanKind::kJoin) {
+          return BatchOperatorPtr(nullptr);
+        }
+      }
+      SOFTDB_ASSIGN_OR_RETURN(BatchOperatorPtr left,
+                              TryPlanBatch(*node.children()[0]));
+      if (!left) return BatchOperatorPtr(nullptr);
+      SOFTDB_ASSIGN_OR_RETURN(BatchOperatorPtr right,
+                              TryPlanBatch(*node.children()[1]));
+      if (!right) return BatchOperatorPtr(nullptr);
+      return BatchOperatorPtr(std::make_unique<BatchHashJoinOp>(
+          std::move(left), std::move(right), join.equi_keys(),
+          ClonePredicates(join.conditions())));
+    }
+    default:
+      return BatchOperatorPtr(nullptr);
+  }
+}
+
 Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node) const {
+  return Plan(node, /*allow_vectorized=*/true);
+}
+
+Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node,
+                                          bool allow_vectorized) const {
+  if (allow_vectorized && ctx_->use_vectorized) {
+    SOFTDB_ASSIGN_OR_RETURN(BatchOperatorPtr batch, TryPlanBatch(node));
+    if (batch) {
+      return OperatorPtr(std::make_unique<BatchAdapterOp>(std::move(batch)));
+    }
+  }
   switch (node.kind()) {
     case PlanKind::kScan:
       return PlanScan(static_cast<const ScanNode&>(node));
     case PlanKind::kFilter: {
       const auto& filter = static_cast<const FilterNode&>(node);
-      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr child, Plan(*node.children()[0]));
+      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr child, Plan(*node.children()[0], allow_vectorized));
       return OperatorPtr(std::make_unique<FilterOp>(
           std::move(child), ClonePredicates(filter.predicates())));
     }
     case PlanKind::kProject: {
       const auto& proj = static_cast<const ProjectNode&>(node);
-      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr child, Plan(*node.children()[0]));
+      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr child, Plan(*node.children()[0], allow_vectorized));
       std::vector<ExprPtr> exprs;
       exprs.reserve(proj.exprs().size());
       for (const ExprPtr& e : proj.exprs()) exprs.push_back(e->Clone());
@@ -162,8 +257,8 @@ Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node) const {
     }
     case PlanKind::kJoin: {
       const auto& join = static_cast<const JoinNode&>(node);
-      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr left, Plan(*node.children()[0]));
-      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr right, Plan(*node.children()[1]));
+      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr left, Plan(*node.children()[0], allow_vectorized));
+      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr right, Plan(*node.children()[1], allow_vectorized));
       if (!join.equi_keys().empty()) {
         if (ctx_->prefer_sort_merge_join) {
           return OperatorPtr(std::make_unique<SortMergeJoinOp>(
@@ -180,7 +275,7 @@ Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node) const {
     }
     case PlanKind::kAggregate: {
       const auto& agg = static_cast<const AggregateNode&>(node);
-      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr child, Plan(*node.children()[0]));
+      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr child, Plan(*node.children()[0], allow_vectorized));
       std::vector<ExprPtr> groups;
       groups.reserve(agg.group_by().size());
       for (const ExprPtr& g : agg.group_by()) groups.push_back(g->Clone());
@@ -214,9 +309,9 @@ Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node) const {
         }
         if (matches) {
           SOFTDB_ASSIGN_OR_RETURN(OperatorPtr left,
-                                  Plan(*join.children()[0]));
+                                  Plan(*join.children()[0], allow_vectorized));
           SOFTDB_ASSIGN_OR_RETURN(OperatorPtr right,
-                                  Plan(*join.children()[1]));
+                                  Plan(*join.children()[1], allow_vectorized));
           child = std::make_unique<SortMergeJoinOp>(
               std::move(left), std::move(right), join.equi_keys(),
               ClonePredicates(join.conditions()));
@@ -224,7 +319,7 @@ Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node) const {
         }
       }
       if (!child) {
-        SOFTDB_ASSIGN_OR_RETURN(child, Plan(*node.children()[0]));
+        SOFTDB_ASSIGN_OR_RETURN(child, Plan(*node.children()[0], allow_vectorized));
       }
       // Sort elision: a single ascending key over the column an index scan
       // already delivers in order.
@@ -251,7 +346,7 @@ Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node) const {
       std::vector<OperatorPtr> children;
       children.reserve(node.children().size());
       for (const PlanPtr& c : node.children()) {
-        SOFTDB_ASSIGN_OR_RETURN(OperatorPtr op, Plan(*c));
+        SOFTDB_ASSIGN_OR_RETURN(OperatorPtr op, Plan(*c, allow_vectorized));
         children.push_back(std::move(op));
       }
       return OperatorPtr(std::make_unique<UnionAllOp>(node.output_schema(),
@@ -259,7 +354,10 @@ Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node) const {
     }
     case PlanKind::kLimit: {
       const auto& limit = static_cast<const LimitNode&>(node);
-      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr child, Plan(*node.children()[0]));
+      // LIMIT may stop pulling early; batch subtrees read ahead and would
+      // skew ExecStats, so everything below stays on the row engine.
+      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr child,
+                              Plan(*node.children()[0], false));
       return OperatorPtr(
           std::make_unique<LimitOp>(std::move(child), limit.limit()));
     }
@@ -269,17 +367,25 @@ Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node) const {
 
 double PhysicalPlanner::EstimateCost(const PlanNode& node) const {
   constexpr double kCpuPerRow = 0.001;  // Pages are the unit; cpu is cheap.
+  // Column-at-a-time evaluation amortizes dispatch over a batch; the
+  // operators the batch engine can lower get the cheaper rate.
+  constexpr double kCpuPerRowVectorized = 0.00025;
+  const double scan_cpu =
+      ctx_->use_vectorized ? kCpuPerRowVectorized : kCpuPerRow;
   switch (node.kind()) {
     case PlanKind::kScan: {
       const auto& scan = static_cast<const ScanNode&>(node);
       auto choice = ChooseAccessPath(scan);
       if (!choice.ok()) return 1.0;
       return choice->cost_pages +
-             kCpuPerRow * estimator_->EstimateRows(node);
+             scan_cpu * estimator_->EstimateRows(node);
     }
     case PlanKind::kFilter:
     case PlanKind::kProject:
+      return EstimateCost(*node.children()[0]) +
+             scan_cpu * estimator_->EstimateRows(node);
     case PlanKind::kLimit:
+      // LIMIT subtrees run on the row engine (see Plan).
       return EstimateCost(*node.children()[0]) +
              kCpuPerRow * estimator_->EstimateRows(node);
     case PlanKind::kJoin: {
@@ -288,7 +394,11 @@ double PhysicalPlanner::EstimateCost(const PlanNode& node) const {
       const auto& join = static_cast<const JoinNode&>(node);
       double cpu;
       if (!join.equi_keys().empty()) {
-        cpu = kCpuPerRow * (build * 2.0 + probe);
+        const double rate = (ctx_->use_vectorized &&
+                             !ctx_->prefer_sort_merge_join)
+                                ? kCpuPerRowVectorized
+                                : kCpuPerRow;
+        cpu = rate * (build * 2.0 + probe);
       } else {
         cpu = kCpuPerRow * build * probe;  // Nested loop.
       }

@@ -3,6 +3,7 @@
 
 #include <optional>
 
+#include "exec/batch_operators.h"
 #include "exec/operators.h"
 #include "optimizer/cardinality.h"
 #include "optimizer/optimizer_context.h"
@@ -39,7 +40,18 @@ class PhysicalPlanner {
   double EstimateCost(const PlanNode& node) const;
 
  private:
+  /// Recursive lowering. `allow_vectorized` is cleared under LIMIT nodes:
+  /// LIMIT may stop consuming early, and a batch subtree would read ahead
+  /// of the row engine, breaking ExecStats equivalence.
+  Result<OperatorPtr> Plan(const PlanNode& node, bool allow_vectorized) const;
   Result<OperatorPtr> PlanScan(const ScanNode& scan) const;
+
+  /// Lowers `node` to the batch engine when every operator in the subtree
+  /// supports it; returns a null pointer (OK status) otherwise, in which
+  /// case the caller plans `node` on the row engine and each child gets
+  /// its own chance at vectorization — subtrees are maximal, adapters
+  /// appear only at vectorized-subtree roots.
+  Result<BatchOperatorPtr> TryPlanBatch(const PlanNode& node) const;
 
   const OptimizerContext* ctx_;
   const CardinalityEstimator* estimator_;

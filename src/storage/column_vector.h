@@ -42,6 +42,15 @@ class ColumnVector {
   /// Numeric view used by miners and the estimator (0.0 for strings/null).
   double GetNumeric(std::size_t row) const;
 
+  /// Raw buffer spans for the vectorized engine: a ColumnBatch views a
+  /// contiguous run of rows directly in these buffers, so batch predicate
+  /// evaluation never boxes a Value. Only the buffer matching the column's
+  /// physical layout is populated (int-like types share `RawInts`).
+  const std::int64_t* RawInts() const { return ints_.data(); }
+  const double* RawDoubles() const { return doubles_.data(); }
+  const std::string* RawStrings() const { return strings_.data(); }
+  const std::uint8_t* RawNulls() const { return nulls_.data(); }
+
   void Reserve(std::size_t n);
 
  private:

@@ -59,6 +59,10 @@ class Table {
   /// Raw column access for miners, ANALYZE, and vectorized scans.
   const ColumnVector& ColumnData(ColumnIdx col) const { return columns_[col]; }
 
+  /// Raw tombstone bitmap (1 = live), indexed by RowId. The vectorized scan
+  /// builds its selection vector from a span of this without per-row calls.
+  const std::uint8_t* LiveBitmap() const { return live_.data(); }
+
   void Reserve(std::size_t rows);
 
   /// Monotone version bumped on every mutation; statistics and soft

@@ -120,6 +120,54 @@ class FuzzDifferential : public ::testing::TestWithParam<std::uint64_t> {
     return count;
   }
 
+  // Asserts the row engine and the vectorized batch engine produce
+  // byte-identical answers AND identical ExecStats for `sql` under the
+  // currently configured optimizer rules.
+  void ExpectEnginesAgree(const std::string& sql, std::size_t expected,
+                          int config) {
+    db_.options().use_vectorized = false;
+    db_.plan_cache().Clear();
+    auto row_result = db_.Execute(sql);
+    ASSERT_TRUE(row_result.ok())
+        << sql << " -> " << row_result.status().ToString();
+    EXPECT_EQ(row_result->rows.NumRows(), expected)
+        << sql << " (config " << config << ")";
+
+    db_.options().use_vectorized = true;
+    db_.plan_cache().Clear();
+    auto batch_result = db_.Execute(sql);
+    ASSERT_TRUE(batch_result.ok())
+        << sql << " -> " << batch_result.status().ToString();
+
+    const RowSet& r = row_result->rows;
+    const RowSet& b = batch_result->rows;
+    ASSERT_EQ(r.NumRows(), b.NumRows()) << sql << " (config " << config << ")";
+    for (std::size_t i = 0; i < r.NumRows(); ++i) {
+      ASSERT_EQ(r.rows[i].size(), b.rows[i].size()) << sql << " row " << i;
+      for (std::size_t c = 0; c < r.rows[i].size(); ++c) {
+        const Value& rv = r.rows[i][c];
+        const Value& bv = b.rows[i][c];
+        ASSERT_EQ(rv.type(), bv.type())
+            << sql << " row " << i << " col " << c;
+        ASSERT_EQ(rv.is_null(), bv.is_null())
+            << sql << " row " << i << " col " << c;
+        ASSERT_EQ(rv.ToString(), bv.ToString())
+            << sql << " row " << i << " col " << c;
+      }
+    }
+
+    const ExecStats& rs = row_result->exec_stats;
+    const ExecStats& bs = batch_result->exec_stats;
+    EXPECT_EQ(rs.rows_scanned, bs.rows_scanned) << sql;
+    EXPECT_EQ(rs.rows_emitted, bs.rows_emitted) << sql;
+    EXPECT_EQ(rs.pages_read, bs.pages_read) << sql;
+    EXPECT_EQ(rs.rows_output, bs.rows_output) << sql;
+    EXPECT_EQ(rs.rows_sorted, bs.rows_sorted) << sql;
+    EXPECT_EQ(rs.index_lookups, bs.index_lookups) << sql;
+    EXPECT_EQ(rs.rows_joined, bs.rows_joined) << sql;
+    EXPECT_EQ(rs.runtime_param_skips, bs.runtime_param_skips) << sql;
+  }
+
   Rng rng_{0};
   SoftDb db_;
 };
@@ -130,18 +178,86 @@ TEST_P(FuzzDifferential, PipelineMatchesDirectEvaluation) {
     const std::string sql = "SELECT * FROM t WHERE " + predicate;
     const std::size_t expected = ReferenceCount(predicate);
 
-    // Sweep rule configurations; answers must be invariant.
+    // Sweep rule configurations; answers must be invariant, and within each
+    // configuration the row and vectorized engines must agree exactly —
+    // both on the rows returned and on every ExecStats counter.
     for (int config = 0; config < 4; ++config) {
       db_.options().enable_predicate_introduction = (config & 1) != 0;
       db_.options().enable_twinning = (config & 2) != 0;
       db_.options().use_twins_in_estimation = (config & 2) != 0;
       db_.options().prefer_sort_merge_join = (config & 1) != 0;
+      ExpectEnginesAgree(sql, expected, config);
+    }
+  }
+}
+
+// Joins, projections with expressions, ORDER BY and LIMIT must also agree
+// between engines (joins/projections vectorize; ORDER BY falls back at the
+// Sort; LIMIT forces the whole subtree onto the row engine).
+TEST_P(FuzzDifferential, JoinsAndProjectionsMatchAcrossEngines) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE s (k BIGINT NOT NULL, w DOUBLE, "
+                          "tag VARCHAR)")
+                  .ok());
+  for (int i = 0; i < 200; ++i) {
+    std::vector<Value> row;
+    row.push_back(Value::Int64(rng_.Uniform(0, 100)));
+    row.push_back(rng_.NextBool(0.1) ? Value::Null()
+                                     : Value::Double(rng_.NextDouble() * 50));
+    row.push_back(Value::String(rng_.NextBool(0.5) ? "hot" : "cold"));
+    ASSERT_TRUE(db_.InsertRow("s", row).ok());
+  }
+  ASSERT_TRUE(db_.Execute("ANALYZE s").ok());
+
+  const std::string queries[] = {
+      "SELECT a, b, k, w FROM t JOIN s ON a = k WHERE " + RandomPredicate(),
+      "SELECT b - a, c + w FROM t JOIN s ON a = k WHERE " + RandomPredicate(),
+      "SELECT a + 1, b * 2, e FROM t WHERE " + RandomPredicate(),
+      "SELECT a, w FROM t JOIN s ON b = k",
+      "SELECT a, b FROM t WHERE " + RandomPredicate() + " ORDER BY a",
+      "SELECT a FROM t WHERE " + RandomPredicate() + " LIMIT 7",
+  };
+  for (const std::string& sql : queries) {
+    for (int config = 0; config < 2; ++config) {
+      db_.options().enable_predicate_introduction = config != 0;
+      db_.options().prefer_sort_merge_join = config != 0;
+
+      db_.options().use_vectorized = false;
       db_.plan_cache().Clear();
-      auto result = db_.Execute(sql);
-      ASSERT_TRUE(result.ok()) << sql << " -> "
-                               << result.status().ToString();
-      EXPECT_EQ(result->rows.NumRows(), expected)
-          << sql << " (config " << config << ")";
+      auto row_result = db_.Execute(sql);
+      ASSERT_TRUE(row_result.ok())
+          << sql << " -> " << row_result.status().ToString();
+
+      db_.options().use_vectorized = true;
+      db_.plan_cache().Clear();
+      auto batch_result = db_.Execute(sql);
+      ASSERT_TRUE(batch_result.ok())
+          << sql << " -> " << batch_result.status().ToString();
+
+      ASSERT_EQ(row_result->rows.NumRows(), batch_result->rows.NumRows())
+          << sql;
+      for (std::size_t i = 0; i < row_result->rows.NumRows(); ++i) {
+        const auto& rr = row_result->rows.rows[i];
+        const auto& br = batch_result->rows.rows[i];
+        ASSERT_EQ(rr.size(), br.size()) << sql << " row " << i;
+        for (std::size_t c = 0; c < rr.size(); ++c) {
+          ASSERT_EQ(rr[c].type(), br[c].type())
+              << sql << " row " << i << " col " << c;
+          ASSERT_EQ(rr[c].is_null(), br[c].is_null())
+              << sql << " row " << i << " col " << c;
+          ASSERT_EQ(rr[c].ToString(), br[c].ToString())
+              << sql << " row " << i << " col " << c;
+        }
+      }
+      const ExecStats& rs = row_result->exec_stats;
+      const ExecStats& bs = batch_result->exec_stats;
+      EXPECT_EQ(rs.rows_scanned, bs.rows_scanned) << sql;
+      EXPECT_EQ(rs.rows_emitted, bs.rows_emitted) << sql;
+      EXPECT_EQ(rs.pages_read, bs.pages_read) << sql;
+      EXPECT_EQ(rs.rows_output, bs.rows_output) << sql;
+      EXPECT_EQ(rs.rows_sorted, bs.rows_sorted) << sql;
+      EXPECT_EQ(rs.index_lookups, bs.index_lookups) << sql;
+      EXPECT_EQ(rs.rows_joined, bs.rows_joined) << sql;
+      EXPECT_EQ(rs.runtime_param_skips, bs.runtime_param_skips) << sql;
     }
   }
 }

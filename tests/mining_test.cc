@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <string>
+
 #include "common/rng.h"
 #include "constraints/column_offset_sc.h"
 #include "mining/correlation_miner.h"
@@ -239,6 +243,70 @@ TEST(FdMinerTest, PairDeterminantsAreMinimal) {
       // {a,b} -> c must have been pruned since a -> c already holds.
       EXPECT_EQ(fd.determinants.size(), 1u);
     }
+  }
+}
+
+// Reference confidence computed the way the miner originally did it — by
+// grouping on rendered per-cell string images — so the value-hash fast
+// path can be cross-checked against it bit for bit.
+double ReferenceFdConfidence(const Table& t,
+                             const std::vector<ColumnIdx>& determinant,
+                             ColumnIdx dependent, std::uint64_t* groups_out) {
+  auto cell_image = [&](RowId r, ColumnIdx c) {
+    const Value v = t.Get(r, c);
+    return v.is_null() ? std::string("\x01<null>") : v.ToString();
+  };
+  std::map<std::string, std::map<std::string, std::uint64_t>> counts;
+  std::uint64_t rows = 0;
+  for (RowId r = 0; r < t.NumSlots(); ++r) {
+    if (!t.IsLive(r)) continue;
+    ++rows;
+    std::string key;
+    for (ColumnIdx c : determinant) key += cell_image(r, c) + "\x1f";
+    ++counts[key][cell_image(r, dependent)];
+  }
+  std::uint64_t kept = 0;
+  for (const auto& [key, per_value] : counts) {
+    std::uint64_t best = 0;
+    for (const auto& [value, n] : per_value) best = std::max(best, n);
+    kept += best;
+  }
+  *groups_out = counts.size();
+  return static_cast<double>(kept) / static_cast<double>(rows);
+}
+
+TEST(FdMinerTest, HashKeyedCountsMatchStringKeyedReference) {
+  Schema s;
+  s.AddColumn({"a", TypeId::kInt64, false, "t"});
+  s.AddColumn({"b", TypeId::kInt64, true, "t"});
+  s.AddColumn({"c", TypeId::kString, true, "t"});
+  s.AddColumn({"d", TypeId::kDouble, true, "t"});
+  Table t("t", s);
+  Rng rng(11);
+  for (int i = 0; i < 400; ++i) {
+    const std::int64_t a = rng.Uniform(0, 20);
+    ASSERT_TRUE(
+        t.Append({Value::Int64(a),
+                  rng.NextBool(0.1) ? Value::Null() : Value::Int64(a / 3),
+                  rng.NextBool(0.1)
+                      ? Value::Null()
+                      : Value::String(a % 2 ? "odd" : "even"),
+                  Value::Double(static_cast<double>(a % 5))})
+            .ok());
+  }
+  FdMinerOptions options;
+  options.min_confidence = 0.0;  // Report everything; compare all counts.
+  options.max_group_fraction = 1.1;
+  auto fds = MineFunctionalDependencies(t, options);
+  ASSERT_FALSE(fds.empty());
+  for (const FdCandidate& fd : fds) {
+    std::uint64_t ref_groups = 0;
+    const double ref_conf =
+        ReferenceFdConfidence(t, fd.determinants, fd.dependent, &ref_groups);
+    EXPECT_DOUBLE_EQ(fd.confidence, ref_conf)
+        << "determinant[0]=" << fd.determinants[0]
+        << " dependent=" << fd.dependent;
+    EXPECT_EQ(fd.determinant_groups, ref_groups);
   }
 }
 
