@@ -1,0 +1,14 @@
+-- Representative workload for clean_catalog.sdl. Every soft constraint in
+-- that catalog is exploitable by at least one of these queries, so the
+-- dead-sc check stays quiet.
+
+-- Exploits order_total_range (predicate on orders.total).
+SELECT id, total FROM orders WHERE total > 500;
+
+-- Exploits ship_lag (predicate on orders.ship_day).
+SELECT id FROM orders WHERE ship_day < 20;
+
+-- Exploits orders_have_customers (join between orders and customers).
+SELECT o.id, c.region
+FROM orders o JOIN customers c ON o.customer_id = c.id
+WHERE o.order_day > 10;

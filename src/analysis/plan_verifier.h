@@ -1,0 +1,60 @@
+#ifndef SOFTDB_ANALYSIS_PLAN_VERIFIER_H_
+#define SOFTDB_ANALYSIS_PLAN_VERIFIER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/invariants.h"
+#include "exec/column_batch.h"
+#include "exec/operator.h"
+#include "mv/materialized_view.h"
+#include "plan/logical_plan.h"
+#include "storage/catalog.h"
+
+namespace softdb {
+
+/// What the verifier may consult. Every pointer is optional: checks that
+/// need an absent component are skipped (hand-built plans in tests verify
+/// structurally without a catalog).
+struct PlanVerifierContext {
+  const Catalog* catalog = nullptr;
+  const MvRegistry* mvs = nullptr;
+  /// sc name -> exception AST name, as wired into the optimizer.
+  const std::map<std::string, std::string>* exception_asts = nullptr;
+};
+
+/// Static checker for plan trees. The rewriter invokes it after each
+/// rewrite phase, the physical planner after lowering; debug builds verify
+/// unconditionally, release builds behind EngineOptions::verify_plans.
+/// Violations are structural diagnostics naming the phase and plan node
+/// path — a non-empty result is an engine bug, never a user error.
+class PlanVerifier {
+ public:
+  explicit PlanVerifier(PlanVerifierContext ctx = {}) : ctx_(ctx) {}
+
+  /// All violations in a logical plan tree (empty when sound).
+  std::vector<PlanViolation> CheckLogical(const PlanNode& root,
+                                          const std::string& phase) const;
+
+  /// All violations in a physical operator tree.
+  std::vector<PlanViolation> CheckPhysical(const Operator& root,
+                                           const std::string& phase) const;
+
+  /// Checks one batch's selection vector (ascending, duplicate-free, in
+  /// bounds) — used by the batch tests and the differential fuzzer.
+  std::vector<PlanViolation> CheckBatch(const ColumnBatch& batch,
+                                        const std::string& phase) const;
+
+  /// Check + convert: OK when clean, internal error listing every
+  /// violation otherwise.
+  Status VerifyLogical(const PlanNode& root, const std::string& phase) const;
+  Status VerifyPhysical(const Operator& root, const std::string& phase) const;
+
+ private:
+  PlanVerifierContext ctx_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_ANALYSIS_PLAN_VERIFIER_H_

@@ -1,0 +1,799 @@
+#include "analysis/sc_lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/str_util.h"
+#include "constraints/column_offset_sc.h"
+#include "constraints/domain_sc.h"
+#include "constraints/fd_sc.h"
+#include "constraints/inclusion_sc.h"
+#include "constraints/linear_correlation_sc.h"
+#include "constraints/predicate_sc.h"
+#include "engine/softdb.h"
+#include "optimizer/range_analysis.h"
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace softdb {
+
+namespace {
+
+// ------------------------------------------------------------- script input
+
+std::string StripComments(const std::string& script) {
+  std::string out;
+  out.reserve(script.size());
+  bool in_string = false;
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const char c = script[i];
+    if (!in_string && c == '-' && i + 1 < script.size() &&
+        script[i + 1] == '-') {
+      while (i < script.size() && script[i] != '\n') ++i;
+      out.push_back('\n');
+      continue;
+    }
+    if (c == '\'') in_string = !in_string;
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool IsBlank(const std::string& s) {
+  return std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isspace(c) != 0; });
+}
+
+// --------------------------------------------------------- directive parser
+
+/// Cursor over a tokenized SOFT CONSTRAINT directive. Keywords and
+/// identifiers are matched by uppercased text, so directive words need not
+/// be SQL keywords.
+class DirectiveCursor {
+ public:
+  explicit DirectiveCursor(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool ConsumeWord(const char* word) {
+    const Token& t = Peek();
+    if ((t.type == TokenType::kIdentifier || t.type == TokenType::kKeyword) &&
+        ToUpper(t.text) == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> TakeIdentifier(const char* what) {
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier && t.type != TokenType::kKeyword) {
+      return Status::InvalidArgument(std::string("expected ") + what);
+    }
+    ++pos_;
+    return t.text;
+  }
+
+  Status ExpectOp(const char* op) {
+    if (!Peek().IsOp(op)) {
+      return Status::InvalidArgument(std::string("expected '") + op + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<Value> TakeValue() {
+    bool negative = false;
+    if (Peek().IsOp("-")) {
+      negative = true;
+      ++pos_;
+    }
+    const Token& t = Peek();
+    ++pos_;
+    switch (t.type) {
+      case TokenType::kIntLiteral:
+        return Value::Int64((negative ? -1 : 1) * std::stoll(t.text));
+      case TokenType::kFloatLiteral:
+        return Value::Double((negative ? -1.0 : 1.0) * std::stod(t.text));
+      case TokenType::kStringLiteral:
+        if (negative) {
+          return Status::InvalidArgument("negated string literal");
+        }
+        return Value::String(t.text);
+      default:
+        return Status::InvalidArgument("expected a literal value");
+    }
+  }
+
+  Result<double> TakeNumber() {
+    SOFTDB_ASSIGN_OR_RETURN(Value v, TakeValue());
+    if (v.is_null() || !IsNumericType(v.type())) {
+      return Status::InvalidArgument("expected a numeric value");
+    }
+    return v.NumericValue();
+  }
+
+  /// Parses "( name [, name]* )".
+  Result<std::vector<std::string>> TakeColumnList() {
+    SOFTDB_RETURN_IF_ERROR(ExpectOp("("));
+    std::vector<std::string> names;
+    while (true) {
+      SOFTDB_ASSIGN_OR_RETURN(std::string name, TakeIdentifier("column name"));
+      names.push_back(std::move(name));
+      if (Peek().IsOp(",")) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    SOFTDB_RETURN_IF_ERROR(ExpectOp(")"));
+    return names;
+  }
+
+ private:
+  const Token& Peek() const {
+    static const Token kEndToken{};
+    return pos_ < tokens_.size() ? tokens_[pos_] : kEndToken;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+Result<std::vector<ColumnIdx>> ResolveColumns(
+    const Schema& schema, const std::vector<std::string>& names) {
+  std::vector<ColumnIdx> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    SOFTDB_ASSIGN_OR_RETURN(ColumnIdx idx, schema.Resolve(n));
+    out.push_back(idx);
+  }
+  return out;
+}
+
+/// Parses one `SOFT CONSTRAINT ...` directive (sans the leading SOFT
+/// CONSTRAINT words, already consumed) and registers the SC.
+Status ParseDirective(SoftDb* db, const std::string& statement) {
+  SOFTDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
+  DirectiveCursor cur(std::move(tokens));
+  if (!cur.ConsumeWord("SOFT") || !cur.ConsumeWord("CONSTRAINT")) {
+    return Status::InvalidArgument("not a SOFT CONSTRAINT directive");
+  }
+  SOFTDB_ASSIGN_OR_RETURN(std::string name, cur.TakeIdentifier("SC name"));
+  SOFTDB_ASSIGN_OR_RETURN(std::string kind_word,
+                          cur.TakeIdentifier("SC kind"));
+  const std::string kind = ToUpper(kind_word);
+
+  ScPtr sc;
+  if (kind == "DOMAIN") {
+    if (!cur.ConsumeWord("ON")) return Status::InvalidArgument("expected ON");
+    SOFTDB_ASSIGN_OR_RETURN(std::string table, cur.TakeIdentifier("table"));
+    SOFTDB_ASSIGN_OR_RETURN(Table * t, db->catalog().GetTable(table));
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<std::string> cols,
+                            cur.TakeColumnList());
+    if (cols.size() != 1) {
+      return Status::InvalidArgument("DOMAIN takes exactly one column");
+    }
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<ColumnIdx> idx,
+                            ResolveColumns(t->schema(), cols));
+    if (!cur.ConsumeWord("MIN")) return Status::InvalidArgument("expected MIN");
+    SOFTDB_ASSIGN_OR_RETURN(Value min, cur.TakeValue());
+    if (!cur.ConsumeWord("MAX")) return Status::InvalidArgument("expected MAX");
+    SOFTDB_ASSIGN_OR_RETURN(Value max, cur.TakeValue());
+    sc = std::make_unique<DomainSc>(name, table, idx[0], std::move(min),
+                                    std::move(max));
+  } else if (kind == "OFFSET") {
+    if (!cur.ConsumeWord("ON")) return Status::InvalidArgument("expected ON");
+    SOFTDB_ASSIGN_OR_RETURN(std::string table, cur.TakeIdentifier("table"));
+    SOFTDB_ASSIGN_OR_RETURN(Table * t, db->catalog().GetTable(table));
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<std::string> cols,
+                            cur.TakeColumnList());
+    if (cols.size() != 2) {
+      return Status::InvalidArgument("OFFSET takes exactly two columns");
+    }
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<ColumnIdx> idx,
+                            ResolveColumns(t->schema(), cols));
+    if (!cur.ConsumeWord("MIN")) return Status::InvalidArgument("expected MIN");
+    SOFTDB_ASSIGN_OR_RETURN(double lo, cur.TakeNumber());
+    if (!cur.ConsumeWord("MAX")) return Status::InvalidArgument("expected MAX");
+    SOFTDB_ASSIGN_OR_RETURN(double hi, cur.TakeNumber());
+    sc = std::make_unique<ColumnOffsetSc>(name, table, idx[0], idx[1],
+                                          static_cast<std::int64_t>(lo),
+                                          static_cast<std::int64_t>(hi));
+  } else if (kind == "LINEAR") {
+    if (!cur.ConsumeWord("ON")) return Status::InvalidArgument("expected ON");
+    SOFTDB_ASSIGN_OR_RETURN(std::string table, cur.TakeIdentifier("table"));
+    SOFTDB_ASSIGN_OR_RETURN(Table * t, db->catalog().GetTable(table));
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<std::string> cols,
+                            cur.TakeColumnList());
+    if (cols.size() != 2) {
+      return Status::InvalidArgument("LINEAR takes exactly two columns");
+    }
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<ColumnIdx> idx,
+                            ResolveColumns(t->schema(), cols));
+    if (!cur.ConsumeWord("K")) return Status::InvalidArgument("expected K");
+    SOFTDB_ASSIGN_OR_RETURN(double k, cur.TakeNumber());
+    if (!cur.ConsumeWord("C")) return Status::InvalidArgument("expected C");
+    SOFTDB_ASSIGN_OR_RETURN(double c, cur.TakeNumber());
+    if (!cur.ConsumeWord("EPSILON")) {
+      return Status::InvalidArgument("expected EPSILON");
+    }
+    SOFTDB_ASSIGN_OR_RETURN(double eps, cur.TakeNumber());
+    sc = std::make_unique<LinearCorrelationSc>(name, table, idx[0], idx[1], k,
+                                               c, eps);
+  } else if (kind == "INCLUSION") {
+    if (!cur.ConsumeWord("ON")) return Status::InvalidArgument("expected ON");
+    SOFTDB_ASSIGN_OR_RETURN(std::string child, cur.TakeIdentifier("table"));
+    SOFTDB_ASSIGN_OR_RETURN(Table * ct, db->catalog().GetTable(child));
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<std::string> ccols,
+                            cur.TakeColumnList());
+    if (!cur.ConsumeWord("REFERENCES")) {
+      return Status::InvalidArgument("expected REFERENCES");
+    }
+    SOFTDB_ASSIGN_OR_RETURN(std::string parent, cur.TakeIdentifier("table"));
+    SOFTDB_ASSIGN_OR_RETURN(Table * pt, db->catalog().GetTable(parent));
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<std::string> pcols,
+                            cur.TakeColumnList());
+    if (ccols.size() != pcols.size() || ccols.empty()) {
+      return Status::InvalidArgument(
+          "INCLUSION column lists must be non-empty and equal length");
+    }
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<ColumnIdx> cidx,
+                            ResolveColumns(ct->schema(), ccols));
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<ColumnIdx> pidx,
+                            ResolveColumns(pt->schema(), pcols));
+    sc = std::make_unique<InclusionSc>(name, child, std::move(cidx), parent,
+                                       std::move(pidx));
+  } else if (kind == "FD") {
+    if (!cur.ConsumeWord("ON")) return Status::InvalidArgument("expected ON");
+    SOFTDB_ASSIGN_OR_RETURN(std::string table, cur.TakeIdentifier("table"));
+    SOFTDB_ASSIGN_OR_RETURN(Table * t, db->catalog().GetTable(table));
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<std::string> dets,
+                            cur.TakeColumnList());
+    if (!cur.ConsumeWord("DETERMINES")) {
+      return Status::InvalidArgument("expected DETERMINES");
+    }
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<std::string> deps,
+                            cur.TakeColumnList());
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<ColumnIdx> didx,
+                            ResolveColumns(t->schema(), dets));
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<ColumnIdx> eidx,
+                            ResolveColumns(t->schema(), deps));
+    sc = std::make_unique<FunctionalDependencySc>(name, table, std::move(didx),
+                                                  std::move(eidx));
+  } else if (kind == "PREDICATE") {
+    if (!cur.ConsumeWord("ON")) return Status::InvalidArgument("expected ON");
+    SOFTDB_ASSIGN_OR_RETURN(std::string table, cur.TakeIdentifier("table"));
+    SOFTDB_ASSIGN_OR_RETURN(Table * t, db->catalog().GetTable(table));
+    // The predicate body is everything after CHECK; hand it to the SQL
+    // expression parser rather than re-implementing it on tokens.
+    const std::string upper = ToUpper(statement);
+    const std::size_t check_pos = upper.find(" CHECK ");
+    std::size_t body_start;
+    if (check_pos != std::string::npos) {
+      body_start = check_pos + 7;
+    } else {
+      const std::size_t paren = statement.find("CHECK(");
+      if (paren == std::string::npos) {
+        return Status::InvalidArgument("expected CHECK (<expr>)");
+      }
+      body_start = paren + 5;
+    }
+    std::string body = Trim(statement.substr(body_start));
+    if (body.size() >= 2 && body.front() == '(' && body.back() == ')') {
+      body = body.substr(1, body.size() - 2);
+    }
+    SOFTDB_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression(body));
+    SOFTDB_RETURN_IF_ERROR(expr->Bind(t->schema()));
+    sc = std::make_unique<PredicateSc>(name, table, std::move(expr));
+    // CONFIDENCE (if any) sits at the tail of the raw text; the cursor is
+    // not positioned past the expression, so scan the suffix.
+    const std::size_t conf_pos = upper.rfind(" CONFIDENCE ");
+    if (conf_pos != std::string::npos && conf_pos > body_start) {
+      sc->set_confidence(std::stod(Trim(statement.substr(conf_pos + 12))));
+    }
+    return db->scs().Add(std::move(sc), db->catalog(), /*verify_now=*/false);
+  } else {
+    return Status::InvalidArgument("unknown SC kind '" + kind_word + "'");
+  }
+
+  if (cur.ConsumeWord("CONFIDENCE")) {
+    SOFTDB_ASSIGN_OR_RETURN(double conf, cur.TakeNumber());
+    sc->set_confidence(conf);
+  }
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("trailing tokens in SOFT CONSTRAINT '" +
+                                   name + "'");
+  }
+  return db->scs().Add(std::move(sc), db->catalog(), /*verify_now=*/false);
+}
+
+// ------------------------------------------------------- workload analysis
+
+/// What the workload's bound plans reveal about how tables are used.
+struct TableFacts {
+  bool scanned = false;
+  std::set<ColumnIdx> pred_columns;        // Simple-predicate columns.
+  std::set<std::pair<ColumnIdx, ColumnIdx>> diff_columns;  // (minuend, sub).
+  std::set<ColumnIdx> group_order_columns;
+};
+
+struct WorkloadFacts {
+  std::map<std::string, TableFacts> tables;
+  std::set<std::pair<std::string, std::string>> join_pairs;  // Ordered pair.
+
+  void RecordJoin(const std::string& a, const std::string& b) {
+    join_pairs.insert(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
+  }
+};
+
+/// Local copy of the rewriter's base-table resolution (keeps the linter
+/// decoupled from optimizer internals).
+bool ResolveToBase(const PlanNode& node, ColumnIdx col, std::string* table,
+                   ColumnIdx* base_col) {
+  switch (node.kind()) {
+    case PlanKind::kScan: {
+      *table = static_cast<const ScanNode&>(node).table_name();
+      *base_col = col;
+      return true;
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+      return ResolveToBase(*node.children()[0], col, table, base_col);
+    case PlanKind::kJoin: {
+      const ColumnIdx la = static_cast<ColumnIdx>(
+          node.children()[0]->output_schema().NumColumns());
+      if (col < la) {
+        return ResolveToBase(*node.children()[0], col, table, base_col);
+      }
+      return ResolveToBase(*node.children()[1], col - la, table, base_col);
+    }
+    default:
+      return false;
+  }
+}
+
+void RecordPredicate(const PlanNode& input, const Expr& expr,
+                     WorkloadFacts* facts) {
+  std::vector<SimplePredicate> simples;
+  if (ExpandSimplePredicates(expr, &simples)) {
+    for (const SimplePredicate& sp : simples) {
+      std::string table;
+      ColumnIdx base = 0;
+      if (ResolveToBase(input, sp.column, &table, &base)) {
+        facts->tables[table].pred_columns.insert(base);
+      }
+    }
+    return;
+  }
+  ColumnDiffPredicate diff;
+  if (MatchColumnDiffPredicate(expr, &diff)) {
+    std::string t1, t2;
+    ColumnIdx b1 = 0, b2 = 0;
+    if (ResolveToBase(input, diff.minuend, &t1, &b1) &&
+        ResolveToBase(input, diff.subtrahend, &t2, &b2) && t1 == t2) {
+      facts->tables[t1].diff_columns.insert({b1, b2});
+    }
+  }
+}
+
+void CollectFacts(const PlanNode& node, WorkloadFacts* facts) {
+  switch (node.kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const ScanNode&>(node);
+      TableFacts& tf = facts->tables[scan.table_name()];
+      tf.scanned = true;
+      for (const Predicate& p : scan.predicates()) {
+        if (p.origin != "user") continue;  // Only what the query itself asks.
+        RecordPredicate(node, *p.expr, facts);
+      }
+      break;
+    }
+    case PlanKind::kFilter: {
+      const auto& filter = static_cast<const FilterNode&>(node);
+      for (const Predicate& p : filter.predicates()) {
+        RecordPredicate(*node.children()[0], *p.expr, facts);
+      }
+      break;
+    }
+    case PlanKind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(node);
+      for (const JoinNode::EquiKey& key : join.equi_keys()) {
+        std::string lt, rt;
+        ColumnIdx lb = 0, rb = 0;
+        if (ResolveToBase(*node.children()[0], key.left, &lt, &lb) &&
+            ResolveToBase(*node.children()[1], key.right, &rt, &rb)) {
+          facts->RecordJoin(lt, rt);
+        }
+      }
+      break;
+    }
+    case PlanKind::kSort: {
+      const auto& sort = static_cast<const SortNode&>(node);
+      for (const SortKey& k : sort.keys()) {
+        std::vector<ColumnIdx> cols;
+        k.expr->CollectColumns(&cols);
+        for (ColumnIdx c : cols) {
+          std::string table;
+          ColumnIdx base = 0;
+          if (ResolveToBase(*node.children()[0], c, &table, &base)) {
+            facts->tables[table].group_order_columns.insert(base);
+          }
+        }
+      }
+      break;
+    }
+    case PlanKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateNode&>(node);
+      for (const ExprPtr& g : agg.group_by()) {
+        std::vector<ColumnIdx> cols;
+        g->CollectColumns(&cols);
+        for (ColumnIdx c : cols) {
+          std::string table;
+          ColumnIdx base = 0;
+          if (ResolveToBase(*node.children()[0], c, &table, &base)) {
+            facts->tables[table].group_order_columns.insert(base);
+          }
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  for (const PlanPtr& c : node.children()) CollectFacts(*c, facts);
+}
+
+// ------------------------------------------------------------------ checks
+
+void Report(LintReport* report, std::string check, std::string severity,
+            std::string subject, std::string message) {
+  report->findings.push_back(LintFinding{std::move(check), std::move(severity),
+                                         std::move(subject),
+                                         std::move(message)});
+}
+
+bool IsNumericValue(const Value& v) {
+  return !v.is_null() && IsNumericType(v.type());
+}
+
+/// Inclusive numeric range [min, max] of a domain SC, when numeric.
+bool DomainRange(const DomainSc& sc, ColumnRange* out) {
+  if (!IsNumericValue(sc.min_value()) || !IsNumericValue(sc.max_value())) {
+    return false;
+  }
+  out->Apply(SimplePredicate{sc.column(), CompareOp::kGe, sc.min_value()});
+  out->Apply(SimplePredicate{sc.column(), CompareOp::kLe, sc.max_value()});
+  return true;
+}
+
+void CheckContradictions(SoftDb& db, LintReport* report) {
+  std::vector<SoftConstraint*> domains =
+      db.scs().ByKind(ScKind::kDomain);
+  // Domain SC vs CHECK constraint: an enforced CHECK that no in-domain
+  // value can satisfy means every stored row violates the SC.
+  for (SoftConstraint* base : domains) {
+    auto* dom = static_cast<DomainSc*>(base);
+    ColumnRange range;
+    if (!DomainRange(*dom, &range)) continue;
+    for (const CheckConstraint* check : db.ics().ChecksOn(dom->table())) {
+      std::vector<SimplePredicate> simples;
+      if (!ExpandSimplePredicates(check->expr(), &simples)) continue;
+      ColumnRange combined = range;
+      for (const SimplePredicate& sp : simples) {
+        if (sp.column == dom->column()) combined.Apply(sp);
+      }
+      if (combined.empty) {
+        Report(report, "domain-check-contradiction", "error", dom->name(),
+               "domain [" + dom->min_value().ToString() + ", " +
+                   dom->max_value().ToString() +
+                   "] excludes every value CHECK constraint '" +
+                   check->name() + "' allows on " + dom->table());
+      }
+    }
+  }
+  // Disjoint domain pairs on the same column.
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    auto* a = static_cast<DomainSc*>(domains[i]);
+    for (std::size_t j = i + 1; j < domains.size(); ++j) {
+      auto* b = static_cast<DomainSc*>(domains[j]);
+      if (a->table() != b->table() || a->column() != b->column()) continue;
+      ColumnRange range;
+      if (!DomainRange(*a, &range)) continue;
+      ColumnRange other;
+      if (!DomainRange(*b, &other)) continue;
+      range.Apply(SimplePredicate{b->column(), CompareOp::kGe,
+                                  b->min_value()});
+      range.Apply(SimplePredicate{b->column(), CompareOp::kLe,
+                                  b->max_value()});
+      if (range.empty) {
+        Report(report, "domain-domain-contradiction", "error",
+               a->name() + "+" + b->name(),
+               "disjoint domains declared for the same column on " +
+                   a->table());
+      }
+    }
+  }
+}
+
+void CheckInclusionCycles(SoftDb& db, LintReport* report) {
+  // Directed reference graph: inclusion-SC edges (soft) plus FK edges
+  // (hard). A cycle through >= 1 soft edge makes that SC unrepairable by
+  // deletion cascades and is almost always a catalog mistake.
+  struct Edge {
+    std::string to;
+    const SoftConstraint* sc;  // Null for FK edges.
+  };
+  std::map<std::string, std::vector<Edge>> graph;
+  for (SoftConstraint* sc : db.scs().ByKind(ScKind::kInclusion)) {
+    auto* inc = static_cast<InclusionSc*>(sc);
+    graph[inc->child_table()].push_back({inc->parent_table(), inc});
+  }
+  for (const std::string& table : db.catalog().TableNames()) {
+    for (const ForeignKeyConstraint* fk : db.ics().ForeignKeysFrom(table)) {
+      graph[table].push_back({fk->parent_table(), nullptr});
+    }
+  }
+  // For each soft edge child->parent, any path parent ->* child closes a
+  // cycle through it.
+  for (const auto& [from, edges] : graph) {
+    for (const Edge& e : edges) {
+      if (e.sc == nullptr) continue;
+      std::set<std::string> seen;
+      std::vector<std::string> stack{e.to};
+      bool cyclic = false;
+      while (!stack.empty() && !cyclic) {
+        const std::string at = stack.back();
+        stack.pop_back();
+        if (at == from) {
+          cyclic = true;
+          break;
+        }
+        if (!seen.insert(at).second) continue;
+        auto it = graph.find(at);
+        if (it == graph.end()) continue;
+        for (const Edge& next : it->second) stack.push_back(next.to);
+      }
+      if (cyclic) {
+        Report(report, "inclusion-cycle", "error", e.sc->name(),
+               "inclusion SC " + from + " -> " + e.to +
+                   " closes a reference cycle with the catalog's "
+                   "referential constraints");
+      }
+    }
+  }
+}
+
+void CheckLinearEpsilons(SoftDb& db, LintReport* report) {
+  for (SoftConstraint* sc : db.scs().ByKind(ScKind::kLinearCorrelation)) {
+    auto* lin = static_cast<LinearCorrelationSc*>(sc);
+    if (lin->epsilon() < 0.0) {
+      Report(report, "linear-negative-epsilon", "error", lin->name(),
+             "epsilon " + std::to_string(lin->epsilon()) +
+                 " is negative: no row can ever satisfy the band");
+      continue;
+    }
+    if (lin->k() == 0.0) {
+      std::string col = "#" + std::to_string(lin->col_a());
+      if (auto table = db.catalog().GetTable(lin->table()); table.ok()) {
+        if (lin->col_a() < (*table)->schema().NumColumns()) {
+          col = (*table)->schema().Column(lin->col_a()).name;
+        }
+      }
+      Report(report, "linear-degenerate", "warning", lin->name(),
+             "k = 0 degenerates the correlation to a domain constraint on "
+             "column " +
+                 col);
+    }
+    // Vacuous band: when the +/- epsilon band already spans col_a's whole
+    // declared domain, the SC can never narrow an estimate or a predicate.
+    for (SoftConstraint* other : db.scs().ByKind(ScKind::kDomain)) {
+      auto* dom = static_cast<DomainSc*>(other);
+      if (dom->table() != lin->table() || dom->column() != lin->col_a()) {
+        continue;
+      }
+      if (!IsNumericValue(dom->min_value()) ||
+          !IsNumericValue(dom->max_value())) {
+        continue;
+      }
+      const double width =
+          dom->max_value().NumericValue() - dom->min_value().NumericValue();
+      if (width >= 0.0 && 2.0 * lin->epsilon() >= width) {
+        Report(report, "linear-vacuous-epsilon", "warning", lin->name(),
+               "band width " + std::to_string(2.0 * lin->epsilon()) +
+                   " covers the whole declared domain of width " +
+                   std::to_string(width) + " (SC '" + dom->name() + "')");
+      }
+    }
+  }
+}
+
+void CheckStaleness(SoftDb& db, const LintOptions& options,
+                    LintReport* report) {
+  for (SoftConstraint* sc : db.scs().All()) {
+    if (sc->confidence() < options.currency_threshold) {
+      Report(report, "stale-ssc", "warning", sc->name(),
+             "confidence " + std::to_string(sc->confidence()) +
+                 " below currency threshold " +
+                 std::to_string(options.currency_threshold));
+    }
+  }
+}
+
+bool Exploitable(const SoftConstraint& sc, const WorkloadFacts& facts) {
+  auto table_it = facts.tables.find(sc.table());
+  const TableFacts* tf =
+      table_it == facts.tables.end() ? nullptr : &table_it->second;
+  switch (sc.kind()) {
+    case ScKind::kDomain: {
+      const auto& dom = static_cast<const DomainSc&>(sc);
+      return tf != nullptr && tf->pred_columns.count(dom.column()) > 0;
+    }
+    case ScKind::kLinearCorrelation: {
+      const auto& lin = static_cast<const LinearCorrelationSc&>(sc);
+      return tf != nullptr && (tf->pred_columns.count(lin.col_a()) > 0 ||
+                               tf->pred_columns.count(lin.col_b()) > 0);
+    }
+    case ScKind::kColumnOffset: {
+      const auto& off = static_cast<const ColumnOffsetSc&>(sc);
+      if (tf == nullptr) return false;
+      return tf->pred_columns.count(off.col_x()) > 0 ||
+             tf->pred_columns.count(off.col_y()) > 0 ||
+             tf->diff_columns.count({off.col_y(), off.col_x()}) > 0;
+    }
+    case ScKind::kInclusion: {
+      const auto& inc = static_cast<const InclusionSc&>(sc);
+      const auto& a = inc.child_table();
+      const auto& b = inc.parent_table();
+      return facts.join_pairs.count(a < b ? std::make_pair(a, b)
+                                          : std::make_pair(b, a)) > 0;
+    }
+    case ScKind::kFunctionalDependency: {
+      const auto& fd = static_cast<const FunctionalDependencySc&>(sc);
+      if (tf == nullptr) return false;
+      return std::any_of(fd.dependents().begin(), fd.dependents().end(),
+                         [&](ColumnIdx dep) {
+                           return tf->group_order_columns.count(dep) > 0;
+                         });
+    }
+    case ScKind::kPredicate:
+      // Twinning / exception-AST rewrites apply to any scan of the table.
+      return tf != nullptr && tf->scanned;
+    case ScKind::kJoinHole:
+      return std::any_of(facts.join_pairs.begin(), facts.join_pairs.end(),
+                         [&](const auto& pair) {
+                           return pair.first == sc.table() ||
+                                  pair.second == sc.table();
+                         });
+  }
+  return true;
+}
+
+Result<WorkloadFacts> AnalyzeWorkload(
+    SoftDb* db, const std::vector<std::string>& workload_sqls) {
+  WorkloadFacts facts;
+  Binder binder(&db->catalog());
+  for (const std::string& sql : workload_sqls) {
+    SOFTDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+    if (stmt.kind != Statement::Kind::kSelect &&
+        stmt.kind != Statement::Kind::kExplain) {
+      continue;  // Only queries can exploit SCs.
+    }
+    SOFTDB_ASSIGN_OR_RETURN(PlanPtr bound, binder.BindSelect(*stmt.select));
+    CollectFacts(*bound, &facts);
+  }
+  return facts;
+}
+
+void CheckDeadEntries(SoftDb& db, const WorkloadFacts& facts,
+                      LintReport* report) {
+  for (SoftConstraint* sc : db.scs().All()) {
+    if (!Exploitable(*sc, facts)) {
+      Report(report, "dead-sc", "warning", sc->name(),
+             std::string(ScKindName(sc->kind())) + " SC on " + sc->table() +
+                 " is not exploitable by any workload query");
+    }
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitStatements(const std::string& script) {
+  const std::string clean = StripComments(script);
+  std::vector<std::string> statements;
+  std::string current;
+  bool in_string = false;
+  for (char c : clean) {
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      if (!IsBlank(current)) statements.push_back(Trim(current));
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (!IsBlank(current)) statements.push_back(Trim(current));
+  return statements;
+}
+
+std::size_t LintReport::errors() const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [](const LintFinding& f) { return f.severity == "error"; }));
+}
+
+std::size_t LintReport::warnings() const {
+  return findings.size() - errors();
+}
+
+std::string LintReport::ToText() const {
+  std::string out;
+  for (const LintFinding& f : findings) {
+    out += f.ToString();
+    out += '\n';
+  }
+  out += StrFormat("%zu error(s), %zu warning(s)\n", errors(), warnings());
+  return out;
+}
+
+std::string LintReport::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"tool\": \"softdb_lint\",\n";
+  out += StrFormat("  \"errors\": %zu,\n", errors());
+  out += StrFormat("  \"warnings\": %zu,\n", warnings());
+  out += "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const LintFinding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"check\": \"" + JsonEscape(f.check) + "\", \"severity\": \"" +
+           JsonEscape(f.severity) + "\", \"subject\": \"" +
+           JsonEscape(f.subject) + "\", \"message\": \"" +
+           JsonEscape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Result<LintReport> LintCatalog(const std::string& catalog_script,
+                               const std::vector<std::string>& workload_sqls,
+                               const LintOptions& options) {
+  SoftDb db;
+  for (const std::string& statement : SplitStatements(catalog_script)) {
+    const std::string upper = ToUpper(statement);
+    if (upper.rfind("SOFT", 0) == 0) {
+      SOFTDB_RETURN_IF_ERROR(ParseDirective(&db, statement));
+    } else {
+      SOFTDB_RETURN_IF_ERROR(db.Execute(statement).status());
+    }
+  }
+
+  LintReport report;
+  CheckContradictions(db, &report);
+  CheckInclusionCycles(db, &report);
+  CheckLinearEpsilons(db, &report);
+  CheckStaleness(db, options, &report);
+  if (!workload_sqls.empty()) {
+    SOFTDB_ASSIGN_OR_RETURN(WorkloadFacts facts,
+                            AnalyzeWorkload(&db, workload_sqls));
+    CheckDeadEntries(db, facts, &report);
+  }
+  return report;
+}
+
+}  // namespace softdb

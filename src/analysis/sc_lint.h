@@ -1,0 +1,75 @@
+#ifndef SOFTDB_ANALYSIS_SC_LINT_H_
+#define SOFTDB_ANALYSIS_SC_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace softdb {
+
+/// Knobs for the SC-catalog linter.
+struct LintOptions {
+  /// SCs whose declared confidence falls below this are flagged stale.
+  double currency_threshold = 0.5;
+};
+
+/// One linter finding. `check` is a stable kebab-case id CI can filter on.
+struct LintFinding {
+  std::string check;     // "domain-check-contradiction", "dead-sc", ...
+  std::string severity;  // "error" | "warning"
+  std::string subject;   // The SC / constraint / table concerned.
+  std::string message;
+
+  std::string ToString() const {
+    return severity + ": [" + check + "] " + subject + ": " + message;
+  }
+};
+
+/// Everything one lint run produced.
+struct LintReport {
+  std::vector<LintFinding> findings;
+
+  std::size_t errors() const;
+  std::size_t warnings() const;
+  /// Human-readable listing, one finding per line plus a summary line.
+  std::string ToText() const;
+  /// JSON object in the same style as `bench --json` output (2-space
+  /// indent, escaped strings): tool, errors, warnings, findings[].
+  std::string ToJson() const;
+};
+
+/// Statically lints an SC catalog against an optional workload, without
+/// executing any workload query.
+///
+/// `catalog_script` is a ';'-separated script mixing regular DDL/DML (used
+/// to materialize schemas, integrity constraints and sample data) with
+/// soft-constraint directives of the form:
+///
+///   SOFT CONSTRAINT <name> DOMAIN ON t(col) MIN <v> MAX <v>
+///   SOFT CONSTRAINT <name> OFFSET ON t(x, y) MIN <i> MAX <i>
+///   SOFT CONSTRAINT <name> LINEAR ON t(a, b) K <v> C <v> EPSILON <v>
+///   SOFT CONSTRAINT <name> INCLUSION ON child(c1, ...) REFERENCES p(p1, ...)
+///   SOFT CONSTRAINT <name> FD ON t(d1, ...) DETERMINES (e1, ...)
+///   SOFT CONSTRAINT <name> PREDICATE ON t CHECK (<expr>)
+///
+/// each optionally suffixed with `CONFIDENCE <v>` (default 1.0 = absolute).
+/// `--` starts a line comment.
+///
+/// Checks: contradictory SCs (domain vs CHECK constraint, disjoint domain
+/// pairs, inclusion SCs cyclic with referential ICs, linear SCs with
+/// negative/vacuous ε), stale confidence below the threshold, and — when
+/// `workload_sqls` is non-empty — dead catalog entries no workload query
+/// can exploit (queries are bound, never executed).
+Result<LintReport> LintCatalog(const std::string& catalog_script,
+                               const std::vector<std::string>& workload_sqls,
+                               const LintOptions& options = {});
+
+/// Splits a script on top-level ';' (quote-aware) after stripping `--`
+/// comments. Exposed for the CLI's workload loader.
+std::vector<std::string> SplitStatements(const std::string& script);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_ANALYSIS_SC_LINT_H_

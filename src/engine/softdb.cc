@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/plan_verifier.h"
 #include "common/str_util.h"
 #include "constraints/column_offset_sc.h"
 #include "constraints/predicate_sc.h"
@@ -41,6 +42,7 @@ OptimizerContext SoftDb::MakeContext() {
   ctx.enable_runtime_parameterization =
       options_.enable_runtime_parameterization;
   ctx.use_vectorized = options_.use_vectorized;
+  ctx.verify_plans = options_.verify_plans;
   return ctx;
 }
 
@@ -181,6 +183,11 @@ Result<QueryResult> SoftDb::ExecuteSelect(const std::string& sql,
 
   Binder binder(&catalog_);
   SOFTDB_ASSIGN_OR_RETURN(PlanPtr bound, binder.BindSelect(stmt));
+
+  if (ShouldVerifyPlans(options_.verify_plans)) {
+    PlanVerifier verifier({&catalog_, &mvs_, &exception_asts_});
+    SOFTDB_RETURN_IF_ERROR(verifier.VerifyLogical(*bound, "bind"));
+  }
 
   // Backup plan: rewritten without any soft constraints (IC-driven rules
   // such as FK join elimination still apply — those cannot be overturned).

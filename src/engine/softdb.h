@@ -37,6 +37,9 @@ struct EngineOptions {
   /// batch engine. Row-engine fallback is per subtree; results and
   /// ExecStats are identical either way.
   bool use_vectorized = true;
+  /// Run PlanVerifier after every bind/rewrite/planning phase. Debug
+  /// builds verify regardless of this flag (see ShouldVerifyPlans).
+  bool verify_plans = true;
 };
 
 /// Result of one executed statement.

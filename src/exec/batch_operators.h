@@ -29,6 +29,14 @@ class BatchOperator {
 
   const Schema& schema() const { return schema_; }
 
+  /// Stable operator name for diagnostics ("BatchSeqScan", ...).
+  virtual const char* name() const { return "BatchOperator"; }
+
+  /// Appends this operator's direct children for analysis-pass walks.
+  virtual void AppendChildren(std::vector<const BatchOperator*>* out) const {
+    (void)out;
+  }
+
   virtual Status Open(ExecContext* ctx) = 0;
 
   /// Produces the next non-empty batch into *batch (columns, size, and
@@ -54,6 +62,12 @@ class BatchSeqScanOp final : public BatchOperator {
   void AddRuntimeParameter(std::size_t predicate_index, const Index* index,
                            SimplePredicate simple);
 
+  const char* name() const override { return "BatchSeqScan"; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  const std::vector<ScanRuntimeParameter>& runtime_params() const {
+    return runtime_params_;
+  }
+
   Status Open(ExecContext* ctx) override;
   Result<bool> NextBatch(ExecContext* ctx, ColumnBatch* batch) override;
 
@@ -76,6 +90,9 @@ class BatchIndexRangeScanOp final : public BatchOperator {
                         std::optional<Value> hi, bool hi_inclusive,
                         std::vector<Predicate> residual);
 
+  const char* name() const override { return "BatchIndexRangeScan"; }
+  const std::vector<Predicate>& residual() const { return residual_; }
+
   Status Open(ExecContext* ctx) override;
   Result<bool> NextBatch(ExecContext* ctx, ColumnBatch* batch) override;
 
@@ -96,6 +113,12 @@ class BatchFilterOp final : public BatchOperator {
  public:
   BatchFilterOp(BatchOperatorPtr child, std::vector<Predicate> preds);
 
+  const char* name() const override { return "BatchFilter"; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  void AppendChildren(std::vector<const BatchOperator*>* out) const override {
+    out->push_back(child_.get());
+  }
+
   Status Open(ExecContext* ctx) override;
   Result<bool> NextBatch(ExecContext* ctx, ColumnBatch* batch) override;
 
@@ -112,6 +135,11 @@ class BatchProjectOp final : public BatchOperator {
  public:
   BatchProjectOp(BatchOperatorPtr child, Schema schema,
                  std::vector<ExprPtr> exprs);
+
+  const char* name() const override { return "BatchProject"; }
+  void AppendChildren(std::vector<const BatchOperator*>* out) const override {
+    out->push_back(child_.get());
+  }
 
   Status Open(ExecContext* ctx) override;
   Result<bool> NextBatch(ExecContext* ctx, ColumnBatch* batch) override;
@@ -132,6 +160,13 @@ class BatchHashJoinOp final : public BatchOperator {
   BatchHashJoinOp(BatchOperatorPtr left, BatchOperatorPtr right,
                   std::vector<JoinNode::EquiKey> keys,
                   std::vector<Predicate> residual);
+
+  const char* name() const override { return "BatchHashJoin"; }
+  const std::vector<Predicate>& residual() const { return residual_; }
+  void AppendChildren(std::vector<const BatchOperator*>* out) const override {
+    out->push_back(left_.get());
+    out->push_back(right_.get());
+  }
 
   Status Open(ExecContext* ctx) override;
   Result<bool> NextBatch(ExecContext* ctx, ColumnBatch* batch) override;
@@ -159,6 +194,9 @@ class BatchAdapterOp final : public Operator {
  public:
   explicit BatchAdapterOp(BatchOperatorPtr child)
       : Operator(child->schema()), child_(std::move(child)) {}
+
+  const char* name() const override { return "BatchAdapter"; }
+  const BatchOperator& batch_child() const { return *child_; }
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;

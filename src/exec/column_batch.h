@@ -143,6 +143,19 @@ class ColumnBatch {
     for (std::size_t i = 0; i < n; ++i) sel_[i] = static_cast<SelIdx>(i);
   }
 
+  /// True when the selection vector is well-formed: strictly ascending
+  /// (hence duplicate-free), every entry in [0, size()), and no more
+  /// entries than rows. Every operator must preserve this; PlanVerifier
+  /// and the differential fuzzer check it.
+  bool SelectionValid() const {
+    if (sel_size_ > size_) return false;
+    for (std::size_t i = 0; i < sel_size_; ++i) {
+      if (sel_[i] >= size_) return false;
+      if (i > 0 && sel_[i] <= sel_[i - 1]) return false;
+    }
+    return true;
+  }
+
   /// Materializes one row as the row engine would (Table::GetRow order).
   std::vector<Value> MaterializeRow(std::size_t pos) const;
 

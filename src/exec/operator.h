@@ -41,6 +41,15 @@ class Operator {
 
   const Schema& schema() const { return schema_; }
 
+  /// Stable operator name for diagnostics ("SeqScan", "HashJoin", ...).
+  virtual const char* name() const { return "Operator"; }
+
+  /// Appends this operator's direct children, letting analysis passes walk
+  /// physical trees without knowing every subclass. Leaves append nothing.
+  virtual void AppendChildren(std::vector<const Operator*>* out) const {
+    (void)out;
+  }
+
   /// Prepares for iteration (builds hash tables, sorts, ...). Must be
   /// called before Next; may be called again to re-run.
   virtual Status Open(ExecContext* ctx) = 0;

@@ -52,6 +52,12 @@ class SeqScanOp final : public Operator {
   void AddRuntimeParameter(std::size_t predicate_index, const Index* index,
                            SimplePredicate simple);
 
+  const char* name() const override { return "SeqScan"; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  const std::vector<ScanRuntimeParameter>& runtime_params() const {
+    return runtime_params_;
+  }
+
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
 
@@ -74,6 +80,9 @@ class IndexRangeScanOp final : public Operator {
                    std::optional<Value> hi, bool hi_inclusive,
                    std::vector<Predicate> residual);
 
+  const char* name() const override { return "IndexRangeScan"; }
+  const std::vector<Predicate>& residual() const { return residual_; }
+
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
 
@@ -92,6 +101,12 @@ class FilterOp final : public Operator {
  public:
   FilterOp(OperatorPtr child, std::vector<Predicate> preds);
 
+  const char* name() const override { return "Filter"; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(child_.get());
+  }
+
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
 
@@ -104,6 +119,11 @@ class FilterOp final : public Operator {
 class ProjectOp final : public Operator {
  public:
   ProjectOp(OperatorPtr child, Schema schema, std::vector<ExprPtr> exprs);
+
+  const char* name() const override { return "Project"; }
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(child_.get());
+  }
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
@@ -120,6 +140,13 @@ class HashJoinOp final : public Operator {
   HashJoinOp(OperatorPtr left, OperatorPtr right,
              std::vector<JoinNode::EquiKey> keys,
              std::vector<Predicate> residual);
+
+  const char* name() const override { return "HashJoin"; }
+  const std::vector<Predicate>& residual() const { return residual_; }
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(left_.get());
+    out->push_back(right_.get());
+  }
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
@@ -159,6 +186,13 @@ class SortMergeJoinOp final : public Operator {
                   std::vector<JoinNode::EquiKey> keys,
                   std::vector<Predicate> residual);
 
+  const char* name() const override { return "SortMergeJoin"; }
+  const std::vector<Predicate>& residual() const { return residual_; }
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(left_.get());
+    out->push_back(right_.get());
+  }
+
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
 
@@ -176,6 +210,13 @@ class NestedLoopJoinOp final : public Operator {
  public:
   NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
                    std::vector<Predicate> conditions);
+
+  const char* name() const override { return "NestedLoopJoin"; }
+  const std::vector<Predicate>& conditions() const { return conditions_; }
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(left_.get());
+    out->push_back(right_.get());
+  }
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
@@ -200,6 +241,11 @@ class HashAggregateOp final : public Operator {
                   std::vector<AggregateItem> aggregates,
                   std::vector<bool> key_flags = {});
 
+  const char* name() const override { return "HashAggregate"; }
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(child_.get());
+  }
+
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
 
@@ -219,6 +265,11 @@ class SortOp final : public Operator {
  public:
   SortOp(OperatorPtr child, std::vector<SortKey> keys, bool presorted);
 
+  const char* name() const override { return "Sort"; }
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(child_.get());
+  }
+
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
 
@@ -235,6 +286,11 @@ class UnionAllOp final : public Operator {
  public:
   UnionAllOp(Schema schema, std::vector<OperatorPtr> children);
 
+  const char* name() const override { return "UnionAll"; }
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    for (const OperatorPtr& c : children_) out->push_back(c.get());
+  }
+
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
 
@@ -247,6 +303,11 @@ class UnionAllOp final : public Operator {
 class LimitOp final : public Operator {
  public:
   LimitOp(OperatorPtr child, std::size_t limit);
+
+  const char* name() const override { return "Limit"; }
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(child_.get());
+  }
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, std::vector<Value>* row) override;
@@ -262,6 +323,7 @@ class LimitOp final : public Operator {
 class EmptyOp final : public Operator {
  public:
   explicit EmptyOp(Schema schema) : Operator(std::move(schema)) {}
+  const char* name() const override { return "Empty"; }
   Status Open(ExecContext*) override { return Status::OK(); }
   Result<bool> Next(ExecContext*, std::vector<Value>*) override {
     return false;

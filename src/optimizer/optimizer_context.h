@@ -51,6 +51,9 @@ struct OptimizerContext {
   /// subtree. Results and ExecStats are identical either way — LIMIT
   /// subtrees stay on the row engine so early-exit accounting matches.
   bool use_vectorized = true;
+  /// Run PlanVerifier after each rewrite and physical-planning phase.
+  /// Debug builds verify regardless (see ShouldVerifyPlans).
+  bool verify_plans = true;
 
   // Outputs of a rewrite pass.
   std::vector<std::string> used_scs;       // SCs baked into the plan.

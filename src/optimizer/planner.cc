@@ -3,16 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/plan_verifier.h"
 #include "optimizer/range_analysis.h"
 
 namespace softdb {
 
 namespace {
 
-std::vector<Predicate> ClonePredicates(const std::vector<Predicate>& preds) {
+/// Clones the executable predicates only: twinned (estimation-only) SSC
+/// predicates exist for the costing layer and must never reach an
+/// executor's predicate list (PlanVerifier enforces this).
+std::vector<Predicate> CloneExecutablePredicates(
+    const std::vector<Predicate>& preds) {
   std::vector<Predicate> out;
   out.reserve(preds.size());
-  for (const Predicate& p : preds) out.push_back(p.Clone());
+  for (const Predicate& p : preds) {
+    if (p.estimation_only) continue;
+    out.push_back(p.Clone());
+  }
   return out;
 }
 
@@ -45,9 +53,11 @@ void WireRuntimeParams(const OptimizerContext* ctx, const ScanNode& scan,
       scan.external_table() != nullptr) {
     return;
   }
-  for (std::size_t i = 0; i < scan.predicates().size(); ++i) {
-    const Predicate& p = scan.predicates()[i];
-    if (p.estimation_only) continue;
+  // Iterate the op's own (twin-stripped) predicate list so the recorded
+  // predicate_index stays valid after estimation-only predicates were
+  // filtered out of the executable list.
+  for (std::size_t i = 0; i < op->predicates().size(); ++i) {
+    const Predicate& p = op->predicates()[i];
     SimplePredicate sp;
     if (!MatchSimplePredicate(*p.expr, &sp)) continue;
     for (const Index* index : ctx->catalog->IndexesOn(scan.table_name())) {
@@ -141,10 +151,10 @@ Result<OperatorPtr> PhysicalPlanner::PlanScan(const ScanNode& scan) const {
     return OperatorPtr(std::make_unique<IndexRangeScanOp>(
         table, choice.index, scan.output_schema(), choice.lo,
         choice.lo_inclusive, choice.hi, choice.hi_inclusive,
-        ClonePredicates(scan.predicates())));
+        CloneExecutablePredicates(scan.predicates())));
   }
   auto seq = std::make_unique<SeqScanOp>(table, scan.output_schema(),
-                                         ClonePredicates(scan.predicates()));
+                                         CloneExecutablePredicates(scan.predicates()));
   WireRuntimeParams(ctx_, scan, seq.get());
   return OperatorPtr(std::move(seq));
 }
@@ -169,10 +179,10 @@ Result<BatchOperatorPtr> PhysicalPlanner::TryPlanBatch(
         return BatchOperatorPtr(std::make_unique<BatchIndexRangeScanOp>(
             table, choice.index, scan.output_schema(), choice.lo,
             choice.lo_inclusive, choice.hi, choice.hi_inclusive,
-            ClonePredicates(scan.predicates())));
+            CloneExecutablePredicates(scan.predicates())));
       }
       auto seq = std::make_unique<BatchSeqScanOp>(
-          table, scan.output_schema(), ClonePredicates(scan.predicates()));
+          table, scan.output_schema(), CloneExecutablePredicates(scan.predicates()));
       WireRuntimeParams(ctx_, scan, seq.get());
       return BatchOperatorPtr(std::move(seq));
     }
@@ -182,7 +192,7 @@ Result<BatchOperatorPtr> PhysicalPlanner::TryPlanBatch(
                               TryPlanBatch(*node.children()[0]));
       if (!child) return BatchOperatorPtr(nullptr);
       return BatchOperatorPtr(std::make_unique<BatchFilterOp>(
-          std::move(child), ClonePredicates(filter.predicates())));
+          std::move(child), CloneExecutablePredicates(filter.predicates())));
     }
     case PlanKind::kProject: {
       const auto& proj = static_cast<const ProjectNode&>(node);
@@ -218,7 +228,7 @@ Result<BatchOperatorPtr> PhysicalPlanner::TryPlanBatch(
       if (!right) return BatchOperatorPtr(nullptr);
       return BatchOperatorPtr(std::make_unique<BatchHashJoinOp>(
           std::move(left), std::move(right), join.equi_keys(),
-          ClonePredicates(join.conditions())));
+          CloneExecutablePredicates(join.conditions())));
     }
     default:
       return BatchOperatorPtr(nullptr);
@@ -226,7 +236,14 @@ Result<BatchOperatorPtr> PhysicalPlanner::TryPlanBatch(
 }
 
 Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node) const {
-  return Plan(node, /*allow_vectorized=*/true);
+  SOFTDB_ASSIGN_OR_RETURN(OperatorPtr root,
+                          Plan(node, /*allow_vectorized=*/true));
+  if (ShouldVerifyPlans(ctx_->verify_plans)) {
+    PlanVerifier verifier({ctx_->catalog, ctx_->mvs, &ctx_->exception_asts});
+    SOFTDB_RETURN_IF_ERROR(
+        verifier.VerifyPhysical(*root, "physical-planning"));
+  }
+  return root;
 }
 
 Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node,
@@ -244,7 +261,7 @@ Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node,
       const auto& filter = static_cast<const FilterNode&>(node);
       SOFTDB_ASSIGN_OR_RETURN(OperatorPtr child, Plan(*node.children()[0], allow_vectorized));
       return OperatorPtr(std::make_unique<FilterOp>(
-          std::move(child), ClonePredicates(filter.predicates())));
+          std::move(child), CloneExecutablePredicates(filter.predicates())));
     }
     case PlanKind::kProject: {
       const auto& proj = static_cast<const ProjectNode&>(node);
@@ -263,15 +280,15 @@ Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node,
         if (ctx_->prefer_sort_merge_join) {
           return OperatorPtr(std::make_unique<SortMergeJoinOp>(
               std::move(left), std::move(right), join.equi_keys(),
-              ClonePredicates(join.conditions())));
+              CloneExecutablePredicates(join.conditions())));
         }
         return OperatorPtr(std::make_unique<HashJoinOp>(
             std::move(left), std::move(right), join.equi_keys(),
-            ClonePredicates(join.conditions())));
+            CloneExecutablePredicates(join.conditions())));
       }
       return OperatorPtr(std::make_unique<NestedLoopJoinOp>(
           std::move(left), std::move(right),
-          ClonePredicates(join.conditions())));
+          CloneExecutablePredicates(join.conditions())));
     }
     case PlanKind::kAggregate: {
       const auto& agg = static_cast<const AggregateNode&>(node);
@@ -314,7 +331,7 @@ Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node,
                                   Plan(*join.children()[1], allow_vectorized));
           child = std::make_unique<SortMergeJoinOp>(
               std::move(left), std::move(right), join.equi_keys(),
-              ClonePredicates(join.conditions()));
+              CloneExecutablePredicates(join.conditions()));
           presorted = true;
         }
       }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "analysis/plan_verifier.h"
 #include "common/str_util.h"
 #include "constraints/column_offset_sc.h"
 #include "constraints/domain_sc.h"
@@ -926,13 +927,24 @@ Result<PlanPtr> Rewriter::RewriteNode(PlanPtr node) {
 }
 
 Result<PlanPtr> Rewriter::Rewrite(PlanPtr plan) {
+  const bool verify = ShouldVerifyPlans(ctx_->verify_plans);
+  PlanVerifier verifier(
+      {ctx_->catalog, ctx_->mvs, &ctx_->exception_asts});
   SOFTDB_ASSIGN_OR_RETURN(plan, RewriteNode(std::move(plan)));
+  if (verify) {
+    SOFTDB_RETURN_IF_ERROR(verifier.VerifyLogical(*plan, "rewrite"));
+  }
   // Join elimination runs root-down with full requirement tracking.
   std::vector<ColumnIdx> all;
   for (ColumnIdx i = 0; i < plan->output_schema().NumColumns(); ++i) {
     all.push_back(i);
   }
-  return EliminateJoins(std::move(plan), all);
+  SOFTDB_ASSIGN_OR_RETURN(plan, EliminateJoins(std::move(plan), all));
+  if (verify) {
+    SOFTDB_RETURN_IF_ERROR(
+        verifier.VerifyLogical(*plan, "join-elimination"));
+  }
+  return plan;
 }
 
 }  // namespace softdb

@@ -174,9 +174,9 @@ TEST_F(BatchExecTest, ExplainAnnotatesVectorizedExecution) {
 
 TEST(ColumnBatchTest, OwnedColumnsRoundTripValues) {
   Schema schema;
-  schema.AddColumn({"i", TypeId::kInt64, true});
-  schema.AddColumn({"d", TypeId::kDouble, true});
-  schema.AddColumn({"s", TypeId::kString, true});
+  schema.AddColumn({"i", TypeId::kInt64, true, ""});
+  schema.AddColumn({"d", TypeId::kDouble, true, ""});
+  schema.AddColumn({"s", TypeId::kString, true, ""});
   ColumnBatch batch;
   batch.Reset(schema);
 

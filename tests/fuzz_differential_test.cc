@@ -46,6 +46,12 @@ class FuzzDifferential : public ::testing::TestWithParam<std::uint64_t> {
     ASSERT_TRUE(db_.Execute("CREATE INDEX ia ON t (a)").ok());
     ASSERT_TRUE(db_.Execute("ANALYZE t").ok());
 
+    // Every fuzzed plan runs through PlanVerifier at all four phases
+    // (bind, rewrite, join-elimination, physical-planning) before it
+    // executes; a structurally unsound plan fails the query outright
+    // instead of silently producing a differential mismatch.
+    db_.options().verify_plans = true;
+
     // One statistical offset SC (feeds twinning) and one wide absolute one
     // (feeds predicate introduction), plus a domain SC.
     auto ssc = std::make_unique<ColumnOffsetSc>("ssc", "t", 0, 1, 0, 8);

@@ -1,0 +1,208 @@
+// softdb_lint library tests: each planted catalog inconsistency must
+// surface as a finding with its stable check id; clean catalogs must come
+// back empty; the report's text/JSON renderings and error/warning tallies
+// back the CLI's exit-code contract (0 clean / 1 findings).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/sc_lint.h"
+
+namespace softdb {
+namespace {
+
+bool HasCheck(const LintReport& report, const std::string& check,
+              const std::string& subject_fragment = "") {
+  return std::any_of(report.findings.begin(), report.findings.end(),
+                     [&](const LintFinding& f) {
+                       return f.check == check &&
+                              f.subject.find(subject_fragment) !=
+                                  std::string::npos;
+                     });
+}
+
+const char kPeopleDdl[] =
+    "CREATE TABLE people (id BIGINT PRIMARY KEY, age BIGINT, "
+    "height DOUBLE, weight DOUBLE);";
+
+TEST(ScLintTest, CleanCatalogProducesNoFindings) {
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT adult DOMAIN ON people(age) MIN 18 MAX 120 "
+      "CONFIDENCE 0.95;";
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->findings.empty());
+  EXPECT_EQ(report->errors(), 0u);
+  EXPECT_EQ(report->warnings(), 0u);
+}
+
+TEST(ScLintTest, DomainContradictsCheckConstraint) {
+  const std::string script =
+      "CREATE TABLE orders (id BIGINT, total DOUBLE, CHECK (total >= 0));"
+      "SOFT CONSTRAINT bad DOMAIN ON orders(total) MIN -10 MAX -1;";
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(HasCheck(*report, "domain-check-contradiction", "bad"));
+  EXPECT_GE(report->errors(), 1u);
+}
+
+TEST(ScLintTest, DisjointDomainPairFlagged) {
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT lo DOMAIN ON people(age) MIN 0 MAX 10;"
+      "SOFT CONSTRAINT hi DOMAIN ON people(age) MIN 50 MAX 90;";
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(HasCheck(*report, "domain-domain-contradiction", "lo"));
+}
+
+TEST(ScLintTest, OverlappingDomainsNotFlagged) {
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT wide DOMAIN ON people(age) MIN 0 MAX 100;"
+      "SOFT CONSTRAINT tight DOMAIN ON people(age) MIN 18 MAX 65;";
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(HasCheck(*report, "domain-domain-contradiction"));
+}
+
+TEST(ScLintTest, InclusionCycleWithForeignKeyFlagged) {
+  const std::string script = std::string(kPeopleDdl) +
+      "CREATE TABLE orders (id BIGINT, person_id BIGINT, "
+      "FOREIGN KEY (person_id) REFERENCES people (id));"
+      "SOFT CONSTRAINT cyc INCLUSION ON people(id) "
+      "REFERENCES orders(person_id);";
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(HasCheck(*report, "inclusion-cycle", "cyc"));
+}
+
+TEST(ScLintTest, AcyclicInclusionNotFlagged) {
+  const std::string script = std::string(kPeopleDdl) +
+      "CREATE TABLE orders (id BIGINT, person_id BIGINT);"
+      "SOFT CONSTRAINT incl INCLUSION ON orders(person_id) "
+      "REFERENCES people(id);";
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(HasCheck(*report, "inclusion-cycle"));
+}
+
+TEST(ScLintTest, LinearEpsilonChecks) {
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT neg LINEAR ON people(height, weight) "
+      "K 0.9 C -60 EPSILON -2;"
+      "SOFT CONSTRAINT flat LINEAR ON people(weight, height) "
+      "K 0 C 170 EPSILON 5;"
+      "SOFT CONSTRAINT h_dom DOMAIN ON people(height) MIN 150 MAX 200;"
+      "SOFT CONSTRAINT vac LINEAR ON people(height, weight) "
+      "K 1 C 0 EPSILON 100;";
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(HasCheck(*report, "linear-negative-epsilon", "neg"));
+  EXPECT_TRUE(HasCheck(*report, "linear-degenerate", "flat"));
+  // 2*100 >= domain width 50: the band can never narrow anything.
+  EXPECT_TRUE(HasCheck(*report, "linear-vacuous-epsilon", "vac"));
+}
+
+TEST(ScLintTest, StaleSscHonorsThreshold) {
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT shaky DOMAIN ON people(age) MIN 0 MAX 90 "
+      "CONFIDENCE 0.3;";
+  auto low = LintCatalog(script, {});
+  ASSERT_TRUE(low.ok());
+  EXPECT_TRUE(HasCheck(*low, "stale-ssc", "shaky"));
+
+  LintOptions lenient;
+  lenient.currency_threshold = 0.1;
+  auto ok = LintCatalog(script, {}, lenient);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(HasCheck(*ok, "stale-ssc"));
+}
+
+TEST(ScLintTest, DeadScDetectedOnlyWithWorkload) {
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT adult DOMAIN ON people(age) MIN 18 MAX 120;"
+      "SOFT CONSTRAINT build LINEAR ON people(height, weight) "
+      "K 0.9 C -60 EPSILON 10;";
+  // No workload: the dead-sc check is skipped entirely.
+  auto no_workload = LintCatalog(script, {});
+  ASSERT_TRUE(no_workload.ok());
+  EXPECT_FALSE(HasCheck(*no_workload, "dead-sc"));
+
+  // Workload touches age but never height/weight: `build` is dead.
+  std::vector<std::string> workload = {
+      "SELECT id FROM people WHERE age > 21"};
+  auto with = LintCatalog(script, workload);
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  EXPECT_FALSE(HasCheck(*with, "dead-sc", "adult"));
+  EXPECT_TRUE(HasCheck(*with, "dead-sc", "build"));
+}
+
+TEST(ScLintTest, InclusionScExploitedByJoin) {
+  const std::string script = std::string(kPeopleDdl) +
+      "CREATE TABLE orders (id BIGINT, person_id BIGINT);"
+      "SOFT CONSTRAINT incl INCLUSION ON orders(person_id) "
+      "REFERENCES people(id);";
+  std::vector<std::string> join_workload = {
+      "SELECT o.id FROM orders o JOIN people p ON o.person_id = p.id"};
+  auto joined = LintCatalog(script, join_workload);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  EXPECT_FALSE(HasCheck(*joined, "dead-sc"));
+
+  std::vector<std::string> scan_workload = {"SELECT id FROM orders"};
+  auto scanned = LintCatalog(script, scan_workload);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_TRUE(HasCheck(*scanned, "dead-sc", "incl"));
+}
+
+TEST(ScLintTest, MalformedDirectiveIsAnError) {
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT broken DOMAIN ON people(age) MIN 18;";  // MAX missing.
+  auto report = LintCatalog(script, {});
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ScLintTest, UnknownTableInDirectiveIsAnError) {
+  auto report = LintCatalog(
+      "SOFT CONSTRAINT ghost DOMAIN ON nosuch(age) MIN 0 MAX 1;", {});
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ScLintTest, SplitStatementsStripsCommentsAndQuotes) {
+  auto stmts = SplitStatements(
+      "-- a comment; with a semicolon\n"
+      "SELECT 'a;b' FROM t;\n"
+      "  \n"
+      "SELECT 2");
+  ASSERT_EQ(stmts.size(), 2u);
+  EXPECT_EQ(stmts[0], "SELECT 'a;b' FROM t");
+  EXPECT_EQ(stmts[1], "SELECT 2");
+}
+
+TEST(ScLintTest, ReportRenderings) {
+  const std::string script =
+      "CREATE TABLE orders (id BIGINT, total DOUBLE, CHECK (total >= 0));"
+      "SOFT CONSTRAINT bad DOMAIN ON orders(total) MIN -10 MAX -1 "
+      "CONFIDENCE 0.2;";
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok());
+  ASSERT_GE(report->findings.size(), 2u);  // Contradiction + staleness.
+  EXPECT_GE(report->errors(), 1u);
+  EXPECT_GE(report->warnings(), 1u);
+
+  const std::string text = report->ToText();
+  EXPECT_NE(text.find("domain-check-contradiction"), std::string::npos);
+  EXPECT_NE(text.find("error(s)"), std::string::npos);
+
+  const std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"tool\": \"softdb_lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\""), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\""), std::string::npos);
+  EXPECT_NE(json.find("\"findings\""), std::string::npos);
+  EXPECT_NE(json.find("\"check\": \"domain-check-contradiction\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace softdb

@@ -1,0 +1,116 @@
+// softdb_lint: static SC-catalog + workload consistency linter.
+//
+// Usage: softdb_lint [--json] [--currency-threshold X] <catalog.sdl>
+//                    [workload.sql ...]
+//
+// Exit codes: 0 = clean, 1 = findings reported, 2 = usage or input error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/sc_lint.h"
+
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: softdb_lint [--json] [--currency-threshold X] "
+               "<catalog.sdl> [workload.sql ...]\n"
+               "\n"
+               "Statically checks a soft-constraint catalog for\n"
+               "contradictions, vacuous or stale constraints, and (given a\n"
+               "workload) dead entries no query can exploit. Nothing is\n"
+               "executed beyond loading the catalog script.\n"
+               "\n"
+               "exit codes: 0 clean, 1 findings, 2 usage/input error\n");
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  softdb::LintOptions options;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--currency-threshold") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "softdb_lint: --currency-threshold needs a value\n");
+        return kExitUsage;
+      }
+      char* end = nullptr;
+      options.currency_threshold = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "softdb_lint: bad threshold '%s'\n", argv[i]);
+        return kExitUsage;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return kExitClean;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "softdb_lint: unknown flag '%s'\n", arg.c_str());
+      PrintUsage(stderr);
+      return kExitUsage;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    PrintUsage(stderr);
+    return kExitUsage;
+  }
+
+  std::string catalog_script;
+  if (!ReadFile(paths[0], &catalog_script)) {
+    std::fprintf(stderr, "softdb_lint: cannot read catalog '%s'\n",
+                 paths[0].c_str());
+    return kExitUsage;
+  }
+
+  std::vector<std::string> workload;
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    std::string content;
+    if (!ReadFile(paths[i], &content)) {
+      std::fprintf(stderr, "softdb_lint: cannot read workload '%s'\n",
+                   paths[i].c_str());
+      return kExitUsage;
+    }
+    for (std::string& stmt : softdb::SplitStatements(content)) {
+      workload.push_back(std::move(stmt));
+    }
+  }
+
+  auto report = softdb::LintCatalog(catalog_script, workload, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "softdb_lint: %s\n",
+                 report.status().ToString().c_str());
+    return kExitUsage;
+  }
+
+  if (json) {
+    std::fputs(report->ToJson().c_str(), stdout);
+  } else {
+    std::fputs(report->ToText().c_str(), stdout);
+  }
+  return report->findings.empty() ? kExitClean : kExitFindings;
+}
