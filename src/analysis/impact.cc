@@ -1,0 +1,575 @@
+#include "analysis/impact.h"
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "analysis/implication.h"
+#include "constraints/column_offset_sc.h"
+#include "constraints/domain_sc.h"
+#include "constraints/fd_sc.h"
+#include "constraints/ic_registry.h"
+#include "constraints/inclusion_sc.h"
+#include "constraints/join_hole_sc.h"
+#include "constraints/linear_correlation_sc.h"
+#include "constraints/predicate_sc.h"
+#include "constraints/sc_registry.h"
+#include "storage/catalog.h"
+
+namespace softdb {
+
+namespace {
+
+// Columns of `table` a violation of `sc` can depend on. Returns false when
+// the SC cannot be invalidated by ANY write to `table` rows (its reads
+// don't touch the table, or — for inclusion parents under INSERT — the
+// mutation direction can only help).
+bool ScReadsTable(const SoftConstraint& sc, const std::string& table,
+                  std::vector<ColumnIdx>* cols) {
+  cols->clear();
+  switch (sc.kind()) {
+    case ScKind::kDomain: {
+      if (sc.table() != table) return false;
+      cols->push_back(static_cast<const DomainSc&>(sc).column());
+      return true;
+    }
+    case ScKind::kColumnOffset: {
+      if (sc.table() != table) return false;
+      const auto& offset = static_cast<const ColumnOffsetSc&>(sc);
+      cols->push_back(offset.col_x());
+      cols->push_back(offset.col_y());
+      return true;
+    }
+    case ScKind::kLinearCorrelation: {
+      if (sc.table() != table) return false;
+      const auto& linear = static_cast<const LinearCorrelationSc&>(sc);
+      cols->push_back(linear.col_a());
+      cols->push_back(linear.col_b());
+      return true;
+    }
+    case ScKind::kPredicate: {
+      if (sc.table() != table) return false;
+      static_cast<const PredicateSc&>(sc).expr().CollectColumns(cols);
+      return true;
+    }
+    case ScKind::kFunctionalDependency: {
+      if (sc.table() != table) return false;
+      const auto& fd = static_cast<const FunctionalDependencySc&>(sc);
+      cols->insert(cols->end(), fd.determinants().begin(),
+                   fd.determinants().end());
+      cols->insert(cols->end(), fd.dependents().begin(),
+                   fd.dependents().end());
+      return true;
+    }
+    case ScKind::kInclusion: {
+      const auto& incl = static_cast<const InclusionSc&>(sc);
+      bool reads = false;
+      if (incl.child_table() == table) {
+        cols->insert(cols->end(), incl.child_columns().begin(),
+                     incl.child_columns().end());
+        reads = true;
+      }
+      if (incl.parent_table() == table) {
+        cols->insert(cols->end(), incl.parent_columns().begin(),
+                     incl.parent_columns().end());
+        reads = true;
+      }
+      return reads;
+    }
+    case ScKind::kJoinHole: {
+      const auto& hole = static_cast<const JoinHoleSc&>(sc);
+      bool reads = false;
+      if (hole.left_table() == table) {
+        cols->push_back(hole.left_join_col());
+        cols->push_back(hole.attr_a());
+        reads = true;
+      }
+      if (hole.right_table() == table) {
+        cols->push_back(hole.right_join_col());
+        cols->push_back(hole.attr_b());
+        reads = true;
+      }
+      return reads;
+    }
+  }
+  return false;
+}
+
+bool IsRowLocalKind(ScKind kind) {
+  return kind == ScKind::kDomain || kind == ScKind::kColumnOffset ||
+         kind == ScKind::kLinearCorrelation || kind == ScKind::kPredicate;
+}
+
+// Folds one INSERT row to schema-coerced constants, mirroring
+// SoftDb::InsertRow's coercion (cast unless either side is a string).
+bool FoldInsertRow(const std::vector<ExprPtr>& exprs, const Schema& schema,
+                   std::vector<Value>* out) {
+  if (exprs.size() != schema.NumColumns()) return false;
+  out->clear();
+  out->reserve(exprs.size());
+  for (ColumnIdx i = 0; i < exprs.size(); ++i) {
+    auto v = exprs[i]->Eval({});
+    if (!v.ok()) return false;
+    Value value = std::move(*v);
+    const TypeId want = schema.Column(i).type;
+    if (!value.is_null() && value.type() != want &&
+        value.type() != TypeId::kString && want != TypeId::kString) {
+      auto cast = value.CastTo(want);
+      if (!cast.ok()) return false;
+      value = std::move(*cast);
+    }
+    out->push_back(std::move(value));
+  }
+  return true;
+}
+
+// Matches an assignment expression of the shape `col`, `col + k`,
+// `col - k` or `k + col` (k a foldable constant): the only shapes we turn
+// into an exact post-state difference bound.
+bool MatchShiftedColumn(const Expr& expr, ColumnIdx* base, double* shift) {
+  if (expr.kind() == ExprKind::kColumnRef) {
+    *base = static_cast<const ColumnRefExpr&>(expr).index();
+    *shift = 0.0;
+    return true;
+  }
+  if (expr.kind() != ExprKind::kArithmetic) return false;
+  const auto& arith = static_cast<const ArithmeticExpr&>(expr);
+  if (arith.op() != ArithOp::kAdd && arith.op() != ArithOp::kSub) {
+    return false;
+  }
+  Value k;
+  if (arith.left()->kind() == ExprKind::kColumnRef &&
+      TryConstantFold(*arith.right(), &k) && !k.is_null() &&
+      IsNumericType(k.type())) {
+    *base = static_cast<const ColumnRefExpr&>(*arith.left()).index();
+    *shift = arith.op() == ArithOp::kAdd ? k.NumericValue()
+                                         : -k.NumericValue();
+    return true;
+  }
+  if (arith.op() == ArithOp::kAdd &&
+      arith.right()->kind() == ExprKind::kColumnRef &&
+      TryConstantFold(*arith.left(), &k) && !k.is_null() &&
+      IsNumericType(k.type())) {
+    *base = static_cast<const ColumnRefExpr&>(*arith.right()).index();
+    *shift = k.NumericValue();
+    return true;
+  }
+  return false;
+}
+
+// Abstract value of an assignment RHS over the pre-state environment.
+// Sound contract: whenever the evaluated value is non-NULL, it lies in the
+// returned interval. (An Empty interval therefore means "always NULL".)
+Interval EvalExprInterval(const Expr& expr, const SymbolicEnv& pre) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(expr).value();
+      if (v.is_null()) return Interval::Empty();
+      if (IsNumericType(v.type())) return Interval::Point(v.NumericValue());
+      if (v.type() == TypeId::kString) return Interval::StringPin(v);
+      return Interval::Top();
+    }
+    case ExprKind::kColumnRef: {
+      const ColumnIdx col =
+          static_cast<const ColumnRefExpr&>(expr).index();
+      auto it = pre.intervals.find(col);
+      return it == pre.intervals.end() ? Interval::Top() : it->second;
+    }
+    case ExprKind::kArithmetic: {
+      const auto& arith = static_cast<const ArithmeticExpr&>(expr);
+      const Interval left = EvalExprInterval(*arith.left(), pre);
+      const Interval right = EvalExprInterval(*arith.right(), pre);
+      switch (arith.op()) {
+        case ArithOp::kAdd:
+          return left.Plus(right);
+        case ArithOp::kSub:
+          return left.Minus(right);
+        case ArithOp::kMul: {
+          double k = 0.0;
+          if (right.IsPoint(&k)) return left.ScaledBy(k, 0.0);
+          if (left.IsPoint(&k)) return right.ScaledBy(k, 0.0);
+          return Interval::Top();
+        }
+        case ArithOp::kDiv: {
+          double k = 0.0;
+          if (right.IsPoint(&k) && k != 0.0) {
+            return left.ScaledBy(1.0 / k, 0.0);
+          }
+          return Interval::Top();
+        }
+      }
+      return Interval::Top();
+    }
+    default:
+      return Interval::Top();
+  }
+}
+
+struct PostState {
+  SymbolicEnv env;
+  // Columns whose post value is an exact shift of an *unassigned* base
+  // column: post[col] = pre[base] + shift.
+  struct Shift {
+    ColumnIdx col = 0;
+    ColumnIdx base = 0;
+    double shift = 0.0;
+  };
+  std::vector<Shift> shifts;
+};
+
+// Builds the post-UPDATE symbolic state: assigned columns get the abstract
+// value of their RHS over the WHERE environment; unassigned columns keep
+// their pre-state intervals and pairwise relations.
+PostState BuildPostState(
+    const SymbolicEnv& pre,
+    const std::map<ColumnIdx, const Expr*>& assignments) {
+  PostState post;
+  // Unassigned columns carry over; assigned ones are recomputed.
+  for (const auto& entry : pre.intervals) {
+    if (assignments.count(entry.first) == 0) {
+      post.env.intervals[entry.first] = entry.second;
+    }
+  }
+  for (ColumnIdx col : pre.non_null) {
+    if (assignments.count(col) == 0) post.env.non_null.insert(col);
+  }
+  for (ColumnIdx col : pre.known_null) {
+    if (assignments.count(col) == 0) post.env.known_null.insert(col);
+  }
+  // Pre-state diffs/bands survive only between two unassigned columns.
+  for (const SymbolicEnv::DiffBound& d : pre.diffs) {
+    if (assignments.count(d.x) == 0 && assignments.count(d.y) == 0) {
+      post.env.diffs.push_back(d);
+    }
+  }
+  for (const SymbolicEnv::Band& b : pre.bands) {
+    if (assignments.count(b.a) == 0 && assignments.count(b.b) == 0) {
+      post.env.bands.push_back(b);
+    }
+  }
+
+  for (const auto& assignment : assignments) {
+    const ColumnIdx col = assignment.first;
+    const Expr& rhs = *assignment.second;
+    post.env.intervals[col] = EvalExprInterval(rhs, pre);
+    ColumnIdx base = 0;
+    double shift = 0.0;
+    if (MatchShiftedColumn(rhs, &base, &shift)) {
+      if (assignments.count(base) == 0) {
+        // post[col] - post[base] = shift exactly (and col is NULL iff base
+        // is NULL, so the diff is valid on its both-non-NULL domain).
+        post.env.diffs.push_back(
+            {base, col, Interval::Point(shift), std::string()});
+        post.shifts.push_back({col, base, shift});
+      } else if (base == col && shift == 0.0) {
+        // `SET c = c`: identity, keep pre facts.
+        post.env.intervals[col] =
+            pre.intervals.count(col) ? pre.intervals.at(col)
+                                     : Interval::Top();
+      }
+    }
+  }
+  // Exact diffs between two assigned columns sharing an unassigned base:
+  // (b2 + s2) - (b1 + s1) with b1 == b2.
+  for (std::size_t i = 0; i < post.shifts.size(); ++i) {
+    for (std::size_t j = i + 1; j < post.shifts.size(); ++j) {
+      if (post.shifts[i].base != post.shifts[j].base) continue;
+      post.env.diffs.push_back(
+          {post.shifts[i].col, post.shifts[j].col,
+           Interval::Point(post.shifts[j].shift - post.shifts[i].shift),
+           std::string()});
+    }
+  }
+  return post;
+}
+
+}  // namespace
+
+Result<DmlImpact> ImpactAnalyzer::Analyze(const Statement& stmt) const {
+  switch (stmt.kind) {
+    case Statement::Kind::kInsert:
+      return AnalyzeInsert(*stmt.insert);
+    case Statement::Kind::kUpdate:
+      return AnalyzeUpdate(*stmt.update);
+    case Statement::Kind::kDelete:
+      return AnalyzeDelete(*stmt.del);
+    default:
+      return Status::InvalidArgument("impact analysis is DML-only");
+  }
+}
+
+Result<DmlImpact> ImpactAnalyzer::AnalyzeInsert(const InsertStmt& stmt) const {
+  DmlImpact impact;
+  impact.kind = Statement::Kind::kInsert;
+  impact.table = stmt.table;
+  const std::vector<SoftConstraint*> all = scs_->All();
+  impact.candidates = all.size();
+
+  auto table_result = catalog_->GetTable(stmt.table);
+  if (!table_result.ok()) return table_result.status();
+  const Schema& schema = (*table_result)->schema();
+
+  // Fold all rows once; a row that does not fold (non-constant or arity
+  // mismatch) disables per-row exclusion but not footprint exclusion.
+  std::vector<std::vector<Value>> folded;
+  bool all_folded = true;
+  for (const auto& row_exprs : stmt.rows) {
+    std::vector<Value> row;
+    if (!FoldInsertRow(row_exprs, schema, &row)) {
+      all_folded = false;
+      break;
+    }
+    folded.push_back(std::move(row));
+  }
+
+  std::vector<ColumnIdx> cols;
+  for (const SoftConstraint* sc : all) {
+    if (!ScReadsTable(*sc, stmt.table, &cols)) {
+      ++impact.footprint_excluded;
+      continue;
+    }
+    if (sc->kind() == ScKind::kInclusion &&
+        static_cast<const InclusionSc*>(sc)->child_table() != stmt.table) {
+      // Parent-side only: inserting into the parent grows the reference
+      // set — it can never orphan a child.
+      ++impact.footprint_excluded;
+      continue;
+    }
+    bool excluded = false;
+    if (all_folded && !folded.empty() &&
+        (IsRowLocalKind(sc->kind()) || sc->kind() == ScKind::kInclusion)) {
+      // Row-local kinds: compliance depends only on the row itself.
+      // Child-side inclusion: a pre-state parent probe is sound because
+      // the parent set only grows during this statement.
+      excluded = true;
+      for (const std::vector<Value>& row : folded) {
+        auto check = sc->CheckRow(*catalog_, row);
+        if (!check.ok() || !*check) {
+          excluded = false;
+          break;
+        }
+      }
+    } else if (all_folded && folded.size() == 1 &&
+               sc->kind() == ScKind::kFunctionalDependency) {
+      // A single constant row consistent with the existing det→dep mapping
+      // cannot add a first-image conflict. (Multi-row inserts could
+      // conflict among themselves; they stay impacted.)
+      auto check = sc->CheckRow(*catalog_, folded[0]);
+      excluded = check.ok() && *check;
+    }
+    if (excluded) {
+      ++impact.implication_excluded;
+    } else {
+      impact.impacted.push_back(sc->name());
+    }
+  }
+  std::sort(impact.impacted.begin(), impact.impacted.end());
+  return impact;
+}
+
+Result<DmlImpact> ImpactAnalyzer::AnalyzeUpdate(const UpdateStmt& stmt) const {
+  DmlImpact impact;
+  impact.kind = Statement::Kind::kUpdate;
+  impact.table = stmt.table;
+  const std::vector<SoftConstraint*> all = scs_->All();
+  impact.candidates = all.size();
+
+  auto table_result = catalog_->GetTable(stmt.table);
+  if (!table_result.ok()) return table_result.status();
+  const Schema& schema = (*table_result)->schema();
+
+  // Bind private clones of the WHERE and assignment expressions.
+  ExprPtr where;
+  if (stmt.where != nullptr) {
+    where = stmt.where->Clone();
+    auto bound = where->Bind(schema);
+    if (!bound.ok()) return bound;
+  }
+  std::map<ColumnIdx, const Expr*> assignments;
+  std::vector<ExprPtr> assignment_exprs;  // Keeps the clones alive.
+  std::set<ColumnIdx> assigned;
+  for (const auto& assignment : stmt.assignments) {
+    auto col = schema.Resolve(assignment.first);
+    if (!col.ok()) return col.status();
+    ExprPtr rhs = assignment.second->Clone();
+    auto bound = rhs->Bind(schema);
+    if (!bound.ok()) return bound;
+    assigned.insert(*col);
+    assignments[*col] = rhs.get();
+    assignment_exprs.push_back(std::move(rhs));
+  }
+
+  // The pre-state environment: WHERE conjuncts on top of *enforced* CHECK
+  // facts only. Exclusion proofs must not rest on soft constraints (their
+  // truth is what's in question) nor on informational CHECKs (unverified
+  // promises).
+  ImplicationFactsOptions fact_opts;
+  fact_opts.use_soft_constraints = false;
+  fact_opts.use_checks = true;
+  fact_opts.enforced_checks_only = true;
+  ImplicationEngine engine(
+      &schema,
+      BuildImplicationFacts(stmt.table, *catalog_, ics_, nullptr, nullptr,
+                            fact_opts));
+  std::vector<const Expr*> where_conjuncts;
+  if (where != nullptr) {
+    ImplicationEngine::CollectConjuncts(*where, &where_conjuncts);
+  }
+  SymbolicEnv pre = engine.MakeEnv(where_conjuncts);
+  if (pre.unsat) {
+    // No stored row can match the WHERE: nothing is written at all.
+    impact.where_unsatisfiable = true;
+    impact.footprint_excluded = all.size();
+    return impact;
+  }
+  const PostState post = BuildPostState(pre, assignments);
+
+  std::vector<ColumnIdx> cols;
+  for (const SoftConstraint* sc : all) {
+    if (!ScReadsTable(*sc, stmt.table, &cols)) {
+      ++impact.footprint_excluded;
+      continue;
+    }
+    // UPDATE adds/removes no row; an SC whose read columns are all
+    // untouched sees byte-identical values.
+    bool touches = false;
+    for (ColumnIdx col : cols) {
+      if (assigned.count(col) != 0) {
+        touches = true;
+        break;
+      }
+    }
+    if (!touches) {
+      ++impact.footprint_excluded;
+      continue;
+    }
+
+    // SET/WHERE implication refinement for row-local kinds. All four are
+    // null-compliant (a NULL participant vacuously satisfies the SC), so
+    // proving "every non-NULL post value lies inside the constraint
+    // region" suffices — no non-NULL obligations.
+    bool excluded = false;
+    switch (sc->kind()) {
+      case ScKind::kDomain: {
+        const auto* domain = static_cast<const DomainSc*>(sc);
+        auto fact = DomainIntervalFact(*domain);
+        auto it = post.env.intervals.find(domain->column());
+        excluded = fact.has_value() && it != post.env.intervals.end() &&
+                   fact->interval.Contains(it->second);
+        break;
+      }
+      case ScKind::kColumnOffset: {
+        const auto* offset = static_cast<const ColumnOffsetSc*>(sc);
+        const ImplicationFacts::DiffFact fact = OffsetDiffFact(*offset);
+        Interval have = Interval::Top();
+        for (const SymbolicEnv::DiffBound& d : post.env.diffs) {
+          if (d.x == fact.x && d.y == fact.y) have.Intersect(d.range);
+          if (d.x == fact.y && d.y == fact.x) {
+            have.Intersect(d.range.Negated());
+          }
+        }
+        auto yi = post.env.intervals.find(fact.y);
+        auto xi = post.env.intervals.find(fact.x);
+        if (yi != post.env.intervals.end() &&
+            xi != post.env.intervals.end()) {
+          have.Intersect(yi->second.Minus(xi->second));
+        }
+        excluded = !have.IsTop() && fact.range.Contains(have);
+        break;
+      }
+      case ScKind::kLinearCorrelation: {
+        const auto* linear = static_cast<const LinearCorrelationSc*>(sc);
+        if (linear->epsilon() < 0.0) break;  // Never provably satisfied.
+        auto ai = post.env.intervals.find(linear->col_a());
+        auto bi = post.env.intervals.find(linear->col_b());
+        if (ai == post.env.intervals.end() ||
+            bi == post.env.intervals.end()) {
+          break;
+        }
+        // a - (k·b + c) must stay within ±eps.
+        const Interval residual = ai->second.Minus(
+            bi->second.ScaledBy(linear->k(), linear->c()));
+        excluded =
+            !residual.IsTop() &&
+            Interval::Range(-linear->epsilon(), linear->epsilon())
+                .Contains(residual);
+        break;
+      }
+      case ScKind::kPredicate: {
+        const auto* predicate = static_cast<const PredicateSc*>(sc);
+        // EnvEntails proves the expression TRUE outright — stronger than
+        // needed (NULL results comply too) but always sound.
+        excluded = engine.EnvEntails(post.env, predicate->expr());
+        break;
+      }
+      default:
+        break;  // FD / inclusion / join-hole: conservative.
+    }
+    if (excluded) {
+      ++impact.implication_excluded;
+    } else {
+      impact.impacted.push_back(sc->name());
+    }
+  }
+  std::sort(impact.impacted.begin(), impact.impacted.end());
+  return impact;
+}
+
+Result<DmlImpact> ImpactAnalyzer::AnalyzeDelete(const DeleteStmt& stmt) const {
+  DmlImpact impact;
+  impact.kind = Statement::Kind::kDelete;
+  impact.table = stmt.table;
+  const std::vector<SoftConstraint*> all = scs_->All();
+  impact.candidates = all.size();
+
+  auto table_result = catalog_->GetTable(stmt.table);
+  if (!table_result.ok()) return table_result.status();
+  const Schema& schema = (*table_result)->schema();
+
+  if (stmt.where != nullptr) {
+    ExprPtr where = stmt.where->Clone();
+    auto bound = where->Bind(schema);
+    if (!bound.ok()) return bound;
+    ImplicationFactsOptions fact_opts;
+    fact_opts.use_soft_constraints = false;
+    fact_opts.enforced_checks_only = true;
+    ImplicationEngine engine(
+        &schema,
+        BuildImplicationFacts(stmt.table, *catalog_, ics_, nullptr, nullptr,
+                              fact_opts));
+    std::vector<const Expr*> conjuncts;
+    ImplicationEngine::CollectConjuncts(*where, &conjuncts);
+    if (engine.Unsatisfiable(conjuncts)) {
+      impact.where_unsatisfiable = true;
+      impact.footprint_excluded = all.size();
+      return impact;
+    }
+  }
+
+  // Removing rows is monotone for row-local kinds, child-side inclusions
+  // and join holes: each compliant row stays compliant and violating rows
+  // can only disappear. Two kinds CAN get worse under deletion:
+  // parent-side inclusion (a deleted parent row can orphan children), and
+  // FDs on the target table — the verifier counts conflicts against the
+  // *first* row of each determinant group, so deleting that reference row
+  // can re-key the group to a minority image and grow the count (deps
+  // [A, B, A, A] has one violation; drop the leading A and reference B
+  // leaves two).
+  for (const SoftConstraint* sc : all) {
+    const bool parent_side =
+        sc->kind() == ScKind::kInclusion &&
+        static_cast<const InclusionSc*>(sc)->parent_table() == stmt.table;
+    const bool fd_on_target =
+        sc->kind() == ScKind::kFunctionalDependency &&
+        sc->table() == stmt.table;
+    if (parent_side || fd_on_target) {
+      impact.impacted.push_back(sc->name());
+    } else {
+      ++impact.footprint_excluded;
+    }
+  }
+  std::sort(impact.impacted.begin(), impact.impacted.end());
+  return impact;
+}
+
+}  // namespace softdb

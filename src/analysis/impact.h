@@ -1,0 +1,88 @@
+#ifndef SOFTDB_ANALYSIS_IMPACT_H_
+#define SOFTDB_ANALYSIS_IMPACT_H_
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/statement.h"
+
+namespace softdb {
+
+class Catalog;
+class IcRegistry;
+class ScRegistry;
+
+/// Result of statically analyzing one DML statement: which soft
+/// constraints the statement *could* invalidate. The contract is a sound
+/// over-approximation — every SC the statement can actually violate is in
+/// `impacted`; SCs outside it provably keep their compliance status, so
+/// synchronous maintenance may skip them and the plan cache may keep plans
+/// that only depend on them.
+struct DmlImpact {
+  Statement::Kind kind = Statement::Kind::kInsert;
+  std::string table;
+  /// Sorted names of SCs the statement may invalidate.
+  std::vector<std::string> impacted;
+  /// Total SCs registered when the analysis ran.
+  std::size_t candidates = 0;
+  /// How many candidates were excluded because the statement's write set
+  /// cannot reach them (wrong table / untouched columns).
+  std::size_t footprint_excluded = 0;
+  /// How many were excluded by SET/WHERE implication reasoning.
+  std::size_t implication_excluded = 0;
+  /// UPDATE/DELETE whose WHERE provably matches no row.
+  bool where_unsatisfiable = false;
+
+  bool Contains(const std::string& name) const {
+    return std::binary_search(impacted.begin(), impacted.end(), name);
+  }
+  /// Did the analysis beat the re-check-everything baseline?
+  bool Narrowed() const { return impacted.size() < candidates; }
+  /// The scope set synchronous maintenance consumes.
+  std::set<std::string> ImpactSet() const {
+    return std::set<std::string>(impacted.begin(), impacted.end());
+  }
+};
+
+/// Static DML impact analyzer. Sound over-approximation rules:
+///
+/// * INSERT — SCs on other tables are unreachable (inclusion SCs only via
+///   their child side: a growing parent set cannot orphan anyone). FDs
+///   stay impacted unless a single constant row provably matches the
+///   existing determinant→dependent mapping; row-local kinds (domain,
+///   offset, linear, predicate) and child-side inclusions are excluded
+///   when every constant-folded row passes CheckRow against the pre-state.
+/// * UPDATE — SCs whose column footprint misses the SET column set keep
+///   their status (no row is added or removed, untouched values are
+///   byte-identical). For touched row-local SCs, a symbolic post-state
+///   built from the WHERE environment (facts = enforced CHECKs only) and
+///   the assignment expressions may prove the new values still comply.
+/// * DELETE — removing rows can only violate parent-side inclusion SCs;
+///   every other kind's violation count is non-increasing under row
+///   removal (including FDs, whose first-image violation count never grows
+///   when a row disappears).
+///
+/// `Unknown` is always safe: anything unprovable stays impacted.
+class ImpactAnalyzer {
+ public:
+  ImpactAnalyzer(const Catalog* catalog, const IcRegistry* ics,
+                 const ScRegistry* scs)
+      : catalog_(catalog), ics_(ics), scs_(scs) {}
+
+  Result<DmlImpact> Analyze(const Statement& stmt) const;
+  Result<DmlImpact> AnalyzeInsert(const InsertStmt& stmt) const;
+  Result<DmlImpact> AnalyzeUpdate(const UpdateStmt& stmt) const;
+  Result<DmlImpact> AnalyzeDelete(const DeleteStmt& stmt) const;
+
+ private:
+  const Catalog* catalog_;
+  const IcRegistry* ics_;
+  const ScRegistry* scs_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_ANALYSIS_IMPACT_H_

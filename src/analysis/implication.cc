@@ -1,0 +1,1056 @@
+#include "analysis/implication.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+#include "constraints/column_offset_sc.h"
+#include "constraints/domain_sc.h"
+#include "constraints/ic_registry.h"
+#include "constraints/inclusion_sc.h"
+#include "constraints/linear_correlation_sc.h"
+#include "constraints/predicate_sc.h"
+#include "constraints/sc_registry.h"
+#include "stats/analyzer.h"
+#include "storage/catalog.h"
+
+namespace softdb {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Maximum diff/band propagation passes. Capping only costs precision
+// (verdicts degrade toward kUnknown), never soundness.
+constexpr int kMaxClosurePasses = 6;
+
+// Infinity-absorbing bound addition; `sign` picks which infinity wins a
+// (+inf) + (-inf) clash so the result stays conservative for its side.
+double AddBound(double a, double b, double sign) {
+  if (std::isinf(a) && std::isinf(b) && a != b) return sign * kInf;
+  if (std::isinf(a)) return a;
+  if (std::isinf(b)) return b;
+  return a + b;
+}
+
+bool NumericNonNull(const Value& v) {
+  return !v.is_null() && IsNumericType(v.type());
+}
+
+bool StringNonNull(const Value& v) {
+  return !v.is_null() && v.type() == TypeId::kString;
+}
+
+}  // namespace
+
+const char* ImplicationVerdictName(ImplicationVerdict v) {
+  switch (v) {
+    case ImplicationVerdict::kImplies:
+      return "implies";
+    case ImplicationVerdict::kContradicts:
+      return "contradicts";
+    case ImplicationVerdict::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Interval.
+// ---------------------------------------------------------------------------
+
+bool Interval::IsTop() const {
+  return !empty && !str_equal.has_value() && lo == -kInf && hi == kInf;
+}
+
+bool Interval::IsPoint(double* v) const {
+  if (empty || str_equal.has_value()) return false;
+  if (lo == hi && !lo_strict && !hi_strict && std::isfinite(lo)) {
+    if (v != nullptr) *v = lo;
+    return true;
+  }
+  return false;
+}
+
+bool Interval::ContainsPoint(double v) const {
+  if (empty || str_equal.has_value()) return false;
+  if (v < lo || (v == lo && lo_strict)) return false;
+  if (v > hi || (v == hi && hi_strict)) return false;
+  return true;
+}
+
+bool Interval::Contains(const Interval& inner) const {
+  if (inner.empty) return true;
+  if (empty) return false;
+  if (str_equal.has_value()) {
+    // Only an identical string pin fits inside a string pin.
+    return inner.str_equal.has_value() &&
+           inner.str_equal->GroupEquals(*str_equal);
+  }
+  if (inner.str_equal.has_value()) {
+    // A string pin fits inside a numeric interval only when that interval
+    // poses no numeric restriction at all.
+    return IsTop();
+  }
+  // Lower side: this.lo must admit everything from inner.lo down.
+  const bool lo_ok =
+      lo < inner.lo || (lo == inner.lo && (!lo_strict || inner.lo_strict));
+  const bool hi_ok =
+      hi > inner.hi || (hi == inner.hi && (!hi_strict || inner.hi_strict));
+  return lo_ok && hi_ok;
+}
+
+void Interval::Intersect(const Interval& other) {
+  if (empty) return;
+  if (other.empty) {
+    empty = true;
+    return;
+  }
+  if (str_equal.has_value() || other.str_equal.has_value()) {
+    if (str_equal.has_value() && other.str_equal.has_value()) {
+      if (!str_equal->GroupEquals(*other.str_equal)) empty = true;
+      return;
+    }
+    // Mixing a string pin with a real numeric restriction is vacuous only
+    // when the numeric side is Top; otherwise the types are incompatible
+    // and no value satisfies both.
+    const Interval& numeric = str_equal.has_value() ? other : *this;
+    if (!numeric.IsTop()) {
+      empty = true;
+      return;
+    }
+    if (!str_equal.has_value()) str_equal = other.str_equal;
+    return;
+  }
+  if (other.lo > lo || (other.lo == lo && other.lo_strict)) {
+    lo = other.lo;
+    lo_strict = other.lo_strict;
+  }
+  if (other.hi < hi || (other.hi == hi && other.hi_strict)) {
+    hi = other.hi;
+    hi_strict = other.hi_strict;
+  }
+  if (lo > hi || (lo == hi && (lo_strict || hi_strict))) empty = true;
+}
+
+Interval Interval::Plus(const Interval& other) const {
+  if (empty || other.empty) return Empty();
+  if (str_equal.has_value() || other.str_equal.has_value()) return Top();
+  Interval out;
+  out.lo = AddBound(lo, other.lo, -1.0);
+  out.hi = AddBound(hi, other.hi, +1.0);
+  out.lo_strict = std::isfinite(out.lo) && (lo_strict || other.lo_strict);
+  out.hi_strict = std::isfinite(out.hi) && (hi_strict || other.hi_strict);
+  return out;
+}
+
+Interval Interval::Negated() const {
+  if (empty) return Empty();
+  if (str_equal.has_value()) return Top();
+  Interval out;
+  out.lo = -hi;
+  out.hi = -lo;
+  out.lo_strict = hi_strict;
+  out.hi_strict = lo_strict;
+  return out;
+}
+
+Interval Interval::Minus(const Interval& other) const {
+  return Plus(other.Negated());
+}
+
+Interval Interval::ScaledBy(double k, double c) const {
+  if (empty) return Empty();
+  if (str_equal.has_value()) return Top();
+  if (k == 0.0) return Point(c);
+  Interval out;
+  if (k > 0.0) {
+    out.lo = std::isinf(lo) ? lo : lo * k;
+    out.hi = std::isinf(hi) ? hi : hi * k;
+    out.lo_strict = lo_strict;
+    out.hi_strict = hi_strict;
+  } else {
+    out.lo = std::isinf(hi) ? -hi : hi * k;
+    out.hi = std::isinf(lo) ? -lo : lo * k;
+    out.lo_strict = hi_strict;
+    out.hi_strict = lo_strict;
+  }
+  out.lo = AddBound(out.lo, c, -1.0);
+  out.hi = AddBound(out.hi, c, +1.0);
+  return out;
+}
+
+bool Interval::SameAs(const Interval& other) const {
+  if (empty != other.empty) return false;
+  if (empty) return true;
+  if (str_equal.has_value() != other.str_equal.has_value()) return false;
+  if (str_equal.has_value())
+    return str_equal->GroupEquals(*other.str_equal);
+  return lo == other.lo && hi == other.hi && lo_strict == other.lo_strict &&
+         hi_strict == other.hi_strict;
+}
+
+std::string Interval::ToString() const {
+  if (empty) return "{}";
+  if (str_equal.has_value()) return "{'" + str_equal->ToString() + "'}";
+  std::string out = lo_strict ? "(" : "[";
+  out += std::isinf(lo) ? "-inf" : StrFormat("%g", lo);
+  out += ", ";
+  out += std::isinf(hi) ? "+inf" : StrFormat("%g", hi);
+  out += hi_strict ? ")" : "]";
+  return out;
+}
+
+std::optional<Interval> IntervalForComparison(CompareOp op, const Value& v) {
+  if (!NumericNonNull(v)) return std::nullopt;
+  const double c = v.NumericValue();
+  switch (op) {
+    case CompareOp::kEq:
+      return Interval::Point(c);
+    case CompareOp::kLt:
+      return Interval::AtMost(c, /*strict=*/true);
+    case CompareOp::kLe:
+      return Interval::AtMost(c, /*strict=*/false);
+    case CompareOp::kGt:
+      return Interval::AtLeast(c, /*strict=*/true);
+    case CompareOp::kGe:
+      return Interval::AtLeast(c, /*strict=*/false);
+    case CompareOp::kNe:
+      return std::nullopt;  // Not interval-representable.
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Fact extraction.
+// ---------------------------------------------------------------------------
+
+std::optional<ImplicationFacts::IntervalFact> DomainIntervalFact(
+    const DomainSc& sc) {
+  ImplicationFacts::IntervalFact fact;
+  fact.column = sc.column();
+  fact.source = "sc:" + sc.name();
+  const Value& lo = sc.min_value();
+  const Value& hi = sc.max_value();
+  if (NumericNonNull(lo) || NumericNonNull(hi)) {
+    // Either bound may be non-numeric (a half-open declaration); the
+    // numeric side still constrains.
+    if (NumericNonNull(lo)) {
+      fact.interval.lo = lo.NumericValue();
+    }
+    if (NumericNonNull(hi)) {
+      fact.interval.hi = hi.NumericValue();
+    }
+    if (fact.interval.lo > fact.interval.hi) fact.interval.empty = true;
+    return fact;
+  }
+  if (StringNonNull(lo) && StringNonNull(hi) && lo.GroupEquals(hi)) {
+    // Degenerate string domain: an equality pin.
+    fact.interval = Interval::StringPin(lo);
+    return fact;
+  }
+  return std::nullopt;
+}
+
+ImplicationFacts::DiffFact OffsetDiffFact(const ColumnOffsetSc& sc) {
+  ImplicationFacts::DiffFact fact;
+  fact.x = sc.col_x();
+  fact.y = sc.col_y();
+  fact.range = Interval::Range(static_cast<double>(sc.min_offset()),
+                               static_cast<double>(sc.max_offset()));
+  fact.source = "sc:" + sc.name();
+  return fact;
+}
+
+std::optional<ImplicationFacts::BandFact> LinearBandFact(
+    const LinearCorrelationSc& sc) {
+  if (sc.epsilon() < 0.0) return std::nullopt;  // Lint flags this; skip.
+  ImplicationFacts::BandFact fact;
+  fact.a = sc.col_a();
+  fact.b = sc.col_b();
+  fact.k = sc.k();
+  fact.c = sc.c();
+  fact.eps = sc.epsilon();
+  fact.source = "sc:" + sc.name();
+  return fact;
+}
+
+namespace {
+
+// Collects interval/diff facts from a null-compliant row predicate (CHECK
+// or predicate SC). Decomposing a conjunction is only sound when a single
+// NULL conjunct cannot mask a FALSE one — i.e. when the expression is one
+// conjunct, or no referenced column is nullable.
+void FactsFromRowPredicate(const Expr& expr, const Schema& schema,
+                           const std::string& source,
+                           ImplicationFacts* out) {
+  std::vector<const Expr*> conjuncts;
+  ImplicationEngine::CollectConjuncts(expr, &conjuncts);
+  if (conjuncts.size() > 1) {
+    std::vector<ColumnIdx> cols;
+    expr.CollectColumns(&cols);
+    for (ColumnIdx col : cols) {
+      if (col >= schema.NumColumns() || schema.Column(col).nullable) return;
+    }
+  }
+  for (const Expr* conjunct : conjuncts) {
+    std::vector<SimplePredicate> simples;
+    if (ExpandSimplePredicates(*conjunct, &simples)) {
+      for (const SimplePredicate& sp : simples) {
+        auto interval = IntervalForComparison(sp.op, sp.constant);
+        if (!interval.has_value()) {
+          if (sp.op == CompareOp::kEq && StringNonNull(sp.constant)) {
+            interval = Interval::StringPin(sp.constant);
+          } else {
+            continue;
+          }
+        }
+        out->intervals.push_back({sp.column, *interval, source});
+      }
+      continue;
+    }
+    ColumnDiffPredicate diff;
+    if (MatchColumnDiffPredicate(*conjunct, &diff) &&
+        diff.op != CompareOp::kNe) {
+      auto range = IntervalForComparison(diff.op, diff.constant);
+      if (range.has_value()) {
+        out->diffs.push_back({diff.subtrahend, diff.minuend, *range, source});
+      }
+      continue;
+    }
+    ColumnPairPredicate pair;
+    if (MatchColumnPair(*conjunct, &pair) && pair.op != CompareOp::kNe) {
+      auto range = IntervalForComparison(pair.op, Value::Int64(0));
+      if (range.has_value()) {
+        out->diffs.push_back({pair.right, pair.left, *range, source});
+      }
+    }
+    // Anything else contributes nothing (sound: facts only shrink rows'
+    // admissible region when stated).
+  }
+}
+
+void CollectTableFacts(const std::string& table, const Catalog& catalog,
+                       const IcRegistry* ics, const ScRegistry* scs,
+                       const StatsCatalog* stats,
+                       const ImplicationFactsOptions& opts, int depth,
+                       const std::string& source_prefix,
+                       ImplicationFacts* out) {
+  auto table_result = catalog.GetTable(table);
+  if (!table_result.ok()) return;
+  const Schema& schema = (*table_result)->schema();
+
+  if (ics != nullptr && opts.use_checks) {
+    for (const CheckConstraint* check : ics->ChecksOn(table)) {
+      if (opts.enforced_checks_only && check->informational()) continue;
+      FactsFromRowPredicate(check->expr(), schema,
+                            source_prefix + "check:" + check->name(), out);
+    }
+  }
+
+  if (scs != nullptr && opts.use_soft_constraints) {
+    for (const SoftConstraint* sc : scs->On(table)) {
+      if (sc->table() != table) continue;  // Join-hole right side.
+      if (opts.absolute_only && !sc->IsAbsolute()) continue;
+      if (!opts.absolute_only && sc->state() == ScState::kDropped) continue;
+      switch (sc->kind()) {
+        case ScKind::kDomain: {
+          auto fact = DomainIntervalFact(*static_cast<const DomainSc*>(sc));
+          if (fact.has_value()) {
+            fact->source = source_prefix + fact->source;
+            out->intervals.push_back(std::move(*fact));
+          }
+          break;
+        }
+        case ScKind::kColumnOffset: {
+          auto fact =
+              OffsetDiffFact(*static_cast<const ColumnOffsetSc*>(sc));
+          fact.source = source_prefix + fact.source;
+          out->diffs.push_back(std::move(fact));
+          break;
+        }
+        case ScKind::kLinearCorrelation: {
+          auto fact = LinearBandFact(
+              *static_cast<const LinearCorrelationSc*>(sc));
+          if (fact.has_value()) {
+            fact->source = source_prefix + fact->source;
+            out->bands.push_back(std::move(*fact));
+          }
+          break;
+        }
+        case ScKind::kPredicate: {
+          FactsFromRowPredicate(
+              static_cast<const PredicateSc*>(sc)->expr(), schema,
+              source_prefix + "sc:" + sc->name(), out);
+          break;
+        }
+        case ScKind::kInclusion: {
+          if (!opts.import_inclusion_parents || depth <= 0) break;
+          const auto* incl = static_cast<const InclusionSc*>(sc);
+          if (incl->child_columns().size() != 1) break;
+          if (incl->parent_table() == table) break;  // Self-cycle guard.
+          // Import the parent column's interval facts onto the child
+          // column: any non-NULL child value also occurs (non-NULL) in
+          // the parent column, so the parent's domain bounds transfer.
+          ImplicationFacts parent_facts;
+          ImplicationFactsOptions parent_opts = opts;
+          parent_opts.use_stats = false;  // Stats never cross tables.
+          CollectTableFacts(incl->parent_table(), catalog, ics, scs,
+                            nullptr, parent_opts, depth - 1,
+                            source_prefix + "sc:" + sc->name() + "<-",
+                            &parent_facts);
+          const ColumnIdx child_col = incl->child_columns()[0];
+          const ColumnIdx parent_col = incl->parent_columns()[0];
+          for (const auto& fact : parent_facts.intervals) {
+            if (fact.column != parent_col) continue;
+            out->intervals.push_back({child_col, fact.interval, fact.source});
+          }
+          break;
+        }
+        case ScKind::kFunctionalDependency:
+        case ScKind::kJoinHole:
+          // FDs constrain row *pairs* and join holes constrain joined
+          // tuples; neither yields a sound single-row fact.
+          break;
+      }
+    }
+  }
+
+  if (stats != nullptr && opts.use_stats) {
+    const TableStats* ts = stats->Get(table);
+    if (ts != nullptr) {
+      for (ColumnIdx col = 0; col < schema.NumColumns(); ++col) {
+        if (!ts->HasColumn(col)) continue;
+        const ColumnStats& cs = ts->columns[col];
+        if (!cs.min.has_value() || !cs.max.has_value()) continue;
+        if (!NumericNonNull(*cs.min) || !NumericNonNull(*cs.max)) continue;
+        out->intervals.push_back(
+            {col,
+             Interval::Range(cs.min->NumericValue(), cs.max->NumericValue()),
+             source_prefix + "stats:" + table});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ImplicationFacts BuildImplicationFacts(const std::string& table,
+                                       const Catalog& catalog,
+                                       const IcRegistry* ics,
+                                       const ScRegistry* scs,
+                                       const StatsCatalog* stats,
+                                       const ImplicationFactsOptions& opts) {
+  ImplicationFacts facts;
+  CollectTableFacts(table, catalog, ics, scs, stats, opts,
+                    /*depth=*/2, /*source_prefix=*/"", &facts);
+  return facts;
+}
+
+// ---------------------------------------------------------------------------
+// Engine.
+// ---------------------------------------------------------------------------
+
+ImplicationEngine::ImplicationEngine(const Schema* schema,
+                                     ImplicationFacts facts,
+                                     ImplicationOptions opts)
+    : schema_(schema), facts_(std::move(facts)), opts_(opts) {}
+
+void ImplicationEngine::CollectConjuncts(const Expr& expr,
+                                         std::vector<const Expr*>* out) {
+  if (expr.kind() == ExprKind::kAnd) {
+    const auto& logical = static_cast<const LogicalExpr&>(expr);
+    for (const ExprPtr& child : logical.children()) {
+      CollectConjuncts(*child, out);
+    }
+    return;
+  }
+  out->push_back(&expr);
+}
+
+bool ImplicationEngine::ColumnUsable(const SymbolicEnv& env,
+                                     ColumnIdx col) const {
+  if (env.known_null.count(col) != 0) return false;
+  if (opts_.assume_non_null) return true;
+  if (env.non_null.count(col) != 0) return true;
+  return schema_ != nullptr && col < schema_->NumColumns() &&
+         !schema_->Column(col).nullable;
+}
+
+bool ImplicationEngine::MustBeNonNull(const SymbolicEnv& env,
+                                      ColumnIdx col) const {
+  if (opts_.assume_non_null) return true;
+  if (env.non_null.count(col) != 0) return true;
+  return schema_ != nullptr && col < schema_->NumColumns() &&
+         !schema_->Column(col).nullable;
+}
+
+void ImplicationEngine::ApplySimple(const SimplePredicate& sp,
+                                    SymbolicEnv* env) const {
+  // A comparison conjunct is TRUE only on non-NULL values.
+  env->non_null.insert(sp.column);
+  if (sp.constant.is_null()) {
+    // `col op NULL` is never TRUE: the region is empty.
+    env->unsat = true;
+    return;
+  }
+  Interval& slot = env->intervals[sp.column];
+  auto interval = IntervalForComparison(sp.op, sp.constant);
+  if (interval.has_value()) {
+    slot.Intersect(*interval);
+  } else if (sp.op == CompareOp::kEq && StringNonNull(sp.constant)) {
+    slot.Intersect(Interval::StringPin(sp.constant));
+  } else if (sp.op == CompareOp::kNe) {
+    env->not_equals.emplace_back(sp.column, sp.constant);
+  }
+  // Other string comparisons: only the non-NULL knowledge sticks.
+  if (slot.empty) {
+    env->unsat = true;
+    auto it = env->interval_sources.find(sp.column);
+    if (it != env->interval_sources.end()) {
+      env->unsat_sources.insert(it->second.begin(), it->second.end());
+    }
+  }
+}
+
+void ImplicationEngine::ApplyConjunct(const Expr& e, SymbolicEnv* env) const {
+  switch (e.kind()) {
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(e).value();
+      if (v.is_null() || !v.AsBool()) env->unsat = true;
+      return;
+    }
+    case ExprKind::kIsNull: {
+      const auto& isnull = static_cast<const IsNullExpr&>(e);
+      if (isnull.input()->kind() != ExprKind::kColumnRef) return;  // Opaque.
+      const ColumnIdx col =
+          static_cast<const ColumnRefExpr&>(*isnull.input()).index();
+      if (isnull.negated()) {
+        env->non_null.insert(col);
+      } else {
+        env->known_null.insert(col);
+      }
+      return;
+    }
+    case ExprKind::kNot: {
+      const Expr* child = static_cast<const NotExpr&>(e).child();
+      SimplePredicate sp;
+      if (MatchSimplePredicate(*child, &sp)) {
+        // NOT(col op c) is TRUE exactly when col is non-NULL and the
+        // negated comparison holds.
+        switch (sp.op) {
+          case CompareOp::kEq: sp.op = CompareOp::kNe; break;
+          case CompareOp::kNe: sp.op = CompareOp::kEq; break;
+          case CompareOp::kLt: sp.op = CompareOp::kGe; break;
+          case CompareOp::kLe: sp.op = CompareOp::kGt; break;
+          case CompareOp::kGt: sp.op = CompareOp::kLe; break;
+          case CompareOp::kGe: sp.op = CompareOp::kLt; break;
+        }
+        ApplySimple(sp, env);
+      }
+      return;  // Other NOTs are opaque.
+    }
+    default:
+      break;
+  }
+
+  std::vector<SimplePredicate> simples;
+  if (ExpandSimplePredicates(e, &simples)) {
+    for (const SimplePredicate& sp : simples) ApplySimple(sp, env);
+    return;
+  }
+  ColumnDiffPredicate diff;
+  if (MatchColumnDiffPredicate(e, &diff)) {
+    env->non_null.insert(diff.minuend);
+    env->non_null.insert(diff.subtrahend);
+    auto range = IntervalForComparison(diff.op, diff.constant);
+    if (range.has_value()) {
+      env->diffs.push_back(
+          {diff.subtrahend, diff.minuend, *range, std::string()});
+    }
+    return;
+  }
+  ColumnPairPredicate pair;
+  if (MatchColumnPair(e, &pair)) {
+    env->non_null.insert(pair.left);
+    env->non_null.insert(pair.right);
+    auto range = IntervalForComparison(pair.op, Value::Int64(0));
+    if (range.has_value()) {
+      // (left - right) op 0, stored as y=left, x=right.
+      env->diffs.push_back({pair.right, pair.left, *range, std::string()});
+    }
+    return;
+  }
+  // Opaque conjunct (OR, IN-list, arbitrary arithmetic): dropped. The
+  // abstract region only grows, which is sound for both verdicts.
+}
+
+void ImplicationEngine::Close(SymbolicEnv* env) const {
+  auto interval_of = [&](ColumnIdx col) -> Interval {
+    auto it = env->intervals.find(col);
+    return it == env->intervals.end() ? Interval::Top() : it->second;
+  };
+  auto merge_sources = [&](ColumnIdx into, ColumnIdx from,
+                           const std::string& link_source) {
+    std::set<std::string>& dst = env->interval_sources[into];
+    auto it = env->interval_sources.find(from);
+    if (it != env->interval_sources.end()) {
+      dst.insert(it->second.begin(), it->second.end());
+    }
+    if (!link_source.empty()) dst.insert(link_source);
+  };
+  auto tighten = [&](ColumnIdx col, const Interval& by, ColumnIdx from,
+                     const std::string& link_source) -> bool {
+    if (by.IsTop()) return false;
+    Interval& slot = env->intervals[col];
+    Interval before = slot;
+    slot.Intersect(by);
+    if (slot.SameAs(before)) return false;
+    merge_sources(col, from, link_source);
+    // An emptied interval says "no non-NULL value is possible". That is a
+    // contradiction only when the column cannot hide behind NULL; facts
+    // are null-compliant, so a nullable column with a void value region
+    // simply means "provably NULL on every admitted row".
+    if (slot.empty && MustBeNonNull(*env, col)) {
+      env->unsat = true;
+      auto it = env->interval_sources.find(col);
+      if (it != env->interval_sources.end()) {
+        env->unsat_sources.insert(it->second.begin(), it->second.end());
+      }
+    }
+    return true;
+  };
+
+  for (int pass = 0; pass < kMaxClosurePasses && !env->unsat; ++pass) {
+    bool changed = false;
+    for (const SymbolicEnv::DiffBound& d : env->diffs) {
+      // (y - x) ∈ range, valid where both are non-NULL. Narrowing y's
+      // value-when-non-NULL interval through x requires x provably
+      // non-NULL on the region (and vice versa).
+      if (env->known_null.count(d.x) || env->known_null.count(d.y)) continue;
+      if (ColumnUsable(*env, d.x)) {
+        changed |= tighten(d.y, interval_of(d.x).Plus(d.range), d.x,
+                           d.source);
+      }
+      if (env->unsat) break;
+      if (ColumnUsable(*env, d.y)) {
+        changed |= tighten(d.x, interval_of(d.y).Minus(d.range), d.y,
+                           d.source);
+      }
+      if (env->unsat) break;
+    }
+    for (const SymbolicEnv::Band& b : env->bands) {
+      if (env->unsat) break;
+      if (env->known_null.count(b.a) || env->known_null.count(b.b)) continue;
+      const Interval eps_band = Interval::Range(-b.eps, b.eps);
+      if (ColumnUsable(*env, b.b)) {
+        // a ∈ k·b + c ± eps.
+        changed |= tighten(
+            b.a, interval_of(b.b).ScaledBy(b.k, b.c).Plus(eps_band), b.b,
+            b.source);
+      }
+      if (env->unsat) break;
+      if (b.k != 0.0 && ColumnUsable(*env, b.a)) {
+        // b ∈ (a - c ± eps) / k.
+        changed |= tighten(
+            b.b,
+            interval_of(b.a).Plus(eps_band).ScaledBy(1.0 / b.k, -b.c / b.k),
+            b.a, b.source);
+      }
+      if (env->unsat) break;
+    }
+    if (!changed) break;
+  }
+
+  if (env->unsat) return;
+
+  // `col <> v` against a pinned point; `col IS NULL` against proven
+  // non-NULL.
+  for (const auto& ne : env->not_equals) {
+    auto it = env->intervals.find(ne.first);
+    if (it == env->intervals.end()) continue;
+    double point = 0.0;
+    if (NumericNonNull(ne.second) && it->second.IsPoint(&point) &&
+        point == ne.second.NumericValue()) {
+      env->unsat = true;
+    } else if (it->second.str_equal.has_value() &&
+               StringNonNull(ne.second) &&
+               it->second.str_equal->GroupEquals(ne.second)) {
+      env->unsat = true;
+    }
+    if (env->unsat) {
+      auto src = env->interval_sources.find(ne.first);
+      if (src != env->interval_sources.end()) {
+        env->unsat_sources.insert(src->second.begin(), src->second.end());
+      }
+      return;
+    }
+  }
+  for (ColumnIdx col : env->known_null) {
+    const bool schema_non_null = schema_ != nullptr &&
+                                 col < schema_->NumColumns() &&
+                                 !schema_->Column(col).nullable;
+    if (env->non_null.count(col) != 0 || schema_non_null) {
+      env->unsat = true;
+      return;
+    }
+  }
+}
+
+SymbolicEnv ImplicationEngine::MakeEnv(
+    const std::vector<const Expr*>& conjuncts) const {
+  SymbolicEnv env;
+  // Seed the fact base. Interval facts speak about values-when-non-NULL,
+  // which is exactly the env's interval semantics, so they apply
+  // unconditionally; diffs and bands participate via closure (guarded by
+  // non-NULL knowledge).
+  for (const auto& fact : facts_.intervals) {
+    Interval& slot = env.intervals[fact.column];
+    Interval before = slot;
+    slot.Intersect(fact.interval);
+    if (!slot.SameAs(before)) {
+      env.interval_sources[fact.column].insert(fact.source);
+    }
+  }
+  for (const auto& fact : facts_.diffs) {
+    env.diffs.push_back({fact.x, fact.y, fact.range, fact.source});
+  }
+  for (const auto& fact : facts_.bands) {
+    env.bands.push_back(
+        {fact.a, fact.b, fact.k, fact.c, fact.eps, fact.source});
+  }
+  for (const Expr* conjunct : conjuncts) {
+    ApplyConjunct(*conjunct, &env);
+    if (env.unsat) break;
+  }
+  // Seeded interval facts can already be mutually empty (a contradictory
+  // catalog) — surface that before closure, but only where NULL cannot
+  // rescue the row (facts are null-compliant).
+  for (const auto& entry : env.intervals) {
+    if (entry.second.empty && MustBeNonNull(env, entry.first)) {
+      env.unsat = true;
+      auto it = env.interval_sources.find(entry.first);
+      if (it != env.interval_sources.end()) {
+        env.unsat_sources.insert(it->second.begin(), it->second.end());
+      }
+    }
+  }
+  if (!env.unsat) Close(&env);
+  return env;
+}
+
+Interval ImplicationEngine::DiffIntervalFor(
+    const SymbolicEnv& env, ColumnIdx minuend, ColumnIdx subtrahend,
+    std::set<std::string>* used) const {
+  Interval out = Interval::Top();
+  for (const SymbolicEnv::DiffBound& d : env.diffs) {
+    if (d.x == subtrahend && d.y == minuend) {
+      out.Intersect(d.range);
+      if (used != nullptr && !d.source.empty()) used->insert(d.source);
+    } else if (d.x == minuend && d.y == subtrahend) {
+      out.Intersect(d.range.Negated());
+      if (used != nullptr && !d.source.empty()) used->insert(d.source);
+    }
+  }
+  for (const SymbolicEnv::Band& b : env.bands) {
+    if (b.k != 1.0) continue;
+    // a - b ∈ [c - eps, c + eps].
+    if (b.a == minuend && b.b == subtrahend) {
+      out.Intersect(Interval::Range(b.c - b.eps, b.c + b.eps));
+      if (used != nullptr && !b.source.empty()) used->insert(b.source);
+    } else if (b.a == subtrahend && b.b == minuend) {
+      out.Intersect(Interval::Range(-b.c - b.eps, -b.c + b.eps));
+      if (used != nullptr && !b.source.empty()) used->insert(b.source);
+    }
+  }
+  auto mi = env.intervals.find(minuend);
+  auto si = env.intervals.find(subtrahend);
+  if (mi != env.intervals.end() && si != env.intervals.end()) {
+    Interval arithmetic = mi->second.Minus(si->second);
+    if (!arithmetic.IsTop()) {
+      out.Intersect(arithmetic);
+      if (used != nullptr) {
+        auto ms = env.interval_sources.find(minuend);
+        if (ms != env.interval_sources.end()) {
+          used->insert(ms->second.begin(), ms->second.end());
+        }
+        auto ss = env.interval_sources.find(subtrahend);
+        if (ss != env.interval_sources.end()) {
+          used->insert(ss->second.begin(), ss->second.end());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool ImplicationEngine::EntailsSimple(const SymbolicEnv& env,
+                                      const SimplePredicate& sp,
+                                      std::set<std::string>* used) const {
+  if (!ColumnUsable(env, sp.column)) return false;
+  if (sp.constant.is_null()) return false;  // Never TRUE.
+  auto it = env.intervals.find(sp.column);
+  const Interval have =
+      it == env.intervals.end() ? Interval::Top() : it->second;
+  // An empty interval means the value is provably NULL (e.g. a literal
+  // NULL assignment in impact analysis): no comparison is ever TRUE.
+  if (have.empty) return false;
+  auto note_used = [&]() {
+    if (used == nullptr) return;
+    auto src = env.interval_sources.find(sp.column);
+    if (src != env.interval_sources.end()) {
+      used->insert(src->second.begin(), src->second.end());
+    }
+  };
+  if (StringNonNull(sp.constant)) {
+    if (have.str_equal.has_value()) {
+      const bool same = have.str_equal->GroupEquals(sp.constant);
+      if (sp.op == CompareOp::kEq && same) {
+        note_used();
+        return true;
+      }
+      if (sp.op == CompareOp::kNe && !same) {
+        note_used();
+        return true;
+      }
+    }
+    if (sp.op == CompareOp::kNe) {
+      for (const auto& ne : env.not_equals) {
+        if (ne.first == sp.column && StringNonNull(ne.second) &&
+            ne.second.GroupEquals(sp.constant)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+  if (!NumericNonNull(sp.constant)) return false;
+  const double c = sp.constant.NumericValue();
+  if (have.str_equal.has_value()) return false;  // Mixed-type comparison.
+  if (sp.op == CompareOp::kNe) {
+    if (!have.ContainsPoint(c) && !have.IsTop()) {
+      note_used();
+      return true;
+    }
+    for (const auto& ne : env.not_equals) {
+      if (ne.first == sp.column && NumericNonNull(ne.second) &&
+          ne.second.NumericValue() == c) {
+        return true;
+      }
+    }
+    return false;
+  }
+  auto want = IntervalForComparison(sp.op, sp.constant);
+  if (!want.has_value()) return false;
+  if (want->Contains(have) && !have.IsTop()) {
+    note_used();
+    return true;
+  }
+  return false;
+}
+
+bool ImplicationEngine::EntailsConjunct(const SymbolicEnv& env, const Expr& e,
+                                        std::set<std::string>* used) const {
+  switch (e.kind()) {
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(e).value();
+      return !v.is_null() && v.AsBool();
+    }
+    case ExprKind::kIsNull: {
+      const auto& isnull = static_cast<const IsNullExpr&>(e);
+      if (isnull.input()->kind() != ExprKind::kColumnRef) return false;
+      const ColumnIdx col =
+          static_cast<const ColumnRefExpr&>(*isnull.input()).index();
+      if (isnull.negated()) return ColumnUsable(env, col);
+      return env.known_null.count(col) != 0;
+    }
+    case ExprKind::kAnd: {
+      const auto& logical = static_cast<const LogicalExpr&>(e);
+      for (const ExprPtr& child : logical.children()) {
+        if (!EntailsConjunct(env, *child, used)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kOr: {
+      const auto& logical = static_cast<const LogicalExpr&>(e);
+      for (const ExprPtr& child : logical.children()) {
+        std::set<std::string> branch_used;
+        if (EntailsConjunct(env, *child, &branch_used)) {
+          if (used != nullptr) {
+            used->insert(branch_used.begin(), branch_used.end());
+          }
+          return true;
+        }
+      }
+      return false;
+    }
+    case ExprKind::kNot: {
+      const Expr* child = static_cast<const NotExpr&>(e).child();
+      SimplePredicate sp;
+      if (!MatchSimplePredicate(*child, &sp)) return false;
+      switch (sp.op) {
+        case CompareOp::kEq: sp.op = CompareOp::kNe; break;
+        case CompareOp::kNe: sp.op = CompareOp::kEq; break;
+        case CompareOp::kLt: sp.op = CompareOp::kGe; break;
+        case CompareOp::kLe: sp.op = CompareOp::kGt; break;
+        case CompareOp::kGt: sp.op = CompareOp::kLe; break;
+        case CompareOp::kGe: sp.op = CompareOp::kLt; break;
+      }
+      return EntailsSimple(env, sp, used);
+    }
+    default:
+      break;
+  }
+
+  std::vector<SimplePredicate> simples;
+  if (ExpandSimplePredicates(e, &simples)) {
+    for (const SimplePredicate& sp : simples) {
+      if (!EntailsSimple(env, sp, used)) return false;
+    }
+    return !simples.empty();
+  }
+  ColumnDiffPredicate diff;
+  if (MatchColumnDiffPredicate(e, &diff)) {
+    if (!ColumnUsable(env, diff.minuend) ||
+        !ColumnUsable(env, diff.subtrahend)) {
+      return false;
+    }
+    std::set<std::string> local_used;
+    const Interval have =
+        DiffIntervalFor(env, diff.minuend, diff.subtrahend, &local_used);
+    if (have.IsTop() || have.empty) return false;
+    if (diff.op == CompareOp::kNe) {
+      if (!NumericNonNull(diff.constant)) return false;
+      if (!have.empty && !have.ContainsPoint(diff.constant.NumericValue())) {
+        if (used != nullptr) used->insert(local_used.begin(), local_used.end());
+        return true;
+      }
+      return false;
+    }
+    auto want = IntervalForComparison(diff.op, diff.constant);
+    if (want.has_value() && want->Contains(have)) {
+      if (used != nullptr) used->insert(local_used.begin(), local_used.end());
+      return true;
+    }
+    return false;
+  }
+  ColumnPairPredicate pair;
+  if (MatchColumnPair(e, &pair)) {
+    if (!ColumnUsable(env, pair.left) || !ColumnUsable(env, pair.right)) {
+      return false;
+    }
+    std::set<std::string> local_used;
+    const Interval have =
+        DiffIntervalFor(env, pair.left, pair.right, &local_used);
+    if (have.IsTop() || have.empty) return false;
+    auto accept = [&]() {
+      if (used != nullptr) used->insert(local_used.begin(), local_used.end());
+      return true;
+    };
+    switch (pair.op) {
+      case CompareOp::kEq: {
+        double p = 0.0;
+        return have.IsPoint(&p) && p == 0.0 && accept();
+      }
+      case CompareOp::kNe:
+        return !have.empty && !have.ContainsPoint(0.0) && accept();
+      case CompareOp::kLt:
+        return Interval::AtMost(0.0, true).Contains(have) && accept();
+      case CompareOp::kLe:
+        return Interval::AtMost(0.0, false).Contains(have) && accept();
+      case CompareOp::kGt:
+        return Interval::AtLeast(0.0, true).Contains(have) && accept();
+      case CompareOp::kGe:
+        return Interval::AtLeast(0.0, false).Contains(have) && accept();
+    }
+    return false;
+  }
+  if (e.kind() == ExprKind::kInList) {
+    const auto& in = static_cast<const InListExpr&>(e);
+    if (in.input()->kind() != ExprKind::kColumnRef) return false;
+    const ColumnIdx col =
+        static_cast<const ColumnRefExpr&>(*in.input()).index();
+    if (!ColumnUsable(env, col)) return false;
+    auto it = env.intervals.find(col);
+    if (it == env.intervals.end()) return false;
+    double point = 0.0;
+    const bool have_point = it->second.IsPoint(&point);
+    const bool have_pin = it->second.str_equal.has_value();
+    if (!have_point && !have_pin) return false;
+    for (const ExprPtr& item : in.list()) {
+      Value v;
+      if (!TryConstantFold(*item, &v) || v.is_null()) continue;
+      const bool hit =
+          have_point ? (NumericNonNull(v) && v.NumericValue() == point)
+                     : (StringNonNull(v) &&
+                        it->second.str_equal->GroupEquals(v));
+      if (hit) {
+        if (used != nullptr) {
+          auto src = env.interval_sources.find(col);
+          if (src != env.interval_sources.end()) {
+            used->insert(src->second.begin(), src->second.end());
+          }
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+  return false;
+}
+
+bool ImplicationEngine::EnvEntails(const SymbolicEnv& env, const Expr& q,
+                                   std::set<std::string>* used_sources) const {
+  if (env.unsat) {
+    if (used_sources != nullptr) {
+      used_sources->insert(env.unsat_sources.begin(),
+                           env.unsat_sources.end());
+    }
+    return true;  // Vacuous: the premise admits no row.
+  }
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(q, &conjuncts);
+  for (const Expr* conjunct : conjuncts) {
+    if (!EntailsConjunct(env, *conjunct, used_sources)) return false;
+  }
+  return true;
+}
+
+bool ImplicationEngine::Unsatisfiable(
+    const std::vector<const Expr*>& conjuncts,
+    std::set<std::string>* used_sources) const {
+  SymbolicEnv env = MakeEnv(conjuncts);
+  if (env.unsat && used_sources != nullptr) {
+    used_sources->insert(env.unsat_sources.begin(), env.unsat_sources.end());
+  }
+  return env.unsat;
+}
+
+ImplicationVerdict ImplicationEngine::Check(
+    const Expr& p, const Expr& q,
+    std::set<std::string>* used_sources) const {
+  std::vector<const Expr*> p_conjuncts;
+  CollectConjuncts(p, &p_conjuncts);
+  SymbolicEnv p_env = MakeEnv(p_conjuncts);
+  if (EnvEntails(p_env, q, used_sources)) return ImplicationVerdict::kImplies;
+
+  std::vector<const Expr*> pq_conjuncts = p_conjuncts;
+  CollectConjuncts(q, &pq_conjuncts);
+  if (Unsatisfiable(pq_conjuncts, used_sources)) {
+    return ImplicationVerdict::kContradicts;
+  }
+  return ImplicationVerdict::kUnknown;
+}
+
+bool ImplicationEngine::FactsImply(
+    const Expr& q, std::set<std::string>* used_sources) const {
+  SymbolicEnv env = MakeEnv({});
+  return EnvEntails(env, q, used_sources);
+}
+
+bool ImplicationEngine::FactsUnsatisfiable(
+    std::set<std::string>* used_sources) const {
+  return Unsatisfiable({}, used_sources);
+}
+
+}  // namespace softdb

@@ -1,0 +1,302 @@
+#ifndef SOFTDB_ANALYSIS_IMPLICATION_H_
+#define SOFTDB_ANALYSIS_IMPLICATION_H_
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plan/expr.h"
+#include "plan/predicate.h"
+#include "storage/schema.h"
+
+namespace softdb {
+
+class Catalog;
+class IcRegistry;
+class ScRegistry;
+class StatsCatalog;
+class DomainSc;
+class ColumnOffsetSc;
+class LinearCorrelationSc;
+
+/// Three-valued verdict of the implication engine. The soundness contract
+/// is one-sided: `kImplies` / `kContradicts` are proofs, `kUnknown` is the
+/// always-safe default. Consumers must treat `kUnknown` as "no information"
+/// — never as a license to act.
+enum class ImplicationVerdict { kImplies, kContradicts, kUnknown };
+
+const char* ImplicationVerdictName(ImplicationVerdict v);
+
+/// A (possibly half-open) interval over the numeric rendering of a column's
+/// non-NULL values. Strings are representable only as equality pins; any
+/// other string comparison stays opaque. The interval abstraction is the
+/// base layer of the implication lattice: every fact and every conjunct
+/// either narrows an interval (sound: real region ⊆ abstract region) or is
+/// dropped (also sound: the abstract region only grows).
+///
+/// An `empty` interval means "no non-NULL value is possible" — note this is
+/// NOT the same as "no row is possible": a provably-NULL column is modeled
+/// as an empty interval and is vacuously inside every domain.
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_strict = false;  // lo excluded (half-open below).
+  bool hi_strict = false;  // hi excluded (half-open above).
+  /// Set when the only information is a string equality pin.
+  std::optional<Value> str_equal;
+  bool empty = false;
+
+  static Interval Top() { return Interval{}; }
+  static Interval Point(double v) {
+    Interval i;
+    i.lo = i.hi = v;
+    return i;
+  }
+  static Interval Empty() {
+    Interval i;
+    i.empty = true;
+    return i;
+  }
+  static Interval AtLeast(double v, bool strict) {
+    Interval i;
+    i.lo = v;
+    i.lo_strict = strict;
+    return i;
+  }
+  static Interval AtMost(double v, bool strict) {
+    Interval i;
+    i.hi = v;
+    i.hi_strict = strict;
+    return i;
+  }
+  static Interval Range(double lo, double hi) {
+    Interval i;
+    i.lo = lo;
+    i.hi = hi;
+    return i;
+  }
+  static Interval StringPin(Value v) {
+    Interval i;
+    i.str_equal = std::move(v);
+    return i;
+  }
+
+  bool IsTop() const;
+  /// True iff the interval is a single inclusive numeric point.
+  bool IsPoint(double* v) const;
+  bool ContainsPoint(double v) const;
+  /// Subset test: every value admitted by `inner` is admitted by *this.
+  /// (An empty `inner` is inside everything.)
+  bool Contains(const Interval& inner) const;
+  /// In-place intersection; sets `empty` when the result is void.
+  void Intersect(const Interval& other);
+  /// Interval arithmetic (Minkowski): {a+b}, {a-b}, {k·a + c}. Infinite
+  /// bounds are absorbing; results never produce NaN. String pins degrade
+  /// to Top (sound: the abstract region grows).
+  Interval Plus(const Interval& other) const;
+  Interval Minus(const Interval& other) const;
+  Interval ScaledBy(double k, double c) const;
+  /// {-a}: negation, used to flip a (y - x) bound into an (x - y) bound.
+  Interval Negated() const;
+  /// Exact bound-for-bound equality (used to detect narrowing).
+  bool SameAs(const Interval& other) const;
+
+  std::string ToString() const;
+};
+
+/// The fact base: what the table's constraint-like characterizations say
+/// about every row, independent of any particular predicate. Facts hold in
+/// the null-compliant sense the SC runtime uses — each speaks only about
+/// rows where the mentioned columns are non-NULL.
+struct ImplicationFacts {
+  /// col ∈ interval (when col is non-NULL). From domain SCs, CHECKs,
+  /// decomposable predicate SCs, imported inclusion-parent domains, and
+  /// (optionally) ANALYZE min/max.
+  struct IntervalFact {
+    ColumnIdx column = 0;
+    Interval interval;
+    std::string source;  // "sc:<name>" | "check:<table>" | "stats:<table>"
+  };
+  /// (y - x) ∈ [lo, hi] when both non-NULL. From column-offset SCs.
+  struct DiffFact {
+    ColumnIdx x = 0;
+    ColumnIdx y = 0;
+    Interval range;
+    std::string source;
+  };
+  /// |a - (k·b + c)| ≤ eps when both non-NULL. From linear-correlation SCs.
+  struct BandFact {
+    ColumnIdx a = 0;
+    ColumnIdx b = 0;
+    double k = 0.0;
+    double c = 0.0;
+    double eps = 0.0;
+    std::string source;
+  };
+
+  std::vector<IntervalFact> intervals;
+  std::vector<DiffFact> diffs;
+  std::vector<BandFact> bands;
+
+  bool Empty() const {
+    return intervals.empty() && diffs.empty() && bands.empty();
+  }
+};
+
+/// Which characterizations feed the fact base.
+struct ImplicationFactsOptions {
+  /// Include soft constraints at all.
+  bool use_soft_constraints = true;
+  /// Only active SCs with confidence ≥ 1 (required whenever the consumer
+  /// changes semantics: rewrites, pruning). Lint turns this off to reason
+  /// about *declared* parameters regardless of confidence.
+  bool absolute_only = true;
+  /// Include CHECK integrity constraints.
+  bool use_checks = true;
+  /// Restrict CHECKs to enforced ones (impact analysis: informational
+  /// CHECKs are promises, not guarantees, so exclusions must not rest on
+  /// them).
+  bool enforced_checks_only = false;
+  /// Import the parent column's domain facts across single-column absolute
+  /// inclusion SCs (child values are a subset of parent values).
+  bool import_inclusion_parents = true;
+  /// Include ANALYZE-time column min/max. These describe the last-analyzed
+  /// snapshot, NOT an invariant — never enable for semantics-changing
+  /// consumers; diagnostic/estimation use only.
+  bool use_stats = false;
+};
+
+/// Builds the fact base for `table`. Any of `ics` / `scs` / `stats` may be
+/// null (that layer simply contributes nothing).
+ImplicationFacts BuildImplicationFacts(const std::string& table,
+                                       const Catalog& catalog,
+                                       const IcRegistry* ics,
+                                       const ScRegistry* scs,
+                                       const StatsCatalog* stats,
+                                       const ImplicationFactsOptions& opts);
+
+/// Fact-extraction helpers shared with the linter's pairwise checks.
+std::optional<ImplicationFacts::IntervalFact> DomainIntervalFact(
+    const DomainSc& sc);
+ImplicationFacts::DiffFact OffsetDiffFact(const ColumnOffsetSc& sc);
+std::optional<ImplicationFacts::BandFact> LinearBandFact(
+    const LinearCorrelationSc& sc);
+
+/// The symbolic state MakeEnv derives from a conjunct list plus the fact
+/// base: per-column intervals, pairwise difference bounds, ε-bands,
+/// NULL/non-NULL knowledge and `<>` exclusions, closed under a bounded
+/// number of propagation passes.
+struct SymbolicEnv {
+  struct DiffBound {
+    ColumnIdx x = 0;
+    ColumnIdx y = 0;
+    Interval range;  // (y - x) ∈ range, when both non-NULL.
+    std::string source;
+  };
+  struct Band {
+    ColumnIdx a = 0;
+    ColumnIdx b = 0;
+    double k = 0.0;
+    double c = 0.0;
+    double eps = 0.0;
+    std::string source;
+  };
+
+  std::map<ColumnIdx, Interval> intervals;
+  /// Provenance of each column's narrowing (fact sources only; conjuncts
+  /// contribute anonymously). Consulted for RecordScUse attribution.
+  std::map<ColumnIdx, std::set<std::string>> interval_sources;
+  std::vector<DiffBound> diffs;
+  std::vector<Band> bands;
+  std::set<ColumnIdx> non_null;   // Proven non-NULL by a conjunct.
+  std::set<ColumnIdx> known_null; // Conjunct `col IS NULL`.
+  std::vector<std::pair<ColumnIdx, Value>> not_equals;  // col <> v.
+  bool unsat = false;
+  /// Fact sources implicated in the unsat proof (superset).
+  std::set<std::string> unsat_sources;
+};
+
+struct ImplicationOptions {
+  /// Lint mode: reason only about rows whose columns are all non-NULL
+  /// ("no non-NULL value can comply" is the lint notion of contradiction).
+  /// Semantics-preserving consumers must leave this off.
+  bool assume_non_null = false;
+};
+
+/// The decision procedure. Stateless once constructed; all methods are
+/// const and sound-by-construction: every conjunct either tightens the
+/// abstraction or is ignored, so `kImplies` / `kContradicts` are proofs
+/// while anything unprovable stays `kUnknown`.
+class ImplicationEngine {
+ public:
+  ImplicationEngine(const Schema* schema, ImplicationFacts facts,
+                    ImplicationOptions opts = {});
+
+  /// Flattens nested ANDs into a conjunct list (non-owning walk).
+  static void CollectConjuncts(const Expr& expr,
+                               std::vector<const Expr*>* out);
+
+  /// Builds the symbolic environment for `conjuncts` on top of the facts.
+  SymbolicEnv MakeEnv(const std::vector<const Expr*>& conjuncts) const;
+
+  /// True iff `q` provably evaluates to TRUE (not NULL, not FALSE) on
+  /// every row admitted by `env`. Fills `used_sources` (may be null) with
+  /// the fact sources consulted.
+  bool EnvEntails(const SymbolicEnv& env, const Expr& q,
+                  std::set<std::string>* used_sources = nullptr) const;
+
+  /// True iff facts ∧ conjuncts admit no row.
+  bool Unsatisfiable(const std::vector<const Expr*>& conjuncts,
+                     std::set<std::string>* used_sources = nullptr) const;
+
+  /// Full verdict for a predicate pair: does P imply Q / contradict Q?
+  ImplicationVerdict Check(const Expr& p, const Expr& q,
+                           std::set<std::string>* used_sources = nullptr)
+      const;
+
+  /// Does the fact base alone entail `q`? (Predicate-vs-SC-set query.)
+  bool FactsImply(const Expr& q,
+                  std::set<std::string>* used_sources = nullptr) const;
+
+  /// Is the fact base self-contradictory? (The linter's transitive-chain
+  /// check: domain(x) + offset(x,y) + domain(y) with no compatible row.)
+  bool FactsUnsatisfiable(std::set<std::string>* used_sources = nullptr)
+      const;
+
+  const Schema* schema() const { return schema_; }
+  const ImplicationFacts& facts() const { return facts_; }
+
+ private:
+  bool ColumnUsable(const SymbolicEnv& env, ColumnIdx col) const;
+  /// True when `col` cannot be NULL on any row `env` admits — the gate for
+  /// turning an emptied value interval into an unsat proof (a nullable
+  /// column with a void value region is merely "provably NULL").
+  bool MustBeNonNull(const SymbolicEnv& env, ColumnIdx col) const;
+  void ApplyConjunct(const Expr& e, SymbolicEnv* env) const;
+  void ApplySimple(const SimplePredicate& sp, SymbolicEnv* env) const;
+  void Close(SymbolicEnv* env) const;
+  bool EntailsConjunct(const SymbolicEnv& env, const Expr& e,
+                       std::set<std::string>* used) const;
+  bool EntailsSimple(const SymbolicEnv& env, const SimplePredicate& sp,
+                     std::set<std::string>* used) const;
+  Interval DiffIntervalFor(const SymbolicEnv& env, ColumnIdx minuend,
+                           ColumnIdx subtrahend,
+                           std::set<std::string>* used) const;
+
+  const Schema* schema_;
+  ImplicationFacts facts_;
+  ImplicationOptions opts_;
+};
+
+/// The TRUE-region of `col op constant` as an interval (numeric constants
+/// only; `kNe` is not interval-representable and yields nullopt, as do
+/// string/NULL constants).
+std::optional<Interval> IntervalForComparison(CompareOp op, const Value& v);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_ANALYSIS_IMPLICATION_H_

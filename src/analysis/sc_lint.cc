@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "analysis/implication.h"
 #include "common/str_util.h"
 #include "constraints/column_offset_sc.h"
 #include "constraints/domain_sc.h"
@@ -13,7 +14,6 @@
 #include "constraints/linear_correlation_sc.h"
 #include "constraints/predicate_sc.h"
 #include "engine/softdb.h"
-#include "optimizer/range_analysis.h"
 #include "sql/binder.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
@@ -462,61 +462,136 @@ bool IsNumericValue(const Value& v) {
   return !v.is_null() && IsNumericType(v.type());
 }
 
-/// Inclusive numeric range [min, max] of a domain SC, when numeric.
-bool DomainRange(const DomainSc& sc, ColumnRange* out) {
-  if (!IsNumericValue(sc.min_value()) || !IsNumericValue(sc.max_value())) {
-    return false;
-  }
-  out->Apply(SimplePredicate{sc.column(), CompareOp::kGe, sc.min_value()});
-  out->Apply(SimplePredicate{sc.column(), CompareOp::kLe, sc.max_value()});
-  return true;
-}
+/// All contradiction checks route through the shared implication engine
+/// (lint mode: reason about non-NULL rows, declared parameters regardless
+/// of confidence). Tables that fire a pairwise check are recorded in
+/// `flagged_tables` so the transitive-chain check does not re-report them.
+void CheckContradictions(SoftDb& db, LintReport* report,
+                         std::set<std::string>* flagged_tables) {
+  ImplicationOptions lint_mode;
+  lint_mode.assume_non_null = true;
+  std::vector<SoftConstraint*> domains = db.scs().ByKind(ScKind::kDomain);
 
-void CheckContradictions(SoftDb& db, LintReport* report) {
-  std::vector<SoftConstraint*> domains =
-      db.scs().ByKind(ScKind::kDomain);
   // Domain SC vs CHECK constraint: an enforced CHECK that no in-domain
-  // value can satisfy means every stored row violates the SC.
+  // value can satisfy means every stored row violates the SC. The engine
+  // also covers half-open domains (one non-numeric bound) and degenerate
+  // string domains, which the old numeric-range check skipped entirely.
   for (SoftConstraint* base : domains) {
     auto* dom = static_cast<DomainSc*>(base);
-    ColumnRange range;
-    if (!DomainRange(*dom, &range)) continue;
+    std::optional<ImplicationFacts::IntervalFact> fact =
+        DomainIntervalFact(*dom);
+    if (!fact.has_value()) continue;
+    auto table = db.catalog().GetTable(dom->table());
+    if (!table.ok()) continue;
+    ImplicationFacts facts;
+    facts.intervals.push_back(*fact);
+    const ImplicationEngine engine(&(*table)->schema(), std::move(facts),
+                                   lint_mode);
     for (const CheckConstraint* check : db.ics().ChecksOn(dom->table())) {
-      std::vector<SimplePredicate> simples;
-      if (!ExpandSimplePredicates(check->expr(), &simples)) continue;
-      ColumnRange combined = range;
-      for (const SimplePredicate& sp : simples) {
-        if (sp.column == dom->column()) combined.Apply(sp);
-      }
-      if (combined.empty) {
+      std::vector<const Expr*> conjuncts;
+      ImplicationEngine::CollectConjuncts(check->expr(), &conjuncts);
+      std::set<std::string> used;
+      if (engine.Unsatisfiable(conjuncts, &used) &&
+          used.count("sc:" + dom->name()) > 0) {
         Report(report, "domain-check-contradiction", "error", dom->name(),
                "domain [" + dom->min_value().ToString() + ", " +
                    dom->max_value().ToString() +
                    "] excludes every value CHECK constraint '" +
                    check->name() + "' allows on " + dom->table());
+        flagged_tables->insert(dom->table());
       }
     }
   }
+
   // Disjoint domain pairs on the same column.
   for (std::size_t i = 0; i < domains.size(); ++i) {
     auto* a = static_cast<DomainSc*>(domains[i]);
     for (std::size_t j = i + 1; j < domains.size(); ++j) {
       auto* b = static_cast<DomainSc*>(domains[j]);
       if (a->table() != b->table() || a->column() != b->column()) continue;
-      ColumnRange range;
-      if (!DomainRange(*a, &range)) continue;
-      ColumnRange other;
-      if (!DomainRange(*b, &other)) continue;
-      range.Apply(SimplePredicate{b->column(), CompareOp::kGe,
-                                  b->min_value()});
-      range.Apply(SimplePredicate{b->column(), CompareOp::kLe,
-                                  b->max_value()});
-      if (range.empty) {
+      std::optional<ImplicationFacts::IntervalFact> fa =
+          DomainIntervalFact(*a);
+      std::optional<ImplicationFacts::IntervalFact> fb =
+          DomainIntervalFact(*b);
+      if (!fa.has_value() || !fb.has_value()) continue;
+      auto table = db.catalog().GetTable(a->table());
+      if (!table.ok()) continue;
+      ImplicationFacts facts;
+      facts.intervals.push_back(*fa);
+      facts.intervals.push_back(*fb);
+      const ImplicationEngine engine(&(*table)->schema(), std::move(facts),
+                                     lint_mode);
+      if (engine.FactsUnsatisfiable()) {
         Report(report, "domain-domain-contradiction", "error",
                a->name() + "+" + b->name(),
                "disjoint domains declared for the same column on " +
                    a->table());
+        flagged_tables->insert(a->table());
       }
+    }
+  }
+
+  // Predicate SC vs every other characterization of its table: open
+  // intervals included (e.g. CHECK (x > 100) against domain [0, 100]).
+  for (SoftConstraint* sc : db.scs().ByKind(ScKind::kPredicate)) {
+    auto* pred = static_cast<PredicateSc*>(sc);
+    auto table = db.catalog().GetTable(pred->table());
+    if (!table.ok()) continue;
+    ImplicationFactsOptions opts;
+    opts.absolute_only = false;  // Lint reasons about declared parameters.
+    opts.import_inclusion_parents = false;
+    ImplicationFacts facts = BuildImplicationFacts(
+        pred->table(), db.catalog(), &db.ics(), &db.scs(), nullptr, opts);
+    const ImplicationEngine engine(&(*table)->schema(), std::move(facts),
+                                   lint_mode);
+    std::vector<const Expr*> conjuncts;
+    ImplicationEngine::CollectConjuncts(pred->expr(), &conjuncts);
+    std::set<std::string> used;
+    if (engine.Unsatisfiable(conjuncts, &used)) {
+      // Require an implicated source other than the SC's own facts, so a
+      // merely self-contradictory predicate is not blamed on the catalog.
+      used.erase("sc:" + pred->name());
+      if (!used.empty()) {
+        Report(report, "predicate-domain-contradiction", "error",
+               pred->name(),
+               "no row satisfying " +
+                   Join(std::vector<std::string>(used.begin(), used.end()),
+                        " + ") +
+                   " can satisfy the predicate SC on " + pred->table());
+        flagged_tables->insert(pred->table());
+      }
+    }
+  }
+}
+
+/// Transitive-chain contradictions the pairwise checks cannot see: e.g.
+/// domain(x) + offset(x, y) + domain(y) that jointly admit no compliant
+/// row. Runs the engine's closure over the full fact base per table.
+void CheckChainContradictions(SoftDb& db,
+                              const std::set<std::string>& flagged_tables,
+                              LintReport* report) {
+  ImplicationOptions lint_mode;
+  lint_mode.assume_non_null = true;
+  for (const std::string& table_name : db.catalog().TableNames()) {
+    if (flagged_tables.count(table_name) > 0) continue;  // Pairwise hit.
+    auto table = db.catalog().GetTable(table_name);
+    if (!table.ok()) continue;
+    ImplicationFactsOptions opts;
+    opts.absolute_only = false;
+    opts.import_inclusion_parents = false;
+    ImplicationFacts facts = BuildImplicationFacts(
+        table_name, db.catalog(), &db.ics(), &db.scs(), nullptr, opts);
+    if (facts.Empty()) continue;
+    const ImplicationEngine engine(&(*table)->schema(), std::move(facts),
+                                   lint_mode);
+    std::set<std::string> used;
+    if (engine.FactsUnsatisfiable(&used)) {
+      Report(report, "sc-chain-contradiction", "error", table_name,
+             "constraint characterizations on " + table_name +
+                 " admit no compliant row (chain: " +
+                 Join(std::vector<std::string>(used.begin(), used.end()),
+                      " + ") +
+                 ")");
     }
   }
 }
@@ -770,6 +845,50 @@ std::string LintReport::ToJson() const {
   return out;
 }
 
+std::string LintReport::ToSarif(const std::string& artifact_uri) const {
+  // Minimal SARIF 2.1.0 document, enough for GitHub code scanning: one run,
+  // one rule per distinct check id, one result per finding anchored at the
+  // catalog file.
+  std::set<std::string> rule_ids;
+  for (const LintFinding& f : findings) rule_ids.insert(f.check);
+
+  std::string out = "{\n";
+  out += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n    {\n";
+  out += "      \"tool\": {\n        \"driver\": {\n";
+  out += "          \"name\": \"softdb_lint\",\n";
+  out += "          \"rules\": [";
+  std::size_t i = 0;
+  for (const std::string& id : rule_ids) {
+    out += i++ == 0 ? "\n" : ",\n";
+    out += "            {\"id\": \"" + JsonEscape(id) + "\"}";
+  }
+  out += rule_ids.empty() ? "]\n" : "\n          ]\n";
+  out += "        }\n      },\n";
+  out += "      \"results\": [";
+  for (std::size_t j = 0; j < findings.size(); ++j) {
+    const LintFinding& f = findings[j];
+    out += j == 0 ? "\n" : ",\n";
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + JsonEscape(f.check) + "\",\n";
+    out += std::string("          \"level\": \"") +
+           (f.severity == "error" ? "error" : "warning") + "\",\n";
+    out += "          \"message\": {\"text\": \"" +
+           JsonEscape(f.subject + ": " + f.message) + "\"},\n";
+    out += "          \"locations\": [\n";
+    out += "            {\"physicalLocation\": {\"artifactLocation\": "
+           "{\"uri\": \"" +
+           JsonEscape(artifact_uri) +
+           "\"}, \"region\": {\"startLine\": 1}}}\n";
+    out += "          ]\n        }";
+  }
+  out += findings.empty() ? "]\n" : "\n      ]\n";
+  out += "    }\n  ]\n}\n";
+  return out;
+}
+
 Result<LintReport> LintCatalog(const std::string& catalog_script,
                                const std::vector<std::string>& workload_sqls,
                                const LintOptions& options) {
@@ -784,7 +903,9 @@ Result<LintReport> LintCatalog(const std::string& catalog_script,
   }
 
   LintReport report;
-  CheckContradictions(db, &report);
+  std::set<std::string> flagged_tables;
+  CheckContradictions(db, &report, &flagged_tables);
+  CheckChainContradictions(db, flagged_tables, &report);
   CheckInclusionCycles(db, &report);
   CheckLinearEpsilons(db, &report);
   CheckStaleness(db, options, &report);

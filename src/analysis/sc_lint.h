@@ -38,6 +38,10 @@ struct LintReport {
   /// JSON object in the same style as `bench --json` output (2-space
   /// indent, escaped strings): tool, errors, warnings, findings[].
   std::string ToJson() const;
+  /// SARIF 2.1.0 document suitable for GitHub code-scanning upload.
+  /// Findings carry no source positions, so every result is anchored at
+  /// line 1 of `artifact_uri` (the catalog file as passed to the CLI).
+  std::string ToSarif(const std::string& artifact_uri) const;
 };
 
 /// Statically lints an SC catalog against an optional workload, without

@@ -65,7 +65,8 @@ std::vector<SoftConstraint*> ScRegistry::All() const {
 }
 
 Status ScRegistry::OnInsert(const Catalog& catalog, const std::string& table,
-                            const std::vector<Value>& row) {
+                            const std::vector<Value>& row,
+                            const std::set<std::string>* scope) {
   for (const ScPtr& sc_ptr : constraints_) {
     SoftConstraint* sc = sc_ptr.get();
     if (!sc->active()) continue;
@@ -78,6 +79,14 @@ Status ScRegistry::OnInsert(const Catalog& catalog, const std::string& table,
     // Statistical SCs need no synchronous work: currency tracking already
     // bounds their decay (§3: "SSCs do not have to be checked at update").
     if (!sc->IsAbsolute()) continue;
+
+    // Impact scoping: the analyzer proved this statement cannot overturn
+    // SCs outside `scope`, so their checks (and conservative hole
+    // invalidation) are safely skipped.
+    if (scope != nullptr && scope->count(sc->name()) == 0) {
+      ++stats_.scoped_skips;
+      continue;
+    }
 
     bool complies = true;
     if (hole != nullptr) {

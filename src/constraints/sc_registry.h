@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@ struct ScMaintenanceStats {
   std::uint64_t async_repairs = 0;    // Exact repairs completed.
   std::uint64_t drops = 0;            // SCs overturned.
   std::uint64_t holes_invalidated = 0;  // Join holes conservatively dropped.
+  std::uint64_t scoped_skips = 0;     // Checks skipped via impact scoping.
 };
 
 /// Registry and maintenance engine for soft constraints — the "SC facility"
@@ -59,8 +61,14 @@ class ScRegistry {
   /// inserted into `table` (after IC checks pass). Applies each affected
   /// SC's maintenance policy. Never rejects the insert — SCs do not
   /// constrain (§2: "soft constraints do not constrain anything!").
+  ///
+  /// When `scope` is non-null it must be a *sound over-approximation* of
+  /// the SCs this row can invalidate (from the static DML impact
+  /// analyzer): SCs outside it skip their synchronous check entirely,
+  /// counted in `stats().scoped_skips`.
   Status OnInsert(const Catalog& catalog, const std::string& table,
-                  const std::vector<Value>& row);
+                  const std::vector<Value>& row,
+                  const std::set<std::string>* scope = nullptr);
 
   /// Drains the async repair queue (exact re-mining / re-verification) —
   /// the off-line step §4.3 schedules for light-load periods.

@@ -117,6 +117,14 @@ class SoftConstraint {
   /// updates confidence and the currency baseline.
   Result<ScVerifyOutcome> Verify(const Catalog& catalog);
 
+  /// Side-effect-free violation recount against the current database
+  /// state: no confidence or currency update. The impact-analysis fuzz
+  /// harness uses this as ground truth for "did this DML statement
+  /// actually change the SC's compliance".
+  Result<ScVerifyOutcome> AuditViolations(const Catalog& catalog) {
+    return CountViolations(catalog);
+  }
+
   /// Row-level compliance check used by synchronous maintenance. True when
   /// the row abides the constraint. Constraints that cannot be checked one
   /// row at a time (join holes) override RequiresJoinCheck().

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/impact.h"
 #include "analysis/plan_verifier.h"
 #include "common/str_util.h"
 #include "constraints/column_offset_sc.h"
@@ -37,6 +38,7 @@ OptimizerContext SoftDb::MakeContext() {
   ctx.enable_domain_rules = options_.enable_domain_rules;
   ctx.enable_unionall_pruning = options_.enable_unionall_pruning;
   ctx.enable_exception_asts = options_.enable_exception_asts;
+  ctx.enable_implication = options_.enable_implication;
   ctx.use_twins_in_estimation = options_.use_twins_in_estimation;
   ctx.prefer_sort_merge_join = options_.prefer_sort_merge_join;
   ctx.enable_runtime_parameterization =
@@ -55,7 +57,8 @@ CardinalityEstimator SoftDb::MakeEstimator() const {
 }
 
 Status SoftDb::InsertRow(const std::string& table_name,
-                         const std::vector<Value>& values) {
+                         const std::vector<Value>& values,
+                         const std::set<std::string>* sc_scope) {
   SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(table_name));
   // Coerce values to the column types (int literals into DATE columns,
   // ints into DOUBLE, ...).
@@ -83,7 +86,8 @@ Status SoftDb::InsertRow(const std::string& table_name,
 
   // Soft-constraint maintenance never aborts the transaction — the SC is
   // the thing at risk, not the data (§2).
-  SOFTDB_RETURN_IF_ERROR(scs_.OnInsert(catalog_, table->name(), row));
+  SOFTDB_RETURN_IF_ERROR(scs_.OnInsert(catalog_, table->name(), row,
+                                       sc_scope));
   SOFTDB_RETURN_IF_ERROR(mvs_.OnBaseInsert(table->name(), row));
   return Status::OK();
 }
@@ -224,7 +228,28 @@ Result<QueryResult> SoftDb::ExecuteSelect(const std::string& sql,
   return RunPlan(*primary, std::move(result));
 }
 
+void SoftDb::RecordImpact(const DmlImpact& impact) {
+  ++impact_stats_.statements;
+  impact_stats_.candidate_scs += impact.candidates;
+  impact_stats_.impacted_scs += impact.impacted.size();
+  if (impact.Narrowed()) ++impact_stats_.narrowed;
+}
+
 Status SoftDb::ExecuteInsert(const InsertStmt& stmt) {
+  // Static impact analysis (pre-mutation): synchronous SC maintenance only
+  // needs to consider the statically impacted subset. An analysis failure
+  // just falls back to the unscoped full re-check, which is always sound.
+  std::set<std::string> scope_storage;
+  const std::set<std::string>* scope = nullptr;
+  if (options_.enable_impact_analysis) {
+    ImpactAnalyzer analyzer(&catalog_, &ics_, &scs_);
+    Result<DmlImpact> impact = analyzer.AnalyzeInsert(stmt);
+    if (impact.ok()) {
+      RecordImpact(*impact);
+      scope_storage = impact->ImpactSet();
+      scope = &scope_storage;
+    }
+  }
   for (const std::vector<ExprPtr>& row_exprs : stmt.rows) {
     std::vector<Value> row;
     row.reserve(row_exprs.size());
@@ -232,7 +257,7 @@ Status SoftDb::ExecuteInsert(const InsertStmt& stmt) {
       SOFTDB_ASSIGN_OR_RETURN(Value v, e->Eval({}));
       row.push_back(std::move(v));
     }
-    SOFTDB_RETURN_IF_ERROR(InsertRow(stmt.table, row));
+    SOFTDB_RETURN_IF_ERROR(InsertRow(stmt.table, row, scope));
   }
   return Status::OK();
 }
@@ -240,6 +265,18 @@ Status SoftDb::ExecuteInsert(const InsertStmt& stmt) {
 Result<std::uint64_t> SoftDb::ExecuteUpdate(const UpdateStmt& stmt) {
   SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
   const Schema& schema = table->schema();
+
+  std::set<std::string> scope_storage;
+  const std::set<std::string>* scope = nullptr;
+  if (options_.enable_impact_analysis) {
+    ImpactAnalyzer analyzer(&catalog_, &ics_, &scs_);
+    Result<DmlImpact> impact = analyzer.AnalyzeUpdate(stmt);
+    if (impact.ok()) {
+      RecordImpact(*impact);
+      scope_storage = impact->ImpactSet();
+      scope = &scope_storage;
+    }
+  }
 
   ExprPtr where;
   if (stmt.where) {
@@ -289,7 +326,8 @@ Result<std::uint64_t> SoftDb::ExecuteUpdate(const UpdateStmt& stmt) {
       SOFTDB_RETURN_IF_ERROR(table->Set(r, col, new_row[col]));
     }
     ics_.AfterInsert(table->name(), new_row);
-    SOFTDB_RETURN_IF_ERROR(scs_.OnInsert(catalog_, table->name(), new_row));
+    SOFTDB_RETURN_IF_ERROR(scs_.OnInsert(catalog_, table->name(), new_row,
+                                         scope));
     SOFTDB_RETURN_IF_ERROR(mvs_.OnBaseDelete(table->name(), old_row));
     SOFTDB_RETURN_IF_ERROR(mvs_.OnBaseInsert(table->name(), new_row));
   }
@@ -441,7 +479,9 @@ Result<QueryResult> SoftDb::Execute(const std::string& sql) {
       return result;
     case Statement::Kind::kDropTable:
       SOFTDB_RETURN_IF_ERROR(catalog_.DropTable(stmt.drop_table->table));
-      plan_cache_.Clear();
+      // Scoped invalidation: only packages reading the dropped table go;
+      // plans over other tables stay warm.
+      plan_cache_.OnTableDropped(stmt.drop_table->table);
       return result;
   }
   return Status::Internal("unhandled statement kind");

@@ -18,6 +18,8 @@
 
 namespace softdb {
 
+struct DmlImpact;
+
 /// Engine-level configuration: optimizer rule switches (defaults match the
 /// full soft-constraint pipeline) and execution knobs.
 struct EngineOptions {
@@ -30,6 +32,12 @@ struct EngineOptions {
   bool enable_domain_rules = true;
   bool enable_unionall_pruning = true;
   bool enable_exception_asts = true;
+  /// Rewrite-time symbolic implication: prune predicates the SC/CHECK fact
+  /// base proves redundant, and fold provably-empty scans.
+  bool enable_implication = true;
+  /// Static DML impact analysis: scope synchronous SC maintenance to the
+  /// statically-impacted subset of the catalog.
+  bool enable_impact_analysis = true;
   bool use_twins_in_estimation = true;
   bool prefer_sort_merge_join = false;
   bool enable_runtime_parameterization = true;
@@ -40,6 +48,16 @@ struct EngineOptions {
   /// Run PlanVerifier after every bind/rewrite/planning phase. Debug
   /// builds verify regardless of this flag (see ShouldVerifyPlans).
   bool verify_plans = true;
+};
+
+/// Aggregate counters for the static DML impact analyzer (E7 companion to
+/// ScMaintenanceStats: maintenance proportional to impact, not catalog
+/// size).
+struct ImpactAnalysisStats {
+  std::uint64_t statements = 0;      // DML statements analyzed.
+  std::uint64_t narrowed = 0;        // Impact set < full catalog.
+  std::uint64_t candidate_scs = 0;   // Sum of catalog sizes seen.
+  std::uint64_t impacted_scs = 0;    // Sum of impact-set sizes.
 };
 
 /// Result of one executed statement.
@@ -81,8 +99,13 @@ class SoftDb {
   Result<std::string> Explain(const std::string& sql);
 
   /// Inserts one row through the full pipeline: IC checks, append, index
-  /// maintenance, SC maintenance (§3.2/§4.3), AST maintenance.
-  Status InsertRow(const std::string& table, const std::vector<Value>& values);
+  /// maintenance, SC maintenance (§3.2/§4.3), AST maintenance. When
+  /// `sc_scope` is non-null, synchronous SC maintenance is restricted to
+  /// the named SCs (a sound impact set from the static analyzer).
+  Status InsertRow(const std::string& table, const std::vector<Value>& values,
+                   const std::set<std::string>* sc_scope = nullptr);
+
+  const ImpactAnalysisStats& impact_stats() const { return impact_stats_; }
 
   /// Registers an exception AST for a soft constraint (§4.4): creates a
   /// materialized view over the rows *violating* `sc_name` (which must be a
@@ -110,6 +133,7 @@ class SoftDb {
   Result<std::uint64_t> ExecuteUpdate(const UpdateStmt& stmt);
   Result<std::uint64_t> ExecuteDelete(const DeleteStmt& stmt);
   Status ExecuteCreateTable(const CreateTableStmt& stmt);
+  void RecordImpact(const DmlImpact& impact);
 
   EngineOptions options_;
   Catalog catalog_;
@@ -118,6 +142,7 @@ class SoftDb {
   ScRegistry scs_;
   MvRegistry mvs_;
   PlanCache plan_cache_;
+  ImpactAnalysisStats impact_stats_;
   std::uint64_t ic_name_counter_ = 0;
   std::map<std::string, std::string> exception_asts_;
 };

@@ -35,6 +35,9 @@ struct OptimizerContext {
   bool enable_domain_rules = true;            // Sybase-style min/max.
   bool enable_unionall_pruning = true;        // E10 branch knock-off.
   bool enable_exception_asts = true;          // E5 (ASC-as-AST).
+  /// Symbolic implication over the ASC/CHECK fact base: fold predicates
+  /// that contradict the facts to FALSE and prune redundant conjuncts.
+  bool enable_implication = true;
   bool use_twins_in_estimation = true;        // Estimator switch for E4.
   /// Plan equi joins as sort-merge instead of hash join. Independently of
   /// this flag, the planner uses sort-merge when a downstream ORDER BY

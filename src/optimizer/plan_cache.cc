@@ -4,6 +4,30 @@
 
 namespace softdb {
 
+namespace {
+
+void CollectPlanTablesInto(const PlanNode& plan,
+                           std::vector<std::string>* out) {
+  if (plan.kind() == PlanKind::kScan) {
+    const auto& scan = static_cast<const ScanNode&>(plan);
+    if (std::find(out->begin(), out->end(), scan.table_name()) ==
+        out->end()) {
+      out->push_back(scan.table_name());
+    }
+  }
+  for (const PlanPtr& child : plan.children()) {
+    CollectPlanTablesInto(*child, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> CollectPlanTables(const PlanNode& plan) {
+  std::vector<std::string> tables;
+  CollectPlanTablesInto(plan, &tables);
+  return tables;
+}
+
 CachedPlan* PlanCache::Put(const std::string& sql, PlanPtr primary,
                            PlanPtr backup,
                            std::vector<std::string> used_scs) {
@@ -12,6 +36,17 @@ CachedPlan* PlanCache::Put(const std::string& sql, PlanPtr primary,
   entry->primary = std::move(primary);
   entry->backup = std::move(backup);
   entry->used_scs = std::move(used_scs);
+  if (entry->primary != nullptr) {
+    entry->tables = CollectPlanTables(*entry->primary);
+  }
+  if (entry->backup != nullptr) {
+    for (const std::string& table : CollectPlanTables(*entry->backup)) {
+      if (std::find(entry->tables.begin(), entry->tables.end(), table) ==
+          entry->tables.end()) {
+        entry->tables.push_back(table);
+      }
+    }
+  }
   CachedPlan* ptr = entry.get();
   entries_[sql] = std::move(entry);
   return ptr;
@@ -36,9 +71,33 @@ std::size_t PlanCache::OnScViolated(const std::string& sc_name) {
       entry->using_backup = true;
       ++flipped;
       ++invalidations_;
+    } else {
+      // A catalog-wide flush would have dropped this package too.
+      ++invalidations_avoided_;
     }
   }
   return flipped;
+}
+
+std::size_t PlanCache::OnTableDropped(const std::string& table) {
+  std::size_t evicted = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    CachedPlan& entry = *it->second;
+    // Entries recorded without table provenance are evicted conservatively.
+    const bool reads_table =
+        entry.tables.empty() ||
+        std::find(entry.tables.begin(), entry.tables.end(), table) !=
+            entry.tables.end();
+    if (reads_table) {
+      it = entries_.erase(it);
+      ++evicted;
+      ++invalidations_;
+    } else {
+      ++invalidations_avoided_;
+      ++it;
+    }
+  }
+  return evicted;
 }
 
 std::size_t PlanCache::Rearm(const std::vector<std::string>& active_scs) {

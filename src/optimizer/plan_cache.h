@@ -21,6 +21,7 @@ struct CachedPlan {
   PlanPtr primary;                    // Rewritten with SCs.
   PlanPtr backup;                     // SC-free.
   std::vector<std::string> used_scs;  // SC names baked into primary.
+  std::vector<std::string> tables;    // Base tables either plan reads.
   bool using_backup = false;
   std::uint64_t executions = 0;
 
@@ -28,6 +29,10 @@ struct CachedPlan {
     return using_backup ? *backup : *primary;
   }
 };
+
+/// Base tables scanned anywhere in `plan` (scan nodes + their external
+/// join-hole tables), for table-scoped cache invalidation.
+std::vector<std::string> CollectPlanTables(const PlanNode& plan);
 
 /// Keyed by SQL text. Subscribe `OnScViolated` to the ScRegistry's
 /// violation listener so overturned SCs flip dependent packages to their
@@ -45,8 +50,14 @@ class PlanCache {
   CachedPlan* Get(const std::string& sql);
 
   /// Flips every package depending on `sc_name` to its backup plan.
-  /// Returns the number of packages invalidated.
+  /// Returns the number of packages invalidated. Untouched packages count
+  /// toward `invalidations_avoided` — the flushes a global scheme would
+  /// have paid.
   std::size_t OnScViolated(const std::string& sc_name);
+
+  /// Evicts only the packages that read `table`; everything else survives
+  /// (and counts toward `invalidations_avoided`). Returns evictions.
+  std::size_t OnTableDropped(const std::string& table);
 
   /// Re-arms packages after an SC returns to active (e.g. async repair
   /// completed): entries whose every used SC is in `active_scs` go back to
@@ -59,12 +70,18 @@ class PlanCache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t invalidations() const { return invalidations_; }
+  /// Packages a global flush would have dropped but scoped invalidation
+  /// kept (the avoided-flush counter of the impact-analysis satellite).
+  std::uint64_t invalidations_avoided() const {
+    return invalidations_avoided_;
+  }
 
  private:
   std::map<std::string, std::unique_ptr<CachedPlan>> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t invalidations_ = 0;
+  std::uint64_t invalidations_avoided_ = 0;
 };
 
 }  // namespace softdb

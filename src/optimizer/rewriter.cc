@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "analysis/implication.h"
 #include "analysis/plan_verifier.h"
 #include "common/str_util.h"
 #include "constraints/column_offset_sc.h"
@@ -319,37 +320,68 @@ Status Rewriter::RewriteScan(ScanNode* scan) {
       }
     }
 
-    // ---- Contradiction against absolute check characterizations (the
-    // union-all branch knock-off test of §5). ----
-    if (ctx_->enable_unionall_pruning &&
-        !IsUnsatisfiable(scan->predicates())) {
-      std::vector<const Expr*> check_exprs;
-      if (ctx_->ics != nullptr) {
-        for (CheckConstraint* check : ctx_->ics->ChecksOn(scan->table_name())) {
-          check_exprs.push_back(&check->expr());
+    // ---- Implication engine (shared decision procedure): fold the scan
+    // when its predicates contradict the absolute SC / CHECK fact base
+    // (the union-all branch knock-off test of §5), then prune real
+    // conjuncts the remaining premises already entail. Both rewrites are
+    // semantics-preserving: the engine's kUnknown verdicts leave the plan
+    // untouched. ----
+    if (ctx_->enable_implication && !IsUnsatisfiable(scan->predicates())) {
+      ImplicationFacts facts = BuildImplicationFacts(
+          scan->table_name(), *ctx_->catalog, ctx_->ics, ctx_->scs,
+          /*stats=*/nullptr, ImplicationFactsOptions{});
+      ImplicationEngine engine(&schema, std::move(facts));
+      auto record_sources = [&](const std::set<std::string>& sources,
+                                double benefit) {
+        for (const std::string& src : sources) {
+          if (src.rfind("sc:", 0) == 0) {
+            ctx_->RecordScUse(src.substr(3), benefit);
+          }
         }
+      };
+
+      std::vector<const Expr*> conjuncts;
+      for (const Predicate& p : scan->predicates()) {
+        if (p.estimation_only) continue;  // Twins never become premises.
+        ImplicationEngine::CollectConjuncts(*p.expr, &conjuncts);
       }
-      for (SoftConstraint* sc : ctx_->scs->On(scan->table_name())) {
-        auto* pred_sc = dynamic_cast<PredicateSc*>(sc);
-        if (pred_sc != nullptr && pred_sc->IsAbsolute()) {
-          check_exprs.push_back(&pred_sc->expr());
-        }
+      std::set<std::string> used;
+      if (ctx_->enable_unionall_pruning &&
+          engine.Unsatisfiable(conjuncts, &used)) {
+        ctx_->RecordRule("implication-contradiction: scan " +
+                         scan->table_name());
+        record_sources(used, 10.0);
+        scan->predicates().push_back(Predicate(
+            MakeLiteral(Value::Bool(false)), false, 1.0, "contradiction"));
+        return Status::OK();
       }
-      for (const Expr* check : check_exprs) {
-        std::vector<SimplePredicate> check_simples;
-        if (!ExpandSimplePredicates(*check, &check_simples)) continue;
-        RangeMap merged = ScanRanges(*scan);
-        for (const SimplePredicate& sp : check_simples) {
-          merged.ranges[sp.column].Apply(sp);
-          if (merged.ranges[sp.column].empty) merged.unsatisfiable = true;
+
+      // Redundancy pruning: drop a real conjunct when the other remaining
+      // real predicates plus the fact base entail it. One erasure at a
+      // time so a mutually-implying pair keeps one member. SC-introduced
+      // predicates are exempt — the fact that derived them would prove
+      // them redundant immediately, undoing the introduction.
+      auto& preds = scan->predicates();
+      for (auto it = preds.begin(); it != preds.end();) {
+        if (it->estimation_only || it->origin.rfind("sc:", 0) == 0) {
+          ++it;
+          continue;
         }
-        if (merged.unsatisfiable) {
-          ctx_->RecordRule("constraint-contradiction: scan " +
-                           scan->table_name());
-          scan->predicates().push_back(Predicate(
-              MakeLiteral(Value::Bool(false)), false, 1.0, "contradiction"));
-          break;
+        std::vector<const Expr*> premises;
+        for (const Predicate& other : preds) {
+          if (&other == &*it || other.estimation_only) continue;
+          ImplicationEngine::CollectConjuncts(*other.expr, &premises);
         }
+        std::set<std::string> prune_used;
+        const SymbolicEnv env = engine.MakeEnv(premises);
+        if (!env.unsat && engine.EnvEntails(env, *it->expr, &prune_used)) {
+          ctx_->RecordRule(StrFormat("implication-prune: %s",
+                                     it->expr->ToString().c_str()));
+          record_sources(prune_used, 1.0);
+          it = preds.erase(it);
+          continue;
+        }
+        ++it;
       }
     }
   }

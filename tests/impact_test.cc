@@ -1,0 +1,185 @@
+// Unit tests for the static DML impact analyzer and its engine wiring:
+// footprint and implication exclusions per statement kind, the soundness
+// carve-outs (FDs under DELETE, parent-side inclusions), scoped SC
+// maintenance, and table-scoped plan-cache invalidation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/impact.h"
+#include "constraints/column_offset_sc.h"
+#include "constraints/domain_sc.h"
+#include "constraints/fd_sc.h"
+#include "constraints/inclusion_sc.h"
+#include "constraints/predicate_sc.h"
+#include "engine/softdb.h"
+#include "sql/parser.h"
+
+namespace softdb {
+namespace {
+
+class ImpactAnalysis : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE t1 (a BIGINT NOT NULL, b BIGINT, "
+                            "c DOUBLE, CHECK (a >= 0))")
+                    .ok());
+    ASSERT_TRUE(
+        db_.Execute("CREATE TABLE t2 (x BIGINT NOT NULL, y BIGINT)").ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(db_.InsertRow("t1", {Value::Int64(i * 5),
+                                       Value::Int64(i * 5 + 3),
+                                       Value::Double(i * 1.5)})
+                      .ok());
+      ASSERT_TRUE(
+          db_.InsertRow("t2", {Value::Int64(i * 5), Value::Int64(i)}).ok());
+    }
+
+    AddSc(std::make_unique<DomainSc>("dom_a", "t1", 0, Value::Int64(0),
+                                     Value::Int64(100)));
+    AddSc(std::make_unique<ColumnOffsetSc>("off_ab", "t1", 0, 1, 0, 10));
+    auto pred = ParseExpression("b < 1000");
+    ASSERT_TRUE(pred.ok());
+    Table* t1 = *db_.catalog().GetTable("t1");
+    ASSERT_TRUE((*pred)->Bind(t1->schema()).ok());
+    AddSc(std::make_unique<PredicateSc>("pred_b", "t1", std::move(*pred)));
+    AddSc(std::make_unique<FunctionalDependencySc>(
+        "fd_ab", "t1", std::vector<ColumnIdx>{0}, std::vector<ColumnIdx>{1}));
+    AddSc(std::make_unique<DomainSc>("dom_x", "t2", 0, Value::Int64(0),
+                                     Value::Int64(100)));
+    AddSc(std::make_unique<InclusionSc>("incl", "t2",
+                                        std::vector<ColumnIdx>{0}, "t1",
+                                        std::vector<ColumnIdx>{0}));
+  }
+
+  void AddSc(ScPtr sc) {
+    sc->set_policy(ScMaintenancePolicy::kTolerate);
+    ASSERT_TRUE(db_.scs().Add(std::move(sc), db_.catalog()).ok());
+  }
+
+  DmlImpact Analyze(const std::string& sql) {
+    auto stmt = ParseStatement(sql);
+    EXPECT_TRUE(stmt.ok()) << sql << ": " << stmt.status().ToString();
+    ImpactAnalyzer analyzer(&db_.catalog(), &db_.ics(), &db_.scs());
+    auto impact = analyzer.Analyze(*stmt);
+    EXPECT_TRUE(impact.ok()) << sql << ": " << impact.status().ToString();
+    return *impact;
+  }
+
+  SoftDb db_;
+};
+
+TEST_F(ImpactAnalysis, CompliantInsertImpactsNothing) {
+  const DmlImpact impact = Analyze("INSERT INTO t2 VALUES (5, 1)");
+  EXPECT_EQ(impact.candidates, 6u);
+  EXPECT_TRUE(impact.impacted.empty());
+  EXPECT_TRUE(impact.Narrowed());
+  // t1-only SCs fall to the footprint check; t2's own SCs need the row
+  // probe (dom_x in range, 5 present in the parent column).
+  EXPECT_GE(impact.footprint_excluded, 4u);
+  EXPECT_GE(impact.implication_excluded, 2u);
+}
+
+TEST_F(ImpactAnalysis, ViolatingInsertIsImpacted) {
+  const DmlImpact impact = Analyze("INSERT INTO t2 VALUES (999, 1)");
+  // 999 breaks the domain and is absent from the inclusion parent.
+  EXPECT_TRUE(impact.Contains("dom_x"));
+  EXPECT_TRUE(impact.Contains("incl"));
+  EXPECT_FALSE(impact.Contains("dom_a"));
+}
+
+TEST_F(ImpactAnalysis, UpdateOutsideFootprintImpactsNothing) {
+  const DmlImpact impact = Analyze("UPDATE t1 SET c = 3.5");
+  EXPECT_TRUE(impact.impacted.empty());
+  EXPECT_EQ(impact.footprint_excluded, 6u);
+}
+
+TEST_F(ImpactAnalysis, ShiftAssignmentPreservesOffsetSc) {
+  const DmlImpact impact = Analyze("UPDATE t1 SET b = a + 3");
+  // post[b] - post[a] is exactly 3 (a is unassigned), inside [0, 10].
+  EXPECT_FALSE(impact.Contains("off_ab"));
+  // a untouched: the domain and the parent-side inclusion never move.
+  EXPECT_FALSE(impact.Contains("dom_a"));
+  EXPECT_FALSE(impact.Contains("incl"));
+  // b's new value is only bounded below (a >= 0), so the predicate SC and
+  // the FD stay conservatively impacted.
+  EXPECT_EQ(impact.impacted, (std::vector<std::string>{"fd_ab", "pred_b"}));
+}
+
+TEST_F(ImpactAnalysis, ConstantAssignmentInsideDomainIsExcluded) {
+  const DmlImpact impact = Analyze("UPDATE t1 SET a = 50");
+  EXPECT_FALSE(impact.Contains("dom_a"));
+  // The (b - a) relationship is destroyed by rewriting a alone.
+  EXPECT_TRUE(impact.Contains("off_ab"));
+}
+
+TEST_F(ImpactAnalysis, UnsatisfiableWhereMeansNoWrites) {
+  // The enforced CHECK (a >= 0) refutes the WHERE: no stored row matches.
+  const DmlImpact update = Analyze("UPDATE t1 SET a = -5 WHERE a < 0");
+  EXPECT_TRUE(update.where_unsatisfiable);
+  EXPECT_TRUE(update.impacted.empty());
+
+  const DmlImpact del = Analyze("DELETE FROM t1 WHERE a < 0");
+  EXPECT_TRUE(del.where_unsatisfiable);
+  EXPECT_TRUE(del.impacted.empty());
+}
+
+TEST_F(ImpactAnalysis, DeleteImpactsOnlyNonMonotoneKinds) {
+  // Deleting rows can orphan children (parent-side inclusion) and can
+  // re-key an FD's first-image reference row; every row-local kind only
+  // loses potential violators.
+  const DmlImpact from_parent = Analyze("DELETE FROM t1 WHERE a = 5");
+  EXPECT_EQ(from_parent.impacted,
+            (std::vector<std::string>{"fd_ab", "incl"}));
+
+  const DmlImpact from_child = Analyze("DELETE FROM t2 WHERE x = 5");
+  EXPECT_TRUE(from_child.impacted.empty());
+}
+
+TEST_F(ImpactAnalysis, EngineScopesSyncMaintenance) {
+  const std::uint64_t skips_before = db_.scs().stats().scoped_skips;
+  const std::uint64_t checks_before = db_.scs().stats().row_checks;
+  ASSERT_TRUE(db_.Execute("INSERT INTO t1 VALUES (7, 9, 0.5)").ok());
+  // The compliant row excludes every row-local SC statically, so the
+  // registry skips their synchronous checks entirely.
+  EXPECT_GT(db_.scs().stats().scoped_skips, skips_before);
+  EXPECT_EQ(db_.scs().stats().row_checks, checks_before);
+  EXPECT_GE(db_.impact_stats().statements, 1u);
+  EXPECT_GE(db_.impact_stats().narrowed, 1u);
+
+  // A violating insert stays in the impact set and is still caught.
+  const std::uint64_t violations_before = db_.scs().stats().violations;
+  ASSERT_TRUE(db_.Execute("INSERT INTO t1 VALUES (7, 999, 0.5)").ok());
+  EXPECT_GT(db_.scs().stats().violations, violations_before);
+}
+
+TEST_F(ImpactAnalysis, DisablingImpactAnalysisRestoresFullChecks) {
+  db_.options().enable_impact_analysis = false;
+  const std::uint64_t skips_before = db_.scs().stats().scoped_skips;
+  const std::uint64_t checks_before = db_.scs().stats().row_checks;
+  ASSERT_TRUE(db_.Execute("INSERT INTO t1 VALUES (8, 10, 0.5)").ok());
+  EXPECT_EQ(db_.scs().stats().scoped_skips, skips_before);
+  EXPECT_GT(db_.scs().stats().row_checks, checks_before);
+}
+
+TEST_F(ImpactAnalysis, DropTableEvictsOnlyPlansReadingIt) {
+  db_.plan_cache().Clear();
+  ASSERT_TRUE(db_.Execute("SELECT * FROM t1 WHERE a > 1").ok());
+  ASSERT_TRUE(db_.Execute("SELECT * FROM t2 WHERE x > 1").ok());
+  ASSERT_EQ(db_.plan_cache().size(), 2u);
+
+  const std::uint64_t avoided_before = db_.plan_cache().invalidations_avoided();
+  ASSERT_TRUE(db_.Execute("DROP TABLE t2").ok());
+  // The t1 plan survives the drop — a global flush would have paid one
+  // more invalidation.
+  EXPECT_EQ(db_.plan_cache().size(), 1u);
+  EXPECT_GT(db_.plan_cache().invalidations_avoided(), avoided_before);
+  ASSERT_TRUE(db_.Execute("SELECT * FROM t1 WHERE a > 1").ok());
+  EXPECT_GE(db_.plan_cache().hits(), 1u);
+}
+
+}  // namespace
+}  // namespace softdb

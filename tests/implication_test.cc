@@ -1,0 +1,392 @@
+// Golden verdicts and a brute-force soundness property for the symbolic
+// predicate-implication engine. The property is one-sided, matching the
+// engine's contract: kImplies / kContradicts are proofs that must hold on
+// every sampled row; kUnknown is never wrong.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/implication.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "constraints/column_offset_sc.h"
+#include "constraints/domain_sc.h"
+#include "sql/parser.h"
+
+namespace softdb {
+namespace {
+
+using Verdict = ImplicationVerdict;
+
+Schema TestSchema() {
+  Schema schema;
+  ColumnDef a;
+  a.name = "a";
+  a.type = TypeId::kInt64;
+  a.nullable = false;
+  a.table = "t";
+  schema.AddColumn(a);
+  ColumnDef b;
+  b.name = "b";
+  b.type = TypeId::kInt64;
+  b.nullable = true;
+  b.table = "t";
+  schema.AddColumn(b);
+  ColumnDef c;
+  c.name = "c";
+  c.type = TypeId::kDouble;
+  c.nullable = true;
+  c.table = "t";
+  schema.AddColumn(c);
+  ColumnDef e;
+  e.name = "e";
+  e.type = TypeId::kString;
+  e.nullable = true;
+  e.table = "t";
+  schema.AddColumn(e);
+  return schema;
+}
+
+ExprPtr Parse(const Schema& schema, const std::string& text) {
+  auto expr = ParseExpression(text);
+  EXPECT_TRUE(expr.ok()) << text << ": " << expr.status().ToString();
+  if (!expr.ok()) return nullptr;
+  auto bound = (*expr)->Bind(schema);
+  EXPECT_TRUE(bound.ok()) << text << ": " << bound.ToString();
+  if (!bound.ok()) return nullptr;
+  return std::move(*expr);
+}
+
+class ImplicationGolden : public ::testing::Test {
+ protected:
+  Verdict Ask(const std::string& p, const std::string& q) {
+    ExprPtr pe = Parse(schema_, p);
+    ExprPtr qe = Parse(schema_, q);
+    if (pe == nullptr || qe == nullptr) return Verdict::kUnknown;
+    ImplicationEngine engine(&schema_, ImplicationFacts{});
+    return engine.Check(*pe, *qe);
+  }
+
+  Schema schema_ = TestSchema();
+};
+
+TEST(IntervalAlgebra, ContainmentRespectsStrictness) {
+  EXPECT_TRUE(Interval::AtLeast(5, true).Contains(Interval::Range(6, 10)));
+  EXPECT_FALSE(Interval::AtLeast(5, true).Contains(Interval::Range(5, 10)));
+  EXPECT_TRUE(Interval::AtLeast(5, false).Contains(Interval::Range(5, 10)));
+  EXPECT_TRUE(Interval::Range(0, 10).Contains(Interval::Empty()));
+  EXPECT_FALSE(Interval::Range(0, 10).Contains(Interval::Top()));
+  EXPECT_TRUE(Interval::Top().Contains(Interval::Top()));
+  EXPECT_TRUE(Interval::AtMost(3, true).ContainsPoint(2.999));
+  EXPECT_FALSE(Interval::AtMost(3, true).ContainsPoint(3));
+}
+
+TEST(IntervalAlgebra, IntersectionDetectsVoid) {
+  Interval i = Interval::Range(0, 10);
+  i.Intersect(Interval::AtLeast(20, false));
+  EXPECT_TRUE(i.empty);
+
+  // Touching endpoints with one strict side: (5, inf) ∩ (-inf, 5] = ∅.
+  Interval j = Interval::AtLeast(5, true);
+  j.Intersect(Interval::AtMost(5, false));
+  EXPECT_TRUE(j.empty);
+
+  // Without strictness the single point 5 survives.
+  Interval k = Interval::AtLeast(5, false);
+  k.Intersect(Interval::AtMost(5, false));
+  EXPECT_FALSE(k.empty);
+  double point = 0.0;
+  EXPECT_TRUE(k.IsPoint(&point));
+  EXPECT_EQ(point, 5.0);
+}
+
+TEST(IntervalAlgebra, ArithmeticIsMinkowski) {
+  const Interval sum = Interval::Range(0, 10).Plus(Interval::Point(5));
+  EXPECT_EQ(sum.lo, 5.0);
+  EXPECT_EQ(sum.hi, 15.0);
+  const Interval diff = Interval::Range(0, 10).Minus(Interval::Range(2, 3));
+  EXPECT_EQ(diff.lo, -3.0);
+  EXPECT_EQ(diff.hi, 8.0);
+  const Interval neg = Interval::AtLeast(4, true).Negated();
+  EXPECT_EQ(neg.hi, -4.0);
+  EXPECT_TRUE(neg.hi_strict);
+  const Interval scaled = Interval::Range(1, 2).ScaledBy(-3.0, 1.0);
+  EXPECT_EQ(scaled.lo, -5.0);
+  EXPECT_EQ(scaled.hi, -2.0);
+}
+
+TEST(IntervalAlgebra, DomainFactsHandleHalfOpenAndStringPins) {
+  // MAX 'open' (a non-numeric sentinel) leaves the upper side unbounded.
+  DomainSc half("half", "t", 0, Value::Int64(250), Value::String("open"));
+  auto fact = DomainIntervalFact(half);
+  ASSERT_TRUE(fact.has_value());
+  EXPECT_EQ(fact->interval.lo, 250.0);
+  EXPECT_TRUE(fact->interval.hi ==
+              std::numeric_limits<double>::infinity());
+
+  DomainSc pin("pin", "t", 3, Value::String("EUR"), Value::String("EUR"));
+  auto pinned = DomainIntervalFact(pin);
+  ASSERT_TRUE(pinned.has_value());
+  ASSERT_TRUE(pinned->interval.str_equal.has_value());
+
+  // A non-degenerate string domain carries no usable fact.
+  DomainSc range("range", "t", 3, Value::String("A"), Value::String("Z"));
+  EXPECT_FALSE(DomainIntervalFact(range).has_value());
+}
+
+TEST_F(ImplicationGolden, SimpleBoundsImply) {
+  EXPECT_EQ(Ask("a > 5", "a > 3"), Verdict::kImplies);
+  EXPECT_EQ(Ask("a >= 5", "a > 4"), Verdict::kImplies);
+  EXPECT_EQ(Ask("a = 5", "a BETWEEN 0 AND 10"), Verdict::kImplies);
+  EXPECT_EQ(Ask("a = 5", "a <> 3"), Verdict::kImplies);
+  EXPECT_EQ(Ask("a > 5 AND a < 9", "a BETWEEN 5 AND 9"), Verdict::kImplies);
+}
+
+TEST_F(ImplicationGolden, DisjointBoundsContradict) {
+  EXPECT_EQ(Ask("a > 5", "a < 3"), Verdict::kContradicts);
+  EXPECT_EQ(Ask("a = 5", "a = 6"), Verdict::kContradicts);
+  EXPECT_EQ(Ask("a >= 5", "a < 5"), Verdict::kContradicts);
+  EXPECT_EQ(Ask("e = 'red'", "e = 'blue'"), Verdict::kContradicts);
+}
+
+TEST_F(ImplicationGolden, WeakerEvidenceStaysUnknown) {
+  EXPECT_EQ(Ask("a > 5", "a > 10"), Verdict::kUnknown);
+  EXPECT_EQ(Ask("a > 5", "b > 0"), Verdict::kUnknown);
+  EXPECT_EQ(Ask("c > 0.5", "e = 'red'"), Verdict::kUnknown);
+}
+
+TEST_F(ImplicationGolden, NullablePremiseForcesNonNull) {
+  // P TRUE requires b non-NULL, so the entailment is sound even though b
+  // is nullable in the schema.
+  EXPECT_EQ(Ask("b > 5", "b > 3"), Verdict::kImplies);
+  EXPECT_EQ(Ask("b > 5", "b IS NOT NULL"), Verdict::kImplies);
+  EXPECT_EQ(Ask("b IS NULL", "b > 3"), Verdict::kContradicts);
+}
+
+TEST_F(ImplicationGolden, DisjunctionsEntailPerBranch) {
+  EXPECT_EQ(Ask("a > 5", "a > 3 OR a < 0"), Verdict::kImplies);
+  EXPECT_EQ(Ask("a > 5 OR a > 7", "a > 3"), Verdict::kUnknown);
+}
+
+TEST_F(ImplicationGolden, DifferenceChainsPropagate) {
+  EXPECT_EQ(Ask("a > 10 AND b - a >= 0", "b > 10"), Verdict::kImplies);
+  EXPECT_EQ(Ask("b - a >= 0 AND b - a <= 5", "b - a <= 9"),
+            Verdict::kImplies);
+  EXPECT_EQ(Ask("a > 10 AND b - a >= 0", "b < 5"), Verdict::kContradicts);
+}
+
+TEST_F(ImplicationGolden, FactsFeedEntailmentAndContradiction) {
+  Schema schema = TestSchema();
+  ImplicationFacts facts;
+  facts.intervals.push_back({0, Interval::Range(0, 100), "sc:dom"});
+  facts.diffs.push_back({0, 1, Interval::Range(0, 10), "sc:asc"});
+  ImplicationEngine engine(&schema, facts);
+
+  std::set<std::string> used;
+  ExprPtr q = Parse(schema, "a >= 0");
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(engine.FactsImply(*q, &used));
+  EXPECT_EQ(used.count("sc:dom"), 1u);
+
+  // b is nullable and the fact base is null-compliant: no entailment.
+  ExprPtr qb = Parse(schema, "b >= 0");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_FALSE(engine.FactsImply(*qb));
+
+  // But a premise that forces b non-NULL unlocks the offset chain:
+  // b ≥ a ≥ 0 (facts) once b is known non-NULL.
+  ExprPtr p = Parse(schema, "b IS NOT NULL");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(engine.Check(*p, *qb), Verdict::kImplies);
+
+  ExprPtr over = Parse(schema, "a > 200");
+  ASSERT_NE(over, nullptr);
+  std::vector<const Expr*> conjuncts;
+  ImplicationEngine::CollectConjuncts(*over, &conjuncts);
+  used.clear();
+  EXPECT_TRUE(engine.Unsatisfiable(conjuncts, &used));
+  EXPECT_EQ(used.count("sc:dom"), 1u);
+}
+
+TEST_F(ImplicationGolden, AssumeNonNullEnablesChainContradiction) {
+  // early/lag/late: a ∈ [0,100], (b - a) ∈ [0,10], b ∈ [200,300]. Without
+  // assume_non_null a NULL b complies vacuously; with it the closure is
+  // void.
+  Schema schema = TestSchema();
+  ImplicationFacts facts;
+  facts.intervals.push_back({0, Interval::Range(0, 100), "sc:early"});
+  facts.diffs.push_back({0, 1, Interval::Range(0, 10), "sc:lag"});
+  facts.intervals.push_back({1, Interval::Range(200, 300), "sc:late"});
+
+  ImplicationEngine plain(&schema, facts);
+  EXPECT_FALSE(plain.FactsUnsatisfiable());
+
+  ImplicationOptions lint_mode;
+  lint_mode.assume_non_null = true;
+  ImplicationEngine lint(&schema, facts, lint_mode);
+  std::set<std::string> used;
+  EXPECT_TRUE(lint.FactsUnsatisfiable(&used));
+  EXPECT_TRUE(used.count("sc:lag") == 1 || used.count("sc:late") == 1);
+}
+
+// --- Brute-force soundness property ------------------------------------
+
+class ImplicationProperty : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = TestSchema();
+    // A spread of rows wide enough to refute most wrong proofs: every
+    // combination the generators can mention, plus NULLs in b/c/e.
+    for (int a = -25; a <= 125; a += 5) {
+      for (int spread = -6; spread <= 14; spread += 5) {
+        std::vector<Value> row;
+        row.push_back(Value::Int64(a));
+        row.push_back(spread == -6 ? Value::Null()
+                                   : Value::Int64(a + spread));
+        row.push_back(spread == 9 ? Value::Null()
+                                  : Value::Double(a * 7.5 + spread));
+        row.push_back(spread < 4
+                          ? Value::String(spread < -1 ? "red" : "blue")
+                          : Value::Null());
+        rows_.push_back(std::move(row));
+      }
+    }
+  }
+
+  std::string RandomTerm(Rng* rng) {
+    static const char* kCols[] = {"a", "b", "c"};
+    static const char* kOps[] = {"=", "<>", "<", "<=", ">", ">="};
+    switch (rng->Uniform(0, 6)) {
+      case 0:
+        return StrFormat("a BETWEEN %lld AND %lld",
+                         static_cast<long long>(rng->Uniform(-10, 60)),
+                         static_cast<long long>(rng->Uniform(40, 130)));
+      case 1:
+        return rng->NextBool(0.5) ? "b IS NULL" : "b IS NOT NULL";
+      case 2:
+        return StrFormat("e %s '%s'", rng->NextBool(0.8) ? "=" : "<>",
+                         rng->NextBool(0.5) ? "red" : "blue");
+      case 3:
+        return StrFormat("b - a %s %lld", kOps[rng->Uniform(0, 5)],
+                         static_cast<long long>(rng->Uniform(-8, 16)));
+      default: {
+        const char* col = kCols[rng->Uniform(0, 2)];
+        return StrFormat("%s %s %lld", col, kOps[rng->Uniform(0, 5)],
+                         static_cast<long long>(rng->Uniform(-30, 130)));
+      }
+    }
+  }
+
+  std::string RandomPredicate(Rng* rng) {
+    std::string out = RandomTerm(rng);
+    const int extra = static_cast<int>(rng->Uniform(0, 2));
+    for (int i = 0; i < extra; ++i) {
+      out += rng->NextBool(0.7) ? " AND " : " OR ";
+      out += RandomTerm(rng);
+    }
+    return out;
+  }
+
+  // SQL 3VL: TRUE only.
+  bool EvalTrue(const Expr& expr, const std::vector<Value>& row) {
+    auto v = expr.Eval(row);
+    EXPECT_TRUE(v.ok());
+    return v.ok() && !v->is_null() && v->AsBool();
+  }
+
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+TEST_F(ImplicationProperty, VerdictsNeverContradictDirectEvaluation) {
+  ImplicationEngine engine(&schema_, ImplicationFacts{});
+  std::size_t implies = 0;
+  std::size_t contradicts = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    for (int iter = 0; iter < 300; ++iter) {
+      const std::string p_text = RandomPredicate(&rng);
+      const std::string q_text = RandomPredicate(&rng);
+      ExprPtr p = Parse(schema_, p_text);
+      ExprPtr q = Parse(schema_, q_text);
+      ASSERT_NE(p, nullptr);
+      ASSERT_NE(q, nullptr);
+      const Verdict verdict = engine.Check(*p, *q);
+      if (verdict == Verdict::kUnknown) continue;
+      if (verdict == Verdict::kImplies) ++implies;
+      if (verdict == Verdict::kContradicts) ++contradicts;
+      for (const std::vector<Value>& row : rows_) {
+        const bool pt = EvalTrue(*p, row);
+        const bool qt = EvalTrue(*q, row);
+        if (verdict == Verdict::kImplies) {
+          ASSERT_TRUE(!pt || qt)
+              << "(" << p_text << ") claimed to imply (" << q_text << ")";
+        } else {
+          ASSERT_FALSE(pt && qt)
+              << "(" << p_text << ") claimed to contradict (" << q_text
+              << ")";
+        }
+      }
+    }
+  }
+  // The engine must actually decide a healthy share of the pairs; an
+  // always-kUnknown implementation would pass the soundness check above.
+  EXPECT_GT(implies, 50u);
+  EXPECT_GT(contradicts, 50u);
+}
+
+TEST_F(ImplicationProperty, FactVerdictsHoldOnCompliantRows) {
+  // Facts: a ∈ [0, 100] and (b - a) ∈ [0, 10], exactly how the rows are
+  // generated below (b occasionally NULL — facts are null-compliant).
+  ImplicationFacts facts;
+  facts.intervals.push_back({0, Interval::Range(0, 100), "sc:dom"});
+  facts.diffs.push_back({0, 1, Interval::Range(0, 10), "sc:asc"});
+  ImplicationEngine engine(&schema_, facts);
+
+  std::vector<std::vector<Value>> compliant;
+  Rng data_rng(99);
+  for (int i = 0; i < 400; ++i) {
+    const std::int64_t a = data_rng.Uniform(0, 100);
+    std::vector<Value> row;
+    row.push_back(Value::Int64(a));
+    row.push_back(data_rng.NextBool(0.1)
+                      ? Value::Null()
+                      : Value::Int64(a + data_rng.Uniform(0, 10)));
+    row.push_back(Value::Double(data_rng.NextDouble() * 100.0));
+    row.push_back(Value::String(data_rng.NextBool(0.5) ? "red" : "blue"));
+    compliant.push_back(std::move(row));
+  }
+
+  std::size_t decided = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed * 31);
+    for (int iter = 0; iter < 300; ++iter) {
+      const std::string q_text = RandomPredicate(&rng);
+      ExprPtr q = Parse(schema_, q_text);
+      ASSERT_NE(q, nullptr);
+      if (engine.FactsImply(*q)) {
+        ++decided;
+        for (const std::vector<Value>& row : compliant) {
+          ASSERT_TRUE(EvalTrue(*q, row))
+              << "facts claimed to imply (" << q_text << ")";
+        }
+      }
+      std::vector<const Expr*> conjuncts;
+      ImplicationEngine::CollectConjuncts(*q, &conjuncts);
+      if (engine.Unsatisfiable(conjuncts)) {
+        ++decided;
+        for (const std::vector<Value>& row : compliant) {
+          ASSERT_FALSE(EvalTrue(*q, row))
+              << "facts claimed to exclude (" << q_text << ")";
+        }
+      }
+    }
+  }
+  EXPECT_GT(decided, 30u);
+}
+
+}  // namespace
+}  // namespace softdb

@@ -1,7 +1,7 @@
 // softdb_lint: static SC-catalog + workload consistency linter.
 //
-// Usage: softdb_lint [--json] [--currency-threshold X] <catalog.sdl>
-//                    [workload.sql ...]
+// Usage: softdb_lint [--json | --sarif] [--currency-threshold X]
+//                    <catalog.sdl> [workload.sql ...]
 //
 // Exit codes: 0 = clean, 1 = findings reported, 2 = usage or input error.
 
@@ -22,8 +22,8 @@ constexpr int kExitUsage = 2;
 
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
-               "usage: softdb_lint [--json] [--currency-threshold X] "
-               "<catalog.sdl> [workload.sql ...]\n"
+               "usage: softdb_lint [--json | --sarif] "
+               "[--currency-threshold X] <catalog.sdl> [workload.sql ...]\n"
                "\n"
                "Statically checks a soft-constraint catalog for\n"
                "contradictions, vacuous or stale constraints, and (given a\n"
@@ -46,6 +46,7 @@ bool ReadFile(const std::string& path, std::string* out) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool sarif = false;
   softdb::LintOptions options;
   std::vector<std::string> paths;
 
@@ -53,6 +54,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
     } else if (arg == "--currency-threshold") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "softdb_lint: --currency-threshold needs a value\n");
@@ -107,7 +110,9 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
 
-  if (json) {
+  if (sarif) {
+    std::fputs(report->ToSarif(paths[0]).c_str(), stdout);
+  } else if (json) {
     std::fputs(report->ToJson().c_str(), stdout);
   } else {
     std::fputs(report->ToText().c_str(), stdout);
