@@ -101,6 +101,19 @@ void EmitJson() {
   j.WriteFile("BENCH_E1.json");
 }
 
+// --threads 1,4: morsel-parallel sweep of the scan+filter shape (the E1
+// workload's compute-heavy full scan) — parallel output must stay
+// bit-identical to serial at every thread count. Emits BENCH_E1_PAR.json.
+void EmitParallelJson(const std::vector<std::size_t>& thread_counts) {
+  auto db = MakeWorkloadDb();
+  const std::string kScanFilter =
+      "SELECT pu_key, quantity, price FROM purchase "
+      "WHERE ship_date - order_date <= 9 AND quantity < 25 "
+      "AND price * discount > 40 AND receipt_date - ship_date >= 1";
+  auto samples = MeasureParallelSweep(db.get(), kScanFilter, thread_counts);
+  WriteParallelJson("E1", kScanFilter, samples);
+}
+
 void BM_E1_WithIntroduction(::benchmark::State& state) {
   static auto db = MakeDbWithWindow(21);
   db->options().enable_predicate_introduction = true;
@@ -128,8 +141,12 @@ BENCHMARK(BM_E1_WithoutIntroduction);
 
 int main(int argc, char** argv) {
   const bool emit_json = softdb::bench::StripJsonFlag(&argc, argv);
+  std::vector<std::size_t> thread_counts;
+  const bool sweep_threads =
+      softdb::bench::StripThreadsFlag(&argc, argv, &thread_counts);
   softdb::bench::PrintExperimentTable();
   if (emit_json) softdb::bench::EmitJson();
+  if (sweep_threads) softdb::bench::EmitParallelJson(thread_counts);
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -107,6 +107,17 @@ void EmitJson() {
   j.WriteFile("BENCH_E2.json");
 }
 
+// --threads 1,4: morsel-parallel sweep of the orders ⋈ customer hash join
+// (partitioned parallel build + probe). Emits BENCH_E2_PAR.json.
+void EmitParallelJson(const std::vector<std::size_t>& thread_counts) {
+  auto db = MakeWorkloadDb();
+  const std::string kJoin =
+      "SELECT o_orderkey FROM orders JOIN customer ON o_custkey = c_custkey "
+      "WHERE o_totalprice < 5000 AND c_acctbal < 2000";
+  auto samples = MeasureParallelSweep(db.get(), kJoin, thread_counts);
+  WriteParallelJson("E2", kJoin, samples);
+}
+
 void BM_E2_InHoleWithSc(::benchmark::State& state) {
   static auto db = [] {
     auto d = MakeWorkloadDb();
@@ -136,8 +147,12 @@ BENCHMARK(BM_E2_InHoleBaseline);
 
 int main(int argc, char** argv) {
   const bool emit_json = softdb::bench::StripJsonFlag(&argc, argv);
+  std::vector<std::size_t> thread_counts;
+  const bool sweep_threads =
+      softdb::bench::StripThreadsFlag(&argc, argv, &thread_counts);
   softdb::bench::PrintExperimentTable();
   if (emit_json) softdb::bench::EmitJson();
+  if (sweep_threads) softdb::bench::EmitParallelJson(thread_counts);
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

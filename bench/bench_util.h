@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/softdb.h"
@@ -201,6 +202,116 @@ inline EngineAb MeasureEngineAb(SoftDb* db, const std::string& sql,
     std::abort();
   }
   return out;
+}
+
+/// Removes a leading `--threads N[,M...]` from argv (before
+/// benchmark::Initialize sees it) and fills `out` with the requested
+/// thread counts. Returns true when the flag was present. Benches passed
+/// --threads additionally sweep the morsel-parallel engine and write a
+/// BENCH_<tag>_PAR.json report.
+inline bool StripThreadsFlag(int* argc, char** argv,
+                             std::vector<std::size_t>* out) {
+  bool found = false;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::string(argv[r]) == "--threads" && r + 1 < *argc) {
+      found = true;
+      const std::string list = argv[++r];
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        out->push_back(
+            static_cast<std::size_t>(std::stoul(list.substr(pos, comma - pos))));
+        pos = comma + 1;
+      }
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  return found;
+}
+
+/// One thread-count sample of the parallel sweep.
+struct ParallelSample {
+  std::size_t threads = 1;
+  double sec_per_query = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t morsels = 0;
+};
+
+/// Times `sql` on the vectorized engine at each thread count (1 = the
+/// serial batch engine; >1 = the morsel-driven parallel engine). Aborts if
+/// any thread count changes the answer — parallel output must be
+/// bit-identical to serial.
+inline std::vector<ParallelSample> MeasureParallelSweep(
+    SoftDb* db, const std::string& sql,
+    const std::vector<std::size_t>& thread_counts, int iterations = 40) {
+  const bool saved_vec = db->options().use_vectorized;
+  const std::size_t saved_threads = db->options().num_threads;
+  db->options().use_vectorized = true;
+
+  std::vector<ParallelSample> samples;
+  std::string reference;  // Serialized first-run rows, for bit-identity.
+  for (const std::size_t threads : thread_counts) {
+    db->options().num_threads = threads;
+    db->plan_cache().Clear();
+    QueryResult warm = MustExecute(db, sql);  // Warm: plan + scheduler.
+    std::string rendered;
+    for (const auto& row : warm.rows.rows) {
+      for (const Value& v : row) rendered += v.ToString() + "|";
+      rendered += "\n";
+    }
+    if (reference.empty()) {
+      reference = rendered;
+    } else if (rendered != reference) {
+      std::fprintf(stderr, "parallel answer mismatch at %zu threads on %s\n",
+                   threads, sql.c_str());
+      std::abort();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iterations; ++i) {
+      volatile std::uint64_t sink = MustExecute(db, sql).rows.NumRows();
+      (void)sink;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    ParallelSample s;
+    s.threads = threads;
+    s.sec_per_query =
+        std::chrono::duration<double>(t1 - t0).count() / iterations;
+    s.rows = warm.rows.NumRows();
+    s.morsels = warm.exec_stats.morsels;
+    samples.push_back(s);
+  }
+  db->options().use_vectorized = saved_vec;
+  db->options().num_threads = saved_threads;
+  db->plan_cache().Clear();
+  return samples;
+}
+
+/// Emits the BENCH_<tag>_PAR.json report for a parallel sweep over one or
+/// two query shapes.
+inline void WriteParallelJson(const std::string& tag, const std::string& sql,
+                              const std::vector<ParallelSample>& samples) {
+  JsonWriter j;
+  j.Add("bench", tag + "_PAR");
+  j.Add("query", sql);
+  j.Add("host_threads",
+        static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  double serial_sec = 0;
+  for (const ParallelSample& s : samples) {
+    const std::string prefix = "t" + std::to_string(s.threads);
+    j.Add(prefix + "_sec_per_query", s.sec_per_query);
+    j.Add(prefix + "_rows", s.rows);
+    j.Add(prefix + "_morsels", s.morsels);
+    if (s.threads == 1) serial_sec = s.sec_per_query;
+    if (serial_sec > 0 && s.threads > 1) {
+      j.Add(prefix + "_speedup_vs_serial",
+            s.sec_per_query > 0 ? serial_sec / s.sec_per_query : 0.0);
+    }
+  }
+  j.WriteFile("BENCH_" + tag + "_PAR.json");
 }
 
 }  // namespace softdb::bench

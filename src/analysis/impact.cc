@@ -479,7 +479,8 @@ Result<DmlImpact> ImpactAnalyzer::AnalyzeUpdate(const UpdateStmt& stmt) const {
       }
       case ScKind::kLinearCorrelation: {
         const auto* linear = static_cast<const LinearCorrelationSc*>(sc);
-        if (linear->epsilon() < 0.0) break;  // Never provably satisfied.
+        const LinearCorrelationSc::Band band = linear->band();
+        if (band.epsilon < 0.0) break;  // Never provably satisfied.
         auto ai = post.env.intervals.find(linear->col_a());
         auto bi = post.env.intervals.find(linear->col_b());
         if (ai == post.env.intervals.end() ||
@@ -487,12 +488,11 @@ Result<DmlImpact> ImpactAnalyzer::AnalyzeUpdate(const UpdateStmt& stmt) const {
           break;
         }
         // a - (k·b + c) must stay within ±eps.
-        const Interval residual = ai->second.Minus(
-            bi->second.ScaledBy(linear->k(), linear->c()));
-        excluded =
-            !residual.IsTop() &&
-            Interval::Range(-linear->epsilon(), linear->epsilon())
-                .Contains(residual);
+        const Interval residual =
+            ai->second.Minus(bi->second.ScaledBy(band.k, band.c));
+        excluded = !residual.IsTop() &&
+                   Interval::Range(-band.epsilon, band.epsilon)
+                       .Contains(residual);
         break;
       }
       case ScKind::kPredicate: {

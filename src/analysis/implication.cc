@@ -256,21 +256,23 @@ ImplicationFacts::DiffFact OffsetDiffFact(const ColumnOffsetSc& sc) {
   ImplicationFacts::DiffFact fact;
   fact.x = sc.col_x();
   fact.y = sc.col_y();
-  fact.range = Interval::Range(static_cast<double>(sc.min_offset()),
-                               static_cast<double>(sc.max_offset()));
+  const auto [min_offset, max_offset] = sc.offset_range();
+  fact.range = Interval::Range(static_cast<double>(min_offset),
+                               static_cast<double>(max_offset));
   fact.source = "sc:" + sc.name();
   return fact;
 }
 
 std::optional<ImplicationFacts::BandFact> LinearBandFact(
     const LinearCorrelationSc& sc) {
-  if (sc.epsilon() < 0.0) return std::nullopt;  // Lint flags this; skip.
+  const LinearCorrelationSc::Band band = sc.band();
+  if (band.epsilon < 0.0) return std::nullopt;  // Lint flags this; skip.
   ImplicationFacts::BandFact fact;
   fact.a = sc.col_a();
   fact.b = sc.col_b();
-  fact.k = sc.k();
-  fact.c = sc.c();
-  fact.eps = sc.epsilon();
+  fact.k = band.k;
+  fact.c = band.c;
+  fact.eps = band.epsilon;
   fact.source = "sc:" + sc.name();
   return fact;
 }

@@ -18,6 +18,8 @@ const char* InvariantName(Invariant invariant) {
       return "limit-row-engine-only";
     case Invariant::kRuntimeParams:
       return "runtime-params";
+    case Invariant::kParallelSafety:
+      return "parallel-safety";
     case Invariant::kPlanShape:
       return "plan-shape";
   }

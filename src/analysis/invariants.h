@@ -41,6 +41,11 @@ enum class Invariant : std::uint8_t {
   /// contract between the row and batch scan variants: in-bounds predicate
   /// index, non-twin target, and matching predicate/index columns.
   kRuntimeParams,
+  /// Parallel (morsel-driven) operators appear only where the planner may
+  /// place them: never under a LIMIT (which forces the row engine), with a
+  /// positive morsel size, and with pipeline specs whose stage chain is
+  /// well-formed (scan → filters → at most one project).
+  kParallelSafety,
   /// Structural soundness: child arity per node kind, equi-key bounds,
   /// key-flag sizes, branch-constraint arity.
   kPlanShape,

@@ -4,6 +4,7 @@
 
 #include "exec/batch_operators.h"
 #include "exec/operators.h"
+#include "exec/parallel_operators.h"
 #include "plan/predicate.h"
 
 namespace softdb {
@@ -549,8 +550,64 @@ void CheckExecutablePredicates(const std::vector<Predicate>& predicates,
 void CheckBatchOp(const BatchOperator& op, const std::string& path,
                   Walk& w);
 
+/// Checks one morsel pipeline spec: twin-free executable predicates, sound
+/// §4.2 runtime params, and a well-formed stage chain (filters in any
+/// number, at most one project, and nothing after the project — the
+/// pipeline's output schema is the last stage's).
+void CheckPipelineSpec(const PipelineSpec& spec, const std::string& path,
+                       Walk& w) {
+  if (spec.table == nullptr) {
+    w.Add(Invariant::kParallelSafety, path, "pipeline spec without a table");
+    return;
+  }
+  CheckExecutablePredicates(spec.scan_predicates, path, w);
+  CheckRuntimeParams(spec.runtime_params, spec.scan_predicates, path, w);
+  bool saw_project = false;
+  for (const PipelineStage& stage : spec.stages) {
+    if (saw_project) {
+      w.Add(Invariant::kParallelSafety, path,
+            "pipeline stage after the projection stage");
+      break;
+    }
+    switch (stage.kind) {
+      case PipelineStage::Kind::kFilter:
+        CheckExecutablePredicates(stage.predicates, path, w);
+        break;
+      case PipelineStage::Kind::kProject:
+        saw_project = true;
+        break;
+    }
+  }
+}
+
 void CheckRowOp(const Operator& op, bool under_limit, const std::string& path,
                 Walk& w) {
+  if (const auto* pipe = dynamic_cast<const ParallelPipelineOp*>(&op)) {
+    if (under_limit) {
+      w.Add(Invariant::kParallelSafety, path,
+            "parallel pipeline under a LIMIT (LIMIT subtrees must stay on "
+            "the serial row engine)");
+    }
+    if (pipe->morsel_rows() == 0) {
+      w.Add(Invariant::kParallelSafety, path, "morsel size 0");
+    }
+    CheckPipelineSpec(pipe->spec(), path, w);
+    return;
+  }
+  if (const auto* pj = dynamic_cast<const ParallelHashJoinOp*>(&op)) {
+    if (under_limit) {
+      w.Add(Invariant::kParallelSafety, path,
+            "parallel hash join under a LIMIT (LIMIT subtrees must stay on "
+            "the serial row engine)");
+    }
+    if (pj->morsel_rows() == 0) {
+      w.Add(Invariant::kParallelSafety, path, "morsel size 0");
+    }
+    CheckPipelineSpec(pj->probe_spec(), path + "/probe", w);
+    CheckPipelineSpec(pj->build_spec(), path + "/build", w);
+    CheckExecutablePredicates(pj->residual(), path, w);
+    return;
+  }
   if (const auto* adapter = dynamic_cast<const BatchAdapterOp*>(&op)) {
     if (under_limit) {
       w.Add(Invariant::kLimitRowEngineOnly, path,

@@ -22,27 +22,33 @@ std::vector<SimplePredicate> ColumnOffsetSc::DerivePredicates(
     const SimplePredicate& pred) const {
   std::vector<SimplePredicate> out;
   if (pred.constant.is_null()) return out;
+  std::int64_t min_offset, max_offset;
+  {
+    std::shared_lock<std::shared_mutex> lk(params_mu_);
+    min_offset = min_offset_;
+    max_offset = max_offset_;
+  }
   // Invariant: x + min <= y <= x + max for compliant rows.
   if (pred.column == col_y_) {
     switch (pred.op) {
       case CompareOp::kEq:
         // y = c  =>  c - max <= x <= c - min.
         out.push_back({col_x_, CompareOp::kGe,
-                       ShiftValue(pred.constant, -max_offset_)});
+                       ShiftValue(pred.constant, -max_offset)});
         out.push_back({col_x_, CompareOp::kLe,
-                       ShiftValue(pred.constant, -min_offset_)});
+                       ShiftValue(pred.constant, -min_offset)});
         break;
       case CompareOp::kGe:
       case CompareOp::kGt:
         // y >= c  =>  x >= c - max.
         out.push_back({col_x_, pred.op,
-                       ShiftValue(pred.constant, -max_offset_)});
+                       ShiftValue(pred.constant, -max_offset)});
         break;
       case CompareOp::kLe:
       case CompareOp::kLt:
         // y <= c  =>  x <= c - min.
         out.push_back({col_x_, pred.op,
-                       ShiftValue(pred.constant, -min_offset_)});
+                       ShiftValue(pred.constant, -min_offset)});
         break;
       case CompareOp::kNe:
         break;
@@ -54,21 +60,21 @@ std::vector<SimplePredicate> ColumnOffsetSc::DerivePredicates(
       case CompareOp::kEq:
         // x = c  =>  c + min <= y <= c + max.
         out.push_back({col_y_, CompareOp::kGe,
-                       ShiftValue(pred.constant, min_offset_)});
+                       ShiftValue(pred.constant, min_offset)});
         out.push_back({col_y_, CompareOp::kLe,
-                       ShiftValue(pred.constant, max_offset_)});
+                       ShiftValue(pred.constant, max_offset)});
         break;
       case CompareOp::kGe:
       case CompareOp::kGt:
         // x >= c  =>  y >= c + min.
         out.push_back({col_y_, pred.op,
-                       ShiftValue(pred.constant, min_offset_)});
+                       ShiftValue(pred.constant, min_offset)});
         break;
       case CompareOp::kLe:
       case CompareOp::kLt:
         // x <= c  =>  y <= c + max.
         out.push_back({col_y_, pred.op,
-                       ShiftValue(pred.constant, max_offset_)});
+                       ShiftValue(pred.constant, max_offset)});
         break;
       case CompareOp::kNe:
         break;
@@ -83,6 +89,7 @@ Result<bool> ColumnOffsetSc::CheckRow(const Catalog&,
   const Value& y = row[col_y_];
   if (x.is_null() || y.is_null()) return true;
   const double diff = y.NumericValue() - x.NumericValue();
+  std::shared_lock<std::shared_mutex> lk(params_mu_);
   return diff >= static_cast<double>(min_offset_) &&
          diff <= static_cast<double>(max_offset_);
 }
@@ -93,6 +100,7 @@ Status ColumnOffsetSc::RepairForRow(const std::vector<Value>& row) {
   if (x.is_null() || y.is_null()) return Status::OK();
   const std::int64_t diff = static_cast<std::int64_t>(
       y.NumericValue() - x.NumericValue());
+  std::unique_lock<std::shared_mutex> lk(params_mu_);
   min_offset_ = std::min(min_offset_, diff);
   max_offset_ = std::max(max_offset_, diff);
   return Status::OK();
@@ -117,6 +125,7 @@ Status ColumnOffsetSc::RepairFull(const Catalog& catalog) {
     }
   }
   if (any) {
+    std::unique_lock<std::shared_mutex> lk(params_mu_);
     min_offset_ = lo;
     max_offset_ = hi;
   }
@@ -129,6 +138,12 @@ Result<ScVerifyOutcome> ColumnOffsetSc::CountViolations(
   const ColumnVector& xs = table->ColumnData(col_x_);
   const ColumnVector& ys = table->ColumnData(col_y_);
   ScVerifyOutcome out;
+  std::int64_t min_offset, max_offset;
+  {
+    std::shared_lock<std::shared_mutex> lk(params_mu_);
+    min_offset = min_offset_;
+    max_offset = max_offset_;
+  }
   std::vector<double> diffs;
   diffs.reserve(table->NumRows());
   for (RowId r = 0; r < table->NumSlots(); ++r) {
@@ -137,18 +152,25 @@ Result<ScVerifyOutcome> ColumnOffsetSc::CountViolations(
     if (xs.IsNull(r) || ys.IsNull(r)) continue;
     const double diff = ys.GetNumeric(r) - xs.GetNumeric(r);
     diffs.push_back(diff);
-    if (diff < static_cast<double>(min_offset_) ||
-        diff > static_cast<double>(max_offset_)) {
+    if (diff < static_cast<double>(min_offset) ||
+        diff > static_cast<double>(max_offset)) {
       ++out.violations;
     }
   }
   // Verification doubles as runstats on the virtual difference column.
-  duration_histogram_ = EquiDepthHistogram::Build(std::move(diffs), 32);
+  // Build outside the lock, publish under it: planners read the histogram
+  // concurrently through DurationSelectivity.
+  EquiDepthHistogram fresh = EquiDepthHistogram::Build(std::move(diffs), 32);
+  {
+    std::unique_lock<std::shared_mutex> lk(params_mu_);
+    duration_histogram_ = std::move(fresh);
+  }
   return out;
 }
 
 std::optional<double> ColumnOffsetSc::DurationSelectivity(CompareOp op,
                                                           double c) const {
+  std::shared_lock<std::shared_mutex> lk(params_mu_);
   if (duration_histogram_.empty()) return std::nullopt;
   switch (op) {
     case CompareOp::kLe:
@@ -171,8 +193,8 @@ std::string ColumnOffsetSc::Describe() const {
   return StrFormat(
       "SC %s ON %s: col%u - col%u BETWEEN %lld AND %lld (conf %.4f, %s)",
       name_.c_str(), table_.c_str(), col_y_, col_x_,
-      static_cast<long long>(min_offset_), static_cast<long long>(max_offset_),
-      confidence_, ScStateName(state_));
+      static_cast<long long>(min_offset()),
+      static_cast<long long>(max_offset()), confidence(), ScStateName(state()));
 }
 
 }  // namespace softdb

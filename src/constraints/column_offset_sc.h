@@ -1,8 +1,11 @@
 #ifndef SOFTDB_CONSTRAINTS_COLUMN_OFFSET_SC_H_
 #define SOFTDB_CONSTRAINTS_COLUMN_OFFSET_SC_H_
 
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "constraints/soft_constraint.h"
@@ -36,8 +39,14 @@ class ColumnOffsetSc final : public SoftConstraint {
 
   ColumnIdx col_x() const { return col_x_; }
   ColumnIdx col_y() const { return col_y_; }
-  std::int64_t min_offset() const { return min_offset_; }
-  std::int64_t max_offset() const { return max_offset_; }
+  /// One consistent [min, max] snapshot — use it whenever both bounds feed
+  /// the same derivation, so a concurrent repair cannot mix old and new.
+  std::pair<std::int64_t, std::int64_t> offset_range() const {
+    std::shared_lock<std::shared_mutex> lk(params_mu_);
+    return {min_offset_, max_offset_};
+  }
+  std::int64_t min_offset() const { return offset_range().first; }
+  std::int64_t max_offset() const { return offset_range().second; }
 
   /// Derives the implied predicate(s) on the *other* column from a simple
   /// predicate on `pred.column` (which must be col_x or col_y, as indexes
@@ -52,7 +61,8 @@ class ColumnOffsetSc final : public SoftConstraint {
   /// the virtual column can be broken down"): the estimator uses it
   /// directly for predicates over the difference, such as §5's "projects
   /// completed in 5 days" (`end_date - start_date <= 5`).
-  const EquiDepthHistogram& duration_histogram() const {
+  EquiDepthHistogram duration_histogram() const {
+    std::shared_lock<std::shared_mutex> lk(params_mu_);
     return duration_histogram_;
   }
 
@@ -73,6 +83,8 @@ class ColumnOffsetSc final : public SoftConstraint {
  private:
   ColumnIdx col_x_;
   ColumnIdx col_y_;
+  // Derived parameters, guarded by params_mu_ (repair widens the offsets,
+  // Verify rebuilds the histogram, while planners read both).
   std::int64_t min_offset_;
   std::int64_t max_offset_;
   EquiDepthHistogram duration_histogram_;

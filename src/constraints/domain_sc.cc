@@ -9,8 +9,12 @@ DomainSc::Implication DomainSc::Classify(const SimplePredicate& pred) const {
     return Implication::kNone;
   }
   const double c = pred.constant.NumericValue();
-  const double lo = min_.NumericValue();
-  const double hi = max_.NumericValue();
+  double lo, hi;
+  {
+    std::shared_lock<std::shared_mutex> lk(params_mu_);
+    lo = min_.NumericValue();
+    hi = max_.NumericValue();
+  }
   switch (pred.op) {
     case CompareOp::kLe:
       if (c >= hi) return Implication::kTautology;
@@ -43,12 +47,14 @@ Result<bool> DomainSc::CheckRow(const Catalog&,
   const Value& v = row[column_];
   if (v.is_null()) return true;
   const double x = v.NumericValue();
+  std::shared_lock<std::shared_mutex> lk(params_mu_);
   return x >= min_.NumericValue() && x <= max_.NumericValue();
 }
 
 Status DomainSc::RepairForRow(const std::vector<Value>& row) {
   const Value& v = row[column_];
   if (v.is_null()) return Status::OK();
+  std::unique_lock<std::shared_mutex> lk(params_mu_);
   auto lt = v.Compare(min_);
   if (lt.ok() && *lt < 0) min_ = v;
   auto gt = v.Compare(max_);
@@ -59,20 +65,28 @@ Status DomainSc::RepairForRow(const std::vector<Value>& row) {
 Status DomainSc::RepairFull(const Catalog& catalog) {
   SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog.GetTable(table_));
   const ColumnVector& col = table->ColumnData(column_);
+  // Refit into locals, publish under the params lock: planners classify
+  // predicates against the bounds concurrently.
+  Value new_min, new_max;
   bool any = false;
   for (RowId r = 0; r < table->NumSlots(); ++r) {
     if (!table->IsLive(r) || col.IsNull(r)) continue;
     Value v = col.Get(r);
     if (!any) {
-      min_ = v;
-      max_ = v;
+      new_min = v;
+      new_max = v;
       any = true;
       continue;
     }
-    auto lt = v.Compare(min_);
-    if (lt.ok() && *lt < 0) min_ = v;
-    auto gt = v.Compare(max_);
-    if (gt.ok() && *gt > 0) max_ = v;
+    auto lt = v.Compare(new_min);
+    if (lt.ok() && *lt < 0) new_min = v;
+    auto gt = v.Compare(new_max);
+    if (gt.ok() && *gt > 0) new_max = v;
+  }
+  if (any) {
+    std::unique_lock<std::shared_mutex> lk(params_mu_);
+    min_ = std::move(new_min);
+    max_ = std::move(new_max);
   }
   return Verify(catalog).status();
 }
@@ -82,8 +96,12 @@ Result<ScVerifyOutcome> DomainSc::CountViolations(
   SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog.GetTable(table_));
   const ColumnVector& col = table->ColumnData(column_);
   ScVerifyOutcome out;
-  const double lo = min_.NumericValue();
-  const double hi = max_.NumericValue();
+  double lo, hi;
+  {
+    std::shared_lock<std::shared_mutex> lk(params_mu_);
+    lo = min_.NumericValue();
+    hi = max_.NumericValue();
+  }
   for (RowId r = 0; r < table->NumSlots(); ++r) {
     if (!table->IsLive(r)) continue;
     ++out.rows;
@@ -97,8 +115,9 @@ Result<ScVerifyOutcome> DomainSc::CountViolations(
 std::string DomainSc::Describe() const {
   return StrFormat("SC %s ON %s: col%u BETWEEN %s AND %s (conf %.4f, %s)",
                    name_.c_str(), table_.c_str(), column_,
-                   min_.ToString().c_str(), max_.ToString().c_str(),
-                   confidence_, ScStateName(state_));
+                   min_value().ToString().c_str(),
+                   max_value().ToString().c_str(), confidence(),
+                   ScStateName(state()));
 }
 
 }  // namespace softdb

@@ -1,6 +1,8 @@
 #ifndef SOFTDB_CONSTRAINTS_DOMAIN_SC_H_
 #define SOFTDB_CONSTRAINTS_DOMAIN_SC_H_
 
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -21,8 +23,14 @@ class DomainSc final : public SoftConstraint {
         column_(column), min_(std::move(min)), max_(std::move(max)) {}
 
   ColumnIdx column() const { return column_; }
-  const Value& min_value() const { return min_; }
-  const Value& max_value() const { return max_; }
+  Value min_value() const {
+    std::shared_lock<std::shared_mutex> lk(params_mu_);
+    return min_;
+  }
+  Value max_value() const {
+    std::shared_lock<std::shared_mutex> lk(params_mu_);
+    return max_;
+  }
 
   /// Classification of a simple predicate against the domain.
   enum class Implication {
@@ -44,6 +52,8 @@ class DomainSc final : public SoftConstraint {
 
  private:
   ColumnIdx column_;
+  // Derived parameters, guarded by params_mu_ (repair widens or refits the
+  // bounds while planners classify predicates against them).
   Value min_;
   Value max_;
 };

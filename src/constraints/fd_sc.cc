@@ -78,7 +78,7 @@ std::string FunctionalDependencySc::Describe() const {
   for (ColumnIdx c : dependents_) dep.push_back(StrFormat("col%u", c));
   return StrFormat("SC %s ON %s: {%s} -> {%s} (conf %.4f, %s)", name_.c_str(),
                    table_.c_str(), Join(det, ",").c_str(),
-                   Join(dep, ",").c_str(), confidence_, ScStateName(state_));
+                   Join(dep, ",").c_str(), confidence(), ScStateName(state()));
 }
 
 }  // namespace softdb

@@ -67,8 +67,8 @@ Result<ScVerifyOutcome> InclusionSc::CountViolations(
 
 std::string InclusionSc::Describe() const {
   return StrFormat("SC %s: %s ⊆ %s (conf %.4f, %s)", name_.c_str(),
-                   table_.c_str(), parent_table_.c_str(), confidence_,
-                   ScStateName(state_));
+                   table_.c_str(), parent_table_.c_str(), confidence(),
+                   ScStateName(state()));
 }
 
 }  // namespace softdb

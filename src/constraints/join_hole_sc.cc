@@ -9,6 +9,7 @@ namespace softdb {
 
 bool JoinHoleSc::CoversQuery(double a_lo, double a_hi, double b_lo,
                              double b_hi) const {
+  std::shared_lock<std::shared_mutex> lk(params_mu_);
   for (const HoleRect& h : holes_) {
     if (a_lo >= h.a_lo && a_hi <= h.a_hi && b_lo >= h.b_lo && b_hi <= h.b_hi) {
       return true;
@@ -19,6 +20,7 @@ bool JoinHoleSc::CoversQuery(double a_lo, double a_hi, double b_lo,
 
 bool JoinHoleSc::TrimARange(double* a_lo, double* a_hi, double b_lo,
                             double b_hi) const {
+  std::shared_lock<std::shared_mutex> lk(params_mu_);
   bool trimmed = false;
   bool changed = true;
   // Iterate: trimming by one hole can expose another at the new edge.
@@ -45,6 +47,7 @@ bool JoinHoleSc::TrimARange(double* a_lo, double* a_hi, double b_lo,
 
 bool JoinHoleSc::TrimBRange(double* b_lo, double* b_hi, double a_lo,
                             double a_hi) const {
+  std::shared_lock<std::shared_mutex> lk(params_mu_);
   bool trimmed = false;
   bool changed = true;
   while (changed) {
@@ -71,6 +74,7 @@ std::size_t JoinHoleSc::InvalidateHolesForLeftInsert(
   const Value& a = row[attr_a_];
   if (a.is_null()) return 0;
   const double av = a.NumericValue();
+  std::unique_lock<std::shared_mutex> lk(params_mu_);
   const std::size_t before = holes_.size();
   holes_.erase(std::remove_if(holes_.begin(), holes_.end(),
                               [av](const HoleRect& h) {
@@ -85,6 +89,7 @@ std::size_t JoinHoleSc::InvalidateHolesForRightInsert(
   const Value& b = row[attr_b_];
   if (b.is_null()) return 0;
   const double bv = b.NumericValue();
+  std::unique_lock<std::shared_mutex> lk(params_mu_);
   const std::size_t before = holes_.size();
   holes_.erase(std::remove_if(holes_.begin(), holes_.end(),
                               [bv](const HoleRect& h) {
@@ -103,8 +108,11 @@ Result<bool> JoinHoleSc::CheckRow(const Catalog& catalog,
   const Value& a = row[attr_a_];
   if (key.is_null() || a.is_null()) return true;
   const double av = a.NumericValue();
+  // Snapshot the hole list rather than holding params_mu_ across the join
+  // scan below.
+  const std::vector<HoleRect> hole_snapshot = holes();
   bool in_any_a = false;
-  for (const HoleRect& h : holes_) in_any_a = in_any_a || h.ContainsA(av);
+  for (const HoleRect& h : hole_snapshot) in_any_a = in_any_a || h.ContainsA(av);
   if (!in_any_a) return true;
 
   SOFTDB_ASSIGN_OR_RETURN(Table * right, catalog.GetTable(right_table_));
@@ -114,7 +122,7 @@ Result<bool> JoinHoleSc::CheckRow(const Catalog& catalog,
     if (!right->IsLive(r) || jr.IsNull(r) || bs.IsNull(r)) continue;
     if (!jr.Get(r).GroupEquals(key)) continue;
     const double bv = bs.GetNumeric(r);
-    for (const HoleRect& h : holes_) {
+    for (const HoleRect& h : hole_snapshot) {
       if (h.ContainsA(av) && h.ContainsB(bv)) return false;
     }
   }
@@ -125,6 +133,7 @@ Result<ScVerifyOutcome> JoinHoleSc::CountViolations(
     const Catalog& catalog) {
   SOFTDB_ASSIGN_OR_RETURN(Table * left, catalog.GetTable(table_));
   SOFTDB_ASSIGN_OR_RETURN(Table * right, catalog.GetTable(right_table_));
+  const std::vector<HoleRect> hole_snapshot = holes();
 
   // Hash join, linear in |left| + |right| + |join| as in [8].
   std::unordered_multimap<std::string, double> right_index;
@@ -145,7 +154,7 @@ Result<ScVerifyOutcome> JoinHoleSc::CountViolations(
     for (auto it = lo; it != hi; ++it) {
       ++out.rows;
       const double bv = it->second;
-      for (const HoleRect& h : holes_) {
+      for (const HoleRect& h : hole_snapshot) {
         if (h.ContainsA(av) && h.ContainsB(bv)) {
           ++out.violations;
           break;
@@ -160,9 +169,9 @@ std::string JoinHoleSc::Describe() const {
   return StrFormat(
       "SC %s: %zu holes over %s(col%u) JOIN %s(col%u) on (col%u, col%u) "
       "(conf %.4f, %s)",
-      name_.c_str(), holes_.size(), table_.c_str(), left_join_col_,
-      right_table_.c_str(), right_join_col_, attr_a_, attr_b_, confidence_,
-      ScStateName(state_));
+      name_.c_str(), holes().size(), table_.c_str(), left_join_col_,
+      right_table_.c_str(), right_join_col_, attr_a_, attr_b_, confidence(),
+      ScStateName(state()));
 }
 
 }  // namespace softdb

@@ -1,6 +1,8 @@
 #ifndef SOFTDB_CONSTRAINTS_JOIN_HOLE_SC_H_
 #define SOFTDB_CONSTRAINTS_JOIN_HOLE_SC_H_
 
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -44,7 +46,10 @@ class JoinHoleSc final : public SoftConstraint {
   ColumnIdx right_join_col() const { return right_join_col_; }
   ColumnIdx attr_a() const { return attr_a_; }
   ColumnIdx attr_b() const { return attr_b_; }
-  const std::vector<HoleRect>& holes() const { return holes_; }
+  std::vector<HoleRect> holes() const {
+    std::shared_lock<std::shared_mutex> lk(params_mu_);
+    return holes_;
+  }
 
   /// True when the query rectangle [a_lo,a_hi]x[b_lo,b_hi] lies entirely
   /// inside some hole — the join result is provably empty.
@@ -80,6 +85,8 @@ class JoinHoleSc final : public SoftConstraint {
   std::string right_table_;
   ColumnIdx right_join_col_;
   ColumnIdx attr_b_;
+  // Derived parameter, guarded by params_mu_ (inserts conservatively drop
+  // holes while planners trim ranges against them).
   std::vector<HoleRect> holes_;
 };
 

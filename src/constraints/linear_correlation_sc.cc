@@ -9,10 +9,11 @@ namespace softdb {
 
 std::pair<double, double> LinearCorrelationSc::ARangeForB(double b_lo,
                                                           double b_hi) const {
-  double lo = k_ * b_lo + c_;
-  double hi = k_ * b_hi + c_;
+  const Band band = this->band();
+  double lo = band.k * b_lo + band.c;
+  double hi = band.k * b_hi + band.c;
   if (lo > hi) std::swap(lo, hi);
-  return {lo - epsilon_, hi + epsilon_};
+  return {lo - band.epsilon, hi + band.epsilon};
 }
 
 Result<bool> LinearCorrelationSc::CheckRow(
@@ -20,8 +21,9 @@ Result<bool> LinearCorrelationSc::CheckRow(
   const Value& a = row[col_a_];
   const Value& b = row[col_b_];
   if (a.is_null() || b.is_null()) return true;  // NULLs vacuously comply.
-  const double expected = k_ * b.NumericValue() + c_;
-  return std::abs(a.NumericValue() - expected) <= epsilon_;
+  const Band band = this->band();
+  const double expected = band.k * b.NumericValue() + band.c;
+  return std::abs(a.NumericValue() - expected) <= band.epsilon;
 }
 
 Status LinearCorrelationSc::RepairForRow(const std::vector<Value>& row) {
@@ -31,6 +33,7 @@ Status LinearCorrelationSc::RepairForRow(const std::vector<Value>& row) {
   const Value& a = row[col_a_];
   const Value& b = row[col_b_];
   if (a.is_null() || b.is_null()) return Status::OK();
+  std::unique_lock<std::shared_mutex> lk(params_mu_);
   const double deviation =
       std::abs(a.NumericValue() - (k_ * b.NumericValue() + c_));
   if (deviation > epsilon_) epsilon_ = deviation;
@@ -54,20 +57,29 @@ Status LinearCorrelationSc::RepairFull(const Catalog& catalog) {
     sum_ab += a * b;
     ++n;
   }
+  // Refit into locals, publish under the params lock: planners read the
+  // envelope concurrently.
+  Band fit = band();
   if (n >= 2) {
     const double denom = static_cast<double>(n) * sum_bb - sum_b * sum_b;
     if (std::abs(denom) > 1e-12) {
-      k_ = (static_cast<double>(n) * sum_ab - sum_b * sum_a) / denom;
-      c_ = (sum_a - k_ * sum_b) / static_cast<double>(n);
+      fit.k = (static_cast<double>(n) * sum_ab - sum_b * sum_a) / denom;
+      fit.c = (sum_a - fit.k * sum_b) / static_cast<double>(n);
     }
   }
   double max_dev = 0.0;
   for (RowId r = 0; r < table->NumSlots(); ++r) {
     if (!table->IsLive(r) || as.IsNull(r) || bs.IsNull(r)) continue;
     max_dev = std::max(max_dev, std::abs(as.GetNumeric(r) -
-                                         (k_ * bs.GetNumeric(r) + c_)));
+                                         (fit.k * bs.GetNumeric(r) + fit.c)));
   }
-  epsilon_ = max_dev;
+  fit.epsilon = max_dev;
+  {
+    std::unique_lock<std::shared_mutex> lk(params_mu_);
+    k_ = fit.k;
+    c_ = fit.c;
+    epsilon_ = fit.epsilon;
+  }
   return Verify(catalog).status();
 }
 
@@ -77,23 +89,26 @@ Result<ScVerifyOutcome> LinearCorrelationSc::CountViolations(
   const ColumnVector& as = table->ColumnData(col_a_);
   const ColumnVector& bs = table->ColumnData(col_b_);
   ScVerifyOutcome out;
+  const Band band = this->band();
   for (RowId r = 0; r < table->NumSlots(); ++r) {
     if (!table->IsLive(r)) continue;
     ++out.rows;
     if (as.IsNull(r) || bs.IsNull(r)) continue;
     const double dev =
-        std::abs(as.GetNumeric(r) - (k_ * bs.GetNumeric(r) + c_));
-    if (dev > epsilon_) ++out.violations;
+        std::abs(as.GetNumeric(r) - (band.k * bs.GetNumeric(r) + band.c));
+    if (dev > band.epsilon) ++out.violations;
   }
   return out;
 }
 
 std::string LinearCorrelationSc::Describe() const {
+  const Band band = this->band();
   return StrFormat(
       "SC %s ON %s: col%u BETWEEN %.6g*col%u %+.6g - %.6g AND %.6g*col%u "
       "%+.6g + %.6g (conf %.4f, %s)",
-      name_.c_str(), table_.c_str(), col_a_, k_, col_b_, c_, epsilon_, k_,
-      col_b_, c_, epsilon_, confidence_, ScStateName(state_));
+      name_.c_str(), table_.c_str(), col_a_, band.k, col_b_, band.c,
+      band.epsilon, band.k, col_b_, band.c, band.epsilon, confidence(),
+      ScStateName(state()));
 }
 
 }  // namespace softdb

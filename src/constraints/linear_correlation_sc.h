@@ -1,6 +1,8 @@
 #ifndef SOFTDB_CONSTRAINTS_LINEAR_CORRELATION_SC_H_
 #define SOFTDB_CONSTRAINTS_LINEAR_CORRELATION_SC_H_
 
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,9 +26,22 @@ class LinearCorrelationSc final : public SoftConstraint {
 
   ColumnIdx col_a() const { return col_a_; }
   ColumnIdx col_b() const { return col_b_; }
-  double k() const { return k_; }
-  double c() const { return c_; }
-  double epsilon() const { return epsilon_; }
+
+  /// Envelope parameters. `band()` returns one consistent snapshot — use it
+  /// whenever more than one of k, c, epsilon feeds the same derivation, so
+  /// a concurrent refit cannot mix old and new coefficients.
+  struct Band {
+    double k = 0.0;
+    double c = 0.0;
+    double epsilon = 0.0;
+  };
+  Band band() const {
+    std::shared_lock<std::shared_mutex> lk(params_mu_);
+    return {k_, c_, epsilon_};
+  }
+  double k() const { return band().k; }
+  double c() const { return band().c; }
+  double epsilon() const { return band().epsilon; }
 
   /// Image of a B-range through the envelope: the A-range that contains
   /// every compliant row whose B lies in [b_lo, b_hi]. Handles negative k.
@@ -45,6 +60,8 @@ class LinearCorrelationSc final : public SoftConstraint {
  private:
   ColumnIdx col_a_;
   ColumnIdx col_b_;
+  // Derived parameters, guarded by params_mu_ (repair refits the envelope
+  // while planners derive introduced predicates from it).
   double k_;
   double c_;
   double epsilon_;

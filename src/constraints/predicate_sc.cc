@@ -26,8 +26,8 @@ Result<ScVerifyOutcome> PredicateSc::CountViolations(
 
 std::string PredicateSc::Describe() const {
   return StrFormat("SC %s ON %s: CHECK (%s) (conf %.4f, %s)", name_.c_str(),
-                   table_.c_str(), expr_->ToString().c_str(), confidence_,
-                   ScStateName(state_));
+                   table_.c_str(), expr_->ToString().c_str(), confidence(),
+                   ScStateName(state()));
 }
 
 }  // namespace softdb

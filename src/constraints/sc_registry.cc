@@ -1,6 +1,7 @@
 #include "constraints/sc_registry.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace softdb {
 
@@ -9,35 +10,62 @@ Status ScRegistry::Add(ScPtr sc, const Catalog& catalog, bool verify_now) {
     return Status::AlreadyExists("soft constraint exists: " + sc->name());
   }
   if (verify_now) {
+    // Verification reads the catalog; keep it outside the list lock.
     SOFTDB_RETURN_IF_ERROR(sc->Verify(catalog).status());
   }
-  constraints_.push_back(std::move(sc));
+  std::unique_lock<std::shared_mutex> lk(list_mu_);
+  if (FindLocked(sc->name()) != nullptr) {  // Lost a concurrent-Add race.
+    return Status::AlreadyExists("soft constraint exists: " + sc->name());
+  }
+  constraints_.push_back(ScSharedPtr(std::move(sc)));
   return Status::OK();
 }
 
-SoftConstraint* ScRegistry::Find(const std::string& name) const {
-  for (const ScPtr& sc : constraints_) {
+SoftConstraint* ScRegistry::FindLocked(const std::string& name) const {
+  for (const ScSharedPtr& sc : constraints_) {
     if (sc->name() == name) return sc.get();
   }
   return nullptr;
 }
 
+SoftConstraint* ScRegistry::Find(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lk(list_mu_);
+  return FindLocked(name);
+}
+
 Status ScRegistry::Drop(const std::string& name) {
-  for (auto it = constraints_.begin(); it != constraints_.end(); ++it) {
-    if ((*it)->name() == name) {
-      (*it)->set_state(ScState::kDropped);
-      FireViolation(**it);
-      constraints_.erase(it);
-      ++stats_.drops;
-      return Status::OK();
+  ScSharedPtr dropped;
+  {
+    std::unique_lock<std::shared_mutex> lk(list_mu_);
+    for (auto it = constraints_.begin(); it != constraints_.end(); ++it) {
+      if ((*it)->name() == name) {
+        dropped = *it;
+        constraints_.erase(it);
+        // The graveyard keeps the object alive: sessions may still hold
+        // raw pointers from Find/On/All.
+        graveyard_.push_back(dropped);
+        break;
+      }
     }
   }
-  return Status::NotFound("no such soft constraint: " + name);
+  if (dropped == nullptr) {
+    return Status::NotFound("no such soft constraint: " + name);
+  }
+  dropped->set_state(ScState::kDropped);
+  stats_.drops.fetch_add(1, std::memory_order_relaxed);
+  FireViolation(*dropped);  // Without the list lock (listener locks).
+  return Status::OK();
+}
+
+std::vector<ScRegistry::ScSharedPtr> ScRegistry::Snapshot() const {
+  std::shared_lock<std::shared_mutex> lk(list_mu_);
+  return constraints_;
 }
 
 std::vector<SoftConstraint*> ScRegistry::On(const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lk(list_mu_);
   std::vector<SoftConstraint*> out;
-  for (const ScPtr& sc : constraints_) {
+  for (const ScSharedPtr& sc : constraints_) {
     if (sc->table() == table) {
       out.push_back(sc.get());
       continue;
@@ -50,25 +78,37 @@ std::vector<SoftConstraint*> ScRegistry::On(const std::string& table) const {
 }
 
 std::vector<SoftConstraint*> ScRegistry::ByKind(ScKind kind) const {
+  std::shared_lock<std::shared_mutex> lk(list_mu_);
   std::vector<SoftConstraint*> out;
-  for (const ScPtr& sc : constraints_) {
+  for (const ScSharedPtr& sc : constraints_) {
     if (sc->kind() == kind) out.push_back(sc.get());
   }
   return out;
 }
 
 std::vector<SoftConstraint*> ScRegistry::All() const {
+  std::shared_lock<std::shared_mutex> lk(list_mu_);
   std::vector<SoftConstraint*> out;
   out.reserve(constraints_.size());
-  for (const ScPtr& sc : constraints_) out.push_back(sc.get());
+  for (const ScSharedPtr& sc : constraints_) out.push_back(sc.get());
   return out;
+}
+
+std::size_t ScRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lk(list_mu_);
+  return constraints_.size();
 }
 
 Status ScRegistry::OnInsert(const Catalog& catalog, const std::string& table,
                             const std::vector<Value>& row,
                             const std::set<std::string>* scope) {
-  for (const ScPtr& sc_ptr : constraints_) {
+  // Iterate a snapshot: row checks read the catalog and the listener
+  // takes the plan-cache mutex, neither under the registry's list lock.
+  for (const ScSharedPtr& sc_ptr : Snapshot()) {
     SoftConstraint* sc = sc_ptr.get();
+    // Serialize maintenance per SC; queries never take this lock — they
+    // read the atomic lifecycle fields.
+    std::lock_guard<std::mutex> sc_lk(sc->maintenance_mu());
     if (!sc->active()) continue;
 
     auto* hole = dynamic_cast<JoinHoleSc*>(sc);
@@ -84,7 +124,7 @@ Status ScRegistry::OnInsert(const Catalog& catalog, const std::string& table,
     // SCs outside `scope`, so their checks (and conservative hole
     // invalidation) are safely skipped.
     if (scope != nullptr && scope->count(sc->name()) == 0) {
-      ++stats_.scoped_skips;
+      stats_.scoped_skips.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
 
@@ -98,8 +138,11 @@ Status ScRegistry::OnInsert(const Catalog& catalog, const std::string& table,
         const std::size_t dropped =
             is_left ? hole->InvalidateHolesForLeftInsert(row)
                     : hole->InvalidateHolesForRightInsert(row);
-        stats_.holes_invalidated += dropped;
-        if (dropped > 0) ++stats_.sync_repairs;
+        stats_.holes_invalidated.fetch_add(dropped,
+                                           std::memory_order_relaxed);
+        if (dropped > 0) {
+          stats_.sync_repairs.fetch_add(1, std::memory_order_relaxed);
+        }
         continue;
       }
       if (is_right) {
@@ -107,43 +150,47 @@ Status ScRegistry::OnInsert(const Catalog& catalog, const std::string& table,
         // treat as a left check would by re-verifying lazily via queue.
         if (sc->policy() == ScMaintenancePolicy::kAsyncRepair) {
           const std::size_t dropped = hole->InvalidateHolesForRightInsert(row);
-          stats_.holes_invalidated += dropped;
+          stats_.holes_invalidated.fetch_add(dropped,
+                                             std::memory_order_relaxed);
           continue;
         }
       }
       if (is_left) {
-        ++stats_.row_checks;
+        stats_.row_checks.fetch_add(1, std::memory_order_relaxed);
         SOFTDB_ASSIGN_OR_RETURN(complies, sc->CheckRow(catalog, row));
       }
     } else {
-      ++stats_.row_checks;
+      stats_.row_checks.fetch_add(1, std::memory_order_relaxed);
       SOFTDB_ASSIGN_OR_RETURN(complies, sc->CheckRow(catalog, row));
     }
     if (complies) continue;
 
-    ++stats_.violations;
+    stats_.violations.fetch_add(1, std::memory_order_relaxed);
     switch (sc->policy()) {
       case ScMaintenancePolicy::kDropOnViolation:
         sc->set_state(ScState::kViolated);
-        ++stats_.drops;
+        stats_.drops.fetch_add(1, std::memory_order_relaxed);
         FireViolation(*sc);
         break;
       case ScMaintenancePolicy::kSyncRepair: {
         Status st = sc->RepairForRow(row);
         if (st.ok()) {
-          ++stats_.sync_repairs;
+          stats_.sync_repairs.fetch_add(1, std::memory_order_relaxed);
         } else {
           // No sync repair available: fall back to drop.
           sc->set_state(ScState::kViolated);
-          ++stats_.drops;
+          stats_.drops.fetch_add(1, std::memory_order_relaxed);
           FireViolation(*sc);
         }
         break;
       }
       case ScMaintenancePolicy::kAsyncRepair:
         sc->set_state(ScState::kRepairQueued);
-        repair_queue_.push_back(sc->name());
-        ++stats_.async_enqueued;
+        {
+          std::lock_guard<std::mutex> lk(aux_mu_);
+          repair_queue_.push_back(sc->name());
+        }
+        stats_.async_enqueued.fetch_add(1, std::memory_order_relaxed);
         FireViolation(*sc);  // Plans lose the SC until repair completes.
         break;
       case ScMaintenancePolicy::kTolerate: {
@@ -160,20 +207,33 @@ Status ScRegistry::OnInsert(const Catalog& catalog, const std::string& table,
 }
 
 Status ScRegistry::RunRepairQueue(const Catalog& catalog) {
-  while (!repair_queue_.empty()) {
-    const std::string name = repair_queue_.front();
-    repair_queue_.pop_front();
+  while (true) {
+    std::string name;
+    {
+      std::lock_guard<std::mutex> lk(aux_mu_);
+      if (repair_queue_.empty()) break;
+      name = repair_queue_.front();
+      repair_queue_.pop_front();
+    }
     SoftConstraint* sc = Find(name);
-    if (sc == nullptr || sc->state() != ScState::kRepairQueued) continue;
+    if (sc == nullptr) continue;
+    std::lock_guard<std::mutex> sc_lk(sc->maintenance_mu());
+    if (sc->state() != ScState::kRepairQueued) continue;
     SOFTDB_RETURN_IF_ERROR(sc->RepairFull(catalog));
     sc->set_state(ScState::kActive);
-    ++stats_.async_repairs;
+    stats_.async_repairs.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
 }
 
+std::size_t ScRegistry::repair_queue_size() const {
+  std::lock_guard<std::mutex> lk(aux_mu_);
+  return repair_queue_.size();
+}
+
 Status ScRegistry::VerifyAll(const Catalog& catalog) {
-  for (const ScPtr& sc : constraints_) {
+  for (const ScSharedPtr& sc : Snapshot()) {
+    std::lock_guard<std::mutex> sc_lk(sc->maintenance_mu());
     if (sc->state() == ScState::kDropped) continue;
     SOFTDB_RETURN_IF_ERROR(sc->Verify(catalog).status());
   }
@@ -181,16 +241,19 @@ Status ScRegistry::VerifyAll(const Catalog& catalog) {
 }
 
 void ScRegistry::RecordUse(const std::string& name, double benefit) {
+  std::lock_guard<std::mutex> lk(aux_mu_);
   ++use_counts_[name];
   benefits_[name] += benefit;
 }
 
 std::uint64_t ScRegistry::UseCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(aux_mu_);
   auto it = use_counts_.find(name);
   return it == use_counts_.end() ? 0 : it->second;
 }
 
 double ScRegistry::TotalBenefit(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(aux_mu_);
   auto it = benefits_.find(name);
   return it == benefits_.end() ? 0.0 : it->second;
 }

@@ -1,11 +1,14 @@
 #ifndef SOFTDB_CONSTRAINTS_SC_REGISTRY_H_
 #define SOFTDB_CONSTRAINTS_SC_REGISTRY_H_
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -14,22 +17,42 @@
 
 namespace softdb {
 
-/// Counters for the maintenance experiments (E7).
+/// Counters for the maintenance experiments (E7). Atomic: maintenance and
+/// concurrent readers (stats assertions, benches) may overlap.
 struct ScMaintenanceStats {
-  std::uint64_t row_checks = 0;       // Synchronous row compliance checks.
-  std::uint64_t violations = 0;       // Violating inserts observed.
-  std::uint64_t sync_repairs = 0;     // In-line repairs performed.
-  std::uint64_t async_enqueued = 0;   // SCs queued for exact repair.
-  std::uint64_t async_repairs = 0;    // Exact repairs completed.
-  std::uint64_t drops = 0;            // SCs overturned.
-  std::uint64_t holes_invalidated = 0;  // Join holes conservatively dropped.
-  std::uint64_t scoped_skips = 0;     // Checks skipped via impact scoping.
+  std::atomic<std::uint64_t> row_checks{0};     // Sync row compliance checks.
+  std::atomic<std::uint64_t> violations{0};     // Violating inserts observed.
+  std::atomic<std::uint64_t> sync_repairs{0};   // In-line repairs performed.
+  std::atomic<std::uint64_t> async_enqueued{0};  // SCs queued for repair.
+  std::atomic<std::uint64_t> async_repairs{0};  // Exact repairs completed.
+  std::atomic<std::uint64_t> drops{0};          // SCs overturned.
+  std::atomic<std::uint64_t> holes_invalidated{0};  // Holes dropped.
+  std::atomic<std::uint64_t> scoped_skips{0};   // Skipped via impact scoping.
+
+  void Reset() {
+    row_checks = 0;
+    violations = 0;
+    sync_repairs = 0;
+    async_enqueued = 0;
+    async_repairs = 0;
+    drops = 0;
+    holes_invalidated = 0;
+    scoped_skips = 0;
+  }
 };
 
 /// Registry and maintenance engine for soft constraints — the "SC facility"
 /// of §3.2 (discovery results are Add()ed, selection consults the use/
 /// benefit accounting, maintenance runs through OnInsert + the repair
 /// queue).
+///
+/// Thread-safe (DESIGN.md §8): the constraint list is guarded by a shared
+/// mutex (queries snapshot it shared; Add/Drop take it exclusive), per-SC
+/// lifecycle fields are atomics with a per-SC maintenance mutex
+/// serializing concurrent maintenance of one SC, and dropped SCs move to
+/// a graveyard so raw SoftConstraint pointers handed to sessions stay
+/// valid for the registry's lifetime. The violation listener is invoked
+/// without registry locks held (it takes the plan-cache mutex).
 class ScRegistry {
  public:
   /// Fired when an SC leaves the active state (violation or drop); the plan
@@ -73,7 +96,7 @@ class ScRegistry {
   /// Drains the async repair queue (exact re-mining / re-verification) —
   /// the off-line step §4.3 schedules for light-load periods.
   Status RunRepairQueue(const Catalog& catalog);
-  std::size_t repair_queue_size() const { return repair_queue_.size(); }
+  std::size_t repair_queue_size() const;
 
   /// Re-verifies every SC (periodic runstats-style refresh, §3).
   Status VerifyAll(const Catalog& catalog);
@@ -86,19 +109,30 @@ class ScRegistry {
   double TotalBenefit(const std::string& name) const;
 
   const ScMaintenanceStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ScMaintenanceStats{}; }
+  void ResetStats() { stats_.Reset(); }
 
-  std::size_t size() const { return constraints_.size(); }
+  std::size_t size() const;
 
  private:
+  using ScSharedPtr = std::shared_ptr<SoftConstraint>;
+
   void FireViolation(const SoftConstraint& sc) {
     if (listener_) listener_(sc);
   }
+  /// Snapshot of the live constraint list; callers iterate without the
+  /// list lock so row checks and listener callbacks never hold it.
+  std::vector<ScSharedPtr> Snapshot() const;
+  SoftConstraint* FindLocked(const std::string& name) const;
 
-  std::vector<ScPtr> constraints_;
+  mutable std::shared_mutex list_mu_;  // Guards constraints_ + graveyard_.
+  std::vector<ScSharedPtr> constraints_;
+  std::vector<ScSharedPtr> graveyard_;  // Dropped; keeps pointers valid.
+
+  mutable std::mutex aux_mu_;  // Guards queue + use/benefit accounting.
   std::deque<std::string> repair_queue_;
   std::map<std::string, std::uint64_t> use_counts_;
   std::map<std::string, double> benefits_;
+
   ViolationListener listener_;
   ScMaintenanceStats stats_;
 };

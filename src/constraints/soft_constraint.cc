@@ -43,16 +43,16 @@ Result<ScVerifyOutcome> SoftConstraint::Verify(const Catalog& catalog) {
           ? 1.0
           : static_cast<double>(outcome.rows - outcome.violations) /
                 static_cast<double>(outcome.rows);
-  confidence_ = outcome.confidence;
+  set_confidence(outcome.confidence);
   auto table = catalog.GetTable(table_);
   if (table.ok()) {
-    verified_version_ = (*table)->version();
-    verified_rows_ = (*table)->NumRows();
+    verified_version_.store((*table)->version(), std::memory_order_release);
+    verified_rows_.store((*table)->NumRows(), std::memory_order_release);
   }
-  if (state_ == ScState::kViolated || state_ == ScState::kRepairQueued) {
+  if (state() == ScState::kViolated || state() == ScState::kRepairQueued) {
     // A verification pass re-baselines the SC; it becomes usable again
     // (possibly with confidence < 1, i.e. as an SSC only).
-    state_ = ScState::kActive;
+    set_state(ScState::kActive);
   }
   return outcome;
 }

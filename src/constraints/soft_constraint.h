@@ -1,8 +1,11 @@
 #ifndef SOFTDB_CONSTRAINTS_SOFT_CONSTRAINT_H_
 #define SOFTDB_CONSTRAINTS_SOFT_CONSTRAINT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -65,6 +68,14 @@ struct ScVerifyOutcome {
 /// constraint (ASC) and is eligible for semantics-preserving rewrite.
 /// Currency (§3.3) is tracked as mutations to the base table since the last
 /// verification, giving a bound on how far confidence may have decayed.
+///
+/// Lifecycle fields (state, confidence, policy, currency baseline) are
+/// atomics: concurrent queries read them lock-free while maintenance
+/// mutates them under `maintenance_mu()`, which serializes maintenance of
+/// one SC without blocking readers. A query may observe the SC mid-demotion
+/// (e.g. state already kViolated, confidence not yet decayed) — every such
+/// interleaving is a state the SC legitimately passes through, and the
+/// plan-cache backup flip keeps answers correct regardless (DESIGN.md §8).
 class SoftConstraint {
  public:
   SoftConstraint(std::string name, ScKind kind, std::string table)
@@ -76,27 +87,39 @@ class SoftConstraint {
   /// Primary table (join holes also have a second; see subclass).
   const std::string& table() const { return table_; }
 
-  ScState state() const { return state_; }
-  void set_state(ScState s) { state_ = s; }
-  bool active() const { return state_ == ScState::kActive; }
+  ScState state() const { return state_.load(std::memory_order_acquire); }
+  void set_state(ScState s) { state_.store(s, std::memory_order_release); }
+  bool active() const { return state() == ScState::kActive; }
 
   /// Confidence as of the last verification.
-  double confidence() const { return confidence_; }
-  void set_confidence(double c) { confidence_ = c; }
+  double confidence() const {
+    return confidence_.load(std::memory_order_acquire);
+  }
+  void set_confidence(double c) {
+    confidence_.store(c, std::memory_order_release);
+  }
 
-  ScMaintenancePolicy policy() const { return policy_; }
-  void set_policy(ScMaintenancePolicy p) { policy_ = p; }
+  ScMaintenancePolicy policy() const {
+    return policy_.load(std::memory_order_acquire);
+  }
+  void set_policy(ScMaintenancePolicy p) {
+    policy_.store(p, std::memory_order_release);
+  }
 
   /// Absolute (usable in rewrite): active and violation-free as verified.
   bool IsAbsolute() const {
-    return state_ == ScState::kActive && confidence_ >= 1.0;
+    return state() == ScState::kActive && confidence() >= 1.0;
   }
+
+  /// Serializes maintenance (OnInsert policy work, repair, re-verify) of
+  /// this SC. Queries never take it — they read the atomic fields above.
+  std::mutex& maintenance_mu() const { return maintenance_mu_; }
 
   /// §3.3 currency: upper bound on confidence decay given `mutations`
   /// table changes since verification over `rows` rows. E.g. 1M rows and
   /// 30k updates bound the error at 3%.
   double CurrencyMargin(const Table& table) const {
-    const std::uint64_t mutations = table.MutationsSince(verified_version_);
+    const std::uint64_t mutations = table.MutationsSince(verified_version());
     const std::uint64_t rows = table.NumRows();
     if (rows == 0) return 1.0;
     const double margin =
@@ -106,12 +129,16 @@ class SoftConstraint {
 
   /// Confidence lower bound after accounting for staleness.
   double CurrencyAdjustedConfidence(const Table& table) const {
-    const double adjusted = confidence_ - CurrencyMargin(table);
+    const double adjusted = confidence() - CurrencyMargin(table);
     return adjusted < 0.0 ? 0.0 : adjusted;
   }
 
-  std::uint64_t verified_version() const { return verified_version_; }
-  std::uint64_t verified_rows() const { return verified_rows_; }
+  std::uint64_t verified_version() const {
+    return verified_version_.load(std::memory_order_acquire);
+  }
+  std::uint64_t verified_rows() const {
+    return verified_rows_.load(std::memory_order_acquire);
+  }
 
   /// Full verification against the current database: recounts violations,
   /// updates confidence and the currency baseline.
@@ -156,11 +183,21 @@ class SoftConstraint {
   std::string name_;
   ScKind kind_;
   std::string table_;
-  ScState state_ = ScState::kActive;
-  double confidence_ = 1.0;
-  ScMaintenancePolicy policy_ = ScMaintenancePolicy::kDropOnViolation;
-  std::uint64_t verified_version_ = 0;
-  std::uint64_t verified_rows_ = 0;
+  std::atomic<ScState> state_{ScState::kActive};
+  std::atomic<double> confidence_{1.0};
+  std::atomic<ScMaintenancePolicy> policy_{
+      ScMaintenancePolicy::kDropOnViolation};
+  std::atomic<std::uint64_t> verified_version_{0};
+  std::atomic<std::uint64_t> verified_rows_{0};
+  mutable std::mutex maintenance_mu_;
+  /// Guards subclass *derived parameters* — offset bounds, domain min/max,
+  /// hole lists, regression coefficients, duration histograms — which
+  /// maintenance (repair, re-verify) rewrites in place while concurrent
+  /// planners read them. Readers take it shared at each read site; repair
+  /// and verify take it exclusive only around the actual mutation, so the
+  /// lock is never held across table scans. Always leaf-level: no other
+  /// lock is acquired while holding it.
+  mutable std::shared_mutex params_mu_;
 };
 
 using ScPtr = std::unique_ptr<SoftConstraint>;

@@ -5,6 +5,7 @@
 #include "analysis/impact.h"
 #include "analysis/plan_verifier.h"
 #include "common/str_util.h"
+#include "exec/scheduler.h"
 #include "constraints/column_offset_sc.h"
 #include "constraints/predicate_sc.h"
 #include "optimizer/planner.h"
@@ -21,6 +22,8 @@ SoftDb::SoftDb(EngineOptions options) : options_(options) {
     plan_cache_.OnScViolated(sc.name());
   });
 }
+
+SoftDb::~SoftDb() = default;
 
 OptimizerContext SoftDb::MakeContext() {
   OptimizerContext ctx;
@@ -45,7 +48,19 @@ OptimizerContext SoftDb::MakeContext() {
       options_.enable_runtime_parameterization;
   ctx.use_vectorized = options_.use_vectorized;
   ctx.verify_plans = options_.verify_plans;
+  ctx.num_threads = options_.num_threads;
+  ctx.parallel_morsel_rows = options_.parallel_morsel_rows;
   return ctx;
+}
+
+TaskScheduler* SoftDb::scheduler() {
+  std::lock_guard<std::mutex> lk(scheduler_mu_);
+  if (options_.num_threads <= 1) return nullptr;
+  if (scheduler_ == nullptr ||
+      scheduler_->num_threads() != options_.num_threads) {
+    scheduler_ = std::make_unique<TaskScheduler>(options_.num_threads);
+  }
+  return scheduler_.get();
 }
 
 CardinalityEstimator SoftDb::MakeEstimator() const {
@@ -109,13 +124,12 @@ Result<MaterializedView*> SoftDb::CreateExceptionAst(
         ArithOp::kSub, col(offset->col_y()), col(offset->col_x()));
     SOFTDB_RETURN_IF_ERROR(diff_lo->Bind(schema));
     auto diff_hi = diff_lo->Clone();
+    const auto [min_offset, max_offset] = offset->offset_range();
     std::vector<ExprPtr> branches;
     branches.push_back(MakeCompare(CompareOp::kLt, std::move(diff_lo),
-                                   MakeLiteral(Value::Int64(
-                                       offset->min_offset()))));
+                                   MakeLiteral(Value::Int64(min_offset))));
     branches.push_back(MakeCompare(CompareOp::kGt, std::move(diff_hi),
-                                   MakeLiteral(Value::Int64(
-                                       offset->max_offset()))));
+                                   MakeLiteral(Value::Int64(max_offset))));
     violation = MakeOr(std::move(branches));
     SOFTDB_RETURN_IF_ERROR(violation->Bind(schema));
   } else if (auto* pred = dynamic_cast<PredicateSc*>(sc)) {
@@ -165,6 +179,7 @@ Result<QueryResult> SoftDb::RunPlan(const PlanNode& plan, QueryResult result) {
   result.plan_text = plan.ToString();
   SOFTDB_ASSIGN_OR_RETURN(OperatorPtr root, planner.Plan(plan));
   ExecContext exec_ctx;
+  exec_ctx.scheduler = scheduler();
   SOFTDB_ASSIGN_OR_RETURN(result.rows, ExecuteToCompletion(root.get(),
                                                            &exec_ctx));
   result.exec_stats = exec_ctx.stats;
@@ -175,7 +190,9 @@ Result<QueryResult> SoftDb::ExecuteSelect(const std::string& sql,
                                           const SelectStmt& stmt,
                                           bool explain_only) {
   if (options_.use_plan_cache && !explain_only) {
-    if (CachedPlan* cached = plan_cache_.Get(sql)) {
+    // Get hands back a shared_ptr: a concurrent DROP TABLE may evict the
+    // entry mid-execution, and the reference keeps the plan alive.
+    if (std::shared_ptr<CachedPlan> cached = plan_cache_.Get(sql)) {
       ++cached->executions;
       QueryResult result;
       result.from_plan_cache = true;

@@ -1,7 +1,10 @@
 #ifndef SOFTDB_ENGINE_SOFTDB_H_
 #define SOFTDB_ENGINE_SOFTDB_H_
 
+#include <atomic>
+#include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,16 +51,27 @@ struct EngineOptions {
   /// Run PlanVerifier after every bind/rewrite/planning phase. Debug
   /// builds verify regardless of this flag (see ShouldVerifyPlans).
   bool verify_plans = true;
+  /// Morsel-driven parallel execution (DESIGN.md §8): with more than one
+  /// thread, parallel-safe vectorized subtrees run on a work-stealing
+  /// worker pool, with results merged in morsel order so output and
+  /// ExecStats stay bit-identical to serial execution. 1 = serial.
+  /// Must not change while queries are in flight.
+  std::size_t num_threads = 1;
+  /// Slot-range size of one parallel scan morsel. Tests shrink this to
+  /// exercise many-morsel schedules on small tables.
+  std::size_t parallel_morsel_rows = 4096;
 };
 
 /// Aggregate counters for the static DML impact analyzer (E7 companion to
 /// ScMaintenanceStats: maintenance proportional to impact, not catalog
 /// size).
+/// Counters are atomic: concurrent sessions' DML statements aggregate
+/// into one instance (plain ints raced; see DESIGN.md §8).
 struct ImpactAnalysisStats {
-  std::uint64_t statements = 0;      // DML statements analyzed.
-  std::uint64_t narrowed = 0;        // Impact set < full catalog.
-  std::uint64_t candidate_scs = 0;   // Sum of catalog sizes seen.
-  std::uint64_t impacted_scs = 0;    // Sum of impact-set sizes.
+  std::atomic<std::uint64_t> statements{0};     // DML statements analyzed.
+  std::atomic<std::uint64_t> narrowed{0};       // Impact set < full catalog.
+  std::atomic<std::uint64_t> candidate_scs{0};  // Sum of catalog sizes seen.
+  std::atomic<std::uint64_t> impacted_scs{0};   // Sum of impact-set sizes.
 };
 
 /// Result of one executed statement.
@@ -81,6 +95,7 @@ struct QueryResult {
 class SoftDb {
  public:
   explicit SoftDb(EngineOptions options = {});
+  ~SoftDb();  // Out-of-line: TaskScheduler is only forward-declared here.
 
   // Component access (tests, benches and examples drive these directly).
   Catalog& catalog() { return catalog_; }
@@ -125,6 +140,11 @@ class SoftDb {
   /// Estimator matching the current options.
   CardinalityEstimator MakeEstimator() const;
 
+  /// The engine's worker pool, created lazily to match
+  /// options().num_threads; null when num_threads <= 1. Do not change
+  /// num_threads while queries are executing: resizing replaces the pool.
+  TaskScheduler* scheduler();
+
  private:
   Result<QueryResult> ExecuteSelect(const std::string& sql,
                                     const SelectStmt& stmt, bool explain_only);
@@ -145,6 +165,8 @@ class SoftDb {
   ImpactAnalysisStats impact_stats_;
   std::uint64_t ic_name_counter_ = 0;
   std::map<std::string, std::string> exception_asts_;
+  std::mutex scheduler_mu_;  // Guards lazy creation/resize of scheduler_.
+  std::unique_ptr<TaskScheduler> scheduler_;
 };
 
 }  // namespace softdb

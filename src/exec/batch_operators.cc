@@ -31,11 +31,31 @@ void BatchSeqScanOp::AddRuntimeParameter(std::size_t predicate_index,
       ScanRuntimeParameter{predicate_index, index, std::move(simple)});
 }
 
+void BatchSeqScanOp::BindMorsel(std::size_t base, std::size_t rows,
+                                const std::vector<bool>* skip) {
+  morsel_mode_ = true;
+  morsel_base_ = base;
+  morsel_end_ = base + rows;
+  morsel_skip_ = skip;
+}
+
 Status BatchSeqScanOp::Open(ExecContext* ctx) {
-  next_ = 0;
   provably_empty_ = false;
   effective_.clear();
 
+  if (morsel_mode_) {
+    // The coordinator already resolved the §4.2 parameters and charged
+    // page + skip accounting once for the whole table.
+    next_ = morsel_base_;
+    for (std::size_t i = 0; i < predicates_.size(); ++i) {
+      if (morsel_skip_ == nullptr || !(*morsel_skip_)[i]) {
+        effective_.push_back(&predicates_[i]);
+      }
+    }
+    return Status::OK();
+  }
+
+  next_ = 0;
   std::vector<bool> skip(predicates_.size(), false);
   ResolveScanRuntimeParams(runtime_params_, schema_, ctx, &skip,
                            &provably_empty_);
@@ -50,10 +70,10 @@ Status BatchSeqScanOp::Open(ExecContext* ctx) {
 Result<bool> BatchSeqScanOp::NextBatch(ExecContext* ctx, ColumnBatch* batch) {
   if (provably_empty_) return false;
   const std::uint8_t* live = table_->LiveBitmap();
-  while (next_ < table_->NumSlots()) {
+  const std::size_t end = morsel_mode_ ? morsel_end_ : table_->NumSlots();
+  while (next_ < end) {
     const std::size_t base = next_;
-    const std::size_t n =
-        std::min(kBatchCapacity, table_->NumSlots() - base);
+    const std::size_t n = std::min(kBatchCapacity, end - base);
     next_ += n;
     batch->BindTableView(*table_, base, n);
     SelIdx* sel = batch->mutable_sel();

@@ -62,6 +62,16 @@ class BatchSeqScanOp final : public BatchOperator {
   void AddRuntimeParameter(std::size_t predicate_index, const Index* index,
                            SimplePredicate simple);
 
+  /// Morsel mode (parallel engine): restricts the scan to slots
+  /// [base, base+rows) with a pre-resolved §4.2 skip set (`skip` may be
+  /// null: apply every predicate). Open then performs no page or
+  /// runtime-parameter accounting — the parallel coordinator resolved the
+  /// parameters once and charged the whole table up front, so per-query
+  /// stats still match serial execution exactly. `skip` must outlive the
+  /// scan's use.
+  void BindMorsel(std::size_t base, std::size_t rows,
+                  const std::vector<bool>* skip);
+
   const char* name() const override { return "BatchSeqScan"; }
   const std::vector<Predicate>& predicates() const { return predicates_; }
   const std::vector<ScanRuntimeParameter>& runtime_params() const {
@@ -78,6 +88,11 @@ class BatchSeqScanOp final : public BatchOperator {
   std::vector<const Predicate*> effective_;  // Predicates applied this run.
   bool provably_empty_ = false;
   RowId next_ = 0;
+  // Morsel mode state; end_ is NumSlots() outside morsel mode.
+  bool morsel_mode_ = false;
+  std::size_t morsel_base_ = 0;
+  std::size_t morsel_end_ = 0;
+  const std::vector<bool>* morsel_skip_ = nullptr;
 };
 
 /// Vectorized index range scan: gathers qualifying rows (which are not

@@ -1,0 +1,20 @@
+#include "exec/morsel.h"
+
+namespace softdb {
+
+std::vector<MorselRange> SplitMorsels(std::size_t total_rows,
+                                      std::size_t morsel_rows) {
+  std::vector<MorselRange> out;
+  if (total_rows == 0) return out;
+  if (morsel_rows == 0) morsel_rows = 1;
+  out.reserve((total_rows + morsel_rows - 1) / morsel_rows);
+  std::size_t index = 0;
+  for (std::size_t base = 0; base < total_rows; base += morsel_rows) {
+    const std::size_t rows =
+        base + morsel_rows <= total_rows ? morsel_rows : total_rows - base;
+    out.push_back(MorselRange{base, rows, index++});
+  }
+  return out;
+}
+
+}  // namespace softdb

@@ -1,0 +1,114 @@
+#ifndef SOFTDB_EXEC_MORSEL_H_
+#define SOFTDB_EXEC_MORSEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace softdb {
+
+/// A contiguous slot range of a table scan, the unit of parallel work.
+/// `index` is the morsel's position in table order; the coordinator merges
+/// per-morsel results by this index, which is what makes parallel output
+/// bit-identical to serial execution.
+struct MorselRange {
+  std::size_t base = 0;
+  std::size_t rows = 0;
+  std::size_t index = 0;
+};
+
+/// Splits `total_rows` slots into morsels of `morsel_rows` (the last one
+/// may be short). Returns no morsels for an empty input.
+std::vector<MorselRange> SplitMorsels(std::size_t total_rows,
+                                      std::size_t morsel_rows);
+
+/// An atomic claim counter over the morsels of one scan, for claim-loop
+/// style consumers (each call hands out the next morsel in table order).
+class MorselSource {
+ public:
+  MorselSource(std::size_t total_rows, std::size_t morsel_rows)
+      : morsels_(SplitMorsels(total_rows, morsel_rows)) {}
+
+  /// Claims the next unclaimed morsel; false when the scan is exhausted.
+  bool Next(MorselRange* out) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= morsels_.size()) return false;
+    *out = morsels_[i];
+    return true;
+  }
+
+  std::size_t NumMorsels() const { return morsels_.size(); }
+
+ private:
+  std::vector<MorselRange> morsels_;
+  std::atomic<std::size_t> next_{0};
+};
+
+/// A freelist of per-worker execution resources (operator chains with
+/// their ColumnBatch scratch). Workers lease one slot per morsel and
+/// return it on completion, so each concurrently-live worker reuses a
+/// single chain + batch allocation across all the morsels it executes
+/// instead of re-allocating per morsel.
+template <typename T>
+class ExecPool {
+ public:
+  explicit ExecPool(std::function<std::unique_ptr<T>()> factory)
+      : factory_(std::move(factory)) {}
+
+  /// RAII lease: returns the resource to the pool on destruction.
+  class Lease {
+   public:
+    Lease(ExecPool* pool, std::unique_ptr<T> item)
+        : pool_(pool), item_(std::move(item)) {}
+    ~Lease() {
+      if (item_) pool_->Release(std::move(item_));
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), item_(std::move(other.item_)) {}
+
+    T* get() const { return item_.get(); }
+    T* operator->() const { return item_.get(); }
+
+   private:
+    ExecPool* pool_;
+    std::unique_ptr<T> item_;
+  };
+
+  Lease Acquire() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<T> item = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(item));
+      }
+    }
+    created_.fetch_add(1, std::memory_order_relaxed);
+    return Lease(this, factory_());
+  }
+
+  /// Number of distinct resources ever created (for tests: bounded by the
+  /// number of concurrently-live workers, not the morsel count).
+  std::size_t created() const { return created_.load(std::memory_order_relaxed); }
+
+ private:
+  void Release(std::unique_ptr<T> item) {
+    std::lock_guard<std::mutex> lk(mu_);
+    free_.push_back(std::move(item));
+  }
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<T>> free_;
+  std::function<std::unique_ptr<T>()> factory_;
+  std::atomic<std::size_t> created_{0};
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_EXEC_MORSEL_H_

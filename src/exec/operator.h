@@ -24,13 +24,37 @@ struct ExecStats {
   std::uint64_t index_lookups = 0;  // Index range scans performed.
   std::uint64_t rows_joined = 0;    // Probe-side comparisons in joins.
   std::uint64_t runtime_param_skips = 0;  // §4.2 predicates skipped at Open.
+  // Morsels executed by the parallel engine. An execution-strategy
+  // detail: 0 on serial paths, so it is excluded from the cross-engine
+  // stat-equality invariant the differential fuzzer checks.
+  std::uint64_t morsels = 0;
 
   void Reset() { *this = ExecStats{}; }
+
+  /// Adds another counter set into this one. The parallel coordinator
+  /// aggregates per-worker counters with this, in morsel order, so
+  /// per-query totals are deterministic and equal to serial execution.
+  void Accumulate(const ExecStats& other) {
+    rows_scanned += other.rows_scanned;
+    rows_emitted += other.rows_emitted;
+    pages_read += other.pages_read;
+    rows_output += other.rows_output;
+    rows_sorted += other.rows_sorted;
+    index_lookups += other.index_lookups;
+    rows_joined += other.rows_joined;
+    runtime_param_skips += other.runtime_param_skips;
+    morsels += other.morsels;
+  }
 };
 
-/// Shared execution context; owns the counters operators update.
+class TaskScheduler;
+
+/// Shared execution context; owns the counters operators update. The
+/// scheduler is borrowed from the engine (null: run everything inline on
+/// the calling thread).
 struct ExecContext {
   ExecStats stats;
+  TaskScheduler* scheduler = nullptr;
 };
 
 /// A pull-based physical operator (Volcano-style iterator).

@@ -1,0 +1,129 @@
+#include "exec/scheduler.h"
+
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace softdb {
+
+TaskScheduler::TaskScheduler(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  queues_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+Status TaskScheduler::Run(std::vector<Task> tasks) {
+  if (tasks.empty()) return Status::OK();
+  auto group = std::make_shared<TaskGroup>();
+  group->tasks = std::move(tasks);
+  const std::size_t n = group->tasks.size();
+  group->statuses.resize(n);
+  group->remaining.store(n, std::memory_order_relaxed);
+  {
+    // Deal tasks round-robin across worker deques. The pool mutex also
+    // serializes the submission cursor between concurrent Run callers.
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::size_t i = 0; i < n; ++i) {
+      WorkerQueue& q = *queues_[next_queue_];
+      next_queue_ = (next_queue_ + 1) % queues_.size();
+      std::lock_guard<std::mutex> qlk(q.mu);
+      q.items.push_back(TaskItem{group, i});
+    }
+    queued_.fetch_add(n, std::memory_order_release);
+  }
+  cv_.notify_all();
+
+  // Group barrier: wait until every task has run. Workers notify done_cv_
+  // when a group's remaining count reaches zero.
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return group->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  for (const Status& st : group->statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+void TaskScheduler::WorkerLoop(std::size_t self) {
+  while (true) {
+    TaskItem item;
+    if (TryGetTask(self, &item)) {
+      ExecuteItem(item);
+      item.group.reset();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] {
+      return shutdown_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (shutdown_) return;
+  }
+}
+
+bool TaskScheduler::TryGetTask(std::size_t self, TaskItem* out) {
+  // Own deque first, oldest task first.
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.items.empty()) {
+      *out = std::move(q.items.front());
+      q.items.pop_front();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  // Steal from the back of the other deques.
+  for (std::size_t i = 1; i < queues_.size(); ++i) {
+    WorkerQueue& q = *queues_[(self + i) % queues_.size()];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.items.empty()) {
+      *out = std::move(q.items.back());
+      q.items.pop_back();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskScheduler::ExecuteItem(const TaskItem& item) {
+  Status status = RunTask(item.group->tasks[item.index]);
+  item.group->statuses[item.index] = std::move(status);
+  if (item.group->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task of the group: wake its Run caller. Taking the pool mutex
+    // pairs with the caller's wait and prevents a lost wakeup.
+    std::lock_guard<std::mutex> lk(mu_);
+    done_cv_.notify_all();
+  }
+}
+
+Status TaskScheduler::RunTask(const Task& task) {
+  try {
+    return task();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("worker task threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("worker task threw a non-std exception");
+  }
+}
+
+}  // namespace softdb

@@ -1,0 +1,95 @@
+#ifndef SOFTDB_EXEC_SCHEDULER_H_
+#define SOFTDB_EXEC_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+
+namespace softdb {
+
+/// A fixed pool of worker threads with per-worker task deques and work
+/// stealing, used by the morsel-driven parallel operators (DESIGN.md §8).
+///
+/// Each `Run` call submits one task group: tasks are dealt round-robin
+/// across the worker deques, workers drain their own deque FIFO and steal
+/// from the back of other deques when idle, and the calling thread blocks
+/// until every task in the group has finished (the group barrier). The
+/// first failure — by task index, so the result is deterministic — is
+/// returned; exceptions escaping a task are captured as internal errors.
+///
+/// `Run` may be called concurrently from many threads (one group per
+/// caller); groups share the pool. Tasks must not call `Run` themselves:
+/// a worker blocked inside a nested barrier could deadlock the pool.
+class TaskScheduler {
+ public:
+  using Task = std::function<Status()>;
+
+  /// Spawns `num_threads` workers (at least one).
+  explicit TaskScheduler(std::size_t num_threads);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Executes all tasks on the pool and blocks until the last one
+  /// finishes. Returns OK iff every task returned OK; otherwise the
+  /// non-OK status of the lowest-indexed failing task.
+  Status Run(std::vector<Task> tasks);
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Total tasks executed by a worker other than the one whose deque
+  /// they were submitted to. Monotonic; for tests and diagnostics.
+  std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One submitted group: the barrier state for a single Run call.
+  struct TaskGroup {
+    std::vector<Task> tasks;
+    std::vector<Status> statuses;          // One slot per task.
+    std::atomic<std::size_t> remaining{0};  // Tasks not yet finished.
+  };
+
+  /// A task reference living in a worker deque.
+  struct TaskItem {
+    std::shared_ptr<TaskGroup> group;
+    std::size_t index = 0;
+  };
+
+  /// A worker's deque. Owners pop the front (submission order preserves
+  /// morsel locality); thieves pop the back to minimize contention.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<TaskItem> items;
+  };
+
+  void WorkerLoop(std::size_t self);
+  bool TryGetTask(std::size_t self, TaskItem* out);
+  void ExecuteItem(const TaskItem& item);
+  static Status RunTask(const Task& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                  // Guards sleep/wake and shutdown.
+  std::condition_variable cv_;     // Workers wait here for new tasks.
+  std::condition_variable done_cv_;  // Run callers wait here for barriers.
+  std::atomic<std::size_t> queued_{0};  // Items across all deques.
+  std::atomic<std::uint64_t> steals_{0};
+  std::size_t next_queue_ = 0;  // Round-robin submission cursor (mu_).
+  bool shutdown_ = false;       // Guarded by mu_.
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_EXEC_SCHEDULER_H_

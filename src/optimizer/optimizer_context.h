@@ -1,6 +1,7 @@
 #ifndef SOFTDB_OPTIMIZER_OPTIMIZER_CONTEXT_H_
 #define SOFTDB_OPTIMIZER_OPTIMIZER_CONTEXT_H_
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -57,6 +58,13 @@ struct OptimizerContext {
   /// Run PlanVerifier after each rewrite and physical-planning phase.
   /// Debug builds verify regardless (see ShouldVerifyPlans).
   bool verify_plans = true;
+  /// Parallel morsel-driven execution (DESIGN.md §8): with more than one
+  /// thread, the planner lowers parallel-safe vectorized subtrees
+  /// (seq-scan pipelines and equi hash joins over them) to the parallel
+  /// operators. 1 = serial. Requires use_vectorized.
+  std::size_t num_threads = 1;
+  /// Slot-range size of one parallel scan morsel.
+  std::size_t parallel_morsel_rows = 4096;
 
   // Outputs of a rewrite pass.
   std::vector<std::string> used_scs;       // SCs baked into the plan.

@@ -28,10 +28,10 @@ std::vector<std::string> CollectPlanTables(const PlanNode& plan) {
   return tables;
 }
 
-CachedPlan* PlanCache::Put(const std::string& sql, PlanPtr primary,
-                           PlanPtr backup,
-                           std::vector<std::string> used_scs) {
-  auto entry = std::make_unique<CachedPlan>();
+std::shared_ptr<CachedPlan> PlanCache::Put(const std::string& sql,
+                                           PlanPtr primary, PlanPtr backup,
+                                           std::vector<std::string> used_scs) {
+  auto entry = std::make_shared<CachedPlan>();
   entry->sql = sql;
   entry->primary = std::move(primary);
   entry->backup = std::move(backup);
@@ -47,39 +47,42 @@ CachedPlan* PlanCache::Put(const std::string& sql, PlanPtr primary,
       }
     }
   }
-  CachedPlan* ptr = entry.get();
-  entries_[sql] = std::move(entry);
-  return ptr;
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_[sql] = entry;
+  return entry;
 }
 
-CachedPlan* PlanCache::Get(const std::string& sql) {
+std::shared_ptr<CachedPlan> PlanCache::Get(const std::string& sql) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = entries_.find(sql);
   if (it == entries_.end()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++hits_;
-  return it->second.get();
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
 }
 
 std::size_t PlanCache::OnScViolated(const std::string& sc_name) {
+  std::lock_guard<std::mutex> lk(mu_);
   std::size_t flipped = 0;
   for (auto& [_, entry] : entries_) {
-    if (entry->using_backup) continue;
+    if (entry->using_backup.load(std::memory_order_acquire)) continue;
     if (std::find(entry->used_scs.begin(), entry->used_scs.end(), sc_name) !=
         entry->used_scs.end()) {
-      entry->using_backup = true;
+      entry->using_backup.store(true, std::memory_order_release);
       ++flipped;
-      ++invalidations_;
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
     } else {
       // A catalog-wide flush would have dropped this package too.
-      ++invalidations_avoided_;
+      invalidations_avoided_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   return flipped;
 }
 
 std::size_t PlanCache::OnTableDropped(const std::string& table) {
+  std::lock_guard<std::mutex> lk(mu_);
   std::size_t evicted = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     CachedPlan& entry = *it->second;
@@ -89,11 +92,12 @@ std::size_t PlanCache::OnTableDropped(const std::string& table) {
         std::find(entry.tables.begin(), entry.tables.end(), table) !=
             entry.tables.end();
     if (reads_table) {
+      // Sessions holding the shared_ptr from Get keep the plan alive.
       it = entries_.erase(it);
       ++evicted;
-      ++invalidations_;
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      ++invalidations_avoided_;
+      invalidations_avoided_.fetch_add(1, std::memory_order_relaxed);
       ++it;
     }
   }
@@ -101,9 +105,10 @@ std::size_t PlanCache::OnTableDropped(const std::string& table) {
 }
 
 std::size_t PlanCache::Rearm(const std::vector<std::string>& active_scs) {
+  std::lock_guard<std::mutex> lk(mu_);
   std::size_t rearmed = 0;
   for (auto& [_, entry] : entries_) {
-    if (!entry->using_backup) continue;
+    if (!entry->using_backup.load(std::memory_order_acquire)) continue;
     const bool all_active = std::all_of(
         entry->used_scs.begin(), entry->used_scs.end(),
         [&](const std::string& name) {
@@ -111,11 +116,21 @@ std::size_t PlanCache::Rearm(const std::vector<std::string>& active_scs) {
                  active_scs.end();
         });
     if (all_active) {
-      entry->using_backup = false;
+      entry->using_backup.store(false, std::memory_order_release);
       ++rearmed;
     }
   }
   return rearmed;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
 }
 
 }  // namespace softdb

@@ -1,9 +1,11 @@
 #ifndef SOFTDB_OPTIMIZER_PLAN_CACHE_H_
 #define SOFTDB_OPTIMIZER_PLAN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,17 +18,23 @@ namespace softdb {
 /// is the paper's backup-plan tactic — "a package incorporates a 'backup'
 /// plan which is ASC-free; if an ASC is overturned, a flag is raised and
 /// packages revert to the alternative plans."
+///
+/// The plan trees themselves are immutable after Put; `using_backup` and
+/// `executions` are the only mutable fields and are atomic, so concurrent
+/// sessions may execute a package while maintenance flips it (a session
+/// that already resolved ActivePlan finishes on the plan it picked — both
+/// plans stay valid answers; see DESIGN.md §8).
 struct CachedPlan {
   std::string sql;
   PlanPtr primary;                    // Rewritten with SCs.
   PlanPtr backup;                     // SC-free.
   std::vector<std::string> used_scs;  // SC names baked into primary.
   std::vector<std::string> tables;    // Base tables either plan reads.
-  bool using_backup = false;
-  std::uint64_t executions = 0;
+  std::atomic<bool> using_backup{false};
+  std::atomic<std::uint64_t> executions{0};
 
   const PlanNode& ActivePlan() const {
-    return using_backup ? *backup : *primary;
+    return using_backup.load(std::memory_order_acquire) ? *backup : *primary;
   }
 };
 
@@ -37,17 +45,23 @@ std::vector<std::string> CollectPlanTables(const PlanNode& plan);
 /// Keyed by SQL text. Subscribe `OnScViolated` to the ScRegistry's
 /// violation listener so overturned SCs flip dependent packages to their
 /// backup plan instead of producing wrong answers.
+///
+/// Thread-safe: the entry map is mutex-guarded, entries are handed out as
+/// shared_ptr so a concurrent eviction (DROP TABLE) cannot free a plan
+/// another session is executing, and the counters are atomic.
 class PlanCache {
  public:
   PlanCache() = default;
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  CachedPlan* Put(const std::string& sql, PlanPtr primary, PlanPtr backup,
-                  std::vector<std::string> used_scs);
+  std::shared_ptr<CachedPlan> Put(const std::string& sql, PlanPtr primary,
+                                  PlanPtr backup,
+                                  std::vector<std::string> used_scs);
 
-  /// Returns the entry or null; counts hit/miss.
-  CachedPlan* Get(const std::string& sql);
+  /// Returns the entry or null; counts hit/miss. The shared_ptr keeps the
+  /// package alive across eviction — use it, don't re-Get.
+  std::shared_ptr<CachedPlan> Get(const std::string& sql);
 
   /// Flips every package depending on `sc_name` to its backup plan.
   /// Returns the number of packages invalidated. Untouched packages count
@@ -64,24 +78,29 @@ class PlanCache {
   /// the primary plan.
   std::size_t Rearm(const std::vector<std::string>& active_scs);
 
-  void Clear() { entries_.clear(); }
-  std::size_t size() const { return entries_.size(); }
+  void Clear();
+  std::size_t size() const;
 
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  std::uint64_t invalidations() const { return invalidations_; }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
   /// Packages a global flush would have dropped but scoped invalidation
   /// kept (the avoided-flush counter of the impact-analysis satellite).
   std::uint64_t invalidations_avoided() const {
-    return invalidations_avoided_;
+    return invalidations_avoided_.load(std::memory_order_relaxed);
   }
 
  private:
-  std::map<std::string, std::unique_ptr<CachedPlan>> entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t invalidations_ = 0;
-  std::uint64_t invalidations_avoided_ = 0;
+  mutable std::mutex mu_;  // Guards entries_.
+  std::map<std::string, std::shared_ptr<CachedPlan>> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> invalidations_avoided_{0};
 };
 
 }  // namespace softdb

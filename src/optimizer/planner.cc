@@ -246,8 +246,130 @@ Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node) const {
   return root;
 }
 
+Result<std::optional<PipelineSpec>> PhysicalPlanner::TryBuildPipelineSpec(
+    const PlanNode& node, bool allow_project) const {
+  switch (node.kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const ScanNode&>(node);
+      // External tables (exception ASTs) have no morsel-splittable
+      // storage contract; unsatisfiable scans become EmptyOp; index
+      // access paths stay on the serial batch engine.
+      if (scan.external_table() != nullptr) return std::optional<PipelineSpec>();
+      const RangeMap ranges =
+          BuildRangeMap(scan.predicates(), /*include_estimation_only=*/false);
+      if (ranges.unsatisfiable) return std::optional<PipelineSpec>();
+      SOFTDB_ASSIGN_OR_RETURN(AccessPathChoice choice, ChooseAccessPath(scan));
+      if (choice.index != nullptr) return std::optional<PipelineSpec>();
+      SOFTDB_ASSIGN_OR_RETURN(Table * table,
+                              ctx_->catalog->GetTable(scan.table_name()));
+      PipelineSpec spec;
+      spec.table = table;
+      spec.scan_schema = scan.output_schema();
+      spec.scan_predicates = CloneExecutablePredicates(scan.predicates());
+      WireRuntimeParams(ctx_, scan, &spec);
+      return std::optional<PipelineSpec>(std::move(spec));
+    }
+    case PlanKind::kFilter: {
+      const auto& filter = static_cast<const FilterNode&>(node);
+      SOFTDB_ASSIGN_OR_RETURN(
+          std::optional<PipelineSpec> child,
+          TryBuildPipelineSpec(*node.children()[0], /*allow_project=*/false));
+      if (!child.has_value()) return std::optional<PipelineSpec>();
+      PipelineStage stage;
+      stage.kind = PipelineStage::Kind::kFilter;
+      stage.predicates = CloneExecutablePredicates(filter.predicates());
+      child->stages.push_back(std::move(stage));
+      return child;
+    }
+    case PlanKind::kProject: {
+      if (!allow_project) return std::optional<PipelineSpec>();
+      const auto& proj = static_cast<const ProjectNode&>(node);
+      SOFTDB_ASSIGN_OR_RETURN(
+          std::optional<PipelineSpec> child,
+          TryBuildPipelineSpec(*node.children()[0], /*allow_project=*/false));
+      if (!child.has_value()) return std::optional<PipelineSpec>();
+      PipelineStage stage;
+      stage.kind = PipelineStage::Kind::kProject;
+      stage.schema = proj.output_schema();
+      stage.exprs.reserve(proj.exprs().size());
+      for (const ExprPtr& e : proj.exprs()) stage.exprs.push_back(e->Clone());
+      child->stages.push_back(std::move(stage));
+      return child;
+    }
+    default:
+      return std::optional<PipelineSpec>();
+  }
+}
+
+Result<OperatorPtr> PhysicalPlanner::TryPlanParallel(
+    const PlanNode& node) const {
+  switch (node.kind()) {
+    case PlanKind::kScan:
+    case PlanKind::kFilter:
+    case PlanKind::kProject: {
+      SOFTDB_ASSIGN_OR_RETURN(std::optional<PipelineSpec> spec,
+                              TryBuildPipelineSpec(node, /*allow_project=*/true));
+      if (spec.has_value()) {
+        return OperatorPtr(std::make_unique<ParallelPipelineOp>(
+            std::move(*spec), ctx_->parallel_morsel_rows));
+      }
+      // Not a pure scan pipeline (e.g. a projection or filter over a
+      // join): keep this node serial but let the subtree below it go
+      // parallel. The row-engine wrapper accounts stats identically to
+      // its batch counterpart, so output stays bit-identical.
+      if (node.children().size() != 1) return OperatorPtr(nullptr);
+      SOFTDB_ASSIGN_OR_RETURN(OperatorPtr child,
+                              TryPlanParallel(*node.children()[0]));
+      if (!child) return OperatorPtr(nullptr);
+      if (node.kind() == PlanKind::kFilter) {
+        const auto& filter = static_cast<const FilterNode&>(node);
+        return OperatorPtr(std::make_unique<FilterOp>(
+            std::move(child),
+            CloneExecutablePredicates(filter.predicates())));
+      }
+      const auto& proj = static_cast<const ProjectNode&>(node);
+      std::vector<ExprPtr> exprs;
+      exprs.reserve(proj.exprs().size());
+      for (const ExprPtr& e : proj.exprs()) exprs.push_back(e->Clone());
+      return OperatorPtr(std::make_unique<ProjectOp>(
+          std::move(child), proj.output_schema(), std::move(exprs)));
+    }
+    case PlanKind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(node);
+      if (join.equi_keys().empty() || ctx_->prefer_sort_merge_join) {
+        return OperatorPtr(nullptr);
+      }
+      // Same input restriction as the serial batch join: projection
+      // inputs may carry expression-typed values, so only scan/filter
+      // pipelines feed the parallel join. Nested joins fall back to the
+      // serial batch engine wholesale.
+      SOFTDB_ASSIGN_OR_RETURN(
+          std::optional<PipelineSpec> probe,
+          TryBuildPipelineSpec(*node.children()[0], /*allow_project=*/false));
+      if (!probe.has_value()) return OperatorPtr(nullptr);
+      SOFTDB_ASSIGN_OR_RETURN(
+          std::optional<PipelineSpec> build,
+          TryBuildPipelineSpec(*node.children()[1], /*allow_project=*/false));
+      if (!build.has_value()) return OperatorPtr(nullptr);
+      return OperatorPtr(std::make_unique<ParallelHashJoinOp>(
+          std::move(*probe), std::move(*build), join.equi_keys(),
+          CloneExecutablePredicates(join.conditions()),
+          ctx_->parallel_morsel_rows));
+    }
+    default:
+      return OperatorPtr(nullptr);
+  }
+}
+
 Result<OperatorPtr> PhysicalPlanner::Plan(const PlanNode& node,
                                           bool allow_vectorized) const {
+  // Parallel-safe subtrees first: morsel-driven execution subsumes the
+  // serial batch lowering for the shapes it supports. Never under LIMIT
+  // (allow_vectorized is cleared there) — the kParallelSafety invariant.
+  if (allow_vectorized && ctx_->use_vectorized && ctx_->num_threads > 1) {
+    SOFTDB_ASSIGN_OR_RETURN(OperatorPtr par, TryPlanParallel(node));
+    if (par) return par;
+  }
   if (allow_vectorized && ctx_->use_vectorized) {
     SOFTDB_ASSIGN_OR_RETURN(BatchOperatorPtr batch, TryPlanBatch(node));
     if (batch) {

@@ -5,6 +5,7 @@
 
 #include "exec/batch_operators.h"
 #include "exec/operators.h"
+#include "exec/parallel_operators.h"
 #include "optimizer/cardinality.h"
 #include "optimizer/optimizer_context.h"
 #include "plan/logical_plan.h"
@@ -52,6 +53,23 @@ class PhysicalPlanner {
   /// its own chance at vectorization — subtrees are maximal, adapters
   /// appear only at vectorized-subtree roots.
   Result<BatchOperatorPtr> TryPlanBatch(const PlanNode& node) const;
+
+  /// Marks and lowers parallel-safe subtrees (ctx->num_threads > 1):
+  /// sequential-scan pipelines (scan → filter* → project?) become
+  /// ParallelPipelineOp, equi hash joins over two such pipelines become
+  /// ParallelHashJoinOp. Returns null when the subtree is not
+  /// parallel-safe (index access paths, unsatisfiable scans, nested
+  /// joins, non-equi joins, ...); the caller then falls back to the
+  /// serial batch or row engine. Never called under LIMIT — those
+  /// subtrees stay serial (allow_vectorized is cleared), which the
+  /// kParallelSafety plan invariant enforces.
+  Result<OperatorPtr> TryPlanParallel(const PlanNode& node) const;
+
+  /// Builds the pipeline spec for a parallel-safe scan chain, or nullopt.
+  /// `allow_project`: projections are fine at a pipeline root but not
+  /// under a join (mirrors TryPlanBatch's join-child restriction).
+  Result<std::optional<PipelineSpec>> TryBuildPipelineSpec(
+      const PlanNode& node, bool allow_project) const;
 
   const OptimizerContext* ctx_;
   const CardinalityEstimator* estimator_;

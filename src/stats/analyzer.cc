@@ -1,6 +1,8 @@
 #include "stats/analyzer.h"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 namespace softdb {
@@ -80,19 +82,32 @@ TableStats AnalyzeTable(const Table& table, const AnalyzeOptions& options) {
 
 const TableStats& StatsCatalog::Analyze(const Table& table,
                                         const AnalyzeOptions& options) {
-  stats_[table.name()] = AnalyzeTable(table, options);
-  return stats_[table.name()];
+  // Compute outside the lock (a full table scan), then publish.
+  auto fresh = std::make_unique<TableStats>(AnalyzeTable(table, options));
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  std::unique_ptr<TableStats>& slot = stats_[table.name()];
+  if (slot != nullptr) retired_.push_back(std::move(slot));
+  slot = std::move(fresh);
+  return *slot;
 }
 
 const TableStats* StatsCatalog::Get(const std::string& table_name) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = stats_.find(table_name);
-  return it == stats_.end() ? nullptr : &it->second;
+  return it == stats_.end() ? nullptr : it->second.get();
 }
 
 std::uint64_t StatsCatalog::StalenessOf(const Table& table) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = stats_.find(table.name());
   if (it == stats_.end()) return table.version();
-  return table.MutationsSince(it->second.analyzed_version);
+  return table.MutationsSince(it->second->analyzed_version);
+}
+
+void StatsCatalog::Clear() {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  for (auto& [_, slot] : stats_) retired_.push_back(std::move(slot));
+  stats_.clear();
 }
 
 }  // namespace softdb

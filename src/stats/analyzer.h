@@ -2,7 +2,10 @@
 #define SOFTDB_STATS_ANALYZER_H_
 
 #include <map>
+#include <memory>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "stats/column_stats.h"
@@ -22,6 +25,13 @@ struct AnalyzeOptions {
 TableStats AnalyzeTable(const Table& table, const AnalyzeOptions& options = {});
 
 /// Statistics catalog: runstats storage keyed by table name.
+///
+/// Thread-safe (DESIGN.md §8): the map is guarded by a shared mutex, and
+/// each stored TableStats is immutable once published — re-ANALYZE installs
+/// a fresh object and parks the old one in a graveyard, so `const
+/// TableStats*` handed to concurrent planners stays valid for the catalog's
+/// lifetime (a planner mid-query keeps costing against the snapshot it
+/// read).
 class StatsCatalog {
  public:
   /// Runs ANALYZE and stores the result.
@@ -35,10 +45,12 @@ class StatsCatalog {
   /// version counter if never analyzed.
   std::uint64_t StalenessOf(const Table& table) const;
 
-  void Clear() { stats_.clear(); }
+  void Clear();
 
  private:
-  std::map<std::string, TableStats> stats_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<TableStats>> stats_;
+  std::vector<std::unique_ptr<TableStats>> retired_;  // Superseded versions.
 };
 
 }  // namespace softdb

@@ -1,11 +1,25 @@
 #include "storage/catalog.h"
 
+#include <mutex>
+
 #include "common/str_util.h"
 
 namespace softdb {
 
+namespace {
+
+// Lock-free lookup helper shared by the public methods; callers hold mu_.
+Table* FindTableIn(const std::map<std::string, std::unique_ptr<Table>>& tables,
+                   const std::string& key) {
+  auto it = tables.find(key);
+  return it == tables.end() ? nullptr : it->second.get();
+}
+
+}  // namespace
+
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   const std::string key = ToLower(name);
+  std::unique_lock<std::shared_mutex> lk(mu_);
   if (tables_.count(key)) {
     return Status::AlreadyExists("table already exists: " + name);
   }
@@ -19,44 +33,64 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
 }
 
 Result<Table*> Catalog::GetTable(const std::string& name) const {
-  auto it = tables_.find(ToLower(name));
-  if (it == tables_.end()) {
-    return Status::NotFound("unknown table: " + name);
-  }
-  return it->second.get();
+  const std::string key = ToLower(name);
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  Table* table = FindTableIn(tables_, key);
+  if (table == nullptr) return Status::NotFound("unknown table: " + name);
+  return table;
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  return tables_.count(ToLower(name)) > 0;
+  const std::string key = ToLower(name);
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return tables_.count(key) > 0;
 }
 
 Status Catalog::DropTable(const std::string& name) {
   const std::string key = ToLower(name);
-  if (!tables_.count(key)) return Status::NotFound("unknown table: " + name);
-  indexes_.erase(key);
-  tables_.erase(key);
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) return Status::NotFound("unknown table: " + name);
+  // Park the objects in the graveyard: cached plans and SCs may still hold
+  // raw pointers, and evicting those is the plan cache's job, not ours.
+  auto idx_it = indexes_.find(key);
+  if (idx_it != indexes_.end()) {
+    for (auto& idx : idx_it->second) {
+      dropped_indexes_.push_back(std::move(idx));
+    }
+    indexes_.erase(idx_it);
+  }
+  dropped_tables_.push_back(std::move(it->second));
+  tables_.erase(it);
   return Status::OK();
 }
 
 Result<Index*> Catalog::CreateIndex(const std::string& index_name,
                                     const std::string& table_name,
                                     const std::string& column_name) {
-  SOFTDB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  const std::string table_key = ToLower(table_name);
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  Table* table = FindTableIn(tables_, table_key);
+  if (table == nullptr) {
+    return Status::NotFound("unknown table: " + table_name);
+  }
   SOFTDB_ASSIGN_OR_RETURN(ColumnIdx col, table->schema().Resolve(column_name));
-  for (const auto& idx : indexes_[ToLower(table_name)]) {
+  for (const auto& idx : indexes_[table_key]) {
     if (ToLower(idx->name()) == ToLower(index_name)) {
       return Status::AlreadyExists("index already exists: " + index_name);
     }
   }
   auto index = std::make_unique<Index>(ToLower(index_name), table, col);
   Index* ptr = index.get();
-  indexes_[ToLower(table_name)].push_back(std::move(index));
+  indexes_[table_key].push_back(std::move(index));
   return ptr;
 }
 
 std::vector<Index*> Catalog::IndexesOn(const std::string& table_name) const {
+  const std::string key = ToLower(table_name);
+  std::shared_lock<std::shared_mutex> lk(mu_);
   std::vector<Index*> out;
-  auto it = indexes_.find(ToLower(table_name));
+  auto it = indexes_.find(key);
   if (it == indexes_.end()) return out;
   out.reserve(it->second.size());
   for (const auto& idx : it->second) out.push_back(idx.get());
@@ -65,17 +99,22 @@ std::vector<Index*> Catalog::IndexesOn(const std::string& table_name) const {
 
 Index* Catalog::FindIndex(const std::string& table_name,
                           const std::string& column_name) const {
-  auto table = GetTable(table_name);
-  if (!table.ok()) return nullptr;
-  auto col = (*table)->schema().Resolve(column_name);
+  const std::string key = ToLower(table_name);
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  Table* table = FindTableIn(tables_, key);
+  if (table == nullptr) return nullptr;
+  auto col = table->schema().Resolve(column_name);
   if (!col.ok()) return nullptr;
-  for (Index* idx : IndexesOn(table_name)) {
-    if (idx->column() == *col) return idx;
+  auto it = indexes_.find(key);
+  if (it == indexes_.end()) return nullptr;
+  for (const auto& idx : it->second) {
+    if (idx->column() == *col) return idx.get();
   }
   return nullptr;
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [name, _] : tables_) out.push_back(name);
@@ -83,6 +122,9 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 void Catalog::NotifyInsert(const Table* table, RowId row) {
+  // Shared lock: only the map structure needs protecting; mutating the
+  // index itself is covered by the per-table single-writer contract.
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = indexes_.find(table->name());
   if (it == indexes_.end()) return;
   for (const auto& idx : it->second) {
@@ -92,6 +134,7 @@ void Catalog::NotifyInsert(const Table* table, RowId row) {
 
 void Catalog::NotifyDelete(const Table* table, RowId row,
                            const std::vector<Value>& old_values) {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = indexes_.find(table->name());
   if (it == indexes_.end()) return;
   for (const auto& idx : it->second) {
@@ -101,6 +144,7 @@ void Catalog::NotifyDelete(const Table* table, RowId row,
 
 void Catalog::NotifyUpdate(const Table* table, RowId row, ColumnIdx col,
                            const Value& old_value, const Value& new_value) {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = indexes_.find(table->name());
   if (it == indexes_.end()) return;
   for (const auto& idx : it->second) {

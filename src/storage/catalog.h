@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,16 @@ namespace softdb {
 /// case-insensitive. Constraint and soft-constraint metadata live in their
 /// own registries (src/constraints) that reference catalog objects, the way
 /// DB2's SYSCAT splits packed-data from metadata.
+///
+/// Thread-safety (DESIGN.md §8): the name→object maps are guarded by a
+/// shared mutex (lookups shared, CREATE/DROP exclusive). Dropped tables and
+/// indexes move to a graveyard instead of being freed, so raw Table*/Index*
+/// pointers held by concurrent sessions (cached plans, SC objects) stay
+/// valid for the catalog's lifetime. The *contents* of a Table are not
+/// locked here — the engine's per-table single-writer contract covers data,
+/// index entries, and stats (readers of a table being mutated see a plain
+/// data race; softdb requires DML to a table be externally serialized with
+/// queries that read it, like a latch-free bulk path).
 class Catalog {
  public:
   Catalog() = default;
@@ -58,8 +69,13 @@ class Catalog {
                     const Value& old_value, const Value& new_value);
 
  private:
+  mutable std::shared_mutex mu_;  // Guards the maps + graveyards.
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::vector<std::unique_ptr<Index>>> indexes_;
+  // DROP TABLE parks objects here instead of freeing them: sessions may
+  // still hold raw pointers from GetTable/IndexesOn.
+  std::vector<std::unique_ptr<Table>> dropped_tables_;
+  std::vector<std::unique_ptr<Index>> dropped_indexes_;
 };
 
 }  // namespace softdb

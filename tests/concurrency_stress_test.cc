@@ -1,0 +1,243 @@
+// Concurrency stress battery for the shared engine state (DESIGN.md §8):
+// N reader threads run SC-rewritten (and morsel-parallel) queries against a
+// static table while one writer thread hammers the maintenance path —
+// ScRegistry::OnInsert violations firing the plan-cache listener, repair
+// queue drains, full re-verification, and CREATE/DROP TABLE churn that
+// evicts cached packages. Readers must never see a wrong answer, a torn SC
+// lifecycle, or a freed plan (evicted entries are held via shared_ptr).
+//
+// The tables the readers scan are never mutated, so every SC "violation"
+// the writer injects is synthetic: both the SC-rewritten primary plan and
+// the ASC-free backup plan remain correct answers at every instant, which
+// is what makes exact-count assertions valid mid-flip.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "constraints/column_offset_sc.h"
+#include "constraints/domain_sc.h"
+#include "engine/softdb.h"
+
+namespace softdb {
+namespace {
+
+class ConcurrencyStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Static read table: a in [0, 97), b = a + delta with delta in [0, 10].
+    ASSERT_TRUE(
+        db_.Execute("CREATE TABLE r (a BIGINT NOT NULL, b BIGINT)").ok());
+    for (int i = 0; i < 600; ++i) {
+      ASSERT_TRUE(db_.InsertRow("r", {Value::Int64(i % 97),
+                                      Value::Int64(i % 97 + i % 11)})
+                      .ok());
+    }
+    // Writer-owned table (per-table single-writer contract: only the
+    // writer thread touches w's data).
+    ASSERT_TRUE(
+        db_.Execute("CREATE TABLE w (x BIGINT NOT NULL, y BIGINT)").ok());
+    ASSERT_TRUE(db_.Execute("ANALYZE r").ok());
+
+    // SCs the optimizer uses on r, one per maintenance policy the writer
+    // exercises. All are true of r's (immutable) data.
+    auto drop_sc = std::make_unique<ColumnOffsetSc>("r_off", "r", 0, 1, 0, 10);
+    drop_sc->set_policy(ScMaintenancePolicy::kDropOnViolation);
+    ASSERT_TRUE(db_.scs().Add(std::move(drop_sc), db_.catalog()).ok());
+    auto async_sc =
+        std::make_unique<DomainSc>("r_dom", "r", 0, Value::Int64(0),
+                                   Value::Int64(100));
+    async_sc->set_policy(ScMaintenancePolicy::kAsyncRepair);
+    ASSERT_TRUE(db_.scs().Add(std::move(async_sc), db_.catalog()).ok());
+    auto tol_sc = std::make_unique<ColumnOffsetSc>("r_tol", "r", 0, 1, 0, 11);
+    tol_sc->set_policy(ScMaintenancePolicy::kTolerate);
+    ASSERT_TRUE(db_.scs().Add(std::move(tol_sc), db_.catalog()).ok());
+
+    db_.options().enable_predicate_introduction = true;
+    db_.options().use_vectorized = true;
+  }
+
+  SoftDb db_;
+};
+
+TEST_F(ConcurrencyStressTest, ReadersSurviveMaintenanceAndCacheChurn) {
+  // Fixed thread count for the whole test: resizing the pool mid-query is
+  // out of contract.
+  db_.options().num_threads = 2;
+  db_.options().parallel_morsel_rows = 64;
+
+  struct Probe {
+    std::string sql;
+    std::size_t expected;
+  };
+  std::vector<Probe> probes;
+  for (const char* sql :
+       {"SELECT a, b FROM r WHERE b - a <= 5",
+        "SELECT a FROM r WHERE a BETWEEN 10 AND 40",
+        "SELECT a, b FROM r WHERE b - a <= 8 ORDER BY a",
+        "SELECT a FROM r WHERE a < 50 AND b IS NOT NULL"}) {
+    auto baseline = db_.Execute(sql);
+    ASSERT_TRUE(baseline.ok()) << sql;
+    probes.push_back(Probe{sql, baseline->rows.NumRows()});
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<int> reader_errors{0};
+  std::atomic<std::uint64_t> reads{0};
+
+  auto reader = [&](int id) {
+    // Each reader sweeps the probe set; one of them also re-Gets cached
+    // packages for the writer's scratch tables and renders the plan after
+    // eviction, which would be a use-after-free without shared_ptr pins.
+    std::vector<std::shared_ptr<CachedPlan>> pinned;
+    for (int iter = 0; !done.load(std::memory_order_acquire); ++iter) {
+      const Probe& probe = probes[(id + iter) % probes.size()];
+      auto result = db_.Execute(probe.sql);
+      if (!result.ok() || result->rows.NumRows() != probe.expected) {
+        reader_errors.fetch_add(1);
+        ADD_FAILURE() << probe.sql << " -> "
+                      << (result.ok()
+                              ? "wrong count " +
+                                    std::to_string(result->rows.NumRows()) +
+                                    " (want " +
+                                    std::to_string(probe.expected) + ")"
+                              : result.status().ToString());
+        break;
+      }
+      reads.fetch_add(1);
+      if (id == 0) {
+        std::shared_ptr<CachedPlan> entry =
+            db_.plan_cache().Get("SELECT x, y FROM scratch WHERE x >= 0");
+        if (entry != nullptr) pinned.push_back(std::move(entry));
+        if (pinned.size() > 8) pinned.erase(pinned.begin());
+      }
+      // SC lifecycle must never tear, whatever the writer is doing.
+      for (const SoftConstraint* sc : db_.scs().All()) {
+        const double conf = sc->confidence();
+        if (conf < 0.0 || conf > 1.0) {
+          reader_errors.fetch_add(1);
+          ADD_FAILURE() << sc->name() << " confidence " << conf;
+        }
+        const ScState state = sc->state();
+        if (state != ScState::kActive && state != ScState::kViolated &&
+            state != ScState::kRepairQueued && state != ScState::kDropped) {
+          reader_errors.fetch_add(1);
+          ADD_FAILURE() << sc->name() << " torn state "
+                        << static_cast<int>(state);
+        }
+      }
+    }
+    // Evicted-but-pinned packages must still render: the plan tree is
+    // alive for as long as any session holds the entry.
+    for (const auto& entry : pinned) {
+      EXPECT_FALSE(entry->ActivePlan().ToString().empty());
+    }
+  };
+
+  auto writer = [&]() {
+    const std::vector<Value> violating_offset{Value::Int64(50),
+                                              Value::Int64(90)};
+    const std::vector<Value> violating_domain{Value::Int64(500),
+                                              Value::Int64(505)};
+    const std::vector<Value> complying{Value::Int64(5), Value::Int64(9)};
+    for (int iter = 0; iter < 120; ++iter) {
+      // DML on the writer's own table (full engine path: impact analysis,
+      // IC checks, SC hooks).
+      ASSERT_TRUE(db_.InsertRow("w", {Value::Int64(iter),
+                                      Value::Int64(iter * 2)})
+                      .ok());
+      // Synthetic violations against r's SCs: kDropOnViolation flips
+      // dependent packages, kAsyncRepair queues work, kTolerate decays
+      // confidence. r's data never changes, so readers stay correct.
+      ASSERT_TRUE(db_.scs()
+                      .OnInsert(db_.catalog(), "r",
+                                iter % 2 ? violating_offset
+                                         : violating_domain)
+                      .ok());
+      ASSERT_TRUE(db_.scs().OnInsert(db_.catalog(), "r", complying).ok());
+      if (iter % 3 == 0) {
+        // Drain repairs and re-arm flipped packages.
+        ASSERT_TRUE(db_.RunMaintenance().ok());
+      }
+      if (iter % 5 == 0) {
+        // Re-baseline every SC against the (compliant) data: they all
+        // return to kActive with confidence 1.0.
+        ASSERT_TRUE(db_.scs().VerifyAll(db_.catalog()).ok());
+      }
+      // Catalog + plan-cache churn: a scratch table is created, queried
+      // (caching a package readers pin), then dropped (evicting it).
+      ASSERT_TRUE(
+          db_.Execute("CREATE TABLE scratch (x BIGINT NOT NULL, y BIGINT)")
+              .ok());
+      ASSERT_TRUE(db_.InsertRow("scratch", {Value::Int64(iter),
+                                            Value::Int64(iter)})
+                      .ok());
+      auto scratch_read =
+          db_.Execute("SELECT x, y FROM scratch WHERE x >= 0");
+      ASSERT_TRUE(scratch_read.ok());
+      EXPECT_EQ(scratch_read->rows.NumRows(), 1u);
+      ASSERT_TRUE(db_.Execute("DROP TABLE scratch").ok());
+    }
+    done.store(true, std::memory_order_release);
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) threads.emplace_back(reader, i);
+  std::thread writer_thread(writer);
+  writer_thread.join();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(reader_errors.load(), 0);
+  EXPECT_GT(reads.load(), 0u);
+
+  // Final maintenance pass returns the world to a clean state: every SC
+  // re-verifies absolute against the untouched data.
+  ASSERT_TRUE(db_.scs().VerifyAll(db_.catalog()).ok());
+  ASSERT_TRUE(db_.RunMaintenance().ok());
+  for (const SoftConstraint* sc : db_.scs().All()) {
+    EXPECT_TRUE(sc->active()) << sc->name();
+    EXPECT_EQ(sc->confidence(), 1.0) << sc->name();
+  }
+
+  // Counter sanity: the writer's synthetic violations were observed and
+  // scoped invalidation did real work.
+  const ScMaintenanceStats& stats = db_.scs().stats();
+  EXPECT_GT(stats.row_checks.load(), 0u);
+  EXPECT_GT(stats.violations.load(), 0u);
+  EXPECT_GT(stats.async_enqueued.load(), 0u);
+  EXPECT_GT(db_.plan_cache().invalidations(), 0u);
+  EXPECT_GT(db_.plan_cache().hits() + db_.plan_cache().misses(), 0u);
+}
+
+TEST_F(ConcurrencyStressTest, ParallelReadersShareOneScheduler) {
+  // Many threads running morsel-parallel queries against one pool: the
+  // scheduler's Run barrier must keep concurrent groups isolated.
+  db_.options().num_threads = 4;
+  db_.options().parallel_morsel_rows = 32;
+  auto baseline = db_.Execute("SELECT a, b FROM r WHERE a < 80");
+  ASSERT_TRUE(baseline.ok());
+  const std::size_t expected = baseline->rows.NumRows();
+
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 40; ++i) {
+        auto result = db_.Execute("SELECT a, b FROM r WHERE a < 80");
+        if (!result.ok() || result->rows.NumRows() != expected) {
+          errors.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace softdb

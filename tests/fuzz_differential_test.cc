@@ -132,6 +132,65 @@ class FuzzDifferential : public ::testing::TestWithParam<std::uint64_t> {
     return count;
   }
 
+  // Asserts `got` is bit-identical to `want`: same cardinality, and every
+  // value matches in type, nullness and exact textual rendering.
+  static void AssertRowsIdentical(const RowSet& want, const RowSet& got,
+                                  const std::string& sql,
+                                  const std::string& label) {
+    ASSERT_EQ(want.NumRows(), got.NumRows()) << sql << " [" << label << "]";
+    for (std::size_t i = 0; i < want.NumRows(); ++i) {
+      ASSERT_EQ(want.rows[i].size(), got.rows[i].size())
+          << sql << " [" << label << "] row " << i;
+      for (std::size_t c = 0; c < want.rows[i].size(); ++c) {
+        const Value& wv = want.rows[i][c];
+        const Value& gv = got.rows[i][c];
+        ASSERT_EQ(wv.type(), gv.type())
+            << sql << " [" << label << "] row " << i << " col " << c;
+        ASSERT_EQ(wv.is_null(), gv.is_null())
+            << sql << " [" << label << "] row " << i << " col " << c;
+        ASSERT_EQ(wv.ToString(), gv.ToString())
+            << sql << " [" << label << "] row " << i << " col " << c;
+      }
+    }
+  }
+
+  // Re-runs `sql` on the morsel-driven parallel engine at 2 and 8 worker
+  // threads (with a small morsel size so every scan splits into many
+  // morsels) and asserts the output is bit-identical to the serial result:
+  // same rows in the same order, the same ExecStats counters (`morsels`
+  // excluded — it is an execution-strategy detail), and the same
+  // RecordScUse attributions.
+  void ExpectParallelAgrees(const std::string& sql,
+                            const QueryResult& serial) {
+    const bool vectorized_before = db_.options().use_vectorized;
+    db_.options().use_vectorized = true;
+    db_.options().parallel_morsel_rows = 128;
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      db_.options().num_threads = threads;
+      db_.plan_cache().Clear();
+      auto par = db_.Execute(sql);
+      ASSERT_TRUE(par.ok()) << sql << " @" << threads << " threads -> "
+                            << par.status().ToString();
+      const std::string label = std::to_string(threads) + " threads";
+      AssertRowsIdentical(serial.rows, par->rows, sql, label);
+      const ExecStats& ss = serial.exec_stats;
+      const ExecStats& ps = par->exec_stats;
+      EXPECT_EQ(ss.rows_scanned, ps.rows_scanned) << sql << " " << label;
+      EXPECT_EQ(ss.rows_emitted, ps.rows_emitted) << sql << " " << label;
+      EXPECT_EQ(ss.pages_read, ps.pages_read) << sql << " " << label;
+      EXPECT_EQ(ss.rows_output, ps.rows_output) << sql << " " << label;
+      EXPECT_EQ(ss.rows_sorted, ps.rows_sorted) << sql << " " << label;
+      EXPECT_EQ(ss.index_lookups, ps.index_lookups) << sql << " " << label;
+      EXPECT_EQ(ss.rows_joined, ps.rows_joined) << sql << " " << label;
+      EXPECT_EQ(ss.runtime_param_skips, ps.runtime_param_skips)
+          << sql << " " << label;
+      EXPECT_EQ(serial.used_scs, par->used_scs) << sql << " " << label;
+    }
+    db_.options().num_threads = 1;
+    db_.options().parallel_morsel_rows = 4096;
+    db_.options().use_vectorized = vectorized_before;
+  }
+
   // Asserts the row engine and the vectorized batch engine produce
   // byte-identical answers AND identical ExecStats for `sql` under the
   // currently configured optimizer rules.
@@ -178,6 +237,10 @@ class FuzzDifferential : public ::testing::TestWithParam<std::uint64_t> {
     EXPECT_EQ(rs.index_lookups, bs.index_lookups) << sql;
     EXPECT_EQ(rs.rows_joined, bs.rows_joined) << sql;
     EXPECT_EQ(rs.runtime_param_skips, bs.runtime_param_skips) << sql;
+
+    // The same query on the parallel engine must reproduce the serial
+    // batch result bit for bit at every thread count.
+    ExpectParallelAgrees(sql, *batch_result);
   }
 
   Rng rng_{0};
@@ -270,6 +333,11 @@ TEST_P(FuzzDifferential, JoinsAndProjectionsMatchAcrossEngines) {
       EXPECT_EQ(rs.index_lookups, bs.index_lookups) << sql;
       EXPECT_EQ(rs.rows_joined, bs.rows_joined) << sql;
       EXPECT_EQ(rs.runtime_param_skips, bs.runtime_param_skips) << sql;
+
+      // Joins, projections, ORDER BY over a parallel child, and LIMIT
+      // (which must force the subtree serial) all have to reproduce the
+      // serial result exactly at 2 and 8 threads.
+      ExpectParallelAgrees(sql, *batch_result);
     }
   }
 }
