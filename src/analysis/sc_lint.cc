@@ -144,6 +144,16 @@ class DirectiveCursor {
   std::size_t pos_ = 0;
 };
 
+/// Maps a STATE directive word onto the SC lifecycle.
+Result<ScState> ParseScStateWord(const std::string& word) {
+  if (word == "ACTIVE") return ScState::kActive;
+  if (word == "VIOLATED") return ScState::kViolated;
+  if (word == "REPAIR_QUEUED") return ScState::kRepairQueued;
+  if (word == "QUARANTINED") return ScState::kQuarantined;
+  if (word == "DROPPED") return ScState::kDropped;
+  return Status::InvalidArgument("unknown SC state '" + word + "'");
+}
+
 Result<std::vector<ColumnIdx>> ResolveColumns(
     const Schema& schema, const std::vector<std::string>& names) {
   std::vector<ColumnIdx> out;
@@ -269,8 +279,9 @@ Status ParseDirective(SoftDb* db, const std::string& statement) {
     if (!cur.ConsumeWord("ON")) return Status::InvalidArgument("expected ON");
     SOFTDB_ASSIGN_OR_RETURN(std::string table, cur.TakeIdentifier("table"));
     SOFTDB_ASSIGN_OR_RETURN(Table * t, db->catalog().GetTable(table));
-    // The predicate body is everything after CHECK; hand it to the SQL
-    // expression parser rather than re-implementing it on tokens.
+    // The predicate body is everything after CHECK up to an optional
+    // CONFIDENCE / STATE suffix; hand it to the SQL expression parser
+    // rather than re-implementing it on tokens.
     const std::string upper = ToUpper(statement);
     const std::size_t check_pos = upper.find(" CHECK ");
     std::size_t body_start;
@@ -283,20 +294,43 @@ Status ParseDirective(SoftDb* db, const std::string& statement) {
       }
       body_start = paren + 5;
     }
-    std::string body = Trim(statement.substr(body_start));
+    // CONFIDENCE / STATE sit at the tail of the raw text; the cursor is
+    // not positioned past the expression, so scan the suffix.
+    const std::size_t conf_pos = upper.rfind(" CONFIDENCE ");
+    const std::size_t state_pos = upper.rfind(" STATE ");
+    std::size_t body_end = statement.size();
+    if (conf_pos != std::string::npos && conf_pos > body_start) {
+      body_end = std::min(body_end, conf_pos);
+    }
+    if (state_pos != std::string::npos && state_pos > body_start) {
+      body_end = std::min(body_end, state_pos);
+    }
+    std::string body = Trim(statement.substr(body_start,
+                                             body_end - body_start));
     if (body.size() >= 2 && body.front() == '(' && body.back() == ')') {
       body = body.substr(1, body.size() - 2);
     }
     SOFTDB_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression(body));
     SOFTDB_RETURN_IF_ERROR(expr->Bind(t->schema()));
     sc = std::make_unique<PredicateSc>(name, table, std::move(expr));
-    // CONFIDENCE (if any) sits at the tail of the raw text; the cursor is
-    // not positioned past the expression, so scan the suffix.
-    const std::size_t conf_pos = upper.rfind(" CONFIDENCE ");
     if (conf_pos != std::string::npos && conf_pos > body_start) {
       sc->set_confidence(std::stod(Trim(statement.substr(conf_pos + 12))));
     }
-    return db->scs().Add(std::move(sc), db->catalog(), /*verify_now=*/false);
+    ScState declared_state = ScState::kActive;
+    if (state_pos != std::string::npos && state_pos > body_start) {
+      std::string tail = Trim(statement.substr(state_pos + 7));
+      const std::size_t word_end = tail.find_first_of(" \t\r\n");
+      SOFTDB_ASSIGN_OR_RETURN(
+          declared_state, ParseScStateWord(ToUpper(tail.substr(0, word_end))));
+    }
+    SOFTDB_RETURN_IF_ERROR(
+        db->scs().Add(std::move(sc), db->catalog(), /*verify_now=*/false));
+    if (declared_state != ScState::kActive) {
+      if (SoftConstraint* added = db->scs().Find(name)) {
+        added->set_state(declared_state);
+      }
+    }
+    return Status::OK();
   } else {
     return Status::InvalidArgument("unknown SC kind '" + kind_word + "'");
   }
@@ -305,11 +339,27 @@ Status ParseDirective(SoftDb* db, const std::string& statement) {
     SOFTDB_ASSIGN_OR_RETURN(double conf, cur.TakeNumber());
     sc->set_confidence(conf);
   }
+  // STATE declares where the SC sits in its lifecycle (catalog dumps carry
+  // it so the linter can flag entries wedged in repair or quarantine).
+  ScState declared_state = ScState::kActive;
+  if (cur.ConsumeWord("STATE")) {
+    SOFTDB_ASSIGN_OR_RETURN(std::string state_word,
+                            cur.TakeIdentifier("SC state"));
+    SOFTDB_ASSIGN_OR_RETURN(declared_state,
+                            ParseScStateWord(ToUpper(state_word)));
+  }
   if (!cur.AtEnd()) {
     return Status::InvalidArgument("trailing tokens in SOFT CONSTRAINT '" +
                                    name + "'");
   }
-  return db->scs().Add(std::move(sc), db->catalog(), /*verify_now=*/false);
+  SOFTDB_RETURN_IF_ERROR(
+      db->scs().Add(std::move(sc), db->catalog(), /*verify_now=*/false));
+  if (declared_state != ScState::kActive) {
+    if (SoftConstraint* added = db->scs().Find(name)) {
+      added->set_state(declared_state);
+    }
+  }
+  return Status::OK();
 }
 
 // ------------------------------------------------------- workload analysis
@@ -688,6 +738,31 @@ void CheckLinearEpsilons(SoftDb& db, LintReport* report) {
   }
 }
 
+/// Lifecycle hygiene: an SC sitting in the repair queue at catalog-dump
+/// time means maintenance is not being run (or the repair keeps losing);
+/// a quarantined SC means the self-healing worker gave up on it — the
+/// optimizer will never exploit either until an operator intervenes.
+void CheckStuckRepairs(SoftDb& db, LintReport* report) {
+  for (SoftConstraint* sc : db.scs().All()) {
+    switch (sc->state()) {
+      case ScState::kRepairQueued:
+        Report(report, "stuck-repair", "warning", sc->name(),
+               std::string(ScKindName(sc->kind())) + " SC on " + sc->table() +
+                   " is parked in the repair queue; run maintenance or the "
+                   "repair worker, or drop it");
+        break;
+      case ScState::kQuarantined:
+        Report(report, "quarantined-sc", "error", sc->name(),
+               std::string(ScKindName(sc->kind())) + " SC on " + sc->table() +
+                   " exhausted its repair-attempt budget and was "
+                   "quarantined; fix the underlying data or drop it");
+        break;
+      default:
+        break;
+    }
+  }
+}
+
 void CheckStaleness(SoftDb& db, const LintOptions& options,
                     LintReport* report) {
   for (SoftConstraint* sc : db.scs().All()) {
@@ -908,6 +983,7 @@ Result<LintReport> LintCatalog(const std::string& catalog_script,
   CheckChainContradictions(db, flagged_tables, &report);
   CheckInclusionCycles(db, &report);
   CheckLinearEpsilons(db, &report);
+  CheckStuckRepairs(db, &report);
   CheckStaleness(db, options, &report);
   if (!workload_sqls.empty()) {
     SOFTDB_ASSIGN_OR_RETURN(WorkloadFacts facts,

@@ -58,12 +58,15 @@ struct LintReport {
 ///   SOFT CONSTRAINT <name> FD ON t(d1, ...) DETERMINES (e1, ...)
 ///   SOFT CONSTRAINT <name> PREDICATE ON t CHECK (<expr>)
 ///
-/// each optionally suffixed with `CONFIDENCE <v>` (default 1.0 = absolute).
-/// `--` starts a line comment.
+/// each optionally suffixed with `CONFIDENCE <v>` (default 1.0 = absolute)
+/// and/or `STATE <ACTIVE|VIOLATED|REPAIR_QUEUED|QUARANTINED|DROPPED>`
+/// (default ACTIVE; catalog dumps carry the lifecycle state so the linter
+/// can audit it). `--` starts a line comment.
 ///
 /// Checks: contradictory SCs (domain vs CHECK constraint, disjoint domain
 /// pairs, inclusion SCs cyclic with referential ICs, linear SCs with
-/// negative/vacuous ε), stale confidence below the threshold, and — when
+/// negative/vacuous ε), stale confidence below the threshold, lifecycle
+/// hygiene (repair-queued SCs warn, quarantined SCs error), and — when
 /// `workload_sqls` is non-empty — dead catalog entries no workload query
 /// can exploit (queries are bound, never executed).
 Result<LintReport> LintCatalog(const std::string& catalog_script,

@@ -1,0 +1,181 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace softdb {
+
+namespace {
+
+// Parses "always", "off", "every(N)" or "prob(P[,S])" into a Policy.
+Status ParsePolicy(const std::string& text, Failpoints::Policy* out) {
+  if (text == "always") {
+    out->trigger = Failpoints::Trigger::kAlways;
+    return Status::OK();
+  }
+  if (text == "off") {
+    out->trigger = Failpoints::Trigger::kOff;
+    return Status::OK();
+  }
+  auto call = [&](const std::string& fn,
+                  std::vector<std::string>* args) -> bool {
+    if (text.size() < fn.size() + 2 || text.compare(0, fn.size(), fn) != 0 ||
+        text[fn.size()] != '(' || text.back() != ')') {
+      return false;
+    }
+    const std::string inner =
+        text.substr(fn.size() + 1, text.size() - fn.size() - 2);
+    for (const auto& piece : Split(inner, ',')) {
+      args->push_back(Trim(piece));
+    }
+    return true;
+  };
+  std::vector<std::string> args;
+  if (call("every", &args)) {
+    if (args.size() != 1) {
+      return Status::InvalidArgument("every() takes one argument: " + text);
+    }
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(args[0].c_str(), &end, 10);
+    if (end == args[0].c_str() || *end != '\0' || n == 0) {
+      return Status::InvalidArgument("bad every() period: " + text);
+    }
+    out->trigger = Failpoints::Trigger::kEveryNth;
+    out->n = n;
+    return Status::OK();
+  }
+  if (call("prob", &args)) {
+    if (args.empty() || args.size() > 2) {
+      return Status::InvalidArgument("prob() takes one or two arguments: " +
+                                     text);
+    }
+    char* end = nullptr;
+    const double p = std::strtod(args[0].c_str(), &end);
+    if (end == args[0].c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("bad prob() probability: " + text);
+    }
+    out->trigger = Failpoints::Trigger::kProbability;
+    out->probability = p;
+    out->seed = 0;
+    if (args.size() == 2) {
+      const unsigned long long s = std::strtoull(args[1].c_str(), &end, 10);
+      if (end == args[1].c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad prob() seed: " + text);
+      }
+      out->seed = s;
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown failpoint policy: " + text);
+}
+
+}  // namespace
+
+Failpoints& Failpoints::Instance() {
+  // Leaked singleton: failpoints may be evaluated during static teardown
+  // (e.g. a SoftDb destructor stopping its repair worker).
+  static Failpoints* instance = new Failpoints();
+  return *instance;
+}
+
+Failpoints::Failpoints() {
+  // Arm the env profile once, at first use. A malformed entry stops the
+  // parse at that entry; chaos harnesses that need validation call
+  // ParseProfile directly.
+  const char* profile = std::getenv("SOFTDB_FAILPOINTS");
+  if (profile != nullptr && profile[0] != '\0') {
+    ParseProfile(profile).ok();
+  }
+}
+
+void Failpoints::Enable(const std::string& site, Policy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState state;
+  state.policy = policy;
+  state.rng = Rng(policy.seed);
+  sites_[site] = state;
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void Failpoints::SetAction(const std::string& site,
+                           std::function<void()> action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_[site].action = std::move(action);
+}
+
+void Failpoints::Disable(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.policy.trigger = Trigger::kOff;
+}
+
+void Failpoints::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+Status Failpoints::ParseProfile(const std::string& profile) {
+  for (const auto& piece : Split(profile, ';')) {
+    const std::string entry = Trim(piece);
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("bad failpoint entry: " + entry);
+    }
+    const std::string site = Trim(entry.substr(0, eq));
+    const std::string policy_text = Trim(entry.substr(eq + 1));
+    Policy policy;
+    SOFTDB_RETURN_IF_ERROR(ParsePolicy(policy_text, &policy));
+    Enable(site, policy);
+  }
+  return Status::OK();
+}
+
+bool Failpoints::ShouldFail(const char* site) {
+  std::function<void()> action;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return false;
+    SiteState& state = it->second;
+    state.evaluations++;
+    switch (state.policy.trigger) {
+      case Trigger::kOff:
+        break;
+      case Trigger::kAlways:
+        fired = true;
+        break;
+      case Trigger::kEveryNth:
+        fired = state.evaluations % state.policy.n == 0;
+        break;
+      case Trigger::kProbability:
+        fired = state.rng.NextBool(state.policy.probability);
+        break;
+    }
+    if (fired) {
+      state.fires++;
+      action = state.action;
+    }
+  }
+  // The action may re-enter the framework (e.g. Disable its own site), so
+  // it runs without the lock.
+  if (action) action();
+  return fired;
+}
+
+std::uint64_t Failpoints::Evaluations(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.evaluations;
+}
+
+std::uint64_t Failpoints::Fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace softdb

@@ -1,0 +1,134 @@
+#ifndef SOFTDB_COMMON_FAILPOINT_H_
+#define SOFTDB_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace softdb {
+
+/// Deterministic fault-injection framework. A *failpoint* is a named site in
+/// engine code (e.g. "sc.repair_full", "exec.batch_scan") that can be armed
+/// with a trigger policy; when the policy fires, the call site returns a
+/// typed error instead of executing normally. Disarmed sites cost one
+/// relaxed atomic load (see SOFTDB_FAILPOINT_FIRED), so they are safe to
+/// leave compiled in on hot paths.
+///
+/// Policies:
+///   - always:      every evaluation fires.
+///   - every(N):    the Nth, 2Nth, 3Nth... evaluation fires (N >= 1).
+///   - prob(P[,S]): each evaluation fires with probability P, driven by a
+///                  per-site deterministic Rng seeded with S (default 0), so
+///                  a given seed always yields the same fire sequence for a
+///                  given evaluation order.
+///   - off:         never fires (still counts evaluations).
+///
+/// Activation: programmatically via Enable()/Disable()/DisableAll(), or
+/// through the environment variable SOFTDB_FAILPOINTS, parsed once on first
+/// use, e.g.:
+///
+///   SOFTDB_FAILPOINTS='sc.repair_full=always;scheduler.task=every(3);
+///                      exec.batch_scan=prob(0.05,42)'
+///
+/// Site catalog (kept current in DESIGN.md "Failure model"):
+///   sc.repair_full        SoftConstraint repair execution
+///   scheduler.task        TaskScheduler task body
+///   exec.hash_join_build  hash-join build-side materialization
+///   exec.batch_scan       vectorized scan batch production
+///   plan_cache.insert     plan-cache Put (fires -> entry not cached)
+class Failpoints {
+ public:
+  enum class Trigger { kOff, kAlways, kEveryNth, kProbability };
+
+  struct Policy {
+    Trigger trigger = Trigger::kOff;
+    std::uint64_t n = 0;     // kEveryNth period.
+    double probability = 0;  // kProbability fire chance in [0, 1].
+    std::uint64_t seed = 0;  // kProbability Rng seed.
+  };
+
+  /// Process-wide instance; all call-site macros route through it.
+  static Failpoints& Instance();
+
+  /// Arms `site` with `policy`. Resets the site's counters.
+  void Enable(const std::string& site, Policy policy);
+
+  /// Disarms `site` (counters are kept for inspection).
+  void Disable(const std::string& site);
+
+  /// Disarms every site and clears all counters. Tests call this in
+  /// SetUp/TearDown so profiles never leak across cases.
+  void DisableAll();
+
+  /// Parses a profile string of `site=policy` pairs separated by ';' (see
+  /// class comment) and arms each site. Returns kInvalidArgument on a
+  /// malformed entry; entries before the bad one stay armed.
+  Status ParseProfile(const std::string& profile);
+
+  /// Attaches an action to an armed site: each time the site *fires*, the
+  /// action runs (without the framework lock held) before the call site
+  /// reacts. Chaos tests use this to mutate engine state at a precise
+  /// mid-query moment — e.g. overturning an SC between two batches.
+  void SetAction(const std::string& site, std::function<void()> action);
+
+  /// Evaluates `site`: counts the evaluation and returns true if the armed
+  /// policy fires. Disarmed or unknown sites return false.
+  bool ShouldFail(const char* site);
+
+  /// Total evaluations / fires observed at `site` since it was last armed
+  /// (0 for never-armed sites).
+  std::uint64_t Evaluations(const std::string& site) const;
+  std::uint64_t Fires(const std::string& site) const;
+
+  /// True if any site is currently armed. Lock-free; the fast path for
+  /// disarmed builds.
+  bool AnyArmed() const { return any_armed_.load(std::memory_order_relaxed); }
+
+ private:
+  // Arms the SOFTDB_FAILPOINTS env profile, if set.
+  Failpoints();
+
+  struct SiteState {
+    Policy policy;
+    std::uint64_t evaluations = 0;
+    std::uint64_t fires = 0;
+    Rng rng{0};
+    std::function<void()> action;  // Runs on fire, outside the lock.
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SiteState> sites_;
+  std::atomic<bool> any_armed_{false};
+};
+
+}  // namespace softdb
+
+/// True when the named failpoint fires this evaluation. The disarmed fast
+/// path is a single relaxed load.
+#define SOFTDB_FAILPOINT_FIRED(site)                 \
+  (::softdb::Failpoints::Instance().AnyArmed() &&    \
+   ::softdb::Failpoints::Instance().ShouldFail(site))
+
+/// Returns `status_expr` from the enclosing function when the failpoint
+/// fires. Each site supplies its own typed error so chaos runs surface
+/// clean, category-correct statuses.
+#define SOFTDB_INJECT_FAULT(site, status_expr)            \
+  do {                                                    \
+    if (SOFTDB_FAILPOINT_FIRED(site)) return (status_expr); \
+  } while (false)
+
+/// Action-only site: evaluates the failpoint for its side effects (counters
+/// and an attached SetAction callback) without erroring out.
+#define SOFTDB_FAILPOINT_HIT(site) \
+  do {                             \
+    (void)SOFTDB_FAILPOINT_FIRED(site); \
+  } while (false)
+
+#endif  // SOFTDB_COMMON_FAILPOINT_H_

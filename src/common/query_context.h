@@ -1,0 +1,57 @@
+#ifndef SOFTDB_COMMON_QUERY_CONTEXT_H_
+#define SOFTDB_COMMON_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.h"
+
+namespace softdb {
+
+/// Thread-safe cancellation flag shared between a query and whoever may
+/// cancel it. Cancel() is sticky: once set, every subsequent Check at a
+/// cancellation point in the executors returns kCancelled.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Per-query execution limits, passed to SoftDb::Execute. The executors
+/// check it cooperatively at morsel/batch granularity (and strided inside
+/// long row loops), so cancellation latency is bounded by one batch, not
+/// one query. Copyable; the token is shared so the caller can keep a handle
+/// and cancel from another thread.
+struct QueryContext {
+  std::shared_ptr<CancellationToken> cancel;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+
+  /// Arms a deadline `budget` from now.
+  void SetDeadlineAfter(std::chrono::milliseconds budget) {
+    has_deadline = true;
+    deadline = std::chrono::steady_clock::now() + budget;
+  }
+
+  /// kCancelled if the token fired, kDeadlineExceeded if past the deadline,
+  /// OK otherwise. Reads the clock only when a deadline is armed.
+  Status Check() const {
+    if (cancel != nullptr && cancel->cancelled()) {
+      return Status::Cancelled("query cancelled");
+    }
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_COMMON_QUERY_CONTEXT_H_

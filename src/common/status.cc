@@ -26,6 +26,12 @@ const char* StatusCodeName(StatusCode code) {
       return "internal error";
     case StatusCode::kOutOfRange:
       return "out of range";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
   }
   return "unknown";
 }

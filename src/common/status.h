@@ -20,6 +20,9 @@ enum class StatusCode {
   kNotImplemented,
   kInternal,
   kOutOfRange,
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
 };
 
 /// Returns a stable, lowercase name for `code` (e.g. "constraint violation").
@@ -71,6 +74,15 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,66 @@
+#include "constraints/repair_worker.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace softdb {
+
+RepairWorker::RepairWorker(ScRegistry* registry, const Catalog* catalog)
+    : RepairWorker(registry, catalog, Options(), nullptr) {}
+
+RepairWorker::RepairWorker(ScRegistry* registry, const Catalog* catalog,
+                           Options options,
+                           std::function<void()> on_repaired)
+    : registry_(registry), catalog_(catalog), options_(options),
+      on_repaired_(std::move(on_repaired)) {}
+
+RepairWorker::~RepairWorker() { Stop(); }
+
+void RepairWorker::Start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void RepairWorker::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void RepairWorker::Loop() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stop_requested_) return;
+    }
+    const RepairStepResult result = registry_->RepairStep(*catalog_);
+    if (result != RepairStepResult::kIdle) {
+      steps_.fetch_add(1, std::memory_order_relaxed);
+      if (result == RepairStepResult::kRepaired && on_repaired_) {
+        on_repaired_();
+      }
+      continue;  // Drain eagerly while work is due.
+    }
+    // Nothing due: sleep until the earliest backoff deadline (capped at the
+    // poll interval, which also bounds reaction time to fresh enqueues).
+    auto wake = std::chrono::steady_clock::now() + options_.poll_interval;
+    if (auto due = registry_->NextRepairDue(); due.has_value()) {
+      wake = std::min(wake, *due);
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_until(lk, wake, [this] { return stop_requested_; });
+    if (stop_requested_) return;
+  }
+}
+
+}  // namespace softdb

@@ -1,0 +1,76 @@
+#ifndef SOFTDB_CONSTRAINTS_REPAIR_WORKER_H_
+#define SOFTDB_CONSTRAINTS_REPAIR_WORKER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "constraints/sc_registry.h"
+
+namespace softdb {
+
+/// Background self-healing loop over ScRegistry's repair queue — the
+/// automatic version of the §4.3 "off-line repair at light load" step. One
+/// dedicated thread drains due tickets via ScRegistry::RepairStep, which
+/// supplies exponential backoff + deterministic jitter between attempts and
+/// quarantines an SC whose repair keeps failing past the registry's
+/// RepairPolicy budget (with an audit record).
+///
+/// The worker is an optional engine component: SoftDb starts one when
+/// EngineOptions::enable_repair_worker is set, and the manual
+/// RunMaintenance drain keeps working alongside it (both paths share the
+/// registry's ticket bookkeeping, so an SC is never repaired twice).
+class RepairWorker {
+ public:
+  struct Options {
+    /// Idle sleep between queue polls when no ticket is due. Kept short:
+    /// the wait also wakes early for the earliest ticket deadline.
+    std::chrono::milliseconds poll_interval{20};
+  };
+
+  /// `on_repaired` (optional) runs on the worker thread after every
+  /// successful repair — the engine uses it to re-arm cached plans.
+  RepairWorker(ScRegistry* registry, const Catalog* catalog);
+  RepairWorker(ScRegistry* registry, const Catalog* catalog, Options options,
+               std::function<void()> on_repaired = nullptr);
+  ~RepairWorker();
+
+  RepairWorker(const RepairWorker&) = delete;
+  RepairWorker& operator=(const RepairWorker&) = delete;
+
+  /// Starts the worker thread (no-op when already running).
+  void Start();
+
+  /// Stops and joins the worker thread (no-op when not running). Any
+  /// in-flight repair attempt completes first.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Tickets processed (any outcome) since Start — test observability.
+  std::uint64_t steps() const {
+    return steps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  ScRegistry* registry_;
+  const Catalog* catalog_;
+  Options options_;
+  std::function<void()> on_repaired_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> steps_{0};
+  std::thread thread_;
+};
+
+}  // namespace softdb
+
+#endif  // SOFTDB_CONSTRAINTS_REPAIR_WORKER_H_

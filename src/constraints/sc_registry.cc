@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace softdb {
 
 Status ScRegistry::Add(ScPtr sc, const Catalog& catalog, bool verify_now) {
@@ -141,6 +143,7 @@ Status ScRegistry::OnInsert(const Catalog& catalog, const std::string& table,
         stats_.holes_invalidated.fetch_add(dropped,
                                            std::memory_order_relaxed);
         if (dropped > 0) {
+          sc->BumpEpoch();  // Plans pruned on a hole that no longer holds.
           stats_.sync_repairs.fetch_add(1, std::memory_order_relaxed);
         }
         continue;
@@ -152,6 +155,7 @@ Status ScRegistry::OnInsert(const Catalog& catalog, const std::string& table,
           const std::size_t dropped = hole->InvalidateHolesForRightInsert(row);
           stats_.holes_invalidated.fetch_add(dropped,
                                              std::memory_order_relaxed);
+          if (dropped > 0) sc->BumpEpoch();
           continue;
         }
       }
@@ -175,6 +179,9 @@ Status ScRegistry::OnInsert(const Catalog& catalog, const std::string& table,
       case ScMaintenancePolicy::kSyncRepair: {
         Status st = sc->RepairForRow(row);
         if (st.ok()) {
+          // The SC stayed active but its parameters changed; in-flight
+          // plans that consumed the old parameters must revalidate.
+          sc->BumpEpoch();
           stats_.sync_repairs.fetch_add(1, std::memory_order_relaxed);
         } else {
           // No sync repair available: fall back to drop.
@@ -184,15 +191,27 @@ Status ScRegistry::OnInsert(const Catalog& catalog, const std::string& table,
         }
         break;
       }
-      case ScMaintenancePolicy::kAsyncRepair:
+      case ScMaintenancePolicy::kAsyncRepair: {
         sc->set_state(ScState::kRepairQueued);
+        // Dedupe on enqueue: a stale ticket can still be queued when the SC
+        // was resurrected (e.g. by VerifyAll) and violated again, and
+        // double-queueing would double-count async_enqueued and repair the
+        // SC twice.
+        bool enqueued = false;
         {
           std::lock_guard<std::mutex> lk(aux_mu_);
-          repair_queue_.push_back(sc->name());
+          if (queued_names_.insert(sc->name()).second) {
+            repair_queue_.push_back(RepairTicket{
+                sc->name(), 0, std::chrono::steady_clock::now()});
+            enqueued = true;
+          }
         }
-        stats_.async_enqueued.fetch_add(1, std::memory_order_relaxed);
+        if (enqueued) {
+          stats_.async_enqueued.fetch_add(1, std::memory_order_relaxed);
+        }
         FireViolation(*sc);  // Plans lose the SC until repair completes.
         break;
+      }
       case ScMaintenancePolicy::kTolerate: {
         // Demote to statistical: account one more violating row.
         const double rows =
@@ -207,23 +226,151 @@ Status ScRegistry::OnInsert(const Catalog& catalog, const std::string& table,
 }
 
 Status ScRegistry::RunRepairQueue(const Catalog& catalog) {
-  while (true) {
-    std::string name;
-    {
-      std::lock_guard<std::mutex> lk(aux_mu_);
-      if (repair_queue_.empty()) break;
-      name = repair_queue_.front();
-      repair_queue_.pop_front();
+  std::size_t pending;
+  {
+    std::lock_guard<std::mutex> lk(aux_mu_);
+    pending = repair_queue_.size();
+  }
+  // Bounded pass: each ticket queued at entry gets one attempt; re-queued
+  // failures land at the back and wait for the next drain (or the worker).
+  for (std::size_t i = 0; i < pending; ++i) {
+    if (RepairStep(catalog, /*respect_backoff=*/false) ==
+        RepairStepResult::kIdle) {
+      break;
     }
-    SoftConstraint* sc = Find(name);
-    if (sc == nullptr) continue;
-    std::lock_guard<std::mutex> sc_lk(sc->maintenance_mu());
-    if (sc->state() != ScState::kRepairQueued) continue;
-    SOFTDB_RETURN_IF_ERROR(sc->RepairFull(catalog));
-    sc->set_state(ScState::kActive);
-    stats_.async_repairs.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
+}
+
+RepairStepResult ScRegistry::RepairStep(const Catalog& catalog,
+                                        bool respect_backoff) {
+  RepairTicket ticket;
+  {
+    std::lock_guard<std::mutex> lk(aux_mu_);
+    const auto now = std::chrono::steady_clock::now();
+    auto it = repair_queue_.begin();
+    while (it != repair_queue_.end() && respect_backoff &&
+           it->not_before > now) {
+      ++it;
+    }
+    if (it == repair_queue_.end()) return RepairStepResult::kIdle;
+    ticket = std::move(*it);
+    repair_queue_.erase(it);
+    queued_names_.erase(ticket.name);
+  }
+  return AttemptRepair(catalog, std::move(ticket));
+}
+
+RepairStepResult ScRegistry::AttemptRepair(const Catalog& catalog,
+                                           RepairTicket ticket) {
+  SoftConstraint* sc = Find(ticket.name);
+  if (sc == nullptr) return RepairStepResult::kStale;  // Dropped meanwhile.
+  RepairPolicy policy;
+  {
+    std::lock_guard<std::mutex> lk(aux_mu_);
+    policy = repair_policy_;
+  }
+  RepairStepResult outcome;
+  Status error;
+  {
+    std::lock_guard<std::mutex> sc_lk(sc->maintenance_mu());
+    if (sc->state() != ScState::kRepairQueued) {
+      // Resurrected (VerifyAll) or demoted while queued; nothing to do.
+      return RepairStepResult::kStale;
+    }
+    Status st;
+    if (SOFTDB_FAILPOINT_FIRED("sc.repair_full")) {
+      st = Status::Internal("injected repair failure for " + sc->name());
+    } else {
+      st = sc->RepairFull(catalog);
+    }
+    if (st.ok()) {
+      sc->set_state(ScState::kActive);
+      outcome = RepairStepResult::kRepaired;
+    } else {
+      error = std::move(st);
+      ++ticket.attempts;
+      if (ticket.attempts >= policy.max_attempts) {
+        // Poison SC: demote out of the queue for good, like a drop, but
+        // keep it listed so audits and catalog dumps surface it.
+        sc->set_state(ScState::kQuarantined);
+        outcome = RepairStepResult::kQuarantined;
+      } else {
+        outcome = RepairStepResult::kRequeued;
+      }
+    }
+  }
+  switch (outcome) {
+    case RepairStepResult::kRepaired:
+      stats_.async_repairs.fetch_add(1, std::memory_order_relaxed);
+      RecordAudit({ticket.name, ticket.attempts, "", "repaired"});
+      break;
+    case RepairStepResult::kRequeued: {
+      stats_.repair_failures.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(aux_mu_);
+      if (queued_names_.insert(ticket.name).second) {
+        ticket.not_before = std::chrono::steady_clock::now() +
+                            BackoffLocked(ticket.attempts);
+        repair_audit_.push_back(
+            {ticket.name, ticket.attempts, error.message(), "requeued"});
+        repair_queue_.push_back(std::move(ticket));
+      }
+      break;
+    }
+    case RepairStepResult::kQuarantined:
+      stats_.repair_failures.fetch_add(1, std::memory_order_relaxed);
+      stats_.quarantined.fetch_add(1, std::memory_order_relaxed);
+      RecordAudit(
+          {ticket.name, ticket.attempts, error.message(), "quarantined"});
+      FireViolation(*sc);  // Plans must not wait for this SC anymore.
+      break;
+    default:
+      break;
+  }
+  return outcome;
+}
+
+std::chrono::milliseconds ScRegistry::BackoffLocked(std::size_t attempts) {
+  const std::size_t shift = attempts == 0 ? 0 : std::min<std::size_t>(
+                                                    attempts - 1, 20);
+  double ms = static_cast<double>(repair_policy_.base_backoff.count()) *
+              static_cast<double>(std::uint64_t{1} << shift);
+  ms = std::min(ms, static_cast<double>(repair_policy_.max_backoff.count()));
+  // Deterministic ±25% jitter desynchronizes retries without losing test
+  // reproducibility (the Rng is seeded by policy).
+  ms *= 0.75 + 0.5 * backoff_rng_.NextDouble();
+  return std::chrono::milliseconds(static_cast<std::int64_t>(ms));
+}
+
+void ScRegistry::RecordAudit(RepairAuditRecord record) {
+  std::lock_guard<std::mutex> lk(aux_mu_);
+  repair_audit_.push_back(std::move(record));
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+ScRegistry::NextRepairDue() const {
+  std::lock_guard<std::mutex> lk(aux_mu_);
+  std::optional<std::chrono::steady_clock::time_point> due;
+  for (const RepairTicket& t : repair_queue_) {
+    if (!due.has_value() || t.not_before < *due) due = t.not_before;
+  }
+  return due;
+}
+
+void ScRegistry::SetRepairPolicy(const RepairPolicy& policy) {
+  std::lock_guard<std::mutex> lk(aux_mu_);
+  repair_policy_ = policy;
+  backoff_rng_ = Rng(policy.jitter_seed);
+}
+
+RepairPolicy ScRegistry::repair_policy() const {
+  std::lock_guard<std::mutex> lk(aux_mu_);
+  return repair_policy_;
+}
+
+std::vector<RepairAuditRecord> ScRegistry::repair_audit() const {
+  std::lock_guard<std::mutex> lk(aux_mu_);
+  return repair_audit_;
 }
 
 std::size_t ScRegistry::repair_queue_size() const {
@@ -234,7 +381,12 @@ std::size_t ScRegistry::repair_queue_size() const {
 Status ScRegistry::VerifyAll(const Catalog& catalog) {
   for (const ScSharedPtr& sc : Snapshot()) {
     std::lock_guard<std::mutex> sc_lk(sc->maintenance_mu());
-    if (sc->state() == ScState::kDropped) continue;
+    // Quarantined SCs are deliberately not resurrected by a blanket
+    // re-verify; recovery from quarantine is a manual decision.
+    if (sc->state() == ScState::kDropped ||
+        sc->state() == ScState::kQuarantined) {
+      continue;
+    }
     SOFTDB_RETURN_IF_ERROR(sc->Verify(catalog).status());
   }
   return Status::OK();

@@ -2,15 +2,19 @@
 #define SOFTDB_CONSTRAINTS_SC_REGISTRY_H_
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
+
+#include "common/rng.h"
 
 #include "constraints/join_hole_sc.h"
 #include "constraints/soft_constraint.h"
@@ -28,6 +32,8 @@ struct ScMaintenanceStats {
   std::atomic<std::uint64_t> drops{0};          // SCs overturned.
   std::atomic<std::uint64_t> holes_invalidated{0};  // Holes dropped.
   std::atomic<std::uint64_t> scoped_skips{0};   // Skipped via impact scoping.
+  std::atomic<std::uint64_t> repair_failures{0};  // Failed repair attempts.
+  std::atomic<std::uint64_t> quarantined{0};    // Poison SCs quarantined.
 
   void Reset() {
     row_checks = 0;
@@ -38,7 +44,35 @@ struct ScMaintenanceStats {
     drops = 0;
     holes_invalidated = 0;
     scoped_skips = 0;
+    repair_failures = 0;
+    quarantined = 0;
   }
+};
+
+/// Retry budget and backoff shape for async repair (shared by the manual
+/// drain and the background RepairWorker).
+struct RepairPolicy {
+  std::size_t max_attempts = 5;  // Quarantine after this many failures.
+  std::chrono::milliseconds base_backoff{10};
+  std::chrono::milliseconds max_backoff{1000};
+  std::uint64_t jitter_seed = 0x5EEDULL;  // Deterministic backoff jitter.
+};
+
+/// One entry in the repair audit trail; quarantines always leave a record.
+struct RepairAuditRecord {
+  std::string sc_name;
+  std::size_t attempts = 0;  // Attempts consumed when the action was taken.
+  std::string last_error;    // Message of the failed attempt, if any.
+  std::string action;        // "repaired" | "requeued" | "quarantined".
+};
+
+/// What one RepairStep call did.
+enum class RepairStepResult {
+  kIdle,         // Nothing queued (or nothing due yet).
+  kRepaired,     // An SC was repaired and reactivated.
+  kRequeued,     // The attempt failed; ticket re-queued with backoff.
+  kQuarantined,  // Attempt budget exhausted; SC demoted to quarantine.
+  kStale,        // Ticket no longer applies (SC dropped or resurrected).
 };
 
 /// Registry and maintenance engine for soft constraints — the "SC facility"
@@ -94,9 +128,28 @@ class ScRegistry {
                   const std::set<std::string>* scope = nullptr);
 
   /// Drains the async repair queue (exact re-mining / re-verification) —
-  /// the off-line step §4.3 schedules for light-load periods.
+  /// the off-line step §4.3 schedules for light-load periods. Each ticket
+  /// queued at entry is attempted once, ignoring backoff; failures are
+  /// re-queued (or quarantined past the attempt budget) rather than
+  /// propagated, so a poison SC cannot wedge the drain.
   Status RunRepairQueue(const Catalog& catalog);
   std::size_t repair_queue_size() const;
+
+  /// Attempts the first due repair ticket and reports what happened. The
+  /// background RepairWorker's unit of work; `respect_backoff` false also
+  /// considers tickets still inside their backoff window.
+  RepairStepResult RepairStep(const Catalog& catalog,
+                              bool respect_backoff = true);
+
+  /// Earliest not-before among queued tickets (nullopt when queue empty) —
+  /// how long the worker may sleep.
+  std::optional<std::chrono::steady_clock::time_point> NextRepairDue() const;
+
+  void SetRepairPolicy(const RepairPolicy& policy);
+  RepairPolicy repair_policy() const;
+
+  /// Copy of the audit trail (repairs, re-queues, quarantines), in order.
+  std::vector<RepairAuditRecord> repair_audit() const;
 
   /// Re-verifies every SC (periodic runstats-style refresh, §3).
   Status VerifyAll(const Catalog& catalog);
@@ -116,6 +169,13 @@ class ScRegistry {
  private:
   using ScSharedPtr = std::shared_ptr<SoftConstraint>;
 
+  /// A queued repair with its retry bookkeeping.
+  struct RepairTicket {
+    std::string name;
+    std::size_t attempts = 0;
+    std::chrono::steady_clock::time_point not_before{};
+  };
+
   void FireViolation(const SoftConstraint& sc) {
     if (listener_) listener_(sc);
   }
@@ -124,12 +184,24 @@ class ScRegistry {
   std::vector<ScSharedPtr> Snapshot() const;
   SoftConstraint* FindLocked(const std::string& name) const;
 
+  /// Runs one repair attempt for a popped ticket: repair + reactivate, or
+  /// re-queue with exponential backoff, or quarantine past the budget.
+  RepairStepResult AttemptRepair(const Catalog& catalog, RepairTicket ticket);
+  /// Backoff for the ticket's next attempt: base * 2^(attempts-1), capped,
+  /// with deterministic ±25% jitter. Called under aux_mu_.
+  std::chrono::milliseconds BackoffLocked(std::size_t attempts);
+  void RecordAudit(RepairAuditRecord record);
+
   mutable std::shared_mutex list_mu_;  // Guards constraints_ + graveyard_.
   std::vector<ScSharedPtr> constraints_;
   std::vector<ScSharedPtr> graveyard_;  // Dropped; keeps pointers valid.
 
   mutable std::mutex aux_mu_;  // Guards queue + use/benefit accounting.
-  std::deque<std::string> repair_queue_;
+  std::deque<RepairTicket> repair_queue_;
+  std::set<std::string> queued_names_;  // Dedupes enqueues (one ticket/SC).
+  RepairPolicy repair_policy_;
+  Rng backoff_rng_{RepairPolicy{}.jitter_seed};
+  std::vector<RepairAuditRecord> repair_audit_;
   std::map<std::string, std::uint64_t> use_counts_;
   std::map<std::string, double> benefits_;
 

@@ -30,6 +30,8 @@ const char* ScStateName(ScState state) {
       return "violated";
     case ScState::kRepairQueued:
       return "repair-queued";
+    case ScState::kQuarantined:
+      return "quarantined";
     case ScState::kDropped:
       return "dropped";
   }

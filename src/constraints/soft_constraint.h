@@ -37,11 +37,15 @@ const char* ScKindName(ScKind kind);
 /// kViolated  — overturned by an update and not yet repaired; unusable for
 ///              rewrite, and plans built on it are invalidated (§4.1).
 /// kRepairQueued — violated, async repair pending (§4.3).
+/// kQuarantined — repair kept failing past the bounded attempt budget; the
+///              SC is demoted like a drop but stays listed so audits and
+///              catalog dumps can surface it (poison-SC quarantine).
 /// kDropped   — removed (the maintenance policy of last resort).
 enum class ScState : std::uint8_t {
   kActive,
   kViolated,
   kRepairQueued,
+  kQuarantined,
   kDropped,
 };
 
@@ -88,8 +92,27 @@ class SoftConstraint {
   const std::string& table() const { return table_; }
 
   ScState state() const { return state_.load(std::memory_order_acquire); }
-  void set_state(ScState s) { state_.store(s, std::memory_order_release); }
+  void set_state(ScState s) {
+    // Every lifecycle transition bumps the epoch, so a plan that consumed
+    // this SC can detect an invalidation-and-repair cycle that happened
+    // entirely during its execution (A-B-A on `state` alone).
+    if (state_.exchange(s, std::memory_order_acq_rel) != s) {
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
   bool active() const { return state() == ScState::kActive; }
+
+  /// Monotonic lifecycle version. Plans snapshot the epoch of every
+  /// rewrite-consumed SC before execution and revalidate at completion
+  /// (DESIGN.md "Failure model").
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// For repairs that mutate derived parameters without a state transition
+  /// (e.g. a synchronous widen that keeps the SC active): invalidates epoch
+  /// snapshots held by in-flight plans.
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
   /// Confidence as of the last verification.
   double confidence() const {
@@ -184,6 +207,7 @@ class SoftConstraint {
   ScKind kind_;
   std::string table_;
   std::atomic<ScState> state_{ScState::kActive};
+  std::atomic<std::uint64_t> epoch_{0};
   std::atomic<double> confidence_{1.0};
   std::atomic<ScMaintenancePolicy> policy_{
       ScMaintenancePolicy::kDropOnViolation};

@@ -1,6 +1,7 @@
 #include "engine/softdb.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "analysis/impact.h"
 #include "analysis/plan_verifier.h"
@@ -21,9 +22,21 @@ SoftDb::SoftDb(EngineOptions options) : options_(options) {
   scs_.SetViolationListener([this](const SoftConstraint& sc) {
     plan_cache_.OnScViolated(sc.name());
   });
+  if (options_.enable_repair_worker) StartRepairWorker();
 }
 
-SoftDb::~SoftDb() = default;
+SoftDb::~SoftDb() { StopRepairWorker(); }
+
+void SoftDb::StartRepairWorker(RepairWorker::Options worker_options) {
+  if (repair_worker_ != nullptr && repair_worker_->running()) return;
+  repair_worker_ = std::make_unique<RepairWorker>(
+      &scs_, &catalog_, worker_options, [this] { RearmActivePlans(); });
+  repair_worker_->Start();
+}
+
+void SoftDb::StopRepairWorker() {
+  if (repair_worker_ != nullptr) repair_worker_->Stop();
+}
 
 OptimizerContext SoftDb::MakeContext() {
   OptimizerContext ctx;
@@ -162,15 +175,43 @@ Status SoftDb::Analyze(const std::string& table) {
 
 Status SoftDb::RunMaintenance() {
   SOFTDB_RETURN_IF_ERROR(scs_.RunRepairQueue(catalog_));
-  std::vector<std::string> active;
-  for (const SoftConstraint* sc : scs_.All()) {
-    if (sc->active()) active.push_back(sc->name());
-  }
-  plan_cache_.Rearm(active);
+  RearmActivePlans();
   return Status::OK();
 }
 
-Result<QueryResult> SoftDb::RunPlan(const PlanNode& plan, QueryResult result) {
+void SoftDb::RearmActivePlans() {
+  ScEpochSnapshot active;
+  for (const SoftConstraint* sc : scs_.All()) {
+    if (sc->active()) active.emplace_back(sc->name(), sc->epoch());
+  }
+  // Epoch-aware re-arm: the repaired SCs become the re-armed packages' new
+  // epoch baseline, so hit-time staleness checks accept the repair.
+  plan_cache_.Rearm(active);
+}
+
+SoftDb::ScEpochSnapshot SoftDb::SnapshotScEpochs(
+    const std::vector<std::string>& names) {
+  ScEpochSnapshot snapshot;
+  for (const std::string& name : names) {
+    const auto seen = [&](const auto& entry) { return entry.first == name; };
+    if (std::any_of(snapshot.begin(), snapshot.end(), seen)) continue;
+    if (const SoftConstraint* sc = scs_.Find(name)) {
+      snapshot.emplace_back(name, sc->epoch());
+    }
+  }
+  return snapshot;
+}
+
+bool SoftDb::ScEpochsChanged(const ScEpochSnapshot& snapshot) {
+  for (const auto& [name, epoch] : snapshot) {
+    const SoftConstraint* sc = scs_.Find(name);
+    if (sc == nullptr || sc->epoch() != epoch) return true;
+  }
+  return false;
+}
+
+Result<QueryResult> SoftDb::RunPlan(const PlanNode& plan, QueryResult result,
+                                    const QueryContext* query) {
   OptimizerContext ctx = MakeContext();
   CardinalityEstimator estimator = MakeEstimator();
   PhysicalPlanner planner(&ctx, &estimator);
@@ -180,6 +221,7 @@ Result<QueryResult> SoftDb::RunPlan(const PlanNode& plan, QueryResult result) {
   SOFTDB_ASSIGN_OR_RETURN(OperatorPtr root, planner.Plan(plan));
   ExecContext exec_ctx;
   exec_ctx.scheduler = scheduler();
+  exec_ctx.query = query;
   SOFTDB_ASSIGN_OR_RETURN(result.rows, ExecuteToCompletion(root.get(),
                                                            &exec_ctx));
   result.exec_stats = exec_ctx.stats;
@@ -188,7 +230,8 @@ Result<QueryResult> SoftDb::RunPlan(const PlanNode& plan, QueryResult result) {
 
 Result<QueryResult> SoftDb::ExecuteSelect(const std::string& sql,
                                           const SelectStmt& stmt,
-                                          bool explain_only) {
+                                          bool explain_only,
+                                          const QueryContext* query) {
   if (options_.use_plan_cache && !explain_only) {
     // Get hands back a shared_ptr: a concurrent DROP TABLE may evict the
     // entry mid-execution, and the reference keeps the plan alive.
@@ -196,9 +239,45 @@ Result<QueryResult> SoftDb::ExecuteSelect(const std::string& sql,
       ++cached->executions;
       QueryResult result;
       result.from_plan_cache = true;
-      result.used_backup_plan = cached->using_backup;
       result.used_scs = cached->used_scs;
-      return RunPlan(cached->ActivePlan(), std::move(result));
+      // A package whose rewrite-consumed SCs have moved on since the
+      // package's epoch baseline is stale even when `using_backup` never
+      // flipped (e.g. a synchronous repair silently widened an SC). Run
+      // the SC-free backup directly; no retry is needed because nothing
+      // wrong ran. An epoch-aware Rearm resets the baseline after repair.
+      const ScEpochSnapshot baseline = plan_cache_.ScEpochs(*cached);
+      const bool stale_at_hit = ScEpochsChanged(baseline);
+      const bool use_backup =
+          cached->using_backup.load(std::memory_order_acquire) || stale_at_hit;
+      result.used_backup_plan = use_backup;
+      if (use_backup) {
+        return RunPlan(*cached->backup, std::move(result), query);
+      }
+      // Pre-execution live epochs: the completion check below detects
+      // overturns that happen while the primary plan runs.
+      ScEpochSnapshot pre_run;
+      pre_run.reserve(baseline.size());
+      for (const auto& [name, epoch] : baseline) {
+        if (const SoftConstraint* sc = scs_.Find(name)) {
+          pre_run.emplace_back(name, sc->epoch());
+        }
+      }
+      SOFTDB_ASSIGN_OR_RETURN(QueryResult primary_result,
+                              RunPlan(*cached->primary, std::move(result),
+                                      query));
+      if (!ScEpochsChanged(pre_run)) return primary_result;
+      // Mid-query overturn of a consumed ASC: the rows just produced are in
+      // jeopardy. Transparently re-execute exactly once on the SC-free
+      // backup; the backup consumed no SCs, so it cannot retry again.
+      QueryResult retry;
+      retry.from_plan_cache = true;
+      retry.used_scs = cached->used_scs;
+      retry.used_backup_plan = true;
+      SOFTDB_ASSIGN_OR_RETURN(retry,
+                              RunPlan(*cached->backup, std::move(retry),
+                                      query));
+      retry.exec_stats.degraded_retries = 1;
+      return retry;
     }
   }
 
@@ -239,10 +318,25 @@ Result<QueryResult> SoftDb::ExecuteSelect(const std::string& sql,
     return result;
   }
 
+  // Build-time epochs of the rewrite-consumed SCs (estimation-only twins
+  // excluded): the plan's answers depend on these staying put.
+  const ScEpochSnapshot sc_epochs = SnapshotScEpochs(ctx.rewrite_consumed_scs);
+
   if (options_.use_plan_cache) {
-    plan_cache_.Put(sql, primary->Clone(), std::move(backup), used);
+    plan_cache_.Put(sql, primary->Clone(), backup->Clone(), used, sc_epochs);
   }
-  return RunPlan(*primary, std::move(result));
+  SOFTDB_ASSIGN_OR_RETURN(QueryResult primary_result,
+                          RunPlan(*primary, std::move(result), query));
+  if (!ScEpochsChanged(sc_epochs)) return primary_result;
+  // A consumed ASC was overturned (or repaired to different parameters)
+  // while the primary plan ran: degrade once to the SC-free backup.
+  QueryResult retry;
+  retry.applied_rules = primary_result.applied_rules;
+  retry.used_scs = primary_result.used_scs;
+  retry.used_backup_plan = true;
+  SOFTDB_ASSIGN_OR_RETURN(retry, RunPlan(*backup, std::move(retry), query));
+  retry.exec_stats.degraded_retries = 1;
+  return retry;
 }
 
 void SoftDb::RecordImpact(const DmlImpact& impact) {
@@ -461,13 +555,25 @@ Status SoftDb::ExecuteCreateTable(const CreateTableStmt& stmt) {
 }
 
 Result<QueryResult> SoftDb::Execute(const std::string& sql) {
+  if (options_.default_deadline_ms > 0) {
+    QueryContext deadline_ctx;
+    deadline_ctx.SetDeadlineAfter(
+        std::chrono::milliseconds(options_.default_deadline_ms));
+    return Execute(sql, &deadline_ctx);
+  }
+  return Execute(sql, nullptr);
+}
+
+Result<QueryResult> SoftDb::Execute(const std::string& sql,
+                                    const QueryContext* query) {
+  if (query != nullptr) SOFTDB_RETURN_IF_ERROR(query->Check());
   SOFTDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   QueryResult result;
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
-      return ExecuteSelect(sql, *stmt.select, /*explain_only=*/false);
+      return ExecuteSelect(sql, *stmt.select, /*explain_only=*/false, query);
     case Statement::Kind::kExplain:
-      return ExecuteSelect(sql, *stmt.select, /*explain_only=*/true);
+      return ExecuteSelect(sql, *stmt.select, /*explain_only=*/true, query);
     case Statement::Kind::kInsert:
       SOFTDB_RETURN_IF_ERROR(ExecuteInsert(*stmt.insert));
       return result;
@@ -512,7 +618,8 @@ Result<std::string> SoftDb::Explain(const std::string& sql) {
   }
   SOFTDB_ASSIGN_OR_RETURN(QueryResult result,
                           ExecuteSelect(sql, *stmt.select,
-                                        /*explain_only=*/true));
+                                        /*explain_only=*/true,
+                                        /*query=*/nullptr));
   std::string out = result.plan_text;
   out += StrFormat("estimated rows: %.1f, estimated cost: %.1f pages\n",
                    result.estimated_rows, result.estimated_cost);

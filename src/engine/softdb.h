@@ -3,12 +3,16 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/query_context.h"
 #include "constraints/ic_registry.h"
+#include "constraints/repair_worker.h"
 #include "constraints/sc_registry.h"
 #include "exec/operator.h"
 #include "mv/materialized_view.h"
@@ -60,6 +64,16 @@ struct EngineOptions {
   /// Slot-range size of one parallel scan morsel. Tests shrink this to
   /// exercise many-morsel schedules on small tables.
   std::size_t parallel_morsel_rows = 4096;
+  /// Per-query wall-clock budget applied to Execute(sql) calls that do not
+  /// bring their own QueryContext. 0 = no deadline. Exceeding it surfaces
+  /// Status::DeadlineExceeded, checked cooperatively at batch/morsel
+  /// granularity (row operators check on a stride).
+  std::uint64_t default_deadline_ms = 0;
+  /// Start the background self-healing repair worker at construction: a
+  /// dedicated thread that drains the SC async-repair queue with
+  /// exponential backoff, quarantines poison SCs after the attempt budget,
+  /// and re-arms cached plans when a repair lands.
+  bool enable_repair_worker = false;
 };
 
 /// Aggregate counters for the static DML impact analyzer (E7 companion to
@@ -107,8 +121,17 @@ class SoftDb {
   PlanCache& plan_cache() { return plan_cache_; }
   EngineOptions& options() { return options_; }
 
-  /// Parses and executes one SQL statement.
+  /// Parses and executes one SQL statement. When
+  /// EngineOptions::default_deadline_ms is set, a deadline of that budget
+  /// is armed for this statement.
   Result<QueryResult> Execute(const std::string& sql);
+
+  /// Executes one SQL statement under the caller's cancellation token and
+  /// deadline. `query` may be null (no interrupt checks); when non-null it
+  /// overrides default_deadline_ms and must outlive the call. Interruption
+  /// surfaces as Status::Cancelled / Status::DeadlineExceeded.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const QueryContext* query);
 
   /// EXPLAIN: optimizes without executing; returns the annotated plan.
   Result<std::string> Explain(const std::string& sql);
@@ -134,6 +157,18 @@ class SoftDb {
   /// are active again.
   Status RunMaintenance();
 
+  /// Starts the background repair worker (idempotent). The worker drains
+  /// the repair queue with per-ticket exponential backoff, quarantines SCs
+  /// that exhaust RepairPolicy::max_attempts, and re-arms cached plans
+  /// after each successful repair.
+  void StartRepairWorker(
+      RepairWorker::Options worker_options = RepairWorker::Options());
+  /// Stops and joins the repair worker; no-op when not running. Called by
+  /// the destructor.
+  void StopRepairWorker();
+  /// The running worker, or null. Tests poll steps() on it.
+  RepairWorker* repair_worker() { return repair_worker_.get(); }
+
   /// Builds the OptimizerContext for the current options (benches use this
   /// to drive the planner directly).
   OptimizerContext MakeContext();
@@ -146,9 +181,20 @@ class SoftDb {
   TaskScheduler* scheduler();
 
  private:
+  using ScEpochSnapshot = std::vector<std::pair<std::string, std::uint64_t>>;
+
   Result<QueryResult> ExecuteSelect(const std::string& sql,
-                                    const SelectStmt& stmt, bool explain_only);
-  Result<QueryResult> RunPlan(const PlanNode& plan, QueryResult result);
+                                    const SelectStmt& stmt, bool explain_only,
+                                    const QueryContext* query);
+  Result<QueryResult> RunPlan(const PlanNode& plan, QueryResult result,
+                              const QueryContext* query);
+  /// Current epochs of the named (rewrite-consumed) SCs, deduplicated.
+  ScEpochSnapshot SnapshotScEpochs(const std::vector<std::string>& names);
+  /// True when any snapshotted SC has been dropped or had its epoch bumped
+  /// (invalidation, repair, or parameter widening) since the snapshot.
+  bool ScEpochsChanged(const ScEpochSnapshot& snapshot);
+  /// Re-arms cached packages whose every used SC is active again.
+  void RearmActivePlans();
   Status ExecuteInsert(const InsertStmt& stmt);
   Result<std::uint64_t> ExecuteUpdate(const UpdateStmt& stmt);
   Result<std::uint64_t> ExecuteDelete(const DeleteStmt& stmt);
@@ -167,6 +213,7 @@ class SoftDb {
   std::map<std::string, std::string> exception_asts_;
   std::mutex scheduler_mu_;  // Guards lazy creation/resize of scheduler_.
   std::unique_ptr<TaskScheduler> scheduler_;
+  std::unique_ptr<RepairWorker> repair_worker_;
 };
 
 }  // namespace softdb

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/failpoint.h"
+
 namespace softdb {
 
 namespace {
@@ -72,6 +74,11 @@ Result<bool> BatchSeqScanOp::NextBatch(ExecContext* ctx, ColumnBatch* batch) {
   const std::uint8_t* live = table_->LiveBitmap();
   const std::size_t end = morsel_mode_ ? morsel_end_ : table_->NumSlots();
   while (next_ < end) {
+    // Batch granularity: one full interrupt check and one failpoint
+    // evaluation per batch produced.
+    SOFTDB_RETURN_IF_ERROR(ctx->CheckInterrupt());
+    SOFTDB_INJECT_FAULT("exec.batch_scan",
+                        Status::Internal("injected batch-scan fault"));
     const std::size_t base = next_;
     const std::size_t n = std::min(kBatchCapacity, end - base);
     next_ += n;
@@ -119,6 +126,9 @@ Status BatchIndexRangeScanOp::Open(ExecContext* ctx) {
 Result<bool> BatchIndexRangeScanOp::NextBatch(ExecContext* ctx,
                                               ColumnBatch* batch) {
   while (next_ < rows_.size()) {
+    SOFTDB_RETURN_IF_ERROR(ctx->CheckInterrupt());
+    SOFTDB_INJECT_FAULT("exec.batch_scan",
+                        Status::Internal("injected batch-scan fault"));
     const std::size_t n = std::min(kBatchCapacity, rows_.size() - next_);
     batch->Reset(schema_);
     for (std::size_t c = 0; c < batch->NumColumns(); ++c) {
@@ -217,6 +227,9 @@ BatchHashJoinOp::BatchHashJoinOp(BatchOperatorPtr left, BatchOperatorPtr right,
       residual_(std::move(residual)) {}
 
 Status BatchHashJoinOp::Open(ExecContext* ctx) {
+  SOFTDB_INJECT_FAULT("exec.hash_join_build",
+                      Status::ResourceExhausted(
+                          "injected hash-join build allocation failure"));
   build_.clear();
   probe_valid_ = false;
   probe_idx_ = 0;
@@ -225,6 +238,7 @@ Status BatchHashJoinOp::Open(ExecContext* ctx) {
   SOFTDB_RETURN_IF_ERROR(right_->Open(ctx));
   ColumnBatch rb;
   while (true) {
+    SOFTDB_RETURN_IF_ERROR(ctx->CheckInterrupt());
     auto has = right_->NextBatch(ctx, &rb);
     if (!has.ok()) return has.status();
     if (!*has) break;

@@ -1,5 +1,6 @@
 #include "exec/operator.h"
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 
 namespace softdb {
@@ -31,6 +32,10 @@ Result<RowSet> ExecuteToCompletion(Operator* root, ExecContext* ctx) {
   SOFTDB_RETURN_IF_ERROR(root->Open(ctx));
   std::vector<Value> row;
   while (true) {
+    // Action-only chaos site: fires between output rows, where tests mutate
+    // engine state (overturn an SC, cancel the query) mid-execution.
+    SOFTDB_FAILPOINT_HIT("exec.drain");
+    SOFTDB_RETURN_IF_ERROR(ctx->CheckInterruptStrided());
     SOFTDB_ASSIGN_OR_RETURN(bool has, root->Next(ctx, &row));
     if (!has) break;
     ++ctx->stats.rows_output;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/result.h"
 #include "common/value.h"
 #include "storage/schema.h"
@@ -28,6 +29,11 @@ struct ExecStats {
   // detail: 0 on serial paths, so it is excluded from the cross-engine
   // stat-equality invariant the differential fuzzer checks.
   std::uint64_t morsels = 0;
+  // Transparent re-executions after a mid-query overturn of a
+  // rewrite-consumed absolute SC (see DESIGN.md "Failure model"). Like
+  // `morsels`, a robustness detail excluded from the cross-engine
+  // stat-equality invariant; 0 on every undisturbed execution.
+  std::uint64_t degraded_retries = 0;
 
   void Reset() { *this = ExecStats{}; }
 
@@ -44,6 +50,7 @@ struct ExecStats {
     rows_joined += other.rows_joined;
     runtime_param_skips += other.runtime_param_skips;
     morsels += other.morsels;
+    degraded_retries += other.degraded_retries;
   }
 };
 
@@ -55,6 +62,30 @@ class TaskScheduler;
 struct ExecContext {
   ExecStats stats;
   TaskScheduler* scheduler = nullptr;
+  // Borrowed per-query limits; null means uncancellable with no deadline.
+  const QueryContext* query = nullptr;
+
+  /// Full cancellation/deadline check. Called at batch and morsel
+  /// boundaries, where the clock read is amortized over many rows.
+  Status CheckInterrupt() const {
+    return query == nullptr ? Status::OK() : query->Check();
+  }
+
+  /// Strided check for per-row loops: the cancellation token (one atomic
+  /// load) is consulted every call, the deadline clock only every
+  /// `kInterruptStride` calls.
+  Status CheckInterruptStrided() {
+    if (query == nullptr) return Status::OK();
+    if (query->cancel != nullptr && query->cancel->cancelled()) {
+      return Status::Cancelled("query cancelled");
+    }
+    if (++interrupt_tick_ % kInterruptStride == 0) return query->Check();
+    return Status::OK();
+  }
+
+ private:
+  static constexpr std::uint32_t kInterruptStride = 1024;
+  std::uint32_t interrupt_tick_ = 0;
 };
 
 /// A pull-based physical operator (Volcano-style iterator).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/failpoint.h"
+
 namespace softdb {
 
 Result<bool> EvalPredicates(const std::vector<Predicate>& predicates,
@@ -101,6 +103,9 @@ Status SeqScanOp::Open(ExecContext* ctx) {
 Result<bool> SeqScanOp::Next(ExecContext* ctx, std::vector<Value>* row) {
   if (provably_empty_) return false;
   while (next_ < table_->NumSlots()) {
+    // Selective predicates can spin here across many rows per Next call,
+    // so this loop is a cancellation point of its own.
+    SOFTDB_RETURN_IF_ERROR(ctx->CheckInterruptStrided());
     const RowId id = next_++;
     if (!table_->IsLive(id)) continue;
     ++ctx->stats.rows_scanned;
@@ -147,6 +152,7 @@ Status IndexRangeScanOp::Open(ExecContext* ctx) {
 
 Result<bool> IndexRangeScanOp::Next(ExecContext* ctx, std::vector<Value>* row) {
   while (next_ < rows_.size()) {
+    SOFTDB_RETURN_IF_ERROR(ctx->CheckInterruptStrided());
     const RowId id = rows_[next_++];
     ++ctx->stats.rows_scanned;
     std::vector<Value> candidate = table_->GetRow(id);
@@ -227,6 +233,9 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
       residual_(std::move(residual)) {}
 
 Status HashJoinOp::Open(ExecContext* ctx) {
+  SOFTDB_INJECT_FAULT("exec.hash_join_build",
+                      Status::ResourceExhausted(
+                          "injected hash-join build allocation failure"));
   build_.clear();
   matches_ = nullptr;
   match_idx_ = 0;
@@ -234,6 +243,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   SOFTDB_RETURN_IF_ERROR(right_->Open(ctx));
   std::vector<Value> row;
   while (true) {
+    SOFTDB_RETURN_IF_ERROR(ctx->CheckInterruptStrided());
     auto has = right_->Next(ctx, &row);
     if (!has.ok()) return has.status();
     if (!*has) break;
@@ -319,6 +329,7 @@ Result<std::vector<std::vector<Value>>> Materialize(Operator* op,
   SOFTDB_RETURN_IF_ERROR(op->Open(ctx));
   std::vector<Value> row;
   while (true) {
+    SOFTDB_RETURN_IF_ERROR(ctx->CheckInterruptStrided());
     SOFTDB_ASSIGN_OR_RETURN(bool has, op->Next(ctx, &row));
     if (!has) break;
     rows.push_back(std::move(row));
@@ -437,6 +448,7 @@ Status NestedLoopJoinOp::Open(ExecContext* ctx) {
   SOFTDB_RETURN_IF_ERROR(right_->Open(ctx));
   std::vector<Value> row;
   while (true) {
+    SOFTDB_RETURN_IF_ERROR(ctx->CheckInterruptStrided());
     auto has = right_->Next(ctx, &row);
     if (!has.ok()) return has.status();
     if (!*has) break;
@@ -533,6 +545,7 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
 
   std::vector<Value> row;
   while (true) {
+    SOFTDB_RETURN_IF_ERROR(ctx->CheckInterruptStrided());
     auto has = child_->Next(ctx, &row);
     if (!has.ok()) return has.status();
     if (!*has) break;
@@ -652,6 +665,7 @@ Status SortOp::Open(ExecContext* ctx) {
   SOFTDB_RETURN_IF_ERROR(child_->Open(ctx));
   std::vector<Value> row;
   while (true) {
+    SOFTDB_RETURN_IF_ERROR(ctx->CheckInterruptStrided());
     auto has = child_->Next(ctx, &row);
     if (!has.ok()) return has.status();
     if (!*has) break;

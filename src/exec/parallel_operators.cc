@@ -26,14 +26,18 @@ std::vector<ExprPtr> CloneExprs(const std::vector<ExprPtr>& exprs) {
 /// morsel's slot range, drains the chain into `rows` (in batch selection
 /// order, which is table order), and reports the morsel's counters in
 /// `stats`. Per-worker state only; safe to run concurrently.
-Status RunPipelineMorsel(const PipelineSpec& spec,
-                         ExecPool<PipelineChain>* pool,
+Status RunPipelineMorsel(ExecPool<PipelineChain>* pool,
                          const MorselRange& morsel,
-                         const std::vector<bool>* skip, ExecStats* stats,
+                         const std::vector<bool>* skip,
+                         const QueryContext* query, ExecStats* stats,
                          std::vector<std::vector<Value>>* rows) {
   auto lease = pool->Acquire();
   lease->leaf->BindMorsel(morsel.base, morsel.rows, skip);
   ExecContext local;  // No scheduler: morsel tasks never nest parallelism.
+  // Morsel granularity is the parallel engine's cancellation granularity:
+  // the scan checks the shared token/deadline once per batch it produces.
+  local.query = query;
+  SOFTDB_RETURN_IF_ERROR(local.CheckInterrupt());
   SOFTDB_RETURN_IF_ERROR(lease->root->Open(&local));
   while (true) {
     auto has = lease->root->NextBatch(&local, &lease->scratch);
@@ -152,8 +156,8 @@ Status ParallelPipelineOp::Open(ExecContext* ctx) {
   ExecPool<PipelineChain> pool([this] { return BuildPipelineChain(spec_); });
   std::vector<ExecStats> worker_stats(morsels.size());
   SOFTDB_RETURN_IF_ERROR(ForEachMorsel(
-      ctx, morsels, [this, &pool, &worker_stats](const MorselRange& m) {
-        return RunPipelineMorsel(spec_, &pool, m, &skip_,
+      ctx, morsels, [this, ctx, &pool, &worker_stats](const MorselRange& m) {
+        return RunPipelineMorsel(&pool, m, &skip_, ctx->query,
                                  &worker_stats[m.index], &results_[m.index]);
       }));
   MergeWorkerStats(worker_stats, &ctx->stats);
@@ -217,10 +221,10 @@ Status ParallelHashJoinOp::RunBuildPhase(ExecContext* ctx) {
   ExecPool<PipelineChain> pool([this] { return BuildPipelineChain(build_); });
   SOFTDB_RETURN_IF_ERROR(ForEachMorsel(
       ctx, morsels,
-      [this, &pool, &worker_stats, &keyed](const MorselRange& m) -> Status {
+      [this, ctx, &pool, &worker_stats, &keyed](const MorselRange& m) -> Status {
         std::vector<std::vector<Value>> rows;
-        SOFTDB_RETURN_IF_ERROR(RunPipelineMorsel(build_, &pool, m,
-                                                 &build_skip_,
+        SOFTDB_RETURN_IF_ERROR(RunPipelineMorsel(&pool, m, &build_skip_,
+                                                 ctx->query,
                                                  &worker_stats[m.index],
                                                  &rows));
         KeyedRows& out = keyed[m.index];
@@ -289,10 +293,12 @@ Status ParallelHashJoinOp::RunProbePhase(ExecContext* ctx) {
   const ValueVecHash hasher;
   SOFTDB_RETURN_IF_ERROR(ForEachMorsel(
       ctx, morsels,
-      [this, &pool, &worker_stats, &hasher](const MorselRange& m) -> Status {
+      [this, ctx, &pool, &worker_stats, &hasher](const MorselRange& m) -> Status {
         auto lease = pool.Acquire();
         lease->leaf->BindMorsel(m.base, m.rows, &probe_skip_);
         ExecContext local;
+        local.query = ctx->query;
+        SOFTDB_RETURN_IF_ERROR(local.CheckInterrupt());
         SOFTDB_RETURN_IF_ERROR(lease->root->Open(&local));
         std::vector<std::vector<Value>>& out = results_[m.index];
         while (true) {

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace softdb {
 
 TaskScheduler::TaskScheduler(std::size_t num_threads) {
@@ -117,6 +119,9 @@ void TaskScheduler::ExecuteItem(const TaskItem& item) {
 }
 
 Status TaskScheduler::RunTask(const Task& task) {
+  SOFTDB_INJECT_FAULT(
+      "scheduler.task",
+      Status::ResourceExhausted("injected worker task failure"));
   try {
     return task();
   } catch (const std::exception& e) {

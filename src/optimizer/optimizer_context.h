@@ -68,10 +68,19 @@ struct OptimizerContext {
 
   // Outputs of a rewrite pass.
   std::vector<std::string> used_scs;       // SCs baked into the plan.
+  /// Subset of used_scs whose truth the plan's *semantics* depend on
+  /// (predicate introduction, hole prune/trim, join elimination, FD
+  /// pruning, ...). Estimation-only uses — twinned predicates — are
+  /// excluded: their overturn can change costs, never answers, so only
+  /// rewrite-consumed SCs participate in the epoch revalidation / degraded
+  /// retry protocol (DESIGN.md "Failure model").
+  std::vector<std::string> rewrite_consumed_scs;
   std::vector<std::string> applied_rules;  // EXPLAIN annotations.
 
-  void RecordScUse(const std::string& name, double benefit) {
+  void RecordScUse(const std::string& name, double benefit,
+                   bool rewrite_consumed = true) {
     used_scs.push_back(name);
+    if (rewrite_consumed) rewrite_consumed_scs.push_back(name);
     if (scs != nullptr) scs->RecordUse(name, benefit);
   }
   void RecordRule(std::string description) {
@@ -79,6 +88,7 @@ struct OptimizerContext {
   }
   void ResetOutputs() {
     used_scs.clear();
+    rewrite_consumed_scs.clear();
     applied_rules.clear();
   }
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace softdb {
 
 namespace {
@@ -28,14 +30,16 @@ std::vector<std::string> CollectPlanTables(const PlanNode& plan) {
   return tables;
 }
 
-std::shared_ptr<CachedPlan> PlanCache::Put(const std::string& sql,
-                                           PlanPtr primary, PlanPtr backup,
-                                           std::vector<std::string> used_scs) {
+std::shared_ptr<CachedPlan> PlanCache::Put(
+    const std::string& sql, PlanPtr primary, PlanPtr backup,
+    std::vector<std::string> used_scs,
+    std::vector<std::pair<std::string, std::uint64_t>> sc_epochs) {
   auto entry = std::make_shared<CachedPlan>();
   entry->sql = sql;
   entry->primary = std::move(primary);
   entry->backup = std::move(backup);
   entry->used_scs = std::move(used_scs);
+  entry->sc_epochs = std::move(sc_epochs);
   if (entry->primary != nullptr) {
     entry->tables = CollectPlanTables(*entry->primary);
   }
@@ -47,6 +51,9 @@ std::shared_ptr<CachedPlan> PlanCache::Put(const std::string& sql,
       }
     }
   }
+  // Injected insert failure degrades gracefully: the caller still gets a
+  // runnable package, it just is not cached for the next session.
+  if (SOFTDB_FAILPOINT_FIRED("plan_cache.insert")) return entry;
   std::lock_guard<std::mutex> lk(mu_);
   entries_[sql] = entry;
   return entry;
@@ -121,6 +128,36 @@ std::size_t PlanCache::Rearm(const std::vector<std::string>& active_scs) {
     }
   }
   return rearmed;
+}
+
+std::size_t PlanCache::Rearm(
+    const std::vector<std::pair<std::string, std::uint64_t>>& active_epochs) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t rearmed = 0;
+  for (auto& [_, entry] : entries_) {
+    if (!entry->using_backup.load(std::memory_order_acquire)) continue;
+    const bool all_active = std::all_of(
+        entry->used_scs.begin(), entry->used_scs.end(),
+        [&](const std::string& name) {
+          return std::any_of(active_epochs.begin(), active_epochs.end(),
+                             [&](const auto& ae) { return ae.first == name; });
+        });
+    if (!all_active) continue;
+    entry->using_backup.store(false, std::memory_order_release);
+    for (auto& [name, epoch] : entry->sc_epochs) {
+      for (const auto& [active_name, active_epoch] : active_epochs) {
+        if (active_name == name) epoch = active_epoch;
+      }
+    }
+    ++rearmed;
+  }
+  return rearmed;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> PlanCache::ScEpochs(
+    const CachedPlan& entry) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entry.sc_epochs;
 }
 
 void PlanCache::Clear() {

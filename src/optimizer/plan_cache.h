@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "plan/logical_plan.h"
@@ -29,6 +30,15 @@ struct CachedPlan {
   PlanPtr primary;                    // Rewritten with SCs.
   PlanPtr backup;                     // SC-free.
   std::vector<std::string> used_scs;  // SC names baked into primary.
+  /// Rewrite-consumed SCs with the epoch each had at package build time
+  /// (estimation-only twins excluded — their overturn can never make the
+  /// primary plan wrong). The engine compares these against the live
+  /// epochs on every cache hit, catching silent parameter changes (e.g. a
+  /// synchronous repair that widened an SC without ever flipping
+  /// `using_backup`). The epoch-aware Rearm re-stamps them, accepting the
+  /// repaired SC as the package's new baseline. After Put, read and write
+  /// only through PlanCache (guarded by the cache mutex).
+  std::vector<std::pair<std::string, std::uint64_t>> sc_epochs;
   std::vector<std::string> tables;    // Base tables either plan reads.
   std::atomic<bool> using_backup{false};
   std::atomic<std::uint64_t> executions{0};
@@ -55,9 +65,14 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  std::shared_ptr<CachedPlan> Put(const std::string& sql, PlanPtr primary,
-                                  PlanPtr backup,
-                                  std::vector<std::string> used_scs);
+  /// Inserts a package. `sc_epochs` stamps the rewrite-consumed SCs with
+  /// their build-time epochs (see CachedPlan). Under the
+  /// "plan_cache.insert" failpoint the package is returned but not cached
+  /// — callers run the plan they were handed either way.
+  std::shared_ptr<CachedPlan> Put(
+      const std::string& sql, PlanPtr primary, PlanPtr backup,
+      std::vector<std::string> used_scs,
+      std::vector<std::pair<std::string, std::uint64_t>> sc_epochs = {});
 
   /// Returns the entry or null; counts hit/miss. The shared_ptr keeps the
   /// package alive across eviction — use it, don't re-Get.
@@ -77,6 +92,16 @@ class PlanCache {
   /// completed): entries whose every used SC is in `active_scs` go back to
   /// the primary plan.
   std::size_t Rearm(const std::vector<std::string>& active_scs);
+
+  /// Epoch-aware re-arm: additionally re-stamps each re-armed package's
+  /// `sc_epochs` with the repaired SCs' current epochs, so the hit-time
+  /// staleness check accepts the repair as the new baseline.
+  std::size_t Rearm(
+      const std::vector<std::pair<std::string, std::uint64_t>>& active_epochs);
+
+  /// Locked copy of the entry's epoch stamps (see CachedPlan::sc_epochs).
+  std::vector<std::pair<std::string, std::uint64_t>> ScEpochs(
+      const CachedPlan& entry) const;
 
   void Clear();
   std::size_t size() const;

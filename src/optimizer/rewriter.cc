@@ -260,7 +260,9 @@ Status Rewriter::RewriteScan(ScanNode* scan) {
             if (any) {
               ctx_->RecordRule(StrFormat("twinning: %s (conf %.3f)",
                                          origin.c_str(), conf));
-              ctx_->RecordScUse(sc->name(), 1.0);
+              // Estimation-only: twins never filter rows, so a mid-query
+              // overturn cannot make answers wrong (no degraded retry).
+              ctx_->RecordScUse(sc->name(), 1.0, /*rewrite_consumed=*/false);
             }
           }
         }
@@ -313,7 +315,8 @@ Status Rewriter::RewriteScan(ScanNode* scan) {
             scan->predicates().push_back(std::move(twin));
             ctx_->RecordRule(StrFormat("twinning: %s (conf %.3f)",
                                        origin.c_str(), conf));
-            ctx_->RecordScUse(sc->name(), 1.0);
+            // Estimation-only, as above: no retry on overturn.
+            ctx_->RecordScUse(sc->name(), 1.0, /*rewrite_consumed=*/false);
           }
         }
         continue;

@@ -37,6 +37,20 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, InterruptCodesRenderDistinctly) {
+  EXPECT_EQ(Status::DeadlineExceeded("out of time").ToString(),
+            "deadline exceeded: out of time");
+  EXPECT_EQ(Status::Cancelled("user abort").ToString(),
+            "cancelled: user abort");
+  EXPECT_EQ(Status::ResourceExhausted("no memory").ToString(),
+            "resource exhausted: no memory");
 }
 
 Result<int> Half(int x) {

@@ -204,5 +204,59 @@ TEST(ScLintTest, ReportRenderings) {
             std::string::npos);
 }
 
+TEST(ScLintTest, StateDirectiveSetsLifecycleState) {
+  // A clean catalog whose only blemish is the declared lifecycle state.
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT adult DOMAIN ON people(age) MIN 18 MAX 120 "
+      "CONFIDENCE 0.95 STATE ACTIVE;";
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->findings.empty());
+
+  EXPECT_FALSE(LintCatalog(std::string(kPeopleDdl) +
+                               "SOFT CONSTRAINT adult DOMAIN ON people(age) "
+                               "MIN 18 MAX 120 STATE BOGUS;",
+                           {})
+                   .ok());
+}
+
+TEST(ScLintTest, StuckRepairQueuedScIsAWarning) {
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT adult DOMAIN ON people(age) MIN 18 MAX 120 "
+      "CONFIDENCE 0.95 STATE REPAIR_QUEUED;";
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(HasCheck(*report, "stuck-repair", "adult"));
+  EXPECT_GE(report->warnings(), 1u);
+  EXPECT_EQ(report->errors(), 0u);
+}
+
+TEST(ScLintTest, QuarantinedScIsAnErrorAndRendersEverywhere) {
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT adult DOMAIN ON people(age) MIN 18 MAX 120 "
+      "CONFIDENCE 0.95 STATE QUARANTINED;";
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(HasCheck(*report, "quarantined-sc", "adult"));
+  EXPECT_GE(report->errors(), 1u);
+
+  // The finding must surface identically in every rendering.
+  EXPECT_NE(report->ToText().find("quarantined-sc"), std::string::npos);
+  EXPECT_NE(report->ToJson().find("\"check\": \"quarantined-sc\""),
+            std::string::npos);
+  const std::string sarif = report->ToSarif("catalog.sql");
+  EXPECT_NE(sarif.find("quarantined-sc"), std::string::npos);
+  EXPECT_NE(sarif.find("catalog.sql"), std::string::npos);
+}
+
+TEST(ScLintTest, StateDirectiveWorksOnPredicateScs) {
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT tall PREDICATE ON people CHECK (height > 100) "
+      "CONFIDENCE 0.9 STATE QUARANTINED;";
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(HasCheck(*report, "quarantined-sc", "tall"));
+}
+
 }  // namespace
 }  // namespace softdb
