@@ -11,6 +11,7 @@
 #include "bench/bench_util.h"
 #include "common/date.h"
 #include "constraints/column_offset_sc.h"
+#include "exec/kernels.h"
 
 namespace softdb::bench {
 namespace {
@@ -81,6 +82,12 @@ void EmitJson() {
       "WHERE ship_date - order_date <= 9 AND quantity < 25 "
       "AND price * discount > 40 AND receipt_date - ship_date >= 1";
   auto ab = MeasureEngineAb(db.get(), kScanFilter);
+  // Same A/B with the comparison kernels forced off: isolates how much of
+  // the vectorized win is the branch-free mask path (bench_kernels has the
+  // full scalar/kernel/zone-map sweep).
+  db->options().use_kernels = false;
+  auto ab_scalar = MeasureEngineAb(db.get(), kScanFilter);
+  db->options().use_kernels = true;
 
   auto windowed = MakeDbWithWindow(21);
   windowed->options().enable_predicate_introduction = false;
@@ -96,6 +103,10 @@ void EmitJson() {
   j.Add("batch_engine_sec_per_query", ab.batch_sec);
   j.Add("vectorized_speedup", ab.speedup);
   j.Add("ab_iterations", ab.iterations);
+  j.Add("simd_capability", kernels::SimdCapability());
+  j.Add("batch_no_kernel_sec_per_query", ab_scalar.batch_sec);
+  j.Add("kernel_speedup_in_batch",
+        ab.batch_sec > 0 ? ab_scalar.batch_sec / ab.batch_sec : 0.0);
   j.Add("introduction_pages_base", base.exec_stats.pages_read);
   j.Add("introduction_pages_rewritten", rewritten.exec_stats.pages_read);
   j.WriteFile("BENCH_E1.json");

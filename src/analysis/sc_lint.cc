@@ -13,6 +13,7 @@
 #include "constraints/inclusion_sc.h"
 #include "constraints/linear_correlation_sc.h"
 #include "constraints/predicate_sc.h"
+#include "constraints/zone_map_sc.h"
 #include "engine/softdb.h"
 #include "sql/binder.h"
 #include "sql/lexer.h"
@@ -275,6 +276,58 @@ Status ParseDirective(SoftDb* db, const std::string& statement) {
                             ResolveColumns(t->schema(), deps));
     sc = std::make_unique<FunctionalDependencySc>(name, table, std::move(didx),
                                                   std::move(eidx));
+  } else if (kind == "ZONEMAP") {
+    // Catalog-dump form of a block zone map: the per-block SMAs are
+    // re-stated verbatim so the linter can cross-check the envelopes
+    // without the table data. Grammar, one clause per block:
+    //   BLOCK <idx> MIN <v> MAX <v> [NULLS <n>]   value-bearing block
+    //   BLOCK <idx> EMPTY [NULLS <n>]             no live non-NULL rows
+    if (!cur.ConsumeWord("ON")) return Status::InvalidArgument("expected ON");
+    SOFTDB_ASSIGN_OR_RETURN(std::string table, cur.TakeIdentifier("table"));
+    SOFTDB_ASSIGN_OR_RETURN(Table * t, db->catalog().GetTable(table));
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<std::string> cols,
+                            cur.TakeColumnList());
+    if (cols.size() != 1) {
+      return Status::InvalidArgument("ZONEMAP takes exactly one column");
+    }
+    SOFTDB_ASSIGN_OR_RETURN(std::vector<ColumnIdx> idx,
+                            ResolveColumns(t->schema(), cols));
+    auto zm = std::make_unique<ZoneMapSc>(name, table, idx[0]);
+    bool any_block = false;
+    while (cur.ConsumeWord("BLOCK")) {
+      SOFTDB_ASSIGN_OR_RETURN(double blk, cur.TakeNumber());
+      if (blk < 0 || blk != static_cast<double>(
+                                static_cast<std::uint64_t>(blk))) {
+        return Status::InvalidArgument("BLOCK index must be a non-negative "
+                                       "integer");
+      }
+      ZoneMapSc::BlockSma sma;
+      if (!cur.ConsumeWord("EMPTY")) {
+        if (!cur.ConsumeWord("MIN")) {
+          return Status::InvalidArgument("expected MIN or EMPTY after BLOCK");
+        }
+        SOFTDB_ASSIGN_OR_RETURN(sma.min, cur.TakeNumber());
+        if (!cur.ConsumeWord("MAX")) {
+          return Status::InvalidArgument("expected MAX");
+        }
+        SOFTDB_ASSIGN_OR_RETURN(sma.max, cur.TakeNumber());
+        sma.has_value = true;
+      }
+      if (cur.ConsumeWord("NULLS")) {
+        SOFTDB_ASSIGN_OR_RETURN(double nulls, cur.TakeNumber());
+        if (nulls < 0) {
+          return Status::InvalidArgument("NULLS must be non-negative");
+        }
+        sma.null_count = static_cast<std::uint64_t>(nulls);
+      }
+      zm->DeclareBlock(static_cast<std::size_t>(blk), sma);
+      any_block = true;
+    }
+    if (!any_block) {
+      return Status::InvalidArgument("ZONEMAP needs at least one BLOCK "
+                                     "clause");
+    }
+    sc = std::move(zm);
   } else if (kind == "PREDICATE") {
     if (!cur.ConsumeWord("ON")) return Status::InvalidArgument("expected ON");
     SOFTDB_ASSIGN_OR_RETURN(std::string table, cur.TakeIdentifier("table"));
@@ -738,6 +791,68 @@ void CheckLinearEpsilons(SoftDb& db, LintReport* report) {
   }
 }
 
+/// Zone-map sanity. Two degeneracies the engine itself never diagnoses:
+///
+///  - An inverted envelope (min > max on a block declared to hold values)
+///    admits no value at all, so every scan skips the block and silently
+///    drops whatever rows actually live there — an error, since a mined or
+///    repaired map can never produce it; only a corrupted dump can.
+///  - A map whose every value-bearing block spans a domain SC's whole
+///    interval can never prune: a query range that misses such a block
+///    also misses the domain, so the optimizer already rejected the whole
+///    scan. The map is pure maintenance overhead — a warning.
+void CheckZoneMaps(SoftDb& db, LintReport* report) {
+  for (SoftConstraint* sc : db.scs().ByKind(ScKind::kBlockZoneMap)) {
+    auto* zm = static_cast<ZoneMapSc*>(sc);
+    const std::vector<ZoneMapSc::BlockSma> blocks = zm->SnapshotBlocks();
+    bool degenerate = false;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      if (blocks[b].has_value && blocks[b].min > blocks[b].max) {
+        Report(report, "zonemap-degenerate-block", "error", zm->name(),
+               StrFormat("block %zu declares inverted envelope [%g, %g]: no "
+                         "value satisfies it, so every scan skips the block "
+                         "and silently drops its rows",
+                         b, blocks[b].min, blocks[b].max));
+        degenerate = true;
+      }
+    }
+    // A degenerate map's envelopes are meaningless; comparing them against
+    // domains would only pile secondary findings onto the same root cause.
+    if (degenerate) continue;
+    for (SoftConstraint* other : db.scs().ByKind(ScKind::kDomain)) {
+      auto* dom = static_cast<DomainSc*>(other);
+      if (dom->table() != zm->table() || dom->column() != zm->column()) {
+        continue;
+      }
+      if (!IsNumericValue(dom->min_value()) ||
+          !IsNumericValue(dom->max_value())) {
+        continue;
+      }
+      const double dmin = dom->min_value().NumericValue();
+      const double dmax = dom->max_value().NumericValue();
+      bool any_value_block = false;
+      bool every_block_spans_domain = true;
+      for (const ZoneMapSc::BlockSma& b : blocks) {
+        if (!b.has_value) continue;
+        any_value_block = true;
+        if (b.min > dmin || b.max < dmax) {
+          every_block_spans_domain = false;
+          break;
+        }
+      }
+      if (any_value_block && every_block_spans_domain) {
+        Report(report, "zonemap-redundant-with-domain", "warning", zm->name(),
+               StrFormat("every block envelope spans domain SC '%s' [%g, %g] "
+                         "on %s: any range that would skip a block already "
+                         "rejects the whole scan via the domain, so the map "
+                         "prunes nothing",
+                         dom->name().c_str(), dmin, dmax,
+                         zm->table().c_str()));
+      }
+    }
+  }
+}
+
 /// Lifecycle hygiene: an SC sitting in the repair queue at catalog-dump
 /// time means maintenance is not being run (or the repair keeps losing);
 /// a quarantined SC means the self-healing worker gave up on it — the
@@ -814,6 +929,11 @@ bool Exploitable(const SoftConstraint& sc, const WorkloadFacts& facts) {
     case ScKind::kPredicate:
       // Twinning / exception-AST rewrites apply to any scan of the table.
       return tf != nullptr && tf->scanned;
+    case ScKind::kBlockZoneMap: {
+      // Blocks are skipped against simple predicates on the mapped column.
+      const auto& zm = static_cast<const ZoneMapSc&>(sc);
+      return tf != nullptr && tf->pred_columns.count(zm.column()) > 0;
+    }
     case ScKind::kJoinHole:
       return std::any_of(facts.join_pairs.begin(), facts.join_pairs.end(),
                          [&](const auto& pair) {
@@ -983,6 +1103,7 @@ Result<LintReport> LintCatalog(const std::string& catalog_script,
   CheckChainContradictions(db, flagged_tables, &report);
   CheckInclusionCycles(db, &report);
   CheckLinearEpsilons(db, &report);
+  CheckZoneMaps(db, &report);
   CheckStuckRepairs(db, &report);
   CheckStaleness(db, options, &report);
   if (!workload_sqls.empty()) {

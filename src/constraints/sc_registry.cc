@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "constraints/zone_map_sc.h"
 
 namespace softdb {
 
@@ -113,6 +114,10 @@ Status ScRegistry::OnInsert(const Catalog& catalog, const std::string& table,
     std::lock_guard<std::mutex> sc_lk(sc->maintenance_mu());
     if (!sc->active()) continue;
 
+    // Zone maps are keyed by RowId, which this hook does not have; they
+    // fold through OnRowAppended/OnRowUpdated instead.
+    if (sc->kind() == ScKind::kBlockZoneMap) continue;
+
     auto* hole = dynamic_cast<JoinHoleSc*>(sc);
     const bool is_left = sc->table() == table;
     const bool is_right = hole != nullptr && hole->right_table() == table;
@@ -221,6 +226,36 @@ Status ScRegistry::OnInsert(const Catalog& catalog, const std::string& table,
         break;
       }
     }
+  }
+  return Status::OK();
+}
+
+Status ScRegistry::OnRowAppended(const Catalog& catalog,
+                                 const std::string& table, RowId rid,
+                                 const std::vector<Value>& row) {
+  (void)catalog;
+  for (const ScSharedPtr& sc_ptr : Snapshot()) {
+    SoftConstraint* sc = sc_ptr.get();
+    if (sc->kind() != ScKind::kBlockZoneMap || sc->table() != table) continue;
+    std::lock_guard<std::mutex> sc_lk(sc->maintenance_mu());
+    if (!sc->active()) continue;
+    // A widen-only fold keeps the invariant for free: no compliance check,
+    // no policy machinery, no epoch bump — O(1) per row.
+    static_cast<ZoneMapSc*>(sc)->FoldAppendedRow(rid, row);
+  }
+  return Status::OK();
+}
+
+Status ScRegistry::OnRowUpdated(const Catalog& catalog,
+                                const std::string& table, RowId rid,
+                                const std::vector<Value>& new_row) {
+  for (const ScSharedPtr& sc_ptr : Snapshot()) {
+    SoftConstraint* sc = sc_ptr.get();
+    if (sc->kind() != ScKind::kBlockZoneMap || sc->table() != table) continue;
+    std::lock_guard<std::mutex> sc_lk(sc->maintenance_mu());
+    if (!sc->active()) continue;
+    SOFTDB_RETURN_IF_ERROR(
+        static_cast<ZoneMapSc*>(sc)->FoldUpdatedRow(catalog, rid, new_row));
   }
   return Status::OK();
 }

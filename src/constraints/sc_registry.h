@@ -127,6 +127,16 @@ class ScRegistry {
                   const std::vector<Value>& row,
                   const std::set<std::string>* scope = nullptr);
 
+  /// Positional maintenance hooks for SCs keyed by RowId (block zone
+  /// maps), which OnInsert cannot service because it runs before the row
+  /// has an id. OnRowAppended is called right after the append succeeds;
+  /// OnRowUpdated is called BEFORE the table cells mutate, so the SC can
+  /// still read the old values. Both fold incrementally — no rescans.
+  Status OnRowAppended(const Catalog& catalog, const std::string& table,
+                       RowId rid, const std::vector<Value>& row);
+  Status OnRowUpdated(const Catalog& catalog, const std::string& table,
+                      RowId rid, const std::vector<Value>& new_row);
+
   /// Drains the async repair queue (exact re-mining / re-verification) —
   /// the off-line step §4.3 schedules for light-load periods. Each ticket
   /// queued at entry is attempted once, ignoring backoff; failures are

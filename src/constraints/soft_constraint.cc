@@ -18,6 +18,8 @@ const char* ScKindName(ScKind kind) {
       return "domain";
     case ScKind::kPredicate:
       return "predicate";
+    case ScKind::kBlockZoneMap:
+      return "block-zone-map";
   }
   return "?";
 }

@@ -27,6 +27,11 @@ enum class ScKind : std::uint8_t {
   kInclusion,
   kDomain,
   kPredicate,
+  // Per-block min/max/null-count SMAs (Moerkotte's Small Materialized
+  // Aggregates, materialized as an incrementally-updatable approximate
+  // constraint à la Kläbe et al.): scans skip blocks whose envelope
+  // provably contradicts the predicate.
+  kBlockZoneMap,
 };
 
 const char* ScKindName(ScKind kind);

@@ -9,6 +9,7 @@
 #include "exec/scheduler.h"
 #include "constraints/column_offset_sc.h"
 #include "constraints/predicate_sc.h"
+#include "constraints/zone_map_sc.h"
 #include "optimizer/planner.h"
 #include "optimizer/rewriter.h"
 #include "sql/binder.h"
@@ -56,6 +57,7 @@ OptimizerContext SoftDb::MakeContext() {
   ctx.enable_exception_asts = options_.enable_exception_asts;
   ctx.enable_implication = options_.enable_implication;
   ctx.use_twins_in_estimation = options_.use_twins_in_estimation;
+  ctx.enable_zone_maps = options_.enable_zone_maps;
   ctx.prefer_sort_merge_join = options_.prefer_sort_merge_join;
   ctx.enable_runtime_parameterization =
       options_.enable_runtime_parameterization;
@@ -116,6 +118,10 @@ Status SoftDb::InsertRow(const std::string& table_name,
   // the thing at risk, not the data (§2).
   SOFTDB_RETURN_IF_ERROR(scs_.OnInsert(catalog_, table->name(), row,
                                        sc_scope));
+  // Positional SCs (zone maps) fold against the appended slot id: a widen
+  // never bumps the epoch, so in-flight skip sets stay sound.
+  SOFTDB_RETURN_IF_ERROR(scs_.OnRowAppended(catalog_, table->name(), rid,
+                                            row));
   SOFTDB_RETURN_IF_ERROR(mvs_.OnBaseInsert(table->name(), row));
   return Status::OK();
 }
@@ -173,6 +179,27 @@ Status SoftDb::Analyze(const std::string& table) {
   return Status::OK();
 }
 
+Status SoftDb::MineZoneMaps(const std::string& table_name) {
+  SOFTDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(table_name));
+  const Schema& schema = table->schema();
+  for (std::size_t c = 0; c < schema.NumColumns(); ++c) {
+    const TypeId type = schema.Column(c).type;
+    if (type != TypeId::kInt64 && type != TypeId::kDouble &&
+        type != TypeId::kDate && type != TypeId::kBool) {
+      continue;
+    }
+    const std::string name = StrFormat("zm_%s_%s", table->name().c_str(),
+                                       schema.Column(c).name.c_str());
+    if (scs_.Find(name) != nullptr) continue;  // Re-tighten via RepairFull.
+    auto zm = std::make_unique<ZoneMapSc>(name, table->name(),
+                                          static_cast<ColumnIdx>(c));
+    SOFTDB_RETURN_IF_ERROR(zm->Mine(catalog_));
+    SOFTDB_RETURN_IF_ERROR(scs_.Add(std::move(zm), catalog_,
+                                    /*verify_now=*/true));
+  }
+  return Status::OK();
+}
+
 Status SoftDb::RunMaintenance() {
   SOFTDB_RETURN_IF_ERROR(scs_.RunRepairQueue(catalog_));
   RearmActivePlans();
@@ -219,12 +246,34 @@ Result<QueryResult> SoftDb::RunPlan(const PlanNode& plan, QueryResult result,
   result.estimated_cost = planner.EstimateCost(plan);
   result.plan_text = plan.ToString();
   SOFTDB_ASSIGN_OR_RETURN(OperatorPtr root, planner.Plan(plan));
+  // Zone maps are consumed at physical-planning time, so the rewrite-level
+  // epoch snapshot in ExecuteSelect never sees them. Guard them here: a
+  // mid-query widening (an out-of-envelope UPDATE bumps the SC epoch
+  // before the cell mutates) invalidates the skip sets baked into `root`,
+  // and the query re-plans without zone maps exactly once. The retry
+  // consults nothing, so it cannot cascade.
+  const ScEpochSnapshot zm_epochs = SnapshotScEpochs(ctx.rewrite_consumed_scs);
   ExecContext exec_ctx;
   exec_ctx.scheduler = scheduler();
   exec_ctx.query = query;
+  exec_ctx.use_kernels = options_.use_kernels;
   SOFTDB_ASSIGN_OR_RETURN(result.rows, ExecuteToCompletion(root.get(),
                                                            &exec_ctx));
   result.exec_stats = exec_ctx.stats;
+  if (!zm_epochs.empty() && ScEpochsChanged(zm_epochs)) {
+    OptimizerContext retry_ctx = MakeContext();
+    retry_ctx.enable_zone_maps = false;
+    PhysicalPlanner retry_planner(&retry_ctx, &estimator);
+    SOFTDB_ASSIGN_OR_RETURN(OperatorPtr retry_root, retry_planner.Plan(plan));
+    ExecContext retry_exec;
+    retry_exec.scheduler = scheduler();
+    retry_exec.query = query;
+    retry_exec.use_kernels = options_.use_kernels;
+    SOFTDB_ASSIGN_OR_RETURN(
+        result.rows, ExecuteToCompletion(retry_root.get(), &retry_exec));
+    result.exec_stats = retry_exec.stats;
+    result.exec_stats.degraded_retries = 1;
+  }
   return result;
 }
 
@@ -431,6 +480,11 @@ Result<std::uint64_t> SoftDb::ExecuteUpdate(const UpdateStmt& stmt) {
       ics_.AfterInsert(table->name(), old_row);
       return check;
     }
+    // Zone maps fold the update BEFORE the cells mutate (they read the old
+    // value) and bump their epoch when the envelope widens, degrading any
+    // in-flight query that consumed a now-stale skip set.
+    SOFTDB_RETURN_IF_ERROR(scs_.OnRowUpdated(catalog_, table->name(), r,
+                                             new_row));
     for (const auto& [col, expr] : assignments) {
       (void)expr;
       catalog_.NotifyUpdate(table, r, col, old_row[col], new_row[col]);

@@ -46,6 +46,15 @@ struct EngineOptions {
   /// statically-impacted subset of the catalog.
   bool enable_impact_analysis = true;
   bool use_twins_in_estimation = true;
+  /// Consult armed kBlockZoneMap SCs at physical-planning time: scans get
+  /// per-block skip sets for blocks whose min/max/null-count envelope
+  /// provably contradicts the predicates. Mid-query widenings degrade to a
+  /// zone-map-free re-execution (see RunPlan).
+  bool enable_zone_maps = true;
+  /// Evaluate batch comparison filters through the branch-free SIMD
+  /// kernels (exec/kernels.h) where types permit; OFF forces the scalar
+  /// expression path everywhere. Results are bit-identical either way.
+  bool use_kernels = true;
   bool prefer_sort_merge_join = false;
   bool enable_runtime_parameterization = true;
   /// Execute scans/filters/projections/equi hash joins on the vectorized
@@ -152,6 +161,12 @@ class SoftDb {
 
   /// Runs ANALYZE over one table or all tables.
   Status Analyze(const std::string& table = "");
+
+  /// Mines one kBlockZoneMap SC per numeric column of `table` (named
+  /// "zm_<table>_<col>") and registers them armed. Existing zone maps on
+  /// the table are left alone; call again after bulk loads to re-tighten
+  /// via RunMaintenance/RepairFull instead.
+  Status MineZoneMaps(const std::string& table);
 
   /// Drains the SC async repair queue and re-arms cached plans whose SCs
   /// are active again.

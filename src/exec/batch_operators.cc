@@ -66,6 +66,7 @@ Status BatchSeqScanOp::Open(ExecContext* ctx) {
     if (!skip[i]) effective_.push_back(&predicates_[i]);
   }
   ctx->stats.pages_read += table_->NumPages();
+  ChargeZoneMapBlocks(zone_skips_, ctx);
   return Status::OK();
 }
 
@@ -73,6 +74,14 @@ Result<bool> BatchSeqScanOp::NextBatch(ExecContext* ctx, ColumnBatch* batch) {
   if (provably_empty_) return false;
   const std::uint8_t* live = table_->LiveBitmap();
   const std::size_t end = morsel_mode_ ? morsel_end_ : table_->NumSlots();
+  // Slot -> "its zone-map block is skippable". Serial batches are
+  // kZoneMapBlockRows-aligned so whole batches drop; morsel batches may
+  // straddle a block boundary and drop rows from the selection vector
+  // instead — either way exactly the rows SeqScanOp skips are skipped.
+  const auto block_skipped = [this](std::size_t slot) {
+    const std::size_t blk = slot / kZoneMapBlockRows;
+    return blk < zone_skips_->size() && (*zone_skips_)[blk] != 0;
+  };
   while (next_ < end) {
     // Batch granularity: one full interrupt check and one failpoint
     // evaluation per batch produced.
@@ -82,15 +91,28 @@ Result<bool> BatchSeqScanOp::NextBatch(ExecContext* ctx, ColumnBatch* batch) {
     const std::size_t base = next_;
     const std::size_t n = std::min(kBatchCapacity, end - base);
     next_ += n;
+    if (zone_skips_ != nullptr && block_skipped(base) &&
+        block_skipped(base + n - 1)) {
+      continue;  // Every overlapped block is skippable: drop the batch.
+    }
     batch->BindTableView(*table_, base, n);
     SelIdx* sel = batch->mutable_sel();
     std::size_t count = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (live[base + i]) sel[count++] = static_cast<SelIdx>(i);
+    if (zone_skips_ == nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (live[base + i]) sel[count++] = static_cast<SelIdx>(i);
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (live[base + i] && !block_skipped(base + i)) {
+          sel[count++] = static_cast<SelIdx>(i);
+        }
+      }
     }
     ctx->stats.rows_scanned += count;
-    SOFTDB_ASSIGN_OR_RETURN(std::size_t kept,
-                            FilterSelection(effective_, *batch, sel, count));
+    SOFTDB_ASSIGN_OR_RETURN(
+        std::size_t kept,
+        FilterSelection(effective_, *batch, sel, count, ctx->use_kernels));
     batch->set_sel_size(kept);
     ctx->stats.rows_emitted += kept;
     if (kept > 0) return true;
@@ -141,7 +163,8 @@ Result<bool> BatchIndexRangeScanOp::NextBatch(ExecContext* ctx,
     ctx->stats.rows_scanned += n;
     SOFTDB_ASSIGN_OR_RETURN(
         std::size_t kept,
-        FilterSelection(effective_, *batch, batch->mutable_sel(), n));
+        FilterSelection(effective_, *batch, batch->mutable_sel(), n,
+                        ctx->use_kernels));
     batch->set_sel_size(kept);
     ctx->stats.rows_emitted += kept;
     if (kept > 0) return true;
@@ -167,7 +190,7 @@ Result<bool> BatchFilterOp::NextBatch(ExecContext* ctx, ColumnBatch* batch) {
     SOFTDB_ASSIGN_OR_RETURN(
         std::size_t kept,
         FilterSelection(effective_, *batch, batch->mutable_sel(),
-                        batch->sel_size()));
+                        batch->sel_size(), ctx->use_kernels));
     batch->set_sel_size(kept);
     if (kept > 0) return true;
   }
@@ -235,6 +258,9 @@ Status BatchHashJoinOp::Open(ExecContext* ctx) {
   probe_idx_ = 0;
   matches_ = nullptr;
   match_idx_ = 0;
+  probe_dict_source_ = nullptr;
+  code_buckets_.clear();
+  code_cached_.clear();
   SOFTDB_RETURN_IF_ERROR(right_->Open(ctx));
   ColumnBatch rb;
   while (true) {
@@ -289,6 +315,40 @@ Result<bool> BatchHashJoinOp::NextBatch(ExecContext* ctx, ColumnBatch* batch) {
       continue;
     }
     const std::size_t pos = probe_batch_.sel()[probe_idx_++];
+    if (keys_.size() == 1) {
+      // Dictionary fast path: compare int32 codes, not std::string.
+      const BatchColumn& pc = probe_batch_.column(keys_[0].left);
+      if (pc.type() == TypeId::kString) {
+        const BatchColumn::RawSpans raw = pc.RawData();
+        const ColumnVector* src = pc.view_source();
+        if (raw.codes != nullptr && src != nullptr) {
+          const std::int32_t code = raw.codes[pos];
+          if (code == ColumnVector::kNullCode) continue;
+          if (src != probe_dict_source_) {
+            probe_dict_source_ = src;
+            code_buckets_.clear();
+            code_cached_.clear();
+          }
+          const auto c = static_cast<std::size_t>(code);
+          if (c >= code_cached_.size()) {
+            code_cached_.resize(c + 1, 0);
+            code_buckets_.resize(c + 1, nullptr);
+          }
+          if (!code_cached_[c]) {
+            std::vector<Value> key;
+            key.push_back(pc.GetValue(pos));
+            auto it = build_.find(key);
+            code_buckets_[c] = it == build_.end() ? nullptr : &it->second;
+            code_cached_[c] = 1;
+          }
+          if (code_buckets_[c] == nullptr) continue;
+          matches_ = code_buckets_[c];
+          match_idx_ = 0;
+          probe_row_ = probe_batch_.MaterializeRow(pos);
+          continue;
+        }
+      }
+    }
     std::vector<Value> key;
     key.reserve(keys_.size());
     bool null_key = false;

@@ -72,6 +72,13 @@ class BatchSeqScanOp final : public BatchOperator {
   void BindMorsel(std::size_t base, std::size_t rows,
                   const std::vector<bool>* skip);
 
+  /// Same contract as SeqScanOp::SetZoneMapSkips. In morsel mode the block
+  /// counters are NOT charged here (the coordinator charged them once);
+  /// rows of skipped blocks are simply dropped from the selection vector,
+  /// so straddling morsels scan exactly the rows serial engines scan.
+  void SetZoneMapSkips(ZoneMapSkips skips) { zone_skips_ = std::move(skips); }
+  const ZoneMapSkips& zone_map_skips() const { return zone_skips_; }
+
   const char* name() const override { return "BatchSeqScan"; }
   const std::vector<Predicate>& predicates() const { return predicates_; }
   const std::vector<ScanRuntimeParameter>& runtime_params() const {
@@ -86,6 +93,7 @@ class BatchSeqScanOp final : public BatchOperator {
   std::vector<Predicate> predicates_;
   std::vector<ScanRuntimeParameter> runtime_params_;
   std::vector<const Predicate*> effective_;  // Predicates applied this run.
+  ZoneMapSkips zone_skips_;
   bool provably_empty_ = false;
   RowId next_ = 0;
   // Morsel mode state; end_ is NumSlots() outside morsel mode.
@@ -201,6 +209,14 @@ class BatchHashJoinOp final : public BatchOperator {
   std::vector<Value> probe_row_;
   const std::vector<std::vector<Value>>* matches_ = nullptr;
   std::size_t match_idx_ = 0;
+  // Dictionary fast path for a single VARCHAR key over a view-mode probe
+  // column: memoizes probe-code → build-bucket lookups, so each distinct
+  // probe string is boxed and hashed once per join instead of once per
+  // row. Code equality ⇔ string equality, so results are identical to the
+  // generic path. Keyed by the probe column's backing ColumnVector.
+  const ColumnVector* probe_dict_source_ = nullptr;
+  std::vector<const std::vector<std::vector<Value>>*> code_buckets_;
+  std::vector<std::uint8_t> code_cached_;
 };
 
 /// Bridges a vectorized subtree into the row engine: materializes each

@@ -30,6 +30,31 @@ Value BatchColumn::GetValue(std::size_t pos) const {
   return Value::Null(type_);
 }
 
+BatchColumn::RawSpans BatchColumn::RawData() const {
+  RawSpans s;
+  if (view_ != nullptr) {
+    s.nulls = view_->RawNulls() + base_;
+    if (IntBacked(type_)) {
+      s.i64 = view_->RawInts() + base_;
+    } else if (type_ == TypeId::kDouble) {
+      s.f64 = view_->RawDoubles() + base_;
+    } else {
+      s.str = view_->RawStrings() + base_;
+      s.codes = view_->RawCodes() + base_;
+    }
+    return s;
+  }
+  s.nulls = nulls_.data();
+  if (IntBacked(type_)) {
+    s.i64 = ints_.data();
+  } else if (type_ == TypeId::kDouble) {
+    s.f64 = doubles_.data();
+  } else {
+    s.str = strings_.data();
+  }
+  return s;
+}
+
 void BatchColumn::AppendValue(const Value& v) {
   nulls_.push_back(v.is_null() ? 1 : 0);
   if (IntBacked(type_)) {

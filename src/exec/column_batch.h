@@ -63,6 +63,33 @@ class BatchColumn {
   /// would, so adapter output is byte-identical to the row engine's.
   Value GetValue(std::size_t pos) const;
 
+  /// Contiguous raw spans for the kernel layer, uniform across view and
+  /// owned mode (the view/owned asymmetry fix): every pointer is
+  /// pre-offset so index 0 is batch position 0, and is valid for at least
+  /// the enclosing batch's size() rows.
+  ///
+  /// Null-handling contract: `nulls[pos] != 0` marks SQL NULL, and the
+  /// payload of a NULL row in the typed buffer is *unspecified* (storage
+  /// happens to write 0 / "") — kernels must mask NULL rows out of every
+  /// result rather than branch on payloads. Exactly the buffer matching
+  /// the column's physical family is populated: `i64` for int-like types
+  /// (BIGINT, DATE, BOOLEAN), `f64` for DOUBLE, `str` for VARCHAR; all
+  /// others stay nullptr. `codes` carries the dictionary codes of a
+  /// view-mode VARCHAR column (owned string buffers are materialized, so
+  /// `codes` is nullptr there and code kernels fall back to `str`).
+  struct RawSpans {
+    const std::int64_t* i64 = nullptr;
+    const double* f64 = nullptr;
+    const std::string* str = nullptr;
+    const std::int32_t* codes = nullptr;
+    const std::uint8_t* nulls = nullptr;
+  };
+  RawSpans RawData() const;
+
+  /// The storage column a view-mode column points at (nullptr in owned
+  /// mode). Dictionary lookups (FindCode) go through this.
+  const ColumnVector* view_source() const { return view_; }
+
   /// Owned-mode appends. AppendValue mirrors ColumnVector::Append's type
   /// coercion so join outputs built from row-path Values stay identical.
   void AppendValue(const Value& v);

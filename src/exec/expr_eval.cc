@@ -1,6 +1,10 @@
 #include "exec/expr_eval.h"
 
+#include <array>
 #include <numeric>
+
+#include "exec/kernels.h"
+#include "storage/column_vector.h"
 
 namespace softdb {
 
@@ -212,6 +216,28 @@ Status EvalArithmetic(const ArithmeticExpr& e, const ColumnBatch& batch,
   SOFTDB_RETURN_IF_ERROR(EvalExprBatch(*e.right(), batch, sel, n, &r));
   const TypeId rt = e.result_type();
   out->Resize(rt, n);
+  // Kernel fast paths for the homogeneous-type cases: hoist the op switch
+  // out of the loop, merge NULLs branch-free, and let the payload loop
+  // autovectorize. kDiv keeps the scalar loop (divide-by-zero → NULL is a
+  // per-row decision), as do mixed-type operand combinations.
+  if (e.op() != ArithOp::kDiv && n > 0) {
+    if (rt == TypeId::kDouble && l.type == TypeId::kDouble &&
+        r.type == TypeId::kDouble) {
+      kernels::NullOrMask(l.null.data(), r.null.data(), n,
+                          out->null.data());
+      kernels::ArithF64(e.op(), l.f64.data(), r.f64.data(), n,
+                        out->f64.data());
+      return Status::OK();
+    }
+    if (rt != TypeId::kDouble && rt != TypeId::kString &&
+        IsIntLike(l.type) && IsIntLike(r.type)) {
+      kernels::NullOrMask(l.null.data(), r.null.data(), n,
+                          out->null.data());
+      kernels::ArithI64ViaDouble(e.op(), l.i64.data(), r.i64.data(), n,
+                                 out->i64.data());
+      return Status::OK();
+    }
+  }
   if (rt == TypeId::kDouble) {
     for (std::size_t i = 0; i < n; ++i) {
       if (l.null[i] || r.null[i]) {
@@ -334,6 +360,105 @@ Status EvalInList(const InListExpr& e, const ColumnBatch& batch,
   return Status::OK();
 }
 
+/// Fills `mask[0..batch.size())` for `sp` when it has kernel shape; false
+/// means "not eligible, use the scalar path" (which also owns every case
+/// that can raise a type error — kernels only run where no row can error).
+bool KernelCompareMask(const SimplePredicate& sp, const ColumnBatch& batch,
+                       std::uint8_t* mask) {
+  if (sp.column >= batch.NumColumns()) return false;
+  const BatchColumn& col = batch.column(sp.column);
+  const Value& c = sp.constant;
+  if (c.is_null()) return false;  // NULL constant: result NULL everywhere.
+  const BatchColumn::RawSpans raw = col.RawData();
+  const std::size_t size = batch.size();
+  if (col.type() == TypeId::kString) {
+    // Dictionary-code equality; ordering predicates need the strings.
+    if (c.type() != TypeId::kString) return false;
+    if (sp.op != CompareOp::kEq && sp.op != CompareOp::kNe) return false;
+    if (raw.codes == nullptr || col.view_source() == nullptr) return false;
+    const auto code = col.view_source()->FindCode(c.AsString());
+    kernels::CodeEqMask(raw.codes, size, sp.op == CompareOp::kNe,
+                        code.value_or(kernels::kAbsentCode), mask);
+    return true;
+  }
+  if (c.type() == TypeId::kString) return false;  // Family mismatch: error.
+  if (raw.i64 != nullptr) {
+    if (IsIntLike(c.type())) {
+      kernels::CompareMaskI64(raw.i64, raw.nulls, size, sp.op, c.AsInt64(),
+                              mask);
+    } else {
+      kernels::CompareMaskI64AsF64(raw.i64, raw.nulls, size, sp.op,
+                                   c.AsDouble(), mask);
+    }
+    return true;
+  }
+  if (raw.f64 != nullptr) {
+    kernels::CompareMaskF64(raw.f64, raw.nulls, size, sp.op,
+                            c.NumericValue(), mask);
+    return true;
+  }
+  return false;
+}
+
+/// Kernel dispatch for one filter conjunct: true iff `expr` was fully
+/// evaluated into `mask` (over the whole batch). `tmp` is scratch for
+/// multi-part shapes (BETWEEN = two compares ANDed).
+bool TryKernelFilter(const Expr& expr, const ColumnBatch& batch,
+                     std::uint8_t* mask, std::uint8_t* tmp) {
+  switch (expr.kind()) {
+    case ExprKind::kComparison: {
+      SimplePredicate sp;
+      if (!MatchSimplePredicate(expr, &sp)) return false;
+      return KernelCompareMask(sp, batch, mask);
+    }
+    case ExprKind::kBetween: {
+      std::vector<SimplePredicate> sps;
+      if (!ExpandSimplePredicates(expr, &sps) || sps.empty()) return false;
+      if (!KernelCompareMask(sps[0], batch, mask)) return false;
+      for (std::size_t k = 1; k < sps.size(); ++k) {
+        if (!KernelCompareMask(sps[k], batch, tmp)) return false;
+        kernels::AndMask(tmp, batch.size(), mask);
+      }
+      return true;
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      if (in.input()->kind() != ExprKind::kColumnRef) return false;
+      const auto& cr = static_cast<const ColumnRefExpr&>(*in.input());
+      if (!cr.bound() || cr.index() >= batch.NumColumns()) return false;
+      const BatchColumn& col = batch.column(cr.index());
+      if (col.type() != TypeId::kString) return false;
+      const BatchColumn::RawSpans raw = col.RawData();
+      if (raw.codes == nullptr || col.view_source() == nullptr) return false;
+      std::vector<std::int32_t> targets;
+      targets.reserve(in.list().size());
+      for (const ExprPtr& item : in.list()) {
+        if (item->kind() != ExprKind::kLiteral) return false;
+        const Value& v = static_cast<const LiteralExpr&>(*item).value();
+        // A NULL item flips non-matches to NULL (scalar semantics) and a
+        // non-string item is a per-row type error; both fall back.
+        if (v.is_null() || v.type() != TypeId::kString) return false;
+        const auto code = col.view_source()->FindCode(v.AsString());
+        if (code.has_value()) targets.push_back(*code);
+      }
+      kernels::CodeInMask(raw.codes, batch.size(), targets.data(),
+                          targets.size(), mask);
+      return true;
+    }
+    case ExprKind::kIsNull: {
+      const auto& e = static_cast<const IsNullExpr&>(expr);
+      if (e.input()->kind() != ExprKind::kColumnRef) return false;
+      const auto& cr = static_cast<const ColumnRefExpr&>(*e.input());
+      if (!cr.bound() || cr.index() >= batch.NumColumns()) return false;
+      kernels::IsNullMask(batch.column(cr.index()).RawData().nulls,
+                          batch.size(), e.negated(), mask);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
 Status EvalIsNull(const IsNullExpr& e, const ColumnBatch& batch,
                   const SelIdx* sel, std::size_t n, BatchVec* out) {
   BatchVec child;
@@ -398,11 +523,18 @@ Status EvalExprBatch(const Expr& expr, const ColumnBatch& batch,
 
 Result<std::size_t> FilterSelection(
     const std::vector<const Predicate*>& predicates, const ColumnBatch& batch,
-    SelIdx* sel, std::size_t n) {
+    SelIdx* sel, std::size_t n, bool use_kernels) {
   BatchVec v;
+  std::array<std::uint8_t, kBatchCapacity> mask;
+  std::array<std::uint8_t, kBatchCapacity> tmp;
   for (const Predicate* p : predicates) {
     if (p->estimation_only) continue;
     if (n == 0) break;
+    if (use_kernels && batch.size() <= kBatchCapacity &&
+        TryKernelFilter(*p->expr, batch, mask.data(), tmp.data())) {
+      n = kernels::FilterSelByMask(mask.data(), sel, n);
+      continue;
+    }
     SOFTDB_RETURN_IF_ERROR(EvalExprBatch(*p->expr, batch, sel, n, &v));
     std::size_t kept = 0;
     for (std::size_t i = 0; i < n; ++i) {

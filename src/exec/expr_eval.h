@@ -46,9 +46,17 @@ Status EvalExprBatch(const Expr& expr, const ColumnBatch& batch,
 /// positions listed in sel[0..n), compacting `sel` in place to the
 /// positions where every predicate is TRUE. Returns the surviving count.
 /// Equivalent to EvalPredicates per row, batched predicate-at-a-time.
+///
+/// When `use_kernels` is set (ExecContext::use_kernels), predicates of
+/// kernel shape — `col op literal`, BETWEEN over literals, string
+/// equality/IN against a dictionary-coded view column, IS [NOT] NULL —
+/// run through the branch-free mask kernels in exec/kernels.h (bitmask
+/// over the full batch, then selection compaction). Everything else, and
+/// every shape whose evaluation could raise a type error, falls back to
+/// EvalExprBatch; results are bit-identical either way.
 Result<std::size_t> FilterSelection(
     const std::vector<const Predicate*>& predicates, const ColumnBatch& batch,
-    SelIdx* sel, std::size_t n);
+    SelIdx* sel, std::size_t n, bool use_kernels = true);
 
 }  // namespace softdb
 

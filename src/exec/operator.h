@@ -25,6 +25,13 @@ struct ExecStats {
   std::uint64_t index_lookups = 0;  // Index range scans performed.
   std::uint64_t rows_joined = 0;    // Probe-side comparisons in joins.
   std::uint64_t runtime_param_skips = 0;  // §4.2 predicates skipped at Open.
+  // Block-zone-map pruning: 1024-row blocks whose SMA interval provably
+  // excludes every scan predicate, skipped without touching the rows, and
+  // the number of blocks the scan covered in total. Every engine (row,
+  // batch, parallel) consults the same plan-time skip decisions, so both
+  // counters ARE part of the cross-engine stat-equality invariant.
+  std::uint64_t blocks_skipped = 0;
+  std::uint64_t blocks_total = 0;
   // Morsels executed by the parallel engine. An execution-strategy
   // detail: 0 on serial paths, so it is excluded from the cross-engine
   // stat-equality invariant the differential fuzzer checks.
@@ -49,6 +56,8 @@ struct ExecStats {
     index_lookups += other.index_lookups;
     rows_joined += other.rows_joined;
     runtime_param_skips += other.runtime_param_skips;
+    blocks_skipped += other.blocks_skipped;
+    blocks_total += other.blocks_total;
     morsels += other.morsels;
     degraded_retries += other.degraded_retries;
   }
@@ -64,6 +73,12 @@ struct ExecContext {
   TaskScheduler* scheduler = nullptr;
   // Borrowed per-query limits; null means uncancellable with no deadline.
   const QueryContext* query = nullptr;
+  // Route batch filters/projections through the branch-free kernels in
+  // exec/kernels.h where eligible. The scalar expression walker is the
+  // always-correct fallback; this flag exists so benches and the
+  // differential fuzzer can A/B the two paths. Must be copied into
+  // morsel-local contexts by the parallel coordinator.
+  bool use_kernels = true;
 
   /// Full cancellation/deadline check. Called at batch and morsel
   /// boundaries, where the clock read is amortized over many rows.

@@ -61,6 +61,12 @@ int ClassifyAgainstDomain(const SimplePredicate& sp, const Value& min_key,
 
 }  // namespace
 
+void ChargeZoneMapBlocks(const ZoneMapSkips& skips, ExecContext* ctx) {
+  if (skips == nullptr) return;
+  ctx->stats.blocks_total += skips->size();
+  for (const std::uint8_t s : *skips) ctx->stats.blocks_skipped += s;
+}
+
 void ResolveScanRuntimeParams(const std::vector<ScanRuntimeParameter>& params,
                               const Schema& schema, ExecContext* ctx,
                               std::vector<bool>* skip, bool* provably_empty) {
@@ -97,6 +103,10 @@ Status SeqScanOp::Open(ExecContext* ctx) {
     if (!skip[i]) effective_.push_back(&predicates_[i]);
   }
   ctx->stats.pages_read += table_->NumPages();
+  // Zone maps narrow rows evaluated, not pages: the block skip model saves
+  // predicate work and row materialization, while the page accounting
+  // stays that of a full sequential pass.
+  ChargeZoneMapBlocks(zone_skips_, ctx);
   return Status::OK();
 }
 
@@ -106,6 +116,15 @@ Result<bool> SeqScanOp::Next(ExecContext* ctx, std::vector<Value>* row) {
     // Selective predicates can spin here across many rows per Next call,
     // so this loop is a cancellation point of its own.
     SOFTDB_RETURN_IF_ERROR(ctx->CheckInterruptStrided());
+    if (zone_skips_ != nullptr) {
+      const std::size_t blk = next_ / kZoneMapBlockRows;
+      if (blk < zone_skips_->size() && (*zone_skips_)[blk] != 0) {
+        // The whole block is provably predicate-free: jump past it without
+        // touching liveness, rows_scanned, or the predicates.
+        next_ = static_cast<RowId>((blk + 1) * kZoneMapBlockRows);
+        continue;
+      }
+    }
     const RowId id = next_++;
     if (!table_->IsLive(id)) continue;
     ++ctx->stats.rows_scanned;

@@ -1,6 +1,7 @@
 #ifndef SOFTDB_EXEC_OPERATORS_H_
 #define SOFTDB_EXEC_OPERATORS_H_
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +22,23 @@ struct ScanRuntimeParameter {
   const Index* index;
   SimplePredicate simple;
 };
+
+/// Plan-time zone-map skip set for one sequential scan: element b == 1
+/// means slot block [b*kZoneMapBlockRows, (b+1)*kZoneMapBlockRows) is
+/// provably predicate-free — no live row in it can satisfy the scan's
+/// conjunction — and every engine drops its rows without evaluation.
+/// Blocks past the vector's end (appended after planning) are never
+/// skipped. Computed once per physical planning by the PhysicalPlanner
+/// from armed kBlockZoneMap SCs and shared by whichever engine (row,
+/// batch, morsel) executes the scan, so rows_scanned and the
+/// blocks_total/blocks_skipped counters are identical across engines.
+using ZoneMapSkips = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+/// Charges the scan-wide block counters for one consulted skip set.
+/// Called exactly once per scan execution, by the operator that owns the
+/// whole-table accounting (serial scans at Open; the parallel coordinator
+/// before fanning out morsels).
+void ChargeZoneMapBlocks(const ZoneMapSkips& skips, ExecContext* ctx);
 
 /// Resolves `params` against the indexes' current domains at Open time.
 /// Tautologies on non-nullable columns set the predicate's `skip` flag and
@@ -52,6 +70,12 @@ class SeqScanOp final : public Operator {
   void AddRuntimeParameter(std::size_t predicate_index, const Index* index,
                            SimplePredicate simple);
 
+  /// Attaches a plan-time zone-map skip set (may be null: no zone maps
+  /// armed). Rows in skipped blocks are passed over without liveness or
+  /// predicate evaluation.
+  void SetZoneMapSkips(ZoneMapSkips skips) { zone_skips_ = std::move(skips); }
+  const ZoneMapSkips& zone_map_skips() const { return zone_skips_; }
+
   const char* name() const override { return "SeqScan"; }
   const std::vector<Predicate>& predicates() const { return predicates_; }
   const std::vector<ScanRuntimeParameter>& runtime_params() const {
@@ -66,6 +90,7 @@ class SeqScanOp final : public Operator {
   std::vector<Predicate> predicates_;
   std::vector<ScanRuntimeParameter> runtime_params_;
   std::vector<const Predicate*> effective_;  // Predicates applied this run.
+  ZoneMapSkips zone_skips_;
   bool provably_empty_ = false;
   RowId next_ = 0;
 };

@@ -28,7 +28,7 @@ std::vector<ExprPtr> CloneExprs(const std::vector<ExprPtr>& exprs) {
 /// `stats`. Per-worker state only; safe to run concurrently.
 Status RunPipelineMorsel(ExecPool<PipelineChain>* pool,
                          const MorselRange& morsel,
-                         const std::vector<bool>* skip,
+                         const std::vector<bool>* skip, bool use_kernels,
                          const QueryContext* query, ExecStats* stats,
                          std::vector<std::vector<Value>>* rows) {
   auto lease = pool->Acquire();
@@ -37,6 +37,7 @@ Status RunPipelineMorsel(ExecPool<PipelineChain>* pool,
   // Morsel granularity is the parallel engine's cancellation granularity:
   // the scan checks the shared token/deadline once per batch it produces.
   local.query = query;
+  local.use_kernels = use_kernels;
   SOFTDB_RETURN_IF_ERROR(local.CheckInterrupt());
   SOFTDB_RETURN_IF_ERROR(lease->root->Open(&local));
   while (true) {
@@ -102,6 +103,7 @@ PipelineSpec PipelineSpec::Clone() const {
   out.scan_schema = scan_schema;
   out.scan_predicates = ClonePredicates(scan_predicates);
   out.runtime_params = runtime_params;
+  out.zone_skips = zone_skips;
   out.stages.reserve(stages.size());
   for (const PipelineStage& s : stages) out.stages.push_back(s.Clone());
   return out;
@@ -111,6 +113,7 @@ std::unique_ptr<PipelineChain> BuildPipelineChain(const PipelineSpec& spec) {
   auto chain = std::make_unique<PipelineChain>();
   auto scan = std::make_unique<BatchSeqScanOp>(
       spec.table, spec.scan_schema, ClonePredicates(spec.scan_predicates));
+  scan->SetZoneMapSkips(spec.zone_skips);
   chain->leaf = scan.get();
   BatchOperatorPtr op = std::move(scan);
   for (const PipelineStage& stage : spec.stages) {
@@ -147,6 +150,9 @@ Status ParallelPipelineOp::Open(ExecContext* ctx) {
                            &skip_, &provably_empty);
   if (provably_empty) return Status::OK();  // No pages, no morsels.
   ctx->stats.pages_read += spec_.table->NumPages();
+  // Block accounting happens once here; the morsel-local scans skip
+  // silently (their Open performs no whole-table accounting at all).
+  ChargeZoneMapBlocks(spec_.zone_skips, ctx);
 
   const std::vector<MorselRange> morsels =
       SplitMorsels(spec_.table->NumSlots(), morsel_rows_);
@@ -157,8 +163,9 @@ Status ParallelPipelineOp::Open(ExecContext* ctx) {
   std::vector<ExecStats> worker_stats(morsels.size());
   SOFTDB_RETURN_IF_ERROR(ForEachMorsel(
       ctx, morsels, [this, ctx, &pool, &worker_stats](const MorselRange& m) {
-        return RunPipelineMorsel(&pool, m, &skip_, ctx->query,
-                                 &worker_stats[m.index], &results_[m.index]);
+        return RunPipelineMorsel(&pool, m, &skip_, ctx->use_kernels,
+                                 ctx->query, &worker_stats[m.index],
+                                 &results_[m.index]);
       }));
   MergeWorkerStats(worker_stats, &ctx->stats);
   return Status::OK();
@@ -210,6 +217,7 @@ Status ParallelHashJoinOp::RunBuildPhase(ExecContext* ctx) {
   std::vector<MorselRange> morsels;
   if (!provably_empty) {
     ctx->stats.pages_read += build_.table->NumPages();
+    ChargeZoneMapBlocks(build_.zone_skips, ctx);
     morsels = SplitMorsels(build_.table->NumSlots(), morsel_rows_);
   }
 
@@ -224,7 +232,7 @@ Status ParallelHashJoinOp::RunBuildPhase(ExecContext* ctx) {
       [this, ctx, &pool, &worker_stats, &keyed](const MorselRange& m) -> Status {
         std::vector<std::vector<Value>> rows;
         SOFTDB_RETURN_IF_ERROR(RunPipelineMorsel(&pool, m, &build_skip_,
-                                                 ctx->query,
+                                                 ctx->use_kernels, ctx->query,
                                                  &worker_stats[m.index],
                                                  &rows));
         KeyedRows& out = keyed[m.index];
@@ -282,6 +290,7 @@ Status ParallelHashJoinOp::RunProbePhase(ExecContext* ctx) {
                            &probe_skip_, &provably_empty);
   if (provably_empty) return Status::OK();  // Serial probe scans nothing.
   ctx->stats.pages_read += probe_.table->NumPages();
+  ChargeZoneMapBlocks(probe_.zone_skips, ctx);
 
   const std::vector<MorselRange> morsels =
       SplitMorsels(probe_.table->NumSlots(), morsel_rows_);
@@ -298,6 +307,7 @@ Status ParallelHashJoinOp::RunProbePhase(ExecContext* ctx) {
         lease->leaf->BindMorsel(m.base, m.rows, &probe_skip_);
         ExecContext local;
         local.query = ctx->query;
+        local.use_kernels = ctx->use_kernels;
         SOFTDB_RETURN_IF_ERROR(local.CheckInterrupt());
         SOFTDB_RETURN_IF_ERROR(lease->root->Open(&local));
         std::vector<std::vector<Value>>& out = results_[m.index];

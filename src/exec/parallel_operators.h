@@ -38,6 +38,10 @@ struct PipelineSpec {
   Schema scan_schema;
   std::vector<Predicate> scan_predicates;
   std::vector<ScanRuntimeParameter> runtime_params;
+  /// Plan-time zone-map skip set (may be null). The coordinator charges
+  /// blocks_total/blocks_skipped once per query; worker chains drop rows
+  /// of skipped blocks from their selection vectors without charging.
+  ZoneMapSkips zone_skips;
   std::vector<PipelineStage> stages;
 
   /// Output schema of the full chain (top project, else the scan).

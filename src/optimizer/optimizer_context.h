@@ -40,6 +40,12 @@ struct OptimizerContext {
   /// that contradict the facts to FALSE and prune redundant conjuncts.
   bool enable_implication = true;
   bool use_twins_in_estimation = true;        // Estimator switch for E4.
+  /// Consult armed (absolute) kBlockZoneMap SCs at physical-planning time:
+  /// sequential scans get a per-block skip set for blocks whose min/max/
+  /// null-count envelope provably contradicts the scan's predicates. Used
+  /// SCs are recorded as rewrite-consumed, so the epoch-snapshot /
+  /// degraded-retry protocol guards mid-query widenings.
+  bool enable_zone_maps = true;
   /// Plan equi joins as sort-merge instead of hash join. Independently of
   /// this flag, the planner uses sort-merge when a downstream ORDER BY
   /// matches the join keys (interesting orders), eliding the sort.

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/implication.h"
 #include "analysis/plan_verifier.h"
+#include "constraints/zone_map_sc.h"
 #include "optimizer/range_analysis.h"
 
 namespace softdb {
@@ -69,7 +71,221 @@ void WireRuntimeParams(const OptimizerContext* ctx, const ScanNode& scan,
   }
 }
 
+// ------------------------------------------------- zone-map block skipping
+
+bool ZmIntLike(TypeId t) {
+  return t == TypeId::kInt64 || t == TypeId::kDate || t == TypeId::kBool;
+}
+bool ZmNumeric(TypeId t) { return ZmIntLike(t) || t == TypeId::kDouble; }
+bool ZmSameFamily(TypeId a, TypeId b) {
+  if (ZmNumeric(a) && ZmNumeric(b)) return true;
+  return a == b;
+}
+
+const ColumnRefExpr* AsBoundColumn(const Expr* e) {
+  if (e->kind() != ExprKind::kColumnRef) return nullptr;
+  const auto* ref = static_cast<const ColumnRefExpr*>(e);
+  return ref->bound() ? ref : nullptr;
+}
+
+const Value* AsLiteral(const Expr* e) {
+  if (e->kind() != ExprKind::kLiteral) return nullptr;
+  return &static_cast<const LiteralExpr*>(e)->value();
+}
+
+/// True when one comparison operand pairing cannot raise a type error on
+/// any row: a NULL literal short-circuits to NULL before family checks,
+/// and a non-NULL literal errors iff its family differs from the column's.
+bool OperandPairErrorFree(TypeId col_type, const Value& literal) {
+  return literal.is_null() || ZmSameFamily(col_type, literal.type());
+}
+
+/// Whether evaluating `e` can provably never raise a runtime error on ANY
+/// row of `schema`. This gates zone-map skipping: a skipped block's rows
+/// are never evaluated, so every predicate of the scan — not only the one
+/// that proved the block empty — must be statically error-free, or a
+/// pruned scan could silently swallow a type error the row engine raises.
+bool PredicateErrorFree(const Expr& e, const Schema& schema) {
+  switch (e.kind()) {
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(e);
+      const ColumnRefExpr* lc = AsBoundColumn(cmp.left());
+      const ColumnRefExpr* rc = AsBoundColumn(cmp.right());
+      const Value* lv = AsLiteral(cmp.left());
+      const Value* rv = AsLiteral(cmp.right());
+      if (lc != nullptr && rv != nullptr) {
+        return OperandPairErrorFree(schema.Column(lc->index()).type, *rv);
+      }
+      if (rc != nullptr && lv != nullptr) {
+        return OperandPairErrorFree(schema.Column(rc->index()).type, *lv);
+      }
+      if (lc != nullptr && rc != nullptr) {
+        return ZmSameFamily(schema.Column(lc->index()).type,
+                            schema.Column(rc->index()).type);
+      }
+      return false;
+    }
+    case ExprKind::kBetween: {
+      const auto& bt = static_cast<const BetweenExpr&>(e);
+      const ColumnRefExpr* col = AsBoundColumn(bt.input());
+      const Value* lo = AsLiteral(bt.lo());
+      const Value* hi = AsLiteral(bt.hi());
+      if (col == nullptr || lo == nullptr || hi == nullptr) return false;
+      const TypeId t = schema.Column(col->index()).type;
+      return OperandPairErrorFree(t, *lo) && OperandPairErrorFree(t, *hi);
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(e);
+      const ColumnRefExpr* col = AsBoundColumn(in.input());
+      if (col == nullptr) return false;
+      const TypeId t = schema.Column(col->index()).type;
+      for (const ExprPtr& item : in.list()) {
+        const Value* v = AsLiteral(item.get());
+        if (v == nullptr || !OperandPairErrorFree(t, *v)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kIsNull:
+      return AsBoundColumn(
+                 static_cast<const IsNullExpr&>(e).input()) != nullptr;
+    default:
+      return false;  // Logical / arithmetic shapes: assume they can raise.
+  }
+}
+
+/// The prune tests one scan's predicates impose on one zone-mapped column.
+struct ZonePruneTests {
+  std::vector<Interval> intervals;  // From comparisons / BETWEEN halves.
+  bool has_comparison = false;      // Any value test (rejects NULL rows).
+  bool has_is_null = false;         // Bare `col IS NULL` conjunct.
+  bool has_is_not_null = false;     // Bare `col IS NOT NULL` conjunct.
+};
+
+ZonePruneTests CollectPruneTests(const std::vector<Predicate>& preds,
+                                 ColumnIdx column) {
+  ZonePruneTests tests;
+  std::vector<SimplePredicate> sps;
+  for (const Predicate& p : preds) {
+    if (p.estimation_only) continue;
+    sps.clear();
+    if (ExpandSimplePredicates(*p.expr, &sps)) {
+      for (const SimplePredicate& sp : sps) {
+        if (sp.column != column || sp.constant.is_null() ||
+            !ZmNumeric(sp.constant.type())) {
+          continue;
+        }
+        tests.has_comparison = true;
+        // kNe yields no interval: it only excludes a point, which cannot
+        // empty a [min, max] envelope wider than that point.
+        if (auto iv = IntervalForComparison(sp.op, sp.constant)) {
+          tests.intervals.push_back(*iv);
+        }
+      }
+      continue;
+    }
+    if (p.expr->kind() == ExprKind::kIsNull) {
+      const auto& isn = static_cast<const IsNullExpr&>(*p.expr);
+      const ColumnRefExpr* col = AsBoundColumn(isn.input());
+      if (col != nullptr && col->index() == column) {
+        (isn.negated() ? tests.has_is_not_null : tests.has_is_null) = true;
+      }
+    }
+  }
+  return tests;
+}
+
 }  // namespace
+
+ZoneMapSkips PhysicalPlanner::ZoneMapSkipsFor(const ScanNode& scan,
+                                              const Table* table) const {
+  auto it = zone_skip_memo_.find(&scan);
+  if (it != zone_skip_memo_.end()) return it->second;
+  ZoneMapSkips skips = ComputeZoneMapSkips(scan, table);
+  zone_skip_memo_.emplace(&scan, skips);
+  return skips;
+}
+
+ZoneMapSkips PhysicalPlanner::ComputeZoneMapSkips(const ScanNode& scan,
+                                                  const Table* table) const {
+  if (!ctx_->enable_zone_maps || ctx_->scs == nullptr ||
+      scan.external_table() != nullptr) {
+    return nullptr;
+  }
+  const std::size_t nblocks =
+      (table->NumSlots() + kZoneMapBlockRows - 1) / kZoneMapBlockRows;
+  if (nblocks == 0) return nullptr;
+
+  std::vector<ZoneMapSc*> maps;
+  for (SoftConstraint* sc : ctx_->scs->On(scan.table_name())) {
+    if (sc->kind() != ScKind::kBlockZoneMap || !sc->IsAbsolute()) continue;
+    auto* zm = static_cast<ZoneMapSc*>(sc);
+    if (!ZmNumeric(table->schema().Column(zm->column()).type)) continue;
+    maps.push_back(zm);
+  }
+  if (maps.empty()) return nullptr;
+
+  // Error-reachability gate: see PredicateErrorFree.
+  for (const Predicate& p : scan.predicates()) {
+    if (p.estimation_only) continue;
+    if (!PredicateErrorFree(*p.expr, table->schema())) return nullptr;
+  }
+
+  auto skips = std::make_shared<std::vector<std::uint8_t>>(nblocks, 0);
+  bool any_test = false;
+  for (ZoneMapSc* zm : maps) {
+    const ZonePruneTests tests =
+        CollectPruneTests(scan.predicates(), zm->column());
+    if (!tests.has_comparison && !tests.has_is_null &&
+        !tests.has_is_not_null) {
+      continue;
+    }
+    any_test = true;
+    const std::vector<ZoneMapSc::BlockSma> blocks = zm->SnapshotBlocks();
+    const std::size_t n = std::min(nblocks, blocks.size());
+    std::uint64_t contributed = 0;
+    for (std::size_t b = 0; b < n; ++b) {
+      bool skip = false;
+      if (!blocks[b].has_value) {
+        // No live non-NULL value in the block: any value test (which NULL
+        // rows can never satisfy) or IS NOT NULL proves it empty.
+        skip = tests.has_comparison || tests.has_is_not_null;
+      } else {
+        // Comparisons are decided in double space, exactly as DomainSc
+        // classifies predicates (int64 beyond 2^53 loses precision both
+        // places; the envelope stays an over-approximation either way).
+        const Interval envelope =
+            Interval::Range(blocks[b].min, blocks[b].max);
+        for (const Interval& iv : tests.intervals) {
+          Interval clipped = iv;
+          clipped.Intersect(envelope);
+          if (clipped.empty) {
+            skip = true;
+            break;
+          }
+        }
+      }
+      if (!skip && tests.has_is_null && blocks[b].null_count == 0) {
+        skip = true;  // `col IS NULL` over a provably NULL-free block.
+      }
+      if (skip) {
+        if ((*skips)[b] == 0) (*skips)[b] = 1;
+        ++contributed;
+      }
+    }
+    if (contributed > 0) {
+      // Rewrite-consumed: the skip set's validity rests on this SC, so the
+      // epoch-snapshot / degraded-retry protocol must cover it. Benefit is
+      // the simulated pages of row work avoided.
+      ctx_->RecordScUse(zm->name(),
+                        static_cast<double>(contributed) *
+                            (static_cast<double>(kZoneMapBlockRows) /
+                             static_cast<double>(kRowsPerPage)),
+                        /*rewrite_consumed=*/true);
+    }
+  }
+  if (!any_test) return nullptr;
+  return skips;
+}
 
 Result<AccessPathChoice> PhysicalPlanner::ChooseAccessPath(
     const ScanNode& scan) const {
@@ -156,6 +372,7 @@ Result<OperatorPtr> PhysicalPlanner::PlanScan(const ScanNode& scan) const {
   auto seq = std::make_unique<SeqScanOp>(table, scan.output_schema(),
                                          CloneExecutablePredicates(scan.predicates()));
   WireRuntimeParams(ctx_, scan, seq.get());
+  seq->SetZoneMapSkips(ZoneMapSkipsFor(scan, table));
   return OperatorPtr(std::move(seq));
 }
 
@@ -184,6 +401,7 @@ Result<BatchOperatorPtr> PhysicalPlanner::TryPlanBatch(
       auto seq = std::make_unique<BatchSeqScanOp>(
           table, scan.output_schema(), CloneExecutablePredicates(scan.predicates()));
       WireRuntimeParams(ctx_, scan, seq.get());
+      seq->SetZoneMapSkips(ZoneMapSkipsFor(scan, table));
       return BatchOperatorPtr(std::move(seq));
     }
     case PlanKind::kFilter: {
@@ -267,6 +485,7 @@ Result<std::optional<PipelineSpec>> PhysicalPlanner::TryBuildPipelineSpec(
       spec.scan_schema = scan.output_schema();
       spec.scan_predicates = CloneExecutablePredicates(scan.predicates());
       WireRuntimeParams(ctx_, scan, &spec);
+      spec.zone_skips = ZoneMapSkipsFor(scan, table);
       return std::optional<PipelineSpec>(std::move(spec));
     }
     case PlanKind::kFilter: {
@@ -516,8 +735,24 @@ double PhysicalPlanner::EstimateCost(const PlanNode& node) const {
       const auto& scan = static_cast<const ScanNode&>(node);
       auto choice = ChooseAccessPath(scan);
       if (!choice.ok()) return 1.0;
-      return choice->cost_pages +
-             scan_cpu * estimator_->EstimateRows(node);
+      double cpu = scan_cpu * estimator_->EstimateRows(node);
+      // Skip-aware sequential costing: blocks a zone map prunes cost no
+      // predicate work. Pages stay fully charged (the simulated page model
+      // reads every page of a sequential pass), so the saving shows up in
+      // the cpu term only.
+      if (choice->index == nullptr && scan.external_table() == nullptr) {
+        auto table = ctx_->catalog->GetTable(scan.table_name());
+        if (table.ok()) {
+          const ZoneMapSkips skips = ZoneMapSkipsFor(scan, *table);
+          if (skips != nullptr && !skips->empty()) {
+            std::size_t skipped = 0;
+            for (const std::uint8_t s : *skips) skipped += s;
+            cpu *= 1.0 - static_cast<double>(skipped) /
+                             static_cast<double>(skips->size());
+          }
+        }
+      }
+      return choice->cost_pages + cpu;
     }
     case PlanKind::kFilter:
     case PlanKind::kProject:

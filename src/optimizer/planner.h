@@ -1,6 +1,7 @@
 #ifndef SOFTDB_OPTIMIZER_PLANNER_H_
 #define SOFTDB_OPTIMIZER_PLANNER_H_
 
+#include <map>
 #include <optional>
 
 #include "exec/batch_operators.h"
@@ -27,8 +28,9 @@ struct AccessPathChoice {
 /// index range scan.
 class PhysicalPlanner {
  public:
-  PhysicalPlanner(const OptimizerContext* ctx,
-                  const CardinalityEstimator* estimator)
+  /// `ctx` is non-const: zone-map consultation records SC uses (selection
+  /// accounting + rewrite-consumed registration for the epoch protocol).
+  PhysicalPlanner(OptimizerContext* ctx, const CardinalityEstimator* estimator)
       : ctx_(ctx), estimator_(estimator) {}
 
   Result<OperatorPtr> Plan(const PlanNode& node) const;
@@ -71,8 +73,23 @@ class PhysicalPlanner {
   Result<std::optional<PipelineSpec>> TryBuildPipelineSpec(
       const PlanNode& node, bool allow_project) const;
 
-  const OptimizerContext* ctx_;
+  /// The scan's zone-map skip set: blocks whose armed kBlockZoneMap
+  /// envelope provably contradicts the scan's predicate conjunction. Null
+  /// when zone maps are disabled, unarmed, inapplicable, or the scan's
+  /// predicates are not statically error-free (skipping a block must never
+  /// skip a runtime type error the row engine would have raised).
+  ///
+  /// Memoized per ScanNode: planning may lower the same scan several times
+  /// (parallel attempt → batch attempt → row fallback), and the SC-use
+  /// recording and skip decisions must happen exactly once per planning so
+  /// every lowering shares one consistent snapshot.
+  ZoneMapSkips ZoneMapSkipsFor(const ScanNode& scan, const Table* table) const;
+  ZoneMapSkips ComputeZoneMapSkips(const ScanNode& scan,
+                                   const Table* table) const;
+
+  OptimizerContext* ctx_;
   const CardinalityEstimator* estimator_;
+  mutable std::map<const ScanNode*, ZoneMapSkips> zone_skip_memo_;
 };
 
 }  // namespace softdb

@@ -43,8 +43,10 @@ Status ColumnVector::Append(const Value& v) {
   // VARCHAR
   if (v.is_null()) {
     strings_.emplace_back();
+    codes_.push_back(kNullCode);
   } else if (v.type() == TypeId::kString) {
     strings_.push_back(v.AsString());
+    codes_.push_back(CodeFor(v.AsString()));
   } else {
     nulls_.pop_back();
     return Status::TypeMismatch(std::string("cannot store ") +
@@ -58,7 +60,10 @@ Status ColumnVector::Set(std::size_t row, const Value& v) {
     return Status::OutOfRange("row index out of range");
   }
   nulls_[row] = v.is_null() ? 1 : 0;
-  if (v.is_null()) return Status::OK();
+  if (v.is_null()) {
+    if (type_ == TypeId::kString) codes_[row] = kNullCode;
+    return Status::OK();
+  }
   if (IntBacked(type_)) {
     if (IntBacked(v.type())) {
       ints_[row] = v.AsInt64();
@@ -77,6 +82,7 @@ Status ColumnVector::Set(std::size_t row, const Value& v) {
       return Status::TypeMismatch("type mismatch in Set");
     }
     strings_[row] = v.AsString();
+    codes_[row] = CodeFor(strings_[row]);
   }
   return Status::OK();
 }
@@ -113,7 +119,24 @@ void ColumnVector::Reserve(std::size_t n) {
     doubles_.reserve(n);
   } else {
     strings_.reserve(n);
+    codes_.reserve(n);
   }
+}
+
+std::int32_t ColumnVector::CodeFor(const std::string& s) {
+  auto it = dict_map_.find(s);
+  if (it != dict_map_.end()) return it->second;
+  const auto code = static_cast<std::int32_t>(dict_.size());
+  auto inserted = dict_map_.emplace(s, code).first;
+  dict_.push_back(&inserted->first);
+  return code;
+}
+
+std::optional<std::int32_t> ColumnVector::FindCode(
+    const std::string& s) const {
+  auto it = dict_map_.find(s);
+  if (it == dict_map_.end()) return std::nullopt;
+  return it->second;
 }
 
 }  // namespace softdb

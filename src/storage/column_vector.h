@@ -2,7 +2,9 @@
 #define SOFTDB_STORAGE_COLUMN_VECTOR_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -51,14 +53,43 @@ class ColumnVector {
   const std::string* RawStrings() const { return strings_.data(); }
   const std::uint8_t* RawNulls() const { return nulls_.data(); }
 
+  /// Dictionary encoding (VARCHAR columns only). Every distinct string is
+  /// interned into an append-only per-column dictionary; `codes_[row]` is
+  /// the row's dictionary code (kNullCode for NULL rows). `strings_` stays
+  /// the authoritative materialized buffer — codes are a parallel index
+  /// that lets equality/IN kernels and hash joins compare int32 ids
+  /// instead of std::string. Codes are assigned in first-appearance order
+  /// and never reused, so code equality ⇔ string equality (codes carry no
+  /// ordering information; range predicates must use the strings).
+  static constexpr std::int32_t kNullCode = -1;
+  const std::int32_t* RawCodes() const { return codes_.data(); }
+  std::int32_t GetCode(std::size_t row) const { return codes_[row]; }
+  /// Code for `s` if some row ever held it (absent ⇒ no current row equals
+  /// `s`, since codes are never garbage-collected the reverse can admit
+  /// stale codes — sound for equality kernels, which compare per row).
+  std::optional<std::int32_t> FindCode(const std::string& s) const;
+  std::size_t DictSize() const { return dict_.size(); }
+  /// The interned string for `code` (valid for the column's lifetime).
+  const std::string& DictString(std::int32_t code) const {
+    return *dict_[static_cast<std::size_t>(code)];
+  }
+
   void Reserve(std::size_t n);
 
  private:
+  /// Interns `s`, returning its (possibly new) dictionary code.
+  std::int32_t CodeFor(const std::string& s);
+
   TypeId type_;
   std::vector<std::int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<std::string> strings_;
   std::vector<std::uint8_t> nulls_;
+  // Dictionary layer (VARCHAR only): per-row codes plus the intern table.
+  // dict_ points at the map's keys (unordered_map nodes are stable).
+  std::vector<std::int32_t> codes_;
+  std::vector<const std::string*> dict_;
+  std::unordered_map<std::string, std::int32_t> dict_map_;
 };
 
 }  // namespace softdb

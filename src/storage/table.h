@@ -17,6 +17,14 @@ namespace softdb {
 /// 8KB page of ~64 hundred-byte tuples.
 constexpr std::size_t kRowsPerPage = 64;
 
+/// Rows per zone-map block (the granularity of the kBlockZoneMap soft
+/// constraint's per-block min/max/null-count SMAs, and of scan block
+/// skipping). Equal to the vectorized engine's batch capacity ON PURPOSE:
+/// serial batch scans produce 1024-row-aligned batches, so block-skip
+/// decisions map 1:1 onto batches; morsel scans may straddle blocks and
+/// drop rows of skipped blocks from their selection vectors instead.
+constexpr std::size_t kZoneMapBlockRows = 1024;
+
 /// An in-memory, column-oriented table. Deletes are tombstones; updates are
 /// in place. Row ids are append positions and are never reused, so they can
 /// be stored in indexes and exception tables safely.

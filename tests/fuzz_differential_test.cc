@@ -36,7 +36,12 @@ class FuzzDifferential : public ::testing::TestWithParam<std::uint64_t> {
     ASSERT_TRUE(db_.Execute("CREATE TABLE t (a BIGINT NOT NULL, b BIGINT, "
                             "c DOUBLE, d DATE, e VARCHAR)")
                     .ok());
-    for (int i = 0; i < 500; ++i) {
+    // 2500 rows = 3 zone-map blocks. `d` is clustered on the row id so the
+    // per-block envelopes are tight and the fixed date constant below
+    // actually prunes blocks on some queries; `a`..`c` stay uniform, so
+    // their zone maps are consulted but rarely prune — both paths must be
+    // bit-identical across engines either way.
+    for (int i = 0; i < 2500; ++i) {
       const std::int64_t a = rng_.Uniform(0, 100);
       // b correlated with a: b - a in [0, 10] mostly, sometimes NULL.
       std::vector<Value> row;
@@ -45,12 +50,13 @@ class FuzzDifferential : public ::testing::TestWithParam<std::uint64_t> {
                         ? Value::Null()
                         : Value::Int64(a + rng_.Uniform(0, 10)));
       row.push_back(Value::Double(rng_.NextDouble() * 1000.0));
-      row.push_back(Value::Date(10000 + rng_.Uniform(0, 365)));
+      row.push_back(Value::Date(10000 + i / 10));
       row.push_back(Value::String(rng_.NextBool(0.5) ? "red" : "blue"));
       ASSERT_TRUE(db_.InsertRow("t", row).ok());
     }
     ASSERT_TRUE(db_.Execute("CREATE INDEX ia ON t (a)").ok());
     ASSERT_TRUE(db_.Execute("ANALYZE t").ok());
+    ASSERT_TRUE(db_.MineZoneMaps("t").ok());
 
     // Every fuzzed plan runs through PlanVerifier at all four phases
     // (bind, rewrite, join-elimination, physical-planning) before it
@@ -184,6 +190,8 @@ class FuzzDifferential : public ::testing::TestWithParam<std::uint64_t> {
       EXPECT_EQ(ss.rows_joined, ps.rows_joined) << sql << " " << label;
       EXPECT_EQ(ss.runtime_param_skips, ps.runtime_param_skips)
           << sql << " " << label;
+      EXPECT_EQ(ss.blocks_skipped, ps.blocks_skipped) << sql << " " << label;
+      EXPECT_EQ(ss.blocks_total, ps.blocks_total) << sql << " " << label;
       EXPECT_EQ(serial.used_scs, par->used_scs) << sql << " " << label;
     }
     db_.options().num_threads = 1;
@@ -194,21 +202,37 @@ class FuzzDifferential : public ::testing::TestWithParam<std::uint64_t> {
   // Asserts the row engine and the vectorized batch engine produce
   // byte-identical answers AND identical ExecStats for `sql` under the
   // currently configured optimizer rules.
+  // Sum of RecordScUse attributions across the zone maps: planning is
+  // engine-independent, so every engine must bill the maps identically.
+  std::uint64_t ZoneMapUses() {
+    std::uint64_t total = 0;
+    for (const SoftConstraint* sc : db_.scs().All()) {
+      if (sc->kind() == ScKind::kBlockZoneMap) {
+        total += db_.scs().UseCount(sc->name());
+      }
+    }
+    return total;
+  }
+
   void ExpectEnginesAgree(const std::string& sql, std::size_t expected,
                           int config) {
     db_.options().use_vectorized = false;
     db_.plan_cache().Clear();
+    const std::uint64_t zm_before_row = ZoneMapUses();
     auto row_result = db_.Execute(sql);
     ASSERT_TRUE(row_result.ok())
         << sql << " -> " << row_result.status().ToString();
     EXPECT_EQ(row_result->rows.NumRows(), expected)
         << sql << " (config " << config << ")";
+    const std::uint64_t zm_row = ZoneMapUses() - zm_before_row;
 
     db_.options().use_vectorized = true;
     db_.plan_cache().Clear();
+    const std::uint64_t zm_before_batch = ZoneMapUses();
     auto batch_result = db_.Execute(sql);
     ASSERT_TRUE(batch_result.ok())
         << sql << " -> " << batch_result.status().ToString();
+    EXPECT_EQ(ZoneMapUses() - zm_before_batch, zm_row) << sql;
 
     const RowSet& r = row_result->rows;
     const RowSet& b = batch_result->rows;
@@ -237,6 +261,8 @@ class FuzzDifferential : public ::testing::TestWithParam<std::uint64_t> {
     EXPECT_EQ(rs.index_lookups, bs.index_lookups) << sql;
     EXPECT_EQ(rs.rows_joined, bs.rows_joined) << sql;
     EXPECT_EQ(rs.runtime_param_skips, bs.runtime_param_skips) << sql;
+    EXPECT_EQ(rs.blocks_skipped, bs.blocks_skipped) << sql;
+    EXPECT_EQ(rs.blocks_total, bs.blocks_total) << sql;
 
     // The same query on the parallel engine must reproduce the serial
     // batch result bit for bit at every thread count.
@@ -333,6 +359,8 @@ TEST_P(FuzzDifferential, JoinsAndProjectionsMatchAcrossEngines) {
       EXPECT_EQ(rs.index_lookups, bs.index_lookups) << sql;
       EXPECT_EQ(rs.rows_joined, bs.rows_joined) << sql;
       EXPECT_EQ(rs.runtime_param_skips, bs.runtime_param_skips) << sql;
+    EXPECT_EQ(rs.blocks_skipped, bs.blocks_skipped) << sql;
+    EXPECT_EQ(rs.blocks_total, bs.blocks_total) << sql;
 
       // Joins, projections, ORDER BY over a parallel child, and LIMIT
       // (which must force the subtree serial) all have to reproduce the

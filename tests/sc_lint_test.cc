@@ -249,6 +249,102 @@ TEST(ScLintTest, QuarantinedScIsAnErrorAndRendersEverywhere) {
   EXPECT_NE(sarif.find("catalog.sql"), std::string::npos);
 }
 
+TEST(ScLintTest, ZoneMapDirectiveParsesCleanCatalog) {
+  // Tight, well-formed per-block envelopes alongside a domain they do NOT
+  // span: nothing to report. Exercises value blocks, an EMPTY block, and
+  // the NULLS / CONFIDENCE / STATE suffixes.
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT adult DOMAIN ON people(age) MIN 18 MAX 120;"
+      "SOFT CONSTRAINT zm_age ZONEMAP ON people(age) "
+      "BLOCK 0 MIN 18 MAX 40 "
+      "BLOCK 1 MIN 41 MAX 90 NULLS 3 "
+      "BLOCK 2 EMPTY NULLS 7 "
+      "CONFIDENCE 1.0 STATE ACTIVE;";
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->findings.empty()) << report->ToText();
+}
+
+TEST(ScLintTest, DegenerateZoneMapBlockIsAnErrorEverywhere) {
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT zm_bad ZONEMAP ON people(age) "
+      "BLOCK 0 MIN 0 MAX 40 "
+      "BLOCK 1 MIN 50 MAX 10;";  // Inverted: skips (and hides) block 1.
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(HasCheck(*report, "zonemap-degenerate-block", "zm_bad"));
+  EXPECT_GE(report->errors(), 1u);
+
+  // The finding must surface identically in every rendering.
+  EXPECT_NE(report->ToText().find("zonemap-degenerate-block"),
+            std::string::npos);
+  EXPECT_NE(report->ToJson().find("\"check\": \"zonemap-degenerate-block\""),
+            std::string::npos);
+  const std::string sarif = report->ToSarif("catalog.sql");
+  EXPECT_NE(sarif.find("zonemap-degenerate-block"), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+}
+
+TEST(ScLintTest, ZoneMapRedundantWithDomainWarns) {
+  // Every value-bearing block spans the whole declared domain: any range
+  // that would skip a block already kills the whole scan via the domain.
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT adult DOMAIN ON people(age) MIN 18 MAX 120;"
+      "SOFT CONSTRAINT zm_flat ZONEMAP ON people(age) "
+      "BLOCK 0 MIN 0 MAX 150 "
+      "BLOCK 1 MIN 18 MAX 120 "
+      "BLOCK 2 EMPTY;";  // EMPTY blocks do not rescue a redundant map.
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(HasCheck(*report, "zonemap-redundant-with-domain", "zm_flat"));
+  EXPECT_GE(report->warnings(), 1u);
+  EXPECT_EQ(report->errors(), 0u);
+}
+
+TEST(ScLintTest, SelectiveZoneMapNotRedundant) {
+  // One block tighter than the domain is enough: a range inside the domain
+  // but outside that block still gets pruned block-wise.
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT adult DOMAIN ON people(age) MIN 18 MAX 120;"
+      "SOFT CONSTRAINT zm_tight ZONEMAP ON people(age) "
+      "BLOCK 0 MIN 18 MAX 60 "
+      "BLOCK 1 MIN 61 MAX 120;";
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(HasCheck(*report, "zonemap-redundant-with-domain"));
+}
+
+TEST(ScLintTest, ZoneMapDeadScFollowsPredicateColumns) {
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT zm_age ZONEMAP ON people(age) BLOCK 0 MIN 18 MAX 40;"
+      "SOFT CONSTRAINT zm_h ZONEMAP ON people(height) BLOCK 0 MIN 150 MAX 200;";
+  std::vector<std::string> workload = {"SELECT id FROM people WHERE age > 21"};
+  auto report = LintCatalog(script, workload);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(HasCheck(*report, "dead-sc", "zm_age"));
+  EXPECT_TRUE(HasCheck(*report, "dead-sc", "zm_h"));
+}
+
+TEST(ScLintTest, MalformedZoneMapDirectiveIsAnError) {
+  // No BLOCK clause at all.
+  EXPECT_FALSE(LintCatalog(std::string(kPeopleDdl) +
+                               "SOFT CONSTRAINT zm ZONEMAP ON people(age);",
+                           {})
+                   .ok());
+  // MAX missing.
+  EXPECT_FALSE(LintCatalog(std::string(kPeopleDdl) +
+                               "SOFT CONSTRAINT zm ZONEMAP ON people(age) "
+                               "BLOCK 0 MIN 1;",
+                           {})
+                   .ok());
+  // Negative block index.
+  EXPECT_FALSE(LintCatalog(std::string(kPeopleDdl) +
+                               "SOFT CONSTRAINT zm ZONEMAP ON people(age) "
+                               "BLOCK -1 MIN 1 MAX 2;",
+                           {})
+                   .ok());
+}
+
 TEST(ScLintTest, StateDirectiveWorksOnPredicateScs) {
   const std::string script = std::string(kPeopleDdl) +
       "SOFT CONSTRAINT tall PREDICATE ON people CHECK (height > 100) "
