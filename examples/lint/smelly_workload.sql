@@ -1,0 +1,57 @@
+-- A deliberately smelly workload for analyze_catalog.sdl: every analyzer
+-- finding class fires at least once, and several recurring patterns are
+-- harvestable as soft-constraint candidates. softdb_analyze exits 1 on
+-- this pair (findings reported; exit 2 would mean a usage/parse error).
+
+-- [query-contradiction] total is characterized as [0, 100000]; no row can
+-- ever satisfy this predicate.
+SELECT id FROM orders WHERE total > 200000;
+
+-- [query-redundant-predicate] total >= 0 is already implied by the CHECK
+-- constraint and the domain SC; it filters nothing.
+SELECT id FROM orders WHERE total >= 0 AND order_day > 100;
+
+-- [query-dead-range] the upper half of the BETWEEN lies entirely outside
+-- the [0, 100000] envelope: the range is effectively clipped at 100000.
+SELECT id FROM orders WHERE total BETWEEN 50 AND 500000;
+
+-- [uncovered-statement] x2 + the IS-NOT-NULL harvesting channel: no SC
+-- helps these scans, and the recurring referrer IS NOT NULL filter
+-- suggests a predicate-SC candidate.
+SELECT id FROM customers WHERE referrer IS NOT NULL;
+SELECT id, region FROM customers WHERE referrer IS NOT NULL;
+
+-- Recurring two-sided ranges on order_day (domain-SC harvesting channel):
+-- the loosest bounds seen, [0, 365], become the candidate interval. Both
+-- queries exploit ship_lag on the way.
+SELECT id FROM orders WHERE order_day BETWEEN 0 AND 180;
+SELECT id FROM orders WHERE order_day BETWEEN 100 AND 365;
+
+-- Recurring equi-join with a unique parent key and no armed inclusion SC
+-- or foreign key (inclusion-SC harvesting channel).
+SELECT o.id, c.region
+FROM orders o JOIN customers c ON o.customer_id = c.id
+WHERE o.ship_day < 10;
+SELECT o.id, c.id
+FROM orders o JOIN customers c ON o.customer_id = c.id
+WHERE o.ship_day > 2;
+
+-- Recurring multi-column GROUP BY (FD harvesting channel): if region
+-- determined signup_day, the trailing grouping column could be pruned.
+SELECT region, signup_day, COUNT(*) FROM customers
+GROUP BY region, signup_day;
+SELECT region, signup_day, SUM(id) FROM customers
+GROUP BY region, signup_day;
+
+-- [dml-wholesale-revalidation] the update rewrites every column both SCs
+-- on orders depend on; impact scoping cannot narrow the maintenance set.
+UPDATE orders SET order_day = order_day + 1, ship_day = ship_day + 2,
+  total = total * 2;
+
+-- [query-contradiction] the WHERE clause is self-contradictory: the
+-- delete provably matches no row.
+DELETE FROM orders WHERE id > 1000000 AND id < 5;
+
+-- [workload-unparseable-statement] a typo'd keyword: reported as a
+-- warning and excluded from the other passes, not a hard failure.
+SELEC id FROM orders;

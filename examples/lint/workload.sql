@@ -1,6 +1,11 @@
 -- Representative workload for clean_catalog.sdl. Every soft constraint in
--- that catalog is exploitable by at least one of these queries, so the
--- dead-sc check stays quiet.
+-- that catalog is exploitable by at least one of these queries, every
+-- query can consume at least one SC, and every recurring pattern the
+-- analyzer could harvest is already covered by an armed SC — so both
+-- softdb_lint and softdb_analyze exit 0 on this pair:
+--
+--   softdb_lint    examples/lint/clean_catalog.sdl examples/lint/workload.sql
+--   softdb_analyze examples/lint/clean_catalog.sdl examples/lint/workload.sql
 
 -- Exploits order_total_range (predicate on orders.total).
 SELECT id, total FROM orders WHERE total > 500;
@@ -12,3 +17,15 @@ SELECT id FROM orders WHERE ship_day < 20;
 SELECT o.id, c.region
 FROM orders o JOIN customers c ON o.customer_id = c.id
 WHERE o.order_day > 10;
+
+-- A two-sided range strictly inside order_total_range: not redundant, not
+-- dead, and the recurring total-range pattern it forms with the first
+-- query dedupes against the armed domain SC instead of being re-harvested.
+SELECT COUNT(*) FROM orders WHERE total BETWEEN 100 AND 900;
+
+-- A second orders-customers join (recurring edge): the inclusion pattern
+-- dedupes against orders_have_customers. Single-column GROUP BY yields no
+-- FD candidate.
+SELECT c.region, COUNT(*)
+FROM orders o JOIN customers c ON o.customer_id = c.id
+GROUP BY c.region;

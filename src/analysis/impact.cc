@@ -14,6 +14,7 @@
 #include "constraints/linear_correlation_sc.h"
 #include "constraints/predicate_sc.h"
 #include "constraints/sc_registry.h"
+#include "constraints/zone_map_sc.h"
 #include "storage/catalog.h"
 
 namespace softdb {
@@ -75,6 +76,13 @@ bool ScReadsTable(const SoftConstraint& sc, const std::string& table,
         reads = true;
       }
       return reads;
+    }
+    case ScKind::kBlockZoneMap: {
+      // Block envelopes cover one column; any write to it can widen or
+      // invalidate a block's min/max.
+      if (sc.table() != table) return false;
+      cols->push_back(static_cast<const ZoneMapSc&>(sc).column());
+      return true;
     }
     case ScKind::kJoinHole: {
       const auto& hole = static_cast<const JoinHoleSc&>(sc);

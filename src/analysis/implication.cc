@@ -411,8 +411,12 @@ void CollectTableFacts(const std::string& table, const Catalog& catalog,
         }
         case ScKind::kFunctionalDependency:
         case ScKind::kJoinHole:
+        case ScKind::kBlockZoneMap:
           // FDs constrain row *pairs* and join holes constrain joined
-          // tuples; neither yields a sound single-row fact.
+          // tuples; neither yields a sound single-row fact. Zone maps are
+          // per-block envelopes consumed by the scan planner, not global
+          // facts (callers wanting a whole-table envelope fold the blocks
+          // themselves, as the workload analyzer does).
           break;
       }
     }

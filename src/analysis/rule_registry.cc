@@ -1,0 +1,95 @@
+#include "analysis/rule_registry.h"
+
+namespace softdb {
+
+const std::vector<RuleSpec>& AllRules() {
+  // Append-only. The order here is the order SARIF rule tables are emitted
+  // in, and tests pin it; insert new rules at the end of the owning block.
+  static const std::vector<RuleSpec>* const kRules = new std::vector<RuleSpec>{
+      // ------------------------------------------------------- softdb_lint
+      {"domain-check-contradiction", "softdb_lint", "error",
+       "A domain SC excludes every value an enforced CHECK constraint "
+       "allows: all stored rows violate the SC."},
+      {"domain-domain-contradiction", "softdb_lint", "error",
+       "Two domain SCs on the same column declare disjoint intervals."},
+      {"predicate-domain-contradiction", "softdb_lint", "error",
+       "No row satisfying the table's other characterizations can satisfy "
+       "the predicate SC."},
+      {"sc-chain-contradiction", "softdb_lint", "error",
+       "The table's constraint characterizations jointly admit no "
+       "compliant row (transitive chain)."},
+      {"inclusion-cycle", "softdb_lint", "error",
+       "An inclusion SC closes a reference cycle with the catalog's "
+       "referential constraints."},
+      {"linear-negative-epsilon", "softdb_lint", "error",
+       "A linear-correlation SC declares a negative epsilon: no row can "
+       "ever satisfy the band."},
+      {"linear-degenerate", "softdb_lint", "warning",
+       "A linear-correlation SC with k = 0 degenerates to a domain "
+       "constraint."},
+      {"linear-vacuous-epsilon", "softdb_lint", "warning",
+       "The correlation band spans the column's whole declared domain and "
+       "can never narrow an estimate or a predicate."},
+      {"zonemap-degenerate-block", "softdb_lint", "error",
+       "A zone-map block declares an inverted min/max envelope: scans "
+       "would silently skip its rows."},
+      {"zonemap-redundant-with-domain", "softdb_lint", "warning",
+       "Every zone-map block envelope spans a domain SC's interval; the "
+       "map can never prune a block the domain does not already prune."},
+      {"stuck-repair", "softdb_lint", "warning",
+       "An SC is parked in the repair queue; maintenance is not running "
+       "or keeps failing."},
+      {"quarantined-sc", "softdb_lint", "error",
+       "An SC exhausted its repair-attempt budget and was quarantined."},
+      {"stale-ssc", "softdb_lint", "warning",
+       "An SC's declared confidence is below the currency threshold."},
+      {"dead-sc", "softdb_lint", "warning",
+       "No workload query can statically exploit the SC."},
+      // ------------------------------------------------------------ shared
+      {"workload-unparseable-statement", "both", "warning",
+       "A workload statement could not be parsed or bound against the "
+       "catalog schema and was excluded from the analysis."},
+      // ---------------------------------------------------- softdb_analyze
+      {"query-contradiction", "softdb_analyze", "error",
+       "The statement's predicates, together with the armed SC/CHECK "
+       "facts, provably match no row."},
+      {"query-redundant-predicate", "softdb_analyze", "warning",
+       "A predicate is implied by armed SCs or CHECK constraints and "
+       "filters nothing."},
+      {"query-dead-range", "softdb_analyze", "warning",
+       "Part of a range or IN-list predicate lies outside the column's "
+       "domain/zone-map envelope and can never match."},
+      {"never-exploitable-sc", "softdb_analyze", "warning",
+       "No statement in the workload can statically consume the SC; it is "
+       "a retirement candidate."},
+      {"uncovered-statement", "softdb_analyze", "warning",
+       "No armed SC is statically consumable by the statement: it runs "
+       "without any soft-constraint support."},
+      {"dml-wholesale-revalidation", "softdb_analyze", "warning",
+       "The DML statement impacts every SC on its table; maintenance "
+       "cannot be scoped below wholesale re-validation."},
+      {"harvest-candidate", "softdb_analyze", "note",
+       "A recurring workload or DDL pattern is a candidate soft "
+       "constraint worth mining."},
+  };
+  return *kRules;
+}
+
+const RuleSpec* FindRule(const std::string& id) {
+  for (const RuleSpec& rule : AllRules()) {
+    if (id == rule.id) return &rule;
+  }
+  return nullptr;
+}
+
+std::vector<const RuleSpec*> RulesForTool(const std::string& tool) {
+  std::vector<const RuleSpec*> out;
+  for (const RuleSpec& rule : AllRules()) {
+    if (tool == rule.tool || std::string("both") == rule.tool) {
+      out.push_back(&rule);
+    }
+  }
+  return out;
+}
+
+}  // namespace softdb

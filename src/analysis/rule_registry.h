@@ -1,0 +1,34 @@
+#ifndef SOFTDB_ANALYSIS_RULE_REGISTRY_H_
+#define SOFTDB_ANALYSIS_RULE_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+namespace softdb {
+
+/// One static-analysis rule shared by softdb_lint and softdb_analyze. The
+/// registry is the single source of truth for SARIF rule identities: each
+/// tool emits its *full* rule table (not just the rules that happened to
+/// fire), so code-scanning uploads never churn rule ids between runs or
+/// releases.
+struct RuleSpec {
+  const char* id;           // Stable kebab-case id ("query-contradiction").
+  const char* tool;         // "softdb_lint" | "softdb_analyze" | "both".
+  const char* severity;     // Default severity: "error"|"warning"|"note".
+  const char* description;  // One-line human description.
+};
+
+/// Every registered rule, in fixed append-only order. New rules go at the
+/// end of their tool's block; ids are never renamed or reused.
+const std::vector<RuleSpec>& AllRules();
+
+/// Lookup by id; null when unknown.
+const RuleSpec* FindRule(const std::string& id);
+
+/// Rules `tool` emits (its own plus the shared "both" rules), in registry
+/// order. This is exactly the rule table that tool's SARIF driver carries.
+std::vector<const RuleSpec*> RulesForTool(const std::string& tool);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_ANALYSIS_RULE_REGISTRY_H_

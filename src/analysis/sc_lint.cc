@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "analysis/implication.h"
+#include "analysis/rule_registry.h"
+#include "analysis/workload_analyzer.h"
 #include "common/str_util.h"
 #include "constraints/column_offset_sc.h"
 #include "constraints/domain_sc.h"
@@ -415,143 +417,6 @@ Status ParseDirective(SoftDb* db, const std::string& statement) {
   return Status::OK();
 }
 
-// ------------------------------------------------------- workload analysis
-
-/// What the workload's bound plans reveal about how tables are used.
-struct TableFacts {
-  bool scanned = false;
-  std::set<ColumnIdx> pred_columns;        // Simple-predicate columns.
-  std::set<std::pair<ColumnIdx, ColumnIdx>> diff_columns;  // (minuend, sub).
-  std::set<ColumnIdx> group_order_columns;
-};
-
-struct WorkloadFacts {
-  std::map<std::string, TableFacts> tables;
-  std::set<std::pair<std::string, std::string>> join_pairs;  // Ordered pair.
-
-  void RecordJoin(const std::string& a, const std::string& b) {
-    join_pairs.insert(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
-  }
-};
-
-/// Local copy of the rewriter's base-table resolution (keeps the linter
-/// decoupled from optimizer internals).
-bool ResolveToBase(const PlanNode& node, ColumnIdx col, std::string* table,
-                   ColumnIdx* base_col) {
-  switch (node.kind()) {
-    case PlanKind::kScan: {
-      *table = static_cast<const ScanNode&>(node).table_name();
-      *base_col = col;
-      return true;
-    }
-    case PlanKind::kFilter:
-    case PlanKind::kSort:
-    case PlanKind::kLimit:
-      return ResolveToBase(*node.children()[0], col, table, base_col);
-    case PlanKind::kJoin: {
-      const ColumnIdx la = static_cast<ColumnIdx>(
-          node.children()[0]->output_schema().NumColumns());
-      if (col < la) {
-        return ResolveToBase(*node.children()[0], col, table, base_col);
-      }
-      return ResolveToBase(*node.children()[1], col - la, table, base_col);
-    }
-    default:
-      return false;
-  }
-}
-
-void RecordPredicate(const PlanNode& input, const Expr& expr,
-                     WorkloadFacts* facts) {
-  std::vector<SimplePredicate> simples;
-  if (ExpandSimplePredicates(expr, &simples)) {
-    for (const SimplePredicate& sp : simples) {
-      std::string table;
-      ColumnIdx base = 0;
-      if (ResolveToBase(input, sp.column, &table, &base)) {
-        facts->tables[table].pred_columns.insert(base);
-      }
-    }
-    return;
-  }
-  ColumnDiffPredicate diff;
-  if (MatchColumnDiffPredicate(expr, &diff)) {
-    std::string t1, t2;
-    ColumnIdx b1 = 0, b2 = 0;
-    if (ResolveToBase(input, diff.minuend, &t1, &b1) &&
-        ResolveToBase(input, diff.subtrahend, &t2, &b2) && t1 == t2) {
-      facts->tables[t1].diff_columns.insert({b1, b2});
-    }
-  }
-}
-
-void CollectFacts(const PlanNode& node, WorkloadFacts* facts) {
-  switch (node.kind()) {
-    case PlanKind::kScan: {
-      const auto& scan = static_cast<const ScanNode&>(node);
-      TableFacts& tf = facts->tables[scan.table_name()];
-      tf.scanned = true;
-      for (const Predicate& p : scan.predicates()) {
-        if (p.origin != "user") continue;  // Only what the query itself asks.
-        RecordPredicate(node, *p.expr, facts);
-      }
-      break;
-    }
-    case PlanKind::kFilter: {
-      const auto& filter = static_cast<const FilterNode&>(node);
-      for (const Predicate& p : filter.predicates()) {
-        RecordPredicate(*node.children()[0], *p.expr, facts);
-      }
-      break;
-    }
-    case PlanKind::kJoin: {
-      const auto& join = static_cast<const JoinNode&>(node);
-      for (const JoinNode::EquiKey& key : join.equi_keys()) {
-        std::string lt, rt;
-        ColumnIdx lb = 0, rb = 0;
-        if (ResolveToBase(*node.children()[0], key.left, &lt, &lb) &&
-            ResolveToBase(*node.children()[1], key.right, &rt, &rb)) {
-          facts->RecordJoin(lt, rt);
-        }
-      }
-      break;
-    }
-    case PlanKind::kSort: {
-      const auto& sort = static_cast<const SortNode&>(node);
-      for (const SortKey& k : sort.keys()) {
-        std::vector<ColumnIdx> cols;
-        k.expr->CollectColumns(&cols);
-        for (ColumnIdx c : cols) {
-          std::string table;
-          ColumnIdx base = 0;
-          if (ResolveToBase(*node.children()[0], c, &table, &base)) {
-            facts->tables[table].group_order_columns.insert(base);
-          }
-        }
-      }
-      break;
-    }
-    case PlanKind::kAggregate: {
-      const auto& agg = static_cast<const AggregateNode&>(node);
-      for (const ExprPtr& g : agg.group_by()) {
-        std::vector<ColumnIdx> cols;
-        g->CollectColumns(&cols);
-        for (ColumnIdx c : cols) {
-          std::string table;
-          ColumnIdx base = 0;
-          if (ResolveToBase(*node.children()[0], c, &table, &base)) {
-            facts->tables[table].group_order_columns.insert(base);
-          }
-        }
-      }
-      break;
-    }
-    default:
-      break;
-  }
-  for (const PlanPtr& c : node.children()) CollectFacts(*c, facts);
-}
-
 // ------------------------------------------------------------------ checks
 
 void Report(LintReport* report, std::string check, std::string severity,
@@ -890,80 +755,51 @@ void CheckStaleness(SoftDb& db, const LintOptions& options,
   }
 }
 
-bool Exploitable(const SoftConstraint& sc, const WorkloadFacts& facts) {
-  auto table_it = facts.tables.find(sc.table());
-  const TableFacts* tf =
-      table_it == facts.tables.end() ? nullptr : &table_it->second;
-  switch (sc.kind()) {
-    case ScKind::kDomain: {
-      const auto& dom = static_cast<const DomainSc&>(sc);
-      return tf != nullptr && tf->pred_columns.count(dom.column()) > 0;
-    }
-    case ScKind::kLinearCorrelation: {
-      const auto& lin = static_cast<const LinearCorrelationSc&>(sc);
-      return tf != nullptr && (tf->pred_columns.count(lin.col_a()) > 0 ||
-                               tf->pred_columns.count(lin.col_b()) > 0);
-    }
-    case ScKind::kColumnOffset: {
-      const auto& off = static_cast<const ColumnOffsetSc&>(sc);
-      if (tf == nullptr) return false;
-      return tf->pred_columns.count(off.col_x()) > 0 ||
-             tf->pred_columns.count(off.col_y()) > 0 ||
-             tf->diff_columns.count({off.col_y(), off.col_x()}) > 0;
-    }
-    case ScKind::kInclusion: {
-      const auto& inc = static_cast<const InclusionSc&>(sc);
-      const auto& a = inc.child_table();
-      const auto& b = inc.parent_table();
-      return facts.join_pairs.count(a < b ? std::make_pair(a, b)
-                                          : std::make_pair(b, a)) > 0;
-    }
-    case ScKind::kFunctionalDependency: {
-      const auto& fd = static_cast<const FunctionalDependencySc&>(sc);
-      if (tf == nullptr) return false;
-      return std::any_of(fd.dependents().begin(), fd.dependents().end(),
-                         [&](ColumnIdx dep) {
-                           return tf->group_order_columns.count(dep) > 0;
-                         });
-    }
-    case ScKind::kPredicate:
-      // Twinning / exception-AST rewrites apply to any scan of the table.
-      return tf != nullptr && tf->scanned;
-    case ScKind::kBlockZoneMap: {
-      // Blocks are skipped against simple predicates on the mapped column.
-      const auto& zm = static_cast<const ZoneMapSc&>(sc);
-      return tf != nullptr && tf->pred_columns.count(zm.column()) > 0;
-    }
-    case ScKind::kJoinHole:
-      return std::any_of(facts.join_pairs.begin(), facts.join_pairs.end(),
-                         [&](const auto& pair) {
-                           return pair.first == sc.table() ||
-                                  pair.second == sc.table();
-                         });
-  }
-  return true;
-}
-
-Result<WorkloadFacts> AnalyzeWorkload(
-    SoftDb* db, const std::vector<std::string>& workload_sqls) {
-  WorkloadFacts facts;
+/// Parses and binds each workload statement through the real SQL stack
+/// (schema-only, never executed). A statement that fails to parse or bind
+/// becomes a `workload-unparseable-statement` warning and is excluded from
+/// the dead-entry check rather than failing the whole lint.
+std::vector<StatementFacts> AnalyzeWorkload(
+    SoftDb* db, const std::vector<std::string>& workload_sqls,
+    LintReport* report) {
+  std::vector<StatementFacts> all;
   Binder binder(&db->catalog());
-  for (const std::string& sql : workload_sqls) {
-    SOFTDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-    if (stmt.kind != Statement::Kind::kSelect &&
-        stmt.kind != Statement::Kind::kExplain) {
+  for (std::size_t i = 0; i < workload_sqls.size(); ++i) {
+    const std::string subject = StrFormat("stmt#%zu", i + 1);
+    auto stmt = ParseStatement(workload_sqls[i]);
+    if (!stmt.ok()) {
+      Report(report, "workload-unparseable-statement", "warning", subject,
+             "cannot parse workload statement: " + stmt.status().message() +
+                 "; excluded from the dead-entry check");
+      continue;
+    }
+    if (stmt->kind != Statement::Kind::kSelect &&
+        stmt->kind != Statement::Kind::kExplain) {
       continue;  // Only queries can exploit SCs.
     }
-    SOFTDB_ASSIGN_OR_RETURN(PlanPtr bound, binder.BindSelect(*stmt.select));
-    CollectFacts(*bound, &facts);
+    auto bound = binder.BindSelect(*stmt->select);
+    if (!bound.ok()) {
+      Report(report, "workload-unparseable-statement", "warning", subject,
+             "cannot bind workload statement against the catalog schema: " +
+                 bound.status().message() +
+                 "; excluded from the dead-entry check");
+      continue;
+    }
+    StatementFacts facts;
+    CollectStatementFacts(**bound, &facts);
+    all.push_back(std::move(facts));
   }
-  return facts;
+  return all;
 }
 
-void CheckDeadEntries(SoftDb& db, const WorkloadFacts& facts,
+void CheckDeadEntries(SoftDb& db,
+                      const std::vector<StatementFacts>& statements,
                       LintReport* report) {
   for (SoftConstraint* sc : db.scs().All()) {
-    if (!Exploitable(*sc, facts)) {
+    const bool exploitable = std::any_of(
+        statements.begin(), statements.end(),
+        [&](const StatementFacts& f) { return ScExploitableBy(*sc, f); });
+    if (!exploitable) {
       Report(report, "dead-sc", "warning", sc->name(),
              std::string(ScKindName(sc->kind())) + " SC on " + sc->table() +
                  " is not exploitable by any workload query");
@@ -975,10 +811,27 @@ std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
   }
   return out;
+}
+
+const char* SarifLevel(const std::string& severity) {
+  if (severity == "error") return "error";
+  if (severity == "note") return "note";
+  return "warning";
 }
 
 }  // namespace
@@ -1008,7 +861,15 @@ std::size_t LintReport::errors() const {
 }
 
 std::size_t LintReport::warnings() const {
-  return findings.size() - errors();
+  return static_cast<std::size_t>(std::count_if(
+      findings.begin(), findings.end(),
+      [](const LintFinding& f) { return f.severity == "warning"; }));
+}
+
+std::size_t LintReport::notes() const {
+  return static_cast<std::size_t>(std::count_if(
+      findings.begin(), findings.end(),
+      [](const LintFinding& f) { return f.severity == "note"; }));
 }
 
 std::string LintReport::ToText() const {
@@ -1017,15 +878,18 @@ std::string LintReport::ToText() const {
     out += f.ToString();
     out += '\n';
   }
-  out += StrFormat("%zu error(s), %zu warning(s)\n", errors(), warnings());
+  out += StrFormat("%zu error(s), %zu warning(s)", errors(), warnings());
+  if (notes() > 0) out += StrFormat(", %zu note(s)", notes());
+  out += '\n';
   return out;
 }
 
 std::string LintReport::ToJson() const {
   std::string out = "{\n";
-  out += "  \"tool\": \"softdb_lint\",\n";
+  out += "  \"tool\": \"" + JsonEscape(tool) + "\",\n";
   out += StrFormat("  \"errors\": %zu,\n", errors());
   out += StrFormat("  \"warnings\": %zu,\n", warnings());
+  out += StrFormat("  \"notes\": %zu,\n", notes());
   out += "  \"findings\": [";
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const LintFinding& f = findings[i];
@@ -1041,11 +905,12 @@ std::string LintReport::ToJson() const {
 }
 
 std::string LintReport::ToSarif(const std::string& artifact_uri) const {
-  // Minimal SARIF 2.1.0 document, enough for GitHub code scanning: one run,
-  // one rule per distinct check id, one result per finding anchored at the
-  // catalog file.
-  std::set<std::string> rule_ids;
-  for (const LintFinding& f : findings) rule_ids.insert(f.check);
+  // SARIF 2.1.0 document, enough for GitHub code scanning: one run whose
+  // driver carries the tool's full registered rule table (stable ids and
+  // default severities from analysis/rule_registry.h — the table never
+  // shrinks, so rule identity is stable across report contents), and one
+  // result per finding anchored at the catalog file.
+  const std::vector<const RuleSpec*> rules = RulesForTool(tool);
 
   std::string out = "{\n";
   out += "  \"$schema\": "
@@ -1053,14 +918,17 @@ std::string LintReport::ToSarif(const std::string& artifact_uri) const {
   out += "  \"version\": \"2.1.0\",\n";
   out += "  \"runs\": [\n    {\n";
   out += "      \"tool\": {\n        \"driver\": {\n";
-  out += "          \"name\": \"softdb_lint\",\n";
+  out += "          \"name\": \"" + JsonEscape(tool) + "\",\n";
   out += "          \"rules\": [";
-  std::size_t i = 0;
-  for (const std::string& id : rule_ids) {
-    out += i++ == 0 ? "\n" : ",\n";
-    out += "            {\"id\": \"" + JsonEscape(id) + "\"}";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "            {\"id\": \"" + JsonEscape(rules[i]->id) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           JsonEscape(rules[i]->description) +
+           "\"}, \"defaultConfiguration\": {\"level\": \"" +
+           SarifLevel(rules[i]->severity) + "\"}}";
   }
-  out += rule_ids.empty() ? "]\n" : "\n          ]\n";
+  out += rules.empty() ? "]\n" : "\n          ]\n";
   out += "        }\n      },\n";
   out += "      \"results\": [";
   for (std::size_t j = 0; j < findings.size(); ++j) {
@@ -1068,8 +936,8 @@ std::string LintReport::ToSarif(const std::string& artifact_uri) const {
     out += j == 0 ? "\n" : ",\n";
     out += "        {\n";
     out += "          \"ruleId\": \"" + JsonEscape(f.check) + "\",\n";
-    out += std::string("          \"level\": \"") +
-           (f.severity == "error" ? "error" : "warning") + "\",\n";
+    out += std::string("          \"level\": \"") + SarifLevel(f.severity) +
+           "\",\n";
     out += "          \"message\": {\"text\": \"" +
            JsonEscape(f.subject + ": " + f.message) + "\"},\n";
     out += "          \"locations\": [\n";
@@ -1084,18 +952,23 @@ std::string LintReport::ToSarif(const std::string& artifact_uri) const {
   return out;
 }
 
+Status LoadCatalogScript(SoftDb* db, const std::string& catalog_script) {
+  for (const std::string& statement : SplitStatements(catalog_script)) {
+    const std::string upper = ToUpper(statement);
+    if (upper.rfind("SOFT", 0) == 0) {
+      SOFTDB_RETURN_IF_ERROR(ParseDirective(db, statement));
+    } else {
+      SOFTDB_RETURN_IF_ERROR(db->Execute(statement).status());
+    }
+  }
+  return Status::OK();
+}
+
 Result<LintReport> LintCatalog(const std::string& catalog_script,
                                const std::vector<std::string>& workload_sqls,
                                const LintOptions& options) {
   SoftDb db;
-  for (const std::string& statement : SplitStatements(catalog_script)) {
-    const std::string upper = ToUpper(statement);
-    if (upper.rfind("SOFT", 0) == 0) {
-      SOFTDB_RETURN_IF_ERROR(ParseDirective(&db, statement));
-    } else {
-      SOFTDB_RETURN_IF_ERROR(db.Execute(statement).status());
-    }
-  }
+  SOFTDB_RETURN_IF_ERROR(LoadCatalogScript(&db, catalog_script));
 
   LintReport report;
   std::set<std::string> flagged_tables;
@@ -1107,9 +980,9 @@ Result<LintReport> LintCatalog(const std::string& catalog_script,
   CheckStuckRepairs(db, &report);
   CheckStaleness(db, options, &report);
   if (!workload_sqls.empty()) {
-    SOFTDB_ASSIGN_OR_RETURN(WorkloadFacts facts,
-                            AnalyzeWorkload(&db, workload_sqls));
-    CheckDeadEntries(db, facts, &report);
+    const std::vector<StatementFacts> statements =
+        AnalyzeWorkload(&db, workload_sqls, &report);
+    CheckDeadEntries(db, statements, &report);
   }
   return report;
 }

@@ -15,11 +15,13 @@ struct LintOptions {
   double currency_threshold = 0.5;
 };
 
-/// One linter finding. `check` is a stable kebab-case id CI can filter on.
+/// One linter finding. `check` is a stable kebab-case id CI can filter on;
+/// every id is registered in analysis/rule_registry.h, which fixes its
+/// default severity and its SARIF identity.
 struct LintFinding {
   std::string check;     // "domain-check-contradiction", "dead-sc", ...
-  std::string severity;  // "error" | "warning"
-  std::string subject;   // The SC / constraint / table concerned.
+  std::string severity;  // "error" | "warning" | "note"
+  std::string subject;   // The SC / constraint / table / statement concerned.
   std::string message;
 
   std::string ToString() const {
@@ -27,18 +29,24 @@ struct LintFinding {
   }
 };
 
-/// Everything one lint run produced.
+/// Everything one lint (or analyzer) run produced.
 struct LintReport {
+  /// SARIF driver name; softdb_analyze reuses this report type with its
+  /// own tool id so both emit registry-stable rule tables.
+  std::string tool = "softdb_lint";
   std::vector<LintFinding> findings;
 
   std::size_t errors() const;
   std::size_t warnings() const;
+  std::size_t notes() const;
   /// Human-readable listing, one finding per line plus a summary line.
   std::string ToText() const;
   /// JSON object in the same style as `bench --json` output (2-space
-  /// indent, escaped strings): tool, errors, warnings, findings[].
+  /// indent, escaped strings): tool, errors, warnings, notes, findings[].
   std::string ToJson() const;
-  /// SARIF 2.1.0 document suitable for GitHub code-scanning upload.
+  /// SARIF 2.1.0 document suitable for GitHub code-scanning upload. The
+  /// driver carries the tool's *full* registered rule table (stable ids,
+  /// see analysis/rule_registry.h), not just the rules that fired.
   /// Findings carry no source positions, so every result is anchored at
   /// line 1 of `artifact_uri` (the catalog file as passed to the CLI).
   std::string ToSarif(const std::string& artifact_uri) const;
@@ -68,7 +76,9 @@ struct LintReport {
 /// negative/vacuous ε), stale confidence below the threshold, lifecycle
 /// hygiene (repair-queued SCs warn, quarantined SCs error), and — when
 /// `workload_sqls` is non-empty — dead catalog entries no workload query
-/// can exploit (queries are bound, never executed).
+/// can exploit (queries are parsed and bound through the real SQL stack,
+/// never executed; a statement that fails to parse or bind becomes a
+/// `workload-unparseable-statement` warning rather than failing the lint).
 Result<LintReport> LintCatalog(const std::string& catalog_script,
                                const std::vector<std::string>& workload_sqls,
                                const LintOptions& options = {});
@@ -76,6 +86,13 @@ Result<LintReport> LintCatalog(const std::string& catalog_script,
 /// Splits a script on top-level ';' (quote-aware) after stripping `--`
 /// comments. Exposed for the CLI's workload loader.
 std::vector<std::string> SplitStatements(const std::string& script);
+
+class SoftDb;
+
+/// Loads a `.sdl` catalog script into `db`: DDL/DML statements execute
+/// through the engine, `SOFT CONSTRAINT` directives register SCs without
+/// verification. Shared by LintCatalog and the workload analyzer.
+Status LoadCatalogScript(SoftDb* db, const std::string& catalog_script);
 
 }  // namespace softdb
 

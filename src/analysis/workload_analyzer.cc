@@ -1,0 +1,1122 @@
+#include "analysis/workload_analyzer.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "analysis/impact.h"
+#include "analysis/implication.h"
+#include "common/str_util.h"
+#include "constraints/column_offset_sc.h"
+#include "constraints/domain_sc.h"
+#include "constraints/fd_sc.h"
+#include "constraints/inclusion_sc.h"
+#include "constraints/linear_correlation_sc.h"
+#include "constraints/predicate_sc.h"
+#include "constraints/zone_map_sc.h"
+#include "engine/softdb.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace softdb {
+
+namespace {
+
+// ------------------------------------------------------- plan fact walking
+
+/// Local copy of the rewriter's base-table resolution (keeps the analyzer
+/// decoupled from optimizer internals).
+bool ResolveToBase(const PlanNode& node, ColumnIdx col, std::string* table,
+                   ColumnIdx* base_col) {
+  switch (node.kind()) {
+    case PlanKind::kScan: {
+      *table = static_cast<const ScanNode&>(node).table_name();
+      *base_col = col;
+      return true;
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+      return ResolveToBase(*node.children()[0], col, table, base_col);
+    case PlanKind::kJoin: {
+      const ColumnIdx la = static_cast<ColumnIdx>(
+          node.children()[0]->output_schema().NumColumns());
+      if (col < la) {
+        return ResolveToBase(*node.children()[0], col, table, base_col);
+      }
+      return ResolveToBase(*node.children()[1], col - la, table, base_col);
+    }
+    default:
+      return false;
+  }
+}
+
+void RecordPredicate(const PlanNode& input, const Expr& expr,
+                     StatementFacts* facts) {
+  std::vector<SimplePredicate> simples;
+  if (ExpandSimplePredicates(expr, &simples)) {
+    for (const SimplePredicate& sp : simples) {
+      std::string table;
+      ColumnIdx base = 0;
+      if (ResolveToBase(input, sp.column, &table, &base)) {
+        StatementFacts::TableUse& use = facts->tables[table];
+        use.pred_columns.insert(base);
+        use.simple_preds.push_back(
+            StatementFacts::PredRecord{base, sp.op, sp.constant});
+      }
+    }
+    return;
+  }
+  // `col IS NOT NULL` — a predicate-SC harvest channel, recorded apart
+  // from pred_columns (it is not a range predicate and prunes nothing).
+  if (expr.kind() == ExprKind::kIsNull) {
+    const auto& isnull = static_cast<const IsNullExpr&>(expr);
+    std::vector<ColumnIdx> cols;
+    isnull.CollectColumns(&cols);
+    if (isnull.negated() && cols.size() == 1) {
+      std::string table;
+      ColumnIdx base = 0;
+      if (ResolveToBase(input, cols[0], &table, &base)) {
+        facts->tables[table].not_null_pred_columns.insert(base);
+      }
+    }
+    return;
+  }
+  ColumnDiffPredicate diff;
+  if (MatchColumnDiffPredicate(expr, &diff)) {
+    std::string t1, t2;
+    ColumnIdx b1 = 0, b2 = 0;
+    if (ResolveToBase(input, diff.minuend, &t1, &b1) &&
+        ResolveToBase(input, diff.subtrahend, &t2, &b2) && t1 == t2) {
+      facts->tables[t1].diff_columns.insert({b1, b2});
+    }
+  }
+}
+
+/// Resolves an ordered expression list (GROUP BY / ORDER BY) to base
+/// columns; succeeds only when every expression is a single column and all
+/// resolve to the same base table.
+bool ResolveGroupingList(const PlanNode& input,
+                         const std::vector<ExprPtr>& exprs,
+                         std::string* table, std::vector<ColumnIdx>* cols) {
+  cols->clear();
+  table->clear();
+  for (const ExprPtr& e : exprs) {
+    std::vector<ColumnIdx> refs;
+    e->CollectColumns(&refs);
+    if (refs.size() != 1) return false;
+    std::string t;
+    ColumnIdx base = 0;
+    if (!ResolveToBase(input, refs[0], &t, &base)) return false;
+    if (table->empty()) {
+      *table = t;
+    } else if (*table != t) {
+      return false;
+    }
+    cols->push_back(base);
+  }
+  return cols->size() >= 2;
+}
+
+void NormalizedJoinPair(StatementFacts* facts, const std::string& a,
+                        const std::string& b) {
+  facts->join_pairs.insert(a < b ? std::make_pair(a, b)
+                                 : std::make_pair(b, a));
+}
+
+// ----------------------------------------------------------------- helpers
+
+void Report(LintReport* report, std::string check, std::string severity,
+            std::string subject, std::string message) {
+  report->findings.push_back(LintFinding{std::move(check), std::move(severity),
+                                         std::move(subject),
+                                         std::move(message)});
+}
+
+std::string StmtSubject(std::size_t index) {
+  return StrFormat("stmt#%zu", index + 1);
+}
+
+std::string Excerpt(const std::string& sql) {
+  // Single-line excerpt: internal newlines/tabs become spaces so findings
+  // stay one-line in the text report and control-character-free in JSON.
+  std::string flat = Trim(sql);
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  }
+  if (flat.size() <= 60) return flat;
+  return flat.substr(0, 57) + "...";
+}
+
+std::string SourceList(const std::set<std::string>& used) {
+  return Join(std::vector<std::string>(used.begin(), used.end()), " + ");
+}
+
+std::string ColumnName(const Schema& schema, ColumnIdx col) {
+  if (col < schema.NumColumns()) return schema.Column(col).name;
+  return "#" + std::to_string(col);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------- per-query diagnostics
+
+/// The fact base for lint-mode diagnostics on one table: declared SC
+/// parameters regardless of confidence, enforced + informational CHECKs,
+/// plus global zone-map envelopes (BuildImplicationFacts omits zone maps —
+/// they describe current data, which is exactly what a diagnostic wants).
+ImplicationFacts DiagnosticFacts(SoftDb* db, const std::string& table) {
+  ImplicationFactsOptions opts;
+  opts.absolute_only = false;
+  opts.import_inclusion_parents = false;
+  ImplicationFacts facts = BuildImplicationFacts(
+      table, db->catalog(), &db->ics(), &db->scs(), nullptr, opts);
+  for (SoftConstraint* sc : db->scs().ByKind(ScKind::kBlockZoneMap)) {
+    if (!sc->active() || sc->table() != table) continue;
+    const auto* zm = static_cast<const ZoneMapSc*>(sc);
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    bool any = false;
+    for (const ZoneMapSc::BlockSma& b : zm->SnapshotBlocks()) {
+      if (!b.has_value) continue;
+      any = true;
+      lo = std::min(lo, b.min);
+      hi = std::max(hi, b.max);
+    }
+    if (!any) continue;
+    facts.intervals.push_back(ImplicationFacts::IntervalFact{
+        zm->column(), Interval::Range(lo, hi), "sc:" + zm->name()});
+  }
+  return facts;
+}
+
+/// query-dead-range for one conjunct the facts do not wholly imply: a
+/// BETWEEN half or IN-list element that lies outside the column's fact
+/// envelope can never match. One-sided comparisons are deliberately not
+/// flagged (a merely-implied bound is redundancy, handled above; an
+/// excluded one contradicts, handled by Unsatisfiable).
+void CheckDeadRange(const Expr& conjunct, const Schema& schema,
+                    const std::map<ColumnIdx, Interval>& envelope,
+                    const std::map<ColumnIdx, std::set<std::string>>& sources,
+                    const std::string& subject, const std::string& table,
+                    LintReport* out) {
+  const auto envelope_for =
+      [&](ColumnIdx col) -> const Interval* {
+    auto it = envelope.find(col);
+    if (it == envelope.end() || it->second.IsTop() ||
+        it->second.str_equal.has_value() || it->second.empty) {
+      return nullptr;
+    }
+    return &it->second;
+  };
+  const auto sources_for = [&](ColumnIdx col) {
+    auto it = sources.find(col);
+    return it == sources.end() ? std::set<std::string>() : it->second;
+  };
+
+  if (conjunct.kind() == ExprKind::kBetween) {
+    std::vector<SimplePredicate> halves;
+    if (!ExpandSimplePredicates(conjunct, &halves)) return;
+    std::vector<std::string> dead;
+    ColumnIdx col = 0;
+    for (const SimplePredicate& sp : halves) {
+      const Interval* env = envelope_for(sp.column);
+      if (env == nullptr || sp.constant.is_null() ||
+          !IsNumericType(sp.constant.type())) {
+        continue;
+      }
+      std::optional<Interval> half =
+          IntervalForComparison(sp.op, sp.constant);
+      if (!half.has_value()) continue;
+      if (half->Contains(*env)) {
+        col = sp.column;
+        dead.push_back((sp.op == CompareOp::kGe || sp.op == CompareOp::kGt)
+                           ? "lower bound " + sp.constant.ToString()
+                           : "upper bound " + sp.constant.ToString());
+      }
+    }
+    if (!dead.empty() && dead.size() < halves.size()) {
+      Report(out, "query-dead-range", "warning", subject,
+             "in '" + conjunct.ToString() + "' on " + table + ", " +
+                 Join(dead, " and ") + " lies outside the " +
+                 ColumnName(schema, col) + " envelope " +
+                 envelope.at(col).ToString() + " (" +
+                 SourceList(sources_for(col)) + "); the range is " +
+                 "effectively clipped");
+    }
+    return;
+  }
+
+  if (conjunct.kind() == ExprKind::kInList) {
+    const auto& in = static_cast<const InListExpr&>(conjunct);
+    std::vector<ColumnIdx> cols;
+    in.input()->CollectColumns(&cols);
+    if (cols.size() != 1) return;
+    const Interval* env = envelope_for(cols[0]);
+    if (env == nullptr) return;
+    std::vector<std::string> dead;
+    bool any_alive_or_unknown = false;
+    for (const ExprPtr& elem : in.list()) {
+      if (elem->kind() != ExprKind::kLiteral) {
+        any_alive_or_unknown = true;
+        continue;
+      }
+      const Value& v = static_cast<const LiteralExpr&>(*elem).value();
+      if (v.is_null() || !IsNumericType(v.type())) {
+        any_alive_or_unknown = true;
+        continue;
+      }
+      if (env->ContainsPoint(v.NumericValue())) {
+        any_alive_or_unknown = true;
+      } else {
+        dead.push_back(v.ToString());
+      }
+    }
+    if (dead.empty()) return;
+    const std::string detail =
+        "IN-list value(s) " + Join(dead, ", ") + " lie outside the " +
+        ColumnName(schema, cols[0]) + " envelope " + env->ToString() + " (" +
+        SourceList(sources_for(cols[0])) + ")";
+    if (!any_alive_or_unknown) {
+      Report(out, "query-contradiction", "error", subject,
+             "every " + detail + ": '" + conjunct.ToString() + "' on " +
+                 table + " provably matches no row");
+    } else {
+      Report(out, "query-dead-range", "warning", subject,
+             detail + " and can never match in '" + conjunct.ToString() +
+                 "' on " + table);
+    }
+  }
+}
+
+/// Pass 1 over one bound query plan: contradictions, redundant predicates
+/// and dead ranges per scanned table. Bound single-table WHERE conjuncts
+/// live on the ScanNode (binder pushdown), bound to the base schema.
+void DiagnoseQuery(SoftDb* db, const PlanNode& node,
+                   const std::string& subject, LintReport* out) {
+  if (node.kind() == PlanKind::kScan) {
+    const auto& scan = static_cast<const ScanNode&>(node);
+    std::vector<const Expr*> conjuncts;
+    for (const Predicate& p : scan.predicates()) {
+      if (p.origin != "user" || p.estimation_only || p.expr == nullptr) {
+        continue;
+      }
+      ImplicationEngine::CollectConjuncts(*p.expr, &conjuncts);
+    }
+    auto table = db->catalog().GetTable(scan.table_name());
+    if (!conjuncts.empty() && table.ok()) {
+      const Schema& schema = (*table)->schema();
+      ImplicationOptions lint_mode;
+      lint_mode.assume_non_null = true;
+      const ImplicationEngine engine(
+          &schema, DiagnosticFacts(db, scan.table_name()), lint_mode);
+
+      std::set<std::string> used;
+      if (engine.Unsatisfiable(conjuncts, &used)) {
+        Report(out, "query-contradiction", "error", subject,
+               "predicates on " + scan.table_name() +
+                   " provably match no row" +
+                   (used.empty() ? "" : " (against " + SourceList(used) + ")"));
+      } else {
+        // Per-column fact envelope (all interval facts intersected) with
+        // the contributing sources, for the dead-range check.
+        std::map<ColumnIdx, Interval> envelope;
+        std::map<ColumnIdx, std::set<std::string>> sources;
+        for (const ImplicationFacts::IntervalFact& f :
+             engine.facts().intervals) {
+          auto [it, inserted] = envelope.emplace(f.column, f.interval);
+          if (!inserted) it->second.Intersect(f.interval);
+          sources[f.column].insert(f.source);
+        }
+        for (const Expr* c : conjuncts) {
+          // `x IS NOT NULL` is "implied" in lint mode only because the
+          // engine assumes non-null semantics; on a nullable column the
+          // filter is real. Report it only when the schema already
+          // forbids NULLs.
+          if (c->kind() == ExprKind::kIsNull) {
+            const auto& isnull = static_cast<const IsNullExpr&>(*c);
+            if (isnull.negated() &&
+                isnull.input()->kind() == ExprKind::kColumnRef) {
+              const ColumnIdx col =
+                  static_cast<const ColumnRefExpr&>(*isnull.input()).index();
+              if (col < schema.NumColumns() && schema.Column(col).nullable) {
+                continue;
+              }
+            }
+          }
+          std::set<std::string> implied_by;
+          if (engine.FactsImply(*c, &implied_by)) {
+            Report(out, "query-redundant-predicate", "warning", subject,
+                   "'" + c->ToString() + "' on " + scan.table_name() +
+                       " is implied by " +
+                       (implied_by.empty() ? "the catalog facts"
+                                           : SourceList(implied_by)) +
+                       " and filters nothing");
+            continue;
+          }
+          CheckDeadRange(*c, schema, envelope, sources, subject,
+                         scan.table_name(), out);
+        }
+      }
+    }
+  }
+  for (const PlanPtr& c : node.children()) {
+    DiagnoseQuery(db, *c, subject, out);
+  }
+}
+
+// ----------------------------------------------------------- harvest pass
+
+/// Uniquifies a suggested SC name against the registry and prior picks.
+std::string UniqueName(const ScRegistry& scs, std::set<std::string>* used,
+                       std::string base) {
+  std::string name = base;
+  int n = 2;
+  while (scs.Find(name) != nullptr || used->count(name) > 0) {
+    name = base + "_" + std::to_string(n++);
+  }
+  used->insert(name);
+  return name;
+}
+
+/// Renders a harvest bound in the column's storage type so a materialized
+/// DomainSc compares like-for-like.
+Value BoundValue(TypeId type, double v) {
+  if (type != TypeId::kDouble &&
+      v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    return Value::Int64(static_cast<std::int64_t>(v));
+  }
+  return Value::Double(v);
+}
+
+struct BoundStatement {
+  std::size_t index = 0;
+  StatementFacts facts;
+};
+
+std::vector<HarvestedCandidate> HarvestCandidates(
+    SoftDb* db, const std::vector<BoundStatement>& bound,
+    const AnalyzerOptions& options) {
+  std::vector<HarvestedCandidate> out;
+  std::set<std::string> used_names;
+  const Catalog& catalog = db->catalog();
+
+  // --- Channel A: recurring predicate ranges -> domain candidates. A
+  // column qualifies when the workload bounds it from *both* sides across
+  // min_support distinct statements; the candidate interval is the loosest
+  // bound seen each way (a tighter one would reject rows some query
+  // expects to exist).
+  struct DomainAgg {
+    std::set<std::size_t> stmts;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    bool has_lo = false;
+    bool has_hi = false;
+  };
+  std::map<std::pair<std::string, ColumnIdx>, DomainAgg> domains;
+  for (const BoundStatement& bs : bound) {
+    for (const auto& [table, use] : bs.facts.tables) {
+      for (const StatementFacts::PredRecord& pr : use.simple_preds) {
+        if (pr.constant.is_null() || !IsNumericType(pr.constant.type())) {
+          continue;
+        }
+        const double v = pr.constant.NumericValue();
+        DomainAgg& agg = domains[{table, pr.column}];
+        switch (pr.op) {
+          case CompareOp::kGe:
+          case CompareOp::kGt:
+            agg.has_lo = true;
+            agg.lo = std::min(agg.lo, v);
+            agg.stmts.insert(bs.index);
+            break;
+          case CompareOp::kLe:
+          case CompareOp::kLt:
+            agg.has_hi = true;
+            agg.hi = std::max(agg.hi, v);
+            agg.stmts.insert(bs.index);
+            break;
+          default:
+            break;  // Equality/inequality say nothing about range shape.
+        }
+      }
+    }
+  }
+  for (const auto& [key, agg] : domains) {
+    if (!agg.has_lo || !agg.has_hi || agg.lo > agg.hi) continue;
+    if (agg.stmts.size() < options.min_support) continue;
+    auto table = catalog.GetTable(key.first);
+    if (!table.ok()) continue;
+    const Schema& schema = (*table)->schema();
+    if (key.second >= schema.NumColumns()) continue;
+    const ColumnDef& def = schema.Column(key.second);
+
+    HarvestedCandidate cand;
+    cand.kind = HarvestedCandidate::Kind::kDomain;
+    cand.table = key.first;
+    cand.column = key.second;
+    cand.min_value = BoundValue(def.type, agg.lo);
+    cand.max_value = BoundValue(def.type, agg.hi);
+    cand.support = agg.stmts.size();
+    if (CandidateAlreadyArmed(cand, db->scs(), &db->ics())) continue;
+    cand.name = UniqueName(db->scs(), &used_names,
+                           "hv_" + key.first + "_" + def.name + "_range");
+    cand.rationale = StrFormat(
+        "%zu statements bound %s.%s on both sides", agg.stmts.size(),
+        key.first.c_str(), def.name.c_str());
+    cand.directive = "SOFT CONSTRAINT " + cand.name + " DOMAIN ON " +
+                     key.first + "(" + def.name + ") MIN " +
+                     cand.min_value.ToString() + " MAX " +
+                     cand.max_value.ToString();
+    out.push_back(std::move(cand));
+  }
+
+  // --- Channel B: recurring equi-join edges -> inclusion candidates, in
+  // each direction whose join column is a unique key of the would-be
+  // parent (values of the other side must then be a subset for the join
+  // to be lossless — exactly what join elimination needs).
+  struct EdgeKey {
+    std::string ta, tb;
+    ColumnIdx ca = 0, cb = 0;
+    bool operator<(const EdgeKey& o) const {
+      return std::tie(ta, ca, tb, cb) < std::tie(o.ta, o.ca, o.tb, o.cb);
+    }
+  };
+  std::map<EdgeKey, std::set<std::size_t>> edges;
+  for (const BoundStatement& bs : bound) {
+    for (const StatementFacts::JoinEdge& e : bs.facts.joins) {
+      EdgeKey key;
+      if (std::tie(e.left_table, e.left_column) <=
+          std::tie(e.right_table, e.right_column)) {
+        key = {e.left_table, e.right_table, e.left_column, e.right_column};
+      } else {
+        key = {e.right_table, e.left_table, e.right_column, e.left_column};
+      }
+      edges[key].insert(bs.index);
+    }
+  }
+  for (const auto& [key, stmts] : edges) {
+    if (stmts.size() < options.min_support) continue;
+    struct Direction {
+      std::string child, parent;
+      ColumnIdx child_col, parent_col;
+    };
+    for (const Direction& dir :
+         {Direction{key.ta, key.tb, key.ca, key.cb},
+          Direction{key.tb, key.ta, key.cb, key.ca}}) {
+      if (dir.child == dir.parent) continue;  // Self-joins: no inclusion.
+      if (!db->ics().IsUniqueOver(dir.parent, {dir.parent_col})) continue;
+      auto child_t = catalog.GetTable(dir.child);
+      auto parent_t = catalog.GetTable(dir.parent);
+      if (!child_t.ok() || !parent_t.ok()) continue;
+
+      HarvestedCandidate cand;
+      cand.kind = HarvestedCandidate::Kind::kInclusion;
+      cand.table = dir.child;
+      cand.columns = {dir.child_col};
+      cand.parent_table = dir.parent;
+      cand.parent_columns = {dir.parent_col};
+      cand.support = stmts.size();
+      if (CandidateAlreadyArmed(cand, db->scs(), &db->ics())) continue;
+      const std::string child_col =
+          ColumnName((*child_t)->schema(), dir.child_col);
+      const std::string parent_col =
+          ColumnName((*parent_t)->schema(), dir.parent_col);
+      cand.name = UniqueName(
+          db->scs(), &used_names,
+          "hv_" + dir.child + "_" + child_col + "_in_" + dir.parent);
+      cand.rationale = StrFormat(
+          "%zu statements join %s.%s = %s.%s (unique parent key)",
+          stmts.size(), dir.child.c_str(), child_col.c_str(),
+          dir.parent.c_str(), parent_col.c_str());
+      cand.directive = "SOFT CONSTRAINT " + cand.name + " INCLUSION ON " +
+                       dir.child + "(" + child_col + ") REFERENCES " +
+                       dir.parent + "(" + parent_col + ")";
+      out.push_back(std::move(cand));
+    }
+  }
+
+  // --- Channel C: recurring multi-column GROUP BY lists -> FD candidates
+  // (first column determines the rest; if true, the optimizer can prune
+  // the trailing grouping columns).
+  std::map<std::pair<std::string, std::vector<ColumnIdx>>,
+           std::set<std::size_t>>
+      groupings;
+  for (const BoundStatement& bs : bound) {
+    for (const auto& [table, use] : bs.facts.tables) {
+      for (const std::vector<ColumnIdx>& list : use.grouping_lists) {
+        groupings[{table, list}].insert(bs.index);
+      }
+    }
+  }
+  for (const auto& [key, stmts] : groupings) {
+    if (stmts.size() < options.min_support) continue;
+    const std::string& table_name = key.first;
+    const std::vector<ColumnIdx>& list = key.second;
+    if (db->ics().IsUniqueOver(table_name, {list[0]})) {
+      continue;  // A key determines everything; nothing to mine.
+    }
+    auto table = catalog.GetTable(table_name);
+    if (!table.ok()) continue;
+    const Schema& schema = (*table)->schema();
+
+    HarvestedCandidate cand;
+    cand.kind = HarvestedCandidate::Kind::kFd;
+    cand.table = table_name;
+    cand.columns = {list[0]};
+    cand.dependents.assign(list.begin() + 1, list.end());
+    cand.support = stmts.size();
+    if (CandidateAlreadyArmed(cand, db->scs(), &db->ics())) continue;
+    std::vector<std::string> dep_names;
+    for (ColumnIdx c : cand.dependents) {
+      dep_names.push_back(ColumnName(schema, c));
+    }
+    const std::string det_name = ColumnName(schema, list[0]);
+    cand.name = UniqueName(db->scs(), &used_names,
+                           "hv_" + table_name + "_" + det_name + "_fd");
+    cand.rationale =
+        StrFormat("%zu statements group %s by (%s, %s)", stmts.size(),
+                  table_name.c_str(), det_name.c_str(),
+                  Join(dep_names, ", ").c_str());
+    cand.directive = "SOFT CONSTRAINT " + cand.name + " FD ON " +
+                     table_name + "(" + det_name + ") DETERMINES (" +
+                     Join(dep_names, ", ") + ")";
+    out.push_back(std::move(cand));
+  }
+
+  // --- Channel D1: informational (NOT ENFORCED) CHECK constraints from
+  // the DDL. The application promises them but the engine never validates;
+  // a predicate SC makes the promise minable, verifiable and exploitable.
+  for (const std::string& table_name : catalog.TableNames()) {
+    std::size_t scan_support = 0;
+    for (const BoundStatement& bs : bound) {
+      auto it = bs.facts.tables.find(table_name);
+      if (it != bs.facts.tables.end() && it->second.scanned) ++scan_support;
+    }
+    for (const CheckConstraint* check : db->ics().ChecksOn(table_name)) {
+      if (!check->informational()) continue;
+      HarvestedCandidate cand;
+      cand.kind = HarvestedCandidate::Kind::kPredicate;
+      cand.table = table_name;
+      cand.predicate = check->expr().Clone();
+      cand.support = 1 + scan_support;  // The DDL declaration itself counts.
+      if (CandidateAlreadyArmed(cand, db->scs(), &db->ics())) continue;
+      cand.name = UniqueName(db->scs(), &used_names, "hv_" + check->name());
+      cand.rationale = "informational CHECK constraint '" + check->name() +
+                       "' on " + table_name + " is declared but never "
+                       "validated";
+      cand.directive = "SOFT CONSTRAINT " + cand.name + " PREDICATE ON " +
+                       table_name + " CHECK (" +
+                       cand.predicate->ToString() + ")";
+      out.push_back(std::move(cand));
+    }
+  }
+
+  // --- Channel D2: recurring IS NOT NULL filters on nullable columns ->
+  // predicate candidates (if the column is in fact never NULL, the filter
+  // — and the null checks feeding it — fold away).
+  std::map<std::pair<std::string, ColumnIdx>, std::set<std::size_t>>
+      not_nulls;
+  for (const BoundStatement& bs : bound) {
+    for (const auto& [table, use] : bs.facts.tables) {
+      for (ColumnIdx c : use.not_null_pred_columns) {
+        not_nulls[{table, c}].insert(bs.index);
+      }
+    }
+  }
+  for (const auto& [key, stmts] : not_nulls) {
+    if (stmts.size() < options.min_support) continue;
+    auto table = catalog.GetTable(key.first);
+    if (!table.ok()) continue;
+    const Schema& schema = (*table)->schema();
+    if (key.second >= schema.NumColumns()) continue;
+    const ColumnDef& def = schema.Column(key.second);
+    if (!def.nullable) continue;  // Schema already guarantees it.
+
+    HarvestedCandidate cand;
+    cand.kind = HarvestedCandidate::Kind::kPredicate;
+    cand.table = key.first;
+    cand.predicate = std::make_unique<IsNullExpr>(
+        std::make_unique<ColumnRefExpr>(def.name, key.second, def.type),
+        /*negated=*/true);
+    cand.support = stmts.size();
+    if (CandidateAlreadyArmed(cand, db->scs(), &db->ics())) continue;
+    cand.name = UniqueName(db->scs(), &used_names,
+                           "hv_" + key.first + "_" + def.name + "_notnull");
+    cand.rationale =
+        StrFormat("%zu statements filter %s.%s IS NOT NULL", stmts.size(),
+                  key.first.c_str(), def.name.c_str());
+    cand.directive = "SOFT CONSTRAINT " + cand.name + " PREDICATE ON " +
+                     key.first + " CHECK (" + cand.predicate->ToString() +
+                     ")";
+    out.push_back(std::move(cand));
+  }
+
+  return out;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- shared facts API
+
+void CollectStatementFacts(const PlanNode& node, StatementFacts* facts) {
+  switch (node.kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const ScanNode&>(node);
+      facts->tables[scan.table_name()].scanned = true;
+      for (const Predicate& p : scan.predicates()) {
+        if (p.origin != "user") continue;  // Only what the query asks.
+        RecordPredicate(node, *p.expr, facts);
+      }
+      break;
+    }
+    case PlanKind::kFilter: {
+      const auto& filter = static_cast<const FilterNode&>(node);
+      for (const Predicate& p : filter.predicates()) {
+        RecordPredicate(*node.children()[0], *p.expr, facts);
+      }
+      break;
+    }
+    case PlanKind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(node);
+      for (const JoinNode::EquiKey& key : join.equi_keys()) {
+        std::string lt, rt;
+        ColumnIdx lb = 0, rb = 0;
+        if (ResolveToBase(*node.children()[0], key.left, &lt, &lb) &&
+            ResolveToBase(*node.children()[1], key.right, &rt, &rb)) {
+          facts->joins.push_back(StatementFacts::JoinEdge{lt, lb, rt, rb});
+          NormalizedJoinPair(facts, lt, rt);
+        }
+      }
+      break;
+    }
+    case PlanKind::kSort: {
+      const auto& sort = static_cast<const SortNode&>(node);
+      for (const SortKey& k : sort.keys()) {
+        std::vector<ColumnIdx> cols;
+        k.expr->CollectColumns(&cols);
+        for (ColumnIdx c : cols) {
+          std::string table;
+          ColumnIdx base = 0;
+          if (ResolveToBase(*node.children()[0], c, &table, &base)) {
+            facts->tables[table].group_order_columns.insert(base);
+          }
+        }
+      }
+      break;
+    }
+    case PlanKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateNode&>(node);
+      for (const ExprPtr& g : agg.group_by()) {
+        std::vector<ColumnIdx> cols;
+        g->CollectColumns(&cols);
+        for (ColumnIdx c : cols) {
+          std::string table;
+          ColumnIdx base = 0;
+          if (ResolveToBase(*node.children()[0], c, &table, &base)) {
+            facts->tables[table].group_order_columns.insert(base);
+          }
+        }
+      }
+      std::string table;
+      std::vector<ColumnIdx> list;
+      if (ResolveGroupingList(*node.children()[0], agg.group_by(), &table,
+                              &list)) {
+        facts->tables[table].grouping_lists.push_back(std::move(list));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  for (const PlanPtr& c : node.children()) CollectStatementFacts(*c, facts);
+}
+
+bool ScExploitableBy(const SoftConstraint& sc, const StatementFacts& facts) {
+  auto table_it = facts.tables.find(sc.table());
+  const StatementFacts::TableUse* tf =
+      table_it == facts.tables.end() ? nullptr : &table_it->second;
+  switch (sc.kind()) {
+    case ScKind::kDomain: {
+      const auto& dom = static_cast<const DomainSc&>(sc);
+      return tf != nullptr && tf->pred_columns.count(dom.column()) > 0;
+    }
+    case ScKind::kLinearCorrelation: {
+      const auto& lin = static_cast<const LinearCorrelationSc&>(sc);
+      return tf != nullptr && (tf->pred_columns.count(lin.col_a()) > 0 ||
+                               tf->pred_columns.count(lin.col_b()) > 0);
+    }
+    case ScKind::kColumnOffset: {
+      const auto& off = static_cast<const ColumnOffsetSc&>(sc);
+      if (tf == nullptr) return false;
+      return tf->pred_columns.count(off.col_x()) > 0 ||
+             tf->pred_columns.count(off.col_y()) > 0 ||
+             tf->diff_columns.count({off.col_y(), off.col_x()}) > 0;
+    }
+    case ScKind::kInclusion: {
+      const auto& inc = static_cast<const InclusionSc&>(sc);
+      const auto& a = inc.child_table();
+      const auto& b = inc.parent_table();
+      return facts.join_pairs.count(a < b ? std::make_pair(a, b)
+                                          : std::make_pair(b, a)) > 0;
+    }
+    case ScKind::kFunctionalDependency: {
+      const auto& fd = static_cast<const FunctionalDependencySc&>(sc);
+      if (tf == nullptr) return false;
+      return std::any_of(fd.dependents().begin(), fd.dependents().end(),
+                         [&](ColumnIdx dep) {
+                           return tf->group_order_columns.count(dep) > 0;
+                         });
+    }
+    case ScKind::kPredicate:
+      // Twinning / exception-AST rewrites apply to any scan of the table.
+      return tf != nullptr && tf->scanned;
+    case ScKind::kBlockZoneMap: {
+      // Blocks are skipped against simple predicates on the mapped column.
+      const auto& zm = static_cast<const ZoneMapSc&>(sc);
+      return tf != nullptr && tf->pred_columns.count(zm.column()) > 0;
+    }
+    case ScKind::kJoinHole:
+      return std::any_of(facts.join_pairs.begin(), facts.join_pairs.end(),
+                         [&](const auto& pair) {
+                           return pair.first == sc.table() ||
+                                  pair.second == sc.table();
+                         });
+  }
+  return true;
+}
+
+const char* ScExploitChannel(ScKind kind) {
+  switch (kind) {
+    case ScKind::kDomain:
+      return "implication-pruning";
+    case ScKind::kLinearCorrelation:
+    case ScKind::kColumnOffset:
+      return "predicate-introduction";
+    case ScKind::kInclusion:
+      return "join-elimination";
+    case ScKind::kFunctionalDependency:
+      return "fd-sort-pruning";
+    case ScKind::kPredicate:
+      return "twinning/exception-ast";
+    case ScKind::kBlockZoneMap:
+      return "zone-map-skipping";
+    case ScKind::kJoinHole:
+      return "hole-trimming";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------ entry points
+
+Result<AnalyzerReport> AnalyzeWorkloadAgainstDb(
+    SoftDb* db, const std::vector<std::string>& workload_sqls,
+    const AnalyzerOptions& options) {
+  AnalyzerReport report;
+  report.lint.tool = "softdb_analyze";
+  report.statements = workload_sqls.size();
+
+  Binder binder(&db->catalog());
+  const ImpactAnalyzer impact(&db->catalog(), &db->ics(), &db->scs());
+  std::vector<BoundStatement> bound;
+
+  for (std::size_t i = 0; i < workload_sqls.size(); ++i) {
+    const std::string& sql = workload_sqls[i];
+    const std::string subject = StmtSubject(i);
+    auto stmt = ParseStatement(sql);
+    if (!stmt.ok()) {
+      Report(&report.lint, "workload-unparseable-statement", "warning",
+             subject,
+             "cannot parse '" + Excerpt(sql) + "': " +
+                 stmt.status().message() + "; statement excluded from the "
+                 "analysis");
+      continue;
+    }
+    switch (stmt->kind) {
+      case Statement::Kind::kSelect:
+      case Statement::Kind::kExplain: {
+        auto plan = binder.BindSelect(*stmt->select);
+        if (!plan.ok()) {
+          Report(&report.lint, "workload-unparseable-statement", "warning",
+                 subject,
+                 "cannot bind '" + Excerpt(sql) + "' against the catalog "
+                 "schema: " + plan.status().message() + "; statement "
+                 "excluded from the analysis");
+          continue;
+        }
+        ++report.queries_bound;
+        DiagnoseQuery(db, **plan, subject, &report.lint);
+        BoundStatement bs;
+        bs.index = i;
+        CollectStatementFacts(**plan, &bs.facts);
+        bound.push_back(std::move(bs));
+        break;
+      }
+      case Statement::Kind::kInsert:
+      case Statement::Kind::kUpdate:
+      case Statement::Kind::kDelete: {
+        auto dml = impact.Analyze(*stmt);
+        if (!dml.ok()) {
+          Report(&report.lint, "workload-unparseable-statement", "warning",
+                 subject,
+                 "cannot bind '" + Excerpt(sql) + "' against the catalog "
+                 "schema: " + dml.status().message() + "; statement "
+                 "excluded from the analysis");
+          continue;
+        }
+        DmlImpactRow row;
+        row.statement = i;
+        row.kind = stmt->kind == Statement::Kind::kInsert   ? "insert"
+                   : stmt->kind == Statement::Kind::kUpdate ? "update"
+                                                            : "delete";
+        row.table = dml->table;
+        row.impacted = dml->impacted;
+        row.candidates = dml->candidates;
+        row.narrowed = dml->Narrowed();
+        row.where_unsatisfiable = dml->where_unsatisfiable;
+        if (dml->where_unsatisfiable) {
+          Report(&report.lint, "query-contradiction", "error", subject,
+                 "WHERE clause of '" + Excerpt(sql) + "' provably matches "
+                 "no row; the statement is a no-op");
+        } else {
+          // Wholesale check: every SC *on the written table* would need
+          // synchronous maintenance — impact scoping buys nothing here.
+          std::vector<std::string> relevant;
+          for (const SoftConstraint* sc : db->scs().On(dml->table)) {
+            relevant.push_back(sc->name());
+          }
+          const bool wholesale =
+              !relevant.empty() &&
+              std::all_of(relevant.begin(), relevant.end(),
+                          [&](const std::string& name) {
+                            return dml->Contains(name);
+                          });
+          if (wholesale) {
+            Report(&report.lint, "dml-wholesale-revalidation", "warning",
+                   subject,
+                   StrFormat("%s on %s re-validates all %zu SC(s) on the "
+                             "table; consider narrowing the write set or "
+                             "adding a WHERE the impact analyzer can reason "
+                             "about",
+                             row.kind.c_str(), dml->table.c_str(),
+                             relevant.size()));
+          }
+        }
+        report.impact.push_back(std::move(row));
+        break;
+      }
+      default:
+        break;  // DDL in a workload: nothing to analyze statically.
+    }
+  }
+
+  // Pass 2: SC exploitation-coverage.
+  const std::vector<SoftConstraint*> all_scs = db->scs().All();
+  for (const SoftConstraint* sc : all_scs) {
+    ScCoverageRow row;
+    row.sc = sc->name();
+    row.kind = ScKindName(sc->kind());
+    row.channel = ScExploitChannel(sc->kind());
+    for (const BoundStatement& bs : bound) {
+      if (ScExploitableBy(*sc, bs.facts)) row.statements.push_back(bs.index);
+    }
+    if (row.statements.empty() && !bound.empty()) {
+      Report(&report.lint, "never-exploitable-sc", "warning", sc->name(),
+             std::string(ScKindName(sc->kind())) + " SC on " + sc->table() +
+                 " is not statically consumable by any of the " +
+                 std::to_string(bound.size()) +
+                 " bound workload queries; retirement candidate");
+    }
+    report.coverage.push_back(std::move(row));
+  }
+  if (!all_scs.empty()) {
+    for (const BoundStatement& bs : bound) {
+      const bool covered =
+          std::any_of(all_scs.begin(), all_scs.end(),
+                      [&](const SoftConstraint* sc) {
+                        return ScExploitableBy(*sc, bs.facts);
+                      });
+      if (!covered) {
+        Report(&report.lint, "uncovered-statement", "warning",
+               StmtSubject(bs.index),
+               "'" + Excerpt(workload_sqls[bs.index]) + "' can consume "
+               "none of the " + std::to_string(all_scs.size()) +
+                   " catalog SC(s): it runs without soft-constraint "
+                   "support");
+      }
+    }
+  }
+
+  // Pass 3: application-constraint harvesting, scored through the mining
+  // selection stage.
+  if (options.harvest) {
+    WorkloadProfile profile;
+    for (const BoundStatement& bs : bound) {
+      for (const auto& [table, use] : bs.facts.tables) {
+        for (ColumnIdx c : use.pred_columns) {
+          profile.RecordPredicate(table, c);
+        }
+      }
+    }
+    std::vector<HarvestedCandidate> harvested =
+        HarvestCandidates(db, bound, options);
+    std::vector<ScoredCandidate> selected = SelectTop(
+        ScoreHarvestedCandidates(harvested, profile), options.harvest_budget);
+    for (const ScoredCandidate& s : selected) {
+      HarvestedCandidate cand = std::move(harvested[s.index]);
+      Report(&report.lint, "harvest-candidate", "note", cand.name,
+             cand.directive + " -- " + cand.rationale +
+                 StrFormat(" (utility %.1f)", s.utility));
+      report.candidates.push_back(std::move(cand));
+    }
+  }
+
+  return report;
+}
+
+Result<AnalyzerReport> AnalyzeWorkloadStatic(
+    const std::string& catalog_script,
+    const std::vector<std::string>& workload_sqls,
+    const AnalyzerOptions& options) {
+  SoftDb db;
+  SOFTDB_RETURN_IF_ERROR(LoadCatalogScript(&db, catalog_script));
+  return AnalyzeWorkloadAgainstDb(&db, workload_sqls, options);
+}
+
+// ---------------------------------------------------------------- rendering
+
+std::string AnalyzerReport::ToText() const {
+  std::string out = lint.ToText();
+  if (!coverage.empty()) {
+    out += StrFormat("\nSC exploitation coverage (%zu bound quer%s):\n",
+                     queries_bound, queries_bound == 1 ? "y" : "ies");
+    for (const ScCoverageRow& row : coverage) {
+      out += "  " + row.sc + " (" + row.kind + ", " + row.channel + "): ";
+      if (row.statements.empty()) {
+        out += "never exploitable";
+      } else {
+        std::vector<std::string> stmts;
+        for (std::size_t s : row.statements) stmts.push_back(StmtSubject(s));
+        out += Join(stmts, ", ");
+      }
+      out += '\n';
+    }
+  }
+  if (!impact.empty()) {
+    out += "\nDML impact matrix:\n";
+    for (const DmlImpactRow& row : impact) {
+      out += "  " + StmtSubject(row.statement) + " " + row.kind + " " +
+             row.table + ": ";
+      if (row.where_unsatisfiable) {
+        out += "WHERE provably empty (no-op)";
+      } else {
+        out += StrFormat("%zu/%zu SC(s) impacted", row.impacted.size(),
+                         row.candidates);
+        if (!row.impacted.empty()) out += ": " + Join(row.impacted, ", ");
+      }
+      out += '\n';
+    }
+  }
+  if (!candidates.empty()) {
+    out += "\nHarvested SC candidates:\n";
+    for (const HarvestedCandidate& c : candidates) {
+      out += StrFormat("  %s (%s, support %llu): %s\n", c.name.c_str(),
+                       HarvestKindName(c.kind),
+                       static_cast<unsigned long long>(c.support),
+                       c.directive.c_str());
+    }
+  }
+  return out;
+}
+
+std::string AnalyzerReport::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"tool\": \"" + JsonEscape(lint.tool) + "\",\n";
+  out += StrFormat("  \"statements\": %zu,\n", statements);
+  out += StrFormat("  \"queries_bound\": %zu,\n", queries_bound);
+  out += StrFormat("  \"errors\": %zu,\n", lint.errors());
+  out += StrFormat("  \"warnings\": %zu,\n", lint.warnings());
+  out += StrFormat("  \"notes\": %zu,\n", lint.notes());
+  out += "  \"findings\": [";
+  for (std::size_t i = 0; i < lint.findings.size(); ++i) {
+    const LintFinding& f = lint.findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"check\": \"" + JsonEscape(f.check) + "\", \"severity\": \"" +
+           JsonEscape(f.severity) + "\", \"subject\": \"" +
+           JsonEscape(f.subject) + "\", \"message\": \"" +
+           JsonEscape(f.message) + "\"}";
+  }
+  out += lint.findings.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"coverage\": [";
+  for (std::size_t i = 0; i < coverage.size(); ++i) {
+    const ScCoverageRow& row = coverage[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"sc\": \"" + JsonEscape(row.sc) + "\", \"kind\": \"" +
+           JsonEscape(row.kind) + "\", \"channel\": \"" +
+           JsonEscape(row.channel) + "\", \"statements\": [";
+    for (std::size_t j = 0; j < row.statements.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += std::to_string(row.statements[j]);
+    }
+    out += "]}";
+  }
+  out += coverage.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"impact\": [";
+  for (std::size_t i = 0; i < impact.size(); ++i) {
+    const DmlImpactRow& row = impact[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"statement\": " + std::to_string(row.statement) +
+           ", \"kind\": \"" + JsonEscape(row.kind) + "\", \"table\": \"" +
+           JsonEscape(row.table) + "\", \"impacted\": [";
+    for (std::size_t j = 0; j < row.impacted.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += "\"" + JsonEscape(row.impacted[j]) + "\"";
+    }
+    out += StrFormat("], \"candidates\": %zu, \"narrowed\": %s, "
+                     "\"where_unsatisfiable\": %s}",
+                     row.candidates, row.narrowed ? "true" : "false",
+                     row.where_unsatisfiable ? "true" : "false");
+  }
+  out += impact.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"candidates\": [";
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const HarvestedCandidate& c = candidates[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + JsonEscape(c.name) + "\", \"kind\": \"" +
+           std::string(HarvestKindName(c.kind)) + "\", \"table\": \"" +
+           JsonEscape(c.table) + "\", \"support\": " +
+           std::to_string(c.support) + ", \"directive\": \"" +
+           JsonEscape(c.directive) + "\", \"rationale\": \"" +
+           JsonEscape(c.rationale) + "\"}";
+  }
+  out += candidates.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string AnalyzerReport::ToSarif(const std::string& artifact_uri) const {
+  return lint.ToSarif(artifact_uri);
+}
+
+}  // namespace softdb

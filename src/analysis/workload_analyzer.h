@@ -1,0 +1,166 @@
+#ifndef SOFTDB_ANALYSIS_WORKLOAD_ANALYZER_H_
+#define SOFTDB_ANALYSIS_WORKLOAD_ANALYZER_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/sc_lint.h"
+#include "common/result.h"
+#include "mining/selection.h"
+#include "plan/logical_plan.h"
+
+namespace softdb {
+
+class SoftDb;
+class SoftConstraint;
+
+/// What one bound statement reveals about how base tables are used — the
+/// shared vocabulary of the linter's dead-entry check and the analyzer's
+/// coverage and harvesting passes. Everything here comes from walking a
+/// *bound* logical plan; no table data is touched.
+struct StatementFacts {
+  /// A simple `col op constant` the statement applies to a base table,
+  /// with the constant preserved for range harvesting.
+  struct PredRecord {
+    ColumnIdx column = 0;
+    CompareOp op = CompareOp::kEq;
+    Value constant;
+  };
+
+  struct TableUse {
+    bool scanned = false;
+    std::set<ColumnIdx> pred_columns;        // Simple-predicate columns.
+    std::vector<PredRecord> simple_preds;    // With constants.
+    std::set<std::pair<ColumnIdx, ColumnIdx>> diff_columns;  // (minuend,sub).
+    std::set<ColumnIdx> group_order_columns;
+    /// Ordered multi-column GROUP BY lists whose every column resolved to
+    /// this base table (FD-candidate channel: first determines the rest).
+    std::vector<std::vector<ColumnIdx>> grouping_lists;
+    /// Columns the statement filters with `IS NOT NULL`.
+    std::set<ColumnIdx> not_null_pred_columns;
+  };
+
+  /// One equi-join edge between base-table columns, direction as written.
+  struct JoinEdge {
+    std::string left_table;
+    ColumnIdx left_column = 0;
+    std::string right_table;
+    ColumnIdx right_column = 0;
+  };
+
+  std::map<std::string, TableUse> tables;
+  std::vector<JoinEdge> joins;
+  /// Normalized (lexicographically ordered) joined-table pairs.
+  std::set<std::pair<std::string, std::string>> join_pairs;
+};
+
+/// Walks a bound plan and folds its shape into `facts`.
+void CollectStatementFacts(const PlanNode& plan, StatementFacts* facts);
+
+/// Can a statement of this shape statically consume `sc`? Per-kind rules:
+/// domains/zone maps want predicates on their column, linear/offset SCs a
+/// predicate on either column (or the matching column-difference), FDs a
+/// grouped/sorted dependent, inclusions the matching join pair, predicate
+/// SCs any scan of their table, join holes any join touching it.
+bool ScExploitableBy(const SoftConstraint& sc, const StatementFacts& facts);
+
+/// The optimizer channel through which an SC of this kind is consumed
+/// (display name for coverage reports).
+const char* ScExploitChannel(ScKind kind);
+
+/// Knobs for the whole-workload analyzer.
+struct AnalyzerOptions {
+  /// A recurring pattern needs at least this many distinct supporting
+  /// statements before it becomes a harvest candidate. DDL-derived
+  /// candidates (informational CHECKs) are exempt.
+  std::size_t min_support = 2;
+  /// Selection budget for harvested candidates (top-N by utility).
+  std::size_t harvest_budget = 16;
+  /// Master switch for the harvesting pass.
+  bool harvest = true;
+};
+
+/// Which statements can consume one SC, and through which channel.
+struct ScCoverageRow {
+  std::string sc;
+  std::string kind;                     // ScKindName.
+  std::string channel;                  // ScExploitChannel.
+  std::vector<std::size_t> statements;  // 0-based workload indices.
+};
+
+/// Static maintenance footprint of one DML statement.
+struct DmlImpactRow {
+  std::size_t statement = 0;  // 0-based workload index.
+  std::string kind;           // "insert" | "update" | "delete"
+  std::string table;
+  std::vector<std::string> impacted;  // SC names needing maintenance.
+  std::size_t candidates = 0;         // Catalog size at analysis time.
+  bool narrowed = false;              // impacted < candidates.
+  bool where_unsatisfiable = false;   // WHERE provably matches no row.
+};
+
+/// Everything one analyzer run produced. `lint` carries the findings
+/// (tool id "softdb_analyze"); the matrices feed the text/JSON reports.
+struct AnalyzerReport {
+  LintReport lint;
+  std::size_t statements = 0;     // Workload statements examined.
+  std::size_t queries_bound = 0;  // SELECTs that parsed and bound.
+  std::vector<ScCoverageRow> coverage;
+  std::vector<DmlImpactRow> impact;
+  std::vector<HarvestedCandidate> candidates;
+
+  std::size_t errors() const { return lint.errors(); }
+  std::size_t warnings() const { return lint.warnings(); }
+
+  /// Findings plus coverage / impact / candidate sections.
+  std::string ToText() const;
+  /// One JSON object: tool, counts, findings[], coverage[], impact[],
+  /// candidates[].
+  std::string ToJson() const;
+  /// SARIF 2.1.0 (findings only — SARIF has no natural home for the
+  /// matrices), rule table from the shared registry.
+  std::string ToSarif(const std::string& artifact_uri) const;
+};
+
+/// Statically analyzes `workload_sqls` against an already-loaded engine.
+/// Purely static: statements are parsed and bound (schema-only), never
+/// executed, and no table rows are read. Four passes:
+///
+///   1. per-query diagnostics through the implication engine —
+///      contradictory predicates (`query-contradiction`), predicates the
+///      armed SC/CHECK facts imply (`query-redundant-predicate`), and
+///      range/IN-list parts outside the domain/zone-map envelope
+///      (`query-dead-range`);
+///   2. SC exploitation-coverage — which statements can consume each SC
+///      (`never-exploitable-sc`, `uncovered-statement`);
+///   3. application-constraint harvesting per Liu et al. — recurring
+///      predicate ranges → domain candidates, equi-join pairs → inclusion
+///      candidates, multi-column GROUP BYs → FD candidates, informational
+///      CHECKs and recurring IS NOT NULL filters → predicate candidates,
+///      scored by support and deduped against armed SCs/FKs
+///      (`harvest-candidate` notes);
+///   4. a static DML impact matrix via analysis/impact
+///      (`dml-wholesale-revalidation`, plus `query-contradiction` for
+///      provably-empty WHERE clauses).
+///
+/// Unparseable/unbindable statements become `workload-unparseable-
+/// statement` warnings and are excluded from the other passes.
+Result<AnalyzerReport> AnalyzeWorkloadAgainstDb(
+    SoftDb* db, const std::vector<std::string>& workload_sqls,
+    const AnalyzerOptions& options = {});
+
+/// Convenience entry point: loads `catalog_script` (same `.sdl` dialect as
+/// LintCatalog — DDL/DML plus SOFT CONSTRAINT directives) into a fresh
+/// engine, then runs AnalyzeWorkloadAgainstDb.
+Result<AnalyzerReport> AnalyzeWorkloadStatic(
+    const std::string& catalog_script,
+    const std::vector<std::string>& workload_sqls,
+    const AnalyzerOptions& options = {});
+
+}  // namespace softdb
+
+#endif  // SOFTDB_ANALYSIS_WORKLOAD_ANALYZER_H_

@@ -1,8 +1,13 @@
 #include "mining/selection.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/str_util.h"
+#include "constraints/domain_sc.h"
+#include "constraints/fd_sc.h"
+#include "constraints/inclusion_sc.h"
+#include "constraints/predicate_sc.h"
 
 namespace softdb {
 
@@ -110,6 +115,179 @@ std::vector<ScoredCandidate> SelectTop(std::vector<ScoredCandidate> scored,
             });
   if (scored.size() > budget) scored.resize(budget);
   return scored;
+}
+
+const char* HarvestKindName(HarvestedCandidate::Kind kind) {
+  switch (kind) {
+    case HarvestedCandidate::Kind::kDomain:
+      return "domain";
+    case HarvestedCandidate::Kind::kInclusion:
+      return "inclusion";
+    case HarvestedCandidate::Kind::kFd:
+      return "fd";
+    case HarvestedCandidate::Kind::kPredicate:
+      return "predicate";
+  }
+  return "unknown";
+}
+
+std::vector<ScoredCandidate> ScoreHarvestedCandidates(
+    const std::vector<HarvestedCandidate>& candidates,
+    const WorkloadProfile& profile) {
+  std::vector<ScoredCandidate> out;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const HarvestedCandidate& c = candidates[i];
+    std::uint64_t hits = 0;
+    switch (c.kind) {
+      case HarvestedCandidate::Kind::kDomain:
+        hits = profile.PredicateCount(c.table, c.column);
+        break;
+      case HarvestedCandidate::Kind::kInclusion:
+        for (ColumnIdx col : c.columns) {
+          hits += profile.PredicateCount(c.table, col);
+        }
+        for (ColumnIdx col : c.parent_columns) {
+          hits += profile.PredicateCount(c.parent_table, col);
+        }
+        break;
+      case HarvestedCandidate::Kind::kFd:
+        for (ColumnIdx col : c.columns) {
+          hits += profile.PredicateCount(c.table, col);
+        }
+        for (ColumnIdx col : c.dependents) {
+          hits += profile.PredicateCount(c.table, col);
+        }
+        break;
+      case HarvestedCandidate::Kind::kPredicate: {
+        std::vector<ColumnIdx> cols;
+        if (c.predicate != nullptr) c.predicate->CollectColumns(&cols);
+        for (ColumnIdx col : cols) {
+          hits += profile.PredicateCount(c.table, col);
+        }
+        break;
+      }
+    }
+    ScoredCandidate scored;
+    scored.index = i;
+    scored.utility = static_cast<double>(c.support + hits);
+    scored.rationale =
+        StrFormat("%s candidate, support %llu, %llu predicate hits",
+                  HarvestKindName(c.kind),
+                  static_cast<unsigned long long>(c.support),
+                  static_cast<unsigned long long>(hits));
+    out.push_back(std::move(scored));
+  }
+  return out;
+}
+
+Result<ScPtr> MaterializeCandidate(const HarvestedCandidate& candidate,
+                                   const Catalog& catalog) {
+  switch (candidate.kind) {
+    case HarvestedCandidate::Kind::kDomain:
+      return ScPtr(std::make_unique<DomainSc>(
+          candidate.name, candidate.table, candidate.column,
+          candidate.min_value, candidate.max_value));
+    case HarvestedCandidate::Kind::kInclusion:
+      if (candidate.columns.size() != candidate.parent_columns.size() ||
+          candidate.columns.empty()) {
+        return Status::InvalidArgument(
+            "inclusion candidate column lists must be non-empty and equal "
+            "length");
+      }
+      return ScPtr(std::make_unique<InclusionSc>(
+          candidate.name, candidate.table, candidate.columns,
+          candidate.parent_table, candidate.parent_columns));
+    case HarvestedCandidate::Kind::kFd:
+      if (candidate.columns.empty() || candidate.dependents.empty()) {
+        return Status::InvalidArgument(
+            "fd candidate needs determinants and dependents");
+      }
+      return ScPtr(std::make_unique<FunctionalDependencySc>(
+          candidate.name, candidate.table, candidate.columns,
+          candidate.dependents));
+    case HarvestedCandidate::Kind::kPredicate: {
+      if (candidate.predicate == nullptr) {
+        return Status::InvalidArgument("predicate candidate has no expr");
+      }
+      SOFTDB_ASSIGN_OR_RETURN(Table * t, catalog.GetTable(candidate.table));
+      ExprPtr expr = candidate.predicate->Clone();
+      SOFTDB_RETURN_IF_ERROR(expr->Bind(t->schema()));
+      return ScPtr(std::make_unique<PredicateSc>(
+          candidate.name, candidate.table, std::move(expr)));
+    }
+  }
+  return Status::InvalidArgument("unknown harvest candidate kind");
+}
+
+bool CandidateAlreadyArmed(const HarvestedCandidate& candidate,
+                           const ScRegistry& scs, const IcRegistry* ics) {
+  const auto as_set = [](const std::vector<ColumnIdx>& v) {
+    return std::set<ColumnIdx>(v.begin(), v.end());
+  };
+  switch (candidate.kind) {
+    case HarvestedCandidate::Kind::kDomain:
+      // Any active domain on the column already characterizes its range;
+      // a second interval would only be redundant or contradictory.
+      for (const SoftConstraint* sc : scs.ByKind(ScKind::kDomain)) {
+        const auto* dom = static_cast<const DomainSc*>(sc);
+        if (sc->active() && dom->table() == candidate.table &&
+            dom->column() == candidate.column) {
+          return true;
+        }
+      }
+      return false;
+    case HarvestedCandidate::Kind::kInclusion: {
+      for (const SoftConstraint* sc : scs.ByKind(ScKind::kInclusion)) {
+        const auto* inc = static_cast<const InclusionSc*>(sc);
+        if (sc->active() && inc->child_table() == candidate.table &&
+            inc->parent_table() == candidate.parent_table &&
+            inc->child_columns() == candidate.columns &&
+            inc->parent_columns() == candidate.parent_columns) {
+          return true;
+        }
+      }
+      if (ics != nullptr) {
+        for (const ForeignKeyConstraint* fk :
+             ics->ForeignKeysFrom(candidate.table)) {
+          if (fk->parent_table() == candidate.parent_table &&
+              fk->columns() == candidate.columns &&
+              fk->parent_columns() == candidate.parent_columns) {
+            return true;  // Hard FK subsumes the soft inclusion.
+          }
+        }
+      }
+      return false;
+    }
+    case HarvestedCandidate::Kind::kFd: {
+      const std::set<ColumnIdx> dets = as_set(candidate.columns);
+      const std::set<ColumnIdx> deps = as_set(candidate.dependents);
+      for (const SoftConstraint* sc :
+           scs.ByKind(ScKind::kFunctionalDependency)) {
+        const auto* fd = static_cast<const FunctionalDependencySc*>(sc);
+        if (!sc->active() || fd->table() != candidate.table) continue;
+        if (as_set(fd->determinants()) != dets) continue;
+        const std::set<ColumnIdx> have = as_set(fd->dependents());
+        if (std::includes(have.begin(), have.end(), deps.begin(),
+                          deps.end())) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case HarvestedCandidate::Kind::kPredicate: {
+      if (candidate.predicate == nullptr) return false;
+      const std::string text = candidate.predicate->ToString();
+      for (const SoftConstraint* sc : scs.ByKind(ScKind::kPredicate)) {
+        const auto* pred = static_cast<const PredicateSc*>(sc);
+        if (sc->active() && pred->table() == candidate.table &&
+            pred->expr().ToString() == text) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
 }
 
 std::vector<std::string> ProbationSweep(const ScRegistry& registry,

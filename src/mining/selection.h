@@ -6,10 +6,12 @@
 #include <string>
 #include <vector>
 
+#include "constraints/ic_registry.h"
 #include "constraints/sc_registry.h"
 #include "mining/correlation_miner.h"
 #include "mining/fd_miner.h"
 #include "mining/offset_miner.h"
+#include "plan/expr.h"
 #include "storage/catalog.h"
 
 namespace softdb {
@@ -74,6 +76,62 @@ std::vector<ScoredCandidate> ScoreFdCandidates(
 /// ones), mirroring the paper's "only some will in fact be useful".
 std::vector<ScoredCandidate> SelectTop(std::vector<ScoredCandidate> scored,
                                        std::size_t budget);
+
+/// A constraint candidate harvested statically from the application layer
+/// (workload predicates, join shapes, grouping lists, DDL) per Liu et al.
+/// — not yet validated against data. The harvester proposes, the mining
+/// pipeline disposes: candidates are scored by workload support, selected
+/// under a budget, and only arm after MaterializeCandidate + a verifying
+/// ScRegistry::Add confirm them against the actual rows.
+struct HarvestedCandidate {
+  enum class Kind { kDomain, kInclusion, kFd, kPredicate };
+
+  Kind kind = Kind::kDomain;
+  std::string name;   // Suggested SC name ("hv_<table>_...", unique).
+  std::string table;  // Owning table (the child table for inclusions).
+
+  // kDomain: `column` ∈ [min_value, max_value].
+  ColumnIdx column = 0;
+  Value min_value;
+  Value max_value;
+
+  // kInclusion: table(columns) ⊆ parent_table(parent_columns).
+  std::vector<ColumnIdx> columns;
+  std::string parent_table;
+  std::vector<ColumnIdx> parent_columns;
+
+  // kFd: columns (determinants) -> dependents, both on `table`.
+  std::vector<ColumnIdx> dependents;
+
+  // kPredicate: `predicate` holds for every row (bound to table schema).
+  ExprPtr predicate;
+
+  std::uint64_t support = 0;  // Distinct workload statements backing it.
+  std::string rationale;      // Which pattern produced it.
+  std::string directive;      // `SOFT CONSTRAINT ...` rendering for reports.
+};
+
+const char* HarvestKindName(HarvestedCandidate::Kind kind);
+
+/// Scores harvested candidates for the selection stage: utility grows with
+/// the statement support that produced the pattern plus the workload's
+/// predicate traffic on the involved columns. Never zero for a candidate
+/// with support — harvesting already established demand.
+std::vector<ScoredCandidate> ScoreHarvestedCandidates(
+    const std::vector<HarvestedCandidate>& candidates,
+    const WorkloadProfile& profile);
+
+/// Turns a harvested candidate into a concrete (unverified) SC ready for
+/// ScRegistry::Add(..., verify_now=true) — the validate-then-arm step that
+/// keeps false candidates out of the catalog.
+Result<ScPtr> MaterializeCandidate(const HarvestedCandidate& candidate,
+                                   const Catalog& catalog);
+
+/// True when the candidate duplicates an already-armed characterization:
+/// an active SC covering the same shape, or (for inclusions) a declared
+/// foreign key with the same column mapping. `ics` may be null.
+bool CandidateAlreadyArmed(const HarvestedCandidate& candidate,
+                           const ScRegistry& scs, const IcRegistry* ics);
 
 /// Probation sweep (§3.2's dynamic selection): names of registered SCs
 /// whose observed optimizer benefit per use stayed below the threshold

@@ -354,5 +354,97 @@ TEST(ScLintTest, StateDirectiveWorksOnPredicateScs) {
   EXPECT_TRUE(HasCheck(*report, "quarantined-sc", "tall"));
 }
 
+TEST(ScLintTest, UnparseableWorkloadStatementDowngradesToWarning) {
+  const std::string script = std::string(kPeopleDdl) +
+      "SOFT CONSTRAINT adult DOMAIN ON people(age) MIN 18 MAX 120;";
+  // A typo'd statement and one referencing a missing table: each becomes a
+  // warning finding and is excluded from the dead-entry check, while the
+  // remaining valid statement still keeps the SC alive.
+  std::vector<std::string> workload = {
+      "SELEC id FROM people",
+      "SELECT id FROM nosuchtable WHERE x > 1",
+      "SELECT id FROM people WHERE age > 21",
+  };
+  auto report = LintCatalog(script, workload);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(HasCheck(*report, "workload-unparseable-statement", "stmt#1"));
+  EXPECT_TRUE(HasCheck(*report, "workload-unparseable-statement", "stmt#2"));
+  EXPECT_FALSE(HasCheck(*report, "dead-sc"));
+  EXPECT_EQ(report->errors(), 0u);
+  EXPECT_EQ(report->warnings(), 2u);
+
+  // A workload that is *only* garbage leaves no bound statement: the
+  // dead-entry check must not mass-condemn the catalog on that basis.
+  auto all_bad = LintCatalog(script, {"SELEC id FROM people"});
+  ASSERT_TRUE(all_bad.ok()) << all_bad.status().ToString();
+  EXPECT_TRUE(HasCheck(*all_bad, "workload-unparseable-statement"));
+}
+
+TEST(ScLintTest, GoldenSarifDocumentIsByteStable) {
+  // Byte-for-byte golden: the SARIF rendering is a public contract (GitHub
+  // code scanning keys alert identity off rule ids and driver shape).
+  // Registry order is append-only, so this document only ever grows at the
+  // end of the rules table; any other diff here is a breaking change.
+  const std::string script =
+      "CREATE TABLE people (id BIGINT PRIMARY KEY, age BIGINT);"
+      "SOFT CONSTRAINT adult DOMAIN ON people(age) MIN 18 MAX 120 "
+      "CONFIDENCE 0.95 STATE QUARANTINED;";
+  auto report = LintCatalog(script, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const char kGolden[] = R"({
+  "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "softdb_lint",
+          "rules": [
+            {"id": "domain-check-contradiction", "shortDescription": {"text": "A domain SC excludes every value an enforced CHECK constraint allows: all stored rows violate the SC."}, "defaultConfiguration": {"level": "error"}},
+            {"id": "domain-domain-contradiction", "shortDescription": {"text": "Two domain SCs on the same column declare disjoint intervals."}, "defaultConfiguration": {"level": "error"}},
+            {"id": "predicate-domain-contradiction", "shortDescription": {"text": "No row satisfying the table's other characterizations can satisfy the predicate SC."}, "defaultConfiguration": {"level": "error"}},
+            {"id": "sc-chain-contradiction", "shortDescription": {"text": "The table's constraint characterizations jointly admit no compliant row (transitive chain)."}, "defaultConfiguration": {"level": "error"}},
+            {"id": "inclusion-cycle", "shortDescription": {"text": "An inclusion SC closes a reference cycle with the catalog's referential constraints."}, "defaultConfiguration": {"level": "error"}},
+            {"id": "linear-negative-epsilon", "shortDescription": {"text": "A linear-correlation SC declares a negative epsilon: no row can ever satisfy the band."}, "defaultConfiguration": {"level": "error"}},
+            {"id": "linear-degenerate", "shortDescription": {"text": "A linear-correlation SC with k = 0 degenerates to a domain constraint."}, "defaultConfiguration": {"level": "warning"}},
+            {"id": "linear-vacuous-epsilon", "shortDescription": {"text": "The correlation band spans the column's whole declared domain and can never narrow an estimate or a predicate."}, "defaultConfiguration": {"level": "warning"}},
+            {"id": "zonemap-degenerate-block", "shortDescription": {"text": "A zone-map block declares an inverted min/max envelope: scans would silently skip its rows."}, "defaultConfiguration": {"level": "error"}},
+            {"id": "zonemap-redundant-with-domain", "shortDescription": {"text": "Every zone-map block envelope spans a domain SC's interval; the map can never prune a block the domain does not already prune."}, "defaultConfiguration": {"level": "warning"}},
+            {"id": "stuck-repair", "shortDescription": {"text": "An SC is parked in the repair queue; maintenance is not running or keeps failing."}, "defaultConfiguration": {"level": "warning"}},
+            {"id": "quarantined-sc", "shortDescription": {"text": "An SC exhausted its repair-attempt budget and was quarantined."}, "defaultConfiguration": {"level": "error"}},
+            {"id": "stale-ssc", "shortDescription": {"text": "An SC's declared confidence is below the currency threshold."}, "defaultConfiguration": {"level": "warning"}},
+            {"id": "dead-sc", "shortDescription": {"text": "No workload query can statically exploit the SC."}, "defaultConfiguration": {"level": "warning"}},
+            {"id": "workload-unparseable-statement", "shortDescription": {"text": "A workload statement could not be parsed or bound against the catalog schema and was excluded from the analysis."}, "defaultConfiguration": {"level": "warning"}}
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "quarantined-sc",
+          "level": "error",
+          "message": {"text": "adult: domain SC on people exhausted its repair-attempt budget and was quarantined; fix the underlying data or drop it"},
+          "locations": [
+            {"physicalLocation": {"artifactLocation": {"uri": "catalog.sdl"}, "region": {"startLine": 1}}}
+          ]
+        }
+      ]
+    }
+  ]
+}
+)";
+  EXPECT_EQ(report->ToSarif("catalog.sdl"), kGolden);
+}
+
+TEST(ScLintTest, MalformedCatalogScriptIsStillAHardError) {
+  // Unparseable *catalog* directives keep failing loudly — only workload
+  // statements downgrade to warnings.
+  EXPECT_FALSE(LintCatalog("CREAT TABLE people (id BIGINT);", {}).ok());
+  EXPECT_FALSE(LintCatalog(std::string(kPeopleDdl) +
+                               "SOFT CONSTRAINT bad DOMAIN ON people(age);",
+                           {})
+                   .ok());
+}
+
 }  // namespace
 }  // namespace softdb

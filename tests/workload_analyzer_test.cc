@@ -1,0 +1,465 @@
+// Whole-workload static analyzer tests: every finding class must fire on a
+// seeded catalog + workload pair, the analysis must work on a zero-row
+// catalog (proving it never reads table data), the three renderings must
+// agree with each other and with the CLI's exit-code contract, and — the
+// harvesting property — every candidate mined from a generator workload
+// must validate cleanly against the generated data (no false candidates
+// survive the validate-then-arm step).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/rule_registry.h"
+#include "analysis/sc_lint.h"
+#include "analysis/workload_analyzer.h"
+#include "engine/softdb.h"
+#include "workload/generator.h"
+
+namespace softdb {
+namespace {
+
+bool HasFinding(const AnalyzerReport& report, const std::string& check,
+                const std::string& subject_fragment = "") {
+  return std::any_of(report.lint.findings.begin(), report.lint.findings.end(),
+                     [&](const LintFinding& f) {
+                       return f.check == check &&
+                              f.subject.find(subject_fragment) !=
+                                  std::string::npos;
+                     });
+}
+
+const HarvestedCandidate* FindCandidate(const AnalyzerReport& report,
+                                        HarvestedCandidate::Kind kind,
+                                        const std::string& table) {
+  for (const HarvestedCandidate& c : report.candidates) {
+    if (c.kind == kind && c.table == table) return &c;
+  }
+  return nullptr;
+}
+
+/// The seeded catalog: zero rows on purpose — every diagnostic below must
+/// be reachable from schema + constraints + workload text alone.
+const char kCatalog[] =
+    "CREATE TABLE customers (id BIGINT PRIMARY KEY, region VARCHAR(32), "
+    "  signup_day BIGINT, referrer VARCHAR(32));"
+    "CREATE TABLE orders (id BIGINT PRIMARY KEY, customer_id BIGINT, "
+    "  order_day BIGINT, ship_day BIGINT, total DOUBLE, priority BIGINT, "
+    "  CHECK (total >= 0), "
+    "  CONSTRAINT chk_priority CHECK (priority >= 1 AND priority <= 5) "
+    "  NOT ENFORCED);"
+    "SOFT CONSTRAINT order_total_range DOMAIN ON orders(total) "
+    "  MIN 0 MAX 100000 CONFIDENCE 0.98;"
+    "SOFT CONSTRAINT ship_lag OFFSET ON orders(order_day, ship_day) "
+    "  MIN 0 MAX 30 CONFIDENCE 0.95;"
+    "SOFT CONSTRAINT signup_window DOMAIN ON customers(signup_day) "
+    "  MIN 0 MAX 3650 CONFIDENCE 0.9;";
+
+std::vector<std::string> SmellyWorkload() {
+  return {
+      "SELECT id FROM orders WHERE total > 200000",
+      "SELECT id FROM orders WHERE total >= 0 AND order_day > 100",
+      "SELECT id FROM orders WHERE total BETWEEN 50 AND 500000",
+      "SELECT id FROM customers WHERE referrer IS NOT NULL",
+      "SELECT id, region FROM customers WHERE referrer IS NOT NULL",
+      "SELECT id FROM orders WHERE order_day BETWEEN 0 AND 180",
+      "SELECT id FROM orders WHERE order_day BETWEEN 100 AND 365",
+      "SELECT o.id, c.region FROM orders o JOIN customers c "
+      "ON o.customer_id = c.id WHERE o.ship_day < 10",
+      "SELECT o.id, c.id FROM orders o JOIN customers c "
+      "ON o.customer_id = c.id WHERE o.ship_day > 2",
+      "SELECT region, signup_day, COUNT(*) FROM customers "
+      "GROUP BY region, signup_day",
+      "SELECT region, signup_day, SUM(id) FROM customers "
+      "GROUP BY region, signup_day",
+      "UPDATE orders SET order_day = order_day + 1, "
+      "ship_day = ship_day + 2, total = total * 2",
+      "DELETE FROM orders WHERE id > 1000000 AND id < 5",
+      "SELEC id FROM orders",
+  };
+}
+
+TEST(WorkloadAnalyzerTest, EveryFindingClassFiresOnSeededWorkload) {
+  auto report = AnalyzeWorkloadStatic(kCatalog, SmellyWorkload());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Pass 1: implication-driven per-query diagnostics.
+  EXPECT_TRUE(HasFinding(*report, "query-contradiction", "stmt#1"));
+  EXPECT_TRUE(HasFinding(*report, "query-redundant-predicate", "stmt#2"));
+  EXPECT_TRUE(HasFinding(*report, "query-dead-range", "stmt#3"));
+
+  // Pass 2: exploitation coverage.
+  EXPECT_TRUE(HasFinding(*report, "never-exploitable-sc", "signup_window"));
+  EXPECT_TRUE(HasFinding(*report, "uncovered-statement", "stmt#4"));
+  EXPECT_TRUE(HasFinding(*report, "uncovered-statement", "stmt#5"));
+
+  // Pass 3: harvesting (details exercised below).
+  EXPECT_TRUE(HasFinding(*report, "harvest-candidate"));
+
+  // Pass 4: DML impact.
+  EXPECT_TRUE(HasFinding(*report, "dml-wholesale-revalidation", "stmt#12"));
+  EXPECT_TRUE(HasFinding(*report, "query-contradiction", "stmt#13"));
+
+  // The typo'd statement degrades to a warning, not a hard failure.
+  EXPECT_TRUE(
+      HasFinding(*report, "workload-unparseable-statement", "stmt#14"));
+
+  EXPECT_GE(report->errors(), 2u);  // Two contradictions at least.
+  EXPECT_EQ(report->statements, SmellyWorkload().size());
+  EXPECT_GE(report->queries_bound, 10u);
+}
+
+TEST(WorkloadAnalyzerTest, CoverageAndImpactMatricesArePopulated) {
+  auto report = AnalyzeWorkloadStatic(kCatalog, SmellyWorkload());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  ASSERT_EQ(report->coverage.size(), 3u);  // One row per catalog SC.
+  bool saw_ship_lag = false;
+  bool saw_signup = false;
+  for (const ScCoverageRow& row : report->coverage) {
+    if (row.sc == "ship_lag") {
+      saw_ship_lag = true;
+      EXPECT_EQ(row.channel, "predicate-introduction");
+      EXPECT_FALSE(row.statements.empty());
+    }
+    if (row.sc == "signup_window") {
+      saw_signup = true;
+      EXPECT_TRUE(row.statements.empty());
+    }
+  }
+  EXPECT_TRUE(saw_ship_lag);
+  EXPECT_TRUE(saw_signup);
+
+  ASSERT_EQ(report->impact.size(), 2u);  // The UPDATE and the DELETE.
+  const DmlImpactRow& update = report->impact[0];
+  EXPECT_EQ(update.kind, "update");
+  EXPECT_EQ(update.table, "orders");
+  EXPECT_GE(update.impacted.size(), 2u);  // Both SCs on orders.
+  const DmlImpactRow& del = report->impact[1];
+  EXPECT_EQ(del.kind, "delete");
+  EXPECT_TRUE(del.where_unsatisfiable);
+}
+
+TEST(WorkloadAnalyzerTest, HarvestsAtLeastThreeCandidateClasses) {
+  auto report = AnalyzeWorkloadStatic(kCatalog, SmellyWorkload());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->candidates.size(), 3u);
+
+  // Recurring two-sided order_day ranges -> domain candidate with the
+  // loosest bounds seen each way.
+  const HarvestedCandidate* domain =
+      FindCandidate(*report, HarvestedCandidate::Kind::kDomain, "orders");
+  ASSERT_NE(domain, nullptr);
+  EXPECT_EQ(domain->min_value.ToString(), "0");
+  EXPECT_EQ(domain->max_value.ToString(), "365");
+  EXPECT_GE(domain->support, 2u);
+
+  // Recurring equi-join against a unique key, no FK and no armed SC.
+  const HarvestedCandidate* inclusion =
+      FindCandidate(*report, HarvestedCandidate::Kind::kInclusion, "orders");
+  ASSERT_NE(inclusion, nullptr);
+  EXPECT_EQ(inclusion->parent_table, "customers");
+
+  // Recurring multi-column GROUP BY -> FD candidate.
+  const HarvestedCandidate* fd =
+      FindCandidate(*report, HarvestedCandidate::Kind::kFd, "customers");
+  ASSERT_NE(fd, nullptr);
+
+  // Informational CHECK + recurring IS NOT NULL -> predicate candidates.
+  const HarvestedCandidate* pred = FindCandidate(
+      *report, HarvestedCandidate::Kind::kPredicate, "orders");
+  ASSERT_NE(pred, nullptr);
+
+  // Every emitted candidate carries a re-runnable directive and appears as
+  // a note-severity finding.
+  for (const HarvestedCandidate& c : report->candidates) {
+    EXPECT_EQ(c.directive.rfind("SOFT CONSTRAINT ", 0), 0u) << c.name;
+    EXPECT_TRUE(HasFinding(*report, "harvest-candidate", c.name));
+  }
+  EXPECT_EQ(report->lint.notes(), report->candidates.size());
+}
+
+TEST(WorkloadAnalyzerTest, HarvestedDirectivesRoundTripThroughTheLinter) {
+  auto report = AnalyzeWorkloadStatic(kCatalog, SmellyWorkload());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_GE(report->candidates.size(), 3u);
+  // Appending every suggested directive to the catalog must still load —
+  // the suggestions are syntactically valid and name-collision free.
+  std::string script = kCatalog;
+  for (const HarvestedCandidate& c : report->candidates) {
+    script += c.directive + ";";
+  }
+  SoftDb db;
+  EXPECT_TRUE(LoadCatalogScript(&db, script).ok());
+}
+
+TEST(WorkloadAnalyzerTest, ArmedConstraintsSuppressDuplicateHarvest) {
+  // Same workload, but the catalog already arms the domain, the inclusion
+  // and the FD the workload would suggest: none may be re-harvested.
+  const std::string script = std::string(kCatalog) +
+      "SOFT CONSTRAINT order_day_range DOMAIN ON orders(order_day) "
+      "  MIN 0 MAX 400;"
+      "SOFT CONSTRAINT ship_day_range DOMAIN ON orders(ship_day) "
+      "  MIN 0 MAX 430;"
+      "SOFT CONSTRAINT orders_have_customers INCLUSION ON "
+      "  orders(customer_id) REFERENCES customers(id);"
+      "SOFT CONSTRAINT region_determines_signup FD ON customers(region) "
+      "  DETERMINES (signup_day);";
+  auto report = AnalyzeWorkloadStatic(script, SmellyWorkload());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(FindCandidate(*report, HarvestedCandidate::Kind::kDomain,
+                          "orders"),
+            nullptr);
+  EXPECT_EQ(FindCandidate(*report, HarvestedCandidate::Kind::kInclusion,
+                          "orders"),
+            nullptr);
+  EXPECT_EQ(FindCandidate(*report, HarvestedCandidate::Kind::kFd,
+                          "customers"),
+            nullptr);
+}
+
+TEST(WorkloadAnalyzerTest, AnalysisIsPurelyStatic) {
+  // The seeded catalog holds zero rows, yet every pass produced results —
+  // and an INSERT-bearing catalog yields the identical finding set, since
+  // nothing reads table data.
+  auto empty = AnalyzeWorkloadStatic(kCatalog, SmellyWorkload());
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  const std::string with_rows = std::string(kCatalog) +
+      "INSERT INTO customers VALUES (1, 'emea', 10, NULL);"
+      "INSERT INTO orders VALUES (1, 1, 5, 9, 120.0, 3);";
+  auto loaded = AnalyzeWorkloadStatic(with_rows, SmellyWorkload());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(empty->lint.findings.size(), loaded->lint.findings.size());
+  for (std::size_t i = 0; i < empty->lint.findings.size(); ++i) {
+    EXPECT_EQ(empty->lint.findings[i].check, loaded->lint.findings[i].check);
+    EXPECT_EQ(empty->lint.findings[i].subject,
+              loaded->lint.findings[i].subject);
+  }
+}
+
+TEST(WorkloadAnalyzerTest, IsNotNullOnlyRedundantForNonNullableColumns) {
+  // Lint mode runs the implication engine with assume_non_null, which
+  // trivially "implies" every IS NOT NULL — but on a nullable column the
+  // filter is real and must not be called redundant.
+  const char ddl[] =
+      "CREATE TABLE t (id BIGINT PRIMARY KEY, a BIGINT NOT NULL, "
+      "b BIGINT);";
+  auto nullable = AnalyzeWorkloadStatic(
+      ddl, {"SELECT id FROM t WHERE b IS NOT NULL"});
+  ASSERT_TRUE(nullable.ok()) << nullable.status().ToString();
+  EXPECT_FALSE(HasFinding(*nullable, "query-redundant-predicate"));
+
+  auto non_nullable = AnalyzeWorkloadStatic(
+      ddl, {"SELECT id FROM t WHERE a IS NOT NULL"});
+  ASSERT_TRUE(non_nullable.ok()) << non_nullable.status().ToString();
+  EXPECT_TRUE(HasFinding(*non_nullable, "query-redundant-predicate"));
+}
+
+TEST(WorkloadAnalyzerTest, CleanWorkloadProducesNoFindings) {
+  const char kCleanCatalog[] =
+      "CREATE TABLE customers (id BIGINT PRIMARY KEY, region VARCHAR(32), "
+      "  signup_day BIGINT);"
+      "CREATE TABLE orders (id BIGINT PRIMARY KEY, customer_id BIGINT, "
+      "  order_day BIGINT, ship_day BIGINT, total DOUBLE, "
+      "  CHECK (total >= 0));"
+      "SOFT CONSTRAINT order_total_range DOMAIN ON orders(total) "
+      "  MIN 0 MAX 100000 CONFIDENCE 0.98;"
+      "SOFT CONSTRAINT ship_lag OFFSET ON orders(order_day, ship_day) "
+      "  MIN 0 MAX 30 CONFIDENCE 0.95;"
+      "SOFT CONSTRAINT orders_have_customers INCLUSION ON "
+      "  orders(customer_id) REFERENCES customers(id) CONFIDENCE 0.99;";
+  const std::vector<std::string> workload = {
+      "SELECT id, total FROM orders WHERE total > 500",
+      "SELECT id FROM orders WHERE ship_day < 20",
+      "SELECT o.id, c.region FROM orders o JOIN customers c "
+      "ON o.customer_id = c.id WHERE o.order_day > 10",
+      "SELECT COUNT(*) FROM orders WHERE total BETWEEN 100 AND 900",
+      "SELECT c.region, COUNT(*) FROM orders o JOIN customers c "
+      "ON o.customer_id = c.id GROUP BY c.region",
+  };
+  auto report = AnalyzeWorkloadStatic(kCleanCatalog, workload);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (const LintFinding& f : report->lint.findings) {
+    ADD_FAILURE() << f.ToString();
+  }
+  EXPECT_TRUE(report->lint.findings.empty());
+  EXPECT_TRUE(report->candidates.empty());
+  EXPECT_EQ(report->queries_bound, workload.size());
+}
+
+TEST(WorkloadAnalyzerTest, RenderingsAgreeAcrossFormats) {
+  auto report = AnalyzeWorkloadStatic(kCatalog, SmellyWorkload());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const std::string text = report->ToText();
+  const std::string json = report->ToJson();
+  const std::string sarif = report->ToSarif("catalog.sdl");
+
+  // Every finding id that fired appears in all three renderings.
+  for (const LintFinding& f : report->lint.findings) {
+    EXPECT_NE(text.find("[" + f.check + "]"), std::string::npos) << f.check;
+    EXPECT_NE(json.find("\"check\": \"" + f.check + "\""), std::string::npos)
+        << f.check;
+    EXPECT_NE(sarif.find("\"ruleId\": \"" + f.check + "\""),
+              std::string::npos)
+        << f.check;
+  }
+  // The JSON is self-describing about the tool and the tallies.
+  EXPECT_NE(json.find("\"tool\": \"softdb_analyze\""), std::string::npos);
+  EXPECT_NE(json.find("\"coverage\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"impact\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"candidates\": ["), std::string::npos);
+  // The text report renders the matrices.
+  EXPECT_NE(text.find("SC exploitation coverage"), std::string::npos);
+  EXPECT_NE(text.find("DML impact matrix"), std::string::npos);
+  EXPECT_NE(text.find("Harvested SC candidates"), std::string::npos);
+  // SARIF carries note-severity results and the analyzer driver name.
+  EXPECT_NE(sarif.find("\"name\": \"softdb_analyze\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"note\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------- property
+
+/// The harvesting property: every candidate mined from a workload over the
+/// generator's planted data must (a) materialize into a concrete SC and
+/// (b) verify with confidence 1.0 against the actual rows — i.e. the
+/// harvester proposes nothing the data falsifies.
+TEST(WorkloadAnalyzerTest, HarvestedCandidatesValidateAgainstGeneratedData) {
+  SoftDb db;
+  WorkloadOptions options;
+  options.customers = 60;
+  options.orders = 300;
+  options.purchases = 300;
+  options.parts = 50;
+  options.projects = 20;
+  options.sales_per_month = 20;
+  ASSERT_TRUE(GenerateWorkload(&db, options).ok());
+
+  const std::vector<std::string> workload = {
+      // Recurring two-sided ranges on o_totalprice (data lies in
+      // [100, 20000], so the harvested envelope is data-consistent).
+      "SELECT o_orderkey FROM orders WHERE o_totalprice "
+      "BETWEEN 0 AND 1000000",
+      "SELECT o_orderkey FROM orders WHERE o_totalprice "
+      "BETWEEN 50 AND 500000",
+      // Recurring purchase-part equi-join: pu_partkey is a subset of
+      // p_partkey by construction, but no FK declares it.
+      "SELECT u.pu_key, t.p_weight FROM purchase u JOIN part t "
+      "ON u.pu_partkey = t.p_partkey",
+      "SELECT u.pu_key FROM purchase u JOIN part t "
+      "ON u.pu_partkey = t.p_partkey WHERE t.p_retailprice > 500",
+      // Recurring multi-column GROUP BY over the planted exact FD
+      // c_nationkey -> c_regionkey.
+      "SELECT c_nationkey, c_regionkey, COUNT(*) FROM customer "
+      "GROUP BY c_nationkey, c_regionkey",
+      "SELECT c_nationkey, c_regionkey, SUM(c_acctbal) FROM customer "
+      "GROUP BY c_nationkey, c_regionkey",
+  };
+  AnalyzerOptions analyzer_options;
+  analyzer_options.harvest_budget = 64;  // Keep all candidates in play.
+  auto report = AnalyzeWorkloadAgainstDb(&db, workload, analyzer_options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // All three workload-driven channels produced something (the generator's
+  // informational sales CHECKs feed the fourth).
+  EXPECT_NE(FindCandidate(*report, HarvestedCandidate::Kind::kDomain,
+                          "orders"),
+            nullptr);
+  EXPECT_NE(FindCandidate(*report, HarvestedCandidate::Kind::kInclusion,
+                          "purchase"),
+            nullptr);
+  EXPECT_NE(FindCandidate(*report, HarvestedCandidate::Kind::kFd,
+                          "customer"),
+            nullptr);
+  ASSERT_GE(report->candidates.size(), 3u);
+
+  for (const HarvestedCandidate& c : report->candidates) {
+    auto sc = MaterializeCandidate(c, db.catalog());
+    ASSERT_TRUE(sc.ok()) << c.name << ": " << sc.status().ToString();
+    ASSERT_TRUE(
+        db.scs().Add(std::move(*sc), db.catalog(), /*verify_now=*/true).ok())
+        << c.name;
+    const SoftConstraint* armed = db.scs().Find(c.name);
+    ASSERT_NE(armed, nullptr) << c.name;
+    EXPECT_DOUBLE_EQ(armed->confidence(), 1.0)
+        << c.name << " (" << c.rationale << ")";
+  }
+}
+
+/// The negative side of the property: a workload whose recurring range
+/// does NOT hold over the data still produces the candidate, but the
+/// validate-then-arm step assigns it confidence < 1 — it never arms as an
+/// absolute characterization. This is exactly where false candidates die.
+TEST(WorkloadAnalyzerTest, DataFalsifiedCandidateFailsValidation) {
+  SoftDb db;
+  WorkloadOptions options;
+  options.customers = 60;
+  options.orders = 300;
+  options.purchases = 0;
+  options.parts = 0;
+  options.projects = 0;
+  options.sales_per_month = 0;
+  ASSERT_TRUE(GenerateWorkload(&db, options).ok());
+
+  const std::vector<std::string> workload = {
+      // The workload only ever asks for the high band, but o_totalprice
+      // actually spans [100, 20000]: the inferred domain is false.
+      "SELECT o_orderkey FROM orders WHERE o_totalprice "
+      "BETWEEN 15000 AND 20000",
+      "SELECT o_orderkey FROM orders WHERE o_totalprice "
+      "BETWEEN 16000 AND 19000",
+  };
+  auto report = AnalyzeWorkloadAgainstDb(&db, workload);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const HarvestedCandidate* domain =
+      FindCandidate(*report, HarvestedCandidate::Kind::kDomain, "orders");
+  ASSERT_NE(domain, nullptr);
+
+  auto sc = MaterializeCandidate(*domain, db.catalog());
+  ASSERT_TRUE(sc.ok()) << sc.status().ToString();
+  ASSERT_TRUE(
+      db.scs().Add(std::move(*sc), db.catalog(), /*verify_now=*/true).ok());
+  const SoftConstraint* armed = db.scs().Find(domain->name);
+  ASSERT_NE(armed, nullptr);
+  EXPECT_LT(armed->confidence(), 1.0);
+  EXPECT_FALSE(armed->IsAbsolute());
+}
+
+TEST(WorkloadAnalyzerTest, RuleRegistryIsConsistent) {
+  // Stable-ID contract: ids unique, severities from the fixed vocabulary,
+  // every id findable, and both tools see the shared rule.
+  std::vector<std::string> ids;
+  for (const RuleSpec& rule : AllRules()) {
+    ids.push_back(rule.id);
+    const std::string severity = rule.severity;
+    EXPECT_TRUE(severity == "error" || severity == "warning" ||
+                severity == "note")
+        << rule.id;
+    const std::string tool = rule.tool;
+    EXPECT_TRUE(tool == "softdb_lint" || tool == "softdb_analyze" ||
+                tool == "both")
+        << rule.id;
+    EXPECT_EQ(FindRule(rule.id), &rule);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+
+  const auto in = [](const std::vector<const RuleSpec*>& rules,
+                     const std::string& id) {
+    return std::any_of(rules.begin(), rules.end(),
+                       [&](const RuleSpec* r) { return r->id == id; });
+  };
+  const std::vector<const RuleSpec*> lint = RulesForTool("softdb_lint");
+  const std::vector<const RuleSpec*> analyze = RulesForTool("softdb_analyze");
+  EXPECT_TRUE(in(lint, "dead-sc"));
+  EXPECT_FALSE(in(lint, "query-contradiction"));
+  EXPECT_TRUE(in(analyze, "query-contradiction"));
+  EXPECT_FALSE(in(analyze, "dead-sc"));
+  EXPECT_TRUE(in(lint, "workload-unparseable-statement"));
+  EXPECT_TRUE(in(analyze, "workload-unparseable-statement"));
+}
+
+}  // namespace
+}  // namespace softdb

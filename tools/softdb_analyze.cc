@@ -1,0 +1,138 @@
+// softdb_analyze: whole-workload static analyzer.
+//
+// Usage: softdb_analyze [--json | --sarif] [--min-support N]
+//                       [--harvest-budget N] [--no-harvest]
+//                       <catalog.sdl> [workload.sql ...]
+//
+// Exit codes: 0 = clean, 1 = findings reported, 2 = usage or input error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/sc_lint.h"
+#include "analysis/workload_analyzer.h"
+
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: softdb_analyze [--json | --sarif] [--min-support N]\n"
+               "                      [--harvest-budget N] [--no-harvest]\n"
+               "                      <catalog.sdl> [workload.sql ...]\n"
+               "\n"
+               "Statically analyzes a SQL workload against a soft-constraint\n"
+               "catalog: per-query implication diagnostics (contradictions,\n"
+               "redundant predicates, dead ranges), SC exploitation coverage,\n"
+               "a DML impact matrix, and application-constraint harvesting.\n"
+               "Workload statements are parsed and bound, never executed.\n"
+               "\n"
+               "exit codes: 0 clean, 1 findings, 2 usage/input error\n");
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool ParseCount(const char* text, std::size_t* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == nullptr || *end != '\0' || v < 0) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool sarif = false;
+  softdb::AnalyzerOptions options;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
+    } else if (arg == "--no-harvest") {
+      options.harvest = false;
+    } else if (arg == "--min-support" || arg == "--harvest-budget") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "softdb_analyze: %s needs a value\n",
+                     arg.c_str());
+        return kExitUsage;
+      }
+      std::size_t value = 0;
+      if (!ParseCount(argv[++i], &value)) {
+        std::fprintf(stderr, "softdb_analyze: bad count '%s'\n", argv[i]);
+        return kExitUsage;
+      }
+      (arg == "--min-support" ? options.min_support
+                              : options.harvest_budget) = value;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return kExitClean;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "softdb_analyze: unknown flag '%s'\n", arg.c_str());
+      PrintUsage(stderr);
+      return kExitUsage;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    PrintUsage(stderr);
+    return kExitUsage;
+  }
+
+  std::string catalog_script;
+  if (!ReadFile(paths[0], &catalog_script)) {
+    std::fprintf(stderr, "softdb_analyze: cannot read catalog '%s'\n",
+                 paths[0].c_str());
+    return kExitUsage;
+  }
+
+  std::vector<std::string> workload;
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    std::string content;
+    if (!ReadFile(paths[i], &content)) {
+      std::fprintf(stderr, "softdb_analyze: cannot read workload '%s'\n",
+                   paths[i].c_str());
+      return kExitUsage;
+    }
+    for (std::string& stmt : softdb::SplitStatements(content)) {
+      workload.push_back(std::move(stmt));
+    }
+  }
+
+  auto report = softdb::AnalyzeWorkloadStatic(catalog_script, workload,
+                                              options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "softdb_analyze: %s\n",
+                 report.status().ToString().c_str());
+    return kExitUsage;
+  }
+
+  if (sarif) {
+    std::fputs(report->ToSarif(paths[0]).c_str(), stdout);
+  } else if (json) {
+    std::fputs(report->ToJson().c_str(), stdout);
+  } else {
+    std::fputs(report->ToText().c_str(), stdout);
+  }
+  return report->lint.findings.empty() ? kExitClean : kExitFindings;
+}
