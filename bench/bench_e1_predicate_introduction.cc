@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "common/date.h"
 #include "constraints/column_offset_sc.h"
@@ -96,6 +99,45 @@ void EmitJson() {
   windowed->plan_cache().Clear();
   auto rewritten = MustExecute(windowed.get(), kQuery);
 
+  // Certify-plans overhead: with certify_plans on, every cached rewrite
+  // certificate is re-validated on each execution (epoch fast path, full
+  // re-derivation on drift; translation validation, DESIGN.md §13). CI
+  // gates the steady-state overhead on this introduction-heavy shape at
+  // <= 5%.
+  auto time_batch = [&](bool on) {
+    windowed->options().certify_plans = on;
+    const int iters = 50;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      volatile std::uint64_t sink =
+          MustExecute(windowed.get(), kQuery).rows.NumRows();
+      (void)sink;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count() / iters;
+  };
+  windowed->plan_cache().Clear();
+  (void)MustExecute(windowed.get(), kQuery);  // Warm: plan + cache.
+  // Paired rounds: each round times both modes back to back, so slow
+  // machine drift cancels in the per-round ratio; the median ratio is the
+  // reported overhead.
+  std::vector<double> off_secs, on_secs, ratios;
+  for (int round = 0; round < 16; ++round) {
+    const double off = time_batch(false);
+    const double on = time_batch(true);
+    off_secs.push_back(off);
+    on_secs.push_back(on);
+    if (off > 0) ratios.push_back(on / off);
+  }
+  windowed->options().certify_plans = true;
+  std::sort(ratios.begin(), ratios.end());
+  const double median_ratio =
+      ratios.empty() ? 1.0 : ratios[ratios.size() / 2];
+  const double certify_off_sec =
+      *std::min_element(off_secs.begin(), off_secs.end());
+  const double certify_on_sec =
+      *std::min_element(on_secs.begin(), on_secs.end());
+
   JsonWriter j;
   j.Add("bench", "E1");
   j.Add("scan_filter_query", kScanFilter);
@@ -109,6 +151,9 @@ void EmitJson() {
         ab.batch_sec > 0 ? ab_scalar.batch_sec / ab.batch_sec : 0.0);
   j.Add("introduction_pages_base", base.exec_stats.pages_read);
   j.Add("introduction_pages_rewritten", rewritten.exec_stats.pages_read);
+  j.Add("certify_off_sec_per_query", certify_off_sec);
+  j.Add("certify_on_sec_per_query", certify_on_sec);
+  j.Add("certify_overhead_pct", (median_ratio - 1.0) * 100.0);
   j.WriteFile("BENCH_E1.json");
 }
 

@@ -1,0 +1,17 @@
+-- Workload for certify_catalog.sdl: each statement triggers a different
+-- SC-driven plan transformation, so the --certify audit re-validates one
+-- certificate class per line. See DESIGN.md §13.
+
+-- Implied by order_total_range: the predicate is pruned (with a
+-- certificate proving entailment from the recorded domain fact).
+SELECT id FROM orders WHERE total >= 0;
+
+-- Contradicts order_total_range: the plan collapses to an empty scan.
+SELECT id FROM orders WHERE total > 200000;
+
+-- ship_lag introduces a derived order_day bound next to the ship_day one.
+SELECT id FROM orders WHERE ship_day < 50;
+
+-- orders_have_customers + the parent's unique key: the join is eliminated
+-- when only child columns survive.
+SELECT o.id, o.total FROM orders o JOIN customers c ON o.customer_id = c.id;

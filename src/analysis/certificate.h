@@ -1,0 +1,223 @@
+#ifndef SOFTDB_ANALYSIS_CERTIFICATE_H_
+#define SOFTDB_ANALYSIS_CERTIFICATE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/implication.h"
+#include "plan/expr.h"
+#include "storage/schema.h"
+
+namespace softdb {
+
+class Catalog;
+class IcRegistry;
+class ScRegistry;
+
+/// Translation validation for SC-driven plan transformations (DESIGN.md
+/// §13). Every semantics-affecting rewrite the optimizer performs on the
+/// strength of a soft constraint emits a `RewriteCertificate`: the premise
+/// facts it consumed (SC name + epoch + the exact interval / diff-bound /
+/// ε-band), the surviving predicate context, and the conclusion (predicate
+/// removed, scan folded, join eliminated, twin attached, blocks skipped).
+///
+/// An independent `CertificateChecker` re-validates each certificate
+/// against a FRESH fact base using only interval arithmetic. The checker
+/// deliberately does not call the rewriter's closure
+/// (ImplicationEngine::MakeEnv / EnvEntails): it re-implements a small
+/// entailment core of its own, so a bug in the shared closure cannot
+/// certify its own wrong conclusion. Shared with the rewriter are only the
+/// *extraction* layers — Interval arithmetic, IntervalForComparison,
+/// BuildImplicationFacts, and the predicate matchers — whose outputs the
+/// checker cross-validates against the live constraint registries anyway.
+
+/// Which transformation a certificate justifies.
+enum class CertificateKind : std::uint8_t {
+  /// A real conjunct was erased because premises + facts entail it.
+  /// Also covers domain-drop (DomainSc tautology on a non-nullable column).
+  kImplicationPrune,
+  /// The scan was folded to FALSE: facts + conjuncts admit no row.
+  /// Also covers domain-contradiction.
+  kImplicationContradiction,
+  /// An unfiltered unique-parent join was removed (FK / inclusion SC).
+  kJoinElimination,
+  /// An estimation-only twin predicate was attached (SSC, §5.1). Never
+  /// filters rows; certified so the costing premise is still auditable.
+  kTwinSubstitution,
+  /// A non-estimation predicate was introduced from an absolute offset /
+  /// linear SC (E1). Strengthens the scan, so entailment must hold.
+  kPredicateIntroduction,
+  /// A sequential scan got a per-block skip set from a zone-map SC.
+  kZoneMapSkip,
+};
+
+const char* CertificateKindName(CertificateKind kind);
+
+/// One premise the derivation consumed. Exactly one payload section is
+/// meaningful, selected by `kind`.
+struct CertificatePremise {
+  enum class Kind : std::uint8_t {
+    kIntervalFact,  // col ∈ interval when non-NULL.
+    kDiffFact,      // (y - x) ∈ interval when both non-NULL.
+    kBandFact,      // |x - (k·y + c)| ≤ eps when both non-NULL.
+    kInclusion,     // child(columns) ⊆ parent(parent_columns).
+    kUniqueKey,     // parent_columns unique over child_table (parent).
+    kZoneBlock,     // One block's min/max/null-count envelope.
+  };
+
+  Kind kind = Kind::kIntervalFact;
+  /// Provenance exactly as the fact base records it: "sc:<name>",
+  /// "check:<name>", "fk:<name>", or an inclusion-import composite like
+  /// "sc:<inc><-check:<name>".
+  std::string source;
+  /// Every SC the premise rests on, with its plan-time epoch (all "sc:"
+  /// segments of `source`). Empty for pure-IC premises.
+  std::vector<std::pair<std::string, std::uint64_t>> sc_epochs;
+
+  // kIntervalFact / kDiffFact / kBandFact payload.
+  ColumnIdx column = 0;  // Interval fact; also band column a.
+  ColumnIdx x = 0;       // Diff fact x; band column b.
+  ColumnIdx y = 0;       // Diff fact y.
+  Interval interval;     // Interval fact value / diff range.
+  double k = 0.0;
+  double c = 0.0;
+  double eps = 0.0;
+
+  // kInclusion / kUniqueKey payload.
+  std::string child_table;
+  std::vector<ColumnIdx> columns;         // Child-side key columns.
+  std::vector<ColumnIdx> parent_columns;  // Parent-side key columns.
+
+  // kZoneBlock payload (plan-time envelope of one skipped block).
+  std::uint64_t block_index = 0;
+  double block_min = 0.0;
+  double block_max = 0.0;
+  bool block_has_value = false;
+  std::uint64_t block_null_count = 0;
+};
+
+/// The full proof obligation for one transformation.
+struct RewriteCertificate {
+  CertificateKind kind = CertificateKind::kImplicationPrune;
+  /// The applied-rule string as recorded in OptimizerContext (audit key).
+  std::string rule;
+  /// Base table the derivation reasons over (scan table; child table for
+  /// join elimination).
+  std::string table;
+
+  /// Fact premises consumed from the SC/IC layer.
+  std::vector<CertificatePremise> premises;
+  /// Predicate premises: the surviving real conjuncts the entailment may
+  /// additionally assume (cloned at emission time).
+  std::vector<ExprPtr> premise_exprs;
+
+  /// The concluded predicate: the erased conjunct (prune), the introduced
+  /// predicate (introduction), or the twin (twin substitution). Null for
+  /// contradiction / join-elimination / zone-map certificates.
+  ExprPtr conclusion_expr;
+  /// Twin certificates assert estimation-only conclusions; the checker
+  /// rejects a twin certificate whose flag was dropped (it would then be
+  /// an unproven *filtering* predicate).
+  bool estimation_only = false;
+
+  // Join elimination payload.
+  std::string parent_table;
+  std::string inclusion_source;  // "fk:<name>" or "sc:<name>".
+
+  // Zone-map payload.
+  ColumnIdx zm_column = 0;
+  std::vector<std::uint64_t> skipped_blocks;
+
+  RewriteCertificate Clone() const;
+
+  /// Deduplicated "<name>@<epoch>" strings over all premises (audit
+  /// rendering + epoch-dependency reporting).
+  std::vector<std::string> ScEpochStrings() const;
+};
+
+/// Checker verdicts. `kStale` means a premise SC moved (epoch bump,
+/// deactivation, demotion from absolute) since planning — the plan must be
+/// re-derived, but the *derivation* was honest; the epoch-guarded degraded
+/// retry handles it. `kInvalid` means the certificate does not prove its
+/// conclusion even against the facts it claims: a rewriter bug (or a
+/// forged certificate), and a hard error in debug builds.
+enum class CertificateVerdict : std::uint8_t { kOk, kStale, kInvalid };
+
+const char* CertificateVerdictName(CertificateVerdict v);
+
+struct CertificateCheckResult {
+  CertificateVerdict verdict = CertificateVerdict::kOk;
+  std::string message;  // Empty on kOk.
+
+  bool ok() const { return verdict == CertificateVerdict::kOk; }
+};
+
+/// The trusted core. Stateless; every Check builds a fresh fact base from
+/// the live registries and re-derives the entailment with its own bounded
+/// interval closure.
+class CertificateChecker {
+ public:
+  CertificateChecker(const Catalog* catalog, const IcRegistry* ics,
+                     const ScRegistry* scs)
+      : catalog_(catalog), ics_(ics), scs_(scs) {}
+
+  CertificateCheckResult Check(const RewriteCertificate& cert) const;
+
+  /// Incremental re-validation for cached plans: a certificate that fully
+  /// validated when its plan was built remains valid while every SC epoch
+  /// it rests on is unchanged — premises depend only on epoch-guarded SC
+  /// state (every SC mutation bumps the epoch) and on integrity
+  /// constraints, whose DDL invalidates the plan cache outright. Returns
+  /// true when all recorded epochs are current; callers fall back to the
+  /// full Check() on drift.
+  bool EpochsCurrent(const RewriteCertificate& cert) const;
+
+ private:
+  CertificateCheckResult CheckEntailment(const RewriteCertificate& cert)
+      const;
+  CertificateCheckResult CheckJoinElimination(const RewriteCertificate& cert)
+      const;
+  CertificateCheckResult CheckZoneMapSkip(const RewriteCertificate& cert)
+      const;
+  /// Validates fact premises against the live registries: epochs match,
+  /// SCs still active (and absolute where semantics require it), and each
+  /// recorded fact is no stronger than what its source provides today.
+  CertificateCheckResult ValidateFactPremises(const RewriteCertificate& cert)
+      const;
+
+  const Catalog* catalog_;
+  const IcRegistry* ics_;
+  const ScRegistry* scs_;
+};
+
+/// Emission helper: copies every fact of `facts` whose source is in
+/// `used_sources` into `out` as a premise, annotating each with the current
+/// epochs of all SCs named in the source string.
+void AppendFactPremises(const ImplicationFacts& facts,
+                        const std::set<std::string>& used_sources,
+                        const ScRegistry* scs,
+                        std::vector<CertificatePremise>* out);
+
+/// Epoch-annotation helper shared by the direct (non-closure) emission
+/// sites: parses every "sc:<name>" segment out of `source` and records the
+/// SC's current epoch.
+void AppendScEpochs(const std::string& source, const ScRegistry* scs,
+                    std::vector<std::pair<std::string, std::uint64_t>>* out);
+
+/// Mirrors ShouldVerifyPlans: debug builds certify unconditionally, release
+/// builds honor EngineOptions::certify_plans (default on).
+inline bool ShouldCertifyPlans(bool option_enabled) {
+#ifndef NDEBUG
+  (void)option_enabled;
+  return true;
+#else
+  return option_enabled;
+#endif
+}
+
+}  // namespace softdb
+
+#endif  // SOFTDB_ANALYSIS_CERTIFICATE_H_

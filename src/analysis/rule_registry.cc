@@ -71,6 +71,10 @@ const std::vector<RuleSpec>& AllRules() {
       {"harvest-candidate", "softdb_analyze", "note",
        "A recurring workload or DDL pattern is a candidate soft "
        "constraint worth mining."},
+      {"certificate-failed", "softdb_analyze", "error",
+       "A rewrite certificate failed independent re-validation: the "
+       "optimizer derived a conclusion its recorded premises do not "
+       "prove."},
   };
   return *kRules;
 }

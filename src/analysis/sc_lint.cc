@@ -1,8 +1,10 @@
 #include "analysis/sc_lint.h"
 
 #include <algorithm>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <utility>
 
 #include "analysis/implication.h"
@@ -852,6 +854,55 @@ std::vector<std::string> SplitStatements(const std::string& script) {
   }
   if (!IsBlank(current)) statements.push_back(Trim(current));
   return statements;
+}
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+Result<std::vector<std::string>> LoadWorkloadFiles(
+    const std::vector<std::string>& paths) {
+  std::vector<std::string> statements;
+  for (const std::string& path : paths) {
+    std::string script;
+    if (!ReadFileToString(path, &script)) {
+      return Status::InvalidArgument("cannot read workload file: " + path);
+    }
+    for (std::string& stmt : SplitStatements(script)) {
+      statements.push_back(std::move(stmt));
+    }
+  }
+  return statements;
+}
+
+bool ParseFailOn(const std::string& text, FailOn* out) {
+  if (text == "warning") {
+    *out = FailOn::kWarning;
+    return true;
+  }
+  if (text == "error") {
+    *out = FailOn::kError;
+    return true;
+  }
+  return false;
+}
+
+int ReportExitCode(std::size_t errors, std::size_t warnings,
+                   std::size_t notes, FailOn policy) {
+  switch (policy) {
+    case FailOn::kAny:
+      return errors + warnings + notes > 0 ? 1 : 0;
+    case FailOn::kWarning:
+      return errors + warnings > 0 ? 1 : 0;
+    case FailOn::kError:
+      return errors > 0 ? 1 : 0;
+  }
+  return 1;  // Unreachable.
 }
 
 std::size_t LintReport::errors() const {

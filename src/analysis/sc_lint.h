@@ -87,6 +87,31 @@ Result<LintReport> LintCatalog(const std::string& catalog_script,
 /// comments. Exposed for the CLI's workload loader.
 std::vector<std::string> SplitStatements(const std::string& script);
 
+// ------------------------------------------------------------- CLI glue
+// Shared by tools/softdb_lint.cc and tools/softdb_analyze.cc so the two
+// front-ends cannot drift in how they load scripts or map findings to
+// exit codes.
+
+/// Reads a whole file into `*out`; false when it cannot be opened.
+bool ReadFileToString(const std::string& path, std::string* out);
+
+/// Loads every workload file and splits it into statements. On failure the
+/// status message names the unreadable path.
+Result<std::vector<std::string>> LoadWorkloadFiles(
+    const std::vector<std::string>& paths);
+
+/// `--fail-on` policy: which finding severities make the process exit
+/// non-zero. kAny (the default) fails on any finding, including notes.
+enum class FailOn { kAny, kWarning, kError };
+
+/// Parses "warning" / "error" (the accepted `--fail-on` values).
+bool ParseFailOn(const std::string& text, FailOn* out);
+
+/// Exit code under `policy`: 1 when findings at or above the threshold
+/// severity exist, 0 otherwise.
+int ReportExitCode(std::size_t errors, std::size_t warnings,
+                   std::size_t notes, FailOn policy);
+
 class SoftDb;
 
 /// Loads a `.sdl` catalog script into `db`: DDL/DML statements execute

@@ -7,9 +7,13 @@
 #include <set>
 #include <utility>
 
+#include "analysis/certificate.h"
 #include "analysis/impact.h"
 #include "analysis/implication.h"
 #include "common/str_util.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/planner.h"
+#include "optimizer/rewriter.h"
 #include "constraints/column_offset_sc.h"
 #include "constraints/domain_sc.h"
 #include "constraints/fd_sc.h"
@@ -828,6 +832,54 @@ const char* ScExploitChannel(ScKind kind) {
   return "unknown";
 }
 
+// --------------------------------------------------------- certificate audit
+
+namespace {
+
+/// Replans one bound SELECT through the rewriter + physical planner and
+/// re-validates every emitted certificate with the independent checker
+/// (DESIGN.md §13). Plans are built but never executed. The physical pass
+/// is best-effort: a planner failure only forfeits zone-map certificates.
+void CertifyStatement(SoftDb* db, std::unique_ptr<PlanNode> bound,
+                      std::size_t index, const std::string& subject,
+                      AnalyzerReport* report) {
+  OptimizerContext ctx = db->MakeContext();
+  Rewriter rewriter(&ctx);
+  auto plan = rewriter.Rewrite(std::move(bound));
+  if (!plan.ok()) {
+    Report(&report->lint, "workload-unparseable-statement", "warning",
+           subject,
+           "certify: rewrite failed: " + plan.status().message() +
+               "; statement excluded from the certificate audit");
+    return;
+  }
+  CardinalityEstimator estimator = db->MakeEstimator();
+  PhysicalPlanner planner(&ctx, &estimator);
+  (void)planner.Plan(**plan);
+  const CertificateChecker checker(&db->catalog(), &db->ics(), &db->scs());
+  for (const RewriteCertificate& cert : ctx.certificates) {
+    const CertificateCheckResult res = checker.Check(cert);
+    CertificateAuditRow row;
+    row.statement = index;
+    row.rule = cert.rule;
+    row.kind = CertificateKindName(cert.kind);
+    row.sc_epochs = cert.ScEpochStrings();
+    row.verdict = CertificateVerdictName(res.verdict);
+    row.message = res.message;
+    ++report->certificates_checked;
+    if (res.verdict == CertificateVerdict::kInvalid) {
+      ++report->certificates_failed;
+      Report(&report->lint, "certificate-failed", "error", subject,
+             std::string(CertificateKindName(cert.kind)) + " certificate [" +
+                 cert.rule + "] failed independent re-validation: " +
+                 res.message);
+    }
+    report->certificates.push_back(std::move(row));
+  }
+}
+
+}  // namespace
+
 // ------------------------------------------------------------ entry points
 
 Result<AnalyzerReport> AnalyzeWorkloadAgainstDb(
@@ -871,6 +923,9 @@ Result<AnalyzerReport> AnalyzeWorkloadAgainstDb(
         bs.index = i;
         CollectStatementFacts(**plan, &bs.facts);
         bound.push_back(std::move(bs));
+        if (options.certify) {
+          CertifyStatement(db, std::move(*plan), i, subject, &report);
+        }
         break;
       }
       case Statement::Kind::kInsert:
@@ -1047,6 +1102,18 @@ std::string AnalyzerReport::ToText() const {
                        c.directive.c_str());
     }
   }
+  if (certificates_checked > 0 || !certificates.empty()) {
+    out += StrFormat("\nCertificate audit (%zu checked, %zu failed):\n",
+                     certificates_checked, certificates_failed);
+    for (const CertificateAuditRow& row : certificates) {
+      out += "  " + StmtSubject(row.statement) + " " + row.kind + " [" +
+             row.rule + "]";
+      if (!row.sc_epochs.empty()) out += " on " + Join(row.sc_epochs, ", ");
+      out += ": " + row.verdict;
+      if (!row.message.empty()) out += " (" + row.message + ")";
+      out += '\n';
+    }
+  }
   return out;
 }
 
@@ -1058,6 +1125,8 @@ std::string AnalyzerReport::ToJson() const {
   out += StrFormat("  \"errors\": %zu,\n", lint.errors());
   out += StrFormat("  \"warnings\": %zu,\n", lint.warnings());
   out += StrFormat("  \"notes\": %zu,\n", lint.notes());
+  out += StrFormat("  \"certificates_checked\": %zu,\n", certificates_checked);
+  out += StrFormat("  \"certificates_failed\": %zu,\n", certificates_failed);
   out += "  \"findings\": [";
   for (std::size_t i = 0; i < lint.findings.size(); ++i) {
     const LintFinding& f = lint.findings[i];
@@ -1110,7 +1179,22 @@ std::string AnalyzerReport::ToJson() const {
            JsonEscape(c.directive) + "\", \"rationale\": \"" +
            JsonEscape(c.rationale) + "\"}";
   }
-  out += candidates.empty() ? "]\n" : "\n  ]\n";
+  out += candidates.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"certificates\": [";
+  for (std::size_t i = 0; i < certificates.size(); ++i) {
+    const CertificateAuditRow& row = certificates[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"statement\": " + std::to_string(row.statement) +
+           ", \"rule\": \"" + JsonEscape(row.rule) + "\", \"kind\": \"" +
+           JsonEscape(row.kind) + "\", \"sc_epochs\": [";
+    for (std::size_t j = 0; j < row.sc_epochs.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += "\"" + JsonEscape(row.sc_epochs[j]) + "\"";
+    }
+    out += "], \"verdict\": \"" + JsonEscape(row.verdict) +
+           "\", \"message\": \"" + JsonEscape(row.message) + "\"}";
+  }
+  out += certificates.empty() ? "]\n" : "\n  ]\n";
   out += "}\n";
   return out;
 }

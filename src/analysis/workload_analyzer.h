@@ -82,6 +82,12 @@ struct AnalyzerOptions {
   std::size_t harvest_budget = 16;
   /// Master switch for the harvesting pass.
   bool harvest = true;
+  /// Certificate audit (DESIGN.md §13): replan every bound SELECT through
+  /// the rewriter + physical planner and re-validate each emitted rewrite
+  /// certificate with the independent checker. Invalid certificates become
+  /// `certificate-failed` errors. Still static — plans are built, never
+  /// executed.
+  bool certify = false;
 };
 
 /// Which statements can consume one SC, and through which channel.
@@ -103,6 +109,18 @@ struct DmlImpactRow {
   bool where_unsatisfiable = false;   // WHERE provably matches no row.
 };
 
+/// One re-validated rewrite certificate from the `--certify` audit: which
+/// statement's plan depended on it, the transformation it justifies, the
+/// SC epochs it rests on, and the independent checker's verdict.
+struct CertificateAuditRow {
+  std::size_t statement = 0;           // 0-based workload index.
+  std::string rule;                    // Applied-rule string (audit key).
+  std::string kind;                    // CertificateKindName.
+  std::vector<std::string> sc_epochs;  // "<name>@<epoch>" dependencies.
+  std::string verdict;                 // CertificateVerdictName.
+  std::string message;                 // Checker diagnostic; empty on ok.
+};
+
 /// Everything one analyzer run produced. `lint` carries the findings
 /// (tool id "softdb_analyze"); the matrices feed the text/JSON reports.
 struct AnalyzerReport {
@@ -112,6 +130,10 @@ struct AnalyzerReport {
   std::vector<ScCoverageRow> coverage;
   std::vector<DmlImpactRow> impact;
   std::vector<HarvestedCandidate> candidates;
+  /// `--certify` audit rows (empty unless AnalyzerOptions::certify).
+  std::vector<CertificateAuditRow> certificates;
+  std::size_t certificates_checked = 0;
+  std::size_t certificates_failed = 0;  // kInvalid verdicts.
 
   std::size_t errors() const { return lint.errors(); }
   std::size_t warnings() const { return lint.warnings(); }

@@ -237,6 +237,33 @@ bool SoftDb::ScEpochsChanged(const ScEpochSnapshot& snapshot) {
   return false;
 }
 
+Status SoftDb::CertifyCertificates(
+    const std::vector<RewriteCertificate>& certs, ExecStats* stats,
+    bool epoch_fast_path) {
+  if (certs.empty() || !ShouldCertifyPlans(options_.certify_plans)) {
+    return Status::OK();
+  }
+  const CertificateChecker checker(&catalog_, &ics_, &scs_);
+  for (const RewriteCertificate& cert : certs) {
+    ++stats->certificates_checked;
+    if (epoch_fast_path && checker.EpochsCurrent(cert)) continue;
+    const CertificateCheckResult res = checker.Check(cert);
+    if (res.verdict == CertificateVerdict::kInvalid) {
+      ++stats->certificates_failed;
+#ifndef NDEBUG
+      return Status::Internal(StrFormat(
+          "rewrite certificate rejected [%s] %s: %s",
+          CertificateKindName(cert.kind), cert.rule.c_str(),
+          res.message.c_str()));
+#endif
+    }
+    // kStale: the derivation was honest but a premise SC moved on; the
+    // epoch-guarded staleness/degraded-retry machinery re-plans, so it is
+    // counted as checked without failing the query.
+  }
+  return Status::OK();
+}
+
 Result<QueryResult> SoftDb::RunPlan(const PlanNode& plan, QueryResult result,
                                     const QueryContext* query) {
   OptimizerContext ctx = MakeContext();
@@ -246,6 +273,10 @@ Result<QueryResult> SoftDb::RunPlan(const PlanNode& plan, QueryResult result,
   result.estimated_cost = planner.EstimateCost(plan);
   result.plan_text = plan.ToString();
   SOFTDB_ASSIGN_OR_RETURN(OperatorPtr root, planner.Plan(plan));
+  // Physical planning emits its own certificates (zone-map skip sets);
+  // check them against the live zone maps before any row is read.
+  ExecStats cert_stats;
+  SOFTDB_RETURN_IF_ERROR(CertifyCertificates(ctx.certificates, &cert_stats));
   // Zone maps are consumed at physical-planning time, so the rewrite-level
   // epoch snapshot in ExecuteSelect never sees them. Guard them here: a
   // mid-query widening (an out-of-envelope UPDATE bumps the SC epoch
@@ -265,6 +296,12 @@ Result<QueryResult> SoftDb::RunPlan(const PlanNode& plan, QueryResult result,
     retry_ctx.enable_zone_maps = false;
     PhysicalPlanner retry_planner(&retry_ctx, &estimator);
     SOFTDB_ASSIGN_OR_RETURN(OperatorPtr retry_root, retry_planner.Plan(plan));
+    // The retry consumes no zone maps, so this is normally a no-op; it
+    // still re-checks whatever the retry planner emitted, so no stale
+    // certificate survives the re-plan.
+    cert_stats = ExecStats{};
+    SOFTDB_RETURN_IF_ERROR(
+        CertifyCertificates(retry_ctx.certificates, &cert_stats));
     ExecContext retry_exec;
     retry_exec.scheduler = scheduler();
     retry_exec.query = query;
@@ -274,6 +311,8 @@ Result<QueryResult> SoftDb::RunPlan(const PlanNode& plan, QueryResult result,
     result.exec_stats = retry_exec.stats;
     result.exec_stats.degraded_retries = 1;
   }
+  result.exec_stats.certificates_checked += cert_stats.certificates_checked;
+  result.exec_stats.certificates_failed += cert_stats.certificates_failed;
   return result;
 }
 
@@ -299,8 +338,28 @@ Result<QueryResult> SoftDb::ExecuteSelect(const std::string& sql,
       const bool use_backup =
           cached->using_backup.load(std::memory_order_acquire) || stale_at_hit;
       result.used_backup_plan = use_backup;
+      // A cached package's certificates are re-checked on every hit: the
+      // plan may be arbitrarily old, so its transformations must re-prove
+      // themselves against the live registries before the plan runs. Both
+      // plans' sets are checked — mirroring the build-time pass — so the
+      // per-execution count is identical whether the package was just
+      // built or resurrected from the cache. The epoch fast path keeps
+      // the steady-state cost to an epoch comparison per certificate.
+      ExecStats hit_cert_stats;
+      SOFTDB_RETURN_IF_ERROR(CertifyCertificates(
+          cached->certificates, &hit_cert_stats, /*epoch_fast_path=*/true));
+      SOFTDB_RETURN_IF_ERROR(
+          CertifyCertificates(cached->backup_certificates, &hit_cert_stats,
+                              /*epoch_fast_path=*/true));
       if (use_backup) {
-        return RunPlan(*cached->backup, std::move(result), query);
+        SOFTDB_ASSIGN_OR_RETURN(
+            QueryResult backup_result,
+            RunPlan(*cached->backup, std::move(result), query));
+        backup_result.exec_stats.certificates_checked +=
+            hit_cert_stats.certificates_checked;
+        backup_result.exec_stats.certificates_failed +=
+            hit_cert_stats.certificates_failed;
+        return backup_result;
       }
       // Pre-execution live epochs: the completion check below detects
       // overturns that happen while the primary plan runs.
@@ -314,18 +373,33 @@ Result<QueryResult> SoftDb::ExecuteSelect(const std::string& sql,
       SOFTDB_ASSIGN_OR_RETURN(QueryResult primary_result,
                               RunPlan(*cached->primary, std::move(result),
                                       query));
-      if (!ScEpochsChanged(pre_run)) return primary_result;
+      if (!ScEpochsChanged(pre_run)) {
+        primary_result.exec_stats.certificates_checked +=
+            hit_cert_stats.certificates_checked;
+        primary_result.exec_stats.certificates_failed +=
+            hit_cert_stats.certificates_failed;
+        return primary_result;
+      }
       // Mid-query overturn of a consumed ASC: the rows just produced are in
       // jeopardy. Transparently re-execute exactly once on the SC-free
-      // backup; the backup consumed no SCs, so it cannot retry again.
+      // backup; the backup consumed no SCs, so it cannot retry again. The
+      // backup's certificates are re-checked against the post-overturn
+      // registries — a stale certificate never survives the re-plan.
       QueryResult retry;
       retry.from_plan_cache = true;
       retry.used_scs = cached->used_scs;
       retry.used_backup_plan = true;
+      ExecStats retry_cert_stats;
+      SOFTDB_RETURN_IF_ERROR(CertifyCertificates(cached->backup_certificates,
+                                                 &retry_cert_stats));
       SOFTDB_ASSIGN_OR_RETURN(retry,
                               RunPlan(*cached->backup, std::move(retry),
                                       query));
       retry.exec_stats.degraded_retries = 1;
+      retry.exec_stats.certificates_checked +=
+          retry_cert_stats.certificates_checked;
+      retry.exec_stats.certificates_failed +=
+          retry_cert_stats.certificates_failed;
       return retry;
     }
   }
@@ -351,6 +425,15 @@ Result<QueryResult> SoftDb::ExecuteSelect(const std::string& sql,
   Rewriter rewriter(&ctx);
   SOFTDB_ASSIGN_OR_RETURN(PlanPtr primary, rewriter.Rewrite(std::move(bound)));
 
+  // Translation validation (DESIGN.md §13): every SC-driven rewrite just
+  // performed must prove itself to the independent checker before the plan
+  // is cached or run.
+  ExecStats rewrite_cert_stats;
+  SOFTDB_RETURN_IF_ERROR(
+      CertifyCertificates(ctx.certificates, &rewrite_cert_stats));
+  SOFTDB_RETURN_IF_ERROR(
+      CertifyCertificates(backup_ctx.certificates, &rewrite_cert_stats));
+
   QueryResult result;
   result.applied_rules = ctx.applied_rules;
   std::vector<std::string> used = ctx.used_scs;
@@ -364,6 +447,10 @@ Result<QueryResult> SoftDb::ExecuteSelect(const std::string& sql,
     result.estimated_rows = estimator.EstimateRows(*primary);
     result.estimated_cost = planner.EstimateCost(*primary);
     result.plan_text = primary->ToString();
+    result.exec_stats.certificates_checked +=
+        rewrite_cert_stats.certificates_checked;
+    result.exec_stats.certificates_failed +=
+        rewrite_cert_stats.certificates_failed;
     return result;
   }
 
@@ -372,19 +459,42 @@ Result<QueryResult> SoftDb::ExecuteSelect(const std::string& sql,
   const ScEpochSnapshot sc_epochs = SnapshotScEpochs(ctx.rewrite_consumed_scs);
 
   if (options_.use_plan_cache) {
-    plan_cache_.Put(sql, primary->Clone(), backup->Clone(), used, sc_epochs);
+    auto clone_certs = [](const std::vector<RewriteCertificate>& certs) {
+      std::vector<RewriteCertificate> out;
+      out.reserve(certs.size());
+      for (const RewriteCertificate& c : certs) out.push_back(c.Clone());
+      return out;
+    };
+    plan_cache_.Put(sql, primary->Clone(), backup->Clone(), used, sc_epochs,
+                    clone_certs(ctx.certificates),
+                    clone_certs(backup_ctx.certificates));
   }
   SOFTDB_ASSIGN_OR_RETURN(QueryResult primary_result,
                           RunPlan(*primary, std::move(result), query));
-  if (!ScEpochsChanged(sc_epochs)) return primary_result;
+  if (!ScEpochsChanged(sc_epochs)) {
+    primary_result.exec_stats.certificates_checked +=
+        rewrite_cert_stats.certificates_checked;
+    primary_result.exec_stats.certificates_failed +=
+        rewrite_cert_stats.certificates_failed;
+    return primary_result;
+  }
   // A consumed ASC was overturned (or repaired to different parameters)
-  // while the primary plan ran: degrade once to the SC-free backup.
+  // while the primary plan ran: degrade once to the SC-free backup. The
+  // backup's certificates are re-checked against the post-overturn
+  // registries first — a certificate minted before the epoch moved must
+  // never ride through a re-plan unexamined.
+  SOFTDB_RETURN_IF_ERROR(
+      CertifyCertificates(backup_ctx.certificates, &rewrite_cert_stats));
   QueryResult retry;
   retry.applied_rules = primary_result.applied_rules;
   retry.used_scs = primary_result.used_scs;
   retry.used_backup_plan = true;
   SOFTDB_ASSIGN_OR_RETURN(retry, RunPlan(*backup, std::move(retry), query));
   retry.exec_stats.degraded_retries = 1;
+  retry.exec_stats.certificates_checked +=
+      rewrite_cert_stats.certificates_checked;
+  retry.exec_stats.certificates_failed +=
+      rewrite_cert_stats.certificates_failed;
   return retry;
 }
 

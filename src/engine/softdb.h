@@ -64,6 +64,12 @@ struct EngineOptions {
   /// Run PlanVerifier after every bind/rewrite/planning phase. Debug
   /// builds verify regardless of this flag (see ShouldVerifyPlans).
   bool verify_plans = true;
+  /// Re-validate every SC-driven rewrite's certificate with the
+  /// independent CertificateChecker after planning (DESIGN.md §13). Debug
+  /// builds certify regardless (see ShouldCertifyPlans) and fail the query
+  /// on an invalid certificate; release builds count verdicts in
+  /// ExecStats::certificates_{checked,failed}.
+  bool certify_plans = true;
   /// Morsel-driven parallel execution (DESIGN.md §8): with more than one
   /// thread, parallel-safe vectorized subtrees run on a work-stealing
   /// worker pool, with results merged in morsel order so output and
@@ -205,6 +211,20 @@ class SoftDb {
                               const QueryContext* query);
   /// Current epochs of the named (rewrite-consumed) SCs, deduplicated.
   ScEpochSnapshot SnapshotScEpochs(const std::vector<std::string>& names);
+
+  /// Re-validates rewrite certificates with the independent checker
+  /// (DESIGN.md §13), counting verdicts into `stats`. kStale verdicts are
+  /// counted as checked only — the epoch-guarded retry machinery owns
+  /// re-derivation. kInvalid means the rewriter proved something false:
+  /// counted as failed, and a hard Internal error in debug builds.
+  /// When `epoch_fast_path` is set (cache-hit re-validation), a
+  /// certificate whose every premise SC epoch is unchanged since the full
+  /// build-time check skips re-derivation: epoch-guarded SC state cannot
+  /// have drifted, so the plan-time verdict still holds. Epoch drift falls
+  /// back to the full check.
+  Status CertifyCertificates(const std::vector<RewriteCertificate>& certs,
+                             ExecStats* stats,
+                             bool epoch_fast_path = false);
   /// True when any snapshotted SC has been dropped or had its epoch bumped
   /// (invalidation, repair, or parameter widening) since the snapshot.
   bool ScEpochsChanged(const ScEpochSnapshot& snapshot);

@@ -41,6 +41,14 @@ struct ExecStats {
   // `morsels`, a robustness detail excluded from the cross-engine
   // stat-equality invariant; 0 on every undisturbed execution.
   std::uint64_t degraded_retries = 0;
+  // Rewrite-certificate checking (DESIGN.md §13): proof obligations the
+  // post-planning CertificateChecker re-validated for this query, and how
+  // many did not prove their conclusion (kInvalid verdicts — always 0
+  // unless the rewriter mis-derived; debug builds abort the query
+  // instead). Certificates are emitted at plan time, so both counters are
+  // engine-independent and part of the cross-engine equality invariant.
+  std::uint64_t certificates_checked = 0;
+  std::uint64_t certificates_failed = 0;
 
   void Reset() { *this = ExecStats{}; }
 
@@ -60,6 +68,8 @@ struct ExecStats {
     blocks_total += other.blocks_total;
     morsels += other.morsels;
     degraded_retries += other.degraded_retries;
+    certificates_checked += other.certificates_checked;
+    certificates_failed += other.certificates_failed;
   }
 };
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/certificate.h"
 #include "constraints/ic_registry.h"
 #include "constraints/sc_registry.h"
 #include "mv/materialized_view.h"
@@ -82,6 +83,9 @@ struct OptimizerContext {
   /// retry protocol (DESIGN.md "Failure model").
   std::vector<std::string> rewrite_consumed_scs;
   std::vector<std::string> applied_rules;  // EXPLAIN annotations.
+  /// One proof obligation per SC-driven transformation (DESIGN.md §13).
+  /// The engine re-validates these post-planning with CertificateChecker.
+  std::vector<RewriteCertificate> certificates;
 
   void RecordScUse(const std::string& name, double benefit,
                    bool rewrite_consumed = true) {
@@ -92,10 +96,14 @@ struct OptimizerContext {
   void RecordRule(std::string description) {
     applied_rules.push_back(std::move(description));
   }
+  void RecordCertificate(RewriteCertificate cert) {
+    certificates.push_back(std::move(cert));
+  }
   void ResetOutputs() {
     used_scs.clear();
     rewrite_consumed_scs.clear();
     applied_rules.clear();
+    certificates.clear();
   }
 };
 

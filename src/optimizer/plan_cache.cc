@@ -33,13 +33,17 @@ std::vector<std::string> CollectPlanTables(const PlanNode& plan) {
 std::shared_ptr<CachedPlan> PlanCache::Put(
     const std::string& sql, PlanPtr primary, PlanPtr backup,
     std::vector<std::string> used_scs,
-    std::vector<std::pair<std::string, std::uint64_t>> sc_epochs) {
+    std::vector<std::pair<std::string, std::uint64_t>> sc_epochs,
+    std::vector<RewriteCertificate> certificates,
+    std::vector<RewriteCertificate> backup_certificates) {
   auto entry = std::make_shared<CachedPlan>();
   entry->sql = sql;
   entry->primary = std::move(primary);
   entry->backup = std::move(backup);
   entry->used_scs = std::move(used_scs);
   entry->sc_epochs = std::move(sc_epochs);
+  entry->certificates = std::move(certificates);
+  entry->backup_certificates = std::move(backup_certificates);
   if (entry->primary != nullptr) {
     entry->tables = CollectPlanTables(*entry->primary);
   }

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/certificate.h"
 #include "plan/logical_plan.h"
 
 namespace softdb {
@@ -39,6 +40,13 @@ struct CachedPlan {
   /// repaired SC as the package's new baseline. After Put, read and write
   /// only through PlanCache (guarded by the cache mutex).
   std::vector<std::pair<std::string, std::uint64_t>> sc_epochs;
+  /// Rewrite certificates of each plan (DESIGN.md §13), re-checked on
+  /// every cache hit before the plan runs: a hit long after Put must still
+  /// prove its transformations against the live registries (epoch moves
+  /// come back kStale and route through the staleness machinery above).
+  /// Immutable after Put, like the plan trees.
+  std::vector<RewriteCertificate> certificates;         // For `primary`.
+  std::vector<RewriteCertificate> backup_certificates;  // For `backup`.
   std::vector<std::string> tables;    // Base tables either plan reads.
   std::atomic<bool> using_backup{false};
   std::atomic<std::uint64_t> executions{0};
@@ -72,7 +80,9 @@ class PlanCache {
   std::shared_ptr<CachedPlan> Put(
       const std::string& sql, PlanPtr primary, PlanPtr backup,
       std::vector<std::string> used_scs,
-      std::vector<std::pair<std::string, std::uint64_t>> sc_epochs = {});
+      std::vector<std::pair<std::string, std::uint64_t>> sc_epochs = {},
+      std::vector<RewriteCertificate> certificates = {},
+      std::vector<RewriteCertificate> backup_certificates = {});
 
   /// Returns the entry or null; counts hit/miss. The shared_ptr keeps the
   /// package alive across eviction — use it, don't re-Get.

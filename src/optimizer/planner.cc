@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/certificate.h"
 #include "analysis/implication.h"
 #include "analysis/plan_verifier.h"
 #include "constraints/zone_map_sc.h"
@@ -243,6 +244,7 @@ ZoneMapSkips PhysicalPlanner::ComputeZoneMapSkips(const ScanNode& scan,
     const std::vector<ZoneMapSc::BlockSma> blocks = zm->SnapshotBlocks();
     const std::size_t n = std::min(nblocks, blocks.size());
     std::uint64_t contributed = 0;
+    std::vector<std::uint64_t> sc_blocks;
     for (std::size_t b = 0; b < n; ++b) {
       bool skip = false;
       if (!blocks[b].has_value) {
@@ -270,6 +272,7 @@ ZoneMapSkips PhysicalPlanner::ComputeZoneMapSkips(const ScanNode& scan,
       if (skip) {
         if ((*skips)[b] == 0) (*skips)[b] = 1;
         ++contributed;
+        sc_blocks.push_back(b);
       }
     }
     if (contributed > 0) {
@@ -281,6 +284,30 @@ ZoneMapSkips PhysicalPlanner::ComputeZoneMapSkips(const ScanNode& scan,
                             (static_cast<double>(kZoneMapBlockRows) /
                              static_cast<double>(kRowsPerPage)),
                         /*rewrite_consumed=*/true);
+      RewriteCertificate cert;
+      cert.kind = CertificateKind::kZoneMapSkip;
+      cert.rule = "zone-map-skip: " + zm->name();
+      cert.table = scan.table_name();
+      cert.zm_column = zm->column();
+      cert.skipped_blocks = sc_blocks;
+      for (std::uint64_t b : sc_blocks) {
+        CertificatePremise p;
+        p.kind = CertificatePremise::Kind::kZoneBlock;
+        p.source = "sc:" + zm->name();
+        AppendScEpochs(p.source, ctx_->scs, &p.sc_epochs);
+        p.block_index = b;
+        p.block_min = blocks[b].min;
+        p.block_max = blocks[b].max;
+        p.block_has_value = blocks[b].has_value;
+        p.block_null_count = blocks[b].null_count;
+        cert.premises.push_back(std::move(p));
+      }
+      for (const Predicate& pred : scan.predicates()) {
+        if (!pred.estimation_only) {
+          cert.premise_exprs.push_back(pred.expr->Clone());
+        }
+      }
+      ctx_->RecordCertificate(std::move(cert));
     }
   }
   if (!any_test) return nullptr;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "analysis/certificate.h"
 #include "analysis/implication.h"
 #include "analysis/plan_verifier.h"
 #include "common/str_util.h"
@@ -49,6 +50,45 @@ Predicate MakeDerivedPredicate(const Schema& schema,
   }
   return Predicate(MakeAnd(std::move(exprs)), estimation_only, confidence,
                    origin);
+}
+
+/// Certificate-premise builders for the direct (non-closure) rewrite
+/// sites; the implication sites use AppendFactPremises instead.
+CertificatePremise IntervalFactPremise(
+    const ImplicationFacts::IntervalFact& fact, const ScRegistry* scs) {
+  CertificatePremise p;
+  p.kind = CertificatePremise::Kind::kIntervalFact;
+  p.source = fact.source;
+  p.column = fact.column;
+  p.interval = fact.interval;
+  AppendScEpochs(fact.source, scs, &p.sc_epochs);
+  return p;
+}
+
+CertificatePremise DiffFactPremise(const ImplicationFacts::DiffFact& fact,
+                                   const ScRegistry* scs) {
+  CertificatePremise p;
+  p.kind = CertificatePremise::Kind::kDiffFact;
+  p.source = fact.source;
+  p.x = fact.x;
+  p.y = fact.y;
+  p.interval = fact.range;
+  AppendScEpochs(fact.source, scs, &p.sc_epochs);
+  return p;
+}
+
+CertificatePremise BandFactPremise(const ImplicationFacts::BandFact& fact,
+                                   const ScRegistry* scs) {
+  CertificatePremise p;
+  p.kind = CertificatePremise::Kind::kBandFact;
+  p.source = fact.source;
+  p.column = fact.a;
+  p.x = fact.b;
+  p.k = fact.k;
+  p.c = fact.c;
+  p.eps = fact.eps;
+  AppendScEpochs(fact.source, scs, &p.sc_epochs);
+  return p;
 }
 
 bool HasPredicateFromOrigin(const ScanNode& scan, const std::string& origin) {
@@ -186,6 +226,15 @@ Status Rewriter::RewriteScan(ScanNode* scan) {
                                      it->expr->ToString().c_str(),
                                      sc->name().c_str()));
           ctx_->RecordScUse(sc->name(), 1.0);
+          RewriteCertificate cert;
+          cert.kind = CertificateKind::kImplicationPrune;
+          cert.rule = "domain-drop: " + sc->name();
+          cert.table = scan->table_name();
+          if (auto fact = DomainIntervalFact(*domain)) {
+            cert.premises.push_back(IntervalFactPremise(*fact, ctx_->scs));
+          }
+          cert.conclusion_expr = it->expr->Clone();
+          ctx_->RecordCertificate(std::move(cert));
           it = preds.erase(it);
           continue;
         }
@@ -194,6 +243,15 @@ Status Rewriter::RewriteScan(ScanNode* scan) {
                                      it->expr->ToString().c_str(),
                                      sc->name().c_str()));
           ctx_->RecordScUse(sc->name(), 10.0);
+          RewriteCertificate cert;
+          cert.kind = CertificateKind::kImplicationContradiction;
+          cert.rule = "domain-contradiction: " + sc->name();
+          cert.table = scan->table_name();
+          if (auto fact = DomainIntervalFact(*domain)) {
+            cert.premises.push_back(IntervalFactPremise(*fact, ctx_->scs));
+          }
+          cert.premise_exprs.push_back(it->expr->Clone());
+          ctx_->RecordCertificate(std::move(cert));
           preds.push_back(Predicate(MakeLiteral(Value::Bool(false)), false,
                                     1.0, "sc:" + sc->name()));
           return Status::OK();
@@ -237,8 +295,20 @@ Status Rewriter::RewriteScan(ScanNode* scan) {
             });
         if (offset->IsAbsolute() && ctx_->enable_predicate_introduction &&
             targets_non_null) {
-          scan->predicates().push_back(MakeDerivedPredicate(
-              schema, derived, /*estimation_only=*/false, 1.0, origin));
+          Predicate intro = MakeDerivedPredicate(
+              schema, derived, /*estimation_only=*/false, 1.0, origin);
+          RewriteCertificate cert;
+          cert.kind = CertificateKind::kPredicateIntroduction;
+          cert.rule = "predicate-introduction: " + origin;
+          cert.table = scan->table_name();
+          cert.premises.push_back(
+              DiffFactPremise(OffsetDiffFact(*offset), ctx_->scs));
+          for (const SimplePredicate& sp : simples) {
+            cert.premise_exprs.push_back(MakeSimpleExpr(schema, sp));
+          }
+          cert.conclusion_expr = intro.expr->Clone();
+          ctx_->RecordCertificate(std::move(cert));
+          scan->predicates().push_back(std::move(intro));
           ctx_->RecordRule("predicate-introduction: " + origin);
           ctx_->RecordScUse(sc->name(), 1.0);
         } else if (!offset->IsAbsolute() && ctx_->enable_twinning) {
@@ -254,6 +324,16 @@ Status Rewriter::RewriteScan(ScanNode* scan) {
               Predicate twin = MakeDerivedPredicate(
                   schema, per_source, /*estimation_only=*/true, conf, origin);
               twin.source_column = sp.column;
+              RewriteCertificate cert;
+              cert.kind = CertificateKind::kTwinSubstitution;
+              cert.rule = "twinning: " + origin;
+              cert.table = scan->table_name();
+              cert.estimation_only = true;
+              cert.premises.push_back(
+                  DiffFactPremise(OffsetDiffFact(*offset), ctx_->scs));
+              cert.premise_exprs.push_back(MakeSimpleExpr(schema, sp));
+              cert.conclusion_expr = twin.expr->Clone();
+              ctx_->RecordCertificate(std::move(cert));
               scan->predicates().push_back(std::move(twin));
               any = true;
             }
@@ -274,11 +354,13 @@ Status Rewriter::RewriteScan(ScanNode* scan) {
         // Fold the B constraints into one range.
         ColumnRange b_range;
         bool b_constrained = false;
+        std::vector<const SimplePredicate*> b_sources;
         for (const SimplePredicate& sp : simples) {
           if (sp.column != linear->col_b() || sp.op == CompareOp::kNe) {
             continue;
           }
           b_range.Apply(sp);
+          b_sources.push_back(&sp);
           b_constrained = true;
         }
         if (!b_constrained || b_range.empty || !b_range.Bounded()) continue;
@@ -300,10 +382,32 @@ Status Rewriter::RewriteScan(ScanNode* scan) {
         derived.push_back({linear->col_a(), CompareOp::kGe, std::move(lo_v)});
         derived.push_back({linear->col_a(), CompareOp::kLe, std::move(hi_v)});
         const bool a_non_null = !schema.Column(linear->col_a()).nullable;
+        auto make_linear_cert = [&](CertificateKind kind, bool est_only,
+                                    const Expr& conclusion) {
+          RewriteCertificate cert;
+          cert.kind = kind;
+          cert.rule = (kind == CertificateKind::kTwinSubstitution
+                           ? "twinning: "
+                           : "predicate-introduction: ") +
+                      origin;
+          cert.table = scan->table_name();
+          cert.estimation_only = est_only;
+          if (auto fact = LinearBandFact(*linear)) {
+            cert.premises.push_back(BandFactPremise(*fact, ctx_->scs));
+          }
+          for (const SimplePredicate* sp : b_sources) {
+            cert.premise_exprs.push_back(MakeSimpleExpr(schema, *sp));
+          }
+          cert.conclusion_expr = conclusion.Clone();
+          return cert;
+        };
         if (linear->IsAbsolute() && ctx_->enable_predicate_introduction &&
             a_non_null) {
-          scan->predicates().push_back(MakeDerivedPredicate(
-              schema, derived, /*estimation_only=*/false, 1.0, origin));
+          Predicate intro = MakeDerivedPredicate(
+              schema, derived, /*estimation_only=*/false, 1.0, origin);
+          ctx_->RecordCertificate(make_linear_cert(
+              CertificateKind::kPredicateIntroduction, false, *intro.expr));
+          scan->predicates().push_back(std::move(intro));
           ctx_->RecordRule("predicate-introduction: " + origin);
           ctx_->RecordScUse(sc->name(), 1.0);
         } else if (!linear->IsAbsolute() && ctx_->enable_twinning) {
@@ -312,6 +416,8 @@ Status Rewriter::RewriteScan(ScanNode* scan) {
             Predicate twin = MakeDerivedPredicate(
                 schema, derived, /*estimation_only=*/true, conf, origin);
             twin.source_column = linear->col_b();
+            ctx_->RecordCertificate(make_linear_cert(
+                CertificateKind::kTwinSubstitution, true, *twin.expr));
             scan->predicates().push_back(std::move(twin));
             ctx_->RecordRule(StrFormat("twinning: %s (conf %.3f)",
                                        origin.c_str(), conf));
@@ -354,6 +460,17 @@ Status Rewriter::RewriteScan(ScanNode* scan) {
         ctx_->RecordRule("implication-contradiction: scan " +
                          scan->table_name());
         record_sources(used, 10.0);
+        RewriteCertificate cert;
+        cert.kind = CertificateKind::kImplicationContradiction;
+        cert.rule = "implication-contradiction: scan " + scan->table_name();
+        cert.table = scan->table_name();
+        AppendFactPremises(engine.facts(), used, ctx_->scs, &cert.premises);
+        for (const Predicate& p : scan->predicates()) {
+          if (!p.estimation_only) {
+            cert.premise_exprs.push_back(p.expr->Clone());
+          }
+        }
+        ctx_->RecordCertificate(std::move(cert));
         scan->predicates().push_back(Predicate(
             MakeLiteral(Value::Bool(false)), false, 1.0, "contradiction"));
         return Status::OK();
@@ -381,6 +498,19 @@ Status Rewriter::RewriteScan(ScanNode* scan) {
           ctx_->RecordRule(StrFormat("implication-prune: %s",
                                      it->expr->ToString().c_str()));
           record_sources(prune_used, 1.0);
+          RewriteCertificate cert;
+          cert.kind = CertificateKind::kImplicationPrune;
+          cert.rule = StrFormat("implication-prune: %s",
+                                it->expr->ToString().c_str());
+          cert.table = scan->table_name();
+          AppendFactPremises(engine.facts(), prune_used, ctx_->scs,
+                             &cert.premises);
+          for (const Predicate& other : preds) {
+            if (&other == &*it || other.estimation_only) continue;
+            cert.premise_exprs.push_back(other.expr->Clone());
+          }
+          cert.conclusion_expr = it->expr->Clone();
+          ctx_->RecordCertificate(std::move(cert));
           it = preds.erase(it);
           continue;
         }
@@ -760,6 +890,27 @@ Result<PlanPtr> Rewriter::EliminateJoins(
         if (not_null && parent_unique && inclusion_ok) {
           ctx_->RecordRule("join-elimination: " + parent_scan->table_name() +
                            " via " + inclusion_source);
+          RewriteCertificate cert;
+          cert.kind = CertificateKind::kJoinElimination;
+          cert.rule = "join-elimination: " + parent_scan->table_name() +
+                      " via " + inclusion_source;
+          cert.table = child_table;
+          cert.parent_table = parent_scan->table_name();
+          cert.inclusion_source = inclusion_source;
+          CertificatePremise unique;
+          unique.kind = CertificatePremise::Kind::kUniqueKey;
+          unique.child_table = parent_scan->table_name();
+          unique.parent_columns = parent_cols;
+          cert.premises.push_back(std::move(unique));
+          CertificatePremise inclusion;
+          inclusion.kind = CertificatePremise::Kind::kInclusion;
+          inclusion.source = inclusion_source;
+          inclusion.child_table = child_table;
+          inclusion.columns = child_cols;
+          inclusion.parent_columns = parent_cols;
+          AppendScEpochs(inclusion_source, ctx_->scs, &inclusion.sc_epochs);
+          cert.premises.push_back(std::move(inclusion));
+          ctx_->RecordCertificate(std::move(cert));
           PlanPtr left = std::move(node->mutable_children()[0]);
           eliminated = true;
           return EliminateJoins(std::move(left), required_above);

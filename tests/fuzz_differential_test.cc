@@ -192,6 +192,11 @@ class FuzzDifferential : public ::testing::TestWithParam<std::uint64_t> {
           << sql << " " << label;
       EXPECT_EQ(ss.blocks_skipped, ps.blocks_skipped) << sql << " " << label;
       EXPECT_EQ(ss.blocks_total, ps.blocks_total) << sql << " " << label;
+      // Certificates are emitted and checked at plan time, so the count is
+      // engine-independent — and every plan's certificates must prove.
+      EXPECT_EQ(ss.certificates_checked, ps.certificates_checked)
+          << sql << " " << label;
+      EXPECT_EQ(ps.certificates_failed, 0u) << sql << " " << label;
       EXPECT_EQ(serial.used_scs, par->used_scs) << sql << " " << label;
     }
     db_.options().num_threads = 1;
@@ -263,6 +268,11 @@ class FuzzDifferential : public ::testing::TestWithParam<std::uint64_t> {
     EXPECT_EQ(rs.runtime_param_skips, bs.runtime_param_skips) << sql;
     EXPECT_EQ(rs.blocks_skipped, bs.blocks_skipped) << sql;
     EXPECT_EQ(rs.blocks_total, bs.blocks_total) << sql;
+    // Plan-time certificate verdicts: identical counts across engines, and
+    // no fuzzed plan may carry a certificate that fails to prove itself.
+    EXPECT_EQ(rs.certificates_checked, bs.certificates_checked) << sql;
+    EXPECT_EQ(rs.certificates_failed, 0u) << sql;
+    EXPECT_EQ(bs.certificates_failed, 0u) << sql;
 
     // The same query on the parallel engine must reproduce the serial
     // batch result bit for bit at every thread count.
@@ -359,8 +369,11 @@ TEST_P(FuzzDifferential, JoinsAndProjectionsMatchAcrossEngines) {
       EXPECT_EQ(rs.index_lookups, bs.index_lookups) << sql;
       EXPECT_EQ(rs.rows_joined, bs.rows_joined) << sql;
       EXPECT_EQ(rs.runtime_param_skips, bs.runtime_param_skips) << sql;
-    EXPECT_EQ(rs.blocks_skipped, bs.blocks_skipped) << sql;
-    EXPECT_EQ(rs.blocks_total, bs.blocks_total) << sql;
+      EXPECT_EQ(rs.blocks_skipped, bs.blocks_skipped) << sql;
+      EXPECT_EQ(rs.blocks_total, bs.blocks_total) << sql;
+      EXPECT_EQ(rs.certificates_checked, bs.certificates_checked) << sql;
+      EXPECT_EQ(rs.certificates_failed, 0u) << sql;
+      EXPECT_EQ(bs.certificates_failed, 0u) << sql;
 
       // Joins, projections, ORDER BY over a parallel child, and LIMIT
       // (which must force the subtree serial) all have to reproduce the

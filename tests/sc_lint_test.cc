@@ -436,6 +436,37 @@ TEST(ScLintTest, GoldenSarifDocumentIsByteStable) {
   EXPECT_EQ(report->ToSarif("catalog.sdl"), kGolden);
 }
 
+TEST(ScLintTest, FailOnPolicyMapsSeveritiesToExitCodes) {
+  // Shared CLI contract for softdb_lint and softdb_analyze: kAny fails on
+  // anything (including notes), kWarning ignores notes, kError ignores
+  // warnings too.
+  EXPECT_EQ(ReportExitCode(0, 0, 0, FailOn::kAny), 0);
+  EXPECT_EQ(ReportExitCode(0, 0, 1, FailOn::kAny), 1);
+  EXPECT_EQ(ReportExitCode(0, 0, 1, FailOn::kWarning), 0);
+  EXPECT_EQ(ReportExitCode(0, 1, 0, FailOn::kWarning), 1);
+  EXPECT_EQ(ReportExitCode(0, 1, 5, FailOn::kError), 0);
+  EXPECT_EQ(ReportExitCode(1, 0, 0, FailOn::kError), 1);
+  EXPECT_EQ(ReportExitCode(1, 2, 3, FailOn::kAny), 1);
+
+  FailOn parsed = FailOn::kAny;
+  EXPECT_TRUE(ParseFailOn("warning", &parsed));
+  EXPECT_EQ(parsed, FailOn::kWarning);
+  EXPECT_TRUE(ParseFailOn("error", &parsed));
+  EXPECT_EQ(parsed, FailOn::kError);
+  EXPECT_FALSE(ParseFailOn("note", &parsed));
+  EXPECT_FALSE(ParseFailOn("", &parsed));
+}
+
+TEST(ScLintTest, LoadWorkloadFilesNamesTheUnreadablePath) {
+  auto missing = LoadWorkloadFiles({"/nonexistent/workload.sql"});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("/nonexistent/workload.sql"),
+            std::string::npos);
+  auto none = LoadWorkloadFiles({});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
 TEST(ScLintTest, MalformedCatalogScriptIsStillAHardError) {
   // Unparseable *catalog* directives keep failing loudly — only workload
   // statements downgrade to warnings.

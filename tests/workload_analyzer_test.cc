@@ -320,6 +320,56 @@ TEST(WorkloadAnalyzerTest, RenderingsAgreeAcrossFormats) {
   EXPECT_NE(sarif.find("\"level\": \"note\""), std::string::npos);
 }
 
+// ---------------------------------------------------------------- certify
+
+TEST(WorkloadAnalyzerTest, CertifyAuditValidatesReplannedWorkload) {
+  // Absolute SCs (default CONFIDENCE 1.0) so the rewriter actually prunes,
+  // contradicts and introduces — each transformation must emit a
+  // certificate the independent checker validates.
+  const char kAbsCatalog[] =
+      "CREATE TABLE orders (id BIGINT PRIMARY KEY, total DOUBLE, "
+      "  order_day BIGINT, ship_day BIGINT);"
+      "SOFT CONSTRAINT order_total_range DOMAIN ON orders(total) "
+      "  MIN 0 MAX 100000;"
+      "SOFT CONSTRAINT ship_lag OFFSET ON orders(order_day, ship_day) "
+      "  MIN 0 MAX 30;";
+  const std::vector<std::string> workload = {
+      "SELECT id FROM orders WHERE total >= 0",      // Implied: prune.
+      "SELECT id FROM orders WHERE total > 200000",  // Contradiction.
+      "SELECT id FROM orders WHERE ship_day < 50",   // Introduction channel.
+  };
+  AnalyzerOptions options;
+  options.certify = true;
+  auto report = AnalyzeWorkloadStatic(kAbsCatalog, workload, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_GT(report->certificates_checked, 0u);
+  EXPECT_EQ(report->certificates_failed, 0u);
+  EXPECT_EQ(report->certificates.size(), report->certificates_checked);
+  for (const CertificateAuditRow& row : report->certificates) {
+    EXPECT_NE(row.verdict, "invalid")
+        << row.kind << " [" << row.rule << "]: " << row.message;
+  }
+  EXPECT_FALSE(HasFinding(*report, "certificate-failed"));
+
+  // Every rendering carries the audit.
+  const std::string text = report->ToText();
+  EXPECT_NE(text.find("Certificate audit"), std::string::npos);
+  const std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"certificates_checked\": "), std::string::npos);
+  EXPECT_NE(json.find("\"certificates_failed\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"certificates\": ["), std::string::npos);
+}
+
+TEST(WorkloadAnalyzerTest, CertifyOffEmitsNoAudit) {
+  auto report = AnalyzeWorkloadStatic(kCatalog, SmellyWorkload());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->certificates_checked, 0u);
+  EXPECT_EQ(report->certificates_failed, 0u);
+  EXPECT_TRUE(report->certificates.empty());
+  EXPECT_FALSE(HasFinding(*report, "certificate-failed"));
+}
+
 // ---------------------------------------------------------------- property
 
 /// The harvesting property: every candidate mined from a workload over the

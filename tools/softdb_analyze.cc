@@ -1,15 +1,14 @@
 // softdb_analyze: whole-workload static analyzer.
 //
 // Usage: softdb_analyze [--json | --sarif] [--min-support N]
-//                       [--harvest-budget N] [--no-harvest]
+//                       [--harvest-budget N] [--no-harvest] [--certify]
+//                       [--fail-on <warning|error>]
 //                       <catalog.sdl> [workload.sql ...]
 //
 // Exit codes: 0 = clean, 1 = findings reported, 2 = usage or input error.
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -19,13 +18,13 @@
 namespace {
 
 constexpr int kExitClean = 0;
-constexpr int kExitFindings = 1;
 constexpr int kExitUsage = 2;
 
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: softdb_analyze [--json | --sarif] [--min-support N]\n"
                "                      [--harvest-budget N] [--no-harvest]\n"
+               "                      [--certify] [--fail-on <warning|error>]\n"
                "                      <catalog.sdl> [workload.sql ...]\n"
                "\n"
                "Statically analyzes a SQL workload against a soft-constraint\n"
@@ -34,16 +33,13 @@ void PrintUsage(std::FILE* out) {
                "a DML impact matrix, and application-constraint harvesting.\n"
                "Workload statements are parsed and bound, never executed.\n"
                "\n"
+               "--certify additionally replans every bound SELECT and\n"
+               "re-validates each SC-driven rewrite certificate with the\n"
+               "independent checker; invalid certificates are\n"
+               "`certificate-failed` errors. --fail-on raises the severity\n"
+               "needed for a non-zero exit (default: any finding).\n"
+               "\n"
                "exit codes: 0 clean, 1 findings, 2 usage/input error\n");
-}
-
-bool ReadFile(const std::string& path, std::string* out) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  *out = buffer.str();
-  return true;
 }
 
 bool ParseCount(const char* text, std::size_t* out) {
@@ -60,6 +56,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool sarif = false;
   softdb::AnalyzerOptions options;
+  softdb::FailOn fail_on = softdb::FailOn::kAny;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -70,6 +67,20 @@ int main(int argc, char** argv) {
       sarif = true;
     } else if (arg == "--no-harvest") {
       options.harvest = false;
+    } else if (arg == "--certify") {
+      options.certify = true;
+    } else if (arg == "--fail-on") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "softdb_analyze: --fail-on needs a value\n");
+        return kExitUsage;
+      }
+      if (!softdb::ParseFailOn(argv[++i], &fail_on)) {
+        std::fprintf(stderr,
+                     "softdb_analyze: --fail-on wants 'warning' or 'error', "
+                     "got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
     } else if (arg == "--min-support" || arg == "--harvest-budget") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "softdb_analyze: %s needs a value\n",
@@ -100,26 +111,21 @@ int main(int argc, char** argv) {
   }
 
   std::string catalog_script;
-  if (!ReadFile(paths[0], &catalog_script)) {
+  if (!softdb::ReadFileToString(paths[0], &catalog_script)) {
     std::fprintf(stderr, "softdb_analyze: cannot read catalog '%s'\n",
                  paths[0].c_str());
     return kExitUsage;
   }
 
-  std::vector<std::string> workload;
-  for (std::size_t i = 1; i < paths.size(); ++i) {
-    std::string content;
-    if (!ReadFile(paths[i], &content)) {
-      std::fprintf(stderr, "softdb_analyze: cannot read workload '%s'\n",
-                   paths[i].c_str());
-      return kExitUsage;
-    }
-    for (std::string& stmt : softdb::SplitStatements(content)) {
-      workload.push_back(std::move(stmt));
-    }
+  auto workload = softdb::LoadWorkloadFiles(
+      std::vector<std::string>(paths.begin() + 1, paths.end()));
+  if (!workload.ok()) {
+    std::fprintf(stderr, "softdb_analyze: %s\n",
+                 workload.status().ToString().c_str());
+    return kExitUsage;
   }
 
-  auto report = softdb::AnalyzeWorkloadStatic(catalog_script, workload,
+  auto report = softdb::AnalyzeWorkloadStatic(catalog_script, *workload,
                                               options);
   if (!report.ok()) {
     std::fprintf(stderr, "softdb_analyze: %s\n",
@@ -134,5 +140,7 @@ int main(int argc, char** argv) {
   } else {
     std::fputs(report->ToText().c_str(), stdout);
   }
-  return report->lint.findings.empty() ? kExitClean : kExitFindings;
+  return softdb::ReportExitCode(report->lint.errors(),
+                                report->lint.warnings(),
+                                report->lint.notes(), fail_on);
 }

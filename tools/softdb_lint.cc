@@ -1,14 +1,13 @@
 // softdb_lint: static SC-catalog + workload consistency linter.
 //
 // Usage: softdb_lint [--json | --sarif] [--currency-threshold X]
+//                    [--fail-on <warning|error>]
 //                    <catalog.sdl> [workload.sql ...]
 //
 // Exit codes: 0 = clean, 1 = findings reported, 2 = usage or input error.
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,29 +16,23 @@
 namespace {
 
 constexpr int kExitClean = 0;
-constexpr int kExitFindings = 1;
 constexpr int kExitUsage = 2;
 
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: softdb_lint [--json | --sarif] "
-               "[--currency-threshold X] <catalog.sdl> [workload.sql ...]\n"
+               "[--currency-threshold X]\n"
+               "                   [--fail-on <warning|error>] "
+               "<catalog.sdl> [workload.sql ...]\n"
                "\n"
                "Statically checks a soft-constraint catalog for\n"
                "contradictions, vacuous or stale constraints, and (given a\n"
                "workload) dead entries no query can exploit. Nothing is\n"
-               "executed beyond loading the catalog script.\n"
+               "executed beyond loading the catalog script. --fail-on raises\n"
+               "the severity needed for a non-zero exit (default: any\n"
+               "finding).\n"
                "\n"
                "exit codes: 0 clean, 1 findings, 2 usage/input error\n");
-}
-
-bool ReadFile(const std::string& path, std::string* out) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  *out = buffer.str();
-  return true;
 }
 
 }  // namespace
@@ -48,6 +41,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool sarif = false;
   softdb::LintOptions options;
+  softdb::FailOn fail_on = softdb::FailOn::kAny;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -58,13 +52,26 @@ int main(int argc, char** argv) {
       sarif = true;
     } else if (arg == "--currency-threshold") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "softdb_lint: --currency-threshold needs a value\n");
+        std::fprintf(stderr,
+                     "softdb_lint: --currency-threshold needs a value\n");
         return kExitUsage;
       }
       char* end = nullptr;
       options.currency_threshold = std::strtod(argv[++i], &end);
       if (end == nullptr || *end != '\0') {
         std::fprintf(stderr, "softdb_lint: bad threshold '%s'\n", argv[i]);
+        return kExitUsage;
+      }
+    } else if (arg == "--fail-on") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "softdb_lint: --fail-on needs a value\n");
+        return kExitUsage;
+      }
+      if (!softdb::ParseFailOn(argv[++i], &fail_on)) {
+        std::fprintf(stderr,
+                     "softdb_lint: --fail-on wants 'warning' or 'error', "
+                     "got '%s'\n",
+                     argv[i]);
         return kExitUsage;
       }
     } else if (arg == "--help" || arg == "-h") {
@@ -84,26 +91,21 @@ int main(int argc, char** argv) {
   }
 
   std::string catalog_script;
-  if (!ReadFile(paths[0], &catalog_script)) {
+  if (!softdb::ReadFileToString(paths[0], &catalog_script)) {
     std::fprintf(stderr, "softdb_lint: cannot read catalog '%s'\n",
                  paths[0].c_str());
     return kExitUsage;
   }
 
-  std::vector<std::string> workload;
-  for (std::size_t i = 1; i < paths.size(); ++i) {
-    std::string content;
-    if (!ReadFile(paths[i], &content)) {
-      std::fprintf(stderr, "softdb_lint: cannot read workload '%s'\n",
-                   paths[i].c_str());
-      return kExitUsage;
-    }
-    for (std::string& stmt : softdb::SplitStatements(content)) {
-      workload.push_back(std::move(stmt));
-    }
+  auto workload = softdb::LoadWorkloadFiles(
+      std::vector<std::string>(paths.begin() + 1, paths.end()));
+  if (!workload.ok()) {
+    std::fprintf(stderr, "softdb_lint: %s\n",
+                 workload.status().ToString().c_str());
+    return kExitUsage;
   }
 
-  auto report = softdb::LintCatalog(catalog_script, workload, options);
+  auto report = softdb::LintCatalog(catalog_script, *workload, options);
   if (!report.ok()) {
     std::fprintf(stderr, "softdb_lint: %s\n",
                  report.status().ToString().c_str());
@@ -117,5 +119,6 @@ int main(int argc, char** argv) {
   } else {
     std::fputs(report->ToText().c_str(), stdout);
   }
-  return report->findings.empty() ? kExitClean : kExitFindings;
+  return softdb::ReportExitCode(report->errors(), report->warnings(),
+                                report->notes(), fail_on);
 }
