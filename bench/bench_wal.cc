@@ -1,0 +1,217 @@
+// bench_wal: durability cost and recovery speed (DESIGN.md §14).
+//
+// Measures single-row INSERT throughput with the WAL off vs on across the
+// group-commit sweep wal_sync_every_n ∈ {1, 32, 256}, and times cold
+// recovery (checkpoint-less full-log replay) for each sweep point. CI
+// gates the sync=256 overhead at <= 1.5x the WAL-off baseline via
+// BENCH_WAL.json (--json).
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "storage/wal.h"
+
+namespace softdb::bench {
+namespace {
+
+constexpr int kRows = 1500;
+constexpr int kRounds = 3;
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/softdb_benchwal_XXXXXX";
+  const char* d = ::mkdtemp(tmpl);
+  if (d == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::abort();
+  }
+  return d;
+}
+
+struct InsertRun {
+  double sec = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t wal_records = 0;
+};
+
+/// Creates the table and times kRows single-row inserts, accumulating the
+/// per-statement WAL attribution from ExecStats.
+InsertRun RunInserts(SoftDb* db) {
+  MustExecute(db,
+              "CREATE TABLE w (id BIGINT NOT NULL, v BIGINT, tag VARCHAR)");
+  InsertRun run;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRows; ++i) {
+    QueryResult r = MustExecute(
+        db, "INSERT INTO w VALUES (" + std::to_string(i) + ", " +
+                std::to_string(i % 997) + ", 'r')");
+    run.fsyncs += r.exec_stats.wal_fsyncs;
+    run.wal_records += r.exec_stats.wal_records;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  run.sec = std::chrono::duration<double>(t1 - t0).count();
+  return run;
+}
+
+struct SweepPoint {
+  std::size_t sync_every_n = 1;
+  double insert_sec = 0;    // Best-of-rounds wall time for kRows inserts.
+  double recovery_sec = 0;  // Best-of-rounds full-log replay time.
+  std::uint64_t fsyncs = 0;
+  std::uint64_t wal_records = 0;
+};
+
+SweepPoint MeasureWalOn(std::size_t sync_every_n) {
+  SweepPoint point;
+  point.sync_every_n = sync_every_n;
+  point.insert_sec = 1e30;
+  point.recovery_sec = 1e30;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::string dir = MakeTempDir();
+    {
+      EngineOptions options;
+      options.wal_dir = dir;
+      options.wal_sync_every_n = sync_every_n;
+      SoftDb db(options);
+      const InsertRun run = RunInserts(&db);
+      point.insert_sec = std::min(point.insert_sec, run.sec);
+      point.fsyncs = run.fsyncs;
+      point.wal_records = run.wal_records;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto recovered = SoftDb::Recover(dir);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered.status().ToString().c_str());
+      std::abort();
+    }
+    point.recovery_sec = std::min(
+        point.recovery_sec, std::chrono::duration<double>(t1 - t0).count());
+    const std::uint64_t rows =
+        MustExecute(recovered->get(), "SELECT * FROM w").rows.NumRows();
+    if (rows != static_cast<std::uint64_t>(kRows)) {
+      std::fprintf(stderr, "recovered %llu rows, want %d\n",
+                   static_cast<unsigned long long>(rows), kRows);
+      std::abort();
+    }
+    recovered->reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  return point;
+}
+
+double MeasureWalOff() {
+  double best = 1e30;
+  for (int round = 0; round < kRounds; ++round) {
+    SoftDb db;
+    best = std::min(best, RunInserts(&db).sec);
+  }
+  return best;
+}
+
+void PrintAndEmit(bool emit_json) {
+  Banner("WAL durability cost (single-row inserts, best of " +
+         std::to_string(kRounds) + " rounds)");
+  const double off_sec = MeasureWalOff();
+  const std::vector<std::size_t> sweep = {1, 32, 256};
+  std::vector<SweepPoint> points;
+  points.reserve(sweep.size());
+  for (const std::size_t n : sweep) points.push_back(MeasureWalOn(n));
+
+  TablePrinter table({"config", "inserts/sec", "overhead x", "fsyncs",
+                      "recovery sec"});
+  table.PrintRow({"wal off", Fmt("%.0f", kRows / off_sec), "1.00", "0", "-"});
+  for (const SweepPoint& p : points) {
+    table.PrintRow({"sync=" + std::to_string(p.sync_every_n),
+                    Fmt("%.0f", kRows / p.insert_sec),
+                    Fmt("%.2f", p.insert_sec / off_sec), FmtU(p.fsyncs),
+                    Fmt("%.4f", p.recovery_sec)});
+  }
+  table.PrintRule();
+
+  if (!emit_json) return;
+  JsonWriter j;
+  j.Add("bench", "WAL");
+  j.Add("insert_rows", kRows);
+  j.Add("rounds", kRounds);
+  j.Add("wal_off_sec", off_sec);
+  for (const SweepPoint& p : points) {
+    const std::string tag = "sync_" + std::to_string(p.sync_every_n);
+    j.Add("wal_on_sec_" + tag, p.insert_sec);
+    j.Add("wal_overhead_x_" + tag,
+          off_sec > 0 ? p.insert_sec / off_sec : 0.0);
+    j.Add("fsyncs_" + tag, p.fsyncs);
+    j.Add("wal_records_" + tag, p.wal_records);
+    j.Add("recovery_sec_" + tag, p.recovery_sec);
+  }
+  j.WriteFile("BENCH_WAL.json");
+}
+
+/// Static WAL-backed engine for the microbenchmark loop; the log directory
+/// is torn down with the engine at process exit.
+struct StaticWalDb {
+  StaticWalDb(std::size_t sync_every_n) : dir(MakeTempDir()) {
+    EngineOptions options;
+    options.wal_dir = dir;
+    options.wal_sync_every_n = sync_every_n;
+    db = std::make_unique<SoftDb>(options);
+    MustExecute(db.get(),
+                "CREATE TABLE w (id BIGINT NOT NULL, v BIGINT, tag VARCHAR)");
+  }
+  ~StaticWalDb() {
+    db.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  std::string dir;
+  std::unique_ptr<SoftDb> db;
+};
+
+void BM_InsertWalOff(::benchmark::State& state) {
+  static SoftDb* db = [] {
+    auto* fresh = new SoftDb();
+    MustExecute(fresh,
+                "CREATE TABLE w (id BIGINT NOT NULL, v BIGINT, tag VARCHAR)");
+    return fresh;
+  }();
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto r = MustExecute(db, "INSERT INTO w VALUES (" + std::to_string(i++) +
+                                 ", 1, 'r')");
+    ::benchmark::DoNotOptimize(r.rows.NumRows());
+  }
+}
+BENCHMARK(BM_InsertWalOff);
+
+void BM_InsertWalOnSync256(::benchmark::State& state) {
+  static StaticWalDb wal(256);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto r = MustExecute(wal.db.get(),
+                         "INSERT INTO w VALUES (" + std::to_string(i++) +
+                             ", 1, 'r')");
+    ::benchmark::DoNotOptimize(r.rows.NumRows());
+  }
+}
+BENCHMARK(BM_InsertWalOnSync256);
+
+}  // namespace
+}  // namespace softdb::bench
+
+int main(int argc, char** argv) {
+  const bool emit_json = softdb::bench::StripJsonFlag(&argc, argv);
+  softdb::bench::PrintAndEmit(emit_json);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

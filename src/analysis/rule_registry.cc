@@ -45,6 +45,9 @@ const std::vector<RuleSpec>& AllRules() {
        "An SC's declared confidence is below the currency threshold."},
       {"dead-sc", "softdb_lint", "warning",
        "No workload query can statically exploit the SC."},
+      {"wal-dangling-transition", "softdb_lint", "error",
+       "The WAL records an SC arm transition with no matching commit: a "
+       "maintenance pass died mid-arm, and recovery will disarm the SC."},
       // ------------------------------------------------------------ shared
       {"workload-unparseable-statement", "both", "warning",
        "A workload statement could not be parsed or bound against the "

@@ -22,6 +22,7 @@
 #include "sql/binder.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
+#include "storage/wal.h"
 
 namespace softdb {
 
@@ -1034,6 +1035,86 @@ Result<LintReport> LintCatalog(const std::string& catalog_script,
     const std::vector<StatementFacts> statements =
         AnalyzeWorkload(&db, workload_sqls, &report);
     CheckDeadEntries(db, statements, &report);
+  }
+  return report;
+}
+
+Result<LintReport> LintWal(const std::string& wal_dir) {
+  SOFTDB_ASSIGN_OR_RETURN(std::vector<std::uint64_t> seqs,
+                          ListWalSegments(wal_dir));
+  if (seqs.empty()) {
+    return Status::NotFound("no WAL segments in '" + wal_dir + "'");
+  }
+
+  // Mirror recovery's pending-arm bookkeeping exactly (SoftDb::Recover):
+  // every transition record overwrites the SC's pending slot, a commit or
+  // a drop clears it, and whatever is left armed-but-uncommitted at end of
+  // log is what recovery would disarm.
+  struct PendingArm {
+    ScState from;
+    ScState to;
+    std::uint64_t epoch;
+    ScArmMode mode;
+    std::uint64_t seq;  // Segment the transition was logged in.
+  };
+  std::map<std::string, PendingArm> pending;
+
+  LintReport report;
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    const bool is_last = i + 1 == seqs.size();
+    SOFTDB_ASSIGN_OR_RETURN(
+        WalSegment segment,
+        ReadWalSegment(WalSegmentPath(wal_dir, seqs[i]), is_last));
+    for (const WalRecord& record : segment.records) {
+      switch (record.kind) {
+        case WalRecordKind::kScTransition: {
+          BinReader r(record.payload);
+          SOFTDB_ASSIGN_OR_RETURN(std::string name, r.GetString());
+          SOFTDB_ASSIGN_OR_RETURN(std::uint8_t from, r.GetU8());
+          SOFTDB_ASSIGN_OR_RETURN(std::uint8_t to, r.GetU8());
+          SOFTDB_ASSIGN_OR_RETURN(std::uint64_t epoch, r.GetU64());
+          SOFTDB_ASSIGN_OR_RETURN(std::uint8_t mode, r.GetU8());
+          if (to > static_cast<std::uint8_t>(ScState::kDropped) ||
+              from > static_cast<std::uint8_t>(ScState::kDropped) ||
+              mode > static_cast<std::uint8_t>(ScArmMode::kVerify)) {
+            return Status::DataLoss("WAL transition record for '" + name +
+                                    "' carries out-of-range enum values");
+          }
+          pending[name] =
+              PendingArm{static_cast<ScState>(from), static_cast<ScState>(to),
+                         epoch, static_cast<ScArmMode>(mode), seqs[i]};
+          break;
+        }
+        case WalRecordKind::kScArmCommit: {
+          BinReader r(record.payload);
+          SOFTDB_ASSIGN_OR_RETURN(std::string name, r.GetString());
+          pending.erase(name);
+          break;
+        }
+        case WalRecordKind::kScDrop: {
+          BinReader r(record.payload);
+          SOFTDB_ASSIGN_OR_RETURN(std::string name, r.GetString());
+          pending.erase(name);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  for (const auto& [name, arm] : pending) {
+    if (arm.to != ScState::kActive) continue;
+    const char* mode = arm.mode == ScArmMode::kRepairFull ? "repair-full"
+                       : arm.mode == ScArmMode::kVerify   ? "verify"
+                                                          : "none";
+    Report(&report, "wal-dangling-transition", "error", name,
+           StrFormat("arm %s -> %s at epoch %llu (mode %s, segment %llu) "
+                     "has no commit record; recovery will disarm this SC "
+                     "into the repair queue",
+                     ScStateName(arm.from), ScStateName(arm.to),
+                     static_cast<unsigned long long>(arm.epoch), mode,
+                     static_cast<unsigned long long>(arm.seq)));
   }
   return report;
 }

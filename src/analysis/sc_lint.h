@@ -83,6 +83,17 @@ Result<LintReport> LintCatalog(const std::string& catalog_script,
                                const std::vector<std::string>& workload_sqls,
                                const LintOptions& options = {});
 
+/// Statically audits a WAL directory (the `wal.<seq>.log` segments a
+/// WAL-enabled engine writes, see DESIGN.md §14) for SC lifecycle records
+/// that recovery would have to repair: an arm transition into ACTIVE whose
+/// commit record never reached the log is a `wal-dangling-transition`
+/// error — the maintenance pass died mid-arm (or the commit was torn off
+/// the tail), and any engine recovering from this log will disarm the SC
+/// back into the repair queue. Torn tails are tolerated exactly as
+/// recovery tolerates them; a missing directory or one with no segments is
+/// NotFound, and corrupt frames surface the underlying DataLoss.
+Result<LintReport> LintWal(const std::string& wal_dir);
+
 /// Splits a script on top-level ';' (quote-aware) after stripping `--`
 /// comments. Exposed for the CLI's workload loader.
 std::vector<std::string> SplitStatements(const std::string& script);

@@ -43,6 +43,11 @@ namespace softdb {
 ///   exec.hash_join_build  hash-join build-side materialization
 ///   exec.batch_scan       vectorized scan batch production
 ///   plan_cache.insert     plan-cache Put (fires -> entry not cached)
+///   wal.append            WAL record write (fires -> record not written)
+///   wal.fsync             WAL group-commit fsync (record written, unsynced)
+///   wal.checkpoint_begin  before the checkpoint-begin marker is logged
+///   wal.checkpoint_end    before the checkpoint-end marker is logged
+///   wal.truncate          before old segments are dropped post-checkpoint
 class Failpoints {
  public:
   enum class Trigger { kOff, kAlways, kEveryNth, kProbability };

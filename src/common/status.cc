@@ -32,6 +32,10 @@ const char* StatusCodeName(StatusCode code) {
       return "cancelled";
     case StatusCode::kResourceExhausted:
       return "resource exhausted";
+    case StatusCode::kIOError:
+      return "io error";
+    case StatusCode::kDataLoss:
+      return "data loss";
   }
   return "unknown";
 }

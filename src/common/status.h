@@ -23,6 +23,8 @@ enum class StatusCode {
   kDeadlineExceeded,
   kCancelled,
   kResourceExhausted,
+  kIOError,    // Filesystem/WAL write failure; durability not guaranteed.
+  kDataLoss,   // Durable state unreadable (mid-log corruption, bad CRC).
 };
 
 /// Returns a stable, lowercase name for `code` (e.g. "constraint violation").
@@ -83,6 +85,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

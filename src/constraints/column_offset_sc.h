@@ -70,6 +70,13 @@ class ColumnOffsetSc final : public SoftConstraint {
   /// Returns nullopt before the first Verify.
   std::optional<double> DurationSelectivity(CompareOp op, double c) const;
 
+  /// Checkpoint loading: reinstates a serialized duration histogram so the
+  /// recovered SC estimates like the pre-crash one without a rescan.
+  void RestoreDurationHistogram(EquiDepthHistogram h) {
+    std::unique_lock<std::shared_mutex> lk(params_mu_);
+    duration_histogram_ = std::move(h);
+  }
+
   Result<bool> CheckRow(const Catalog& catalog,
                         const std::vector<Value>& row) const override;
   Status RepairForRow(const std::vector<Value>& row) override;

@@ -55,6 +55,15 @@ class IcRegistry {
   IntegrityConstraint* Find(const std::string& name) const;
   Status Drop(const std::string& name);
 
+  /// Every registered constraint, in registration order (checkpoint
+  /// serialization).
+  std::vector<IntegrityConstraint*> All() const {
+    std::vector<IntegrityConstraint*> out;
+    out.reserve(constraints_.size());
+    for (const IcPtr& ic : constraints_) out.push_back(ic.get());
+    return out;
+  }
+
   std::size_t size() const { return constraints_.size(); }
 
   /// Total row checks executed (the E7 maintenance-cost metric).

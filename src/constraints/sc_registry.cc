@@ -16,11 +16,26 @@ Status ScRegistry::Add(ScPtr sc, const Catalog& catalog, bool verify_now) {
     // Verification reads the catalog; keep it outside the list lock.
     SOFTDB_RETURN_IF_ERROR(sc->Verify(catalog).status());
   }
-  std::unique_lock<std::shared_mutex> lk(list_mu_);
-  if (FindLocked(sc->name()) != nullptr) {  // Lost a concurrent-Add race.
-    return Status::AlreadyExists("soft constraint exists: " + sc->name());
+  ScSharedPtr shared(std::move(sc));
+  {
+    std::unique_lock<std::shared_mutex> lk(list_mu_);
+    if (FindLocked(shared->name()) != nullptr) {  // Lost a concurrent-Add race.
+      return Status::AlreadyExists("soft constraint exists: " + shared->name());
+    }
+    constraints_.push_back(shared);
   }
-  constraints_.push_back(ScSharedPtr(std::move(sc)));
+  if (wal_log_ != nullptr) {
+    // Registration must be durable before it is acknowledged; on a log
+    // failure the SC is unregistered again so memory and log agree.
+    Status st = wal_log_->LogRegister(*shared);
+    if (!st.ok()) {
+      std::unique_lock<std::shared_mutex> lk(list_mu_);
+      constraints_.erase(
+          std::remove(constraints_.begin(), constraints_.end(), shared),
+          constraints_.end());
+      return st;
+    }
+  }
   return Status::OK();
 }
 
@@ -57,6 +72,9 @@ Status ScRegistry::Drop(const std::string& name) {
   dropped->set_state(ScState::kDropped);
   stats_.drops.fetch_add(1, std::memory_order_relaxed);
   FireViolation(*dropped);  // Without the list lock (listener locks).
+  if (wal_log_ != nullptr) {
+    SOFTDB_RETURN_IF_ERROR(wal_log_->LogDrop(*dropped));
+  }
   return Status::OK();
 }
 
@@ -321,6 +339,23 @@ RepairStepResult ScRegistry::AttemptRepair(const Catalog& catalog,
     }
     if (st.ok()) {
       sc->set_state(ScState::kActive);
+      if (wal_log_ != nullptr) {
+        // Durable arm protocol (DESIGN.md §14): the arm counts only when
+        // both the transition and its commit record land. On a log
+        // failure the in-memory arm is reverted and the attempt treated
+        // as failed; the log may retain a dangling transition, which
+        // recovery disarms.
+        Status wst = wal_log_->LogTransition(*sc, ScState::kRepairQueued,
+                                             ScState::kActive,
+                                             ScArmMode::kRepairFull);
+        if (wst.ok()) wst = wal_log_->LogArmCommit(*sc);
+        if (!wst.ok()) {
+          sc->set_state(ScState::kRepairQueued);
+          st = std::move(wst);
+        }
+      }
+    }
+    if (st.ok()) {
       outcome = RepairStepResult::kRepaired;
     } else {
       error = std::move(st);
@@ -329,6 +364,13 @@ RepairStepResult ScRegistry::AttemptRepair(const Catalog& catalog,
         // Poison SC: demote out of the queue for good, like a drop, but
         // keep it listed so audits and catalog dumps surface it.
         sc->set_state(ScState::kQuarantined);
+        if (wal_log_ != nullptr) {
+          // Best effort: a lost quarantine record only means recovery
+          // leaves the SC queued and repair re-quarantines it.
+          (void)wal_log_->LogTransition(*sc, ScState::kRepairQueued,
+                                        ScState::kQuarantined,
+                                        ScArmMode::kNone);
+        }
         outcome = RepairStepResult::kQuarantined;
       } else {
         outcome = RepairStepResult::kRequeued;
@@ -342,14 +384,19 @@ RepairStepResult ScRegistry::AttemptRepair(const Catalog& catalog,
       break;
     case RepairStepResult::kRequeued: {
       stats_.repair_failures.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lk(aux_mu_);
-      if (queued_names_.insert(ticket.name).second) {
-        ticket.not_before = std::chrono::steady_clock::now() +
-                            BackoffLocked(ticket.attempts);
-        repair_audit_.push_back(
-            {ticket.name, ticket.attempts, error.message(), "requeued"});
-        repair_queue_.push_back(std::move(ticket));
+      RepairAuditRecord audit{ticket.name, ticket.attempts, error.message(),
+                              "requeued"};
+      bool requeued = false;
+      {
+        std::lock_guard<std::mutex> lk(aux_mu_);
+        if (queued_names_.insert(ticket.name).second) {
+          ticket.not_before = std::chrono::steady_clock::now() +
+                              BackoffLocked(ticket.attempts);
+          repair_queue_.push_back(std::move(ticket));
+          requeued = true;
+        }
       }
+      if (requeued) RecordAudit(std::move(audit));
       break;
     }
     case RepairStepResult::kQuarantined:
@@ -378,6 +425,10 @@ std::chrono::milliseconds ScRegistry::BackoffLocked(std::size_t attempts) {
 }
 
 void ScRegistry::RecordAudit(RepairAuditRecord record) {
+  if (wal_log_ != nullptr) {
+    // Best effort: the audit trail is diagnostic, not load-bearing.
+    (void)wal_log_->LogAudit(record);
+  }
   std::lock_guard<std::mutex> lk(aux_mu_);
   repair_audit_.push_back(std::move(record));
 }
@@ -422,7 +473,16 @@ Status ScRegistry::VerifyAll(const Catalog& catalog) {
         sc->state() == ScState::kQuarantined) {
       continue;
     }
+    const ScState before = sc->state();
     SOFTDB_RETURN_IF_ERROR(sc->Verify(catalog).status());
+    if (wal_log_ != nullptr) {
+      // Logged even when the state did not change: Verify refreshes
+      // confidence and the currency baseline, which replay re-derives by
+      // re-running Verify at the same log position (arm mode kVerify).
+      SOFTDB_RETURN_IF_ERROR(wal_log_->LogTransition(*sc, before, sc->state(),
+                                                     ScArmMode::kVerify));
+      SOFTDB_RETURN_IF_ERROR(wal_log_->LogArmCommit(*sc));
+    }
   }
   return Status::OK();
 }
@@ -443,6 +503,60 @@ double ScRegistry::TotalBenefit(const std::string& name) const {
   std::lock_guard<std::mutex> lk(aux_mu_);
   auto it = benefits_.find(name);
   return it == benefits_.end() ? 0.0 : it->second;
+}
+
+void ScRegistry::RestoreTicket(const std::string& name, std::size_t attempts) {
+  std::lock_guard<std::mutex> lk(aux_mu_);
+  if (queued_names_.insert(name).second) {
+    repair_queue_.push_back(
+        RepairTicket{name, attempts, std::chrono::steady_clock::now()});
+  }
+}
+
+void ScRegistry::DropTicket(const std::string& name) {
+  std::lock_guard<std::mutex> lk(aux_mu_);
+  if (queued_names_.erase(name) == 0) return;
+  for (auto it = repair_queue_.begin(); it != repair_queue_.end(); ++it) {
+    if (it->name == name) {
+      repair_queue_.erase(it);
+      break;
+    }
+  }
+}
+
+void ScRegistry::RestoreAudit(RepairAuditRecord record) {
+  std::lock_guard<std::mutex> lk(aux_mu_);
+  repair_audit_.push_back(std::move(record));
+}
+
+std::vector<std::pair<std::string, std::size_t>> ScRegistry::TicketSnapshot()
+    const {
+  std::lock_guard<std::mutex> lk(aux_mu_);
+  std::vector<std::pair<std::string, std::size_t>> out;
+  out.reserve(repair_queue_.size());
+  for (const RepairTicket& t : repair_queue_) {
+    out.emplace_back(t.name, t.attempts);
+  }
+  return out;
+}
+
+void ScRegistry::RestoreUse(const std::string& name, std::uint64_t count,
+                            double benefit) {
+  std::lock_guard<std::mutex> lk(aux_mu_);
+  use_counts_[name] = count;
+  benefits_[name] = benefit;
+}
+
+std::vector<std::tuple<std::string, std::uint64_t, double>>
+ScRegistry::UseSnapshot() const {
+  std::lock_guard<std::mutex> lk(aux_mu_);
+  std::vector<std::tuple<std::string, std::uint64_t, double>> out;
+  out.reserve(use_counts_.size());
+  for (const auto& [name, count] : use_counts_) {
+    const auto bit = benefits_.find(name);
+    out.emplace_back(name, count, bit == benefits_.end() ? 0.0 : bit->second);
+  }
+  return out;
 }
 
 }  // namespace softdb

@@ -12,6 +12,8 @@
 #include <set>
 #include <shared_mutex>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -64,6 +66,36 @@ struct RepairAuditRecord {
   std::size_t attempts = 0;  // Attempts consumed when the action was taken.
   std::string last_error;    // Message of the failed attempt, if any.
   std::string action;        // "repaired" | "requeued" | "quarantined".
+};
+
+/// How an SC re-entered kActive — recorded in the durable arm transition so
+/// recovery re-derives parameters exactly the way the live engine did
+/// (exact repair refits them; a verify resurrect keeps them and recounts).
+enum class ScArmMode : std::uint8_t {
+  kNone = 0,      // Not an arm (transition away from active).
+  kRepairFull,    // Async repair: RepairFull recomputed parameters.
+  kVerify,        // VerifyAll resurrected the SC via a clean recount.
+};
+
+/// Durability hook implemented by the engine's DurabilityManager
+/// (storage/recovery.h). Only lifecycle changes that deterministic DML
+/// replay can NOT reproduce go through it: registration, drop, repair
+/// arms, quarantines, verify-driven transitions, and audit entries.
+/// DML-driven transitions (policy reactions inside OnInsert, zone-map
+/// folds, hole invalidations, sync-repair widens) are intentionally not
+/// logged — replaying the logged row images through the full maintenance
+/// pipeline recomputes them (DESIGN.md §14). An arm is durable only when
+/// LogTransition(→kActive) is followed by LogArmCommit; recovery disarms
+/// any dangling arm and re-enqueues it for revalidation.
+class ScWalLog {
+ public:
+  virtual ~ScWalLog() = default;
+  virtual Status LogRegister(const SoftConstraint& sc) = 0;
+  virtual Status LogDrop(const SoftConstraint& sc) = 0;
+  virtual Status LogTransition(const SoftConstraint& sc, ScState from,
+                               ScState to, ScArmMode mode) = 0;
+  virtual Status LogArmCommit(const SoftConstraint& sc) = 0;
+  virtual Status LogAudit(const RepairAuditRecord& record) = 0;
 };
 
 /// What one RepairStep call did.
@@ -176,6 +208,31 @@ class ScRegistry {
 
   std::size_t size() const;
 
+  /// Attaches (or detaches, with null) the durability hook. The hook must
+  /// outlive the registry or be detached first; it is invoked without the
+  /// list lock held and must never call back into the registry.
+  void SetWalLog(ScWalLog* log) { wal_log_ = log; }
+
+  // Checkpoint/recovery plumbing (storage/recovery.cc). None of these go
+  // through the WAL hook: they *reinstate* durable state, they don't
+  // create it.
+  /// Re-enqueues a repair ticket verbatim (due immediately); dedups like a
+  /// live enqueue.
+  void RestoreTicket(const std::string& name, std::size_t attempts);
+  /// Removes any queued ticket for `name` (a replayed arm commit means the
+  /// live engine had already popped it).
+  void DropTicket(const std::string& name);
+  /// Appends one audit record without logging it.
+  void RestoreAudit(RepairAuditRecord record);
+  /// Queued tickets as {name, attempts}, in queue order.
+  std::vector<std::pair<std::string, std::size_t>> TicketSnapshot() const;
+  /// Reinstates selection accounting for one SC.
+  void RestoreUse(const std::string& name, std::uint64_t count,
+                  double benefit);
+  /// Selection accounting as {name, use_count, total_benefit}.
+  std::vector<std::tuple<std::string, std::uint64_t, double>> UseSnapshot()
+      const;
+
  private:
   using ScSharedPtr = std::shared_ptr<SoftConstraint>;
 
@@ -217,6 +274,7 @@ class ScRegistry {
 
   ViolationListener listener_;
   ScMaintenanceStats stats_;
+  ScWalLog* wal_log_ = nullptr;
 };
 
 }  // namespace softdb

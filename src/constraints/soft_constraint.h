@@ -172,6 +172,22 @@ class SoftConstraint {
   /// updates confidence and the currency baseline.
   Result<ScVerifyOutcome> Verify(const Catalog& catalog);
 
+  /// Crash recovery only: installs a durably-recorded lifecycle verbatim —
+  /// no epoch bump, no verification (recovery bumps every epoch itself
+  /// once replay finishes, so recovered epochs strictly dominate any
+  /// pre-crash snapshot; see DESIGN.md §14).
+  void RestoreLifecycle(ScState state, std::uint64_t epoch, double confidence,
+                        ScMaintenancePolicy policy,
+                        std::uint64_t verified_version,
+                        std::uint64_t verified_rows) {
+    state_.store(state, std::memory_order_release);
+    epoch_.store(epoch, std::memory_order_release);
+    confidence_.store(confidence, std::memory_order_release);
+    policy_.store(policy, std::memory_order_release);
+    verified_version_.store(verified_version, std::memory_order_release);
+    verified_rows_.store(verified_rows, std::memory_order_release);
+  }
+
   /// Side-effect-free violation recount against the current database
   /// state: no confidence or currency update. The impact-analysis fuzz
   /// harness uses this as ground truth for "did this DML statement

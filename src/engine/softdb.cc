@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 
 #include "analysis/impact.h"
 #include "analysis/plan_verifier.h"
@@ -14,6 +15,7 @@
 #include "optimizer/rewriter.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
+#include "storage/recovery.h"
 
 namespace softdb {
 
@@ -23,6 +25,35 @@ SoftDb::SoftDb(EngineOptions options) : options_(options) {
   scs_.SetViolationListener([this](const SoftConstraint& sc) {
     plan_cache_.OnScViolated(sc.name());
   });
+  if (!options_.wal_dir.empty()) {
+    // A directory already holding a log (or checkpoint) is a crashed
+    // engine's durable state: opening a fresh writer over it would orphan
+    // that state, so refuse and point at Recover. The failure is deferred
+    // (WalReady) so construction itself stays noexcept-ish.
+    Result<std::vector<std::uint64_t>> seqs =
+        ListWalSegments(options_.wal_dir);
+    std::error_code ec;
+    const bool has_checkpoint =
+        std::filesystem::exists(CheckpointPath(options_.wal_dir), ec);
+    if (!seqs.ok()) {
+      wal_error_ = seqs.status();
+    } else if (!seqs->empty() || has_checkpoint) {
+      wal_error_ = Status::InvalidArgument(
+          options_.wal_dir +
+          " holds an existing log; recover it with SoftDb::Recover");
+    } else {
+      const std::size_t sync_every_n =
+          options_.wal_sync_every_n == 0 ? 1 : options_.wal_sync_every_n;
+      Result<std::unique_ptr<DurabilityManager>> wal =
+          DurabilityManager::Open(options_.wal_dir, 1, sync_every_n);
+      if (!wal.ok()) {
+        wal_error_ = wal.status();
+      } else {
+        wal_ = std::move(*wal);
+        scs_.SetWalLog(wal_.get());
+      }
+    }
+  }
   if (options_.enable_repair_worker) StartRepairWorker();
 }
 
@@ -123,6 +154,11 @@ Status SoftDb::InsertRow(const std::string& table_name,
   SOFTDB_RETURN_IF_ERROR(scs_.OnRowAppended(catalog_, table->name(), rid,
                                             row));
   SOFTDB_RETURN_IF_ERROR(mvs_.OnBaseInsert(table->name(), row));
+  // Apply-first, then log (see storage/recovery.h): the coerced row image
+  // is what replay feeds back through this same pipeline.
+  if (wal_ != nullptr && !recovering_) {
+    SOFTDB_RETURN_IF_ERROR(wal_->LogInsert(table->name(), row));
+  }
   return Status::OK();
 }
 
@@ -163,6 +199,9 @@ Result<MaterializedView*> SoftDb::CreateExceptionAst(
       MaterializedView * view,
       mvs_.Define(view_name, sc->table(), std::move(violation), catalog_));
   exception_asts_[sc_name] = view_name;
+  if (wal_ != nullptr && !recovering_) {
+    SOFTDB_RETURN_IF_ERROR(wal_->LogExceptionAst(sc_name));
+  }
   return view;
 }
 
@@ -583,30 +622,42 @@ Result<std::uint64_t> SoftDb::ExecuteUpdate(const UpdateStmt& stmt) {
       }
       new_row[col] = std::move(v);
     }
-    // Re-check ICs as delete + insert so unique keys do not self-conflict.
-    ics_.AfterDelete(table->name(), old_row);
-    Status check = ics_.CheckInsert(catalog_, table->name(), new_row);
-    if (!check.ok()) {
-      ics_.AfterInsert(table->name(), old_row);
-      return check;
-    }
-    // Zone maps fold the update BEFORE the cells mutate (they read the old
-    // value) and bump their epoch when the envelope widens, degrading any
-    // in-flight query that consumed a now-stale skip set.
-    SOFTDB_RETURN_IF_ERROR(scs_.OnRowUpdated(catalog_, table->name(), r,
-                                             new_row));
-    for (const auto& [col, expr] : assignments) {
-      (void)expr;
-      catalog_.NotifyUpdate(table, r, col, old_row[col], new_row[col]);
-      SOFTDB_RETURN_IF_ERROR(table->Set(r, col, new_row[col]));
-    }
-    ics_.AfterInsert(table->name(), new_row);
-    SOFTDB_RETURN_IF_ERROR(scs_.OnInsert(catalog_, table->name(), new_row,
-                                         scope));
-    SOFTDB_RETURN_IF_ERROR(mvs_.OnBaseDelete(table->name(), old_row));
-    SOFTDB_RETURN_IF_ERROR(mvs_.OnBaseInsert(table->name(), new_row));
+    SOFTDB_RETURN_IF_ERROR(ApplyUpdateRow(table, r, old_row, new_row, scope));
   }
   return static_cast<std::uint64_t>(matches.size());
+}
+
+Status SoftDb::ApplyUpdateRow(Table* table, RowId rid,
+                              const std::vector<Value>& old_row,
+                              const std::vector<Value>& new_row,
+                              const std::set<std::string>* sc_scope) {
+  // Re-check ICs as delete + insert so unique keys do not self-conflict.
+  ics_.AfterDelete(table->name(), old_row);
+  Status check = ics_.CheckInsert(catalog_, table->name(), new_row);
+  if (!check.ok()) {
+    ics_.AfterInsert(table->name(), old_row);
+    return check;
+  }
+  // Zone maps fold the update BEFORE the cells mutate (they read the old
+  // value) and bump their epoch when the envelope widens, degrading any
+  // in-flight query that consumed a now-stale skip set.
+  SOFTDB_RETURN_IF_ERROR(scs_.OnRowUpdated(catalog_, table->name(), rid,
+                                           new_row));
+  const Schema& schema = table->schema();
+  for (std::size_t c = 0; c < schema.NumColumns(); ++c) {
+    const ColumnIdx col = static_cast<ColumnIdx>(c);
+    catalog_.NotifyUpdate(table, rid, col, old_row[col], new_row[col]);
+    SOFTDB_RETURN_IF_ERROR(table->Set(rid, col, new_row[col]));
+  }
+  ics_.AfterInsert(table->name(), new_row);
+  SOFTDB_RETURN_IF_ERROR(scs_.OnInsert(catalog_, table->name(), new_row,
+                                       sc_scope));
+  SOFTDB_RETURN_IF_ERROR(mvs_.OnBaseDelete(table->name(), old_row));
+  SOFTDB_RETURN_IF_ERROR(mvs_.OnBaseInsert(table->name(), new_row));
+  if (wal_ != nullptr && !recovering_) {
+    SOFTDB_RETURN_IF_ERROR(wal_->LogUpdate(table->name(), rid, new_row));
+  }
+  return Status::OK();
 }
 
 Result<std::uint64_t> SoftDb::ExecuteDelete(const DeleteStmt& stmt) {
@@ -626,13 +677,21 @@ Result<std::uint64_t> SoftDb::ExecuteDelete(const DeleteStmt& stmt) {
     matches.push_back(r);
   }
   for (RowId r : matches) {
-    std::vector<Value> old_row = table->GetRow(r);
-    SOFTDB_RETURN_IF_ERROR(table->Delete(r));
-    catalog_.NotifyDelete(table, r, old_row);
-    ics_.AfterDelete(table->name(), old_row);
-    SOFTDB_RETURN_IF_ERROR(mvs_.OnBaseDelete(table->name(), old_row));
+    SOFTDB_RETURN_IF_ERROR(ApplyDeleteRow(table, r, table->GetRow(r)));
   }
   return static_cast<std::uint64_t>(matches.size());
+}
+
+Status SoftDb::ApplyDeleteRow(Table* table, RowId rid,
+                              const std::vector<Value>& old_row) {
+  SOFTDB_RETURN_IF_ERROR(table->Delete(rid));
+  catalog_.NotifyDelete(table, rid, old_row);
+  ics_.AfterDelete(table->name(), old_row);
+  SOFTDB_RETURN_IF_ERROR(mvs_.OnBaseDelete(table->name(), old_row));
+  if (wal_ != nullptr && !recovering_) {
+    SOFTDB_RETURN_IF_ERROR(wal_->LogDelete(table->name(), rid));
+  }
+  return Status::OK();
 }
 
 Status SoftDb::ExecuteCreateTable(const CreateTableStmt& stmt) {
@@ -730,8 +789,31 @@ Result<QueryResult> SoftDb::Execute(const std::string& sql) {
 
 Result<QueryResult> SoftDb::Execute(const std::string& sql,
                                     const QueryContext* query) {
+  SOFTDB_RETURN_IF_ERROR(WalReady());
+  if (wal_ == nullptr || recovering_) return Dispatch(sql, query);
+  // Attribute WAL activity to this statement: the writer's counters are
+  // engine-cumulative, so the statement's share is the delta around
+  // dispatch.
+  const WalStats before = wal_->stats();
+  SOFTDB_ASSIGN_OR_RETURN(QueryResult result, Dispatch(sql, query));
+  const WalStats after = wal_->stats();
+  result.exec_stats.wal_records +=
+      after.records_appended - before.records_appended;
+  result.exec_stats.wal_bytes += after.bytes_appended - before.bytes_appended;
+  result.exec_stats.wal_fsyncs += after.fsyncs - before.fsyncs;
+  return result;
+}
+
+Result<QueryResult> SoftDb::Dispatch(const std::string& sql,
+                                     const QueryContext* query) {
   if (query != nullptr) SOFTDB_RETURN_IF_ERROR(query->Check());
   SOFTDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  // DDL is logged as raw SQL after it succeeds (apply-first); DML is not —
+  // each affected row logs its own image from the row pipeline.
+  const auto log_ddl = [&]() -> Status {
+    if (wal_ != nullptr && !recovering_) return wal_->LogDdl(sql);
+    return Status::OK();
+  };
   QueryResult result;
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
@@ -753,6 +835,7 @@ Result<QueryResult> SoftDb::Execute(const std::string& sql,
     }
     case Statement::Kind::kCreateTable:
       SOFTDB_RETURN_IF_ERROR(ExecuteCreateTable(*stmt.create_table));
+      SOFTDB_RETURN_IF_ERROR(log_ddl());
       return result;
     case Statement::Kind::kCreateIndex:
       SOFTDB_RETURN_IF_ERROR(catalog_
@@ -760,15 +843,18 @@ Result<QueryResult> SoftDb::Execute(const std::string& sql,
                                               stmt.create_index->table,
                                               stmt.create_index->column)
                                  .status());
+      SOFTDB_RETURN_IF_ERROR(log_ddl());
       return result;
     case Statement::Kind::kAnalyze:
       SOFTDB_RETURN_IF_ERROR(Analyze(stmt.analyze->table));
+      SOFTDB_RETURN_IF_ERROR(log_ddl());
       return result;
     case Statement::Kind::kDropTable:
       SOFTDB_RETURN_IF_ERROR(catalog_.DropTable(stmt.drop_table->table));
       // Scoped invalidation: only packages reading the dropped table go;
       // plans over other tables stay warm.
       plan_cache_.OnTableDropped(stmt.drop_table->table);
+      SOFTDB_RETURN_IF_ERROR(log_ddl());
       return result;
   }
   return Status::Internal("unhandled statement kind");
@@ -793,6 +879,15 @@ Result<std::string> SoftDb::Explain(const std::string& sql) {
   }
   for (const std::string& rule : result.applied_rules) {
     out += "rule: " + rule + "\n";
+  }
+  if (wal_ != nullptr) {
+    const WalStats ws = wal_->stats();
+    out += StrFormat(
+        "wal: records=%llu bytes=%llu fsyncs=%llu checkpoints=%llu\n",
+        static_cast<unsigned long long>(ws.records_appended),
+        static_cast<unsigned long long>(ws.bytes_appended),
+        static_cast<unsigned long long>(ws.fsyncs),
+        static_cast<unsigned long long>(ws.checkpoints));
   }
   return out;
 }

@@ -26,6 +26,8 @@
 namespace softdb {
 
 struct DmlImpact;
+class DurabilityManager;
+struct WalStats;
 
 /// Engine-level configuration: optimizer rule switches (defaults match the
 /// full soft-constraint pipeline) and execution knobs.
@@ -89,6 +91,15 @@ struct EngineOptions {
   /// exponential backoff, quarantines poison SCs after the attempt budget,
   /// and re-arms cached plans when a repair lands.
   bool enable_repair_worker = false;
+  /// Durability (DESIGN.md §14). Empty = in-memory only (the default).
+  /// Non-empty: open a binary write-ahead log in this directory at
+  /// construction. The directory must not already hold a log or checkpoint
+  /// — recover an existing one with SoftDb::Recover instead.
+  std::string wal_dir;
+  /// Group commit: fsync the log once every N appended records (1 = every
+  /// record). Larger N trades durability of the unsynced tail for
+  /// throughput; recovery's torn-tail handling covers the gap.
+  std::size_t wal_sync_every_n = 1;
 };
 
 /// Aggregate counters for the static DML impact analyzer (E7 companion to
@@ -201,9 +212,35 @@ class SoftDb {
   /// num_threads while queries are executing: resizing replaces the pool.
   TaskScheduler* scheduler();
 
+  /// The WAL + checkpoint manager, or null when wal_dir is empty (or the
+  /// log failed to open — see WalReady).
+  DurabilityManager* wal() { return wal_.get(); }
+
+  /// Snapshots the full engine state — catalog (tables, tombstones,
+  /// versions, indexes), ICs, statistics, SCs (lifecycle, epochs, zone-map
+  /// SMAs, envelopes, holes), repair queue/audit, use accounting, and
+  /// exception-AST registrations — to <wal_dir>/checkpoint.bin and
+  /// truncates the log (protocol in storage/recovery.h). Defined in
+  /// storage/recovery.cc.
+  Status Checkpoint();
+
+  /// Rebuilds an engine from a WAL directory: loads the checkpoint if one
+  /// exists, replays the log tail (torn-tail tolerant), disarms every SC
+  /// whose last durable arm lacks its commit record (re-enqueued for
+  /// revalidation, never trusted), bumps every SC epoch past its durable
+  /// value so recovered epochs strictly dominate pre-crash plan stamps,
+  /// and re-checkpoints. `options.wal_dir` is overwritten with `dir`.
+  /// Defined in storage/recovery.cc.
+  static Result<std::unique_ptr<SoftDb>> Recover(const std::string& dir,
+                                                 EngineOptions options = {});
+
  private:
   using ScEpochSnapshot = std::vector<std::pair<std::string, std::uint64_t>>;
 
+  /// Statement dispatch proper; Execute wraps it with the WAL health gate
+  /// and per-statement WAL stats attribution.
+  Result<QueryResult> Dispatch(const std::string& sql,
+                               const QueryContext* query);
   Result<QueryResult> ExecuteSelect(const std::string& sql,
                                     const SelectStmt& stmt, bool explain_only,
                                     const QueryContext* query);
@@ -235,6 +272,20 @@ class SoftDb {
   Result<std::uint64_t> ExecuteDelete(const DeleteStmt& stmt);
   Status ExecuteCreateTable(const CreateTableStmt& stmt);
   void RecordImpact(const DmlImpact& impact);
+  /// One row of an UPDATE: the full maintenance pipeline around replacing
+  /// `old_row` with `new_row` at `rid` (IC bookkeeping, index + cell
+  /// updates, SC folds, AST maintenance). Shared by ExecuteUpdate and WAL
+  /// replay so both derive identical SC state.
+  Status ApplyUpdateRow(Table* table, RowId rid,
+                        const std::vector<Value>& old_row,
+                        const std::vector<Value>& new_row,
+                        const std::set<std::string>* sc_scope);
+  /// One row of a DELETE (tombstone + index/IC/AST maintenance).
+  Status ApplyDeleteRow(Table* table, RowId rid,
+                        const std::vector<Value>& old_row);
+  /// OK when the engine has no WAL or a healthy one; the stored open error
+  /// otherwise (a wal_dir holding an existing log requires Recover).
+  Status WalReady() const { return wal_error_; }
 
   EngineOptions options_;
   Catalog catalog_;
@@ -249,6 +300,11 @@ class SoftDb {
   std::mutex scheduler_mu_;  // Guards lazy creation/resize of scheduler_.
   std::unique_ptr<TaskScheduler> scheduler_;
   std::unique_ptr<RepairWorker> repair_worker_;
+  std::unique_ptr<DurabilityManager> wal_;
+  Status wal_error_;        // Deferred wal_dir open failure (see WalReady).
+  bool recovering_ = false;  // Replay in progress: suppress WAL appends.
+
+  friend class DurabilityManager;
 };
 
 }  // namespace softdb

@@ -49,6 +49,14 @@ struct ExecStats {
   // engine-independent and part of the cross-engine equality invariant.
   std::uint64_t certificates_checked = 0;
   std::uint64_t certificates_failed = 0;
+  // Write-ahead-log activity attributed to this statement: records and
+  // bytes appended, fsyncs issued (DESIGN.md §14). Durability
+  // bookkeeping, not query work — 0 with the WAL off and on every SELECT,
+  // and, like `morsels`, excluded from the cross-engine stat-equality
+  // invariant.
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t wal_fsyncs = 0;
 
   void Reset() { *this = ExecStats{}; }
 
@@ -70,6 +78,9 @@ struct ExecStats {
     degraded_retries += other.degraded_retries;
     certificates_checked += other.certificates_checked;
     certificates_failed += other.certificates_failed;
+    wal_records += other.wal_records;
+    wal_bytes += other.wal_bytes;
+    wal_fsyncs += other.wal_fsyncs;
   }
 };
 

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -46,6 +47,25 @@ class StatsCatalog {
   std::uint64_t StalenessOf(const Table& table) const;
 
   void Clear();
+
+  /// Names of every analyzed table (checkpoint serialization).
+  std::vector<std::string> AnalyzedTables() const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    std::vector<std::string> names;
+    names.reserve(stats_.size());
+    for (const auto& [name, unused] : stats_) names.push_back(name);
+    return names;
+  }
+
+  /// Installs previously-computed stats verbatim (checkpoint loading) —
+  /// same publish-and-retire discipline as Analyze.
+  void Restore(const std::string& table_name, TableStats stats) {
+    auto fresh = std::make_unique<TableStats>(std::move(stats));
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    auto& slot = stats_[table_name];
+    if (slot) retired_.push_back(std::move(slot));
+    slot = std::move(fresh);
+  }
 
  private:
   mutable std::shared_mutex mu_;

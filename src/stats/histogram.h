@@ -28,6 +28,15 @@ class EquiDepthHistogram {
   static EquiDepthHistogram Build(std::vector<double> values,
                                   std::size_t num_buckets);
 
+  /// Reassembles a histogram from serialized parts (checkpoint loading).
+  static EquiDepthHistogram FromParts(std::vector<Bucket> buckets,
+                                      std::uint64_t total) {
+    EquiDepthHistogram h;
+    h.buckets_ = std::move(buckets);
+    h.total_ = total;
+    return h;
+  }
+
   bool empty() const { return total_ == 0; }
   std::uint64_t total_count() const { return total_; }
   const std::vector<Bucket>& buckets() const { return buckets_; }

@@ -1,0 +1,91 @@
+#ifndef SOFTDB_STORAGE_RECOVERY_H_
+#define SOFTDB_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "constraints/sc_registry.h"
+#include "storage/wal.h"
+
+namespace softdb {
+
+class Catalog;
+
+/// Durability manager for one SoftDb (DESIGN.md §14): owns the WAL writer
+/// and implements the ScRegistry's durability hook. The engine logs DML as
+/// row images (replayed through the full maintenance pipeline, which
+/// re-derives every DML-driven SC transition deterministically) and DDL as
+/// raw SQL; the registry logs only what replay cannot re-derive —
+/// registrations, drops, repair/verify arms (transition + commit pair),
+/// quarantines, and audit entries.
+///
+/// Write protocol is apply-in-memory-first, then log: a statement is
+/// acknowledged only when both succeeded, and a log failure surfaces as an
+/// error that leaves the engine's durable image behind its memory image —
+/// the process must be treated as crashed and recovered.
+///
+/// The checkpoint protocol (SoftDb::Checkpoint, defined in recovery.cc):
+///   1. append kCheckpointBegin + fsync          [site wal.checkpoint_begin]
+///   2. write + fsync checkpoint.tmp (full snapshot, wal_start_seq = S+1)
+///   3. append kCheckpointEnd + fsync            [site wal.checkpoint_end]
+///   4. roll the writer to segment S+1           [site wal.truncate]
+///   5. rename checkpoint.tmp -> checkpoint.bin
+///   6. delete segments <= S
+/// A crash at any step is consistent: until the rename lands, the previous
+/// checkpoint (or none) governs and the old segments are still intact;
+/// after it, replay starts at wal_start_seq and skips older segments.
+class DurabilityManager final : public ScWalLog {
+ public:
+  /// Opens (or creates) the log directory and starts segment `seq`.
+  static Result<std::unique_ptr<DurabilityManager>> Open(
+      std::string dir, std::uint64_t seq, std::size_t sync_every_n);
+
+  // Engine-side records; one LogInsert/LogUpdate/LogDelete per affected
+  // row, carrying the coerced row image.
+  Status LogDdl(const std::string& sql);
+  Status LogInsert(const std::string& table, const std::vector<Value>& row);
+  Status LogUpdate(const std::string& table, RowId rid,
+                   const std::vector<Value>& new_row);
+  Status LogDelete(const std::string& table, RowId rid);
+  Status LogExceptionAst(const std::string& sc_name);
+
+  // ScWalLog (registry-side records).
+  Status LogRegister(const SoftConstraint& sc) override;
+  Status LogDrop(const SoftConstraint& sc) override;
+  Status LogTransition(const SoftConstraint& sc, ScState from, ScState to,
+                       ScArmMode mode) override;
+  Status LogArmCommit(const SoftConstraint& sc) override;
+  Status LogAudit(const RepairAuditRecord& record) override;
+
+  Status Sync() { return writer_->Sync(); }
+  WalStats stats() const { return writer_->stats(); }
+  WalWriter& writer() { return *writer_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  DurabilityManager(std::string dir, std::unique_ptr<WalWriter> writer)
+      : dir_(std::move(dir)), writer_(std::move(writer)) {}
+
+  std::string dir_;
+  std::unique_ptr<WalWriter> writer_;
+};
+
+/// Serializes one SC — kind tag, name, tables, full lifecycle, and derived
+/// parameters (envelopes, offsets, holes, domains, zone-map SMAs, duration
+/// histograms, predicate text) — into `w`.
+Status EncodeSoftConstraint(const SoftConstraint& sc, BinWriter* w);
+
+/// Rebuilds an SC from `r`, lifecycle included (no epoch bump, no
+/// verification). PredicateSc expressions round-trip through their SQL
+/// rendering and are re-bound against `catalog`, so the SC's table must
+/// exist before its constraints are decoded.
+Result<ScPtr> DecodeSoftConstraint(BinReader* r, const Catalog& catalog);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_STORAGE_RECOVERY_H_

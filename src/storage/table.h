@@ -80,6 +80,14 @@ class Table {
   /// Mutations since a recorded version — the currency input of §3.3.
   std::uint64_t MutationsSince(std::uint64_t v) const { return version_ - v; }
 
+  /// Crash recovery only: pins the mutation counter to the checkpointed
+  /// value after the row images have been re-appended, so SC/stats currency
+  /// baselines captured pre-crash stay meaningful. `v` must not move the
+  /// counter backwards past mutations already applied to this instance.
+  void RestoreVersion(std::uint64_t v) {
+    if (v > version_) version_ = v;
+  }
+
  private:
   std::string name_;
   Schema schema_;

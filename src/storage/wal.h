@@ -1,0 +1,197 @@
+#ifndef SOFTDB_STORAGE_WAL_H_
+#define SOFTDB_STORAGE_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace softdb {
+
+/// Binary write-ahead log (DESIGN.md §14). One log directory holds
+/// `wal.<seq>.log` segment files plus (after a checkpoint) `checkpoint.bin`.
+/// Each segment starts with an 8-byte magic + u64 sequence number, followed
+/// by length-prefixed, CRC32-checksummed records:
+///
+///   u32 length | u32 crc32 | u8 kind | payload[length-1]
+///
+/// `length` counts the kind byte plus payload; the CRC covers the same
+/// span. All integers are little-endian (the engine targets x86-64; the
+/// encoder writes bytes explicitly so the format is endian-stable anyway).
+
+/// Record kinds. Values are part of the on-disk format — append only.
+enum class WalRecordKind : std::uint8_t {
+  kDdl = 1,              // Raw SQL: CREATE TABLE/INDEX, DROP TABLE, ANALYZE.
+  kInsert = 2,           // table, coerced row image (one record per row).
+  kUpdate = 3,           // table, rid, full new row image.
+  kDelete = 4,           // table, rid.
+  kScRegister = 5,       // Full SC blob: kind, lifecycle, parameters.
+  kScDrop = 6,           // SC name.
+  kScTransition = 7,     // {name, from, to, epoch, arm mode}.
+  kScArmCommit = 8,      // {name, epoch}: commits a preceding →active arm.
+  kScAudit = 9,          // Repair audit record.
+  kCheckpointBegin = 10,  // Checkpoint protocol marker.
+  kCheckpointEnd = 11,    // Checkpoint snapshot durable.
+  kExceptionAst = 12,     // Exception AST registered for {sc_name}.
+};
+
+const char* WalRecordKindName(WalRecordKind kind);
+
+/// One decoded log record.
+struct WalRecord {
+  WalRecordKind kind;
+  std::string payload;
+};
+
+/// Cumulative WAL activity counters (surfaced through ExecStats/EXPLAIN and
+/// bench_wal). Copied out under the writer mutex — plain fields.
+struct WalStats {
+  std::uint64_t records_appended = 0;
+  std::uint64_t bytes_appended = 0;
+  std::uint64_t fsyncs = 0;
+  /// Largest group of records a single fsync made durable (group commit).
+  std::uint64_t max_commit_batch = 0;
+  std::uint64_t checkpoints = 0;
+  // Recovery-side counters (filled by Recover, then carried by the
+  // reopened writer so EXPLAIN can surface them).
+  std::uint64_t recovery_checkpoint_loaded = 0;  // 0 or 1.
+  std::uint64_t recovery_records_replayed = 0;
+  std::uint64_t recovery_torn_records_dropped = 0;
+};
+
+/// CRC-32 (IEEE, reflected — the zlib polynomial) over `data`.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+/// Little-endian byte-sink used by the WAL and checkpoint encoders.
+class BinWriter {
+ public:
+  void PutU8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  void PutI64(std::int64_t v) { PutU64(static_cast<std::uint64_t>(v)); }
+  void PutDouble(double v);
+  void PutString(const std::string& s);
+  void PutValue(const Value& v);
+
+  const std::string& data() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reader over a byte span. Every getter
+/// fails with Status::DataLoss on underrun — corrupt length fields must
+/// surface as typed errors, never as out-of-bounds reads.
+class BinReader {
+ public:
+  BinReader(const char* data, std::size_t size) : data_(data), size_(size) {}
+  explicit BinReader(const std::string& s) : BinReader(s.data(), s.size()) {}
+
+  Result<std::uint8_t> GetU8();
+  Result<std::uint32_t> GetU32();
+  Result<std::uint64_t> GetU64();
+  Result<std::int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+  Result<Value> GetValue();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Appender for one WAL directory. Appends are serialized by an internal
+/// mutex; group commit fsyncs the file once every `sync_every_n` records
+/// (1 = every record). Failpoint sites: `wal.append` fires before the
+/// write, `wal.fsync` before the fsync — see DESIGN.md §9/§14.
+class WalWriter {
+ public:
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens segment `wal.<seq>.log` in `dir` for appending, creating it
+  /// (and the directory) if needed. Fails if the segment already exists.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& dir,
+                                                 std::uint64_t seq,
+                                                 std::size_t sync_every_n);
+
+  /// Appends one record and applies the group-commit policy. On any
+  /// failure (failpoint or real I/O error) the record is NOT durable and
+  /// the statement that triggered it must fail.
+  Status Append(WalRecordKind kind, const std::string& payload);
+
+  /// Forces an fsync of everything appended so far (checkpoint barriers).
+  Status Sync();
+
+  /// Closes the current segment (after a final fsync) and starts
+  /// `wal.<new_seq>.log`. Used by the checkpoint protocol to truncate.
+  Status Roll(std::uint64_t new_seq);
+
+  std::uint64_t seq() const { return seq_; }
+  WalStats stats() const;
+  /// Merges recovery counters into this writer's stats (used when a
+  /// recovered engine re-opens its log).
+  void AdoptRecoveryStats(const WalStats& recovery);
+  void BumpCheckpointCount();
+
+ private:
+  WalWriter(std::string dir, std::size_t sync_every_n)
+      : dir_(std::move(dir)), sync_every_n_(sync_every_n) {}
+
+  Status OpenSegmentLocked(std::uint64_t seq);
+  Status SyncLocked();
+  /// Writes the group-commit buffer to the segment fd (no fsync).
+  Status FlushLocked();
+
+  std::string dir_;
+  std::size_t sync_every_n_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::uint64_t seq_ = 0;
+  std::uint64_t unsynced_records_ = 0;
+  /// Framed-but-unwritten records. Unsynced records carry no durability
+  /// promise, so batching them here until the group-commit fsync (or a
+  /// size threshold) is crash-equivalent to writing each one eagerly.
+  std::string buffer_;
+  WalStats stats_;
+};
+
+/// Decoded contents of one WAL segment file.
+struct WalSegment {
+  std::uint64_t seq = 0;
+  std::vector<WalRecord> records;
+  std::uint64_t torn_records_dropped = 0;
+};
+
+/// Path helpers.
+std::string WalSegmentPath(const std::string& dir, std::uint64_t seq);
+std::string CheckpointPath(const std::string& dir);
+std::string CheckpointTmpPath(const std::string& dir);
+
+/// Sequence numbers of the `wal.<seq>.log` segments in `dir`, ascending.
+/// Missing directory → empty list.
+Result<std::vector<std::uint64_t>> ListWalSegments(const std::string& dir);
+
+/// Reads and CRC-verifies one segment. Torn-tail tolerance applies only
+/// when `is_last_segment`: a final record whose frame is incomplete, whose
+/// length runs past EOF, or whose CRC fails *at exact end-of-file* is
+/// dropped (counted in torn_records_dropped). The same damage anywhere
+/// else — or any damage in a non-last segment — is Status::DataLoss.
+Result<WalSegment> ReadWalSegment(const std::string& path,
+                                  bool is_last_segment);
+
+}  // namespace softdb
+
+#endif  // SOFTDB_STORAGE_WAL_H_

@@ -4,12 +4,19 @@
 // back the CLI's exit-code contract (0 clean / 1 findings).
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/sc_lint.h"
+#include "constraints/sc_registry.h"
+#include "constraints/soft_constraint.h"
+#include "storage/wal.h"
 
 namespace softdb {
 namespace {
@@ -380,6 +387,95 @@ TEST(ScLintTest, UnparseableWorkloadStatementDowngradesToWarning) {
   EXPECT_TRUE(HasCheck(*all_bad, "workload-unparseable-statement"));
 }
 
+// ------------------------------------------------------------ WAL auditing
+
+/// Scratch WAL directory for the dangling-transition checks, removed on
+/// scope exit.
+struct TempWalDir {
+  TempWalDir() {
+    char tmpl[] = "/tmp/softdb_lintwal_XXXXXX";
+    const char* d = ::mkdtemp(tmpl);
+    EXPECT_NE(d, nullptr);
+    path = d == nullptr ? "/tmp/softdb_lintwal_fallback" : d;
+  }
+  ~TempWalDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+void AppendTransition(WalWriter* w, const std::string& name, ScState from,
+                      ScState to, std::uint64_t epoch, ScArmMode mode) {
+  BinWriter p;
+  p.PutString(name);
+  p.PutU8(static_cast<std::uint8_t>(from));
+  p.PutU8(static_cast<std::uint8_t>(to));
+  p.PutU64(epoch);
+  p.PutU8(static_cast<std::uint8_t>(mode));
+  ASSERT_TRUE(w->Append(WalRecordKind::kScTransition, p.data()).ok());
+}
+
+void AppendArmCommit(WalWriter* w, const std::string& name,
+                     std::uint64_t epoch) {
+  BinWriter p;
+  p.PutString(name);
+  p.PutU64(epoch);
+  ASSERT_TRUE(w->Append(WalRecordKind::kScArmCommit, p.data()).ok());
+}
+
+TEST(ScLintTest, WalDanglingTransitionIsErrorInEveryRendering) {
+  TempWalDir dir;
+  {
+    auto writer = WalWriter::Open(dir.path, 1, 1);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    AppendTransition(writer->get(), "lonely", ScState::kRepairQueued,
+                     ScState::kActive, 7, ScArmMode::kRepairFull);
+    ASSERT_TRUE((*writer)->Sync().ok());
+  }
+  auto report = LintWal(dir.path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->findings.size(), 1u);
+  EXPECT_TRUE(HasCheck(*report, "wal-dangling-transition", "lonely"));
+  EXPECT_EQ(report->findings[0].severity, "error");
+  EXPECT_EQ(report->errors(), 1u);
+  EXPECT_NE(report->findings[0].message.find("no commit record"),
+            std::string::npos);
+  // Text / JSON / SARIF all carry the same stable check id and severity.
+  EXPECT_NE(report->ToText().find("error: [wal-dangling-transition] lonely"),
+            std::string::npos);
+  EXPECT_NE(report->ToJson().find("\"wal-dangling-transition\""),
+            std::string::npos);
+  const std::string sarif = report->ToSarif(dir.path);
+  EXPECT_NE(sarif.find("\"ruleId\": \"wal-dangling-transition\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+}
+
+TEST(ScLintTest, WalCommittedArmsAndDisarmsAreClean) {
+  TempWalDir dir;
+  {
+    auto writer = WalWriter::Open(dir.path, 1, 1);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    // A completed arm: transition into ACTIVE plus its commit record.
+    AppendTransition(writer->get(), "healed", ScState::kRepairQueued,
+                     ScState::kActive, 3, ScArmMode::kVerify);
+    AppendArmCommit(writer->get(), "healed", 3);
+    // A transition *away* from ACTIVE never needs a commit.
+    AppendTransition(writer->get(), "parked", ScState::kActive,
+                     ScState::kQuarantined, 9, ScArmMode::kNone);
+    ASSERT_TRUE((*writer)->Sync().ok());
+  }
+  auto report = LintWal(dir.path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->findings.empty());
+
+  // A directory with no segments at all is an input error, not a clean run.
+  auto missing = LintWal(dir.path + "/nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
 TEST(ScLintTest, GoldenSarifDocumentIsByteStable) {
   // Byte-for-byte golden: the SARIF rendering is a public contract (GitHub
   // code scanning keys alert identity off rule ids and driver shape).
@@ -415,6 +511,7 @@ TEST(ScLintTest, GoldenSarifDocumentIsByteStable) {
             {"id": "quarantined-sc", "shortDescription": {"text": "An SC exhausted its repair-attempt budget and was quarantined."}, "defaultConfiguration": {"level": "error"}},
             {"id": "stale-ssc", "shortDescription": {"text": "An SC's declared confidence is below the currency threshold."}, "defaultConfiguration": {"level": "warning"}},
             {"id": "dead-sc", "shortDescription": {"text": "No workload query can statically exploit the SC."}, "defaultConfiguration": {"level": "warning"}},
+            {"id": "wal-dangling-transition", "shortDescription": {"text": "The WAL records an SC arm transition with no matching commit: a maintenance pass died mid-arm, and recovery will disarm the SC."}, "defaultConfiguration": {"level": "error"}},
             {"id": "workload-unparseable-statement", "shortDescription": {"text": "A workload statement could not be parsed or bound against the catalog schema and was excluded from the analysis."}, "defaultConfiguration": {"level": "warning"}}
           ]
         }

@@ -1,0 +1,802 @@
+// WAL + recovery battery (DESIGN.md §14): crash-at-every-failpoint-site
+// recovery drills against an uncrashed control engine, checkpoint
+// round-trips of every registry, SC lifecycle/epoch semantics across
+// recovery (the resurrection regression), and torn-write/corruption fuzz
+// over the log tail.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "constraints/domain_sc.h"
+#include "constraints/predicate_sc.h"
+#include "constraints/zone_map_sc.h"
+#include "engine/softdb.h"
+#include "sql/parser.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+
+namespace softdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+Failpoints& FP() { return Failpoints::Instance(); }
+
+Failpoints::Policy Always() {
+  Failpoints::Policy p;
+  p.trigger = Failpoints::Trigger::kAlways;
+  return p;
+}
+
+Failpoints::Policy EveryNth(std::uint64_t n) {
+  Failpoints::Policy p;
+  p.trigger = Failpoints::Trigger::kEveryNth;
+  p.n = n;
+  return p;
+}
+
+/// Unique log directory per test, removed on scope exit.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/softdb_wal_XXXXXX";
+    const char* d = ::mkdtemp(tmpl);
+    EXPECT_NE(d, nullptr);
+    path = d == nullptr ? "/tmp/softdb_wal_fallback" : d;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+EngineOptions WalOptions(const std::string& dir, std::size_t sync_every_n = 1) {
+  EngineOptions options;
+  options.wal_dir = dir;
+  options.wal_sync_every_n = sync_every_n;
+  return options;
+}
+
+/// Rows of `sql`, rendered and sorted — materialized-view maintenance can
+/// reorder physically-equal states, so every cross-engine comparison is
+/// order-insensitive.
+std::vector<std::string> SortedRows(SoftDb* db, const std::string& sql) {
+  Result<QueryResult> r = db->Execute(sql);
+  EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+  std::vector<std::string> out;
+  if (!r.ok()) return out;
+  for (const std::vector<Value>& row : r->rows.rows) {
+    std::string s;
+    for (const Value& v : row) {
+      s += v.ToString();
+      s += "|";
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Exec(SoftDb* db, const std::string& sql) {
+  Result<QueryResult> r = db->Execute(sql);
+  ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+}
+
+/// The standard workload both sides of every drill run: DDL, inserts,
+/// single-row updates/deletes (multi-row DML would diverge under a
+/// mid-statement crash), ANALYZE, an index.
+void RunWorkload(SoftDb* db) {
+  Exec(db, "CREATE TABLE t (id INT PRIMARY KEY, v INT, s VARCHAR)");
+  for (int i = 0; i < 20; ++i) {
+    Exec(db, "INSERT INTO t VALUES (" + std::to_string(i) + ", " +
+                 std::to_string(i * 10) + ", 'row" + std::to_string(i) + "')");
+  }
+  Exec(db, "UPDATE t SET v = 999 WHERE id = 3");
+  Exec(db, "DELETE FROM t WHERE id = 7");
+  Exec(db, "CREATE INDEX t_v ON t (v)");
+  Exec(db, "ANALYZE t");
+}
+
+class WalRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FP().DisableAll(); }
+  void TearDown() override { FP().DisableAll(); }
+};
+
+// --------------------------------------------------------------- round trips
+
+TEST_F(WalRecoveryTest, ReplayReproducesWorkloadBitIdentically) {
+  TempDir dir;
+  SoftDb control;
+  RunWorkload(&control);
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(SortedRows(recovered->get(), "SELECT * FROM t"),
+            SortedRows(&control, "SELECT * FROM t"));
+  EXPECT_EQ(SortedRows(recovered->get(), "SELECT s FROM t WHERE v > 50"),
+            SortedRows(&control, "SELECT s FROM t WHERE v > 50"));
+}
+
+TEST_F(WalRecoveryTest, RecoverOnEmptyDirectoryIsNotFound) {
+  TempDir dir;
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(WalRecoveryTest, FreshEngineRefusesDirectoryWithExistingLog) {
+  TempDir dir;
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+  }
+  SoftDb second(WalOptions(dir.path));
+  Result<QueryResult> r = second.Execute("CREATE TABLE u (id INT)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The refused engine must not have clobbered the durable state.
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(SortedRows(recovered->get(), "SELECT * FROM t").size(), 19u);
+}
+
+TEST_F(WalRecoveryTest, CheckpointThenTailReplay) {
+  TempDir dir;
+  SoftDb control;
+  RunWorkload(&control);
+  Exec(&control, "INSERT INTO t VALUES (100, 1000, 'after')");
+  Exec(&control, "DELETE FROM t WHERE id = 2");
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    ASSERT_TRUE(db.Checkpoint().ok());
+    Exec(&db, "INSERT INTO t VALUES (100, 1000, 'after')");
+    Exec(&db, "DELETE FROM t WHERE id = 2");
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(SortedRows(recovered->get(), "SELECT * FROM t"),
+            SortedRows(&control, "SELECT * FROM t"));
+  const WalStats ws = (*recovered)->wal()->stats();
+  EXPECT_EQ(ws.recovery_checkpoint_loaded, 1u);
+}
+
+TEST_F(WalRecoveryTest, CheckpointPreservesStatsCatalog) {
+  TempDir dir;
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    ASSERT_TRUE(db.Checkpoint().ok());
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const TableStats* ts = (*recovered)->stats().Get("t");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->row_count, 19u);
+  ASSERT_EQ(ts->columns.size(), 3u);
+  EXPECT_GT(ts->columns[1].distinct_count, 0u);
+}
+
+TEST_F(WalRecoveryTest, RecoveredIntegrityConstraintsStillEnforce) {
+  TempDir dir;
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    ASSERT_TRUE(db.Checkpoint().ok());
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  // id=3 survived the workload, so the recovered PK must reject it.
+  Result<QueryResult> dup =
+      (*recovered)->Execute("INSERT INTO t VALUES (3, 0, 'dup')");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ((*recovered)->ics().size(), 1u);
+}
+
+TEST_F(WalRecoveryTest, DdlOnlyLogRecoversWithoutCheckpoint) {
+  TempDir dir;
+  {
+    SoftDb db(WalOptions(dir.path));
+    Exec(&db, "CREATE TABLE a (x INT)");
+    Exec(&db, "CREATE TABLE b (y INT)");
+    Exec(&db, "DROP TABLE a");
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE((*recovered)->catalog().HasTable("a"));
+  EXPECT_TRUE((*recovered)->catalog().HasTable("b"));
+}
+
+TEST_F(WalRecoveryTest, RecoverIsRepeatable) {
+  TempDir dir;
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+  }
+  Result<std::unique_ptr<SoftDb>> first = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const std::vector<std::string> rows1 =
+      SortedRows(first->get(), "SELECT * FROM t");
+  Exec(first->get(), "INSERT INTO t VALUES (200, 2000, 'second-gen')");
+  first->reset();  // Release the log before recovering it again.
+  Result<std::unique_ptr<SoftDb>> second = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  std::vector<std::string> rows2 = SortedRows(second->get(), "SELECT * FROM t");
+  EXPECT_EQ(rows2.size(), rows1.size() + 1);
+}
+
+// ------------------------------------------------------------ SC durability
+
+TEST_F(WalRecoveryTest, ScRegistrationReplays) {
+  TempDir dir;
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    auto dom = std::make_unique<DomainSc>("dom_v", "t", 1, Value::Int64(0),
+                                          Value::Int64(999));
+    ASSERT_TRUE(db.scs().Add(std::move(dom), db.catalog()).ok());
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  SoftConstraint* sc = (*recovered)->scs().Find("dom_v");
+  ASSERT_NE(sc, nullptr);
+  EXPECT_EQ(sc->state(), ScState::kActive);
+  EXPECT_EQ(sc->kind(), ScKind::kDomain);
+  auto* dom = static_cast<DomainSc*>(sc);
+  EXPECT_EQ(dom->min_value().AsInt64(), 0);
+  EXPECT_EQ(dom->max_value().AsInt64(), 999);
+}
+
+TEST_F(WalRecoveryTest, ScDropReplays) {
+  TempDir dir;
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    auto dom = std::make_unique<DomainSc>("dom_v", "t", 1, Value::Int64(0),
+                                          Value::Int64(999));
+    ASSERT_TRUE(db.scs().Add(std::move(dom), db.catalog()).ok());
+    ASSERT_TRUE(db.scs().Drop("dom_v").ok());
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  SoftConstraint* sc = (*recovered)->scs().Find("dom_v");
+  // Find only returns live SCs; a dropped one must not resurrect.
+  EXPECT_TRUE(sc == nullptr || sc->state() == ScState::kDropped);
+}
+
+TEST_F(WalRecoveryTest, DmlDrivenScTransitionsRecomputeOnReplay) {
+  TempDir dir;
+  SoftDb control;
+  RunWorkload(&control);
+  auto mk = [] {
+    return std::make_unique<DomainSc>("dom_v", "t", 1, Value::Int64(0),
+                                      Value::Int64(999));
+  };
+  ASSERT_TRUE(control.scs().Add(mk(), control.catalog()).ok());
+  Exec(&control, "INSERT INTO t VALUES (300, 5000, 'violator')");
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    ASSERT_TRUE(db.scs().Add(mk(), db.catalog()).ok());
+    // kDropOnViolation: the out-of-domain insert overturns the SC. The
+    // transition is NOT logged — replaying the row image re-derives it.
+    Exec(&db, "INSERT INTO t VALUES (300, 5000, 'violator')");
+    ASSERT_NE(db.scs().Find("dom_v"), nullptr);
+    ASSERT_EQ(db.scs().Find("dom_v")->state(),
+              control.scs().Find("dom_v")->state());
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  SoftConstraint* got = (*recovered)->scs().Find("dom_v");
+  SoftConstraint* want = control.scs().Find("dom_v");
+  ASSERT_NE(got, nullptr);
+  ASSERT_NE(want, nullptr);
+  EXPECT_EQ(got->state(), want->state());
+}
+
+TEST_F(WalRecoveryTest, RecoveredEpochStrictlyDominatesPreCrash) {
+  TempDir dir;
+  std::uint64_t live_epoch = 0;
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    auto dom = std::make_unique<DomainSc>("dom_v", "t", 1, Value::Int64(0),
+                                          Value::Int64(999));
+    ASSERT_TRUE(db.scs().Add(std::move(dom), db.catalog()).ok());
+    live_epoch = db.scs().Find("dom_v")->epoch();
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  SoftConstraint* sc = (*recovered)->scs().Find("dom_v");
+  ASSERT_NE(sc, nullptr);
+  // Any pre-crash cached-plan stamp is <= live_epoch; recovery must land
+  // strictly above it so the PR 8 certificate epoch fast path can never
+  // validate a stale plan against recovered state.
+  EXPECT_GT(sc->epoch(), live_epoch);
+}
+
+TEST_F(WalRecoveryTest, RepairArmCommitReplaysAndRearms) {
+  TempDir dir;
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    auto dom = std::make_unique<DomainSc>("dom_v", "t", 1, Value::Int64(0),
+                                          Value::Int64(999));
+    dom->set_policy(ScMaintenancePolicy::kAsyncRepair);
+    ASSERT_TRUE(db.scs().Add(std::move(dom), db.catalog()).ok());
+    Exec(&db, "INSERT INTO t VALUES (301, 5001, 'violator')");
+    ASSERT_EQ(db.scs().Find("dom_v")->state(), ScState::kRepairQueued);
+    // The repair refits the domain to the data and logs the durable
+    // transition + commit pair.
+    ASSERT_TRUE(db.RunMaintenance().ok());
+    ASSERT_EQ(db.scs().Find("dom_v")->state(), ScState::kActive);
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  SoftConstraint* sc = (*recovered)->scs().Find("dom_v");
+  ASSERT_NE(sc, nullptr);
+  EXPECT_EQ(sc->state(), ScState::kActive);
+  auto* dom = static_cast<DomainSc*>(sc);
+  EXPECT_GE(dom->max_value().AsInt64(), 5001);  // Refit domain survived.
+  EXPECT_EQ((*recovered)->scs().repair_queue_size(), 0u);
+}
+
+TEST_F(WalRecoveryTest, DanglingArmRecoversDisarmedNeverActive) {
+  TempDir dir;
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    auto dom = std::make_unique<DomainSc>("dom_v", "t", 1, Value::Int64(0),
+                                          Value::Int64(999));
+    dom->set_policy(ScMaintenancePolicy::kAsyncRepair);
+    ASSERT_TRUE(db.scs().Add(std::move(dom), db.catalog()).ok());
+    Exec(&db, "INSERT INTO t VALUES (302, 5002, 'violator')");
+    ASSERT_EQ(db.scs().Find("dom_v")->state(), ScState::kRepairQueued);
+    // Crash between the arm transition and its commit: the first append
+    // (LogTransition ->kActive) lands, the second (LogArmCommit) fails.
+    FP().Enable("wal.append", EveryNth(2));
+    Status st = db.RunMaintenance();
+    FP().DisableAll();
+    // The live engine reverted the arm when the commit failed to log.
+    (void)st;
+    ASSERT_NE(db.scs().Find("dom_v")->state(), ScState::kActive);
+  }
+  // THE resurrection regression: the log holds a ->active transition with
+  // no commit. The overturned SC must recover disarmed and queued for
+  // revalidation — never armed.
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  SoftConstraint* sc = (*recovered)->scs().Find("dom_v");
+  ASSERT_NE(sc, nullptr);
+  EXPECT_NE(sc->state(), ScState::kActive);
+  EXPECT_EQ(sc->state(), ScState::kRepairQueued);
+  EXPECT_GE((*recovered)->scs().repair_queue_size(), 1u);
+  // And the queued revalidation still works post-recovery.
+  ASSERT_TRUE((*recovered)->RunMaintenance().ok());
+  EXPECT_EQ(sc->state(), ScState::kActive);
+}
+
+TEST_F(WalRecoveryTest, ZoneMapBlockStatsSurviveCheckpoint) {
+  TempDir dir;
+  SoftDb control;
+  RunWorkload(&control);
+  ASSERT_TRUE(control.MineZoneMaps("t").ok());
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    ASSERT_TRUE(db.MineZoneMaps("t").ok());
+    ASSERT_TRUE(db.Checkpoint().ok());
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  SoftConstraint* got = (*recovered)->scs().Find("zm_t_v");
+  SoftConstraint* want = control.scs().Find("zm_t_v");
+  ASSERT_NE(got, nullptr);
+  ASSERT_NE(want, nullptr);
+  const auto got_blocks = static_cast<ZoneMapSc*>(got)->SnapshotBlocks();
+  const auto want_blocks = static_cast<ZoneMapSc*>(want)->SnapshotBlocks();
+  ASSERT_EQ(got_blocks.size(), want_blocks.size());
+  for (std::size_t i = 0; i < got_blocks.size(); ++i) {
+    EXPECT_EQ(got_blocks[i].min, want_blocks[i].min);
+    EXPECT_EQ(got_blocks[i].max, want_blocks[i].max);
+    EXPECT_EQ(got_blocks[i].has_value, want_blocks[i].has_value);
+    EXPECT_EQ(got_blocks[i].null_count, want_blocks[i].null_count);
+  }
+  // The recovered zone map produces the same pruning decisions.
+  Result<QueryResult> r = (*recovered)->Execute("SELECT * FROM t WHERE v < 0");
+  ASSERT_TRUE(r.ok());
+  Result<QueryResult> c = control.Execute("SELECT * FROM t WHERE v < 0");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(r->exec_stats.blocks_skipped, c->exec_stats.blocks_skipped);
+  EXPECT_EQ(r->exec_stats.blocks_total, c->exec_stats.blocks_total);
+}
+
+TEST_F(WalRecoveryTest, RepairAuditTrailSurvivesRecovery) {
+  TempDir dir;
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    auto dom = std::make_unique<DomainSc>("dom_v", "t", 1, Value::Int64(0),
+                                          Value::Int64(999));
+    dom->set_policy(ScMaintenancePolicy::kAsyncRepair);
+    ASSERT_TRUE(db.scs().Add(std::move(dom), db.catalog()).ok());
+    Exec(&db, "INSERT INTO t VALUES (303, 5003, 'violator')");
+    ASSERT_TRUE(db.RunMaintenance().ok());
+    ASSERT_FALSE(db.scs().repair_audit().empty());
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const std::vector<RepairAuditRecord> audit =
+      (*recovered)->scs().repair_audit();
+  ASSERT_FALSE(audit.empty());
+  EXPECT_EQ(audit.back().sc_name, "dom_v");
+  EXPECT_EQ(audit.back().action, "repaired");
+}
+
+TEST_F(WalRecoveryTest, ExceptionAstSurvivesRecovery) {
+  TempDir dir;
+  SoftDb control;
+  auto build = [](SoftDb* db) {
+    Exec(db, "CREATE TABLE p (id INT, age INT)");
+    for (int i = 0; i < 10; ++i) {
+      Exec(db, "INSERT INTO p VALUES (" + std::to_string(i) + ", " +
+                   std::to_string(15 + i) + ")");
+    }
+    Result<ExprPtr> expr = ParseExpression("age >= 18");
+    ASSERT_TRUE(expr.ok());
+    Result<Table*> table = db->catalog().GetTable("p");
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE((*expr)->Bind((*table)->schema()).ok());
+    auto pred =
+        std::make_unique<PredicateSc>("adult", "p", std::move(*expr));
+    pred->set_policy(ScMaintenancePolicy::kTolerate);
+    ASSERT_TRUE(db->scs().Add(std::move(pred), db->catalog()).ok());
+    ASSERT_TRUE(db->CreateExceptionAst("adult").ok());
+  };
+  build(&control);
+  {
+    SoftDb db(WalOptions(dir.path));
+    build(&db);
+    Exec(&db, "INSERT INTO p VALUES (100, 12)");
+  }
+  Exec(&control, "INSERT INTO p VALUES (100, 12)");
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  // The exception AST was re-registered and re-materialized: the violating
+  // rows (ages 15..17 from the seed plus the post-AST insert of 12) are in
+  // the view on both engines.
+  MaterializedView* got = (*recovered)->mvs().Find("exc_adult");
+  MaterializedView* want = control.mvs().Find("exc_adult");
+  ASSERT_NE(got, nullptr);
+  ASSERT_NE(want, nullptr);
+  EXPECT_EQ(got->NumRows(), want->NumRows());
+  EXPECT_EQ(got->NumRows(), 4u);
+}
+
+TEST_F(WalRecoveryTest, UseAccountingSurvivesCheckpoint) {
+  TempDir dir;
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    db.scs().RecordUse("some_sc", 12.5);
+    db.scs().RecordUse("some_sc", 2.5);
+    ASSERT_TRUE(db.Checkpoint().ok());
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->scs().UseCount("some_sc"), 2u);
+  EXPECT_DOUBLE_EQ((*recovered)->scs().TotalBenefit("some_sc"), 15.0);
+}
+
+// --------------------------------------------------- crash-at-site drills
+
+TEST_F(WalRecoveryTest, CrashAtAppendMeansStatementNeverHappened) {
+  TempDir dir;
+  SoftDb control;
+  RunWorkload(&control);
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    FP().Enable("wal.append", Always());
+    Result<QueryResult> r =
+        db.Execute("INSERT INTO t VALUES (400, 4000, 'lost')");
+    FP().DisableAll();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  // The failed statement was applied in memory but never became durable:
+  // the recovered image equals the control that never ran it.
+  EXPECT_EQ(SortedRows(recovered->get(), "SELECT * FROM t"),
+            SortedRows(&control, "SELECT * FROM t"));
+}
+
+TEST_F(WalRecoveryTest, CrashAtFsyncLeavesPrefixOrFullStatement) {
+  TempDir dir;
+  SoftDb control;
+  RunWorkload(&control);
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    FP().Enable("wal.fsync", Always());
+    Result<QueryResult> r =
+        db.Execute("INSERT INTO t VALUES (401, 4010, 'maybe')");
+    FP().DisableAll();
+    ASSERT_FALSE(r.ok());  // Unsynced tail: the ack never went out.
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  // The record was written but not fsynced: recovery may legitimately see
+  // it (the OS flushed anyway) or not (torn tail). Both images are valid —
+  // what is forbidden is anything else.
+  const std::vector<std::string> got =
+      SortedRows(recovered->get(), "SELECT * FROM t");
+  const std::vector<std::string> without =
+      SortedRows(&control, "SELECT * FROM t");
+  Exec(&control, "INSERT INTO t VALUES (401, 4010, 'maybe')");
+  const std::vector<std::string> with =
+      SortedRows(&control, "SELECT * FROM t");
+  EXPECT_TRUE(got == without || got == with);
+}
+
+TEST_F(WalRecoveryTest, CrashAtCheckpointBeginKeepsLogAuthoritative) {
+  TempDir dir;
+  SoftDb control;
+  RunWorkload(&control);
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    FP().Enable("wal.checkpoint_begin", Always());
+    EXPECT_FALSE(db.Checkpoint().ok());
+    FP().DisableAll();
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->wal()->stats().recovery_checkpoint_loaded, 0u);
+  EXPECT_EQ(SortedRows(recovered->get(), "SELECT * FROM t"),
+            SortedRows(&control, "SELECT * FROM t"));
+}
+
+TEST_F(WalRecoveryTest, CrashAtCheckpointEndDiscardsUnpublishedSnapshot) {
+  TempDir dir;
+  SoftDb control;
+  RunWorkload(&control);
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    FP().Enable("wal.checkpoint_end", Always());
+    EXPECT_FALSE(db.Checkpoint().ok());
+    FP().DisableAll();
+    // checkpoint.tmp was written but never published.
+    EXPECT_TRUE(fs::exists(CheckpointTmpPath(dir.path)));
+    EXPECT_FALSE(fs::exists(CheckpointPath(dir.path)));
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->wal()->stats().recovery_checkpoint_loaded, 0u);
+  EXPECT_EQ(SortedRows(recovered->get(), "SELECT * FROM t"),
+            SortedRows(&control, "SELECT * FROM t"));
+}
+
+TEST_F(WalRecoveryTest, CrashAtTruncateReplaysFullLog) {
+  TempDir dir;
+  SoftDb control;
+  RunWorkload(&control);
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    FP().Enable("wal.truncate", Always());
+    EXPECT_FALSE(db.Checkpoint().ok());
+    FP().DisableAll();
+    EXPECT_FALSE(fs::exists(CheckpointPath(dir.path)));  // Never renamed.
+  }
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(SortedRows(recovered->get(), "SELECT * FROM t"),
+            SortedRows(&control, "SELECT * FROM t"));
+}
+
+TEST_F(WalRecoveryTest, WorkResumesAfterEveryCheckpointCrashSite) {
+  for (const char* site : {"wal.checkpoint_begin", "wal.checkpoint_end",
+                           "wal.truncate"}) {
+    TempDir dir;
+    {
+      SoftDb db(WalOptions(dir.path));
+      RunWorkload(&db);
+      FP().Enable(site, Always());
+      EXPECT_FALSE(db.Checkpoint().ok()) << site;
+      FP().DisableAll();
+      // The engine keeps serving statements after the failed checkpoint.
+      Exec(&db, "INSERT INTO t VALUES (500, 5000, 'post-crash')");
+    }
+    Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+    ASSERT_TRUE(recovered.ok()) << site << ": "
+                                << recovered.status().ToString();
+    const std::vector<std::string> rows =
+        SortedRows(recovered->get(), "SELECT s FROM t WHERE id = 500");
+    EXPECT_EQ(rows.size(), 1u) << site;
+  }
+}
+
+// ----------------------------------------------------- WAL stats surfacing
+
+TEST_F(WalRecoveryTest, WalActivityAttributedToStatements) {
+  TempDir dir;
+  SoftDb db(WalOptions(dir.path));
+  Exec(&db, "CREATE TABLE t (id INT, v INT)");
+  Result<QueryResult> ins = db.Execute("INSERT INTO t VALUES (1, 10)");
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->exec_stats.wal_records, 1u);
+  EXPECT_GT(ins->exec_stats.wal_bytes, 0u);
+  EXPECT_EQ(ins->exec_stats.wal_fsyncs, 1u);  // sync_every_n = 1.
+  Result<QueryResult> sel = db.Execute("SELECT * FROM t");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->exec_stats.wal_records, 0u);
+  EXPECT_EQ(sel->exec_stats.wal_fsyncs, 0u);
+}
+
+TEST_F(WalRecoveryTest, GroupCommitBatchesFsyncs) {
+  TempDir dir;
+  SoftDb db(WalOptions(dir.path, /*sync_every_n=*/8));
+  Exec(&db, "CREATE TABLE t (id INT, v INT)");
+  std::uint64_t fsyncs = 0;
+  for (int i = 0; i < 16; ++i) {
+    Result<QueryResult> r = db.Execute(
+        "INSERT INTO t VALUES (" + std::to_string(i) + ", 1)");
+    ASSERT_TRUE(r.ok());
+    fsyncs += r->exec_stats.wal_fsyncs;
+  }
+  // 17 records (DDL + 16 inserts) at one fsync per 8: strictly fewer
+  // fsyncs than records.
+  EXPECT_LT(fsyncs, 16u);
+  EXPECT_GE(db.wal()->stats().max_commit_batch, 8u);
+}
+
+TEST_F(WalRecoveryTest, ExplainSurfacesWalCounters) {
+  TempDir dir;
+  SoftDb db(WalOptions(dir.path));
+  Exec(&db, "CREATE TABLE t (id INT, v INT)");
+  Exec(&db, "INSERT INTO t VALUES (1, 10)");
+  Result<std::string> plan = db.Explain("SELECT * FROM t");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("wal: records="), std::string::npos);
+  SoftDb plain;
+  Exec(&plain, "CREATE TABLE t (id INT, v INT)");
+  Result<std::string> plain_plan = plain.Explain("SELECT * FROM t");
+  ASSERT_TRUE(plain_plan.ok());
+  EXPECT_EQ(plain_plan->find("wal:"), std::string::npos);
+}
+
+// --------------------------------------------- torn-write/corruption fuzz
+
+/// Copies a recorded log directory, mutates the last segment with `mutate`,
+/// and recovers. Returns the recovery status (never crashes).
+template <typename Mutator>
+Status RecoverMutated(const std::string& src, Mutator mutate) {
+  TempDir work;
+  std::error_code ec;
+  fs::copy(src, work.path, fs::copy_options::overwrite_existing |
+                               fs::copy_options::recursive, ec);
+  if (ec) return Status::Internal("copy failed: " + ec.message());
+  Result<std::vector<std::uint64_t>> seqs = ListWalSegments(work.path);
+  if (!seqs.ok() || seqs->empty()) return Status::Internal("no segments");
+  const std::string last = WalSegmentPath(work.path, seqs->back());
+  std::ifstream in(last, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  mutate(&bytes);
+  std::ofstream out(last, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  return SoftDb::Recover(work.path).status();
+}
+
+TEST_F(WalRecoveryTest, TruncatedTailAtEveryOffsetRecoversOrFailsTyped) {
+  TempDir dir;
+  {
+    SoftDb db(WalOptions(dir.path));
+    Exec(&db, "CREATE TABLE t (id INT, v INT)");
+    for (int i = 0; i < 4; ++i) {
+      Exec(&db, "INSERT INTO t VALUES (" + std::to_string(i) + ", 1)");
+    }
+  }
+  Result<std::vector<std::uint64_t>> seqs = ListWalSegments(dir.path);
+  ASSERT_TRUE(seqs.ok());
+  const std::string last = WalSegmentPath(dir.path, seqs->back());
+  const std::uint64_t size = fs::file_size(last);
+  // Every truncation point from just-past-the-header to full length: a
+  // torn tail must be dropped cleanly (or, mid-record damage that cannot
+  // be told apart from a short final record, also dropped). Never UB.
+  for (std::uint64_t cut = 16; cut <= size; ++cut) {
+    const Status st = RecoverMutated(
+        dir.path, [&](std::string* b) { b->resize(cut); });
+    EXPECT_TRUE(st.ok() || st.code() == StatusCode::kDataLoss ||
+                st.code() == StatusCode::kNotFound)
+        << "cut=" << cut << ": " << st.ToString();
+  }
+  // Truncating into the last segment's 16-byte header leaves a husk whose
+  // bytes are still a prefix of the magic: that is exactly what a crash
+  // during segment roll produces, so recovery tolerates it (the husk holds
+  // no records). It must not crash or return a wild status either way.
+  for (std::uint64_t cut = 0; cut < 16; ++cut) {
+    const Status st = RecoverMutated(
+        dir.path, [&](std::string* b) { b->resize(cut); });
+    EXPECT_TRUE(st.ok()) << "cut=" << cut << ": " << st.ToString();
+  }
+  // A short header whose bytes do NOT match the magic is not a roll husk —
+  // it is typed data loss.
+  {
+    const Status st = RecoverMutated(dir.path, [&](std::string* b) {
+      b->resize(8);
+      (*b)[0] = static_cast<char>((*b)[0] ^ 0xFF);
+    });
+    EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.ToString();
+  }
+}
+
+TEST_F(WalRecoveryTest, BitFlippedTailRecoversOrFailsTyped) {
+  TempDir dir;
+  {
+    SoftDb db(WalOptions(dir.path));
+    Exec(&db, "CREATE TABLE t (id INT, v INT)");
+    for (int i = 0; i < 4; ++i) {
+      Exec(&db, "INSERT INTO t VALUES (" + std::to_string(i) + ", 1)");
+    }
+  }
+  Result<std::vector<std::uint64_t>> seqs = ListWalSegments(dir.path);
+  ASSERT_TRUE(seqs.ok());
+  const std::string last = WalSegmentPath(dir.path, seqs->back());
+  const std::uint64_t size = fs::file_size(last);
+  for (std::uint64_t off = 0; off < size; ++off) {
+    const Status st = RecoverMutated(dir.path, [&](std::string* b) {
+      (*b)[off] = static_cast<char>((*b)[off] ^ 0x40);
+    });
+    // A flip in the final record's frame is a clean torn-tail drop; a flip
+    // anywhere earlier is hard DataLoss. Flips the CRC cannot see (e.g. in
+    // already-dropped tail bytes) may still recover. All are fine; a crash
+    // or wild status is not.
+    EXPECT_TRUE(st.ok() || st.code() == StatusCode::kDataLoss ||
+                st.code() == StatusCode::kNotFound ||
+                st.code() == StatusCode::kIOError)
+        << "off=" << off << ": " << st.ToString();
+  }
+}
+
+TEST_F(WalRecoveryTest, CorruptCheckpointIsTypedDataLoss) {
+  TempDir dir;
+  {
+    SoftDb db(WalOptions(dir.path));
+    RunWorkload(&db);
+    ASSERT_TRUE(db.Checkpoint().ok());
+  }
+  const std::string ckpt = CheckpointPath(dir.path);
+  std::ifstream in(ckpt, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+  std::ofstream out(ckpt, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  Result<std::unique_ptr<SoftDb>> recovered = SoftDb::Recover(dir.path);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace softdb

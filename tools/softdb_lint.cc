@@ -1,14 +1,15 @@
 // softdb_lint: static SC-catalog + workload consistency linter.
 //
 // Usage: softdb_lint [--json | --sarif] [--currency-threshold X]
-//                    [--fail-on <warning|error>]
-//                    <catalog.sdl> [workload.sql ...]
+//                    [--fail-on <warning|error>] [--wal <dir>]
+//                    [<catalog.sdl>] [workload.sql ...]
 //
 // Exit codes: 0 = clean, 1 = findings reported, 2 = usage or input error.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/sc_lint.h"
@@ -23,14 +24,18 @@ void PrintUsage(std::FILE* out) {
                "usage: softdb_lint [--json | --sarif] "
                "[--currency-threshold X]\n"
                "                   [--fail-on <warning|error>] "
-               "<catalog.sdl> [workload.sql ...]\n"
+               "[--wal <dir>]\n"
+               "                   [<catalog.sdl>] [workload.sql ...]\n"
                "\n"
                "Statically checks a soft-constraint catalog for\n"
                "contradictions, vacuous or stale constraints, and (given a\n"
                "workload) dead entries no query can exploit. Nothing is\n"
                "executed beyond loading the catalog script. --fail-on raises\n"
                "the severity needed for a non-zero exit (default: any\n"
-               "finding).\n"
+               "finding). --wal audits a write-ahead-log directory for SC\n"
+               "arm transitions that never committed (dangling arms a\n"
+               "recovery would disarm); it may be used alone or together\n"
+               "with a catalog script.\n"
                "\n"
                "exit codes: 0 clean, 1 findings, 2 usage/input error\n");
 }
@@ -42,6 +47,7 @@ int main(int argc, char** argv) {
   bool sarif = false;
   softdb::LintOptions options;
   softdb::FailOn fail_on = softdb::FailOn::kAny;
+  std::string wal_dir;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -62,6 +68,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "softdb_lint: bad threshold '%s'\n", argv[i]);
         return kExitUsage;
       }
+    } else if (arg == "--wal") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "softdb_lint: --wal needs a directory\n");
+        return kExitUsage;
+      }
+      wal_dir = argv[++i];
     } else if (arg == "--fail-on") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "softdb_lint: --fail-on needs a value\n");
@@ -85,40 +97,60 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-  if (paths.empty()) {
+  if (paths.empty() && wal_dir.empty()) {
     PrintUsage(stderr);
     return kExitUsage;
   }
 
-  std::string catalog_script;
-  if (!softdb::ReadFileToString(paths[0], &catalog_script)) {
-    std::fprintf(stderr, "softdb_lint: cannot read catalog '%s'\n",
-                 paths[0].c_str());
-    return kExitUsage;
+  softdb::LintReport report;
+  if (!paths.empty()) {
+    std::string catalog_script;
+    if (!softdb::ReadFileToString(paths[0], &catalog_script)) {
+      std::fprintf(stderr, "softdb_lint: cannot read catalog '%s'\n",
+                   paths[0].c_str());
+      return kExitUsage;
+    }
+
+    auto workload = softdb::LoadWorkloadFiles(
+        std::vector<std::string>(paths.begin() + 1, paths.end()));
+    if (!workload.ok()) {
+      std::fprintf(stderr, "softdb_lint: %s\n",
+                   workload.status().ToString().c_str());
+      return kExitUsage;
+    }
+
+    auto catalog_report =
+        softdb::LintCatalog(catalog_script, *workload, options);
+    if (!catalog_report.ok()) {
+      std::fprintf(stderr, "softdb_lint: %s\n",
+                   catalog_report.status().ToString().c_str());
+      return kExitUsage;
+    }
+    report = std::move(*catalog_report);
   }
 
-  auto workload = softdb::LoadWorkloadFiles(
-      std::vector<std::string>(paths.begin() + 1, paths.end()));
-  if (!workload.ok()) {
-    std::fprintf(stderr, "softdb_lint: %s\n",
-                 workload.status().ToString().c_str());
-    return kExitUsage;
+  if (!wal_dir.empty()) {
+    auto wal_report = softdb::LintWal(wal_dir);
+    if (!wal_report.ok()) {
+      std::fprintf(stderr, "softdb_lint: %s\n",
+                   wal_report.status().ToString().c_str());
+      return kExitUsage;
+    }
+    for (auto& finding : wal_report->findings) {
+      report.findings.push_back(std::move(finding));
+    }
   }
 
-  auto report = softdb::LintCatalog(catalog_script, *workload, options);
-  if (!report.ok()) {
-    std::fprintf(stderr, "softdb_lint: %s\n",
-                 report.status().ToString().c_str());
-    return kExitUsage;
-  }
-
+  // SARIF results anchor to the catalog when one was linted, else to the
+  // WAL directory under audit.
+  const std::string& artifact = paths.empty() ? wal_dir : paths[0];
   if (sarif) {
-    std::fputs(report->ToSarif(paths[0]).c_str(), stdout);
+    std::fputs(report.ToSarif(artifact).c_str(), stdout);
   } else if (json) {
-    std::fputs(report->ToJson().c_str(), stdout);
+    std::fputs(report.ToJson().c_str(), stdout);
   } else {
-    std::fputs(report->ToText().c_str(), stdout);
+    std::fputs(report.ToText().c_str(), stdout);
   }
-  return softdb::ReportExitCode(report->errors(), report->warnings(),
-                                report->notes(), fail_on);
+  return softdb::ReportExitCode(report.errors(), report.warnings(),
+                                report.notes(), fail_on);
 }
