@@ -48,6 +48,10 @@ namespace softdb {
 ///   wal.checkpoint_begin  before the checkpoint-begin marker is logged
 ///   wal.checkpoint_end    before the checkpoint-end marker is logged
 ///   wal.truncate          before old segments are dropped post-checkpoint
+///   server.admit          Dispatcher admission (fires -> typed rejection)
+///   server.dequeue        worker dequeue (fires -> transient, retryable)
+///   server.session_execute before a worker runs a session's statement
+///   server.drain          action-only hook inside Dispatcher::Drain
 class Failpoints {
  public:
   enum class Trigger { kOff, kAlways, kEveryNth, kProbability };

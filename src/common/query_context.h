@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <optional>
 
 #include "common/status.h"
 
@@ -37,6 +38,24 @@ struct QueryContext {
   void SetDeadlineAfter(std::chrono::milliseconds budget) {
     has_deadline = true;
     deadline = std::chrono::steady_clock::now() + budget;
+  }
+
+  /// True when a deadline is armed and already in the past: the query is
+  /// unsatisfiable on arrival and must be failed fast, never dispatched
+  /// (see SoftDb::Execute and Dispatcher admission).
+  bool DeadlineExpired() const {
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
+
+  /// Wall-clock budget left before the deadline (clamped at zero), or
+  /// nullopt when no deadline is armed. The server's deadline-aware
+  /// admission queue compares this against queue wait and backoff cost.
+  std::optional<std::chrono::milliseconds> RemainingBudget() const {
+    if (!has_deadline) return std::nullopt;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::chrono::milliseconds(0);
+    return std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                 now);
   }
 
   /// kCancelled if the token fired, kDeadlineExceeded if past the deadline,

@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <cerrno>
+#include <cstdlib>
+
 namespace softdb {
 
 const char* StatusCodeName(StatusCode code) {
@@ -46,6 +49,88 @@ std::string Status::ToString() const {
   out += ": ";
   out += message_;
   return out;
+}
+
+namespace {
+
+/// Locates the trailing ` {...}` detail block. Returns true and the open
+/// brace's index when the message ends with a well-formed block.
+bool FindDetailBlock(const std::string& message, std::size_t* open) {
+  if (message.empty() || message.back() != '}') return false;
+  const std::size_t pos = message.rfind('{');
+  if (pos == std::string::npos) return false;
+  *open = pos;
+  return true;
+}
+
+}  // namespace
+
+std::string AppendStatusDetail(std::string message, const std::string& key,
+                               std::int64_t value) {
+  const std::string pair = key + "=" + std::to_string(value);
+  std::size_t open = 0;
+  if (FindDetailBlock(message, &open)) {
+    // Grow the existing block: "... {a=1}" -> "... {a=1 b=2}".
+    message.insert(message.size() - 1,
+                   (message.size() - open > 2 ? " " : "") + pair);
+    return message;
+  }
+  if (!message.empty()) message += " ";
+  message += "{" + pair + "}";
+  return message;
+}
+
+std::optional<std::int64_t> ParseStatusDetail(const std::string& message,
+                                              const std::string& key) {
+  std::size_t open = 0;
+  if (!FindDetailBlock(message, &open)) return std::nullopt;
+  std::size_t pos = open + 1;
+  const std::size_t end = message.size() - 1;  // Index of '}'.
+  while (pos < end) {
+    const std::size_t space = std::min(message.find(' ', pos), end);
+    const std::size_t eq = message.find('=', pos);
+    if (eq == std::string::npos || eq >= space) return std::nullopt;
+    if (message.compare(pos, eq - pos, key) == 0) {
+      errno = 0;
+      char* parse_end = nullptr;
+      const std::string value = message.substr(eq + 1, space - eq - 1);
+      const long long v = std::strtoll(value.c_str(), &parse_end, 10);
+      if (parse_end == nullptr || *parse_end != '\0' || value.empty()) {
+        return std::nullopt;
+      }
+      return static_cast<std::int64_t>(v);
+    }
+    pos = space + 1;
+  }
+  return std::nullopt;
+}
+
+Status WithStatusDetail(Status status, const std::string& key,
+                        std::int64_t value) {
+  if (status.ok()) return status;
+  return Status(status.code(),
+                AppendStatusDetail(status.message(), key, value));
+}
+
+std::optional<std::int64_t> StatusDetail(const Status& status,
+                                         const std::string& key) {
+  return ParseStatusDetail(status.message(), key);
+}
+
+bool IsRetryableStatus(const Status& status) {
+  if (status.ok()) return false;
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+      return true;
+    // Deadline and cancellation mean the caller's budget or interest is
+    // gone; semantic and data errors will fail identically on retry.
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+      return false;
+    default:
+      // Any producer may mark a transient with an explicit hint.
+      return StatusDetail(status, "retry_after_ms").has_value();
+  }
 }
 
 }  // namespace softdb

@@ -1,6 +1,8 @@
 #ifndef SOFTDB_COMMON_STATUS_H_
 #define SOFTDB_COMMON_STATUS_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -104,6 +106,51 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+/// Structured status details
+/// -------------------------
+/// Machine-readable key=value pairs carried in a trailing ` {k=v k2=v2}`
+/// block of the status message. Producers attach details with
+/// `WithStatusDetail` (repeatable; keys accumulate into one block) and
+/// consumers read them back with `StatusDetail`, so policy code — the
+/// server's retry classifier, admission backoff — keys off codes and
+/// details, never off message prose. Well-known keys:
+///
+///   retry_after_ms   transient overload; retrying after this hint may
+///                    succeed (admission rejections, load shedding)
+///   queue_depth      admission queue depth observed at rejection
+///   shed             1 when the request was evicted by load shedding
+///   draining         1 when the server was draining at rejection
+///   deadline_lag_ms  how far past its deadline a request arrived
+///
+/// Values are decimal int64. Unknown keys are preserved and ignored.
+
+/// Returns `message` with `key=value` appended to its trailing detail
+/// block (creating the block when absent).
+std::string AppendStatusDetail(std::string message, const std::string& key,
+                               std::int64_t value);
+
+/// Parses `key` out of the message's trailing detail block; nullopt when
+/// the block or key is absent (or the value is not an int64).
+std::optional<std::int64_t> ParseStatusDetail(const std::string& message,
+                                              const std::string& key);
+
+class Status;
+
+/// `status` with `key=value` attached to its detail block. Keeps the code.
+Status WithStatusDetail(Status status, const std::string& key,
+                        std::int64_t value);
+
+/// Reads one structured detail off a status; nullopt when not present.
+std::optional<std::int64_t> StatusDetail(const Status& status,
+                                         const std::string& key);
+
+/// True for statuses a client may retry after backoff: kResourceExhausted
+/// (admission rejection, shed, transient worker/operator exhaustion), or
+/// any status carrying an explicit retry_after_ms hint. Semantic errors
+/// (parse/bind/type/constraint), deadline exhaustion and cancellation are
+/// never retryable.
+bool IsRetryableStatus(const Status& status);
 
 }  // namespace softdb
 

@@ -789,6 +789,20 @@ Result<QueryResult> SoftDb::Execute(const std::string& sql) {
 
 Result<QueryResult> SoftDb::Execute(const std::string& sql,
                                     const QueryContext* query) {
+  // A deadline that is unsatisfiable on arrival never dispatches: the
+  // statement would only burn parse/plan work (and could reach the WAL
+  // gate) before the first cooperative check caught it.
+  if (options_.reject_expired_deadlines && query != nullptr &&
+      query->has_deadline) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= query->deadline) {
+      const auto lag = std::chrono::duration_cast<std::chrono::milliseconds>(
+          now - query->deadline);
+      return WithStatusDetail(
+          Status::DeadlineExceeded("deadline unsatisfiable on arrival"),
+          "deadline_lag_ms", lag.count());
+    }
+  }
   SOFTDB_RETURN_IF_ERROR(WalReady());
   if (wal_ == nullptr || recovering_) return Dispatch(sql, query);
   // Attribute WAL activity to this statement: the writer's counters are

@@ -86,6 +86,12 @@ struct EngineOptions {
   /// Status::DeadlineExceeded, checked cooperatively at batch/morsel
   /// granularity (row operators check on a stride).
   std::uint64_t default_deadline_ms = 0;
+  /// Fail a statement that arrives with an already-expired deadline with
+  /// kDeadlineExceeded (detail: deadline_lag_ms) before parsing or
+  /// touching the WAL, instead of relying on the first cooperative check.
+  /// The server's Dispatcher enforces the same rule at admission; this is
+  /// the engine's defensive copy for direct Execute callers.
+  bool reject_expired_deadlines = true;
   /// Start the background self-healing repair worker at construction: a
   /// dedicated thread that drains the SC async-repair queue with
   /// exponential backoff, quarantines poison SCs after the attempt budget,

@@ -53,6 +53,55 @@ TEST(StatusTest, InterruptCodesRenderDistinctly) {
             "resource exhausted: no memory");
 }
 
+// --- Structured status details (the serving layer's machine-readable
+// convention: a trailing " {k=v k2=v2}" block; see status.h).
+
+TEST(StatusDetailTest, AppendAndParseRoundTrip) {
+  std::string msg = AppendStatusDetail("queue full", "queue_depth", 17);
+  EXPECT_EQ(msg, "queue full {queue_depth=17}");
+  msg = AppendStatusDetail(std::move(msg), "retry_after_ms", 25);
+  EXPECT_EQ(msg, "queue full {queue_depth=17 retry_after_ms=25}");
+  EXPECT_EQ(ParseStatusDetail(msg, "queue_depth"), 17);
+  EXPECT_EQ(ParseStatusDetail(msg, "retry_after_ms"), 25);
+  EXPECT_FALSE(ParseStatusDetail(msg, "shed").has_value());
+  // Keys must match whole tokens, not substrings of other keys.
+  EXPECT_FALSE(ParseStatusDetail(msg, "depth").has_value());
+}
+
+TEST(StatusDetailTest, StatusCarriesDetailsThroughWithStatusDetail) {
+  Status s = WithStatusDetail(Status::ResourceExhausted("queue full"),
+                              "queue_depth", 8);
+  s = WithStatusDetail(std::move(s), "retry_after_ms", 40);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(StatusDetail(s, "queue_depth"), 8);
+  EXPECT_EQ(StatusDetail(s, "retry_after_ms"), 40);
+  EXPECT_FALSE(StatusDetail(s, "draining").has_value());
+  EXPECT_FALSE(StatusDetail(Status::OK(), "queue_depth").has_value());
+}
+
+TEST(StatusDetailTest, NegativeValuesAndPlainMessagesParse) {
+  Status s = WithStatusDetail(Status::Internal("clock skew"),
+                              "deadline_lag_ms", -3);
+  EXPECT_EQ(StatusDetail(s, "deadline_lag_ms"), -3);
+  // Messages with incidental braces are not misparsed as detail blocks.
+  EXPECT_FALSE(
+      ParseStatusDetail("literal {not a detail} trailing", "not").has_value());
+}
+
+TEST(StatusDetailTest, RetryClassification) {
+  // Resource exhaustion is the canonical transient: always retryable.
+  EXPECT_TRUE(IsRetryableStatus(Status::ResourceExhausted("queue full")));
+  // Interrupt codes are never retryable: retrying cannot help.
+  EXPECT_FALSE(IsRetryableStatus(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(IsRetryableStatus(Status::Cancelled("abort")));
+  // Other codes are retryable only if the producer attached a hint.
+  EXPECT_FALSE(IsRetryableStatus(Status::Internal("wal torn")));
+  EXPECT_TRUE(IsRetryableStatus(
+      WithStatusDetail(Status::Internal("wal busy"), "retry_after_ms", 10)));
+  EXPECT_FALSE(IsRetryableStatus(Status::InvalidArgument("bad sql")));
+  EXPECT_FALSE(IsRetryableStatus(Status::OK()));
+}
+
 Result<int> Half(int x) {
   if (x % 2 != 0) return Status::InvalidArgument("odd");
   return x / 2;

@@ -23,6 +23,7 @@
 #include "constraints/domain_sc.h"
 #include "constraints/zone_map_sc.h"
 #include "engine/softdb.h"
+#include "server/session.h"
 
 namespace softdb {
 namespace {
@@ -358,6 +359,131 @@ TEST_F(ConcurrencyStressTest, ParallelReadersShareOneScheduler) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(errors.load(), 0);
+}
+
+// Serving-layer stress (DESIGN.md §15): N client sessions drive one shared
+// engine through the SessionManager/Dispatcher — readers sweep SC-rewritten
+// probes with exact-count assertions, writer sessions append to their own
+// tables through the full served-DML path, and a maintenance thread injects
+// synthetic SC violations plus repair drains underneath them all. The
+// admission queue is sized so transient rejections (if any) heal inside the
+// session retry loop; every statement must ultimately succeed.
+TEST_F(ConcurrencyStressTest, SessionsRaceWritersAndRepairChurn) {
+  db_.options().num_threads = 2;
+  db_.options().parallel_morsel_rows = 64;
+  ASSERT_TRUE(
+      db_.Execute("CREATE TABLE w1 (x BIGINT NOT NULL, y BIGINT)").ok());
+  ASSERT_TRUE(
+      db_.Execute("CREATE TABLE w2 (x BIGINT NOT NULL, y BIGINT)").ok());
+
+  struct Probe {
+    std::string sql;
+    std::size_t expected;
+  };
+  std::vector<Probe> probes;
+  for (const char* sql :
+       {"SELECT a, b FROM r WHERE b - a <= 5",
+        "SELECT a FROM r WHERE a BETWEEN 10 AND 40",
+        "SELECT a FROM r WHERE a < 50 AND b IS NOT NULL"}) {
+    auto baseline = db_.Execute(sql);
+    ASSERT_TRUE(baseline.ok()) << sql;
+    probes.push_back(Probe{sql, baseline->rows.NumRows()});
+  }
+
+  ServerOptions options;
+  options.worker_threads = 4;
+  options.max_queue_depth = 256;
+  options.high_water_depth = 240;
+  options.retry.base_backoff = std::chrono::milliseconds(1);
+  SessionManager server(&db_, options);
+
+  constexpr int kWriterRounds = 60;
+  std::atomic<bool> done{false};
+  std::atomic<int> errors{0};
+  std::atomic<std::uint64_t> served_reads{0};
+
+  // Per-table single-writer contract holds: each writer session owns its
+  // table, and a session's client issues statements sequentially.
+  auto served_writer = [&](const std::string& table) {
+    auto session = server.OpenSession("writer-" + table);
+    ASSERT_TRUE(session.ok());
+    for (int i = 0; i < kWriterRounds; ++i) {
+      auto r = (*session)->Execute("INSERT INTO " + table + " VALUES (" +
+                                   std::to_string(i) + ", " +
+                                   std::to_string(i * 2) + ")");
+      if (!r.ok()) {
+        errors.fetch_add(1);
+        ADD_FAILURE() << table << ": " << r.status().ToString();
+        break;
+      }
+    }
+  };
+
+  auto served_reader = [&](int id) {
+    auto session = server.OpenSession("reader-" + std::to_string(id));
+    ASSERT_TRUE(session.ok());
+    for (int iter = 0; !done.load(std::memory_order_acquire); ++iter) {
+      const Probe& probe = probes[(id + iter) % probes.size()];
+      auto result = (*session)->Execute(probe.sql);
+      if (!result.ok() || result->rows.NumRows() != probe.expected) {
+        errors.fetch_add(1);
+        ADD_FAILURE() << probe.sql << " -> "
+                      << (result.ok()
+                              ? "wrong count " +
+                                    std::to_string(result->rows.NumRows())
+                              : result.status().ToString());
+        break;
+      }
+      served_reads.fetch_add(1);
+    }
+  };
+
+  // Maintenance churn runs beside the server, not through it: synthetic
+  // violations flip/queue/decay r's SCs while served statements race.
+  auto maintenance = [&]() {
+    const std::vector<Value> violating{Value::Int64(50), Value::Int64(90)};
+    const std::vector<Value> complying{Value::Int64(5), Value::Int64(9)};
+    for (int iter = 0; iter < kWriterRounds; ++iter) {
+      ASSERT_TRUE(db_.scs().OnInsert(db_.catalog(), "r", violating).ok());
+      ASSERT_TRUE(db_.scs().OnInsert(db_.catalog(), "r", complying).ok());
+      if (iter % 3 == 0) ASSERT_TRUE(db_.RunMaintenance().ok());
+      if (iter % 5 == 0) {
+        ASSERT_TRUE(db_.scs().VerifyAll(db_.catalog()).ok());
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) threads.emplace_back(served_reader, i);
+  std::thread writer1(served_writer, "w1");
+  std::thread writer2(served_writer, "w2");
+  std::thread churn(maintenance);
+  writer1.join();
+  writer2.join();
+  churn.join();
+  done.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_GT(served_reads.load(), 0u);
+
+  // Drain is clean even after churn, and the served writes all landed.
+  ASSERT_TRUE(server.Drain().ok());
+  for (const char* table : {"w1", "w2"}) {
+    auto rows = db_.Execute(std::string("SELECT x FROM ") + table);
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows->rows.NumRows(), static_cast<std::size_t>(kWriterRounds))
+        << table;
+  }
+  EXPECT_EQ(server.stats().failed.load(), 0u);
+  EXPECT_GE(server.stats().succeeded.load(),
+            static_cast<std::uint64_t>(2 * kWriterRounds));
+  // The world settles: every SC re-verifies absolute.
+  ASSERT_TRUE(db_.scs().VerifyAll(db_.catalog()).ok());
+  ASSERT_TRUE(db_.RunMaintenance().ok());
+  for (const SoftConstraint* sc : db_.scs().All()) {
+    EXPECT_TRUE(sc->active()) << sc->name();
+  }
 }
 
 }  // namespace

@@ -199,6 +199,26 @@ TEST_F(RobustnessTest, ExpiredDeadlineReturnsDeadlineExceeded) {
   auto r = db.Execute("SELECT * FROM t", &query);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  // The default fail-fast path rejects before dispatch and reports how
+  // late the statement arrived (PR 10 admission rule, engine-side copy).
+  EXPECT_TRUE(StatusDetail(r.status(), "deadline_lag_ms").has_value());
+}
+
+TEST_F(RobustnessTest, ExpiredDeadlineFailFastCanBeDisabled) {
+  // With reject_expired_deadlines off, the statement is dispatched and the
+  // in-flight deadline check catches it instead — no lag detail, and the
+  // query really ran (distinguishes admission fail-fast from enforcement).
+  EngineOptions options;
+  options.reject_expired_deadlines = false;
+  SoftDb db(options);
+  MakeTable(db, 10);
+  QueryContext query;
+  query.SetDeadlineAfter(std::chrono::milliseconds(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  auto r = db.Execute("SELECT * FROM t", &query);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(StatusDetail(r.status(), "deadline_lag_ms").has_value());
 }
 
 TEST_F(RobustnessTest, NullQueryContextAndGenerousDeadlineSucceed) {
